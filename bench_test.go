@@ -1,0 +1,116 @@
+// Benchmarks regenerating each of the paper's evaluation artifacts
+// (Tables III-IV, Figures 4-8) plus runtime micro-benchmarks. Each bench
+// iteration performs the full simulated experiment at a reduced scale and
+// with a per-iteration seed (the experiment layer memoizes identical
+// configurations, so seeds must differ for b.N > 1). cmd/cabbench runs the
+// same experiments at the paper's full scale; EXPERIMENTS.md records those
+// results.
+package cab_test
+
+import (
+	"testing"
+
+	"cab"
+	"cab/internal/exp"
+	"cab/sim"
+)
+
+func benchExperiment(b *testing.B, id string, scale float64) {
+	b.Helper()
+	e, ok := exp.ByID(id)
+	if !ok {
+		b.Fatalf("unknown experiment %q", id)
+	}
+	for i := 0; i < b.N; i++ {
+		// Each iteration is a full, cold experiment: distinct seeds defeat
+		// per-process memoization and the cache is cleared so iteration
+		// cost stays uniform (otherwise Go's b.N calibration extrapolates
+		// from memo-hit iterations and overshoots).
+		exp.ResetMemo()
+		res, err := e.Run(exp.Params{Scale: scale, Seed: uint64(1000 + i)})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(res.Tables) == 0 {
+			b.Fatal("no output")
+		}
+	}
+}
+
+func BenchmarkTab3Suite(b *testing.B)       { benchExperiment(b, "tab3", 0.25) }
+func BenchmarkFig4MemoryBound(b *testing.B) { benchExperiment(b, "fig4", 0.25) }
+func BenchmarkTab4CacheMisses(b *testing.B) { benchExperiment(b, "tab4", 0.25) }
+func BenchmarkFig5BLSweep(b *testing.B)     { benchExperiment(b, "fig5", 0.25) }
+func BenchmarkFig6Scalability(b *testing.B) { benchExperiment(b, "fig6", 0.25) }
+func BenchmarkFig7MissScaling(b *testing.B) { benchExperiment(b, "fig7", 0.25) }
+func BenchmarkFig8CPUBound(b *testing.B)    { benchExperiment(b, "fig8", 0.25) }
+func BenchmarkTierShare(b *testing.B)       { benchExperiment(b, "tier", 0.25) }
+func BenchmarkFlatGeneration(b *testing.B)  { benchExperiment(b, "flat", 0.25) }
+func BenchmarkShareVsSteal(b *testing.B)    { benchExperiment(b, "share", 0.25) }
+func BenchmarkBoundsCheck(b *testing.B)     { benchExperiment(b, "bounds", 0.25) }
+func BenchmarkAblation(b *testing.B)        { benchExperiment(b, "abl", 0.25) }
+func BenchmarkPrefetchFuture(b *testing.B)  { benchExperiment(b, "prefetch", 0.25) }
+func BenchmarkStealHalf(b *testing.B)       { benchExperiment(b, "stealhalf", 0.25) }
+func BenchmarkMachineShapes(b *testing.B)   { benchExperiment(b, "machines", 0.25) }
+func BenchmarkSlawComparison(b *testing.B)  { benchExperiment(b, "slaw", 0.25) }
+
+// BenchmarkSimulatedStep measures raw simulator throughput: one iterative
+// stencil step on the simulated Opteron under CAB.
+func BenchmarkSimulatedStep(b *testing.B) {
+	root := func(p cab.Task) {
+		var split func(lo, hi int) cab.TaskFunc
+		split = func(lo, hi int) cab.TaskFunc {
+			return func(q cab.Task) {
+				if hi-lo <= 32 {
+					for r := lo; r < hi; r++ {
+						q.Load(uint64(4096+r*2048), 2048)
+						q.Compute(256)
+						q.Store(uint64(4096+1<<21+r*2048), 2048)
+					}
+					return
+				}
+				mid := (lo + hi) / 2
+				q.Spawn(split(lo, mid))
+				q.Spawn(split(mid, hi))
+				q.Sync()
+			}
+		}
+		p.Spawn(split(0, 512))
+		p.Sync()
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := sim.Run(sim.Config{
+			Scheduler: sim.CAB, BoundaryLevel: 3, Seed: uint64(i),
+		}, root); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkRealRuntimeFanout measures the concurrent runtime's spawn/join
+// throughput through the public API.
+func BenchmarkRealRuntimeFanout(b *testing.B) {
+	s, err := cab.New(cab.Config{
+		Machine:       cab.Machine{Sockets: 2, CoresPerSocket: 2, SharedCache: 1 << 20},
+		BoundaryLevel: 1,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer s.Close()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := s.Run(func(p cab.Task) {
+			for j := 0; j < 64; j++ {
+				p.Spawn(func(q cab.Task) {})
+			}
+			p.Sync()
+		}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkSeedRobustness(b *testing.B) { benchExperiment(b, "seeds", 0.25) }

@@ -1,0 +1,191 @@
+// Package cab implements CAB, the Cache Aware Bi-tier task-stealing
+// scheduler of Chen, Huang, Guo and Zhou (ICPP 2011), as a fork-join
+// runtime for Go.
+//
+// CAB targets multi-socket multi-core (MSMC) machines, where random
+// work-stealing scatters data-sharing tasks across sockets and inflates
+// shared-cache misses (the paper's TRICI syndrome). CAB splits the
+// execution DAG at an automatically computed boundary level BL: tasks
+// above it (the inter-socket tier) are distributed across per-socket
+// squads of workers, tasks below it (the intra-socket tier) stay inside
+// the squad that ran their leaf inter-socket ancestor, so tasks that share
+// data also share a cache.
+//
+// Basic use:
+//
+//	sched, err := cab.New(cab.Config{
+//	    Machine:  cab.DetectMachine(),
+//	    DataSize: int64(len(data)) * 8, // Sd for Eq. 4
+//	    Branch:   2,                    // B: recursive fan-out
+//	})
+//	defer sched.Close()
+//	err = sched.Run(func(t cab.Task) {
+//	    t.Spawn(leftHalf)
+//	    t.Spawn(rightHalf)
+//	    t.Sync()
+//	})
+//
+// The measurement side of the paper (cache misses, simulated MSMC
+// machines) lives in the companion package cab/sim.
+package cab
+
+import (
+	"fmt"
+
+	"cab/internal/core"
+	"cab/internal/rt"
+	"cab/internal/topology"
+	"cab/internal/work"
+)
+
+// Task is the execution context visible to a task body: Spawn/Sync for
+// fork-join parallelism, SpawnHint for data-placement hints (the paper's
+// inter_spawn), and Compute/Load/Store annotations that feed the cache
+// model when the same code runs on the simulated machine (cab/sim).
+type Task = work.Proc
+
+// TaskFunc is the type of a task body.
+type TaskFunc = work.Fn
+
+// Machine describes the MSMC structure CAB schedules against: M sockets
+// of N cores sharing one last-level cache per socket.
+type Machine struct {
+	Sockets        int   // M
+	CoresPerSocket int   // N
+	SharedCache    int64 // Sc, bytes of shared cache per socket
+}
+
+// DetectMachine inspects /proc/cpuinfo (as the paper's runtime does) and
+// falls back to a single-socket machine sized by GOMAXPROCS.
+func DetectMachine() Machine {
+	top := topology.Detect(topology.Opteron8380())
+	return Machine{
+		Sockets:        top.Sockets,
+		CoresPerSocket: top.CoresPerSocket,
+		SharedCache:    top.SharedCacheBytes(),
+	}
+}
+
+// Opteron8380 returns the paper's evaluation machine: 4 sockets x 4 cores,
+// 6 MB shared L3 per socket.
+func Opteron8380() Machine {
+	return Machine{Sockets: 4, CoresPerSocket: 4, SharedCache: 6 << 20}
+}
+
+func (m Machine) topology() topology.Topology {
+	return topology.Topology{
+		Sockets:        m.Sockets,
+		CoresPerSocket: m.CoresPerSocket,
+		LineBytes:      64,
+		L3Bytes:        m.SharedCache,
+		L3Assoc:        48,
+	}
+}
+
+// Config configures a Scheduler.
+type Config struct {
+	// Machine is the squad structure. The zero value means DetectMachine.
+	Machine Machine
+	// DataSize is Sd, the input size in bytes of the program's recursive
+	// procedure, used by the automatic partitioning (Eq. 4).
+	DataSize int64
+	// Branch is B, the recursive branching degree (Eq. 4); 0 means 2.
+	Branch int
+	// BoundaryLevel overrides the automatic BL when >= 0 (the paper's
+	// manual adjustment knob); -1 or unset selects Eq. 4.
+	BoundaryLevel int
+	// Seed drives victim selection; runs with equal seeds make the same
+	// random choices.
+	Seed uint64
+}
+
+// Scheduler is a running CAB worker pool.
+type Scheduler struct {
+	rt *rt.Runtime
+	bl int
+}
+
+// New launches M*N workers grouped into per-socket squads and computes the
+// boundary level per Eq. 4 (Algorithm II steps 1-2).
+func New(cfg Config) (*Scheduler, error) {
+	m := cfg.Machine
+	if m.Sockets == 0 {
+		m = DetectMachine()
+	}
+	bl := cfg.BoundaryLevel
+	if bl == 0 && cfg.DataSize == 0 && cfg.Branch == 0 {
+		bl = 0 // fully unconfigured: single-tier
+	} else if bl <= 0 {
+		branch := cfg.Branch
+		if branch == 0 {
+			branch = 2
+		}
+		var err error
+		bl, err = core.BoundaryLevel(core.Params{
+			Branch:      branch,
+			Sockets:     m.Sockets,
+			InputBytes:  cfg.DataSize,
+			SharedCache: m.SharedCache,
+		})
+		if err != nil {
+			return nil, fmt.Errorf("cab: %w", err)
+		}
+	}
+	r, err := rt.New(rt.Config{Topo: m.topology(), BL: bl, Seed: cfg.Seed})
+	if err != nil {
+		return nil, fmt.Errorf("cab: %w", err)
+	}
+	return &Scheduler{rt: r, bl: r.BL()}, nil
+}
+
+// BoundaryLevel returns the BL in effect (0 means single-tier scheduling,
+// the configuration the paper uses for CPU-bound programs).
+func (s *Scheduler) BoundaryLevel() int { return s.bl }
+
+// Run executes fn as the initial task and returns when it and every task
+// it transitively spawned have finished. Run may be called repeatedly but
+// not concurrently.
+func (s *Scheduler) Run(fn TaskFunc) error { return s.rt.Run(fn) }
+
+// Stats reports scheduler event counters since New.
+func (s *Scheduler) Stats() Stats {
+	st := s.rt.Stats()
+	return Stats{
+		Spawns:       st.Spawns,
+		InterSpawns:  st.InterSpawns,
+		StealsIntra:  st.StealsIntra,
+		StealsInter:  st.StealsInter,
+		FailedSteals: st.FailedSteals,
+		Helps:        st.Helps,
+	}
+}
+
+// Close stops the workers. All Run calls must have returned.
+func (s *Scheduler) Close() { s.rt.Close() }
+
+// Stats are cumulative scheduler event counters.
+type Stats struct {
+	Spawns       int64 // tasks created
+	InterSpawns  int64 // tasks created into the inter-socket tier
+	StealsIntra  int64 // successful intra-socket steals
+	StealsInter  int64 // successful inter-socket steals (head workers)
+	FailedSteals int64 // empty or lost probes
+	Helps        int64 // tasks executed while a worker waited at a Sync
+}
+
+// BoundaryLevel computes the paper's Eq. 4 directly: the smallest DAG
+// level whose tasks both number at least M (one leaf inter-socket task per
+// squad, Eq. 1) and carry data small enough for a socket's shared cache
+// (Eq. 2). It returns 0 for single-socket machines.
+func BoundaryLevel(m Machine, branch int, dataSize int64) (int, error) {
+	return core.BoundaryLevel(core.Params{
+		Branch:      branch,
+		Sockets:     m.Sockets,
+		InputBytes:  dataSize,
+		SharedCache: m.SharedCache,
+	})
+}
+
+// Serial runs a task body on the calling goroutine with children executed
+// depth-first at their spawn point — useful for reference results in tests.
+func Serial(fn TaskFunc) { work.Serial(fn) }

@@ -1,0 +1,162 @@
+package cab_test
+
+import (
+	"sync/atomic"
+	"testing"
+
+	"cab"
+)
+
+func TestNewDefaults(t *testing.T) {
+	s, err := cab.New(cab.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	if err := s.Run(func(p cab.Task) {}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAutoBoundaryLevelMatchesPaper(t *testing.T) {
+	// The paper's worked example: 48 MB heat input on the 4x4 Opteron
+	// with 6 MB shared caches and B = 2 gives BL = 4.
+	s, err := cab.New(cab.Config{
+		Machine:  cab.Opteron8380(),
+		DataSize: 3072 * 2048 * 8,
+		Branch:   2,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	if got := s.BoundaryLevel(); got != 4 {
+		t.Fatalf("BoundaryLevel = %d, want 4", got)
+	}
+}
+
+func TestBoundaryLevelFunc(t *testing.T) {
+	bl, err := cab.BoundaryLevel(cab.Opteron8380(), 2, 3072*2048*8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bl != 4 {
+		t.Fatalf("BL = %d, want 4", bl)
+	}
+	if _, err := cab.BoundaryLevel(cab.Machine{}, 2, 1); err == nil {
+		t.Fatal("expected error for empty machine")
+	}
+}
+
+func TestManualBoundaryLevelOverride(t *testing.T) {
+	s, err := cab.New(cab.Config{
+		Machine:       cab.Opteron8380(),
+		DataSize:      1 << 30,
+		Branch:        2,
+		BoundaryLevel: 2,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	if got := s.BoundaryLevel(); got != 2 {
+		t.Fatalf("BoundaryLevel = %d, want the manual 2", got)
+	}
+}
+
+func TestForkJoinCorrectness(t *testing.T) {
+	s, err := cab.New(cab.Config{
+		Machine:  cab.Machine{Sockets: 2, CoresPerSocket: 2, SharedCache: 1 << 20},
+		DataSize: 1 << 22,
+		Branch:   2,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	var sum atomic.Int64
+	var rec func(lo, hi int) cab.TaskFunc
+	rec = func(lo, hi int) cab.TaskFunc {
+		return func(p cab.Task) {
+			if hi-lo <= 4 {
+				for i := lo; i < hi; i++ {
+					sum.Add(int64(i))
+				}
+				return
+			}
+			mid := (lo + hi) / 2
+			p.Spawn(rec(lo, mid))
+			p.Spawn(rec(mid, hi))
+			p.Sync()
+		}
+	}
+	if err := s.Run(rec(0, 1000)); err != nil {
+		t.Fatal(err)
+	}
+	if got := sum.Load(); got != 499500 {
+		t.Fatalf("sum = %d, want 499500", got)
+	}
+	st := s.Stats()
+	if st.Spawns == 0 {
+		t.Error("no spawns counted")
+	}
+}
+
+func TestSerialHelper(t *testing.T) {
+	n := 0
+	cab.Serial(func(p cab.Task) {
+		p.Spawn(func(q cab.Task) { n++ })
+		p.Spawn(func(q cab.Task) { n++ })
+		p.Sync()
+	})
+	if n != 2 {
+		t.Fatalf("n = %d, want 2", n)
+	}
+}
+
+func TestDetectMachineUsable(t *testing.T) {
+	m := cab.DetectMachine()
+	if m.Sockets < 1 || m.CoresPerSocket < 1 || m.SharedCache <= 0 {
+		t.Fatalf("DetectMachine returned unusable %+v", m)
+	}
+}
+
+func TestSchedulerStatsProgress(t *testing.T) {
+	s, err := cab.New(cab.Config{Machine: cab.Machine{Sockets: 2, CoresPerSocket: 2, SharedCache: 1 << 20}, BoundaryLevel: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	_ = s.Run(func(p cab.Task) {
+		for i := 0; i < 16; i++ {
+			p.Spawn(func(q cab.Task) {})
+		}
+		p.Sync()
+	})
+	st := s.Stats()
+	if st.Spawns != 16 || st.InterSpawns != 16 {
+		t.Fatalf("stats = %+v, want 16 inter spawns", st)
+	}
+}
+
+func TestNewRejectsBadMachine(t *testing.T) {
+	if _, err := cab.New(cab.Config{
+		Machine: cab.Machine{Sockets: -1, CoresPerSocket: 2, SharedCache: 1 << 20},
+	}); err == nil {
+		t.Fatal("negative sockets should fail")
+	}
+	if _, err := cab.New(cab.Config{
+		Machine:  cab.Machine{Sockets: 2, CoresPerSocket: 2, SharedCache: 1 << 20},
+		DataSize: -5,
+		Branch:   2,
+	}); err == nil {
+		t.Fatal("negative data size should fail Eq. 4 validation")
+	}
+}
+
+func TestOpteronMachineConstants(t *testing.T) {
+	m := cab.Opteron8380()
+	if m.Sockets != 4 || m.CoresPerSocket != 4 || m.SharedCache != 6<<20 {
+		t.Fatalf("Opteron8380() = %+v", m)
+	}
+}

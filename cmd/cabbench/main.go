@@ -1,0 +1,75 @@
+// Command cabbench regenerates the paper's tables and figures on the
+// simulated Opteron 8380 testbed.
+//
+// Usage:
+//
+//	cabbench [-exp id[,id...]] [-scale f] [-seed n] [-verify] [-list]
+//
+// With no -exp it runs every experiment in presentation order. Experiment
+// IDs follow the paper: tab3, fig4, tab4, fig5, fig6, fig7, fig8, plus
+// tier, flat, share, bounds and abl for the claims outside numbered
+// artifacts.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"cab/internal/exp"
+)
+
+func main() {
+	var (
+		ids    = flag.String("exp", "", "comma-separated experiment IDs (default: all)")
+		scale  = flag.Float64("scale", 1.0, "input scale; 1.0 = the paper's sizes")
+		seed   = flag.Uint64("seed", 42, "simulation seed")
+		verify = flag.Bool("verify", false, "verify workload results against serial references")
+		list   = flag.Bool("list", false, "list experiments and exit")
+	)
+	flag.Parse()
+
+	if *list {
+		for _, e := range exp.All() {
+			fmt.Printf("%-6s %s\n       paper: %s\n", e.ID, e.Title, e.Paper)
+		}
+		return
+	}
+
+	var selected []exp.Experiment
+	if *ids == "" {
+		selected = exp.All()
+	} else {
+		for _, id := range strings.Split(*ids, ",") {
+			e, ok := exp.ByID(strings.TrimSpace(id))
+			if !ok {
+				fmt.Fprintf(os.Stderr, "cabbench: unknown experiment %q (use -list)\n", id)
+				os.Exit(2)
+			}
+			selected = append(selected, e)
+		}
+	}
+
+	params := exp.Params{Scale: *scale, Seed: *seed, Verify: *verify}
+	for _, e := range selected {
+		fmt.Printf("== %s: %s\n", e.ID, e.Title)
+		fmt.Printf("   paper: %s\n", e.Paper)
+		start := time.Now()
+		res, err := e.Run(params)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "cabbench: %s: %v\n", e.ID, err)
+			os.Exit(1)
+		}
+		for _, t := range res.Tables {
+			fmt.Println()
+			fmt.Print(t.String())
+		}
+		fmt.Printf("\n   key values:\n")
+		for _, name := range res.SortedValueNames() {
+			fmt.Printf("     %-28s %.4g\n", name, res.Values[name])
+		}
+		fmt.Printf("   (%s, scale %.2g)\n\n", time.Since(start).Round(time.Millisecond), *scale)
+	}
+}

@@ -1,0 +1,180 @@
+// Command cabsim runs one benchmark on the simulated MSMC machine under a
+// chosen scheduler and prints the full measurement report — the quickest
+// way to poke at the simulator.
+//
+// Usage:
+//
+//	cabsim -workload heat -sched cab [-rows 1024] [-cols 1024] [-steps 10]
+//	       [-bl -1] [-sockets 4] [-cores 4] [-seed 42] [-footprint] [-verify]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"cab/internal/cache"
+	"cab/internal/core"
+	"cab/internal/simengine"
+	"cab/internal/simsched"
+	"cab/internal/topology"
+	"cab/internal/trace"
+	"cab/internal/workloads"
+)
+
+func main() {
+	var (
+		workload  = flag.String("workload", "heat", "heat|sor|ge|mergesort|queens|fft|ck|cholesky|flatheat|storm")
+		sched     = flag.String("sched", "cab", "cab|cilk|sharing")
+		rows      = flag.Int("rows", 1024, "grid rows / matrix order / element count scale")
+		cols      = flag.Int("cols", 1024, "grid columns")
+		steps     = flag.Int("steps", 10, "iterations for the iterative kernels")
+		bl        = flag.Int("bl", -1, "boundary level; -1 = Eq. 4")
+		sockets   = flag.Int("sockets", 4, "simulated sockets")
+		cores     = flag.Int("cores", 4, "cores per socket")
+		seed      = flag.Uint64("seed", 42, "simulation seed")
+		footprint = flag.Bool("footprint", false, "track per-socket memory footprints")
+		verify    = flag.Bool("verify", false, "verify results against a serial reference")
+		traceOut  = flag.String("trace", "", "write a Chrome trace-viewer JSON to this file")
+		bars      = flag.Bool("bars", false, "print per-core utilization bars")
+	)
+	flag.Parse()
+
+	spec, err := pickSpec(*workload, *rows, *cols, *steps)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "cabsim:", err)
+		os.Exit(2)
+	}
+
+	top := topology.Opteron8380()
+	top.Sockets, top.CoresPerSocket = *sockets, *cores
+
+	useBL := 0
+	if *sched == "cab" {
+		useBL = *bl
+		if useBL < 0 {
+			useBL, err = core.BoundaryLevel(core.Params{
+				Branch: spec.Branch, Sockets: top.Sockets,
+				InputBytes: spec.InputBytes, SharedCache: top.SharedCacheBytes(),
+			})
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "cabsim:", err)
+				os.Exit(1)
+			}
+		}
+	}
+
+	var s simengine.Scheduler
+	switch *sched {
+	case "cab":
+		s = simsched.NewCAB()
+	case "cilk":
+		s = simsched.NewCilk()
+	case "sharing":
+		s = simsched.NewSharing()
+	default:
+		fmt.Fprintf(os.Stderr, "cabsim: unknown scheduler %q\n", *sched)
+		os.Exit(2)
+	}
+
+	var rec *trace.Recorder
+	if *traceOut != "" || *bars {
+		rec = trace.NewRecorder()
+	}
+	eng, err := simengine.New(simengine.Config{
+		Topo:    top,
+		Latency: cache.DefaultLatency(),
+		Cost:    simengine.DefaultCost(),
+		Cache:   cache.Options{TrackFootprint: *footprint},
+		Seed:    *seed,
+		BL:      useBL,
+		Tracer:  rec,
+	}, s)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "cabsim:", err)
+		os.Exit(1)
+	}
+
+	inst := spec.Make()
+	fmt.Printf("machine: %s\n", top)
+	fmt.Printf("workload: %s (%s), Sd=%d B=%d\n", spec.Name, spec.Description, spec.InputBytes, spec.Branch)
+	st, err := eng.Run(inst.Root)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "cabsim:", err)
+		os.Exit(1)
+	}
+	fmt.Print(st.String())
+	if *footprint {
+		for sq, b := range st.SocketFootprint {
+			fmt.Printf("socket %d footprint: %d bytes\n", sq, b)
+		}
+	}
+	if *bars {
+		fmt.Println()
+		if err := rec.Summary(os.Stdout, top.Workers(), st.Time); err != nil {
+			fmt.Fprintln(os.Stderr, "cabsim:", err)
+		}
+	}
+	if *traceOut != "" {
+		f, err := os.Create(*traceOut)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "cabsim:", err)
+			os.Exit(1)
+		}
+		if err := rec.WriteChrome(f); err != nil {
+			fmt.Fprintln(os.Stderr, "cabsim:", err)
+			os.Exit(1)
+		}
+		if err := f.Close(); err != nil {
+			fmt.Fprintln(os.Stderr, "cabsim:", err)
+			os.Exit(1)
+		}
+		fmt.Printf("trace written to %s (open in chrome://tracing or ui.perfetto.dev)\n", *traceOut)
+	}
+	if *verify {
+		if err := inst.Verify(); err != nil {
+			fmt.Fprintln(os.Stderr, "cabsim: VERIFY FAILED:", err)
+			os.Exit(1)
+		}
+		fmt.Println("verify: ok")
+	}
+}
+
+func pickSpec(name string, rows, cols, steps int) (workloads.Spec, error) {
+	switch name {
+	case "heat":
+		return workloads.HeatSpec(rows, cols, steps), nil
+	case "sor":
+		return workloads.SORSpec(rows, cols, steps), nil
+	case "ge":
+		return workloads.GESpec(rows), nil
+	case "mergesort":
+		return workloads.MergesortSpec(rows * cols), nil
+	case "queens":
+		n := rows
+		if n > 14 {
+			n = 12
+		}
+		return workloads.QueensSpec(n), nil
+	case "fft":
+		n := 1
+		for n < rows*cols && n < 1<<20 {
+			n <<= 1
+		}
+		return workloads.FFTSpec(n), nil
+	case "ck":
+		d := steps
+		if d > 8 {
+			d = 6
+		}
+		return workloads.CkSpec(d), nil
+	case "cholesky":
+		return workloads.CholeskySpec(rows), nil
+	case "flatheat":
+		return workloads.FlatHeatGroupedSpec(rows, cols, steps, 32), nil
+	case "storm":
+		return workloads.SpawnStormSpec(12, 400), nil
+	default:
+		return workloads.Spec{}, fmt.Errorf("unknown workload %q", name)
+	}
+}

@@ -1,0 +1,59 @@
+// Command cabtopo shows the machine description CAB would use on this host
+// (parsed from /proc/cpuinfo, as the paper's runtime does) and the
+// boundary level Eq. 4 selects for a given workload size.
+//
+// Usage:
+//
+//	cabtopo [-sd bytes] [-b branch] [-paper]
+package main
+
+import (
+	"flag"
+	"fmt"
+
+	"cab/internal/core"
+	"cab/internal/topology"
+)
+
+func main() {
+	var (
+		sd    = flag.Int64("sd", 8<<20, "input data size Sd in bytes")
+		b     = flag.Int("b", 2, "branching degree B of the recursion")
+		paper = flag.Bool("paper", false, "use the paper's Opteron 8380 testbed instead of detecting")
+	)
+	flag.Parse()
+
+	var top topology.Topology
+	if *paper {
+		top = topology.Opteron8380()
+		fmt.Println("machine (paper testbed):", top)
+	} else {
+		top = topology.Detect(topology.Opteron8380())
+		fmt.Println("machine (detected, Opteron 8380 fallback):", top)
+	}
+	fmt.Printf("M (sockets) = %d, N (cores/socket) = %d, Sc (shared cache) = %d bytes\n",
+		top.Sockets, top.CoresPerSocket, top.SharedCacheBytes())
+
+	bl, err := core.BoundaryLevel(core.Params{
+		Branch:      *b,
+		Sockets:     top.Sockets,
+		InputBytes:  *sd,
+		SharedCache: top.SharedCacheBytes(),
+	})
+	if err != nil {
+		fmt.Println("Eq. 4 error:", err)
+		return
+	}
+	fmt.Printf("Eq. 4: BL = %d for Sd = %d bytes, B = %d\n", bl, *sd, *b)
+	if bl > 0 {
+		k := core.LeafInterTasks(*b, bl)
+		fmt.Printf("leaf inter-socket tasks K = B^(BL-1) = %d (%.2f per squad), leaf data = %d bytes (Sc = %d)\n",
+			k, float64(k)/float64(top.Sockets), (*sd)/k, top.SharedCacheBytes())
+		t1, t2 := core.SatisfiesConstraints(core.Params{
+			Branch: *b, Sockets: top.Sockets, InputBytes: *sd, SharedCache: top.SharedCacheBytes(),
+		}, bl)
+		fmt.Printf("Eq. 1 (enough leaf tasks): %v; Eq. 2 (fits shared cache): %v\n", t1, t2)
+	} else {
+		fmt.Println("single tier (BL = 0): traditional task-stealing")
+	}
+}

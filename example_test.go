@@ -1,0 +1,70 @@
+package cab_test
+
+import (
+	"fmt"
+	"log"
+	"sync/atomic"
+
+	"cab"
+)
+
+// ExampleBoundaryLevel reproduces the paper's worked example (§V-B): a
+// 3k x 2k matrix of doubles on the 4-socket Opteron 8380 with 6 MB shared
+// caches partitions at boundary level 4.
+func ExampleBoundaryLevel() {
+	bl, err := cab.BoundaryLevel(cab.Opteron8380(), 2, 3072*2048*8)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println(bl)
+	// Output: 4
+}
+
+// ExampleNew runs a recursive parallel sum on the CAB runtime.
+func ExampleNew() {
+	sched, err := cab.New(cab.Config{
+		Machine:  cab.Machine{Sockets: 2, CoresPerSocket: 2, SharedCache: 1 << 20},
+		DataSize: 1000 * 8,
+		Branch:   2,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer sched.Close()
+
+	var sum atomic.Int64
+	var rec func(lo, hi int) cab.TaskFunc
+	rec = func(lo, hi int) cab.TaskFunc {
+		return func(t cab.Task) {
+			if hi-lo <= 100 {
+				var s int64
+				for i := lo; i < hi; i++ {
+					s += int64(i)
+				}
+				sum.Add(s)
+				return
+			}
+			mid := (lo + hi) / 2
+			t.Spawn(rec(lo, mid))
+			t.Spawn(rec(mid, hi))
+			t.Sync()
+		}
+	}
+	if err := sched.Run(rec(0, 1000)); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println(sum.Load())
+	// Output: 499500
+}
+
+// ExampleSerial produces a reference result without any parallelism.
+func ExampleSerial() {
+	n := 0
+	cab.Serial(func(t cab.Task) {
+		t.Spawn(func(cab.Task) { n += 2 })
+		t.Spawn(func(cab.Task) { n *= 10 })
+		t.Sync()
+	})
+	fmt.Println(n) // children run depth-first at their spawn sites
+	// Output: 20
+}

@@ -1,0 +1,104 @@
+// Autotune: watch Eq. 4 pick the boundary level (the paper's Fig. 5 in
+// miniature).
+//
+// The program sweeps every possible BL for an iterative stencil on the
+// simulated machine, prints the measured time of each, and marks the level
+// the automatic partitioning model would choose. Too-small BL values
+// starve sockets (down to one working squad at BL = 1); too-large values
+// leave squad workers idle; Eq. 4 lands on the sweet spot without
+// measuring anything.
+//
+//	go run ./examples/autotune [-mb 8]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"strings"
+
+	"cab"
+	"cab/sim"
+)
+
+func main() {
+	mb := flag.Int("mb", 8, "input size in MiB")
+	flag.Parse()
+
+	rows := 1024
+	cols := (*mb << 20) / 8 / rows
+	if cols < 64 {
+		cols = 64
+	}
+	sd := int64(rows) * int64(cols) * 8
+
+	machine := cab.Opteron8380()
+	autoBL, err := cab.BoundaryLevel(machine, 2, sd)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("input %d MiB on 4x6MB sockets: Eq. 4 selects BL = %d\n\n", *mb, autoBL)
+
+	cilk, err := sim.Run(sim.Config{Scheduler: sim.Cilk, Seed: 7}, stencil(rows, cols))
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("%-8s %14d cycles  (baseline)\n", "cilk", cilk.Cycles)
+
+	best, bestBL := int64(1<<62), 0
+	for bl := 1; bl <= 6; bl++ {
+		rep, err := sim.Run(sim.Config{
+			Scheduler:     sim.CAB,
+			BoundaryLevel: bl,
+			Seed:          7,
+		}, stencil(rows, cols))
+		if err != nil {
+			log.Fatal(err)
+		}
+		marks := []string{}
+		if bl == autoBL {
+			marks = append(marks, "<- Eq. 4")
+		}
+		if rep.Cycles < best {
+			best, bestBL = rep.Cycles, bl
+		}
+		fmt.Printf("cab BL=%d %14d cycles  L3 misses %9d %s\n",
+			bl, rep.Cycles, rep.L3Misses, strings.Join(marks, " "))
+	}
+	fmt.Printf("\nempirical best: BL = %d; automatic choice: BL = %d\n", bestBL, autoBL)
+}
+
+// stencil is an iterative row-divided kernel with annotated traffic.
+func stencil(rows, cols int) cab.TaskFunc {
+	rowBytes := int64(cols) * 8
+	addr := func(buf, r int) uint64 { return uint64(4096 + buf*rows*cols*8 + r*cols*8) }
+	var sweep func(sb, db, lo, hi int) cab.TaskFunc
+	sweep = func(sb, db, lo, hi int) cab.TaskFunc {
+		return func(t cab.Task) {
+			if hi-lo <= 32 {
+				for r := lo; r < hi; r++ {
+					t.Load(addr(sb, r-1), rowBytes)
+					t.Load(addr(sb, r), rowBytes)
+					t.Load(addr(sb, r+1), rowBytes)
+					t.Compute(int64(cols) * 4)
+					t.Store(addr(db, r), rowBytes)
+				}
+				return
+			}
+			mid := (lo + hi) / 2
+			m := t.Squads()
+			hint := func(l, h int) int { return ((l + h) / 2) * m / rows }
+			t.SpawnHint(hint(lo, mid), sweep(sb, db, lo, mid))
+			t.SpawnHint(hint(mid, hi), sweep(sb, db, mid, hi))
+			t.Sync()
+		}
+	}
+	return func(t cab.Task) {
+		sb, db := 0, 1
+		for s := 0; s < 10; s++ {
+			t.Spawn(sweep(sb, db, 1, rows-1))
+			t.Sync()
+			sb, db = db, sb
+		}
+	}
+}

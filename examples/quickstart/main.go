@@ -1,0 +1,95 @@
+// Quickstart: parallel mergesort on the CAB runtime through the public API.
+//
+// It shows the three things a CAB program provides: a recursive task
+// structure (Spawn/Sync), the partitioning parameters Sd and B for Eq. 4,
+// and — optionally — data-placement hints (SpawnHint) for the inter-socket
+// tier.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+	"sort"
+	"time"
+
+	"cab"
+)
+
+const n = 1 << 20
+
+func main() {
+	sched, err := cab.New(cab.Config{
+		Machine:  cab.DetectMachine(),
+		DataSize: n * 8, // Sd: bytes the recursion divides
+		Branch:   2,     // B: two-way splits
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer sched.Close()
+	fmt.Printf("scheduler ready: boundary level BL = %d\n", sched.BoundaryLevel())
+
+	data := make([]int64, n)
+	state := uint64(1)
+	for i := range data {
+		state ^= state << 13
+		state ^= state >> 7
+		state ^= state << 17
+		data[i] = int64(state % 1_000_000)
+	}
+	scratch := make([]int64, n)
+	copy(scratch, data)
+
+	start := time.Now()
+	if err := sched.Run(sortTask(scratch, data, 0, n)); err != nil {
+		log.Fatal(err)
+	}
+	elapsed := time.Since(start)
+
+	if !sort.SliceIsSorted(data, func(i, j int) bool { return data[i] < data[j] }) {
+		log.Fatal("result is not sorted")
+	}
+	st := sched.Stats()
+	fmt.Printf("sorted %d keys in %v\n", n, elapsed)
+	fmt.Printf("spawns=%d (inter=%d) steals intra/inter=%d/%d helps=%d\n",
+		st.Spawns, st.InterSpawns, st.StealsIntra, st.StealsInter, st.Helps)
+}
+
+// sortTask sorts src[lo:hi) into dst[lo:hi), using the buffers in
+// alternation. Placement hints map subranges onto squads proportionally,
+// the paper's inter_spawn idiom.
+func sortTask(src, dst []int64, lo, hi int) cab.TaskFunc {
+	return func(t cab.Task) {
+		if hi-lo <= 8192 {
+			s := src[lo:hi]
+			sort.Slice(s, func(i, j int) bool { return s[i] < s[j] })
+			copy(dst[lo:hi], src[lo:hi])
+			return
+		}
+		mid := lo + (hi-lo)/2
+		m := t.Squads()
+		hint := func(l, h int) int { return (l + h) / 2 * m / len(src) }
+		t.SpawnHint(hint(lo, mid), sortTask(dst, src, lo, mid))
+		t.SpawnHint(hint(mid, hi), sortTask(dst, src, mid, hi))
+		t.Sync()
+		merge(src[lo:mid], src[mid:hi], dst[lo:hi])
+	}
+}
+
+func merge(a, b, out []int64) {
+	i, j, k := 0, 0, 0
+	for i < len(a) && j < len(b) {
+		if a[i] <= b[j] {
+			out[k] = a[i]
+			i++
+		} else {
+			out[k] = b[j]
+			j++
+		}
+		k++
+	}
+	copy(out[k:], a[i:])
+	copy(out[k+len(a)-i:], b[j:])
+}

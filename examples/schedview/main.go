@@ -1,0 +1,88 @@
+// Schedview: visualize how CAB and random stealing schedule the same
+// program on the simulated machine.
+//
+// It runs an iterative stencil under both schedulers, writes one Chrome
+// trace-viewer JSON per scheduler (open them in chrome://tracing or
+// https://ui.perfetto.dev to see the per-core Gantt charts), and prints a
+// summary. Under CAB the lanes show each socket's cores working one
+// contiguous region; under random stealing the same region hops sockets.
+//
+//	go run ./examples/schedview [-out /tmp]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"path/filepath"
+
+	"cab"
+	"cab/sim"
+)
+
+func main() {
+	out := flag.String("out", ".", "directory for the trace files")
+	flag.Parse()
+
+	const rows, cols, steps = 512, 512, 4
+	for _, kind := range []sim.SchedulerKind{sim.Cilk, sim.CAB} {
+		path := filepath.Join(*out, fmt.Sprintf("schedview_%s.json", kind))
+		f, err := os.Create(path)
+		if err != nil {
+			log.Fatal(err)
+		}
+		rep, err := sim.Run(sim.Config{
+			Scheduler:     kind,
+			BoundaryLevel: -1,
+			DataSize:      rows * cols * 8,
+			Branch:        2,
+			Seed:          42,
+			Trace:         f,
+		}, stencil(rows, cols, steps))
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := f.Close(); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%-5s BL=%d  %12d cycles  L3 misses %8d  steals %d/%d  -> %s\n",
+			rep.Scheduler, rep.BL, rep.Cycles, rep.L3Misses,
+			rep.StealsIntra, rep.StealsInter, path)
+	}
+	fmt.Println("\nopen the JSON files in chrome://tracing to compare the schedules")
+}
+
+func stencil(rows, cols, steps int) cab.TaskFunc {
+	rowBytes := int64(cols) * 8
+	addr := func(buf, r int) uint64 { return uint64(4096 + buf*rows*cols*8 + r*cols*8) }
+	var sweep func(sb, db, lo, hi int) cab.TaskFunc
+	sweep = func(sb, db, lo, hi int) cab.TaskFunc {
+		return func(t cab.Task) {
+			if hi-lo <= 32 {
+				for r := lo; r < hi; r++ {
+					t.Load(addr(sb, r-1), rowBytes)
+					t.Load(addr(sb, r), rowBytes)
+					t.Load(addr(sb, r+1), rowBytes)
+					t.Compute(int64(cols) * 4)
+					t.Store(addr(db, r), rowBytes)
+				}
+				return
+			}
+			mid := (lo + hi) / 2
+			m := t.Squads()
+			hint := func(l, h int) int { return ((l + h) / 2) * m / rows }
+			t.SpawnHint(hint(lo, mid), sweep(sb, db, lo, mid))
+			t.SpawnHint(hint(mid, hi), sweep(sb, db, mid, hi))
+			t.Sync()
+		}
+	}
+	return func(t cab.Task) {
+		sb, db := 0, 1
+		for s := 0; s < steps; s++ {
+			t.Spawn(sweep(sb, db, 1, rows-1))
+			t.Sync()
+			sb, db = db, sb
+		}
+	}
+}

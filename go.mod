@@ -1,0 +1,3 @@
+module cab
+
+go 1.22

@@ -1,0 +1,302 @@
+// Package cache implements the set-associative cache model of the simulated
+// MSMC machine.
+//
+// The paper measures the TRICI syndrome through hardware L2/L3 miss
+// counters on a 4-socket Opteron 8380. This package reproduces that
+// measurement surface in software: each simulated core owns private L1 and
+// L2 caches, each socket owns one shared L3, and every memory access walks
+// the hierarchy at cache-line granularity, counting hits, misses and
+// (optionally) the classic three-C miss classification
+// (compulsory/capacity/conflict) plus per-socket memory footprint.
+package cache
+
+// Stats accumulates access counts for a single cache.
+type Stats struct {
+	Accesses int64
+	Hits     int64
+	Misses   int64
+	// Three-C classification (filled only when Classify is enabled):
+	// Compulsory: first reference to the line ever seen by this cache.
+	// Capacity: the line would also miss in a fully-associative LRU cache
+	// of the same capacity.
+	// Conflict: everything else (a victim of limited associativity).
+	Compulsory int64
+	Capacity   int64
+	Conflict   int64
+	Evictions  int64
+}
+
+// MissRate returns Misses/Accesses, or 0 for an untouched cache.
+func (s Stats) MissRate() float64 {
+	if s.Accesses == 0 {
+		return 0
+	}
+	return float64(s.Misses) / float64(s.Accesses)
+}
+
+func (s *Stats) add(o Stats) {
+	s.Accesses += o.Accesses
+	s.Hits += o.Hits
+	s.Misses += o.Misses
+	s.Compulsory += o.Compulsory
+	s.Capacity += o.Capacity
+	s.Conflict += o.Conflict
+	s.Evictions += o.Evictions
+}
+
+type way struct {
+	tag   uint64
+	valid bool
+	stamp uint64 // LRU timestamp: higher = more recently used
+}
+
+// Cache is a single set-associative LRU cache. It is not safe for
+// concurrent use; the simulation engine serializes all accesses.
+type Cache struct {
+	name      string
+	lineShift uint
+	setShift  uint
+	sets      [][]way
+	setMask   uint64
+	clock     uint64
+	stats     Stats
+
+	classify bool
+	seen     map[uint64]struct{} // lines ever referenced (compulsory)
+	shadow   *lruStack           // fully-associative twin (capacity vs conflict)
+}
+
+// New builds a cache with the given capacity, associativity and line size.
+// Capacity must be a multiple of assoc*lineBytes. When classify is true the
+// cache additionally maintains the state needed for three-C classification
+// (one map entry per distinct line ever touched — enable only when the
+// experiment needs it).
+func New(name string, capacity int64, assoc int, lineBytes int64, classify bool) *Cache {
+	if capacity <= 0 || assoc <= 0 || lineBytes <= 0 {
+		panic("cache: non-positive geometry")
+	}
+	lines := capacity / lineBytes
+	numSets := lines / int64(assoc)
+	if numSets == 0 {
+		numSets = 1
+		assoc = int(lines)
+		if assoc == 0 {
+			assoc = 1
+		}
+	}
+	// Round the set count down to a power of two so the index is a mask;
+	// keep capacity by widening associativity accordingly.
+	p2 := int64(1)
+	for p2*2 <= numSets {
+		p2 *= 2
+	}
+	if p2 != numSets {
+		assoc = int(lines / p2)
+		numSets = p2
+	}
+	c := &Cache{
+		name:      name,
+		lineShift: log2(uint64(lineBytes)),
+		setShift:  log2(uint64(numSets)),
+		sets:      make([][]way, numSets),
+		setMask:   uint64(numSets - 1),
+		classify:  classify,
+	}
+	for i := range c.sets {
+		c.sets[i] = make([]way, assoc)
+	}
+	if classify {
+		c.seen = make(map[uint64]struct{})
+		c.shadow = newLRUStack(int(lines))
+	}
+	return c
+}
+
+func log2(v uint64) uint {
+	var n uint
+	for v > 1 {
+		v >>= 1
+		n++
+	}
+	return n
+}
+
+// Name returns the level label given at construction ("L1", "L2", "L3").
+func (c *Cache) Name() string { return c.name }
+
+// Stats returns a copy of the access counters.
+func (c *Cache) Stats() Stats { return c.stats }
+
+// Reset clears counters and contents (used between experiment repetitions).
+func (c *Cache) Reset() {
+	c.stats = Stats{}
+	c.clock = 0
+	for i := range c.sets {
+		for j := range c.sets[i] {
+			c.sets[i][j] = way{}
+		}
+	}
+	if c.classify {
+		c.seen = make(map[uint64]struct{})
+		c.shadow.reset()
+	}
+}
+
+// Access looks up the line containing addr, filling it on a miss (LRU
+// eviction). It reports whether the access hit.
+func (c *Cache) Access(lineAddr uint64) (hit bool) {
+	c.clock++
+	c.stats.Accesses++
+	set := c.sets[lineAddr&c.setMask]
+	tag := lineAddr >> c.setShift // tag excludes set bits
+	for i := range set {
+		if set[i].valid && set[i].tag == tag {
+			set[i].stamp = c.clock
+			c.stats.Hits++
+			if c.classify {
+				c.shadow.touch(lineAddr)
+			}
+			return true
+		}
+	}
+	c.stats.Misses++
+	if c.classify {
+		if _, ok := c.seen[lineAddr]; !ok {
+			c.seen[lineAddr] = struct{}{}
+			c.stats.Compulsory++
+		} else if c.shadow.contains(lineAddr) {
+			// Fully-associative twin still holds it: limited associativity
+			// is to blame.
+			c.stats.Conflict++
+		} else {
+			c.stats.Capacity++
+		}
+		c.shadow.touch(lineAddr)
+	}
+	// Evict LRU way.
+	victim := 0
+	for i := range set {
+		if !set[i].valid {
+			victim = i
+			break
+		}
+		if set[i].stamp < set[victim].stamp {
+			victim = i
+		}
+	}
+	if set[victim].valid {
+		c.stats.Evictions++
+	}
+	set[victim] = way{tag: tag, valid: true, stamp: c.clock}
+	return false
+}
+
+// Install fills the line without touching the demand hit/miss counters —
+// the effect of a prefetch: later demand accesses to the line hit. It
+// still refreshes LRU state and may evict.
+func (c *Cache) Install(lineAddr uint64) {
+	c.clock++
+	set := c.sets[lineAddr&c.setMask]
+	tag := lineAddr >> c.setShift
+	for i := range set {
+		if set[i].valid && set[i].tag == tag {
+			set[i].stamp = c.clock
+			return
+		}
+	}
+	victim := 0
+	for i := range set {
+		if !set[i].valid {
+			victim = i
+			break
+		}
+		if set[i].stamp < set[victim].stamp {
+			victim = i
+		}
+	}
+	set[victim] = way{tag: tag, valid: true, stamp: c.clock}
+}
+
+// Contains reports whether the line is currently cached, without touching
+// LRU state or counters (used by tests and invariant checks).
+func (c *Cache) Contains(lineAddr uint64) bool {
+	set := c.sets[lineAddr&c.setMask]
+	tag := lineAddr >> c.setShift
+	for i := range set {
+		if set[i].valid && set[i].tag == tag {
+			return true
+		}
+	}
+	return false
+}
+
+// lruStack is a fully-associative LRU cache of line addresses with O(1)
+// touch, backed by a map and an intrusive doubly-linked list.
+type lruStack struct {
+	capacity int
+	nodes    map[uint64]*lruNode
+	head     *lruNode // most recent
+	tail     *lruNode // least recent
+}
+
+type lruNode struct {
+	addr       uint64
+	prev, next *lruNode
+}
+
+func newLRUStack(capacity int) *lruStack {
+	return &lruStack{capacity: capacity, nodes: make(map[uint64]*lruNode)}
+}
+
+func (l *lruStack) reset() {
+	l.nodes = make(map[uint64]*lruNode)
+	l.head, l.tail = nil, nil
+}
+
+func (l *lruStack) contains(addr uint64) bool {
+	_, ok := l.nodes[addr]
+	return ok
+}
+
+func (l *lruStack) unlink(n *lruNode) {
+	if n.prev != nil {
+		n.prev.next = n.next
+	} else {
+		l.head = n.next
+	}
+	if n.next != nil {
+		n.next.prev = n.prev
+	} else {
+		l.tail = n.prev
+	}
+	n.prev, n.next = nil, nil
+}
+
+func (l *lruStack) pushFront(n *lruNode) {
+	n.next = l.head
+	if l.head != nil {
+		l.head.prev = n
+	}
+	l.head = n
+	if l.tail == nil {
+		l.tail = n
+	}
+}
+
+func (l *lruStack) touch(addr uint64) {
+	if n, ok := l.nodes[addr]; ok {
+		if l.head != n {
+			l.unlink(n)
+			l.pushFront(n)
+		}
+		return
+	}
+	if len(l.nodes) >= l.capacity && l.tail != nil {
+		old := l.tail
+		l.unlink(old)
+		delete(l.nodes, old.addr)
+	}
+	n := &lruNode{addr: addr}
+	l.nodes[addr] = n
+	l.pushFront(n)
+}

@@ -1,0 +1,233 @@
+package cache
+
+import (
+	"fmt"
+
+	"cab/internal/topology"
+)
+
+// Latency gives the per-line service cost (in CPU cycles) of each level of
+// the hierarchy. A miss at one level pays the cost of whichever level
+// finally serves the line.
+type Latency struct {
+	L1Hit  int64
+	L2Hit  int64
+	L3Hit  int64
+	Memory int64
+}
+
+// DefaultLatency returns cycle costs in the neighbourhood of the paper's
+// 2.5 GHz Opteron 8380 ("Shanghai") era: fast private levels, a shared L3
+// several times slower, and DRAM an order of magnitude beyond that.
+func DefaultLatency() Latency {
+	return Latency{L1Hit: 3, L2Hit: 15, L3Hit: 45, Memory: 260}
+}
+
+// Options selects optional (and more expensive) instrumentation.
+type Options struct {
+	// Classify enables compulsory/capacity/conflict classification on
+	// every cache (one map entry per distinct line per cache).
+	Classify bool
+	// TrackFootprint records the set of distinct lines each socket has
+	// accessed, measuring the per-socket memory footprint the TRICI
+	// syndrome inflates.
+	TrackFootprint bool
+}
+
+// Hierarchy is the full cache system of one simulated MSMC machine:
+// private L1/L2 per core, shared L3 per socket. It is not safe for
+// concurrent use; the discrete-event engine serializes accesses.
+type Hierarchy struct {
+	topo      topology.Topology
+	lat       Latency
+	lineShift uint
+	l1        []*Cache // per core, nil if L1Bytes == 0
+	l2        []*Cache // per core, nil if L2Bytes == 0
+	l3        []*Cache // per socket
+	footprint []map[uint64]struct{}
+	opts      Options
+
+	prefetched int64
+}
+
+// NewHierarchy builds the cache system for a topology.
+func NewHierarchy(topo topology.Topology, lat Latency, opts Options) *Hierarchy {
+	if err := topo.Validate(); err != nil {
+		panic(fmt.Sprintf("cache: invalid topology: %v", err))
+	}
+	h := &Hierarchy{
+		topo:      topo,
+		lat:       lat,
+		lineShift: log2(uint64(topo.LineBytes)),
+		opts:      opts,
+	}
+	cores := topo.Workers()
+	if topo.L1Bytes > 0 {
+		h.l1 = make([]*Cache, cores)
+		for i := range h.l1 {
+			h.l1[i] = New("L1", topo.L1Bytes, topo.L1Assoc, topo.LineBytes, opts.Classify)
+		}
+	}
+	if topo.L2Bytes > 0 {
+		h.l2 = make([]*Cache, cores)
+		for i := range h.l2 {
+			h.l2[i] = New("L2", topo.L2Bytes, topo.L2Assoc, topo.LineBytes, opts.Classify)
+		}
+	}
+	h.l3 = make([]*Cache, topo.Sockets)
+	for i := range h.l3 {
+		h.l3[i] = New("L3", topo.L3Bytes, topo.L3Assoc, topo.LineBytes, opts.Classify)
+	}
+	if opts.TrackFootprint {
+		h.footprint = make([]map[uint64]struct{}, topo.Sockets)
+		for i := range h.footprint {
+			h.footprint[i] = make(map[uint64]struct{})
+		}
+	}
+	return h
+}
+
+// Topology returns the machine description the hierarchy was built for.
+func (h *Hierarchy) Topology() topology.Topology { return h.topo }
+
+// Latency returns the latency model in use.
+func (h *Hierarchy) Latency() Latency { return h.lat }
+
+// Access charges an access of size bytes at addr issued by core, walking
+// every covered cache line through the hierarchy. It returns the total cost
+// in cycles. Writes are modeled as allocating accesses (write-allocate,
+// no write-back traffic), which is the level of detail the paper's counters
+// reflect.
+func (h *Hierarchy) Access(core int, addr uint64, size int64, write bool) int64 {
+	if size <= 0 {
+		return 0
+	}
+	first := addr >> h.lineShift
+	last := (addr + uint64(size) - 1) >> h.lineShift
+	var cycles int64
+	for line := first; line <= last; line++ {
+		cycles += h.AccessLine(core, line)
+	}
+	_ = write
+	return cycles
+}
+
+// AccessLine services one line-granular access by core and returns its cost.
+func (h *Hierarchy) AccessLine(core int, line uint64) int64 {
+	socket := h.topo.SquadOf(core)
+	if h.footprint != nil {
+		h.footprint[socket][line] = struct{}{}
+	}
+	if h.l1 != nil && h.l1[core].Access(line) {
+		return h.lat.L1Hit
+	}
+	if h.l2 != nil && h.l2[core].Access(line) {
+		return h.lat.L2Hit
+	}
+	if h.l3[socket].Access(line) {
+		return h.lat.L3Hit
+	}
+	return h.lat.Memory
+}
+
+// Prefetch installs every line of [addr, addr+size) into the socket's
+// shared L3 without charging demand-miss latency — the model of the
+// paper's future-work helper-thread prefetching (§VII): an otherwise idle
+// core walks the upcoming data set so the workers' later demand accesses
+// hit in L3. It returns the number of lines installed.
+func (h *Hierarchy) Prefetch(socket int, addr uint64, size int64) int64 {
+	if size <= 0 {
+		return 0
+	}
+	first := addr >> h.lineShift
+	last := (addr + uint64(size) - 1) >> h.lineShift
+	l3 := h.l3[socket]
+	for line := first; line <= last; line++ {
+		l3.Install(line)
+		if h.footprint != nil {
+			h.footprint[socket][line] = struct{}{}
+		}
+	}
+	n := int64(last - first + 1)
+	h.prefetched += n
+	return n
+}
+
+// PrefetchedLines returns the total lines installed via Prefetch.
+func (h *Hierarchy) PrefetchedLines() int64 { return h.prefetched }
+
+// Reset clears all caches and counters (between repetitions).
+func (h *Hierarchy) Reset() {
+	for _, c := range h.l1 {
+		c.Reset()
+	}
+	for _, c := range h.l2 {
+		c.Reset()
+	}
+	for _, c := range h.l3 {
+		c.Reset()
+	}
+	if h.footprint != nil {
+		for i := range h.footprint {
+			h.footprint[i] = make(map[uint64]struct{})
+		}
+	}
+	h.prefetched = 0
+}
+
+// LevelStats aggregates counters per hierarchy level across the machine.
+type LevelStats struct {
+	L1, L2, L3 Stats
+}
+
+// Totals sums the per-cache counters by level, the quantity the paper's
+// Tables IV and Fig. 7 report ("L2 misses" = all private L2s summed,
+// "L3 misses" = all four socket L3s summed).
+func (h *Hierarchy) Totals() LevelStats {
+	var t LevelStats
+	for _, c := range h.l1 {
+		t.L1.add(c.Stats())
+	}
+	for _, c := range h.l2 {
+		t.L2.add(c.Stats())
+	}
+	for _, c := range h.l3 {
+		t.L3.add(c.Stats())
+	}
+	return t
+}
+
+// SocketL3 returns the counters of one socket's shared cache.
+func (h *Hierarchy) SocketL3(socket int) Stats { return h.l3[socket].Stats() }
+
+// CoreL2 returns the counters of one core's private L2 (zero Stats when the
+// topology has no L2).
+func (h *Hierarchy) CoreL2(core int) Stats {
+	if h.l2 == nil {
+		return Stats{}
+	}
+	return h.l2[core].Stats()
+}
+
+// FootprintBytes returns the number of distinct bytes socket has pulled
+// into its caches, or -1 when footprint tracking is disabled.
+func (h *Hierarchy) FootprintBytes(socket int) int64 {
+	if h.footprint == nil {
+		return -1
+	}
+	return int64(len(h.footprint[socket])) * h.topo.LineBytes
+}
+
+// TotalFootprintBytes sums the per-socket footprints — the paper's "overall
+// memory footprint of the system" (lines shared across sockets count once
+// per socket, which is exactly the duplication TRICI causes).
+func (h *Hierarchy) TotalFootprintBytes() int64 {
+	if h.footprint == nil {
+		return -1
+	}
+	var total int64
+	for s := range h.footprint {
+		total += h.FootprintBytes(s)
+	}
+	return total
+}

@@ -1,0 +1,197 @@
+package cache
+
+import (
+	"testing"
+
+	"cab/internal/topology"
+)
+
+func opteron() topology.Topology { return topology.Opteron8380() }
+
+func TestHierarchyColdAccessCostsMemory(t *testing.T) {
+	h := NewHierarchy(opteron(), DefaultLatency(), Options{})
+	cost := h.AccessLine(0, 100)
+	if cost != DefaultLatency().Memory {
+		t.Fatalf("cold access cost = %d, want %d", cost, DefaultLatency().Memory)
+	}
+	// Immediately after, the line is in L1: cost is the L1 hit latency.
+	if cost := h.AccessLine(0, 100); cost != DefaultLatency().L1Hit {
+		t.Fatalf("warm access cost = %d, want %d", cost, DefaultLatency().L1Hit)
+	}
+}
+
+func TestHierarchySharedL3WithinSocket(t *testing.T) {
+	h := NewHierarchy(opteron(), DefaultLatency(), Options{})
+	h.AccessLine(0, 7) // core 0 (socket 0) pulls the line in
+	// Core 1 shares socket 0's L3: private L1/L2 miss, L3 hit.
+	if cost := h.AccessLine(1, 7); cost != DefaultLatency().L3Hit {
+		t.Fatalf("same-socket sibling cost = %d, want L3 hit %d", cost, DefaultLatency().L3Hit)
+	}
+	// Core 4 is in socket 1: full memory cost again (no inter-socket
+	// sharing) — this asymmetry is exactly the TRICI effect CAB exploits.
+	if cost := h.AccessLine(4, 7); cost != DefaultLatency().Memory {
+		t.Fatalf("cross-socket cost = %d, want memory %d", cost, DefaultLatency().Memory)
+	}
+}
+
+func TestHierarchyAccessSplitsLines(t *testing.T) {
+	h := NewHierarchy(opteron(), DefaultLatency(), Options{})
+	// 256 bytes starting mid-line: spans ceil((32+256)/64) = 5 lines.
+	cost := h.Access(0, 32, 256, false)
+	if want := 5 * DefaultLatency().Memory; cost != want {
+		t.Fatalf("multi-line cost = %d, want %d", cost, want)
+	}
+	tot := h.Totals()
+	if tot.L1.Accesses != 5 {
+		t.Fatalf("L1 accesses = %d, want 5", tot.L1.Accesses)
+	}
+}
+
+func TestHierarchyZeroSize(t *testing.T) {
+	h := NewHierarchy(opteron(), DefaultLatency(), Options{})
+	if h.Access(0, 0, 0, false) != 0 {
+		t.Fatal("zero-size access should cost nothing")
+	}
+}
+
+func TestHierarchyNoPrivateLevels(t *testing.T) {
+	// The paper's toy dual-dual machine has only the shared cache.
+	h := NewHierarchy(topology.DualDual(), DefaultLatency(), Options{})
+	if cost := h.AccessLine(0, 1); cost != DefaultLatency().Memory {
+		t.Fatalf("cold = %d, want memory", cost)
+	}
+	if cost := h.AccessLine(0, 1); cost != DefaultLatency().L3Hit {
+		t.Fatalf("warm = %d, want L3 hit (no L1/L2 present)", cost)
+	}
+}
+
+func TestHierarchyTotalsAggregate(t *testing.T) {
+	h := NewHierarchy(opteron(), DefaultLatency(), Options{})
+	for core := 0; core < 16; core++ {
+		h.AccessLine(core, uint64(1000+core))
+	}
+	tot := h.Totals()
+	if tot.L1.Misses != 16 || tot.L2.Misses != 16 {
+		t.Fatalf("private misses = %d/%d, want 16/16", tot.L1.Misses, tot.L2.Misses)
+	}
+	if tot.L3.Misses != 16 {
+		t.Fatalf("L3 misses = %d, want 16 (all distinct lines)", tot.L3.Misses)
+	}
+}
+
+func TestFootprintTracking(t *testing.T) {
+	top := opteron()
+	h := NewHierarchy(top, DefaultLatency(), Options{TrackFootprint: true})
+	// Socket 0 touches lines 0..9, socket 1 touches 5..14: overlap of 5
+	// lines is counted once per socket (duplicated footprint).
+	for l := uint64(0); l < 10; l++ {
+		h.AccessLine(0, l)
+	}
+	for l := uint64(5); l < 15; l++ {
+		h.AccessLine(4, l)
+	}
+	if got := h.FootprintBytes(0); got != 10*top.LineBytes {
+		t.Errorf("socket 0 footprint = %d, want %d", got, 10*top.LineBytes)
+	}
+	if got := h.FootprintBytes(1); got != 10*top.LineBytes {
+		t.Errorf("socket 1 footprint = %d, want %d", got, 10*top.LineBytes)
+	}
+	if got := h.TotalFootprintBytes(); got != 20*top.LineBytes {
+		t.Errorf("total footprint = %d, want %d", got, 20*top.LineBytes)
+	}
+}
+
+func TestFootprintDisabled(t *testing.T) {
+	h := NewHierarchy(opteron(), DefaultLatency(), Options{})
+	if h.FootprintBytes(0) != -1 || h.TotalFootprintBytes() != -1 {
+		t.Fatal("disabled footprint should report -1")
+	}
+}
+
+func TestHierarchyReset(t *testing.T) {
+	h := NewHierarchy(opteron(), DefaultLatency(), Options{TrackFootprint: true})
+	h.AccessLine(0, 42)
+	h.Reset()
+	tot := h.Totals()
+	if tot.L1.Accesses+tot.L2.Accesses+tot.L3.Accesses != 0 {
+		t.Fatal("reset left counters")
+	}
+	if h.FootprintBytes(0) != 0 {
+		t.Fatal("reset left footprint")
+	}
+	if cost := h.AccessLine(0, 42); cost != DefaultLatency().Memory {
+		t.Fatal("reset left cache contents")
+	}
+}
+
+func TestHierarchyPanicsOnInvalidTopology(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	NewHierarchy(topology.Topology{}, DefaultLatency(), Options{})
+}
+
+// The paper's Fig. 2 scenario, quantified: on the dual-socket dual-core toy
+// machine with a 480-byte shared cache, the good placement (neighbouring
+// heat tasks share a socket) incurs fewer shared-cache misses than the bad
+// placement (strided tasks per socket) on a second sweep.
+func TestFig2GoodVsBadPlacement(t *testing.T) {
+	lat := DefaultLatency()
+	const rowBytes = 80 // 10 doubles
+	rowAddr := func(r int) uint64 { return uint64(r * rowBytes) }
+
+	// Leaf task i computes rows base..base+1 reading rows base-1..base+2.
+	touch := func(h *Hierarchy, core int, task int) {
+		base := 1 + task*2
+		for r := base - 1; r <= base+2; r++ {
+			h.Access(core, rowAddr(r), rowBytes, false)
+		}
+	}
+	sweep := func(placement [4]int) (l3Misses int64, footprint int64) {
+		h := NewHierarchy(topology.DualDual(), lat, Options{TrackFootprint: true})
+		for pass := 0; pass < 2; pass++ {
+			for task, core := range placement {
+				touch(h, core, task)
+			}
+		}
+		return h.Totals().L3.Misses, h.TotalFootprintBytes()
+	}
+
+	goodMisses, goodFoot := sweep([4]int{0, 1, 2, 3}) // T4,T5 socket0; T6,T7 socket1
+	badMisses, badFoot := sweep([4]int{0, 2, 1, 3})   // T4,T6 socket0; T5,T7 socket1
+
+	if goodFoot >= badFoot {
+		t.Errorf("good placement footprint %d should be below bad %d", goodFoot, badFoot)
+	}
+	if goodMisses >= badMisses {
+		t.Errorf("good placement L3 misses %d should be below bad %d", goodMisses, badMisses)
+	}
+}
+
+func TestHierarchyPrefetch(t *testing.T) {
+	h := NewHierarchy(opteron(), DefaultLatency(), Options{})
+	n := h.Prefetch(0, 4096, 256) // 4 lines into socket 0's L3
+	if n != 4 {
+		t.Fatalf("Prefetch installed %d lines, want 4", n)
+	}
+	if h.PrefetchedLines() != 4 {
+		t.Fatalf("PrefetchedLines = %d", h.PrefetchedLines())
+	}
+	// Demand access from socket 0 hits in L3 (not L1/L2).
+	if cost := h.AccessLine(0, 4096>>6); cost != DefaultLatency().L3Hit {
+		t.Fatalf("post-prefetch access cost = %d, want L3 hit", cost)
+	}
+	// Socket 1 is unaffected.
+	if cost := h.AccessLine(4, 4096>>6); cost != DefaultLatency().Memory {
+		t.Fatalf("other socket cost = %d, want memory", cost)
+	}
+	if h.Prefetch(0, 0, 0) != 0 {
+		t.Error("zero-size prefetch should install nothing")
+	}
+	h.Reset()
+	if h.PrefetchedLines() != 0 {
+		t.Error("Reset did not clear prefetch counter")
+	}
+}

@@ -1,0 +1,210 @@
+// Package core implements the paper's primary contribution in
+// runtime-agnostic form: the Cache Aware Bi-tier (CAB) model that splits an
+// execution DAG into an inter-socket tier and an intra-socket tier at an
+// automatically chosen boundary level BL (paper §III-B, Eq. 1–4), and the
+// spawn-policy rules attached to each tier (§III-C).
+//
+// Both the real concurrent runtime (internal/rt) and the simulated
+// schedulers (internal/simsched) consume this package, so the partitioning
+// decision is provably identical in both.
+package core
+
+import (
+	"fmt"
+)
+
+// Tier identifies which half of the partitioned DAG a task belongs to.
+type Tier int
+
+const (
+	// TierInter tasks (levels <= BL, BL > 0) are scheduled across sockets
+	// via the per-squad inter-socket pools.
+	TierInter Tier = iota
+	// TierIntra tasks (levels > BL) are confined to the squad that ran
+	// their leaf inter-socket ancestor.
+	TierIntra
+)
+
+// String names the tier as the paper does.
+func (t Tier) String() string {
+	if t == TierInter {
+		return "inter-socket"
+	}
+	return "intra-socket"
+}
+
+// Policy is a task-generation policy (paper §III-C).
+type Policy int
+
+const (
+	// ChildFirst (Cilk's "work-first"): the worker executes the child
+	// immediately, leaving the parent continuation stealable. Used in the
+	// intra-socket tier — space-efficient and good for deep DAGs.
+	ChildFirst Policy = iota
+	// ParentFirst ("help-first"): the worker pushes the child and keeps
+	// running the parent. Used in the inter-socket tier to expand the top
+	// of the DAG quickly and feed all squads.
+	ParentFirst
+)
+
+// String names the policy as the paper does.
+func (p Policy) String() string {
+	if p == ChildFirst {
+		return "child-first"
+	}
+	return "parent-first"
+}
+
+// Params are the four quantities Eq. 4 needs. The paper acquires M and Sc
+// from /proc/cpuinfo and takes B and Sd from the command line (§IV-D).
+type Params struct {
+	Branch      int   // B: branching degree of the recursive divide
+	Sockets     int   // M: number of sockets (squads)
+	InputBytes  int64 // Sd: input data size of the recursive procedure
+	SharedCache int64 // Sc: shared cache capacity per socket
+}
+
+// Validate reports whether the parameters are usable by Eq. 4.
+func (p Params) Validate() error {
+	switch {
+	case p.Branch < 2:
+		return fmt.Errorf("core: branching degree B = %d, need >= 2", p.Branch)
+	case p.Sockets < 1:
+		return fmt.Errorf("core: sockets M = %d, need >= 1", p.Sockets)
+	case p.InputBytes < 0:
+		return fmt.Errorf("core: input size Sd = %d, need >= 0", p.InputBytes)
+	case p.SharedCache <= 0:
+		return fmt.Errorf("core: shared cache Sc = %d, need > 0", p.SharedCache)
+	}
+	return nil
+}
+
+// BoundaryLevel computes BL per Eq. 4:
+//
+//	BL = max(⌈log_B M⌉ + 1, ⌈log_B(Sd/Sc)⌉ + 1)
+//
+// the smallest level satisfying both Eq. 1 (B^(BL-1) >= M leaf inter-socket
+// tasks, one per squad at least) and Eq. 2 (Sd/B^(BL-1) <= Sc, a leaf's
+// data fits the socket's shared cache). Following Algorithm II, BL is 0 on
+// single-socket machines, where CAB degenerates to plain task-stealing.
+func BoundaryLevel(p Params) (int, error) {
+	if err := p.Validate(); err != nil {
+		return 0, err
+	}
+	if p.Sockets == 1 {
+		return 0, nil
+	}
+	bl1 := ceilLogB(int64(p.Sockets), p.Branch) + 1
+	ratio := ceilDiv(p.InputBytes, p.SharedCache)
+	bl2 := ceilLogB(ratio, p.Branch) + 1
+	if bl2 > bl1 {
+		return bl2, nil
+	}
+	return bl1, nil
+}
+
+// LeafInterTasks returns K = B^(BL-1), the number of leaf inter-socket
+// tasks the boundary level produces (0 for BL == 0). The result saturates
+// at math.MaxInt64 / 2 to stay usable in arithmetic.
+func LeafInterTasks(branch, bl int) int64 {
+	if bl <= 0 {
+		return 0
+	}
+	k := int64(1)
+	for i := 1; i < bl; i++ {
+		if k > (1<<62)/int64(branch) {
+			return 1 << 62
+		}
+		k *= int64(branch)
+	}
+	return k
+}
+
+// SatisfiesConstraints reports whether a given BL meets Eq. 1 and Eq. 2
+// individually — used by the Fig. 5 sweep to explain why off-model BL
+// values lose.
+func SatisfiesConstraints(p Params, bl int) (enoughTasks, fitsCache bool) {
+	if bl <= 0 {
+		return false, false
+	}
+	k := LeafInterTasks(p.Branch, bl)
+	enoughTasks = k >= int64(p.Sockets)
+	fitsCache = ceilDiv(p.InputBytes, k) <= p.SharedCache
+	return
+}
+
+// ChildTier classifies a child spawned by a task at parentLevel: cilk2c
+// compares the current task's level with BL — "if the level is smaller
+// than BL, we spawn the child task as an inter-socket task" (§IV-B). With
+// BL = 0 everything is intra-socket (MIT Cilk behaviour).
+func ChildTier(parentLevel, bl int) Tier {
+	if bl > 0 && parentLevel < bl {
+		return TierInter
+	}
+	return TierIntra
+}
+
+// IsLeafInter reports whether a task at the given level is a leaf
+// inter-socket task (the boundary level itself).
+func IsLeafInter(level, bl int) bool { return bl > 0 && level == bl }
+
+// PolicyFor returns the task-generation policy of a tier (§III-C):
+// parent-first above the boundary, child-first below.
+func PolicyFor(t Tier) Policy {
+	if t == TierInter {
+		return ParentFirst
+	}
+	return ChildFirst
+}
+
+// FlatAssign distributes n flat-generated tasks (paper §IV-D: "flat task
+// generating scheme, where all the tasks are generated by a function at one
+// time") over m squads in contiguous blocks, so that tasks on neighbouring
+// data land in the same socket. It returns the squad of each task index.
+func FlatAssign(n, m int) []int {
+	if n <= 0 || m <= 0 {
+		return nil
+	}
+	out := make([]int, n)
+	// Balanced contiguous chunks: the first n%m squads get one extra task,
+	// so every squad receives work whenever n >= m.
+	base, extra := n/m, n%m
+	i := 0
+	for s := 0; s < m && i < n; s++ {
+		sz := base
+		if s < extra {
+			sz++
+		}
+		for j := 0; j < sz; j++ {
+			out[i] = s
+			i++
+		}
+	}
+	return out
+}
+
+// ceilDiv returns ceil(a/b) for a >= 0, b > 0; at least 1 so that the log
+// below is defined even for Sd <= Sc.
+func ceilDiv(a, b int64) int64 {
+	if a <= 0 {
+		return 1
+	}
+	v := (a + b - 1) / b
+	if v < 1 {
+		return 1
+	}
+	return v
+}
+
+// ceilLogB returns ⌈log_B(x)⌉ for x >= 1 using exact integer arithmetic.
+func ceilLogB(x int64, b int) int {
+	if x <= 1 {
+		return 0
+	}
+	l, p := 0, int64(1)
+	for p < x {
+		p *= int64(b)
+		l++
+	}
+	return l
+}

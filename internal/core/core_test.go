@@ -1,0 +1,240 @@
+package core
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+// The paper's worked example (§V-B): heat on a 3k*2k matrix of doubles
+// (Sd = 48 MB), B = 2, M = 4 sockets, Sc = 6 MB:
+// BL = max(⌈log2 4⌉+1, ⌈log2 (48MB/6MB)⌉+1) = max(3, 4) = 4.
+func TestBoundaryLevelPaperExample(t *testing.T) {
+	bl, err := BoundaryLevel(Params{
+		Branch:      2,
+		Sockets:     4,
+		InputBytes:  3072 * 2048 * 8,
+		SharedCache: 6 << 20,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bl != 4 {
+		t.Fatalf("BL = %d, want 4 (paper §V-B)", bl)
+	}
+}
+
+func TestBoundaryLevelTable(t *testing.T) {
+	mb := int64(1) << 20
+	cases := []struct {
+		name string
+		p    Params
+		want int
+	}{
+		// Heat input sizes from Fig. 5 on the 4-socket, 6MB machine.
+		{"512x512 (2MB)", Params{2, 4, 512 * 512 * 8, 6 * mb}, 3},
+		{"1kx1k (8MB)", Params{2, 4, 1024 * 1024 * 8, 6 * mb}, 3},
+		{"2kx2k (32MB)", Params{2, 4, 2048 * 2048 * 8, 6 * mb}, 4},
+		{"3kx2k (48MB)", Params{2, 4, 3072 * 2048 * 8, 6 * mb}, 4},
+		{"4kx4k (128MB)", Params{2, 4, 4096 * 4096 * 8, 6 * mb}, 6},
+		// The socket constraint dominates for tiny inputs.
+		{"tiny input", Params{2, 4, 16, 6 * mb}, 3},
+		{"tiny input 8 sockets", Params{2, 8, 16, 6 * mb}, 4},
+		// Branching degree 4 shrinks the level count.
+		{"B=4", Params{4, 4, 48 * mb, 6 * mb}, 3},
+		// Dual-socket toy machine (Fig. 1/2): Sd = 960B real grid + halo,
+		// Sc = 480B. M=2: BL >= 2; data: 960/480 = 2 -> BL >= 2. BL = 2,
+		// matching "tasks in level 2 are the leaf inter-socket tasks".
+		{"paper toy", Params{2, 2, 960, 480}, 2},
+	}
+	for _, c := range cases {
+		got, err := BoundaryLevel(c.p)
+		if err != nil {
+			t.Errorf("%s: %v", c.name, err)
+			continue
+		}
+		if got != c.want {
+			t.Errorf("%s: BL = %d, want %d", c.name, got, c.want)
+		}
+	}
+}
+
+func TestBoundaryLevelSingleSocket(t *testing.T) {
+	bl, err := BoundaryLevel(Params{Branch: 2, Sockets: 1, InputBytes: 1 << 30, SharedCache: 6 << 20})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bl != 0 {
+		t.Fatalf("BL = %d on single socket, want 0 (Algorithm II step 2)", bl)
+	}
+}
+
+func TestBoundaryLevelValidation(t *testing.T) {
+	bad := []Params{
+		{Branch: 1, Sockets: 4, InputBytes: 1, SharedCache: 1},
+		{Branch: 2, Sockets: 0, InputBytes: 1, SharedCache: 1},
+		{Branch: 2, Sockets: 4, InputBytes: -1, SharedCache: 1},
+		{Branch: 2, Sockets: 4, InputBytes: 1, SharedCache: 0},
+	}
+	for i, p := range bad {
+		if _, err := BoundaryLevel(p); err == nil {
+			t.Errorf("case %d: expected error for %+v", i, p)
+		}
+	}
+}
+
+// Property: the chosen BL is the *smallest* level satisfying both Eq. 1 and
+// Eq. 2 — the defining property of Eq. 4.
+func TestBoundaryLevelMinimality(t *testing.T) {
+	f := func(b8, m8 uint8, sd32 uint32, scExp uint8) bool {
+		p := Params{
+			Branch:      int(b8%7) + 2,              // 2..8
+			Sockets:     int(m8%15) + 2,             // 2..16 (multi-socket)
+			InputBytes:  int64(sd32),                // 0..4G
+			SharedCache: int64(1) << (scExp%26 + 5), // 32B..1G
+		}
+		bl, err := BoundaryLevel(p)
+		if err != nil {
+			return false
+		}
+		okTasks, okCache := SatisfiesConstraints(p, bl)
+		if !okTasks || !okCache {
+			return false // chosen BL violates a constraint
+		}
+		if bl > 1 {
+			t1, t2 := SatisfiesConstraints(p, bl-1)
+			if t1 && t2 {
+				return false // a smaller BL would also satisfy both
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestLeafInterTasks(t *testing.T) {
+	cases := []struct {
+		b, bl int
+		want  int64
+	}{
+		{2, 0, 0}, {2, 1, 1}, {2, 2, 2}, {2, 4, 8}, {3, 3, 9}, {2, 6, 32},
+	}
+	for _, c := range cases {
+		if got := LeafInterTasks(c.b, c.bl); got != c.want {
+			t.Errorf("LeafInterTasks(%d,%d) = %d, want %d", c.b, c.bl, got, c.want)
+		}
+	}
+	if got := LeafInterTasks(2, 200); got != 1<<62 {
+		t.Errorf("saturation failed: %d", got)
+	}
+}
+
+func TestChildTier(t *testing.T) {
+	// BL = 2 (the Fig. 1 example): main (level 0) spawns level 1 -> inter;
+	// level 1 spawns level 2 (leaf inter tasks) -> inter; level 2 spawns
+	// level 3 (T4..T7) -> intra.
+	bl := 2
+	if ChildTier(0, bl) != TierInter {
+		t.Error("level-0 parent should spawn inter children")
+	}
+	if ChildTier(1, bl) != TierInter {
+		t.Error("level-1 parent should spawn inter children (the leaf inter tasks)")
+	}
+	if ChildTier(2, bl) != TierIntra {
+		t.Error("leaf inter tasks spawn intra children")
+	}
+	if ChildTier(5, bl) != TierIntra {
+		t.Error("deep levels are intra")
+	}
+	// BL = 0: everything intra (plain Cilk).
+	for lvl := 0; lvl < 5; lvl++ {
+		if ChildTier(lvl, 0) != TierIntra {
+			t.Errorf("BL=0 level %d: want intra", lvl)
+		}
+	}
+}
+
+func TestIsLeafInter(t *testing.T) {
+	if !IsLeafInter(2, 2) || IsLeafInter(1, 2) || IsLeafInter(3, 2) || IsLeafInter(0, 0) {
+		t.Fatal("IsLeafInter misclassifies")
+	}
+}
+
+func TestPolicyFor(t *testing.T) {
+	if PolicyFor(TierInter) != ParentFirst {
+		t.Error("inter tier must use parent-first")
+	}
+	if PolicyFor(TierIntra) != ChildFirst {
+		t.Error("intra tier must use child-first")
+	}
+}
+
+func TestTierAndPolicyStrings(t *testing.T) {
+	if TierInter.String() != "inter-socket" || TierIntra.String() != "intra-socket" {
+		t.Error("Tier.String")
+	}
+	if ChildFirst.String() != "child-first" || ParentFirst.String() != "parent-first" {
+		t.Error("Policy.String")
+	}
+}
+
+func TestFlatAssign(t *testing.T) {
+	got := FlatAssign(8, 4)
+	want := []int{0, 0, 1, 1, 2, 2, 3, 3}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("FlatAssign(8,4) = %v, want %v", got, want)
+		}
+	}
+	if FlatAssign(0, 4) != nil || FlatAssign(4, 0) != nil {
+		t.Error("degenerate inputs should return nil")
+	}
+}
+
+// Property: FlatAssign is contiguous, covers all squads when n >= m, and
+// never returns an out-of-range squad.
+func TestFlatAssignProperty(t *testing.T) {
+	f := func(n16 uint16, m8 uint8) bool {
+		n, m := int(n16%512)+1, int(m8%16)+1
+		a := FlatAssign(n, m)
+		if len(a) != n {
+			return false
+		}
+		prev := 0
+		used := map[int]bool{}
+		for _, s := range a {
+			if s < 0 || s >= m || s < prev {
+				return false // out of range or non-monotone
+			}
+			prev = s
+			used[s] = true
+		}
+		if n >= m && len(used) != m {
+			return false // some squad got no work
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 1000}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSatisfiesConstraints(t *testing.T) {
+	p := Params{Branch: 2, Sockets: 4, InputBytes: 48 << 20, SharedCache: 6 << 20}
+	// BL=3: K=4 >= 4 sockets, but 48MB/4 = 12MB > 6MB.
+	tasks, fits := SatisfiesConstraints(p, 3)
+	if !tasks || fits {
+		t.Errorf("BL=3: tasks=%v fits=%v, want true,false", tasks, fits)
+	}
+	// BL=4: K=8, 6MB per leaf: both hold.
+	tasks, fits = SatisfiesConstraints(p, 4)
+	if !tasks || !fits {
+		t.Errorf("BL=4: tasks=%v fits=%v, want true,true", tasks, fits)
+	}
+	// BL=0 satisfies nothing.
+	tasks, fits = SatisfiesConstraints(p, 0)
+	if tasks || fits {
+		t.Error("BL=0 should satisfy neither constraint")
+	}
+}

@@ -1,0 +1,223 @@
+// Package deque provides the two task-pool flavours the CAB runtime uses
+// (paper Fig. 3): a lock-free Chase–Lev work-stealing deque for the
+// per-worker intra-socket pools, and a mutex-guarded deque for the
+// per-squad inter-socket pools, whose contention the protocol already
+// bounds by letting only head workers steal from them.
+//
+// Both deques hold pointers: the owner pushes and pops at the bottom
+// (LIFO, preserving depth-first locality), thieves steal from the top
+// (FIFO, taking the oldest — largest — tasks first).
+package deque
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+const minRingSize = 8
+
+type ring[T any] struct {
+	mask  int64
+	slots []atomic.Pointer[T]
+}
+
+func newRing[T any](size int64) *ring[T] {
+	return &ring[T]{mask: size - 1, slots: make([]atomic.Pointer[T], size)}
+}
+
+func (r *ring[T]) size() int64       { return r.mask + 1 }
+func (r *ring[T]) get(i int64) *T    { return r.slots[i&r.mask].Load() }
+func (r *ring[T]) put(i int64, x *T) { r.slots[i&r.mask].Store(x) }
+
+// Deque is a lock-free Chase–Lev work-stealing deque of *T. The zero value
+// is ready to use. Push and Pop may only be called by the single owner;
+// Steal may be called by any number of thieves concurrently.
+type Deque[T any] struct {
+	top    atomic.Int64
+	bottom atomic.Int64
+	buf    atomic.Pointer[ring[T]]
+}
+
+// NewDeque returns an empty deque with a small initial ring.
+func NewDeque[T any]() *Deque[T] {
+	d := &Deque[T]{}
+	d.buf.Store(newRing[T](minRingSize))
+	return d
+}
+
+func (d *Deque[T]) ring() *ring[T] {
+	r := d.buf.Load()
+	if r == nil {
+		r = newRing[T](minRingSize)
+		if !d.buf.CompareAndSwap(nil, r) {
+			r = d.buf.Load()
+		}
+	}
+	return r
+}
+
+// Push adds x at the bottom. Owner only.
+func (d *Deque[T]) Push(x *T) {
+	b := d.bottom.Load()
+	t := d.top.Load()
+	r := d.ring()
+	if b-t >= r.size()-1 {
+		// Grow: copy live range into a ring twice the size and publish it.
+		bigger := newRing[T](r.size() * 2)
+		for i := t; i < b; i++ {
+			bigger.put(i, r.get(i))
+		}
+		d.buf.Store(bigger)
+		r = bigger
+	}
+	r.put(b, x)
+	d.bottom.Store(b + 1)
+}
+
+// Pop removes and returns the most recently pushed element, or nil if the
+// deque is empty. Owner only.
+func (d *Deque[T]) Pop() *T {
+	b := d.bottom.Load() - 1
+	r := d.ring()
+	d.bottom.Store(b)
+	t := d.top.Load()
+	if t > b {
+		// Empty: restore bottom.
+		d.bottom.Store(b + 1)
+		return nil
+	}
+	x := r.get(b)
+	if t == b {
+		// Last element: race against thieves for it.
+		if !d.top.CompareAndSwap(t, t+1) {
+			x = nil // a thief won
+		}
+		d.bottom.Store(b + 1)
+	}
+	return x
+}
+
+// Steal removes and returns the oldest element, or nil if the deque is
+// empty or the steal lost a race (callers treat both as "try elsewhere").
+func (d *Deque[T]) Steal() *T {
+	t := d.top.Load()
+	b := d.bottom.Load()
+	if t >= b {
+		return nil
+	}
+	r := d.ring()
+	x := r.get(t)
+	if !d.top.CompareAndSwap(t, t+1) {
+		return nil
+	}
+	return x
+}
+
+// Len returns a linearizable-enough snapshot of the current size; it may be
+// stale by the time it returns and is intended for monitoring and victim
+// selection heuristics only.
+func (d *Deque[T]) Len() int {
+	n := d.bottom.Load() - d.top.Load()
+	if n < 0 {
+		return 0
+	}
+	return int(n)
+}
+
+// Empty reports whether the deque looked empty at the time of the call.
+func (d *Deque[T]) Empty() bool { return d.Len() == 0 }
+
+// Locked is a mutex-guarded deque of *T used for the per-squad inter-socket
+// task pools. All operations are safe for concurrent use. The paper's
+// protocol bounds its contention: within a squad only the head worker
+// touches it, so at most M workers (one per squad) ever compete.
+type Locked[T any] struct {
+	mu    sync.Mutex
+	items []*T
+}
+
+// NewLocked returns an empty locked deque.
+func NewLocked[T any]() *Locked[T] { return &Locked[T]{} }
+
+// Push adds x at the bottom (the "new tasks" end).
+func (l *Locked[T]) Push(x *T) {
+	l.mu.Lock()
+	l.items = append(l.items, x)
+	l.mu.Unlock()
+}
+
+// Pop removes and returns the newest element, or nil if empty. Used by a
+// squad's head worker obtaining a task from its own inter-socket pool.
+func (l *Locked[T]) Pop() *T {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	n := len(l.items)
+	if n == 0 {
+		return nil
+	}
+	x := l.items[n-1]
+	l.items[n-1] = nil
+	l.items = l.items[:n-1]
+	return x
+}
+
+// Steal removes and returns the oldest element, or nil if empty. Used by
+// other squads' head workers stealing across sockets.
+func (l *Locked[T]) Steal() *T {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if len(l.items) == 0 {
+		return nil
+	}
+	x := l.items[0]
+	l.items[0] = nil
+	l.items = l.items[1:]
+	return x
+}
+
+// StealMatch removes and returns the oldest element satisfying match, or
+// nil if none does. Affinity-aware thieves use it to take only work hinted
+// at them, falling back to Steal when starved.
+func (l *Locked[T]) StealMatch(match func(*T) bool) *T {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	for i, x := range l.items {
+		if match(x) {
+			l.items = append(l.items[:i], l.items[i+1:]...)
+			return x
+		}
+	}
+	return nil
+}
+
+// StealHalf removes and returns the oldest ceil(n/2) elements (oldest
+// first), implementing Hendler & Shavit's steal-half policy, which the
+// paper cites as orthogonal to CAB and integrable with it. It returns nil
+// when the deque is empty.
+func (l *Locked[T]) StealHalf() []*T {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	n := len(l.items)
+	if n == 0 {
+		return nil
+	}
+	k := (n + 1) / 2
+	out := make([]*T, k)
+	copy(out, l.items[:k])
+	copy(l.items, l.items[k:])
+	for i := n - k; i < n; i++ {
+		l.items[i] = nil
+	}
+	l.items = l.items[:n-k]
+	return out
+}
+
+// Len returns the current number of elements.
+func (l *Locked[T]) Len() int {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return len(l.items)
+}
+
+// Empty reports whether the deque is currently empty.
+func (l *Locked[T]) Empty() bool { return l.Len() == 0 }

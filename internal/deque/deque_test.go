@@ -1,0 +1,378 @@
+package deque
+
+import (
+	"sync"
+	"sync/atomic"
+	"testing"
+	"testing/quick"
+
+	"cab/internal/xrand"
+)
+
+func TestDequeLIFOOwner(t *testing.T) {
+	d := NewDeque[int]()
+	vals := []int{1, 2, 3, 4, 5}
+	for i := range vals {
+		d.Push(&vals[i])
+	}
+	for i := len(vals) - 1; i >= 0; i-- {
+		got := d.Pop()
+		if got == nil || *got != vals[i] {
+			t.Fatalf("Pop = %v, want %d", got, vals[i])
+		}
+	}
+	if d.Pop() != nil {
+		t.Fatal("Pop on empty deque should return nil")
+	}
+}
+
+func TestDequeStealFIFO(t *testing.T) {
+	d := NewDeque[int]()
+	vals := []int{10, 20, 30}
+	for i := range vals {
+		d.Push(&vals[i])
+	}
+	for i := 0; i < len(vals); i++ {
+		got := d.Steal()
+		if got == nil || *got != vals[i] {
+			t.Fatalf("Steal = %v, want %d", got, vals[i])
+		}
+	}
+	if d.Steal() != nil {
+		t.Fatal("Steal on empty deque should return nil")
+	}
+}
+
+func TestDequeZeroValue(t *testing.T) {
+	var d Deque[int]
+	if d.Pop() != nil || d.Steal() != nil || d.Len() != 0 {
+		t.Fatal("zero-value deque should behave as empty")
+	}
+	x := 7
+	d.Push(&x)
+	if got := d.Pop(); got == nil || *got != 7 {
+		t.Fatal("push/pop on zero-value deque failed")
+	}
+}
+
+func TestDequeGrowth(t *testing.T) {
+	d := NewDeque[int]()
+	const n = 10_000 // forces several ring growths from minRingSize
+	vals := make([]int, n)
+	for i := range vals {
+		vals[i] = i
+		d.Push(&vals[i])
+	}
+	if d.Len() != n {
+		t.Fatalf("Len = %d, want %d", d.Len(), n)
+	}
+	for i := n - 1; i >= 0; i-- {
+		got := d.Pop()
+		if got == nil || *got != i {
+			t.Fatalf("Pop after growth = %v, want %d", got, i)
+		}
+	}
+}
+
+func TestDequeInterleavedPushPopSteal(t *testing.T) {
+	d := NewDeque[int]()
+	rng := xrand.New(3)
+	var ref []int // reference: ints currently inside
+	vals := make([]int, 0, 4096)
+	for op := 0; op < 4096; op++ {
+		switch rng.Intn(3) {
+		case 0:
+			vals = append(vals, op)
+			d.Push(&vals[len(vals)-1])
+			ref = append(ref, op)
+		case 1:
+			got := d.Pop()
+			if len(ref) == 0 {
+				if got != nil {
+					t.Fatalf("Pop = %d on empty", *got)
+				}
+			} else {
+				want := ref[len(ref)-1]
+				ref = ref[:len(ref)-1]
+				if got == nil || *got != want {
+					t.Fatalf("Pop = %v, want %d", got, want)
+				}
+			}
+		case 2:
+			got := d.Steal()
+			if len(ref) == 0 {
+				if got != nil {
+					t.Fatalf("Steal = %d on empty", *got)
+				}
+			} else {
+				want := ref[0]
+				ref = ref[1:]
+				if got == nil || *got != want {
+					t.Fatalf("Steal = %v, want %d", got, want)
+				}
+			}
+		}
+	}
+}
+
+// TestDequeConcurrentConservation checks the fundamental safety property
+// under concurrency: every pushed element is extracted exactly once, by
+// either the owner or a thief, and nothing is duplicated or lost.
+func TestDequeConcurrentConservation(t *testing.T) {
+	const (
+		numThieves = 4
+		numItems   = 50_000
+	)
+	d := NewDeque[int64]()
+	var taken [numItems]atomic.Int32
+	var extracted atomic.Int64
+
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	for i := 0; i < numThieves; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				if x := d.Steal(); x != nil {
+					taken[*x].Add(1)
+					extracted.Add(1)
+					continue
+				}
+				select {
+				case <-stop:
+					// Drain once more after the owner finished.
+					for {
+						x := d.Steal()
+						if x == nil {
+							return
+						}
+						taken[*x].Add(1)
+						extracted.Add(1)
+					}
+				default:
+				}
+			}
+		}()
+	}
+
+	vals := make([]int64, numItems)
+	rng := xrand.New(17)
+	for i := 0; i < numItems; i++ {
+		vals[i] = int64(i)
+		d.Push(&vals[i])
+		if rng.Intn(3) == 0 {
+			if x := d.Pop(); x != nil {
+				taken[*x].Add(1)
+				extracted.Add(1)
+			}
+		}
+	}
+	// Owner drains its own deque.
+	for {
+		x := d.Pop()
+		if x == nil {
+			break
+		}
+		taken[*x].Add(1)
+		extracted.Add(1)
+	}
+	close(stop)
+	wg.Wait()
+	// Thieves may still find elements between the owner's final nil Pop and
+	// close(stop); the per-item counters are the ground truth.
+	for i := range taken {
+		if n := taken[i].Load(); n != 1 {
+			t.Fatalf("item %d extracted %d times, want exactly once", i, n)
+		}
+	}
+	if extracted.Load() != numItems {
+		t.Fatalf("extracted %d, want %d", extracted.Load(), numItems)
+	}
+}
+
+func TestLockedLIFOAndFIFO(t *testing.T) {
+	l := NewLocked[int]()
+	vals := []int{1, 2, 3, 4}
+	for i := range vals {
+		l.Push(&vals[i])
+	}
+	if got := l.Pop(); got == nil || *got != 4 {
+		t.Fatalf("Pop = %v, want 4", got)
+	}
+	if got := l.Steal(); got == nil || *got != 1 {
+		t.Fatalf("Steal = %v, want 1", got)
+	}
+	if l.Len() != 2 {
+		t.Fatalf("Len = %d, want 2", l.Len())
+	}
+	if got := l.Steal(); got == nil || *got != 2 {
+		t.Fatalf("Steal = %v, want 2", got)
+	}
+	if got := l.Pop(); got == nil || *got != 3 {
+		t.Fatalf("Pop = %v, want 3", got)
+	}
+	if !l.Empty() {
+		t.Fatal("deque should be empty")
+	}
+	if l.Pop() != nil || l.Steal() != nil {
+		t.Fatal("operations on empty locked deque must return nil")
+	}
+}
+
+func TestLockedZeroValue(t *testing.T) {
+	var l Locked[int]
+	if l.Pop() != nil || l.Steal() != nil {
+		t.Fatal("zero-value locked deque should behave as empty")
+	}
+}
+
+func TestLockedConcurrent(t *testing.T) {
+	l := NewLocked[int]()
+	const n = 10_000
+	vals := make([]int, n)
+	var wg sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := w; i < n; i += 4 {
+				vals[i] = i
+				l.Push(&vals[i])
+			}
+		}(w)
+	}
+	wg.Wait()
+	seen := map[int]bool{}
+	for {
+		x := l.Steal()
+		if x == nil {
+			break
+		}
+		if seen[*x] {
+			t.Fatalf("duplicate element %d", *x)
+		}
+		seen[*x] = true
+	}
+	if len(seen) != n {
+		t.Fatalf("drained %d elements, want %d", len(seen), n)
+	}
+}
+
+// Property: for any sequence of pushes followed by any split of pops and
+// steals, the deque yields each element exactly once, pops from the newest
+// end and steals from the oldest end.
+func TestDequeQuickProperty(t *testing.T) {
+	f := func(nPush uint8, seed uint64) bool {
+		n := int(nPush%64) + 1
+		d := NewDeque[int]()
+		vals := make([]int, n)
+		for i := 0; i < n; i++ {
+			vals[i] = i
+			d.Push(&vals[i])
+		}
+		rng := xrand.New(seed)
+		lo, hi := 0, n-1
+		for lo <= hi {
+			if rng.Intn(2) == 0 {
+				got := d.Pop()
+				if got == nil || *got != hi {
+					return false
+				}
+				hi--
+			} else {
+				got := d.Steal()
+				if got == nil || *got != lo {
+					return false
+				}
+				lo++
+			}
+		}
+		return d.Pop() == nil && d.Steal() == nil
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func BenchmarkDequePushPop(b *testing.B) {
+	d := NewDeque[int]()
+	x := 1
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		d.Push(&x)
+		d.Pop()
+	}
+}
+
+func BenchmarkLockedPushPop(b *testing.B) {
+	l := NewLocked[int]()
+	x := 1
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		l.Push(&x)
+		l.Pop()
+	}
+}
+
+func BenchmarkDequeSteal(b *testing.B) {
+	d := NewDeque[int]()
+	x := 1
+	for i := 0; i < b.N; i++ {
+		d.Push(&x)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		d.Steal()
+	}
+}
+
+func TestLockedStealHalf(t *testing.T) {
+	l := NewLocked[int]()
+	vals := []int{1, 2, 3, 4, 5}
+	for i := range vals {
+		l.Push(&vals[i])
+	}
+	batch := l.StealHalf() // ceil(5/2) = 3 oldest
+	if len(batch) != 3 {
+		t.Fatalf("StealHalf returned %d items, want 3", len(batch))
+	}
+	for i, want := range []int{1, 2, 3} {
+		if *batch[i] != want {
+			t.Errorf("batch[%d] = %d, want %d", i, *batch[i], want)
+		}
+	}
+	if l.Len() != 2 {
+		t.Fatalf("Len = %d after StealHalf, want 2", l.Len())
+	}
+	if got := l.Steal(); got == nil || *got != 4 {
+		t.Errorf("next Steal = %v, want 4", got)
+	}
+	if l.StealHalf() == nil {
+		t.Error("StealHalf on 1 element should return it")
+	}
+	if l.StealHalf() != nil {
+		t.Error("StealHalf on empty should return nil")
+	}
+}
+
+func TestLockedStealMatch(t *testing.T) {
+	l := NewLocked[int]()
+	vals := []int{10, 21, 30, 41}
+	for i := range vals {
+		l.Push(&vals[i])
+	}
+	odd := func(x *int) bool { return *x%2 == 1 }
+	if got := l.StealMatch(odd); got == nil || *got != 21 {
+		t.Fatalf("StealMatch = %v, want oldest odd 21", got)
+	}
+	if got := l.StealMatch(odd); got == nil || *got != 41 {
+		t.Fatalf("StealMatch = %v, want 41", got)
+	}
+	if l.StealMatch(odd) != nil {
+		t.Fatal("no odd elements remain")
+	}
+	if l.Len() != 2 {
+		t.Fatalf("Len = %d, want 2", l.Len())
+	}
+}

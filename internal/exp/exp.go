@@ -1,0 +1,219 @@
+// Package exp defines the reproduction experiments: one per table and
+// figure of the paper's evaluation (§V), plus the ablations DESIGN.md
+// calls out. Each experiment runs workloads on the simulated Opteron 8380
+// under the schedulers being compared and renders a paper-style table
+// alongside machine-checkable key figures.
+package exp
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+
+	"cab/internal/simengine"
+	"cab/internal/simsched"
+	"cab/internal/tablefmt"
+	"cab/internal/topology"
+	"cab/internal/workloads"
+
+	"cab/internal/cache"
+	"cab/internal/core"
+)
+
+// Result is one experiment's output.
+type Result struct {
+	// Tables are the rendered paper-style outputs.
+	Tables []*tablefmt.Table
+	// Values holds the key numbers by name (e.g. "Heat.gain") so tests
+	// and EXPERIMENTS.md can assert the reproduced shape.
+	Values map[string]float64
+}
+
+// Value returns a named value (0 if absent).
+func (r *Result) Value(name string) float64 { return r.Values[name] }
+
+// SortedValueNames lists value keys deterministically.
+func (r *Result) SortedValueNames() []string {
+	names := make([]string, 0, len(r.Values))
+	for k := range r.Values {
+		names = append(names, k)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// Experiment is one reproducible artifact of the paper.
+type Experiment struct {
+	ID    string // e.g. "fig4"
+	Title string
+	// Paper summarizes what the paper reports, for EXPERIMENTS.md.
+	Paper string
+	Run   func(p Params) (*Result, error)
+}
+
+// Params control experiment cost and reproducibility.
+type Params struct {
+	// Scale multiplies the paper's input dimensions; 1.0 reproduces the
+	// paper's configuration, smaller values keep tests fast.
+	Scale float64
+	// Seed drives every randomized decision.
+	Seed uint64
+	// Verify re-checks workload results against serial references
+	// (roughly doubles runtime).
+	Verify bool
+}
+
+// DefaultParams is the full-scale configuration used by cmd/cabbench.
+func DefaultParams() Params { return Params{Scale: 1.0, Seed: 42} }
+
+func (p Params) dim(base int) int {
+	if p.Scale <= 0 {
+		p.Scale = 1
+	}
+	v := int(float64(base) * p.Scale)
+	// Keep dimensions multiples of 256 so heat/SOR recursions retain
+	// enough levels for the BL sweeps.
+	if v < 256 {
+		v = 256
+	}
+	return v &^ 0xff
+}
+
+// All returns every experiment, in presentation order.
+func All() []Experiment {
+	return []Experiment{
+		Tab3(),
+		Fig4(),
+		Tab4(),
+		Fig5(),
+		Fig6(),
+		Fig7(),
+		Fig8(),
+		Tier(),
+		Flat(),
+		Share(),
+		Bounds(),
+		Ablation(),
+		Prefetch(),
+		StealHalf(),
+		Machines(),
+		Slaw(),
+		Seeds(),
+	}
+}
+
+// ByID finds an experiment.
+func ByID(id string) (Experiment, bool) {
+	for _, e := range All() {
+		if e.ID == id {
+			return e, true
+		}
+	}
+	return Experiment{}, false
+}
+
+// runCfg names one simulated run for the memo table.
+type runCfg struct {
+	spec    workloads.Spec
+	sched   string // "cab", "cilk", "sharing"
+	bl      int    // -1 = auto (Eq. 4)
+	seed    uint64
+	opts    simsched.CABOptions
+	machine topology.Topology
+	verify  bool
+}
+
+var (
+	memoMu sync.Mutex
+	memo   = map[string]simengine.Stats{}
+)
+
+// ResetMemo clears the cross-experiment run cache (tests).
+func ResetMemo() {
+	memoMu.Lock()
+	memo = map[string]simengine.Stats{}
+	memoMu.Unlock()
+}
+
+func (c runCfg) key() string {
+	return fmt.Sprintf("%s/%s/%d/%d|%s|%d|%d|%+v|%dx%d:%d|%v",
+		c.spec.Name, c.spec.Description, c.spec.InputBytes, c.spec.Branch,
+		c.sched, c.bl, c.seed, c.opts,
+		c.machine.Sockets, c.machine.CoresPerSocket, c.machine.L3Bytes, c.verify)
+}
+
+// run executes one simulated run (memoized: Fig. 4 / Table IV and
+// Fig. 6 / Fig. 7 share their underlying runs, like the paper's).
+func run(c runCfg) (simengine.Stats, error) {
+	memoMu.Lock()
+	if st, ok := memo[c.key()]; ok {
+		memoMu.Unlock()
+		return st, nil
+	}
+	memoMu.Unlock()
+
+	bl := 0
+	if c.sched == "cab" {
+		bl = c.bl
+		if bl < 0 {
+			var err error
+			bl, err = core.BoundaryLevel(core.Params{
+				Branch:      c.spec.Branch,
+				Sockets:     c.machine.Sockets,
+				InputBytes:  c.spec.InputBytes,
+				SharedCache: c.machine.SharedCacheBytes(),
+			})
+			if err != nil {
+				return simengine.Stats{}, err
+			}
+		}
+	}
+	var sched simengine.Scheduler
+	switch c.sched {
+	case "cab":
+		sched = simsched.NewCABOpts(c.opts)
+	case "cilk":
+		sched = simsched.NewCilk()
+	case "sharing":
+		sched = simsched.NewSharing()
+	case "slaw":
+		sched = simsched.NewSLAW()
+	default:
+		return simengine.Stats{}, fmt.Errorf("exp: unknown scheduler %q", c.sched)
+	}
+	eng, err := simengine.New(simengine.Config{
+		Topo:    c.machine,
+		Latency: cache.DefaultLatency(),
+		Cost:    simengine.DefaultCost(),
+		Seed:    c.seed,
+		BL:      bl,
+	}, sched)
+	if err != nil {
+		return simengine.Stats{}, err
+	}
+	inst := c.spec.Make()
+	st, err := eng.Run(inst.Root)
+	if err != nil {
+		return simengine.Stats{}, err
+	}
+	if c.verify {
+		if verr := inst.Verify(); verr != nil {
+			return simengine.Stats{}, fmt.Errorf("exp: %s under %s: %w", c.spec.Name, c.sched, verr)
+		}
+	}
+	memoMu.Lock()
+	memo[c.key()] = st
+	memoMu.Unlock()
+	return st, nil
+}
+
+// opteron is the simulated testbed for all experiments.
+func opteron() topology.Topology { return topology.Opteron8380() }
+
+// gain returns the paper's "performance gain": (base-v)/base.
+func gain(base, v float64) float64 {
+	if base == 0 {
+		return 0
+	}
+	return (base - v) / base
+}

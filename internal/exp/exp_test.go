@@ -1,0 +1,318 @@
+package exp
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+
+	"cab/internal/workloads"
+)
+
+// Experiments run at reduced scale in tests; the asserted shapes are the
+// ones that are robust at that scale (EXPERIMENTS.md records the
+// full-scale results).
+func testParams() Params { return Params{Scale: 0.5, Seed: 42} }
+
+func mustRun(t *testing.T, id string, p Params) *Result {
+	t.Helper()
+	e, ok := ByID(id)
+	if !ok {
+		t.Fatalf("unknown experiment %q", id)
+	}
+	res, err := e.Run(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Tables) == 0 {
+		t.Fatal("no tables produced")
+	}
+	for _, tab := range res.Tables {
+		if tab.NumRows() == 0 {
+			t.Fatalf("empty table %q", tab.Caption())
+		}
+	}
+	return res
+}
+
+func TestAllHaveUniqueIDs(t *testing.T) {
+	seen := map[string]bool{}
+	for _, e := range All() {
+		if e.ID == "" || e.Title == "" || e.Paper == "" || e.Run == nil {
+			t.Errorf("experiment %+v incomplete", e.ID)
+		}
+		if seen[e.ID] {
+			t.Errorf("duplicate ID %q", e.ID)
+		}
+		seen[e.ID] = true
+	}
+	if len(seen) != 17 {
+		t.Errorf("expected 17 experiments, got %d", len(seen))
+	}
+}
+
+func TestByID(t *testing.T) {
+	if _, ok := ByID("fig4"); !ok {
+		t.Error("fig4 missing")
+	}
+	if _, ok := ByID("nope"); ok {
+		t.Error("bogus ID resolved")
+	}
+}
+
+func TestTab3(t *testing.T) {
+	res := mustRun(t, "tab3", testParams())
+	if res.Value("memoryBound") != 4 {
+		t.Errorf("memoryBound = %v, want 4", res.Value("memoryBound"))
+	}
+}
+
+func TestFig4Shape(t *testing.T) {
+	res := mustRun(t, "fig4", testParams())
+	// The strongly memory-bound kernels must show a clear CAB gain even at
+	// half scale. (Mergesort's gain only emerges at the paper's full input
+	// size; see EXPERIMENTS.md.)
+	for _, app := range []string{"Heat", "SOR", "GE"} {
+		if g := res.Value(app + ".gain"); g < 0.10 {
+			t.Errorf("%s gain = %.1f%%, want >= 10%%", app, g*100)
+		}
+	}
+}
+
+func TestTab4Shape(t *testing.T) {
+	res := mustRun(t, "tab4", testParams())
+	for _, app := range []string{"Heat", "SOR"} {
+		if r := res.Value(app + ".l3reduction"); r < 0.3 {
+			t.Errorf("%s L3 reduction = %.1f%%, want >= 30%%", app, r*100)
+		}
+	}
+	// The paper's signature asymmetry on heat: the shared-cache (L3)
+	// reduction dominates the private-cache (L2) one.
+	if res.Value("Heat.l3reduction") <= res.Value("Heat.l2reduction") {
+		t.Errorf("heat: L3 reduction %.2f should exceed L2 reduction %.2f",
+			res.Value("Heat.l3reduction"), res.Value("Heat.l2reduction"))
+	}
+}
+
+func TestFig5Shape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("BL sweep is slow")
+	}
+	p := testParams()
+	res := mustRun(t, "fig5", p)
+	// Eq. 4's choice must essentially match the empirical best (the
+	// paper's claim); neighbouring BLs often tie once both reach
+	// compulsory-only misses, so assert on the time ratio.
+	for _, sz := range fig5Sizes() {
+		name := fmt.Sprintf("%dx%d", p.dim(sz[0]), p.dim(sz[1]))
+		if ratio := res.Value(name + ".autoVsBest"); ratio == 0 || ratio > 1.10 {
+			t.Errorf("%s: Eq.4's BL is %.2fx the empirical best (want <= 1.10)", name, ratio)
+		}
+	}
+}
+
+func TestFig6Shape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("scalability sweep is slow")
+	}
+	p := testParams()
+	res := mustRun(t, "fig6", p)
+	smallName := fmt.Sprintf("%dx%d", p.dim(512), p.dim(512))
+	largeName := fmt.Sprintf("%dx%d", p.dim(4096), p.dim(4096))
+	// Diminishing-gain shape: the smallest grid gains more than the
+	// largest for both kernels.
+	for _, k := range []string{"heat", "sor"} {
+		small := res.Value(k + "." + smallName + ".gain")
+		large := res.Value(k + "." + largeName + ".gain")
+		if small <= large {
+			t.Errorf("%s: small-input gain %.1f%% should exceed large-input gain %.1f%%",
+				k, small*100, large*100)
+		}
+		if small < 0.2 {
+			t.Errorf("%s: small-input gain %.1f%%, want >= 20%%", k, small*100)
+		}
+	}
+}
+
+func TestFig7Shape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("scalability sweep is slow")
+	}
+	p := testParams()
+	res := mustRun(t, "fig7", p)
+	smallName := fmt.Sprintf("%dx%d", p.dim(512), p.dim(512))
+	largeName := fmt.Sprintf("%dx%d", p.dim(4096), p.dim(4096))
+	for _, k := range []string{"heat", "sor"} {
+		small := res.Value(k + "." + smallName + ".l3reduction")
+		large := res.Value(k + "." + largeName + ".l3reduction")
+		if small <= large {
+			t.Errorf("%s: small-input L3 reduction %.1f%% should exceed large-input %.1f%%",
+				k, small*100, large*100)
+		}
+	}
+}
+
+func TestFig8Shape(t *testing.T) {
+	res := mustRun(t, "fig8", testParams())
+	// CPU-bound applications: CAB within a few percent of Cilk.
+	for _, name := range []string{"Queens(12)", "Fft", "Ck", "Cholesky"} {
+		over := res.Value(name + ".overhead")
+		if over > 0.08 || over < -0.08 {
+			t.Errorf("%s overhead = %+.1f%%, want within ±8%%", name, over*100)
+		}
+	}
+}
+
+func TestTierShape(t *testing.T) {
+	res := mustRun(t, "tier", testParams())
+	for _, name := range []string{"Heat", "SOR"} {
+		if s := res.Value(name + ".interShare"); s >= 0.05 {
+			t.Errorf("%s inter-tier share = %.2f%%, want < 5%%", name, s*100)
+		}
+	}
+}
+
+func TestFlatShape(t *testing.T) {
+	res := mustRun(t, "flat", testParams())
+	if g := res.Value("gain"); g < 0.10 {
+		t.Errorf("flat placement gain = %.1f%%, want >= 10%%", g*100)
+	}
+	if res.Value("gain") <= res.Value("gainNoHints") {
+		t.Error("placed flat tasks should beat unplaced ones")
+	}
+}
+
+func TestShareShape(t *testing.T) {
+	res := mustRun(t, "share", testParams())
+	r4, r16 := res.Value("ratio.4"), res.Value("ratio.16")
+	if r4 < 1 {
+		t.Errorf("sharing/stealing ratio at 4 workers = %.2f, want >= 1", r4)
+	}
+	if r16 <= r4 {
+		t.Errorf("contention ratio should grow with workers: %.2f at 4 vs %.2f at 16", r4, r16)
+	}
+}
+
+func TestBoundsShape(t *testing.T) {
+	res := mustRun(t, "bounds", testParams())
+	// Speedup may legitimately exceed M*N = 16 at full scale (4x aggregate
+	// shared cache); it must at least show real parallel benefit.
+	if s := res.Value("speedup"); s < 1.5 {
+		t.Errorf("speedup = %.2f, want > 1.5", s)
+	}
+	if res.Value("parallelTime") < res.Value("workFloor") {
+		t.Error("parallel time below the work/(M*N) floor")
+	}
+	// Eq. 13 with a small hidden constant: T_MN within 2x of
+	// T1(inter)/M + T1(intra)/(M*N) + T_inf.
+	if r := res.Value("eq13Ratio"); r <= 0 || r > 2 {
+		t.Errorf("Eq. 13 ratio = %.2f, want within (0, 2]", r)
+	}
+	if res.Value("criticalPath") <= 0 {
+		t.Error("no critical path measured")
+	}
+	if res.Value("maxInFlight") > res.Value("spaceBound") {
+		t.Errorf("space bound violated: %v > %v",
+			res.Value("maxInFlight"), res.Value("spaceBound"))
+	}
+}
+
+func TestAblationShape(t *testing.T) {
+	res := mustRun(t, "abl", testParams())
+	def := res.Value("cab.time")
+	if def <= 0 {
+		t.Fatal("no default CAB time")
+	}
+	// Hints are what keeps the region mapping stable on the deterministic
+	// simulator: removing them must cost performance.
+	if noHints := res.Value("cab-no-hints.time"); noHints <= def {
+		t.Errorf("no-hints CAB (%v) should be slower than default (%v)", noHints, def)
+	}
+}
+
+func TestMemoSharing(t *testing.T) {
+	ResetMemo()
+	p := Params{Scale: 0.25, Seed: 1}
+	spec := workloads.HeatSpec(256, 256, 2)
+	a, err := run(runCfg{spec: spec, sched: "cilk", seed: p.Seed, machine: opteron()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := run(runCfg{spec: spec, sched: "cilk", seed: p.Seed, machine: opteron()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Time != b.Time {
+		t.Error("memoized run differed")
+	}
+}
+
+func TestResultHelpers(t *testing.T) {
+	r := &Result{Values: map[string]float64{"b": 2, "a": 1}}
+	names := r.SortedValueNames()
+	if strings.Join(names, ",") != "a,b" {
+		t.Errorf("SortedValueNames = %v", names)
+	}
+	if r.Value("a") != 1 || r.Value("zz") != 0 {
+		t.Error("Value lookup wrong")
+	}
+}
+
+func TestPrefetchShape(t *testing.T) {
+	res := mustRun(t, "prefetch", testParams())
+	if res.Value("prefetchedLines") <= 0 {
+		t.Fatal("no lines prefetched")
+	}
+	// Helper-thread prefetch must not hurt, and should add to CAB's gain.
+	if res.Value("prefetchGain") < res.Value("cabGain")-0.01 {
+		t.Errorf("prefetch gain %.3f below plain CAB %.3f",
+			res.Value("prefetchGain"), res.Value("cabGain"))
+	}
+}
+
+func TestStealHalfShape(t *testing.T) {
+	res := mustRun(t, "stealhalf", testParams())
+	if res.Value("half.time") > res.Value("one.time")*1.05 {
+		t.Errorf("steal-half (%v) much slower than steal-one (%v)",
+			res.Value("half.time"), res.Value("one.time"))
+	}
+}
+
+func TestMachinesShape(t *testing.T) {
+	res := mustRun(t, "machines", testParams())
+	// Eq. 4 must adapt: fewer/larger sockets pick a smaller BL than
+	// many/smaller sockets.
+	if res.Value("2x8 Xeon 24MB.bl") >= res.Value("8x2 blades 3MB.bl") {
+		t.Errorf("BL should grow with socket count / shrink with cache: 2x8=%v, 8x2=%v",
+			res.Value("2x8 Xeon 24MB.bl"), res.Value("8x2 blades 3MB.bl"))
+	}
+	// CAB must not lose badly on any shape.
+	for _, m := range []string{"4x4 Opteron 6MB", "2x8 Xeon 24MB", "8x2 blades 3MB"} {
+		if g := res.Value(m + ".gain"); g < -0.05 {
+			t.Errorf("%s: CAB gain %.1f%%, should not regress", m, g*100)
+		}
+	}
+}
+
+func TestSlawShape(t *testing.T) {
+	res := mustRun(t, "slaw", testParams())
+	// Adaptive policy selection alone must not produce CAB's cache wins:
+	// SLAW lands near Cilk on L3 misses while CAB is far below both.
+	if res.Value("cabL3") >= res.Value("slawL3") {
+		t.Errorf("CAB L3 (%v) should be below SLAW's (%v)",
+			res.Value("cabL3"), res.Value("slawL3"))
+	}
+	if res.Value("cabGain") <= res.Value("slawGain") {
+		t.Errorf("CAB gain %.2f should exceed SLAW gain %.2f",
+			res.Value("cabGain"), res.Value("slawGain"))
+	}
+}
+
+func TestSeedsShape(t *testing.T) {
+	res := mustRun(t, "seeds", testParams())
+	if res.Value("minGain") < 0.30 {
+		t.Errorf("min gain across seeds = %.1f%%, want >= 30%%", res.Value("minGain")*100)
+	}
+	if res.Value("maxGain") < res.Value("minGain") {
+		t.Error("max gain below min gain")
+	}
+}

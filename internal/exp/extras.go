@@ -1,0 +1,325 @@
+package exp
+
+import (
+	"fmt"
+
+	"cab/internal/core"
+	"cab/internal/simsched"
+	"cab/internal/tablefmt"
+	"cab/internal/topology"
+	"cab/internal/work"
+	"cab/internal/workloads"
+)
+
+// cpuBoundSuite is the Fig. 8 workload set. Queens is run at N=12 instead
+// of the paper's N=20 (a full Queens(20) enumeration is computationally
+// intractable in any test budget); the scheduling profile — spawn-heavy,
+// CPU-bound, BL = 0 — is what the figure measures and is unchanged.
+func cpuBoundSuite(p Params) []workloads.Spec {
+	fftN := 1 << 16
+	if p.Scale >= 1 {
+		fftN = 1 << 17
+	}
+	chol := p.dim(512)
+	return []workloads.Spec{
+		workloads.QueensSpec(12),
+		workloads.FFTSpec(fftN),
+		workloads.CkSpec(6),
+		workloads.CholeskySpec(chol),
+	}
+}
+
+// Fig8 reproduces the CPU-bound overhead figure: CAB with BL = 0 behaves
+// as traditional task-stealing, paying only the task-frame bookkeeping.
+func Fig8() Experiment {
+	return Experiment{
+		ID:    "fig8",
+		Title: "Fig. 8: normalized execution time, CPU-bound applications (BL = 0)",
+		Paper: "CAB overhead ~1-2% (fft < 5%)",
+		Run: func(p Params) (*Result, error) {
+			t := tablefmt.New("Fig. 8: normalized execution time (Cilk = 1.00), BL = 0",
+				"App", "Cilk", "CAB", "overhead")
+			res := &Result{Values: map[string]float64{}}
+			for _, spec := range cpuBoundSuite(p) {
+				cilk, err := run(runCfg{spec: spec, sched: "cilk", seed: p.Seed, machine: opteron(), verify: p.Verify})
+				if err != nil {
+					return nil, err
+				}
+				cab, err := run(runCfg{spec: spec, sched: "cab", bl: 0, seed: p.Seed, machine: opteron(), verify: p.Verify})
+				if err != nil {
+					return nil, err
+				}
+				over := -gain(float64(cilk.Time), float64(cab.Time))
+				res.Values[spec.Name+".overhead"] = over
+				t.AddRow(spec.Name, "1.00",
+					tablefmt.Normalized(float64(cab.Time), float64(cilk.Time)),
+					fmt.Sprintf("%+.1f%%", over*100))
+			}
+			res.Tables = []*tablefmt.Table{t}
+			return res, nil
+		},
+	}
+}
+
+// Tab3 renders Table III and smoke-verifies every benchmark.
+func Tab3() Experiment {
+	return Experiment{
+		ID:    "tab3",
+		Title: "Table III: benchmarks used in the experiments",
+		Paper: "four CPU-bound and four memory-bound benchmarks",
+		Run: func(p Params) (*Result, error) {
+			t := tablefmt.New("Table III: benchmarks", "Name", "Type(bound)", "Description")
+			res := &Result{Values: map[string]float64{}}
+			mem := 0
+			for _, spec := range workloads.All(0.25) {
+				t.AddRow(spec.Name, spec.Kind(), spec.Description)
+				if spec.MemoryBound {
+					mem++
+				}
+			}
+			// Smoke-verify the suite at a small scale.
+			for _, spec := range []workloads.Spec{
+				workloads.HeatSpec(256, 256, 2), workloads.SORSpec(256, 256, 2),
+				workloads.GESpec(128), workloads.MergesortSpec(40_000),
+				workloads.QueensSpec(8), workloads.FFTSpec(1 << 12),
+				workloads.CkSpec(4), workloads.CholeskySpec(128),
+			} {
+				inst := spec.Make()
+				work.Serial(inst.Root)
+				if err := inst.Verify(); err != nil {
+					return nil, fmt.Errorf("tab3: %s: %w", spec.Name, err)
+				}
+			}
+			res.Values["memoryBound"] = float64(mem)
+			res.Tables = []*tablefmt.Table{t}
+			return res, nil
+		},
+	}
+}
+
+// Tier checks the §III-E claim that the inter-socket tier accounts for a
+// small share (< 5%) of the total work in divide-and-conquer programs.
+func Tier() Experiment {
+	return Experiment{
+		ID:    "tier",
+		Title: "§III-E: inter-socket tier share of total work",
+		Paper: "inter-socket tier execution time often < 5% of the total",
+		Run: func(p Params) (*Result, error) {
+			t := tablefmt.New("Inter-socket tier share of work cycles", "App", "share")
+			res := &Result{Values: map[string]float64{}}
+			// Sizes chosen so the intra tier holds the work leaves (the
+			// paper's "only the leaf tasks process input data" regime).
+			for _, spec := range []workloads.Spec{heatAt(p, 2048, 2048), sorAt(p, 2048, 2048)} {
+				st, err := run(runCfg{spec: spec, sched: "cab", bl: -1, seed: p.Seed, machine: opteron(), verify: p.Verify})
+				if err != nil {
+					return nil, err
+				}
+				share := st.InterTierShare()
+				res.Values[spec.Name+".interShare"] = share
+				t.AddRow(spec.Name, fmt.Sprintf("%.2f%%", share*100))
+			}
+			res.Tables = []*tablefmt.Table{t}
+			return res, nil
+		},
+	}
+}
+
+// Flat reproduces the §IV-D observation: CAB's placement also speeds up
+// programs that generate all tasks at once (the paper reports up to ~25%).
+func Flat() Experiment {
+	return Experiment{
+		ID:    "flat",
+		Title: "§IV-D: flat task generation scheme",
+		Paper: "programs with flat task generation improve up to ~25% under CAB",
+		Run: func(p Params) (*Result, error) {
+			rows, cols, steps := p.dim(1024), p.dim(1024), 10
+			pieces := 32
+			flat := workloads.FlatHeatSpec(rows, cols, steps, pieces)
+			grouped := workloads.FlatHeatGroupedSpec(rows, cols, steps, pieces)
+			res := &Result{Values: map[string]float64{}}
+			t := tablefmt.New("Flat task generation: normalized time (Cilk = 1.00)",
+				"scheduler", "time", "L3 misses", "gain")
+			// Cilk runs the flat program as written (random placement).
+			cilk, err := run(runCfg{spec: flat, sched: "cilk", seed: p.Seed, machine: opteron(), verify: p.Verify})
+			if err != nil {
+				return nil, err
+			}
+			// CAB distributes the flat set into one inter-tier region group
+			// per squad (BL = 1) whose members are intra-tier tasks.
+			cab, err := run(runCfg{spec: grouped, sched: "cab", bl: 1, seed: p.Seed, machine: opteron(), verify: p.Verify})
+			if err != nil {
+				return nil, err
+			}
+			auto, err := run(runCfg{spec: grouped, sched: "cab", bl: 1, seed: p.Seed, machine: opteron(),
+				opts: simsched.CABOptions{IgnoreHints: true}, verify: p.Verify})
+			if err != nil {
+				return nil, err
+			}
+			t.AddRow("cilk", fmt.Sprint(cilk.Time), fmt.Sprint(cilk.Cache.L3.Misses), "")
+			t.AddRow("cab(placed)", fmt.Sprint(cab.Time), fmt.Sprint(cab.Cache.L3.Misses),
+				tablefmt.Gain(float64(cilk.Time), float64(cab.Time)))
+			t.AddRow("cab(no hints)", fmt.Sprint(auto.Time), fmt.Sprint(auto.Cache.L3.Misses),
+				tablefmt.Gain(float64(cilk.Time), float64(auto.Time)))
+			res.Values["gain"] = gain(float64(cilk.Time), float64(cab.Time))
+			res.Values["gainNoHints"] = gain(float64(cilk.Time), float64(auto.Time))
+			res.Tables = []*tablefmt.Table{t}
+			return res, nil
+		},
+	}
+}
+
+// Share reproduces the §II claim motivating task-stealing: a central
+// task-sharing pool degrades with worker count on fine-grained tasks.
+func Share() Experiment {
+	return Experiment{
+		ID:    "share",
+		Title: "§II: task-stealing vs task-sharing under contention",
+		Paper: "task-stealing outperforms task-sharing increasingly as workers grow",
+		Run: func(p Params) (*Result, error) {
+			t := tablefmt.New("Fine-grained spawn storm: sharing time / stealing time",
+				"workers", "stealing", "sharing", "ratio")
+			res := &Result{Values: map[string]float64{}}
+			spec := workloads.SpawnStormSpec(10, 400)
+			for _, m := range []int{1, 2, 4} {
+				top := topology.Topology{
+					Sockets: m, CoresPerSocket: 4, LineBytes: 64,
+					L1Bytes: 64 << 10, L1Assoc: 2,
+					L2Bytes: 512 << 10, L2Assoc: 16,
+					L3Bytes: 6 << 20, L3Assoc: 48,
+				}
+				steal, err := run(runCfg{spec: spec, sched: "cilk", seed: p.Seed, machine: top})
+				if err != nil {
+					return nil, err
+				}
+				share, err := run(runCfg{spec: spec, sched: "sharing", seed: p.Seed, machine: top})
+				if err != nil {
+					return nil, err
+				}
+				ratio := float64(share.Time) / float64(steal.Time)
+				res.Values[fmt.Sprintf("ratio.%d", m*4)] = ratio
+				t.AddRow(fmt.Sprint(m*4), fmt.Sprint(steal.Time), fmt.Sprint(share.Time),
+					fmt.Sprintf("%.2f", ratio))
+			}
+			res.Tables = []*tablefmt.Table{t}
+			return res, nil
+		},
+	}
+}
+
+// Bounds checks the §III-E time and space bounds on instrumented runs.
+func Bounds() Experiment {
+	return Experiment{
+		ID:    "bounds",
+		Title: "§III-E: time and space bounds",
+		Paper: "T_{M*N} = O(T1(inter)/M + T1(intra)/(M*N) + T_inf); S <= max(K, M*N) * S1",
+		Run: func(p Params) (*Result, error) {
+			t := tablefmt.New("Eq. 13/15 check on heat", "quantity", "measured", "bound")
+			res := &Result{Values: map[string]float64{}}
+			spec := heatAt(p, 1024, 1024)
+			top := opteron()
+			par, err := run(runCfg{spec: spec, sched: "cab", bl: -1, seed: p.Seed, machine: top, verify: p.Verify})
+			if err != nil {
+				return nil, err
+			}
+			// Serial reference on a single-core machine of the same caches.
+			uni := top
+			uni.Sockets, uni.CoresPerSocket = 1, 1
+			ser, err := run(runCfg{spec: spec, sched: "cilk", seed: p.Seed, machine: uni})
+			if err != nil {
+				return nil, err
+			}
+			t1 := float64(ser.Time)
+			// Eq. 13: T_MN = O(T1(inter)/M + T1(intra)/(M*N) + T_inf).
+			// All four quantities are measured under the parallel run's
+			// observed per-action costs: the tier work splits come from
+			// the engine's tier accounting and T_inf is the exact longest
+			// dependency chain (Stats.CriticalPath). The reported ratio is
+			// the hidden constant of the O(·); the lower side is the
+			// trivial work/(M*N) floor. Speedup versus the single-socket
+			// serial machine can exceed M*N — the parallel machine has M
+			// times the aggregate shared cache, and CAB's placement
+			// exploits it (cache-induced superlinearity).
+			m, mn := float64(top.Sockets), float64(top.Workers())
+			eq13 := float64(par.InterWorkCycles)/m + float64(par.IntraWorkCycles)/mn + float64(par.CriticalPath)
+			ratio := float64(par.Time) / eq13
+			res.Values["speedup"] = t1 / float64(par.Time)
+			res.Values["parallelTime"] = float64(par.Time)
+			res.Values["serialTime"] = t1
+			res.Values["criticalPath"] = float64(par.CriticalPath)
+			res.Values["eq13Bound"] = eq13
+			res.Values["eq13Ratio"] = ratio
+			workFloor := float64(par.WorkCycles) / mn
+			res.Values["workFloor"] = workFloor
+			t.AddRow("T_MN (cycles)", fmt.Sprint(par.Time),
+				fmt.Sprintf("O(T1inter/M + T1intra/MN + Tinf) = %.0f (ratio %.2f)", eq13, ratio))
+			t.AddRow("T_inf (cycles)", fmt.Sprint(par.CriticalPath), "measured critical path")
+			if float64(par.Time) < workFloor {
+				return nil, fmt.Errorf("bounds: T_MN = %d below the work floor %.0f", par.Time, workFloor)
+			}
+			// Eq. 15: peak in-flight tasks vs max(K, M*N) * S1 where S1 is
+			// the serial stack depth (DAG depth + constant).
+			bl, err := core.BoundaryLevel(core.Params{Branch: spec.Branch, Sockets: top.Sockets,
+				InputBytes: spec.InputBytes, SharedCache: top.SharedCacheBytes()})
+			if err != nil {
+				return nil, err
+			}
+			k := core.LeafInterTasks(spec.Branch, bl)
+			depth := int64(24) // generous serial depth bound for these kernels
+			bound := depth * maxI64(k, int64(top.Workers()))
+			res.Values["maxInFlight"] = float64(par.MaxInFlight)
+			res.Values["spaceBound"] = float64(bound)
+			t.AddRow("S_MN (peak tasks)", fmt.Sprint(par.MaxInFlight), fmt.Sprint(bound))
+			res.Tables = []*tablefmt.Table{t}
+			return res, nil
+		},
+	}
+}
+
+func maxI64(a, b int64) int64 {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+// Ablation contrasts CAB's design choices on heat 1k x 1k.
+func Ablation() Experiment {
+	return Experiment{
+		ID:    "abl",
+		Title: "Ablation: CAB design choices on heat (1k x 1k)",
+		Paper: "design rationale of §III-A (head-worker-only inter stealing, busy_state) and §IV-D (placement)",
+		Run: func(p Params) (*Result, error) {
+			spec := heatAt(p, 1024, 1024)
+			t := tablefmt.New("Ablation: heat 1k x 1k (cycles; Cilk reference first)",
+				"variant", "time", "L3 misses")
+			res := &Result{Values: map[string]float64{}}
+			cilk, err := run(runCfg{spec: spec, sched: "cilk", seed: p.Seed, machine: opteron()})
+			if err != nil {
+				return nil, err
+			}
+			t.Addf("cilk", cilk.Time, cilk.Cache.L3.Misses)
+			res.Values["cilk.time"] = float64(cilk.Time)
+			variants := []struct {
+				name string
+				opts simsched.CABOptions
+			}{
+				{"cab", simsched.CABOptions{}},
+				{"cab-no-hints", simsched.CABOptions{IgnoreHints: true}},
+				{"cab-random-victims", simsched.CABOptions{RandomInterVictim: true}},
+				{"cab-all-steal-inter", simsched.CABOptions{AllWorkersStealInter: true}},
+				{"cab-no-busy-state", simsched.CABOptions{IgnoreBusyState: true}},
+			}
+			for _, v := range variants {
+				st, err := run(runCfg{spec: spec, sched: "cab", bl: -1, seed: p.Seed, machine: opteron(), opts: v.opts})
+				if err != nil {
+					return nil, err
+				}
+				t.Addf(v.name, st.Time, st.Cache.L3.Misses)
+				res.Values[v.name+".time"] = float64(st.Time)
+				res.Values[v.name+".l3"] = float64(st.Cache.L3.Misses)
+			}
+			res.Tables = []*tablefmt.Table{t}
+			return res, nil
+		},
+	}
+}

@@ -1,0 +1,98 @@
+package exp
+
+import (
+	"fmt"
+
+	"cab/internal/simsched"
+	"cab/internal/tablefmt"
+	"cab/internal/workloads"
+)
+
+// Prefetch realizes the paper's §VII future work: "Pre-fetching with
+// helper thread is another technique for improving performance... an
+// interesting future direction is to integrate this technique into CAB".
+// The experiment targets the regime where CAB's placement alone cannot
+// help — inputs whose per-socket share exceeds the shared cache, the flat
+// right end of Fig. 6 — and shows helper-thread prefetch recovering a gain
+// there.
+func Prefetch() Experiment {
+	return Experiment{
+		ID:    "prefetch",
+		Title: "§VII future work: helper-thread prefetching on large inputs",
+		Paper: "proposed as future work; expected to help where data exceeds per-socket caches",
+		Run: func(p Params) (*Result, error) {
+			// 2k x 2k: per-socket share (8 MB x 2 buffers / 4 sockets)
+			// exceeds the 6 MB L3, so plain CAB gains ~nothing (Fig. 6).
+			rows, cols := p.dim(2048), p.dim(2048)
+			steps := heatSteps(rows, cols)
+			base := workloads.HeatSpec(rows, cols, steps)
+			pf := workloads.HeatPrefetchSpec(rows, cols, steps, 8)
+			t := tablefmt.New(fmt.Sprintf("Helper-thread prefetch on heat %dx%d (Cilk = 1.00)", rows, cols),
+				"variant", "time", "L3 misses", "gain")
+			res := &Result{Values: map[string]float64{}}
+			cilk, err := run(runCfg{spec: base, sched: "cilk", seed: p.Seed, machine: opteron(), verify: p.Verify})
+			if err != nil {
+				return nil, err
+			}
+			plain, err := run(runCfg{spec: base, sched: "cab", bl: -1, seed: p.Seed, machine: opteron(), verify: p.Verify})
+			if err != nil {
+				return nil, err
+			}
+			pre, err := run(runCfg{spec: pf, sched: "cab", bl: -1, seed: p.Seed, machine: opteron(), verify: p.Verify})
+			if err != nil {
+				return nil, err
+			}
+			t.Addf("cilk", cilk.Time, cilk.Cache.L3.Misses, "")
+			t.AddRow("cab", fmt.Sprint(plain.Time), fmt.Sprint(plain.Cache.L3.Misses),
+				tablefmt.Gain(float64(cilk.Time), float64(plain.Time)))
+			t.AddRow("cab+prefetch", fmt.Sprint(pre.Time), fmt.Sprint(pre.Cache.L3.Misses),
+				tablefmt.Gain(float64(cilk.Time), float64(pre.Time)))
+			t.AddNote("prefetched %d lines into socket L3s", pre.PrefetchedLines)
+			res.Values["cabGain"] = gain(float64(cilk.Time), float64(plain.Time))
+			res.Values["prefetchGain"] = gain(float64(cilk.Time), float64(pre.Time))
+			res.Values["prefetchedLines"] = float64(pre.PrefetchedLines)
+			res.Tables = []*tablefmt.Table{t}
+			return res, nil
+		},
+	}
+}
+
+// StealHalf measures Hendler & Shavit's steal-half policy integrated into
+// CAB's inter-socket stealing (the paper's §VI lists it as orthogonal and
+// integrable). The interesting regime is many leaf inter-socket tasks per
+// squad (a large BL), where one steal moving half a pool saves repeated
+// probing.
+func StealHalf() Experiment {
+	return Experiment{
+		ID:    "stealhalf",
+		Title: "§VI integration: steal-half inter-socket stealing",
+		Paper: "steal-half cited as orthogonal to CAB and integrable with it",
+		Run: func(p Params) (*Result, error) {
+			rows, cols := p.dim(1024), p.dim(1024)
+			spec := workloads.HeatSpec(rows, cols, heatSteps(rows, cols))
+			t := tablefmt.New(fmt.Sprintf("Steal-half on heat %dx%d, BL=5 (many leaf inter tasks)", rows, cols),
+				"variant", "time", "inter steals")
+			res := &Result{Values: map[string]float64{}}
+			// BL=5 gives 16 leaf inter tasks for 4 squads: enough pool
+			// depth for batch stealing to matter.
+			one, err := run(runCfg{spec: spec, sched: "cab", bl: 5, seed: p.Seed, machine: opteron(),
+				opts: simsched.CABOptions{IgnoreHints: true}})
+			if err != nil {
+				return nil, err
+			}
+			half, err := run(runCfg{spec: spec, sched: "cab", bl: 5, seed: p.Seed, machine: opteron(),
+				opts: simsched.CABOptions{IgnoreHints: true, StealHalf: true}})
+			if err != nil {
+				return nil, err
+			}
+			t.Addf("steal-one", one.Time, one.StealsInter)
+			t.Addf("steal-half", half.Time, half.StealsInter)
+			res.Values["one.time"] = float64(one.Time)
+			res.Values["half.time"] = float64(half.Time)
+			res.Values["one.steals"] = float64(one.StealsInter)
+			res.Values["half.steals"] = float64(half.StealsInter)
+			res.Tables = []*tablefmt.Table{t}
+			return res, nil
+		},
+	}
+}

@@ -1,0 +1,150 @@
+package exp
+
+import (
+	"fmt"
+
+	"cab/internal/core"
+	"cab/internal/tablefmt"
+	"cab/internal/topology"
+)
+
+// Machines checks that the partitioning model generalizes beyond the
+// paper's 4x4 testbed: Eq. 4 adapts BL to the socket count and shared
+// cache size, and CAB's gain survives on machines the paper never ran.
+func Machines() Experiment {
+	return Experiment{
+		ID:    "machines",
+		Title: "Generalization: CAB vs Cilk across MSMC shapes",
+		Paper: "the model is parameterized by M, N, Sc (Eq. 4) — not specific to the Opteron testbed",
+		Run: func(p Params) (*Result, error) {
+			spec := heatAt(p, 1024, 1024)
+			t := tablefmt.New("Heat 1k x 1k across machine shapes (Cilk = 1.00)",
+				"machine", "BL(Eq.4)", "Cilk", "CAB", "gain")
+			res := &Result{Values: map[string]float64{}}
+			machines := []struct {
+				name string
+				top  topology.Topology
+			}{
+				{"4x4 Opteron 6MB", topology.Opteron8380()},
+				{"2x8 Xeon 24MB", topology.Xeon7560()},
+				{"8x2 blades 3MB", topology.Topology{
+					Sockets: 8, CoresPerSocket: 2, LineBytes: 64,
+					L1Bytes: 32 << 10, L1Assoc: 4,
+					L2Bytes: 256 << 10, L2Assoc: 8,
+					L3Bytes: 3 << 20, L3Assoc: 12,
+				}},
+			}
+			for _, m := range machines {
+				bl, err := core.BoundaryLevel(core.Params{
+					Branch: spec.Branch, Sockets: m.top.Sockets,
+					InputBytes: spec.InputBytes, SharedCache: m.top.SharedCacheBytes(),
+				})
+				if err != nil {
+					return nil, err
+				}
+				cilk, err := run(runCfg{spec: spec, sched: "cilk", seed: p.Seed, machine: m.top, verify: p.Verify})
+				if err != nil {
+					return nil, err
+				}
+				cab, err := run(runCfg{spec: spec, sched: "cab", bl: -1, seed: p.Seed, machine: m.top, verify: p.Verify})
+				if err != nil {
+					return nil, err
+				}
+				g := gain(float64(cilk.Time), float64(cab.Time))
+				res.Values[m.name+".gain"] = g
+				res.Values[m.name+".bl"] = float64(bl)
+				t.AddRow(m.name, fmt.Sprint(bl), "1.00",
+					tablefmt.Normalized(float64(cab.Time), float64(cilk.Time)),
+					tablefmt.Gain(float64(cilk.Time), float64(cab.Time)))
+			}
+			res.Tables = []*tablefmt.Table{t}
+			return res, nil
+		},
+	}
+}
+
+// Seeds measures how CAB's headline gain varies with the randomized
+// decisions (victim choices) of both schedulers: the paper averages ten
+// runs per benchmark; here each seed is one fully deterministic run.
+func Seeds() Experiment {
+	return Experiment{
+		ID:    "seeds",
+		Title: "Robustness: heat gain across scheduler seeds",
+		Paper: "the paper reports the average of ten runs per benchmark",
+		Run: func(p Params) (*Result, error) {
+			spec := heatAt(p, 1024, 1024)
+			t := tablefmt.New("Heat 1k x 1k CAB gain by seed", "seed", "Cilk", "CAB", "gain")
+			res := &Result{Values: map[string]float64{}}
+			minG, maxG, sum := 1.0, -1.0, 0.0
+			const nSeeds = 5
+			for s := uint64(1); s <= nSeeds; s++ {
+				cilk, err := run(runCfg{spec: spec, sched: "cilk", seed: s, machine: opteron(), verify: p.Verify})
+				if err != nil {
+					return nil, err
+				}
+				cab, err := run(runCfg{spec: spec, sched: "cab", bl: -1, seed: s, machine: opteron(), verify: p.Verify})
+				if err != nil {
+					return nil, err
+				}
+				g := gain(float64(cilk.Time), float64(cab.Time))
+				if g < minG {
+					minG = g
+				}
+				if g > maxG {
+					maxG = g
+				}
+				sum += g
+				t.Addf(fmt.Sprint(s), cilk.Time, cab.Time, fmt.Sprintf("%.1f%%", g*100))
+			}
+			res.Values["minGain"] = minG
+			res.Values["maxGain"] = maxG
+			res.Values["meanGain"] = sum / nSeeds
+			t.AddNote("min %.1f%%, mean %.1f%%, max %.1f%%", minG*100, sum/nSeeds*100, maxG*100)
+			res.Tables = []*tablefmt.Table{t}
+			return res, nil
+		},
+	}
+}
+
+// Slaw contrasts CAB with a SLAW-inspired adaptive scheduler (§VI): SLAW
+// also mixes child-first and parent-first generation, but adaptively
+// rather than by DAG tier, and without socket awareness — so it cannot
+// relieve the TRICI syndrome. The experiment runs the memory-bound heat
+// kernel under all three schedulers.
+func Slaw() Experiment {
+	return Experiment{
+		ID:    "slaw",
+		Title: "§VI: adaptive-policy stealing (SLAW-style) vs CAB",
+		Paper: "SLAW mixes both policies but does not associate them with DAG levels; it lacks CAB's cache awareness",
+		Run: func(p Params) (*Result, error) {
+			spec := heatAt(p, 1024, 1024)
+			t := tablefmt.New("Heat 1k x 1k: adaptive policies are not cache awareness (Cilk = 1.00)",
+				"scheduler", "time", "L3 misses", "gain")
+			res := &Result{Values: map[string]float64{}}
+			cilk, err := run(runCfg{spec: spec, sched: "cilk", seed: p.Seed, machine: opteron(), verify: p.Verify})
+			if err != nil {
+				return nil, err
+			}
+			slaw, err := run(runCfg{spec: spec, sched: "slaw", seed: p.Seed, machine: opteron(), verify: p.Verify})
+			if err != nil {
+				return nil, err
+			}
+			cab, err := run(runCfg{spec: spec, sched: "cab", bl: -1, seed: p.Seed, machine: opteron(), verify: p.Verify})
+			if err != nil {
+				return nil, err
+			}
+			t.Addf("cilk", cilk.Time, cilk.Cache.L3.Misses, "")
+			t.AddRow("slaw", fmt.Sprint(slaw.Time), fmt.Sprint(slaw.Cache.L3.Misses),
+				tablefmt.Gain(float64(cilk.Time), float64(slaw.Time)))
+			t.AddRow("cab", fmt.Sprint(cab.Time), fmt.Sprint(cab.Cache.L3.Misses),
+				tablefmt.Gain(float64(cilk.Time), float64(cab.Time)))
+			res.Values["slawGain"] = gain(float64(cilk.Time), float64(slaw.Time))
+			res.Values["cabGain"] = gain(float64(cilk.Time), float64(cab.Time))
+			res.Values["slawL3"] = float64(slaw.Cache.L3.Misses)
+			res.Values["cabL3"] = float64(cab.Cache.L3.Misses)
+			res.Values["cilkL3"] = float64(cilk.Cache.L3.Misses)
+			res.Tables = []*tablefmt.Table{t}
+			return res, nil
+		},
+	}
+}

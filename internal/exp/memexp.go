@@ -1,0 +1,261 @@
+package exp
+
+import (
+	"fmt"
+
+	"cab/internal/core"
+	"cab/internal/tablefmt"
+	"cab/internal/workloads"
+)
+
+// heatSteps fixes the iteration count so times are comparable across the
+// size sweeps.
+func heatSteps(rows, cols int) int { return 10 }
+
+func heatAt(p Params, baseRows, baseCols int) workloads.Spec {
+	r, c := p.dim(baseRows), p.dim(baseCols)
+	return workloads.HeatSpec(r, c, heatSteps(r, c))
+}
+
+func sorAt(p Params, baseRows, baseCols int) workloads.Spec {
+	r, c := p.dim(baseRows), p.dim(baseCols)
+	return workloads.SORSpec(r, c, heatSteps(r, c))
+}
+
+// memoryBoundSuite is the Fig. 4 / Table IV workload set with the paper's
+// 1k x 1k (or 1M element) inputs.
+func memoryBoundSuite(p Params) []workloads.Spec {
+	n := p.dim(1024)
+	return []workloads.Spec{
+		workloads.GESpec(n),
+		workloads.MergesortSpec(n * n),
+		heatAt(p, 1024, 1024),
+		sorAt(p, 1024, 1024),
+	}
+}
+
+// Fig4 reproduces "Normalized execution time of memory-bound applications
+// with a 1k*1k matrix as input data": CAB vs Cilk on GE, Mergesort, Heat
+// and SOR.
+func Fig4() Experiment {
+	return Experiment{
+		ID:    "fig4",
+		Title: "Fig. 4: normalized execution time, memory-bound applications (1k x 1k)",
+		Paper: "CAB 10-55% faster than Cilk on all four memory-bound benchmarks",
+		Run: func(p Params) (*Result, error) {
+			t := tablefmt.New("Fig. 4: normalized execution time (Cilk = 1.00)",
+				"App", "Cilk", "CAB", "gain")
+			res := &Result{Values: map[string]float64{}}
+			for _, spec := range memoryBoundSuite(p) {
+				cilk, err := run(runCfg{spec: spec, sched: "cilk", seed: p.Seed, machine: opteron(), verify: p.Verify})
+				if err != nil {
+					return nil, err
+				}
+				cab, err := run(runCfg{spec: spec, sched: "cab", bl: -1, seed: p.Seed, machine: opteron(), verify: p.Verify})
+				if err != nil {
+					return nil, err
+				}
+				g := gain(float64(cilk.Time), float64(cab.Time))
+				res.Values[spec.Name+".gain"] = g
+				t.AddRow(spec.Name, "1.00",
+					tablefmt.Normalized(float64(cab.Time), float64(cilk.Time)),
+					tablefmt.Gain(float64(cilk.Time), float64(cab.Time)))
+			}
+			res.Tables = []*tablefmt.Table{t}
+			return res, nil
+		},
+	}
+}
+
+// Tab4 reproduces Table IV: L2 and L3 cache misses of the memory-bound
+// suite under Cilk and CAB.
+func Tab4() Experiment {
+	return Experiment{
+		ID:    "tab4",
+		Title: "Table IV: L2/L3 cache misses in CAB and Cilk",
+		Paper: "CAB prominently reduces both L2 and L3 misses; L3 reduction is the larger (e.g. heat 2.81M -> 756K)",
+		Run: func(p Params) (*Result, error) {
+			t := tablefmt.New("Table IV: L2/L3 cache misses",
+				"App", "L2 Cilk", "L2 CAB", "L3 Cilk", "L3 CAB", "L3 reduction")
+			res := &Result{Values: map[string]float64{}}
+			for _, spec := range memoryBoundSuite(p) {
+				cilk, err := run(runCfg{spec: spec, sched: "cilk", seed: p.Seed, machine: opteron(), verify: p.Verify})
+				if err != nil {
+					return nil, err
+				}
+				cab, err := run(runCfg{spec: spec, sched: "cab", bl: -1, seed: p.Seed, machine: opteron(), verify: p.Verify})
+				if err != nil {
+					return nil, err
+				}
+				l3red := gain(float64(cilk.Cache.L3.Misses), float64(cab.Cache.L3.Misses))
+				res.Values[spec.Name+".l3reduction"] = l3red
+				res.Values[spec.Name+".l2reduction"] = gain(float64(cilk.Cache.L2.Misses), float64(cab.Cache.L2.Misses))
+				t.Addf(spec.Name, cilk.Cache.L2.Misses, cab.Cache.L2.Misses,
+					cilk.Cache.L3.Misses, cab.Cache.L3.Misses,
+					fmt.Sprintf("%.1f%%", l3red*100))
+			}
+			res.Tables = []*tablefmt.Table{t}
+			return res, nil
+		},
+	}
+}
+
+// fig5Sizes are the heat input sizes of Fig. 5 (rows x cols of float64).
+func fig5Sizes() [][2]int {
+	return [][2]int{{512, 512}, {1024, 1024}, {2048, 1024}, {3072, 2048}}
+}
+
+// Fig5 reproduces the BL sweep: heat under every possible boundary level
+// against the Cilk reference, showing Eq. 4 picks the best one.
+func Fig5() Experiment {
+	return Experiment{
+		ID:    "fig5",
+		Title: "Fig. 5: impact of BL on heat across input sizes",
+		Paper: "Eq. 4's BL gives the best time for every size; too-small BL loses even to Cilk (idle squads), too-large BL degrades in-squad balance",
+		Run: func(p Params) (*Result, error) {
+			t := tablefmt.New("Fig. 5: heat execution time (cycles, simulated) by BL",
+				"size", "Cilk", "BL=1", "BL=2", "BL=3", "BL=4", "BL=5", "BL=6", "Eq.4", "best")
+			res := &Result{Values: map[string]float64{}}
+			top := opteron()
+			for _, sz := range fig5Sizes() {
+				spec := heatAt(p, sz[0], sz[1])
+				name := fmt.Sprintf("%dx%d", p.dim(sz[0]), p.dim(sz[1]))
+				row := []string{name}
+				cilk, err := run(runCfg{spec: spec, sched: "cilk", seed: p.Seed, machine: top, verify: p.Verify})
+				if err != nil {
+					return nil, err
+				}
+				row = append(row, fmt.Sprint(cilk.Time))
+				bestBL, bestTime := 0, cilk.Time
+				timeAt := map[int]int64{}
+				for bl := 1; bl <= 6; bl++ {
+					st, err := run(runCfg{spec: spec, sched: "cab", bl: bl, seed: p.Seed, machine: top, verify: p.Verify})
+					if err != nil {
+						return nil, err
+					}
+					row = append(row, fmt.Sprint(st.Time))
+					timeAt[bl] = st.Time
+					if st.Time < bestTime {
+						bestBL, bestTime = bl, st.Time
+					}
+				}
+				auto, err := core.BoundaryLevel(core.Params{
+					Branch: spec.Branch, Sockets: top.Sockets,
+					InputBytes: spec.InputBytes, SharedCache: top.SharedCacheBytes(),
+				})
+				if err != nil {
+					return nil, err
+				}
+				row = append(row, fmt.Sprint(auto), fmt.Sprint(bestBL))
+				t.AddRow(row...)
+				res.Values[name+".autoBL"] = float64(auto)
+				res.Values[name+".bestBL"] = float64(bestBL)
+				// How close Eq. 4's pick is to the empirical optimum
+				// (1.00 = exactly optimal; ties between neighbouring BLs
+				// are common once both reach compulsory-only misses).
+				if auto >= 1 && auto <= 6 && bestTime > 0 {
+					res.Values[name+".autoVsBest"] = float64(timeAt[auto]) / float64(bestTime)
+				}
+			}
+			t.AddNote("Eq.4 = automatically computed boundary level; best = empirically fastest")
+			res.Tables = []*tablefmt.Table{t}
+			return res, nil
+		},
+	}
+}
+
+// fig6Sizes are the scalability sweep sizes (Fig. 6/7).
+func fig6Sizes() [][2]int {
+	return [][2]int{{512, 512}, {1024, 1024}, {2048, 1024}, {2048, 2048}, {3072, 2048}, {4096, 4096}}
+}
+
+func scalabilityRun(p Params, kind string) (*Result, error) {
+	mk := func(sz [2]int) workloads.Spec {
+		if kind == "sor" {
+			return sorAt(p, sz[0], sz[1])
+		}
+		return heatAt(p, sz[0], sz[1])
+	}
+	timeTab := tablefmt.New(fmt.Sprintf("%s: normalized execution time by input size (Cilk = 1.00)", kind),
+		"size", "Cilk", "CAB", "gain")
+	missTab := tablefmt.New(fmt.Sprintf("%s: L2/L3 misses by input size", kind),
+		"size", "L2 Cilk", "L2 CAB", "L3 Cilk", "L3 CAB")
+	res := &Result{Values: map[string]float64{}}
+	for _, sz := range fig6Sizes() {
+		spec := mk(sz)
+		name := fmt.Sprintf("%dx%d", p.dim(sz[0]), p.dim(sz[1]))
+		cilk, err := run(runCfg{spec: spec, sched: "cilk", seed: p.Seed, machine: opteron(), verify: p.Verify})
+		if err != nil {
+			return nil, err
+		}
+		cab, err := run(runCfg{spec: spec, sched: "cab", bl: -1, seed: p.Seed, machine: opteron(), verify: p.Verify})
+		if err != nil {
+			return nil, err
+		}
+		g := gain(float64(cilk.Time), float64(cab.Time))
+		res.Values[name+".gain"] = g
+		res.Values[name+".l3reduction"] = gain(float64(cilk.Cache.L3.Misses), float64(cab.Cache.L3.Misses))
+		timeTab.AddRow(name, "1.00",
+			tablefmt.Normalized(float64(cab.Time), float64(cilk.Time)),
+			tablefmt.Gain(float64(cilk.Time), float64(cab.Time)))
+		missTab.Addf(name, cilk.Cache.L2.Misses, cab.Cache.L2.Misses,
+			cilk.Cache.L3.Misses, cab.Cache.L3.Misses)
+	}
+	res.Tables = []*tablefmt.Table{timeTab, missTab}
+	return res, nil
+}
+
+// Fig6 reproduces the scalability figure: heat and SOR gains shrinking as
+// input size grows.
+func Fig6() Experiment {
+	return Experiment{
+		ID:    "fig6",
+		Title: "Fig. 6: performance of Heat and SOR across input sizes",
+		Paper: "gain ~55-69% at 512x512 shrinking to ~14% at 4k x 4k",
+		Run: func(p Params) (*Result, error) {
+			heat, err := scalabilityRun(p, "heat")
+			if err != nil {
+				return nil, err
+			}
+			sor, err := scalabilityRun(p, "sor")
+			if err != nil {
+				return nil, err
+			}
+			res := &Result{Values: map[string]float64{}, Tables: []*tablefmt.Table{heat.Tables[0], sor.Tables[0]}}
+			for k, v := range heat.Values {
+				res.Values["heat."+k] = v
+			}
+			for k, v := range sor.Values {
+				res.Values["sor."+k] = v
+			}
+			return res, nil
+		},
+	}
+}
+
+// Fig7 reproduces the companion cache-miss figure of the same sweep.
+func Fig7() Experiment {
+	return Experiment{
+		ID:    "fig7",
+		Title: "Fig. 7: L2/L3 cache misses of Heat and SOR across input sizes",
+		Paper: "~68% L3 and ~43% L2 reduction at small inputs, dropping to a few percent at 4k x 4k",
+		Run: func(p Params) (*Result, error) {
+			heat, err := scalabilityRun(p, "heat")
+			if err != nil {
+				return nil, err
+			}
+			sor, err := scalabilityRun(p, "sor")
+			if err != nil {
+				return nil, err
+			}
+			res := &Result{Values: map[string]float64{}, Tables: []*tablefmt.Table{heat.Tables[1], sor.Tables[1]}}
+			for k, v := range heat.Values {
+				res.Values["heat."+k] = v
+			}
+			for k, v := range sor.Values {
+				res.Values["sor."+k] = v
+			}
+			return res, nil
+		},
+	}
+}

@@ -1,0 +1,461 @@
+// Package rt is the real concurrent CAB runtime: a fork-join scheduler for
+// Go programs that implements the paper's squad structure (Fig. 3) and
+// stealing protocol (Algorithm I) with goroutine workers.
+//
+// Go's runtime owns OS threads, so "sockets" here are logical squads: the
+// protocol (per-worker intra pools, per-squad inter pools, head workers,
+// busy_state, level-based spawn tiers) is exactly the paper's, while actual
+// core pinning is left to the operating system. Measurement experiments use
+// the simulated machine (internal/simengine); this runtime exists so the
+// library is usable for real parallel work and so the protocol is exercised
+// under the race detector.
+//
+// One semantic deviation from MIT Cilk, forced by Go: spawned children are
+// queued and joined by *helping* (a worker that reaches Sync executes
+// pending tasks until its children finish) instead of child-first
+// continuation stealing, which needs first-class continuations. The tier
+// policies survive: intra-socket children go to the spawning worker's own
+// deque and are executed LIFO (depth-first, the locality child-first
+// buys), inter-socket children go parent-first to squad inter pools.
+package rt
+
+import (
+	"fmt"
+	"runtime"
+	"runtime/debug"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"cab/internal/core"
+	"cab/internal/deque"
+	"cab/internal/topology"
+	"cab/internal/work"
+	"cab/internal/xrand"
+)
+
+// Config configures a Runtime.
+type Config struct {
+	// Topo defines the squad structure (M squads of N workers). Leave a
+	// zero value to derive a single-squad machine from GOMAXPROCS.
+	Topo topology.Topology
+	// BL is the boundary level; 0 schedules everything as one tier.
+	BL int
+	// Seed drives victim selection.
+	Seed uint64
+}
+
+// Stats counts scheduler events since the runtime started.
+type Stats struct {
+	Spawns       int64
+	InterSpawns  int64
+	StealsIntra  int64
+	StealsInter  int64
+	FailedSteals int64
+	Helps        int64 // tasks executed inside someone's Sync
+}
+
+// task is a frame in the run DAG. The paper's cilk2c adds level, parent
+// and inter_counter to each frame (§IV-B); pending is the join counter
+// covering children of both tiers.
+type task struct {
+	fn      work.Fn
+	parent  *task
+	level   int
+	tier    core.Tier
+	hint    int
+	pending atomic.Int32
+	done    chan struct{} // non-nil on the root only
+}
+
+// Runtime is a running CAB scheduler instance.
+type Runtime struct {
+	topo topology.Topology
+	bl   int
+
+	intra []*deque.Deque[task]
+	inter []*deque.Locked[task]
+	busy  []atomic.Bool
+
+	workers int
+	stopped atomic.Bool
+	wg      sync.WaitGroup
+
+	spawns       atomic.Int64
+	interSpawns  atomic.Int64
+	stealsIntra  atomic.Int64
+	stealsInter  atomic.Int64
+	failedSteals atomic.Int64
+	helps        atomic.Int64
+
+	roots chan *task // work submitted via Run, delivered to worker 0's squad
+	seed  uint64
+
+	panicMu sync.Mutex
+	panics  []*TaskPanic
+}
+
+// TaskPanic describes a panic raised inside a task body. The runtime
+// recovers it (so one bad task cannot wedge the worker pool), completes
+// the join protocol as if the task returned, and reports it from Run.
+type TaskPanic struct {
+	Value interface{} // the value passed to panic
+	Level int         // DAG level of the panicking task
+	Stack string      // goroutine stack at recovery
+}
+
+// Error implements error.
+func (p *TaskPanic) Error() string {
+	return fmt.Sprintf("rt: task (level %d) panicked: %v", p.Level, p.Value)
+}
+
+// New starts the worker pool: M*N goroutine workers, one per logical core,
+// grouped into squads per the topology (Algorithm II step 1).
+func New(cfg Config) (*Runtime, error) {
+	topo := cfg.Topo
+	if topo.Workers() == 0 {
+		n := runtime.GOMAXPROCS(0)
+		topo = topology.Topology{
+			Sockets: 1, CoresPerSocket: n, LineBytes: 64,
+			L3Bytes: 1 << 20, L3Assoc: 16,
+		}
+	}
+	if err := topo.Validate(); err != nil {
+		return nil, err
+	}
+	if cfg.BL < 0 {
+		return nil, fmt.Errorf("rt: negative BL %d", cfg.BL)
+	}
+	r := &Runtime{
+		topo:    topo,
+		bl:      cfg.BL,
+		workers: topo.Workers(),
+		roots:   make(chan *task),
+		seed:    cfg.Seed,
+	}
+	if topo.Sockets == 1 {
+		r.bl = 0 // Algorithm II step 2: single socket degenerates to Cilk
+	}
+	r.intra = make([]*deque.Deque[task], r.workers)
+	for i := range r.intra {
+		r.intra[i] = deque.NewDeque[task]()
+	}
+	r.inter = make([]*deque.Locked[task], topo.Sockets)
+	for i := range r.inter {
+		r.inter[i] = deque.NewLocked[task]()
+	}
+	r.busy = make([]atomic.Bool, topo.Sockets)
+	for w := 0; w < r.workers; w++ {
+		r.wg.Add(1)
+		go r.workerLoop(w)
+	}
+	return r, nil
+}
+
+// BL returns the effective boundary level.
+func (r *Runtime) BL() int { return r.bl }
+
+// Topology returns the logical machine.
+func (r *Runtime) Topology() topology.Topology { return r.topo }
+
+// Stats snapshots the event counters.
+func (r *Runtime) Stats() Stats {
+	return Stats{
+		Spawns:       r.spawns.Load(),
+		InterSpawns:  r.interSpawns.Load(),
+		StealsIntra:  r.stealsIntra.Load(),
+		StealsInter:  r.stealsInter.Load(),
+		FailedSteals: r.failedSteals.Load(),
+		Helps:        r.helps.Load(),
+	}
+}
+
+// Run executes fn as the initial task (level 0) and blocks until it and
+// every task it transitively spawned have finished. Runtimes are reusable:
+// Run may be called repeatedly (but not concurrently from multiple
+// goroutines, matching a Cilk program's single main).
+func (r *Runtime) Run(fn work.Fn) error {
+	if r.stopped.Load() {
+		return fmt.Errorf("rt: runtime is closed")
+	}
+	rootTier := core.TierIntra
+	if r.bl > 0 {
+		rootTier = core.TierInter
+	}
+	root := &task{fn: fn, level: 0, tier: rootTier, hint: -1, done: make(chan struct{})}
+	r.roots <- root
+	<-root.done
+	r.panicMu.Lock()
+	defer r.panicMu.Unlock()
+	if len(r.panics) > 0 {
+		first := r.panics[0]
+		r.panics = nil
+		return first
+	}
+	return nil
+}
+
+// Close stops the workers. Outstanding Run calls must have returned.
+func (r *Runtime) Close() {
+	if r.stopped.Swap(true) {
+		return
+	}
+	close(r.roots)
+	r.wg.Wait()
+}
+
+// ctx is the work.Proc a task body sees.
+type ctx struct {
+	r      *Runtime
+	worker int
+	t      *task
+	rng    *xrand.Source
+}
+
+var _ work.Proc = (*ctx)(nil)
+
+func (c *ctx) Worker() int { return c.worker }
+func (c *ctx) Level() int  { return c.t.level }
+func (c *ctx) Squads() int { return c.r.topo.Sockets }
+
+// Compute, Load, Store and Prefetch are annotations for the simulator; on
+// the real runtime the actual Go computation is the cost.
+func (c *ctx) Compute(int64)          {}
+func (c *ctx) Load(uint64, int64)     {}
+func (c *ctx) Store(uint64, int64)    {}
+func (c *ctx) Prefetch(uint64, int64) {}
+
+func (c *ctx) Spawn(fn work.Fn)                { c.spawn(fn, -1) }
+func (c *ctx) SpawnHint(squad int, fn work.Fn) { c.spawn(fn, squad) }
+
+func (c *ctx) spawn(fn work.Fn, hint int) {
+	r := c.r
+	child := &task{
+		fn:     fn,
+		parent: c.t,
+		level:  c.t.level + 1,
+		tier:   core.ChildTier(c.t.level, r.bl),
+		hint:   hint,
+	}
+	c.t.pending.Add(1)
+	r.spawns.Add(1)
+	if child.tier == core.TierInter {
+		r.interSpawns.Add(1)
+		sq := r.topo.SquadOf(c.worker)
+		if hint >= 0 && hint < r.topo.Sockets {
+			sq = hint
+		}
+		r.inter[sq].Push(child)
+		return
+	}
+	r.intra[c.worker].Push(child)
+}
+
+// Sync blocks until all of this task's children are done, helping by
+// executing queued tasks meanwhile.
+func (c *ctx) Sync() {
+	r := c.r
+	interSync := c.t.tier == core.TierInter && c.t.level < r.bl
+	sq := r.topo.SquadOf(c.worker)
+	if interSync {
+		// The frame suspends at an inter-tier sync: the squad may take
+		// another inter-socket task meanwhile (see simsched.CAB).
+		r.busy[sq].Store(false)
+	}
+	backoff := 0
+	for c.t.pending.Load() > 0 {
+		var t *task
+		if interSync || r.bl == 0 {
+			// Blocked at an inter-tier sync (or single-tier mode): the
+			// worker is fully free per Algorithm I.
+			t = r.findTask(c.worker, c.rng)
+		} else {
+			// A leaf inter-socket or intra-socket task joining its intra
+			// children helps only within its squad, preserving the
+			// one-inter-task-per-squad discipline.
+			t = r.findIntra(c.worker, c.rng)
+		}
+		if t != nil {
+			r.helps.Add(1)
+			r.execute(c.worker, t, c.rng)
+			backoff = 0
+			continue
+		}
+		backoff = wait(backoff)
+	}
+	if interSync {
+		r.busy[sq].Store(true) // the frame resumes as the squad's inter task
+	}
+}
+
+// wait implements the idle backoff: spin, yield, then sleep briefly.
+func wait(backoff int) int {
+	switch {
+	case backoff < 4:
+		// spin
+	case backoff < 16:
+		runtime.Gosched()
+	default:
+		time.Sleep(20 * time.Microsecond)
+	}
+	if backoff < 1<<20 {
+		backoff++
+	}
+	return backoff
+}
+
+// execute runs one task frame and settles its completion. A panicking
+// body is recovered and recorded (surfaced by Run); the frame still joins
+// its children so the DAG's counters stay consistent.
+func (r *Runtime) execute(worker int, t *task, rng *xrand.Source) {
+	c := &ctx{r: r, worker: worker, t: t, rng: rng}
+	func() {
+		defer func() {
+			if v := recover(); v != nil {
+				r.panicMu.Lock()
+				r.panics = append(r.panics, &TaskPanic{
+					Value: v, Level: t.level, Stack: string(debug.Stack()),
+				})
+				r.panicMu.Unlock()
+			}
+		}()
+		t.fn(c)
+	}()
+	// Implicit final sync: a frame is not done until its children are
+	// (Cilk inserts one before every procedure return).
+	if t.pending.Load() > 0 {
+		c.Sync()
+	}
+	if t.tier == core.TierInter {
+		// Algorithm II (c): a returning inter-socket task frees its squad.
+		r.busy[r.topo.SquadOf(worker)].Store(false)
+	}
+	if t.parent != nil {
+		t.parent.pending.Add(-1)
+	}
+	if t.done != nil {
+		close(t.done)
+	}
+}
+
+// workerLoop is Algorithm I driven forever.
+func (r *Runtime) workerLoop(w int) {
+	defer r.wg.Done()
+	rng := xrand.New(r.seed + uint64(w)*0x9e3779b97f4a7c15 + 1)
+	backoff := 0
+	for {
+		// Worker 0 accepts new root tasks (Algorithm II step 3).
+		if w == 0 {
+			select {
+			case root, ok := <-r.roots:
+				if !ok {
+					return
+				}
+				if root.tier == core.TierInter {
+					r.busy[0].Store(true)
+				}
+				r.execute(w, root, rng)
+				backoff = 0
+				continue
+			default:
+			}
+		} else if r.stopped.Load() {
+			return
+		}
+		if t := r.findTask(w, rng); t != nil {
+			r.execute(w, t, rng)
+			backoff = 0
+			continue
+		}
+		backoff = wait(backoff)
+	}
+}
+
+// findTask implements Algorithm I: own intra pool; within-squad intra
+// steal while the squad is busy; head worker obtains/steals inter tasks
+// when it is not.
+func (r *Runtime) findTask(w int, rng *xrand.Source) *task {
+	if t := r.intra[w].Pop(); t != nil {
+		return t
+	}
+	if r.bl == 0 {
+		return r.stealAny(w, rng)
+	}
+	sq := r.topo.SquadOf(w)
+	if r.busy[sq].Load() {
+		return r.stealIntraFrom(w, sq, rng)
+	}
+	if !r.topo.IsHead(w) {
+		return nil
+	}
+	if t := r.inter[sq].Pop(); t != nil {
+		r.busy[sq].Store(true)
+		return t
+	}
+	m := r.topo.Sockets
+	if m == 1 {
+		return nil
+	}
+	victim := rng.Intn(m - 1)
+	if victim >= sq {
+		victim++
+	}
+	t := r.inter[victim].StealMatch(func(x *task) bool {
+		return x.hint < 0 || x.hint == sq
+	})
+	if t == nil {
+		t = r.inter[victim].Steal()
+	}
+	if t != nil {
+		r.stealsInter.Add(1)
+		r.busy[sq].Store(true)
+		return t
+	}
+	r.failedSteals.Add(1)
+	return nil
+}
+
+// findIntra is the restricted helping mode of a leaf inter-socket task:
+// own pool, then squad mates.
+func (r *Runtime) findIntra(w int, rng *xrand.Source) *task {
+	if t := r.intra[w].Pop(); t != nil {
+		return t
+	}
+	return r.stealIntraFrom(w, r.topo.SquadOf(w), rng)
+}
+
+func (r *Runtime) stealIntraFrom(w, sq int, rng *xrand.Source) *task {
+	n := r.topo.CoresPerSocket
+	if n == 1 {
+		return nil
+	}
+	base := r.topo.HeadWorker(sq)
+	victim := base + rng.Intn(n-1)
+	if victim >= w {
+		victim++
+	}
+	if t := r.intra[victim].Steal(); t != nil {
+		r.stealsIntra.Add(1)
+		return t
+	}
+	r.failedSteals.Add(1)
+	return nil
+}
+
+// stealAny is the BL == 0 degenerate mode: random victim over all workers.
+func (r *Runtime) stealAny(w int, rng *xrand.Source) *task {
+	n := r.workers
+	if n == 1 {
+		return nil
+	}
+	victim := rng.Intn(n - 1)
+	if victim >= w {
+		victim++
+	}
+	if t := r.intra[victim].Steal(); t != nil {
+		r.stealsIntra.Add(1)
+		return t
+	}
+	r.failedSteals.Add(1)
+	return nil
+}

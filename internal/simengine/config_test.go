@@ -1,0 +1,222 @@
+package simengine
+
+import (
+	"bytes"
+	"testing"
+
+	"cab/internal/cache"
+	"cab/internal/trace"
+	"cab/internal/work"
+)
+
+// With a zero cost model and zero latencies, time passes only through
+// Compute — a sanity anchor for the cost accounting.
+func TestZeroCostModel(t *testing.T) {
+	c := Config{
+		Topo:    testTopo(),
+		Latency: cache.Latency{},
+		Cost:    CostModel{},
+		Seed:    1,
+	}
+	st := run(t, c, &chaser{}, func(p work.Proc) {
+		p.Load(4096, 4096) // free under zero latency
+		p.Spawn(func(q work.Proc) { q.Compute(777) })
+		p.Sync()
+	})
+	if st.Time != 777 {
+		t.Fatalf("Time = %d, want 777 (compute only)", st.Time)
+	}
+}
+
+// Spawn costs are charged to the spawning task.
+func TestSpawnCostCharged(t *testing.T) {
+	c := cfg(uniTopo(), 0)
+	c.Cost = CostModel{SpawnBase: 100, SyncPass: 10}
+	c.Latency = cache.Latency{}
+	st := run(t, c, &chaser{}, func(p work.Proc) {
+		p.Spawn(func(q work.Proc) {})
+		p.Spawn(func(q work.Proc) {})
+		p.Sync()
+	})
+	// 2 spawns * 100, plus one SyncPass: under the chaser's child-first
+	// policy both (empty) children finish before the parent reaches Sync,
+	// so the sync does not block.
+	if st.WorkCycles != 210 {
+		t.Fatalf("WorkCycles = %d, want 210", st.WorkCycles)
+	}
+}
+
+// A sync that does not block pays SyncPass.
+func TestSyncPassCost(t *testing.T) {
+	c := cfg(uniTopo(), 0)
+	c.Cost = CostModel{SyncPass: 9}
+	c.Latency = cache.Latency{}
+	st := run(t, c, &chaser{}, func(p work.Proc) {
+		p.Sync() // no children: immediate pass
+	})
+	if st.Time != 9 {
+		t.Fatalf("Time = %d, want 9", st.Time)
+	}
+}
+
+// The engine feeds the tracer coalesced spans and block/steal instants.
+func TestEngineTracing(t *testing.T) {
+	rec := trace.NewRecorder()
+	c := cfg(testTopo(), 0)
+	c.Tracer = rec
+	run(t, c, &chaser{}, func(p work.Proc) {
+		for i := 0; i < 4; i++ {
+			p.Spawn(func(q work.Proc) { q.Compute(5000) })
+		}
+		p.Sync()
+	})
+	var buf bytes.Buffer
+	if err := rec.WriteChrome(&buf); err != nil {
+		t.Fatal(err)
+	}
+	evs := rec.Finish()
+	var runs, blocks, steals int
+	for _, e := range evs {
+		switch e.Kind {
+		case trace.TaskRun:
+			runs++
+			if e.End < e.Start {
+				t.Fatalf("negative span: %+v", e)
+			}
+		case trace.Block:
+			blocks++
+		case trace.Steal:
+			steals++
+		}
+	}
+	if runs == 0 {
+		t.Error("no run spans recorded")
+	}
+	if blocks == 0 {
+		t.Error("no block instant recorded (root must block at Sync)")
+	}
+	if steals == 0 {
+		t.Error("no steal instants recorded")
+	}
+}
+
+// Prefetch actions install lines and charge only the issue cost.
+func TestEnginePrefetchAction(t *testing.T) {
+	lat := cache.DefaultLatency()
+	st := run(t, cfg(testTopo(), 0), &chaser{}, func(p work.Proc) {
+		p.Prefetch(4096, 256) // 4 lines
+		p.Load(4096, 256)     // all L3 hits now
+	})
+	if st.PrefetchedLines != 4 {
+		t.Fatalf("PrefetchedLines = %d, want 4", st.PrefetchedLines)
+	}
+	wantLoad := 4 * lat.L3Hit
+	wantIssue := 4 * DefaultCost().PrefetchIssue
+	if st.Time != wantLoad+wantIssue {
+		t.Fatalf("Time = %d, want %d (prefetch issue + L3 hits)", st.Time, wantLoad+wantIssue)
+	}
+}
+
+// Per-core busy cycles sum to WorkCycles and never exceed makespan each.
+func TestPerCoreBusyInvariant(t *testing.T) {
+	st := run(t, cfg(testTopo(), 0), &chaser{}, func(p work.Proc) {
+		for i := 0; i < 10; i++ {
+			p.Spawn(func(q work.Proc) { q.Compute(3000) })
+		}
+		p.Sync()
+	})
+	var sum int64
+	for c, b := range st.PerCoreBusy {
+		if b < 0 || b > st.Time {
+			t.Fatalf("core %d busy %d outside [0, %d]", c, b, st.Time)
+		}
+		sum += b
+	}
+	if sum != st.WorkCycles {
+		t.Fatalf("sum of per-core busy %d != WorkCycles %d", sum, st.WorkCycles)
+	}
+}
+
+// Critical-path accounting: a serial chain's T_inf equals its work; a wide
+// fork-join's T_inf is one child's path, not the sum.
+func TestCriticalPathSerialChain(t *testing.T) {
+	c := cfg(uniTopo(), 0)
+	c.Cost = CostModel{}
+	c.Latency = cache.Latency{}
+	st := run(t, c, &chaser{}, func(p work.Proc) {
+		p.Compute(100)
+		p.Compute(200)
+	})
+	if st.CriticalPath != 300 {
+		t.Fatalf("CriticalPath = %d, want 300", st.CriticalPath)
+	}
+}
+
+func TestCriticalPathForkJoin(t *testing.T) {
+	c := cfg(testTopo(), 0)
+	c.Cost = CostModel{}
+	c.Latency = cache.Latency{}
+	st := run(t, c, &chaser{}, func(p work.Proc) {
+		for i := 0; i < 8; i++ {
+			p.Spawn(func(q work.Proc) { q.Compute(1000) })
+		}
+		p.Sync()
+		p.Compute(50)
+	})
+	// T_inf = one child's 1000 + the 50 tail (spawn/sync costs are zero).
+	if st.CriticalPath != 1050 {
+		t.Fatalf("CriticalPath = %d, want 1050", st.CriticalPath)
+	}
+	if st.WorkCycles != 8*1000+50 {
+		t.Fatalf("WorkCycles = %d, want 8050", st.WorkCycles)
+	}
+}
+
+func TestCriticalPathNested(t *testing.T) {
+	c := cfg(testTopo(), 0)
+	c.Cost = CostModel{}
+	c.Latency = cache.Latency{}
+	st := run(t, c, &chaser{}, func(p work.Proc) {
+		p.Spawn(func(q work.Proc) {
+			q.Compute(10)
+			q.Spawn(func(r work.Proc) { r.Compute(100) })
+			q.Sync()
+			q.Compute(10)
+		})
+		p.Spawn(func(q work.Proc) { q.Compute(90) })
+		p.Sync()
+	})
+	// Longest chain: 10 + 100 + 10 = 120 beats the 90 sibling.
+	if st.CriticalPath != 120 {
+		t.Fatalf("CriticalPath = %d, want 120", st.CriticalPath)
+	}
+}
+
+// The greedy-scheduling bound T <= T1/P + T_inf (with scheduler overheads
+// folded into a small constant) must hold on arbitrary DAGs.
+func TestGreedyBoundHolds(t *testing.T) {
+	st := run(t, cfg(testTopo(), 0), &chaser{}, func(p work.Proc) {
+		var rec func(d int) work.Fn
+		rec = func(d int) work.Fn {
+			return func(q work.Proc) {
+				q.Compute(500)
+				if d == 0 {
+					return
+				}
+				q.Spawn(rec(d - 1))
+				q.Spawn(rec(d - 1))
+				q.Sync()
+			}
+		}
+		p.Spawn(rec(6))
+		p.Sync()
+	})
+	bound := float64(st.WorkCycles)/4 + float64(st.CriticalPath)
+	if float64(st.Time) > 2*bound {
+		t.Fatalf("Time %d exceeds 2x greedy bound %.0f (T1=%d Tinf=%d)",
+			st.Time, bound, st.WorkCycles, st.CriticalPath)
+	}
+	if st.CriticalPath <= 0 || st.CriticalPath > st.Time {
+		t.Fatalf("T_inf = %d outside (0, T_MN=%d]", st.CriticalPath, st.Time)
+	}
+}

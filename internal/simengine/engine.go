@@ -1,0 +1,470 @@
+// Package simengine is the discrete-event execution engine of the simulated
+// MSMC machine.
+//
+// Each simulated core has a virtual clock. Tasks are coroutines (one
+// goroutine per in-flight task) that run real workload code between costed
+// actions; the engine resumes exactly one at a time, charges the action's
+// cost to the executing core (memory actions are priced by the cache
+// hierarchy), and asks the plugged-in Scheduler what each core should do
+// when it goes idle. Because a suspended parent is just a blocked
+// goroutine, child-first spawning with true continuation stealing — MIT
+// Cilk's work-first semantics, which cilk2c implements with compiler
+// support — falls out naturally.
+package simengine
+
+import (
+	"container/heap"
+	"fmt"
+
+	"cab/internal/cache"
+	"cab/internal/core"
+	"cab/internal/topology"
+	"cab/internal/trace"
+	"cab/internal/work"
+)
+
+// CostModel prices the scheduler's own operations, in cycles.
+type CostModel struct {
+	SpawnBase     int64 // creating a task frame and pushing/starting it
+	LevelTracking int64 // CAB's extra per-spawn bookkeeping (level, counters)
+	StealAttempt  int64 // probing a victim pool (remote lock + check)
+	PoolPop       int64 // popping a worker's own squad pool (local lock)
+	SyncPass      int64 // a sync that does not block
+	IdleSpin      int64 // a fruitless pass through the find-work loop
+	PrefetchIssue int64 // issuing one line of helper-thread prefetch
+	CentralBase   int64 // task-sharing: base cost of a central-pool op
+	CentralPerCPU int64 // task-sharing: extra contention cost per worker
+}
+
+// DefaultCost returns costs in line with the paper's observations: spawns
+// cost on the order of a hundred cycles, CAB's frame bookkeeping adds a few
+// percent (Fig. 8), steals are more expensive than spawns.
+func DefaultCost() CostModel {
+	return CostModel{
+		SpawnBase:     80,
+		LevelTracking: 4,
+		StealAttempt:  160,
+		PoolPop:       60,
+		PrefetchIssue: 2,
+		SyncPass:      24,
+		IdleSpin:      120,
+		CentralBase:   60,
+		CentralPerCPU: 14,
+	}
+}
+
+// Config assembles a simulated run.
+type Config struct {
+	Topo    topology.Topology
+	Latency cache.Latency
+	Cost    CostModel
+	Cache   cache.Options
+	Seed    uint64
+	// BL is the boundary level for tier classification (0 = single tier).
+	// Schedulers that ignore tiers (Cilk, sharing) still see tier labels in
+	// stats, computed against this BL.
+	BL int
+	// Tracer, when non-nil, records per-core execution spans and steal
+	// events for offline inspection (internal/trace).
+	Tracer *trace.Recorder
+}
+
+// Scheduler is the policy plugged into the engine. Implementations live in
+// internal/simsched. The engine is single-threaded; implementations need no
+// locking.
+type Scheduler interface {
+	Name() string
+	// Init binds the scheduler to an engine before the run starts.
+	Init(e *Engine)
+	// OnSpawn places child (created by parent on core). It returns the
+	// task the core should keep executing: parent (parent-first) or child
+	// (child-first, with parent's continuation parked in a pool by the
+	// scheduler).
+	OnSpawn(coreID int, parent, child *Task) (next *Task)
+	// OnBlocked tells the scheduler the task blocked at Sync on core.
+	OnBlocked(coreID int, t *Task)
+	// OnReturn tells the scheduler the task completed on core.
+	OnReturn(coreID int, t *Task)
+	// OnUnblock is called when the last child of a Sync-blocked task
+	// returns on core. Returning true lets the core adopt the parent
+	// immediately (Cilk's resume-on-last-return). Returning false means
+	// the scheduler has re-enqueued the task into one of its pools — CAB
+	// does this for inter-tier tasks so that resuming them goes through
+	// the busy_state discipline instead of bypassing it.
+	OnUnblock(coreID int, t *Task) (adopt bool)
+	// FindWork is called when core is idle. It returns a task to run (the
+	// scheduler must have removed it from its pools) or nil. The
+	// implementation charges probe costs via Engine.Charge.
+	FindWork(coreID int) *Task
+	// Pending returns the number of tasks currently sitting in pools
+	// (runnable but unassigned), for termination/deadlock accounting.
+	Pending() int
+	// SpawnOverhead returns extra cycles this scheduler adds to every
+	// spawn on top of CostModel.SpawnBase. CAB pays CostModel.
+	// LevelTracking here (the frame bookkeeping Fig. 8 measures);
+	// baseline schedulers pay nothing.
+	SpawnOverhead() int64
+}
+
+type coreClock struct {
+	id   int
+	time int64
+	task *Task
+	// busy is the sum of cycles this core spent executing task actions
+	// (excluding idle spins and steal probes).
+	busy int64
+}
+
+type coreHeap []*coreClock
+
+func (h coreHeap) Len() int { return len(h) }
+func (h coreHeap) Less(i, j int) bool {
+	if h[i].time != h[j].time {
+		return h[i].time < h[j].time
+	}
+	return h[i].id < h[j].id // deterministic tie-break
+}
+func (h coreHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *coreHeap) Push(x interface{}) { *h = append(*h, x.(*coreClock)) }
+func (h *coreHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	x := old[n-1]
+	old[n-1] = nil
+	*h = old[:n-1]
+	return x
+}
+
+// Engine executes one simulated run.
+type Engine struct {
+	cfg   Config
+	hier  *cache.Hierarchy
+	sched Scheduler
+
+	cores []*coreClock
+	heap  coreHeap
+
+	nextTaskID   int64
+	live         int   // tasks created and not yet done
+	inFlight     int   // tasks started (goroutine exists) and not done
+	lastEvent    int64 // virtual time of the last task action
+	lastIdleCore int   // core currently inside FindWork (for steal tracing)
+
+	stats Stats
+}
+
+// New builds an engine for one run. The scheduler is bound via Init.
+func New(cfg Config, sched Scheduler) (*Engine, error) {
+	if err := cfg.Topo.Validate(); err != nil {
+		return nil, err
+	}
+	if cfg.BL < 0 {
+		return nil, fmt.Errorf("simengine: negative BL %d", cfg.BL)
+	}
+	e := &Engine{
+		cfg:   cfg,
+		hier:  cache.NewHierarchy(cfg.Topo, cfg.Latency, cfg.Cache),
+		sched: sched,
+	}
+	n := cfg.Topo.Workers()
+	e.cores = make([]*coreClock, n)
+	e.heap = make(coreHeap, 0, n)
+	for i := 0; i < n; i++ {
+		c := &coreClock{id: i}
+		e.cores[i] = c
+		e.heap = append(e.heap, c)
+	}
+	heap.Init(&e.heap)
+	sched.Init(e)
+	return e, nil
+}
+
+// Topology returns the simulated machine.
+func (e *Engine) Topology() topology.Topology { return e.cfg.Topo }
+
+// BL returns the boundary level of this run.
+func (e *Engine) BL() int { return e.cfg.BL }
+
+// Cost returns the cost model of this run.
+func (e *Engine) Cost() CostModel { return e.cfg.Cost }
+
+// Seed returns the run's RNG seed (schedulers derive per-worker streams).
+func (e *Engine) Seed() uint64 { return e.cfg.Seed }
+
+// Hierarchy exposes the cache model (read-only use by experiments).
+func (e *Engine) Hierarchy() *cache.Hierarchy { return e.hier }
+
+// Charge adds cycles to a core's clock without counting them as useful
+// work. Schedulers use it to price steal probes and pool operations.
+func (e *Engine) Charge(coreID int, cycles int64) {
+	e.cores[coreID].time += cycles
+}
+
+// NoteSteal records a steal attempt in the run statistics.
+func (e *Engine) NoteSteal(inter, success bool) {
+	switch {
+	case inter && success:
+		e.stats.StealsInter++
+	case !inter && success:
+		e.stats.StealsIntra++
+	default:
+		e.stats.FailedSteals++
+	}
+	if success && e.cfg.Tracer != nil {
+		kind := "intra"
+		if inter {
+			kind = "inter"
+		}
+		// Schedulers call NoteSteal from inside FindWork; the engine
+		// remembers which core is currently idle-probing.
+		e.cfg.Tracer.Instant(trace.Steal, e.lastIdleCore, 0, e.cores[e.lastIdleCore].time, kind+" steal")
+	}
+}
+
+// Run executes root (at DAG level 0, on core 0, per Algorithm II) to
+// completion and returns the run statistics.
+func (e *Engine) Run(root work.Fn) (Stats, error) {
+	rootTier := core.TierIntra
+	if e.cfg.BL > 0 {
+		rootTier = core.TierInter
+	}
+	t := e.newTask(root, nil, 0, rootTier, -1)
+	e.cores[0].task = t // started lazily by the first resume
+
+	for e.live > 0 {
+		c := heap.Pop(&e.heap).(*coreClock)
+		if c.task != nil {
+			e.step(c)
+		} else {
+			e.idle(c)
+		}
+		heap.Push(&e.heap, c)
+	}
+
+	e.finalizeStats()
+	return e.stats, nil
+}
+
+func (e *Engine) newTask(fn work.Fn, parent *Task, level int, tier core.Tier, hint int) *Task {
+	t := &Task{
+		id:     e.nextTaskID,
+		level:  level,
+		tier:   tier,
+		hint:   hint,
+		fn:     fn,
+		parent: parent,
+	}
+	e.nextTaskID++
+	e.live++
+	e.stats.Tasks++
+	if tier == core.TierInter {
+		e.stats.InterTasks++
+		if core.IsLeafInter(level, e.cfg.BL) {
+			e.stats.LeafInterTasks++
+		}
+	}
+	return t
+}
+
+func (e *Engine) startTask(t *Task, coreID int) {
+	t.proc = newTaskProc(t, e.cfg.Topo.Sockets)
+	t.state = stateRunning
+	t.core = coreID
+	e.inFlight++
+	if e.inFlight > e.stats.MaxInFlight {
+		e.stats.MaxInFlight = e.inFlight
+	}
+	t.proc.start()
+}
+
+// resume lets the task on core c run until its next action and returns it.
+func (e *Engine) resume(c *coreClock) action {
+	t := c.task
+	t.core = c.id
+	if t.proc == nil {
+		e.startTask(t, c.id)
+		return <-t.proc.act
+	}
+	if t.state != stateRunning {
+		t.state = stateRunning
+	}
+	t.proc.res <- struct{}{}
+	return <-t.proc.act
+}
+
+// chargeWork adds useful-work cycles to the core, the tier totals and the
+// task's critical-path clock.
+func (e *Engine) chargeWork(c *coreClock, t *Task, cycles int64) {
+	c.time += cycles
+	c.busy += cycles
+	t.crit += cycles
+	if t.tier == core.TierInter {
+		e.stats.InterWorkCycles += cycles
+	} else {
+		e.stats.IntraWorkCycles += cycles
+	}
+}
+
+func (e *Engine) step(c *coreClock) {
+	t := c.task
+	before := c.time
+	a := e.resume(c)
+	switch a.kind {
+	case actCompute:
+		e.chargeWork(c, t, a.n)
+
+	case actLoad, actStore:
+		cost := e.hier.Access(c.id, a.addr, a.n, a.kind == actStore)
+		e.chargeWork(c, t, cost)
+		e.stats.MemoryCycles += cost
+
+	case actPrefetch:
+		// Helper-thread prefetch (§VII future work): the data streams
+		// into the socket's shared cache off the critical path; the
+		// issuing core pays only a per-line issue cost.
+		lines := e.hier.Prefetch(e.cfg.Topo.SquadOf(c.id), a.addr, a.n)
+		e.chargeWork(c, t, lines*e.cfg.Cost.PrefetchIssue)
+		e.stats.PrefetchedLines += lines
+
+	case actSpawn:
+		childTier := core.ChildTier(t.level, e.cfg.BL)
+		child := e.newTask(a.fn, t, t.level+1, childTier, a.hint)
+		t.outstanding++
+		cost := e.cfg.Cost.SpawnBase + e.sched.SpawnOverhead()
+		e.chargeWork(c, t, cost)
+		child.crit = t.crit // the child's path starts at the spawn point
+		if childTier == core.TierInter {
+			e.stats.InterSpawns++
+		} else {
+			e.stats.IntraSpawns++
+		}
+		next := e.sched.OnSpawn(c.id, t, child)
+		if next != t {
+			// Child-first: the parent's continuation was parked by the
+			// scheduler; it is resumable by whoever pops it.
+			t.state = stateSuspended
+		}
+		c.task = next
+
+	case actSync:
+		if t.outstanding == 0 {
+			if t.critJoin > t.crit {
+				t.crit = t.critJoin // join already-finished children
+			}
+			e.chargeWork(c, t, e.cfg.Cost.SyncPass)
+			// The task continues; the next heap pop resumes it.
+		} else {
+			t.state = stateBlocked
+			c.task = nil
+			e.sched.OnBlocked(c.id, t)
+		}
+
+	case actDone:
+		t.state = stateDone
+		t.proc = nil
+		e.live--
+		e.inFlight--
+		if t.critJoin > t.crit {
+			t.crit = t.critJoin // implicit join of any unsynced children
+		}
+		if t.parent == nil && t.crit > e.stats.CriticalPath {
+			e.stats.CriticalPath = t.crit
+		}
+		e.sched.OnReturn(c.id, t)
+		c.task = nil
+		if p := t.parent; p != nil {
+			p.outstanding--
+			p.critJoin = maxi64(p.critJoin, t.crit)
+			if p.state == stateBlocked && p.outstanding == 0 {
+				if p.critJoin > p.crit {
+					p.crit = p.critJoin // the sync completes here
+				}
+				if e.sched.OnUnblock(c.id, p) {
+					// Cilk semantics: the worker that returned the last
+					// child resumes the waiting parent.
+					p.state = stateRunning
+					c.task = p
+				} else {
+					// Re-enqueued by the scheduler; it will surface via
+					// FindWork under the scheduler's own discipline.
+					p.state = stateSuspended
+				}
+			}
+		}
+	}
+	if c.time > e.lastEvent {
+		e.lastEvent = c.time
+	}
+	if tr := e.cfg.Tracer; tr != nil {
+		switch a.kind {
+		case actSync:
+			if t.state == stateBlocked {
+				tr.Instant(trace.Block, c.id, t.id, c.time, fmt.Sprintf("task %d blocked", t.id))
+			} else {
+				tr.RunSpan(c.id, t.id, t.level, t.tier.String(), before, c.time)
+			}
+		default:
+			tr.RunSpan(c.id, t.id, t.level, t.tier.String(), before, c.time)
+		}
+	}
+}
+
+func maxi64(a, b int64) int64 {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+func (e *Engine) idle(c *coreClock) {
+	e.lastIdleCore = c.id
+	if t := e.sched.FindWork(c.id); t != nil {
+		if t.state == stateDone || t.state == stateBlocked {
+			panic(fmt.Sprintf("simengine: scheduler returned task %d in state %d", t.id, t.state))
+		}
+		c.task = t
+		return
+	}
+	spin := e.cfg.Cost.IdleSpin
+	if spin <= 0 {
+		spin = 1 // idle must consume virtual time or the loop livelocks
+	}
+	e.cores[c.id].time += spin
+	if e.sched.Pending() > 0 {
+		return // work exists (perhaps only inter tasks this worker may not take); keep probing
+	}
+	// Nothing anywhere: skip ahead to the next busy core's time so idle
+	// cores do not micro-spin through a long serial phase.
+	minBusy := int64(-1)
+	for _, o := range e.cores {
+		if o.task != nil && (minBusy < 0 || o.time < minBusy) {
+			minBusy = o.time
+		}
+	}
+	if minBusy < 0 {
+		// No core is running anything, no pool has anything, yet tasks are
+		// alive: every remaining task is blocked — a lost-wakeup bug.
+		panic(fmt.Sprintf("simengine: deadlock with %d live tasks (scheduler %s)", e.live, e.sched.Name()))
+	}
+	if c.time < minBusy {
+		c.time = minBusy
+	}
+}
+
+func (e *Engine) finalizeStats() {
+	e.stats.Scheduler = e.sched.Name()
+	e.stats.BL = e.cfg.BL
+	e.stats.Time = e.lastEvent
+	e.stats.Cache = e.hier.Totals()
+	e.stats.FootprintBytes = e.hier.TotalFootprintBytes()
+	e.stats.PerCoreBusy = make([]int64, len(e.cores))
+	for i, c := range e.cores {
+		e.stats.PerCoreBusy[i] = c.busy
+		e.stats.WorkCycles += c.busy
+	}
+	top := e.cfg.Topo
+	e.stats.SocketFootprint = make([]int64, top.Sockets)
+	for s := 0; s < top.Sockets; s++ {
+		e.stats.SocketFootprint[s] = e.hier.FootprintBytes(s)
+	}
+}

@@ -1,0 +1,411 @@
+package simengine
+
+import (
+	"strings"
+	"sync/atomic"
+	"testing"
+
+	"cab/internal/cache"
+	"cab/internal/deque"
+	"cab/internal/topology"
+	"cab/internal/work"
+)
+
+// testTopo is a small 2-socket x 2-core machine with room in every level.
+func testTopo() topology.Topology {
+	return topology.Topology{
+		Sockets: 2, CoresPerSocket: 2, LineBytes: 64,
+		L1Bytes: 1 << 10, L1Assoc: 2,
+		L2Bytes: 8 << 10, L2Assoc: 4,
+		L3Bytes: 64 << 10, L3Assoc: 8,
+	}
+}
+
+func uniTopo() topology.Topology {
+	t := testTopo()
+	t.Sockets, t.CoresPerSocket = 1, 1
+	return t
+}
+
+func cfg(top topology.Topology, bl int) Config {
+	return Config{Topo: top, Latency: cache.DefaultLatency(), Cost: DefaultCost(), Seed: 1, BL: bl}
+}
+
+// chaser is a minimal work-conserving scheduler for engine tests: per-worker
+// deques, child-first, deterministic round-robin stealing.
+type chaser struct {
+	eng     *Engine
+	pools   []*deque.Deque[Task]
+	pending int
+}
+
+func (s *chaser) Name() string { return "chaser" }
+func (s *chaser) Init(e *Engine) {
+	s.eng = e
+	s.pools = make([]*deque.Deque[Task], e.Topology().Workers())
+	for i := range s.pools {
+		s.pools[i] = deque.NewDeque[Task]()
+	}
+}
+func (s *chaser) OnSpawn(coreID int, parent, child *Task) *Task {
+	s.pools[coreID].Push(parent)
+	s.pending++
+	return child
+}
+func (s *chaser) OnBlocked(int, *Task)      {}
+func (s *chaser) OnReturn(int, *Task)       {}
+func (s *chaser) OnUnblock(int, *Task) bool { return true }
+func (s *chaser) SpawnOverhead() int64      { return 0 }
+func (s *chaser) FindWork(coreID int) *Task {
+	if t := s.pools[coreID].Pop(); t != nil {
+		s.pending--
+		return t
+	}
+	for v := range s.pools {
+		if v == coreID {
+			continue
+		}
+		if t := s.pools[v].Steal(); t != nil {
+			s.pending--
+			s.eng.NoteSteal(false, true)
+			return t
+		}
+	}
+	return nil
+}
+func (s *chaser) Pending() int { return s.pending }
+
+func run(t *testing.T, c Config, sched Scheduler, root work.Fn) Stats {
+	t.Helper()
+	e, err := New(c, sched)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st, err := e.Run(root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return st
+}
+
+func TestSingleComputeTask(t *testing.T) {
+	st := run(t, cfg(uniTopo(), 0), &chaser{}, func(p work.Proc) {
+		p.Compute(1000)
+	})
+	if st.Time != 1000 {
+		t.Fatalf("Time = %d, want 1000", st.Time)
+	}
+	if st.Tasks != 1 {
+		t.Fatalf("Tasks = %d, want 1", st.Tasks)
+	}
+}
+
+func TestForkJoinParallelism(t *testing.T) {
+	const c = 100_000
+	root := func(p work.Proc) {
+		for i := 0; i < 4; i++ {
+			p.Spawn(func(q work.Proc) { q.Compute(c) })
+		}
+		p.Sync()
+	}
+	// On one core the four children serialize.
+	serial := run(t, cfg(uniTopo(), 0), &chaser{}, root)
+	if serial.Time < 4*c {
+		t.Fatalf("serial Time = %d, want >= %d", serial.Time, 4*c)
+	}
+	// On four cores they overlap: strictly faster than 2 children's work.
+	par := run(t, cfg(testTopo(), 0), &chaser{}, root)
+	if par.Time >= 2*c {
+		t.Fatalf("parallel Time = %d, want < %d (parallelism)", par.Time, 2*c)
+	}
+	if par.StealsIntra == 0 {
+		t.Error("expected steals in the parallel run")
+	}
+}
+
+func TestSyncWaitsForChildren(t *testing.T) {
+	var sum int64
+	st := run(t, cfg(testTopo(), 0), &chaser{}, func(p work.Proc) {
+		for i := 1; i <= 10; i++ {
+			i := i
+			p.Spawn(func(q work.Proc) {
+				q.Compute(int64(i) * 50)
+				atomic.AddInt64(&sum, int64(i))
+			})
+		}
+		p.Sync()
+		if got := atomic.LoadInt64(&sum); got != 55 {
+			t.Errorf("after Sync sum = %d, want 55", got)
+		}
+	})
+	if st.Tasks != 11 {
+		t.Fatalf("Tasks = %d, want 11", st.Tasks)
+	}
+}
+
+func TestNestedSpawnLevels(t *testing.T) {
+	levels := make(chan int, 8)
+	var rec func(depth int) work.Fn
+	rec = func(depth int) work.Fn {
+		return func(p work.Proc) {
+			levels <- p.Level()
+			if depth > 0 {
+				p.Spawn(rec(depth - 1))
+				p.Sync()
+			}
+		}
+	}
+	run(t, cfg(uniTopo(), 0), &chaser{}, rec(3))
+	close(levels)
+	want := 0
+	for l := range levels {
+		if l != want {
+			t.Fatalf("level = %d, want %d", l, want)
+		}
+		want++
+	}
+	if want != 4 {
+		t.Fatalf("saw %d tasks, want 4", want)
+	}
+}
+
+// Child-first on a single worker: the child runs to completion before the
+// parent's code after Spawn (no thief exists to take the continuation).
+func TestChildFirstOrderSingleWorker(t *testing.T) {
+	var order []string
+	run(t, cfg(uniTopo(), 0), &chaser{}, func(p work.Proc) {
+		order = append(order, "pre")
+		p.Spawn(func(q work.Proc) {
+			q.Compute(10)
+			order = append(order, "child")
+		})
+		order = append(order, "post")
+		p.Sync()
+	})
+	got := strings.Join(order, ",")
+	if got != "pre,child,post" {
+		t.Fatalf("order = %q, want child before post (child-first)", got)
+	}
+}
+
+// Continuation stealing: with two workers, a long-running child lets the
+// other worker steal and run the parent's continuation concurrently — the
+// continuation executes on a different core than the spawn did.
+func TestContinuationStealing(t *testing.T) {
+	top := testTopo()
+	top.Sockets, top.CoresPerSocket = 1, 2
+	var spawnCore, contCore int
+	var childDone atomic.Bool
+	var contRanBeforeChildDone bool
+	st := run(t, cfg(top, 0), &chaser{}, func(p work.Proc) {
+		spawnCore = p.Worker()
+		p.Spawn(func(q work.Proc) {
+			q.Compute(1_000_000)
+			childDone.Store(true)
+		})
+		contCore = p.Worker()
+		if !childDone.Load() {
+			contRanBeforeChildDone = true
+		}
+		p.Sync()
+	})
+	if !contRanBeforeChildDone {
+		t.Error("continuation should have been stolen and run before the long child finished")
+	}
+	if spawnCore == contCore {
+		t.Errorf("continuation ran on core %d = spawn core; expected a thief", contCore)
+	}
+	if st.StealsIntra == 0 {
+		t.Error("no steal recorded")
+	}
+}
+
+func TestMemoryActionsDriveCaches(t *testing.T) {
+	lat := cache.DefaultLatency()
+	st := run(t, cfg(testTopo(), 0), &chaser{}, func(p work.Proc) {
+		p.Load(4096, 64)   // 1 line, cold: memory latency
+		p.Load(4096, 64)   // warm: L1
+		p.Store(8192, 128) // 2 lines, cold
+	})
+	want := lat.Memory + lat.L1Hit + 2*lat.Memory
+	if st.MemoryCycles != want {
+		t.Fatalf("MemoryCycles = %d, want %d", st.MemoryCycles, want)
+	}
+	if st.Cache.L1.Accesses != 4 {
+		t.Fatalf("L1 accesses = %d, want 4", st.Cache.L1.Accesses)
+	}
+	if st.Time != want {
+		t.Fatalf("Time = %d, want %d (memory only)", st.Time, want)
+	}
+}
+
+func TestDeterminism(t *testing.T) {
+	root := func(p work.Proc) {
+		for i := 0; i < 6; i++ {
+			p.Spawn(func(q work.Proc) {
+				q.Compute(500)
+				q.Load(uint64(4096+q.Worker()*4096), 256)
+			})
+		}
+		p.Sync()
+	}
+	a := run(t, cfg(testTopo(), 0), &chaser{}, root)
+	b := run(t, cfg(testTopo(), 0), &chaser{}, root)
+	if a.Time != b.Time || a.StealsIntra != b.StealsIntra ||
+		a.Cache.L3.Misses != b.Cache.L3.Misses {
+		t.Fatalf("runs diverged:\n%v\nvs\n%v", a, b)
+	}
+}
+
+func TestTierAccounting(t *testing.T) {
+	// BL = 1: root (level 0) is inter; its children (level 1) are leaf
+	// inter tasks; grandchildren (level 2) are intra.
+	st := run(t, cfg(testTopo(), 1), &chaser{}, func(p work.Proc) {
+		p.Compute(100) // inter work
+		for i := 0; i < 2; i++ {
+			p.Spawn(func(q work.Proc) {
+				q.Spawn(func(r work.Proc) { r.Compute(10_000) })
+				q.Sync()
+			})
+		}
+		p.Sync()
+	})
+	if st.InterTasks != 3 { // root + 2 leaf inter
+		t.Errorf("InterTasks = %d, want 3", st.InterTasks)
+	}
+	if st.LeafInterTasks != 2 {
+		t.Errorf("LeafInterTasks = %d, want 2", st.LeafInterTasks)
+	}
+	if st.InterSpawns != 2 || st.IntraSpawns != 2 {
+		t.Errorf("spawns = %d/%d, want 2/2", st.InterSpawns, st.IntraSpawns)
+	}
+	if st.IntraWorkCycles <= st.InterWorkCycles {
+		t.Errorf("intra work %d should dominate inter work %d",
+			st.IntraWorkCycles, st.InterWorkCycles)
+	}
+	if share := st.InterTierShare(); share <= 0 || share >= 0.5 {
+		t.Errorf("InterTierShare = %v, want small but positive", share)
+	}
+}
+
+func TestMaxInFlightBounded(t *testing.T) {
+	// A deep child-first chain on one worker keeps at most depth+1 tasks
+	// in flight; breadth does not explode under child-first.
+	var rec func(d int) work.Fn
+	rec = func(d int) work.Fn {
+		return func(p work.Proc) {
+			if d == 0 {
+				p.Compute(10)
+				return
+			}
+			p.Spawn(rec(d - 1))
+			p.Spawn(rec(d - 1))
+			p.Sync()
+		}
+	}
+	st := run(t, cfg(uniTopo(), 0), &chaser{}, rec(8))
+	if st.Tasks != (1<<9)-1 {
+		t.Fatalf("Tasks = %d, want %d", st.Tasks, (1<<9)-1)
+	}
+	// Serial child-first: in-flight ≈ depth, certainly << total tasks.
+	if st.MaxInFlight > 32 {
+		t.Fatalf("MaxInFlight = %d, want O(depth)", st.MaxInFlight)
+	}
+}
+
+// A scheduler that drops tasks must trip the engine's deadlock detector,
+// not hang.
+type loser struct{ chaser }
+
+func (s *loser) OnSpawn(coreID int, parent, child *Task) *Task {
+	return parent // child is never enqueued anywhere
+}
+
+func TestDeadlockDetection(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected deadlock panic")
+		}
+	}()
+	e, err := New(cfg(uniTopo(), 0), &loser{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, _ = e.Run(func(p work.Proc) {
+		p.Spawn(func(q work.Proc) { q.Compute(1) })
+		p.Sync()
+	})
+}
+
+func TestUtilizationAndStatsString(t *testing.T) {
+	st := run(t, cfg(testTopo(), 0), &chaser{}, func(p work.Proc) {
+		for i := 0; i < 8; i++ {
+			p.Spawn(func(q work.Proc) { q.Compute(10_000) })
+		}
+		p.Sync()
+	})
+	if u := st.Utilization(); u <= 0 || u > 1 {
+		t.Errorf("Utilization = %v, want (0,1]", u)
+	}
+	s := st.String()
+	for _, frag := range []string{"scheduler=chaser", "tasks=9", "L3 misses"} {
+		if !strings.Contains(s, frag) {
+			t.Errorf("Stats.String() missing %q:\n%s", frag, s)
+		}
+	}
+}
+
+func TestInvalidConfig(t *testing.T) {
+	if _, err := New(Config{}, &chaser{}); err == nil {
+		t.Error("empty config should fail validation")
+	}
+	bad := cfg(testTopo(), -1)
+	if _, err := New(bad, &chaser{}); err == nil {
+		t.Error("negative BL should be rejected")
+	}
+}
+
+func TestSpawnHintReachesTask(t *testing.T) {
+	// The chaser ignores hints, but the engine must still record them.
+	var seen int
+	sched := &hintRecorder{}
+	e, err := New(cfg(testTopo(), 1), sched)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, err = e.Run(func(p work.Proc) {
+		p.SpawnHint(1, func(q work.Proc) { q.Compute(1) })
+		p.Sync()
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	seen = sched.hint
+	if seen != 1 {
+		t.Fatalf("hint = %d, want 1", seen)
+	}
+}
+
+type hintRecorder struct {
+	chaser
+	hint int
+}
+
+func (s *hintRecorder) OnSpawn(coreID int, parent, child *Task) *Task {
+	s.hint = child.Hint()
+	return s.chaser.OnSpawn(coreID, parent, child)
+}
+
+func TestRootTierFollowsBL(t *testing.T) {
+	// The root task is counted in the inter tier exactly when BL > 0.
+	for _, bl := range []int{0, 2} {
+		want := int64(0)
+		if bl > 0 {
+			want = 1
+		}
+		st := run(t, cfg(testTopo(), bl), &chaser{}, func(p work.Proc) { p.Compute(1) })
+		if st.InterTasks != want {
+			t.Errorf("BL=%d: InterTasks = %d, want %d", bl, st.InterTasks, want)
+		}
+	}
+}

@@ -1,0 +1,105 @@
+package simengine
+
+import (
+	"fmt"
+	"strings"
+
+	"cab/internal/cache"
+)
+
+// Stats is the measurement surface of one simulated run — the software
+// equivalent of the paper's wall clock plus PMU counters.
+type Stats struct {
+	Scheduler string
+	BL        int
+
+	// Time is the makespan in cycles: the virtual time at which the last
+	// task action completed.
+	Time int64
+
+	// WorkCycles is the sum of useful cycles over all cores (compute +
+	// memory + scheduler operations charged to tasks). Time*cores -
+	// WorkCycles is idle/steal overhead.
+	WorkCycles int64
+	// InterWorkCycles / IntraWorkCycles split WorkCycles by tier; the
+	// paper claims the inter-socket tier is under 5% of the total for
+	// divide-and-conquer programs (§III-E).
+	InterWorkCycles int64
+	IntraWorkCycles int64
+	// MemoryCycles is the portion of WorkCycles spent in the memory
+	// hierarchy — the memory-boundedness of the run.
+	MemoryCycles int64
+	// PrefetchedLines counts cache lines installed by helper-thread
+	// prefetch annotations (0 unless the workload issues Prefetch).
+	PrefetchedLines int64
+
+	Tasks          int64
+	InterTasks     int64
+	LeafInterTasks int64
+	InterSpawns    int64
+	IntraSpawns    int64
+
+	StealsIntra  int64
+	StealsInter  int64
+	FailedSteals int64
+
+	// MaxInFlight is the peak number of started-but-unfinished tasks: the
+	// quantity bounded by the space theorem (§III-E, Eq. 15).
+	MaxInFlight int
+
+	// CriticalPath is T_inf(G) under the observed per-action costs: the
+	// longest dependency chain of charged cycles from the root to the last
+	// completion — the T_inf term of the §III-E time bound (Eq. 13).
+	CriticalPath int64
+
+	Cache           cache.LevelStats
+	FootprintBytes  int64 // -1 when footprint tracking is off
+	SocketFootprint []int64
+	PerCoreBusy     []int64
+}
+
+// Utilization returns WorkCycles / (Time * cores), in [0, 1].
+func (s Stats) Utilization() float64 {
+	if s.Time == 0 || len(s.PerCoreBusy) == 0 {
+		return 0
+	}
+	return float64(s.WorkCycles) / (float64(s.Time) * float64(len(s.PerCoreBusy)))
+}
+
+// InterTierShare returns the inter-socket tier's share of total work.
+func (s Stats) InterTierShare() float64 {
+	total := s.InterWorkCycles + s.IntraWorkCycles
+	if total == 0 {
+		return 0
+	}
+	return float64(s.InterWorkCycles) / float64(total)
+}
+
+// MemoryBoundShare returns the fraction of work cycles spent in the memory
+// hierarchy, the paper's memory-bound vs CPU-bound distinction.
+func (s Stats) MemoryBoundShare() float64 {
+	if s.WorkCycles == 0 {
+		return 0
+	}
+	return float64(s.MemoryCycles) / float64(s.WorkCycles)
+}
+
+// String renders a compact multi-line report.
+func (s Stats) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "scheduler=%s BL=%d time=%d cycles util=%.2f\n",
+		s.Scheduler, s.BL, s.Time, s.Utilization())
+	fmt.Fprintf(&b, "tasks=%d (inter=%d leafInter=%d) spawns inter/intra=%d/%d maxInFlight=%d\n",
+		s.Tasks, s.InterTasks, s.LeafInterTasks, s.InterSpawns, s.IntraSpawns, s.MaxInFlight)
+	fmt.Fprintf(&b, "steals intra=%d inter=%d failed=%d\n",
+		s.StealsIntra, s.StealsInter, s.FailedSteals)
+	fmt.Fprintf(&b, "work=%d cycles (inter share %.1f%%, memory share %.1f%%)\n",
+		s.WorkCycles, s.InterTierShare()*100, s.MemoryBoundShare()*100)
+	fmt.Fprintf(&b, "L2 misses=%d L3 misses=%d",
+		s.Cache.L2.Misses, s.Cache.L3.Misses)
+	if s.FootprintBytes >= 0 {
+		fmt.Fprintf(&b, " footprint=%dB", s.FootprintBytes)
+	}
+	b.WriteByte('\n')
+	return b.String()
+}

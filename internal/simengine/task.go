@@ -1,0 +1,165 @@
+package simengine
+
+import (
+	"cab/internal/core"
+	"cab/internal/work"
+)
+
+// taskState tracks where a task is in its lifecycle.
+type taskState int
+
+const (
+	stateCreated   taskState = iota // spawned, goroutine not started
+	stateRunning                    // assigned to a core
+	stateSuspended                  // continuation parked in a pool (child-first spawn)
+	stateBlocked                    // waiting at Sync for children
+	stateDone
+)
+
+// Task is one node of the execution DAG as the engine schedules it. Tasks
+// are created by Spawn actions, owned by exactly one core while running,
+// and become first-class stealable continuations while suspended.
+type Task struct {
+	id    int64
+	level int
+	tier  core.Tier
+	hint  int // preferred squad from SpawnHint, -1 if none
+
+	fn     work.Fn
+	parent *Task
+
+	state       taskState
+	outstanding int // live children not yet returned
+	affinity    int // scheduler scratch: squad owning the blocked frame
+
+	// Critical-path accounting (§III-E): crit is the earliest virtual
+	// time this task's execution point could be reached on infinitely
+	// many processors under the observed per-action costs; critJoin folds
+	// in finished children at the next sync. The root's final crit is
+	// T_inf(G).
+	crit     int64
+	critJoin int64
+
+	proc *taskProc // nil until first scheduled
+	core int       // executing core while stateRunning
+}
+
+// ID returns the task's creation-ordered identifier (root = 0).
+func (t *Task) ID() int64 { return t.id }
+
+// Level returns the DAG level (root/main = 0).
+func (t *Task) Level() int { return t.level }
+
+// Tier returns the task's tier under the run's boundary level.
+func (t *Task) Tier() core.Tier { return t.tier }
+
+// Hint returns the placement hint given at spawn, or -1.
+func (t *Task) Hint() int { return t.hint }
+
+// Affinity returns the squad recorded by SetAffinity (scheduler-owned
+// scratch state, e.g. where a blocked inter-socket frame lives).
+func (t *Task) Affinity() int { return t.affinity }
+
+// SetAffinity records a squad on the task for the scheduler's own use.
+func (t *Task) SetAffinity(squad int) { t.affinity = squad }
+
+// actKind enumerates the costed actions a task goroutine can emit.
+type actKind int
+
+const (
+	actCompute actKind = iota
+	actLoad
+	actStore
+	actPrefetch
+	actSpawn
+	actSync
+	actDone
+)
+
+type action struct {
+	kind actKind
+	n    int64 // cycles (compute) or size in bytes (load/store)
+	addr uint64
+	fn   work.Fn // spawn body
+	hint int     // spawn placement hint
+}
+
+// taskProc is the coroutine handshake between a task goroutine and the
+// engine. The engine resumes the goroutine, the goroutine runs real
+// workload code until its next costed action, emits it, and blocks. Only
+// one task goroutine is ever runnable at a time, so the simulation is
+// deterministic.
+type taskProc struct {
+	t      *Task
+	squads int
+	act    chan action
+	res    chan struct{}
+}
+
+var _ work.Proc = (*taskProc)(nil)
+
+func newTaskProc(t *Task, squads int) *taskProc {
+	return &taskProc{t: t, squads: squads, act: make(chan action), res: make(chan struct{})}
+}
+
+// start launches the task body. The goroutine immediately runs workload
+// code; the engine must follow with a receive on p.act.
+func (p *taskProc) start() {
+	go func() {
+		p.t.fn(p)
+		p.act <- action{kind: actDone}
+	}()
+}
+
+// do emits one action and waits for the engine to process it.
+func (p *taskProc) do(a action) {
+	p.act <- a
+	<-p.res
+}
+
+func (p *taskProc) Spawn(fn work.Fn) {
+	p.do(action{kind: actSpawn, fn: fn, hint: -1})
+}
+
+func (p *taskProc) SpawnHint(squad int, fn work.Fn) {
+	p.do(action{kind: actSpawn, fn: fn, hint: squad})
+}
+
+func (p *taskProc) Sync() {
+	p.do(action{kind: actSync})
+}
+
+func (p *taskProc) Compute(cycles int64) {
+	if cycles > 0 {
+		p.do(action{kind: actCompute, n: cycles})
+	}
+}
+
+func (p *taskProc) Load(addr uint64, size int64) {
+	if size > 0 {
+		p.do(action{kind: actLoad, addr: addr, n: size})
+	}
+}
+
+func (p *taskProc) Store(addr uint64, size int64) {
+	if size > 0 {
+		p.do(action{kind: actStore, addr: addr, n: size})
+	}
+}
+
+func (p *taskProc) Prefetch(addr uint64, size int64) {
+	if size > 0 {
+		p.do(action{kind: actPrefetch, addr: addr, n: size})
+	}
+}
+
+// Worker returns the executing core. The engine only resumes a task while
+// it owns a core, and is itself blocked while the task goroutine runs, so
+// the read is race-free.
+func (p *taskProc) Worker() int { return p.t.core }
+
+// Level returns the task's DAG level.
+func (p *taskProc) Level() int { return p.t.level }
+
+// Squads returns the simulated machine's socket count.
+func (p *taskProc) Squads() int { return p.squads }

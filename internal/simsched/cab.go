@@ -1,0 +1,338 @@
+package simsched
+
+import (
+	"cab/internal/core"
+	"cab/internal/deque"
+	"cab/internal/simengine"
+	"cab/internal/topology"
+	"cab/internal/xrand"
+)
+
+// CABOptions tune implementation choices the paper leaves open.
+type CABOptions struct {
+	// RandomInterVictim selects victim squads uniformly at random, as the
+	// paper's Algorithm I states. The default (false) probes squads
+	// cyclically starting after the thief's own squad — a common
+	// implementation choice that keeps the leaf-to-squad assignment stable
+	// across iterative phases and is measured by the ablation experiment.
+	RandomInterVictim bool
+	// AllWorkersStealInter lifts the head-worker-only restriction on
+	// inter-socket stealing (ablation; the paper argues the restriction
+	// reduces inter-pool lock contention and cache pollution).
+	AllWorkersStealInter bool
+	// IgnoreBusyState disables the one-inter-task-per-squad rule
+	// (ablation; the paper argues it prevents shared-cache pollution).
+	IgnoreBusyState bool
+	// IgnoreHints disables SpawnHint placement (the paper's inter_spawn
+	// manual mechanism, §IV-D), leaving only the automatic partitioning.
+	// The ablation experiment contrasts the two; the default honours
+	// hints, which the paper reports performs comparably to the automatic
+	// method on real hardware.
+	IgnoreHints bool
+	// StealHalf makes inter-socket thieves take half of the victim pool
+	// instead of one task (Hendler & Shavit, cited by the paper's §VI as
+	// integrable with CAB): the extra tasks go into the thief squad's own
+	// pool, reducing the number of future steals.
+	StealHalf bool
+}
+
+// CAB is the paper's Cache Aware Bi-tier task-stealing scheduler
+// (Algorithms I and II). Workers are grouped into per-socket squads; each
+// worker owns an intra-socket deque, each squad owns one inter-socket pool
+// and a busy_state flag enforcing at most one in-flight inter-socket task
+// per squad.
+//
+// One interpretation the implementation fixes: Algorithm II sets busy_state
+// to false when an inter-socket task "returns". In cilk2c, an activation
+// also returns to the scheduler when its sync cannot proceed; busy_state is
+// therefore also cleared when an inter-socket task blocks at an
+// *inter-tier* sync (waiting for inter children). Without that reading the
+// protocol deadlocks: every squad can be busy with a blocked task while all
+// runnable work sits in inter pools. A leaf inter-socket task blocking at
+// an *intra-tier* sync keeps its squad busy, preserving the rule that a
+// squad's shared cache serves one leaf task's data set at a time.
+type CAB struct {
+	eng  *simengine.Engine
+	topo topology.Topology
+	opts CABOptions
+	bl   int
+
+	intra []*deque.Deque[simengine.Task]  // per worker
+	inter []*deque.Locked[simengine.Task] // per squad
+	busy  []bool                          // per squad
+	rngs  []*xrand.Source                 // per worker (random victim mode)
+	next  []int                           // per squad: cyclic inter victim cursor
+	nextW []int                           // per worker: cyclic intra victim cursor
+	fails []int                           // per worker: consecutive failed inter probes
+
+	pending int
+
+	// Trace, when non-nil, receives a line per scheduling event (debug).
+	Trace func(format string, args ...interface{})
+}
+
+func (s *CAB) trace(format string, args ...interface{}) {
+	if s.Trace != nil {
+		s.Trace(format, args...)
+	}
+}
+
+// NewCAB returns the CAB scheduler with default options.
+func NewCAB() *CAB { return NewCABOpts(CABOptions{}) }
+
+// NewCABOpts returns a CAB scheduler with explicit options.
+func NewCABOpts(opts CABOptions) *CAB { return &CAB{opts: opts} }
+
+// Name implements simengine.Scheduler.
+func (s *CAB) Name() string { return "cab" }
+
+// Init implements simengine.Scheduler.
+func (s *CAB) Init(e *simengine.Engine) {
+	s.eng = e
+	s.topo = e.Topology()
+	s.bl = e.BL()
+	n := s.topo.Workers()
+	m := s.topo.Sockets
+	s.intra = make([]*deque.Deque[simengine.Task], n)
+	s.rngs = make([]*xrand.Source, n)
+	seed := xrand.New(e.Seed())
+	for i := 0; i < n; i++ {
+		s.intra[i] = deque.NewDeque[simengine.Task]()
+		s.rngs[i] = seed.Split()
+	}
+	s.inter = make([]*deque.Locked[simengine.Task], m)
+	s.busy = make([]bool, m)
+	s.next = make([]int, m)
+	s.nextW = make([]int, n)
+	s.fails = make([]int, n)
+	for j := 0; j < m; j++ {
+		s.inter[j] = deque.NewLocked[simengine.Task]()
+	}
+}
+
+// Busy exposes a squad's busy_state (tests and invariant checks).
+func (s *CAB) Busy(squad int) bool { return s.busy[squad] }
+
+// OnSpawn implements the tier-dependent generation policies of §III-C:
+// parent-first for inter-socket children (pushed to the spawning squad's
+// inter pool, Algorithm II a), child-first for intra-socket children (the
+// parent continuation parks in the worker's own deque).
+func (s *CAB) OnSpawn(coreID int, parent, child *simengine.Task) *simengine.Task {
+	if child.Tier() == core.TierInter {
+		sq := s.topo.SquadOf(coreID)
+		if h := child.Hint(); !s.opts.IgnoreHints && h >= 0 && h < s.topo.Sockets {
+			sq = h // §IV-D inter_spawn: place by data region
+		}
+		s.inter[sq].Push(child)
+		s.pending++
+		s.trace("push inter child=%d lvl=%d -> squad %d pool", child.ID(), child.Level(), sq)
+		return parent
+	}
+	s.intra[coreID].Push(parent)
+	s.pending++
+	return child
+}
+
+// OnBlocked clears busy_state when an inter-socket task suspends at an
+// inter-tier sync (see the type comment). Level < BL means the task's
+// children are inter-socket tasks.
+func (s *CAB) OnBlocked(coreID int, t *simengine.Task) {
+	if t.Tier() == core.TierInter && t.Level() < s.bl {
+		sq := s.topo.SquadOf(coreID)
+		s.busy[sq] = false
+		// Remember which squad's pool owns the blocked frame, so the
+		// resume re-enters through that pool (see OnUnblock).
+		t.SetAffinity(sq)
+		s.trace("core %d blocked inter task=%d lvl=%d -> squad %d free", coreID, t.ID(), t.Level(), sq)
+	}
+}
+
+// OnReturn implements Algorithm II (c): a returning inter-socket task
+// frees its squad.
+func (s *CAB) OnReturn(coreID int, t *simengine.Task) {
+	if t.Tier() == core.TierInter {
+		s.busy[s.topo.SquadOf(coreID)] = false
+	}
+}
+
+// OnUnblock decides how a Sync-blocked task resumes. A leaf inter-socket
+// task (blocked at an intra-tier sync) is still its squad's one in-flight
+// inter task: the returning worker adopts it directly, as do intra tasks
+// (pure Cilk semantics, same squad by construction). An inter-tier task
+// blocked at an *inter* sync, however, released its squad's busy_state
+// when it suspended; letting an arbitrary worker adopt it would bypass the
+// one-inter-task-per-squad rule (its squad — or the adopter's — may
+// already be busy with another inter task). It therefore re-enters the
+// inter-socket pool of the squad where its frame blocked and is obtained
+// through the normal Algorithm I discipline.
+func (s *CAB) OnUnblock(coreID int, t *simengine.Task) bool {
+	if t.Tier() != core.TierInter || t.Level() >= s.bl {
+		return true
+	}
+	sq := t.Affinity()
+	s.inter[sq].Push(t)
+	s.pending++
+	s.trace("unblock inter task=%d lvl=%d -> requeued to squad %d pool", t.ID(), t.Level(), sq)
+	return false
+}
+
+// FindWork implements Algorithm I for one probe; the engine re-invokes it
+// while the worker stays idle (the algorithm's loop back to Step 1).
+func (s *CAB) FindWork(coreID int) *simengine.Task {
+	if s.bl == 0 {
+		// Single-socket / CPU-bound mode (Algorithm II step 2): behave as
+		// traditional task-stealing over all workers.
+		return s.findWorkFlat(coreID)
+	}
+	// Step 1: own intra-socket pool.
+	if t := s.intra[coreID].Pop(); t != nil {
+		s.pending--
+		return t
+	}
+	sq := s.topo.SquadOf(coreID)
+	// Step 2/3: while an inter-socket task runs in the squad, steal
+	// intra-socket tasks from squad mates.
+	if s.busy[sq] && !s.opts.IgnoreBusyState {
+		return s.stealIntra(coreID, sq)
+	}
+	if s.opts.IgnoreBusyState {
+		// Ablation: try squad mates first even without the busy gate.
+		if t := s.stealIntra(coreID, sq); t != nil {
+			return t
+		}
+	}
+	// Steps 4-5 are reserved for the head worker unless ablated.
+	if !s.topo.IsHead(coreID) && !s.opts.AllWorkersStealInter {
+		return nil // Step 2: non-head goes back to Step 1 (engine re-calls)
+	}
+	// Step 4: own inter-socket pool (a local lock: cheaper than a steal).
+	s.eng.Charge(coreID, s.eng.Cost().PoolPop)
+	if t := s.inter[sq].Pop(); t != nil {
+		s.pending--
+		s.busy[sq] = true
+		s.fails[coreID] = 0
+		s.trace("core %d pops own inter task=%d", coreID, t.ID())
+		return t
+	}
+	// Step 5/6b: steal an inter-socket task from a victim squad.
+	m := s.topo.Sockets
+	if m == 1 {
+		return nil
+	}
+	var victim int
+	if s.opts.RandomInterVictim {
+		victim = s.rngs[coreID].Intn(m - 1)
+		if victim >= sq {
+			victim++
+		}
+	} else {
+		// Cyclic probing starting after the thief's own squad. The cursor
+		// advances across failed probes (so every pool is eventually
+		// visited) and resets on success, so each idle episode probes
+		// victims in the same deterministic order — repeated phases of an
+		// iterative program then see identical steal dynamics.
+		victim = (sq + 1 + s.next[sq]) % m
+		if victim == sq {
+			victim = (victim + 1) % m
+		}
+		s.next[sq] = (s.next[sq] + 1) % (m - 1)
+	}
+	s.eng.Charge(coreID, s.eng.Cost().StealAttempt)
+	var t *simengine.Task
+	if s.opts.StealHalf {
+		if batch := s.inter[victim].StealHalf(); len(batch) > 0 {
+			t = batch[0]
+			for _, extra := range batch[1:] {
+				s.inter[sq].Push(extra)
+			}
+		}
+	} else if s.opts.IgnoreHints || s.fails[coreID] >= 3*(m-1) {
+		// Desperate (a full preferred round failed) or hint-blind mode:
+		// take the oldest task regardless of affinity — work conservation
+		// beats placement once the thief is starving.
+		t = s.inter[victim].Steal()
+	} else {
+		// Affinity-aware stealing: only take work hinted at this squad
+		// (or unhinted work), so transient barrier-time idleness does not
+		// scramble the region-to-socket mapping.
+		t = s.inter[victim].StealMatch(func(x *simengine.Task) bool {
+			h := x.Hint()
+			return h < 0 || h == sq
+		})
+	}
+	s.eng.NoteSteal(true, t != nil)
+	if t != nil {
+		s.pending--
+		s.busy[sq] = true
+		s.next[sq] = 0
+		s.fails[coreID] = 0
+		s.trace("core %d steals inter task=%d from squad %d", coreID, t.ID(), victim)
+	} else {
+		s.fails[coreID]++
+		s.trace("core %d inter-steal fail from squad %d", coreID, victim)
+	}
+	return t
+}
+
+func (s *CAB) stealIntra(coreID, sq int) *simengine.Task {
+	workers := s.topo.CoresPerSocket
+	if workers == 1 {
+		return nil
+	}
+	base := s.topo.HeadWorker(sq)
+	var victim int
+	if s.opts.RandomInterVictim {
+		// Random victim selection as Algorithm I literally states.
+		victim = base + s.rngs[coreID].Intn(workers-1)
+		if victim >= coreID {
+			victim++
+		}
+	} else {
+		// Deterministic cyclic probing (cursor resets on success), the
+		// same implementation choice as for inter-socket victims.
+		victim = base + (coreID-base+1+s.nextW[coreID])%workers
+		if victim == coreID {
+			victim = base + (victim-base+1)%workers
+		}
+		s.nextW[coreID] = (s.nextW[coreID] + 1) % (workers - 1)
+	}
+	s.eng.Charge(coreID, s.eng.Cost().StealAttempt)
+	t := s.intra[victim].Steal()
+	s.eng.NoteSteal(false, t != nil)
+	if t != nil {
+		s.pending--
+		s.nextW[coreID] = 0
+	}
+	return t
+}
+
+// findWorkFlat is the BL == 0 degenerate mode: steal from any worker.
+func (s *CAB) findWorkFlat(coreID int) *simengine.Task {
+	if t := s.intra[coreID].Pop(); t != nil {
+		s.pending--
+		return t
+	}
+	n := len(s.intra)
+	if n == 1 {
+		return nil
+	}
+	victim := s.rngs[coreID].Intn(n - 1)
+	if victim >= coreID {
+		victim++
+	}
+	s.eng.Charge(coreID, s.eng.Cost().StealAttempt)
+	t := s.intra[victim].Steal()
+	s.eng.NoteSteal(false, t != nil)
+	if t != nil {
+		s.pending--
+	}
+	return t
+}
+
+// Pending implements simengine.Scheduler.
+func (s *CAB) Pending() int { return s.pending }
+
+// SpawnOverhead implements simengine.Scheduler: every CAB spawn maintains
+// the level, parent and inter_counter fields in the task frame (§IV-B) —
+// the 1-2%% overhead Fig. 8 measures on CPU-bound programs.
+func (s *CAB) SpawnOverhead() int64 { return s.eng.Cost().LevelTracking }

@@ -1,0 +1,90 @@
+// Package simsched implements the schedulers that run on the simulated
+// machine: the MIT-Cilk-style random task-stealer the paper compares
+// against, the CAB bi-tier scheduler (the paper's contribution, Algorithms
+// I and II), and a central-pool task-sharing baseline (§II).
+package simsched
+
+import (
+	"cab/internal/deque"
+	"cab/internal/simengine"
+	"cab/internal/xrand"
+)
+
+// Cilk is the traditional task-stealing baseline: one lock-free deque per
+// worker, child-first (work-first) task generation everywhere, and steals
+// from uniformly random victims across the whole machine — the randomness
+// that causes the TRICI syndrome on MSMC machines.
+type Cilk struct {
+	eng     *simengine.Engine
+	pools   []*deque.Deque[simengine.Task]
+	rngs    []*xrand.Source
+	pending int
+}
+
+// NewCilk returns the baseline scheduler.
+func NewCilk() *Cilk { return &Cilk{} }
+
+// Name implements simengine.Scheduler.
+func (s *Cilk) Name() string { return "cilk" }
+
+// Init implements simengine.Scheduler.
+func (s *Cilk) Init(e *simengine.Engine) {
+	s.eng = e
+	n := e.Topology().Workers()
+	s.pools = make([]*deque.Deque[simengine.Task], n)
+	s.rngs = make([]*xrand.Source, n)
+	seed := xrand.New(e.Seed())
+	for i := 0; i < n; i++ {
+		s.pools[i] = deque.NewDeque[simengine.Task]()
+		s.rngs[i] = seed.Split()
+	}
+}
+
+// OnSpawn implements child-first generation: the worker dives into the
+// child while the parent's continuation becomes stealable at the top of
+// the worker's deque.
+func (s *Cilk) OnSpawn(coreID int, parent, child *simengine.Task) *simengine.Task {
+	s.pools[coreID].Push(parent)
+	s.pending++
+	return child
+}
+
+// OnBlocked implements simengine.Scheduler (no squad state to maintain).
+func (s *Cilk) OnBlocked(int, *simengine.Task) {}
+
+// OnReturn implements simengine.Scheduler.
+func (s *Cilk) OnReturn(int, *simengine.Task) {}
+
+// OnUnblock lets the returning worker adopt the parent (Cilk semantics).
+func (s *Cilk) OnUnblock(int, *simengine.Task) bool { return true }
+
+// FindWork pops the worker's own deque, then probes one uniformly random
+// victim.
+func (s *Cilk) FindWork(coreID int) *simengine.Task {
+	if t := s.pools[coreID].Pop(); t != nil {
+		s.pending--
+		return t
+	}
+	n := len(s.pools)
+	if n == 1 {
+		return nil
+	}
+	victim := s.rngs[coreID].Intn(n - 1)
+	if victim >= coreID {
+		victim++
+	}
+	s.eng.Charge(coreID, s.eng.Cost().StealAttempt)
+	t := s.pools[victim].Steal()
+	s.eng.NoteSteal(false, t != nil)
+	if t != nil {
+		s.pending--
+	}
+	return t
+}
+
+// Pending implements simengine.Scheduler.
+func (s *Cilk) Pending() int { return s.pending }
+
+// SpawnOverhead implements simengine.Scheduler: plain Cilk spawns carry no
+// tier bookkeeping.
+func (s *Cilk) SpawnOverhead() int64 { return 0 }

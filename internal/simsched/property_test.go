@@ -1,0 +1,170 @@
+package simsched
+
+import (
+	"testing"
+	"testing/quick"
+
+	"cab/internal/simengine"
+	"cab/internal/work"
+	"cab/internal/xrand"
+)
+
+// randomDAG builds a deterministic pseudo-random spawn tree from a seed:
+// every node flips weighted coins for fan-out, compute size and memory
+// touches. It returns the task body and the expected node count.
+func randomDAG(seed uint64, maxDepth int) (work.Fn, int64) {
+	// count mirrors build's RNG draw sequence exactly so the fan-out
+	// decisions match.
+	var count func(s uint64, d int) int64
+	count = func(s uint64, d int) int64 {
+		rng := xrand.New(s)
+		_ = rng.Intn(2000)
+		if rng.Intn(2) == 0 {
+			_ = rng.Intn(1 << 16)
+			_ = rng.Intn(512)
+		}
+		n := int64(1)
+		if d == 0 {
+			return n
+		}
+		kids := rng.Intn(4) // 0..3 children
+		for i := 0; i < kids; i++ {
+			n += count(s*31+uint64(i)+1, d-1)
+		}
+		return n
+	}
+	var build func(s uint64, d int) work.Fn
+	build = func(s uint64, d int) work.Fn {
+		return func(p work.Proc) {
+			rng := xrand.New(s)
+			p.Compute(int64(rng.Intn(2000)) + 10)
+			if rng.Intn(2) == 0 {
+				p.Load(uint64(4096+rng.Intn(1<<16)), int64(rng.Intn(512))+1)
+			}
+			if d == 0 {
+				return
+			}
+			kids := rng.Intn(4)
+			for i := 0; i < kids; i++ {
+				p.Spawn(build(s*31+uint64(i)+1, d-1))
+			}
+			if kids > 0 {
+				p.Sync()
+			}
+			p.Compute(int64(rng.Intn(500)) + 5)
+		}
+	}
+	return build(seed, maxDepth), count(seed, maxDepth)
+}
+
+// Property: on any random DAG, every scheduler executes exactly the
+// expected task set, and the makespan is at least the critical work and at
+// most the serialized work.
+func TestSchedulersExecuteRandomDAGs(t *testing.T) {
+	f := func(seed uint64) bool {
+		root, want := randomDAG(seed, 5)
+		for _, mk := range []func() simengine.Scheduler{
+			func() simengine.Scheduler { return NewCilk() },
+			func() simengine.Scheduler { return NewCAB() },
+			func() simengine.Scheduler { return NewSharing() },
+			func() simengine.Scheduler { return NewSLAW() },
+		} {
+			bl := 0
+			if _, isCAB := mk().(*CAB); isCAB {
+				bl = 2
+			}
+			e, err := simengine.New(cfg(quadTopo(), bl, seed), mk())
+			if err != nil {
+				return false
+			}
+			st, err := e.Run(root)
+			if err != nil || st.Tasks != want {
+				return false
+			}
+			if st.Time <= 0 || st.WorkCycles < st.Time/int64(quadTopo().Workers()) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: CAB with any option combination still executes the full DAG.
+func TestCABOptionsExecuteRandomDAGs(t *testing.T) {
+	f := func(seed uint64, o1, o2, o3, o4 bool) bool {
+		root, want := randomDAG(seed, 4)
+		s := NewCABOpts(CABOptions{
+			RandomInterVictim:    o1,
+			AllWorkersStealInter: o2,
+			IgnoreBusyState:      o3,
+			IgnoreHints:          o4,
+		})
+		e, err := simengine.New(cfg(quadTopo(), 2, seed), s)
+		if err != nil {
+			return false
+		}
+		st, err := e.Run(root)
+		return err == nil && st.Tasks == want
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 48}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Determinism across the whole stack: same seed, same random DAG, same
+// scheduler => byte-identical stats.
+func TestEndToEndDeterminismProperty(t *testing.T) {
+	f := func(seed uint64) bool {
+		root1, _ := randomDAG(seed, 5)
+		root2, _ := randomDAG(seed, 5)
+		e1, _ := simengine.New(cfg(quadTopo(), 3, seed), NewCAB())
+		e2, _ := simengine.New(cfg(quadTopo(), 3, seed), NewCAB())
+		a, err1 := e1.Run(root1)
+		b, err2 := e2.Run(root2)
+		if err1 != nil || err2 != nil {
+			return false
+		}
+		return a.Time == b.Time && a.StealsIntra == b.StealsIntra &&
+			a.StealsInter == b.StealsInter && a.Cache.L3.Misses == b.Cache.L3.Misses &&
+			a.Tasks == b.Tasks
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: the space bound (Eq. 15) holds on random DAGs — peak in-flight
+// tasks stay within max(K, M*N) times the DAG depth bound.
+func TestSpaceBoundProperty(t *testing.T) {
+	f := func(seed uint64) bool {
+		const depth = 6
+		root, _ := randomDAG(seed, depth)
+		bl := 2
+		e, err := simengine.New(cfg(quadTopo(), bl, seed), NewCAB())
+		if err != nil {
+			return false
+		}
+		st, err := e.Run(root)
+		if err != nil {
+			return false
+		}
+		// K <= B^(BL-1) with B <= 3 here; S1 <= depth+2 frames.
+		k := int64(9)
+		mn := int64(quadTopo().Workers())
+		bound := (depth + 2) * maxI(k, mn)
+		return int64(st.MaxInFlight) <= bound
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+func maxI(a, b int64) int64 {
+	if a > b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,66 @@
+package simsched
+
+import (
+	"cab/internal/deque"
+	"cab/internal/simengine"
+)
+
+// Sharing is the task-sharing baseline of §II: all workers push to and pop
+// from one central locked pool. Every pool operation pays a lock cost that
+// grows with the machine's worker count, modeling the contention that makes
+// task-sharing scale worse than task-stealing.
+type Sharing struct {
+	eng      *simengine.Engine
+	central  *deque.Locked[simengine.Task]
+	lockCost int64
+	pending  int
+}
+
+// NewSharing returns the task-sharing baseline.
+func NewSharing() *Sharing { return &Sharing{} }
+
+// Name implements simengine.Scheduler.
+func (s *Sharing) Name() string { return "sharing" }
+
+// Init implements simengine.Scheduler.
+func (s *Sharing) Init(e *simengine.Engine) {
+	s.eng = e
+	s.central = deque.NewLocked[simengine.Task]()
+	c := e.Cost()
+	s.lockCost = c.CentralBase + c.CentralPerCPU*int64(e.Topology().Workers())
+}
+
+// OnSpawn pushes the child to the central pool (parent-first) and charges
+// the push's lock cost.
+func (s *Sharing) OnSpawn(coreID int, parent, child *simengine.Task) *simengine.Task {
+	s.eng.Charge(coreID, s.lockCost)
+	s.central.Push(child)
+	s.pending++
+	return parent
+}
+
+// OnBlocked implements simengine.Scheduler.
+func (s *Sharing) OnBlocked(int, *simengine.Task) {}
+
+// OnReturn implements simengine.Scheduler.
+func (s *Sharing) OnReturn(int, *simengine.Task) {}
+
+// OnUnblock lets the returning worker adopt the parent.
+func (s *Sharing) OnUnblock(int, *simengine.Task) bool { return true }
+
+// FindWork pops the central pool FIFO (oldest task first), paying the lock
+// cost whether or not a task was found.
+func (s *Sharing) FindWork(coreID int) *simengine.Task {
+	s.eng.Charge(coreID, s.lockCost)
+	t := s.central.Steal()
+	if t != nil {
+		s.pending--
+	}
+	return t
+}
+
+// Pending implements simengine.Scheduler.
+func (s *Sharing) Pending() int { return s.pending }
+
+// SpawnOverhead implements simengine.Scheduler.
+func (s *Sharing) SpawnOverhead() int64 { return 0 }

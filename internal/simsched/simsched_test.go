@@ -1,0 +1,430 @@
+package simsched
+
+import (
+	"fmt"
+	"testing"
+
+	"cab/internal/cache"
+	"cab/internal/core"
+	"cab/internal/simengine"
+	"cab/internal/topology"
+	"cab/internal/work"
+)
+
+func testTopo() topology.Topology {
+	return topology.Topology{
+		Sockets: 2, CoresPerSocket: 2, LineBytes: 64,
+		L1Bytes: 1 << 10, L1Assoc: 2,
+		L2Bytes: 8 << 10, L2Assoc: 4,
+		L3Bytes: 64 << 10, L3Assoc: 8,
+	}
+}
+
+func quadTopo() topology.Topology {
+	t := testTopo()
+	t.Sockets = 4
+	return t
+}
+
+func cfg(top topology.Topology, bl int, seed uint64) simengine.Config {
+	return simengine.Config{
+		Topo: top, Latency: cache.DefaultLatency(),
+		Cost: simengine.DefaultCost(), Seed: seed, BL: bl,
+	}
+}
+
+func run(t *testing.T, c simengine.Config, s simengine.Scheduler, root work.Fn) simengine.Stats {
+	t.Helper()
+	e, err := simengine.New(c, s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st, err := e.Run(root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return st
+}
+
+// mainOf wraps a recursive procedure the way the paper's model assumes: the
+// main task (level 0) directly spawns the recursion (level 1), so the
+// boundary level BL holds K = B^(BL-1) leaf inter-socket tasks.
+func mainOf(fn work.Fn) work.Fn {
+	return func(p work.Proc) {
+		p.Spawn(fn)
+		p.Sync()
+	}
+}
+
+// binaryTree spawns a B=2 recursion of the given depth; leaves run compute.
+func binaryTree(depth int, leafCycles int64, visit func(p work.Proc, path int)) work.Fn {
+	var rec func(d, path int) work.Fn
+	rec = func(d, path int) work.Fn {
+		return func(p work.Proc) {
+			if d == 0 {
+				if visit != nil {
+					visit(p, path)
+				}
+				p.Compute(leafCycles)
+				return
+			}
+			p.Spawn(rec(d-1, path*2))
+			p.Spawn(rec(d-1, path*2+1))
+			p.Sync()
+		}
+	}
+	return rec(depth, 0)
+}
+
+func TestCilkCompletesAndBalances(t *testing.T) {
+	var leaves int
+	st := run(t, cfg(testTopo(), 0, 7), NewCilk(),
+		binaryTree(6, 20_000, func(work.Proc, int) { leaves++ }))
+	if leaves != 64 {
+		t.Fatalf("leaves = %d, want 64", leaves)
+	}
+	if st.Tasks != 127 {
+		t.Fatalf("Tasks = %d, want 127", st.Tasks)
+	}
+	if st.StealsIntra == 0 {
+		t.Error("expected steals on 4 workers")
+	}
+	// 64 leaves x 20k cycles over 4 workers: utilization should be decent.
+	if u := st.Utilization(); u < 0.5 {
+		t.Errorf("utilization = %.2f, want >= 0.5", u)
+	}
+}
+
+func TestCilkDeterministicPerSeed(t *testing.T) {
+	mk := func(seed uint64) simengine.Stats {
+		return run(t, cfg(testTopo(), 0, seed), NewCilk(), binaryTree(7, 5000, nil))
+	}
+	a1, a2, b := mk(3), mk(3), mk(4)
+	if a1.Time != a2.Time || a1.StealsIntra != a2.StealsIntra {
+		t.Fatal("same seed diverged")
+	}
+	if a1.Time == b.Time && a1.StealsIntra == b.StealsIntra && a1.FailedSteals == b.FailedSteals {
+		t.Log("different seeds coincided on all counters (unlikely but not fatal)")
+	}
+}
+
+func TestCABCompletes(t *testing.T) {
+	var leaves int
+	st := run(t, cfg(quadTopo(), 3, 7), NewCAB(),
+		mainOf(binaryTree(6, 20_000, func(work.Proc, int) { leaves++ })))
+	if leaves != 64 {
+		t.Fatalf("leaves = %d, want 64", leaves)
+	}
+	if st.LeafInterTasks != 4 { // B^(BL-1) = 2^2
+		t.Errorf("LeafInterTasks = %d, want 4", st.LeafInterTasks)
+	}
+}
+
+// The defining CAB property: every intra-socket descendant of a leaf
+// inter-socket task executes in the squad that ran the leaf task.
+func TestCABSquadConfinement(t *testing.T) {
+	top := quadTopo()
+	bl := 3
+	type rec struct{ leaf, squad int }
+	var seen []rec
+	var tree func(d, path, leafID int) work.Fn
+	tree = func(d, path, leafID int) work.Fn {
+		return func(p work.Proc) {
+			lvl := p.Level()
+			if lvl == bl {
+				leafID = path // this task is a leaf inter task
+			}
+			if lvl > bl {
+				seen = append(seen, rec{leaf: leafID, squad: top.SquadOf(p.Worker())})
+			}
+			if d == 0 {
+				p.Compute(3000)
+				return
+			}
+			p.Spawn(tree(d-1, path*2, leafID))
+			p.Spawn(tree(d-1, path*2+1, leafID))
+			p.Sync()
+		}
+	}
+	run(t, cfg(top, bl, 11), NewCAB(), mainOf(tree(6, 0, -1)))
+	squadOf := map[int]int{}
+	for _, r := range seen {
+		if prev, ok := squadOf[r.leaf]; ok && prev != r.squad {
+			t.Fatalf("leaf %d ran intra tasks in squads %d and %d", r.leaf, prev, r.squad)
+		}
+		squadOf[r.leaf] = r.squad
+	}
+	if len(squadOf) != 4 {
+		t.Fatalf("saw %d leaf subtrees, want 4", len(squadOf))
+	}
+	// With 4 leaf tasks and 4 squads, work should spread across squads.
+	used := map[int]bool{}
+	for _, s := range squadOf {
+		used[s] = true
+	}
+	if len(used) < 2 {
+		t.Errorf("all leaf subtrees ran in %d squad(s); expected distribution", len(used))
+	}
+}
+
+// At most one leaf inter-socket task is ever live per squad (the busy_state
+// rule). Leaf tasks log enter/exit events; the engine's serialization makes
+// the log deterministic and race-free.
+func TestCABOneInterTaskPerSquad(t *testing.T) {
+	top := quadTopo()
+	bl := 3
+	type ev struct {
+		squad int
+		enter bool
+	}
+	var log []ev
+	var tree func(d int) work.Fn
+	tree = func(d int) work.Fn {
+		return func(p work.Proc) {
+			isLeafInter := p.Level() == bl
+			if isLeafInter {
+				log = append(log, ev{top.SquadOf(p.Worker()), true})
+			}
+			if d > 0 {
+				p.Spawn(tree(d - 1))
+				p.Spawn(tree(d - 1))
+				p.Sync()
+			} else {
+				p.Compute(5000)
+			}
+			if isLeafInter {
+				log = append(log, ev{top.SquadOf(p.Worker()), false})
+			}
+		}
+	}
+	run(t, cfg(top, bl, 5), NewCAB(), tree(6))
+	liveBySquad := map[int]int{}
+	for i, e := range log {
+		if e.enter {
+			liveBySquad[e.squad]++
+			if liveBySquad[e.squad] > 1 {
+				t.Fatalf("event %d: squad %d has %d live leaf inter tasks",
+					i, e.squad, liveBySquad[e.squad])
+			}
+		} else {
+			liveBySquad[e.squad]--
+		}
+	}
+	if len(log) != 16 { // 8 leaf inter tasks x enter+exit
+		t.Fatalf("log has %d events, want 16", len(log))
+	}
+}
+
+// Regression for the busy_state deadlock: on 2 sockets, a recursion whose
+// inter tier is deeper than one level must not wedge (requires clearing
+// busy_state when an inter task suspends at an inter-tier sync).
+func TestCABDeepInterTierNoDeadlock(t *testing.T) {
+	st := run(t, cfg(testTopo(), 4, 9), NewCAB(), mainOf(binaryTree(7, 2000, nil)))
+	if st.Tasks != 256 {
+		t.Fatalf("Tasks = %d, want 256", st.Tasks)
+	}
+	if st.LeafInterTasks != 8 {
+		t.Errorf("LeafInterTasks = %d, want 8", st.LeafInterTasks)
+	}
+}
+
+func TestCABAllSquadsIdleAtEnd(t *testing.T) {
+	s := NewCAB()
+	run(t, cfg(quadTopo(), 3, 2), s, binaryTree(6, 1000, nil))
+	for sq := 0; sq < 4; sq++ {
+		if s.Busy(sq) {
+			t.Errorf("squad %d still busy after completion", sq)
+		}
+	}
+	if s.Pending() != 0 {
+		t.Errorf("Pending = %d after completion", s.Pending())
+	}
+}
+
+func TestCABBLZeroBehavesLikeCilk(t *testing.T) {
+	st := run(t, cfg(quadTopo(), 0, 7), NewCAB(), binaryTree(6, 10_000, nil))
+	if st.InterTasks != 0 {
+		t.Errorf("InterTasks = %d, want 0 at BL=0", st.InterTasks)
+	}
+	if st.StealsInter != 0 {
+		t.Errorf("StealsInter = %d, want 0 at BL=0", st.StealsInter)
+	}
+	if u := st.Utilization(); u < 0.5 {
+		t.Errorf("utilization = %.2f: BL=0 CAB must still balance across all workers", u)
+	}
+}
+
+func TestCABSingleWorkerPerSocket(t *testing.T) {
+	top := testTopo()
+	top.CoresPerSocket = 1
+	st := run(t, cfg(top, 2, 1), NewCAB(), binaryTree(5, 5000, nil))
+	if st.Tasks != 63 {
+		t.Fatalf("Tasks = %d, want 63", st.Tasks)
+	}
+}
+
+func TestCABHintedPlacement(t *testing.T) {
+	top := quadTopo()
+	// Flat generation (§IV-D): main spawns 8 tasks hinted to squads in
+	// contiguous blocks; most should run on their hinted squad.
+	assign := core.FlatAssign(8, top.Sockets)
+	ranOn := make([]int, 8)
+	root := func(p work.Proc) {
+		for i := 0; i < 8; i++ {
+			i := i
+			p.SpawnHint(assign[i], func(q work.Proc) {
+				ranOn[i] = top.SquadOf(q.Worker())
+				q.Compute(100_000)
+			})
+		}
+		p.Sync()
+	}
+	run(t, cfg(top, 1, 3), NewCAB(), root)
+	matched := 0
+	for i := range ranOn {
+		if ranOn[i] == assign[i] {
+			matched++
+		}
+	}
+	if matched < 5 {
+		t.Errorf("only %d/8 hinted tasks ran on their hinted squad", matched)
+	}
+}
+
+func TestCABAblationOptionsComplete(t *testing.T) {
+	opts := []CABOptions{
+		{RandomInterVictim: true},
+		{AllWorkersStealInter: true},
+		{IgnoreBusyState: true},
+		{RandomInterVictim: true, AllWorkersStealInter: true, IgnoreBusyState: true},
+	}
+	for i, o := range opts {
+		o := o
+		t.Run(fmt.Sprintf("opt%d", i), func(t *testing.T) {
+			st := run(t, cfg(quadTopo(), 3, 13), NewCABOpts(o), binaryTree(6, 4000, nil))
+			if st.Tasks != 127 {
+				t.Fatalf("Tasks = %d, want 127", st.Tasks)
+			}
+		})
+	}
+}
+
+func TestSharingCompletes(t *testing.T) {
+	var leaves int
+	st := run(t, cfg(testTopo(), 0, 7), NewSharing(),
+		binaryTree(6, 10_000, func(work.Proc, int) { leaves++ }))
+	if leaves != 64 {
+		t.Fatalf("leaves = %d, want 64", leaves)
+	}
+	if st.Tasks != 127 {
+		t.Fatalf("Tasks = %d, want 127", st.Tasks)
+	}
+}
+
+// Task-sharing pays central-pool contention; with fine-grained tasks,
+// stealing should finish faster on the same machine (the §II argument for
+// task-stealing).
+func TestSharingSlowerThanStealingOnFineTasks(t *testing.T) {
+	fine := binaryTree(8, 600, nil) // 256 small leaves
+	shared := run(t, cfg(quadTopo(), 0, 7), NewSharing(), fine)
+	stolen := run(t, cfg(quadTopo(), 0, 7), NewCilk(), fine)
+	if stolen.Time >= shared.Time {
+		t.Errorf("stealing (%d) not faster than sharing (%d) on fine tasks",
+			stolen.Time, shared.Time)
+	}
+}
+
+// All three schedulers must execute exactly the same DAG (work conservation).
+func TestWorkConservationAcrossSchedulers(t *testing.T) {
+	mk := func(s simengine.Scheduler, bl int) simengine.Stats {
+		return run(t, cfg(quadTopo(), bl, 21), s, binaryTree(7, 3000, nil))
+	}
+	a := mk(NewCilk(), 0)
+	b := mk(NewCAB(), 3)
+	c := mk(NewSharing(), 0)
+	if a.Tasks != b.Tasks || b.Tasks != c.Tasks {
+		t.Fatalf("task counts differ: %d / %d / %d", a.Tasks, b.Tasks, c.Tasks)
+	}
+}
+
+// Inter-tier share should be small for a deep divide-and-conquer DAG
+// (paper §III-E: "often less than 5%").
+func TestCABInterTierShareSmall(t *testing.T) {
+	st := run(t, cfg(quadTopo(), 3, 5), NewCAB(), binaryTree(10, 4000, nil))
+	if share := st.InterTierShare(); share > 0.10 {
+		t.Errorf("inter tier share = %.1f%%, want small", share*100)
+	}
+}
+
+// Space bound (Eq. 15): in-flight tasks stay within
+// max(K, M*N) * S1 where S1 is the serial (depth) bound.
+func TestCABSpaceBound(t *testing.T) {
+	depth := 10
+	top := quadTopo()
+	bl := 3
+	st := run(t, cfg(top, bl, 5), NewCAB(), binaryTree(depth, 1000, nil))
+	k := core.LeafInterTasks(2, bl)
+	s1 := int64(depth + 2) // serial child-first keeps one path in flight
+	bound := s1 * max64(k, int64(top.Workers()))
+	if int64(st.MaxInFlight) > bound {
+		t.Errorf("MaxInFlight = %d exceeds Eq. 15 bound %d", st.MaxInFlight, bound)
+	}
+}
+
+func max64(a, b int64) int64 {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+func TestSLAWCompletesAndMixesPolicies(t *testing.T) {
+	s := NewSLAW()
+	var leaves int
+	st := run(t, cfg(quadTopo(), 0, 7), s,
+		binaryTree(8, 2000, func(work.Proc, int) { leaves++ }))
+	if leaves != 256 {
+		t.Fatalf("leaves = %d, want 256", leaves)
+	}
+	if st.Tasks != 511 {
+		t.Fatalf("Tasks = %d, want 511", st.Tasks)
+	}
+	help, child := s.PolicyMix()
+	if help == 0 || child == 0 {
+		t.Fatalf("policy mix = %d/%d: the adaptive rule should use both", help, child)
+	}
+	if help+child != st.Tasks-1 {
+		t.Fatalf("policy decisions %d != spawns %d", help+child, st.Tasks-1)
+	}
+}
+
+func TestSLAWDeterministic(t *testing.T) {
+	mk := func() simengine.Stats {
+		return run(t, cfg(quadTopo(), 0, 3), NewSLAW(), binaryTree(7, 1000, nil))
+	}
+	a, b := mk(), mk()
+	if a.Time != b.Time || a.StealsIntra != b.StealsIntra {
+		t.Fatal("SLAW runs diverged under the same seed")
+	}
+}
+
+func TestCABOutOfRangeHintIgnored(t *testing.T) {
+	// A hint outside [0, M) must fall back to the spawner's squad, not
+	// crash or mis-route.
+	st := run(t, cfg(quadTopo(), 1, 1), NewCAB(), func(p work.Proc) {
+		p.SpawnHint(99, func(q work.Proc) { q.Compute(100) })
+		p.SpawnHint(-7, func(q work.Proc) { q.Compute(100) })
+		p.Sync()
+	})
+	if st.Tasks != 3 {
+		t.Fatalf("Tasks = %d, want 3", st.Tasks)
+	}
+}
+
+func TestCABStealHalfOptionCompletes(t *testing.T) {
+	st := run(t, cfg(quadTopo(), 3, 5), NewCABOpts(CABOptions{StealHalf: true}),
+		mainOf(binaryTree(6, 4000, nil)))
+	if st.Tasks != 128 {
+		t.Fatalf("Tasks = %d, want 128", st.Tasks)
+	}
+}

@@ -1,0 +1,113 @@
+package simsched
+
+import (
+	"cab/internal/deque"
+	"cab/internal/simengine"
+	"cab/internal/xrand"
+)
+
+// SLAW is an adaptive-policy task-stealing baseline modeled on Guo et
+// al.'s SLAW scheduler, which the paper's related work (§VI) contrasts
+// with CAB: SLAW also mixes child-first and parent-first task generation,
+// but chooses per spawn based on runtime conditions (stack pressure and
+// steal demand) rather than by DAG tier. It has no squads and no
+// cache-topology awareness, so it cannot address the TRICI syndrome —
+// which is exactly the comparison the slaw experiment makes.
+//
+// Policy rule (a simplification of SLAW's bounds): spawn help-first
+// (parent-first) while the worker's own deque is shallow — producing
+// stealable tasks quickly — and work-first (child-first) once enough
+// tasks are queued, bounding task proliferation the way SLAW's stack
+// condition does.
+type SLAW struct {
+	eng     *simengine.Engine
+	pools   []*deque.Deque[simengine.Task]
+	rngs    []*xrand.Source
+	pending int
+
+	// HelpFirstDepth is the deque depth below which spawns are
+	// parent-first (default 3, roughly one task per potential thief on a
+	// small machine).
+	HelpFirstDepth int
+
+	helpFirstSpawns  int64
+	childFirstSpawns int64
+}
+
+// NewSLAW returns the adaptive baseline with default thresholds.
+func NewSLAW() *SLAW { return &SLAW{HelpFirstDepth: 3} }
+
+// Name implements simengine.Scheduler.
+func (s *SLAW) Name() string { return "slaw" }
+
+// Init implements simengine.Scheduler.
+func (s *SLAW) Init(e *simengine.Engine) {
+	s.eng = e
+	n := e.Topology().Workers()
+	s.pools = make([]*deque.Deque[simengine.Task], n)
+	s.rngs = make([]*xrand.Source, n)
+	seed := xrand.New(e.Seed())
+	for i := 0; i < n; i++ {
+		s.pools[i] = deque.NewDeque[simengine.Task]()
+		s.rngs[i] = seed.Split()
+	}
+}
+
+// OnSpawn picks the generation policy adaptively.
+func (s *SLAW) OnSpawn(coreID int, parent, child *simengine.Task) *simengine.Task {
+	s.pending++
+	if s.pools[coreID].Len() < s.HelpFirstDepth {
+		// Help-first: push the child, keep running the parent.
+		s.helpFirstSpawns++
+		s.pools[coreID].Push(child)
+		return parent
+	}
+	// Work-first: dive into the child, park the continuation.
+	s.childFirstSpawns++
+	s.pools[coreID].Push(parent)
+	return child
+}
+
+// OnBlocked implements simengine.Scheduler.
+func (s *SLAW) OnBlocked(int, *simengine.Task) {}
+
+// OnReturn implements simengine.Scheduler.
+func (s *SLAW) OnReturn(int, *simengine.Task) {}
+
+// OnUnblock lets the returning worker adopt the parent.
+func (s *SLAW) OnUnblock(int, *simengine.Task) bool { return true }
+
+// SpawnOverhead implements simengine.Scheduler: the adaptive decision
+// reads a counter, comparable to CAB's level bookkeeping.
+func (s *SLAW) SpawnOverhead() int64 { return s.eng.Cost().LevelTracking }
+
+// FindWork pops the worker's own deque, then probes one random victim.
+func (s *SLAW) FindWork(coreID int) *simengine.Task {
+	if t := s.pools[coreID].Pop(); t != nil {
+		s.pending--
+		return t
+	}
+	n := len(s.pools)
+	if n == 1 {
+		return nil
+	}
+	victim := s.rngs[coreID].Intn(n - 1)
+	if victim >= coreID {
+		victim++
+	}
+	s.eng.Charge(coreID, s.eng.Cost().StealAttempt)
+	t := s.pools[victim].Steal()
+	s.eng.NoteSteal(false, t != nil)
+	if t != nil {
+		s.pending--
+	}
+	return t
+}
+
+// Pending implements simengine.Scheduler.
+func (s *SLAW) Pending() int { return s.pending }
+
+// PolicyMix reports how many spawns used each policy (tests, experiment).
+func (s *SLAW) PolicyMix() (helpFirst, childFirst int64) {
+	return s.helpFirstSpawns, s.childFirstSpawns
+}

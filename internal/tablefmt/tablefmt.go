@@ -1,0 +1,166 @@
+// Package tablefmt renders the experiment harness's results as aligned
+// plain-text tables in the style of the paper's tables and figure series.
+//
+// The harness deals in numeric rows; tablefmt only formats. It supports
+// left/right alignment, captions, computed normalized columns, and a compact
+// "series" rendering used for figure-shaped experiments (one row per x value,
+// one column per curve).
+package tablefmt
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Table accumulates rows and renders them with aligned columns.
+type Table struct {
+	caption string
+	header  []string
+	rows    [][]string
+	notes   []string
+}
+
+// New returns a table with the given caption and column headers.
+func New(caption string, header ...string) *Table {
+	return &Table{caption: caption, header: header}
+}
+
+// Caption returns the table caption.
+func (t *Table) Caption() string { return t.caption }
+
+// AddRow appends a row of preformatted cells. Short rows are padded with
+// empty cells; long rows extend the column count.
+func (t *Table) AddRow(cells ...string) {
+	t.rows = append(t.rows, cells)
+}
+
+// Addf appends a row formatting each value with %v, using %.4g for floats.
+func (t *Table) Addf(cells ...interface{}) {
+	row := make([]string, len(cells))
+	for i, c := range cells {
+		switch v := c.(type) {
+		case float64:
+			row[i] = fmt.Sprintf("%.4g", v)
+		case float32:
+			row[i] = fmt.Sprintf("%.4g", v)
+		default:
+			row[i] = fmt.Sprint(c)
+		}
+	}
+	t.AddRow(row...)
+}
+
+// AddNote appends a free-form footnote line rendered after the table body.
+func (t *Table) AddNote(format string, args ...interface{}) {
+	t.notes = append(t.notes, fmt.Sprintf(format, args...))
+}
+
+// NumRows reports the number of data rows added so far.
+func (t *Table) NumRows() int { return len(t.rows) }
+
+// String renders the table. The first column is left-aligned; all others are
+// right-aligned, which suits label + numbers layouts.
+func (t *Table) String() string {
+	cols := len(t.header)
+	for _, r := range t.rows {
+		if len(r) > cols {
+			cols = len(r)
+		}
+	}
+	width := make([]int, cols)
+	measure := func(r []string) {
+		for i, c := range r {
+			if len(c) > width[i] {
+				width[i] = len(c)
+			}
+		}
+	}
+	measure(t.header)
+	for _, r := range t.rows {
+		measure(r)
+	}
+
+	var b strings.Builder
+	if t.caption != "" {
+		b.WriteString(t.caption)
+		b.WriteByte('\n')
+	}
+	writeRow := func(r []string) {
+		for i := 0; i < cols; i++ {
+			cell := ""
+			if i < len(r) {
+				cell = r[i]
+			}
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			if i == 0 {
+				b.WriteString(cell)
+				b.WriteString(strings.Repeat(" ", width[i]-len(cell)))
+			} else {
+				b.WriteString(strings.Repeat(" ", width[i]-len(cell)))
+				b.WriteString(cell)
+			}
+		}
+		// Trim trailing padding.
+		s := b.String()
+		trimmed := strings.TrimRight(s, " ")
+		b.Reset()
+		b.WriteString(trimmed)
+		b.WriteByte('\n')
+	}
+	if len(t.header) > 0 {
+		writeRow(t.header)
+		total := 0
+		for i, w := range width {
+			if i > 0 {
+				total += 2
+			}
+			total += w
+		}
+		b.WriteString(strings.Repeat("-", total))
+		b.WriteByte('\n')
+	}
+	for _, r := range t.rows {
+		writeRow(r)
+	}
+	for _, n := range t.notes {
+		b.WriteString("note: ")
+		b.WriteString(n)
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+// Normalized formats v/base as a ratio with two decimals, the paper's
+// "normalized execution time" convention (baseline = 1.00).
+func Normalized(v, base float64) string {
+	if base == 0 {
+		return "n/a"
+	}
+	return fmt.Sprintf("%.2f", v/base)
+}
+
+// Gain formats the relative improvement of v over base as a percentage,
+// positive when v is smaller (faster/fewer) than base.
+func Gain(base, v float64) string {
+	if base == 0 {
+		return "n/a"
+	}
+	return fmt.Sprintf("%+.1f%%", (base-v)/base*100)
+}
+
+// Bytes renders a byte count with binary-unit suffixes (the paper writes
+// cache sizes as 512K, 6M).
+func Bytes(n int64) string {
+	switch {
+	case n >= 1<<30 && n%(1<<30) == 0:
+		return fmt.Sprintf("%dG", n>>30)
+	case n >= 1<<20 && n%(1<<20) == 0:
+		return fmt.Sprintf("%dM", n>>20)
+	case n >= 1<<10 && n%(1<<10) == 0:
+		return fmt.Sprintf("%dK", n>>10)
+	default:
+		return fmt.Sprintf("%dB", n)
+	}
+}

@@ -1,0 +1,101 @@
+package tablefmt
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestTableRendering(t *testing.T) {
+	tb := New("Table IV: cache misses", "App", "L2 Cilk", "L2 CAB")
+	tb.Addf("GE", 4203604, 2617207)
+	tb.Addf("Heat", 8457899, 5577723)
+	out := tb.String()
+	if !strings.HasPrefix(out, "Table IV: cache misses\n") {
+		t.Fatalf("missing caption:\n%s", out)
+	}
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 5 {
+		t.Fatalf("want 5 lines (caption, header, rule, 2 rows), got %d:\n%s", len(lines), out)
+	}
+	// Numeric columns right-aligned: both L2 Cilk values end at same offset.
+	if idx1, idx2 := strings.Index(lines[3], "4203604"), strings.Index(lines[4], "8457899"); idx1+len("4203604") != idx2+len("8457899") {
+		t.Errorf("columns misaligned:\n%s", out)
+	}
+}
+
+func TestTableNoCaption(t *testing.T) {
+	tb := New("", "a", "b")
+	tb.AddRow("x", "1")
+	if strings.HasPrefix(tb.String(), "\n") {
+		t.Error("empty caption should not emit a blank line")
+	}
+}
+
+func TestTableShortAndLongRows(t *testing.T) {
+	tb := New("c", "a", "b")
+	tb.AddRow("only")
+	tb.AddRow("x", "1", "extra")
+	out := tb.String()
+	if !strings.Contains(out, "extra") {
+		t.Errorf("long row cell dropped:\n%s", out)
+	}
+}
+
+func TestNotes(t *testing.T) {
+	tb := New("c", "a")
+	tb.AddRow("1")
+	tb.AddNote("gain %s", "68.7%")
+	if !strings.Contains(tb.String(), "note: gain 68.7%") {
+		t.Errorf("note missing:\n%s", tb.String())
+	}
+}
+
+func TestNormalized(t *testing.T) {
+	if got := Normalized(50, 100); got != "0.50" {
+		t.Errorf("Normalized(50,100) = %q", got)
+	}
+	if got := Normalized(1, 0); got != "n/a" {
+		t.Errorf("Normalized(1,0) = %q", got)
+	}
+}
+
+func TestGain(t *testing.T) {
+	if got := Gain(100, 31.3); got != "+68.7%" {
+		t.Errorf("Gain = %q, want +68.7%%", got)
+	}
+	if got := Gain(100, 120); got != "-20.0%" {
+		t.Errorf("Gain = %q, want -20.0%%", got)
+	}
+	if got := Gain(0, 5); got != "n/a" {
+		t.Errorf("Gain(0,5) = %q", got)
+	}
+}
+
+func TestBytes(t *testing.T) {
+	cases := []struct {
+		n    int64
+		want string
+	}{
+		{512 << 10, "512K"},
+		{6 << 20, "6M"},
+		{16 << 30, "16G"},
+		{100, "100B"},
+		{1536, "1536B"}, // not a whole K multiple? 1536 = 1.5K -> falls through
+	}
+	for _, c := range cases {
+		if got := Bytes(c.n); got != c.want {
+			t.Errorf("Bytes(%d) = %q, want %q", c.n, got, c.want)
+		}
+	}
+}
+
+func TestNumRows(t *testing.T) {
+	tb := New("", "a")
+	if tb.NumRows() != 0 {
+		t.Fatal("fresh table has rows")
+	}
+	tb.AddRow("1")
+	if tb.NumRows() != 1 {
+		t.Fatal("NumRows != 1 after one AddRow")
+	}
+}

@@ -1,0 +1,263 @@
+// Package topology describes Multi-Socket Multi-Core (MSMC) machines.
+//
+// The CAB runtime needs two machine parameters for its automatic DAG
+// partitioning (paper Eq. 4): the number of sockets M and the shared cache
+// size per socket Sc. The paper acquires them from /proc/cpuinfo; this
+// package implements that parser plus explicit presets, including the
+// paper's evaluation machine (4 × AMD Opteron 8380 "Shanghai").
+package topology
+
+import (
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+)
+
+// Topology describes an MSMC machine as the CAB model sees it: M sockets
+// with N cores each, a private cache per core and a shared cache per socket.
+type Topology struct {
+	Sockets        int   // M: number of CPU sockets
+	CoresPerSocket int   // N: cores per socket
+	LineBytes      int64 // cache line size, in bytes
+
+	// Private per-core hierarchy (the Opteron 8380 has private L1 and L2).
+	L1Bytes int64
+	L1Assoc int
+	L2Bytes int64
+	L2Assoc int
+
+	// Shared per-socket last-level cache (Sc in the paper's model).
+	L3Bytes int64
+	L3Assoc int
+}
+
+// Workers returns the total worker count M*N the runtime launches.
+func (t Topology) Workers() int { return t.Sockets * t.CoresPerSocket }
+
+// SharedCacheBytes returns Sc, the per-socket shared cache capacity used by
+// the Eq. 4 partitioning model.
+func (t Topology) SharedCacheBytes() int64 { return t.L3Bytes }
+
+// SquadOf maps a worker (== core) ID to its squad (== socket) ID, following
+// the paper's rule: "if the core i is in the socket j, the worker i is
+// grouped into the squad j", with cores numbered socket-major.
+func (t Topology) SquadOf(worker int) int {
+	if t.CoresPerSocket <= 0 {
+		return 0
+	}
+	return worker / t.CoresPerSocket
+}
+
+// HeadWorker returns the head worker of a squad: "the worker with the
+// smallest ID" in the squad.
+func (t Topology) HeadWorker(squad int) int { return squad * t.CoresPerSocket }
+
+// IsHead reports whether worker is the head of its squad.
+func (t Topology) IsHead(worker int) bool {
+	return worker == t.HeadWorker(t.SquadOf(worker))
+}
+
+// SquadWorkers returns the worker IDs of a squad in increasing order.
+func (t Topology) SquadWorkers(squad int) []int {
+	ws := make([]int, t.CoresPerSocket)
+	for i := range ws {
+		ws[i] = squad*t.CoresPerSocket + i
+	}
+	return ws
+}
+
+// Validate checks the structural invariants the runtimes depend on.
+func (t Topology) Validate() error {
+	switch {
+	case t.Sockets <= 0:
+		return fmt.Errorf("topology: Sockets = %d, need >= 1", t.Sockets)
+	case t.CoresPerSocket <= 0:
+		return fmt.Errorf("topology: CoresPerSocket = %d, need >= 1", t.CoresPerSocket)
+	case t.LineBytes <= 0 || t.LineBytes&(t.LineBytes-1) != 0:
+		return fmt.Errorf("topology: LineBytes = %d, need a positive power of two", t.LineBytes)
+	case t.L1Bytes < 0 || t.L2Bytes < 0 || t.L3Bytes <= 0:
+		return fmt.Errorf("topology: cache sizes must be positive (L3) and non-negative (L1/L2)")
+	case t.L1Bytes > 0 && t.L1Assoc <= 0,
+		t.L2Bytes > 0 && t.L2Assoc <= 0,
+		t.L3Assoc <= 0:
+		return fmt.Errorf("topology: associativity must be positive for present levels")
+	}
+	return nil
+}
+
+// String renders a compact human-readable description.
+func (t Topology) String() string {
+	return fmt.Sprintf("%d-socket x %d-core (L1 %s, L2 %s private; L3 %s shared/socket; %dB lines)",
+		t.Sockets, t.CoresPerSocket, bytes(t.L1Bytes), bytes(t.L2Bytes), bytes(t.L3Bytes), t.LineBytes)
+}
+
+func bytes(n int64) string {
+	switch {
+	case n >= 1<<20 && n%(1<<20) == 0:
+		return fmt.Sprintf("%dM", n>>20)
+	case n >= 1<<10 && n%(1<<10) == 0:
+		return fmt.Sprintf("%dK", n>>10)
+	default:
+		return fmt.Sprintf("%dB", n)
+	}
+}
+
+// Opteron8380 returns the paper's evaluation machine: a Dell 16-core host
+// with four quad-core AMD Opteron 8380 processors at 2.5 GHz — 512 KB
+// private L2 per core and a 6 MB L3 shared by the four cores of a socket.
+func Opteron8380() Topology {
+	return Topology{
+		Sockets:        4,
+		CoresPerSocket: 4,
+		LineBytes:      64,
+		L1Bytes:        64 << 10,
+		L1Assoc:        2,
+		L2Bytes:        512 << 10,
+		L2Assoc:        16,
+		L3Bytes:        6 << 20,
+		L3Assoc:        48,
+	}
+}
+
+// Xeon7560 returns a contemporary alternative MSMC shape (Nehalem-EX era):
+// 2 sockets x 8 cores with a large 24 MB shared L3 per socket — used by
+// the machine-shape sensitivity experiment to show the partitioning model
+// adapts to M, N and Sc.
+func Xeon7560() Topology {
+	return Topology{
+		Sockets:        2,
+		CoresPerSocket: 8,
+		LineBytes:      64,
+		L1Bytes:        32 << 10,
+		L1Assoc:        8,
+		L2Bytes:        256 << 10,
+		L2Assoc:        8,
+		L3Bytes:        24 << 20,
+		L3Assoc:        24,
+	}
+}
+
+// DualDual returns the paper's dual-socket dual-core teaching example
+// (Figs. 2 and 3) with its hypothetical tiny shared cache of 480 bytes,
+// rounded up to the nearest valid geometry (line-sized sets).
+func DualDual() Topology {
+	return Topology{
+		Sockets:        2,
+		CoresPerSocket: 2,
+		LineBytes:      16,
+		L1Bytes:        0,
+		L2Bytes:        0,
+		L3Bytes:        480,
+		L3Assoc:        30,
+	}
+}
+
+// Detect builds a Topology from the host's /proc/cpuinfo, mirroring the
+// paper's semi-automatic acquisition of M and Sc. On hosts without the file
+// (or with an unusable layout, e.g. a single-core VM) it falls back to the
+// provided default.
+func Detect(fallback Topology) Topology {
+	data, err := os.ReadFile("/proc/cpuinfo")
+	if err != nil {
+		return fallback
+	}
+	t, err := ParseCPUInfo(string(data))
+	if err != nil {
+		return fallback
+	}
+	// Keep the fallback's shared-cache and line geometry when cpuinfo does
+	// not expose them (Linux reports only one "cache size" line per CPU,
+	// usually the per-core L2).
+	if t.L3Bytes == 0 {
+		t.L3Bytes = fallback.L3Bytes
+		t.L3Assoc = fallback.L3Assoc
+	}
+	if t.LineBytes == 0 {
+		t.LineBytes = fallback.LineBytes
+	}
+	if t.L1Bytes == 0 {
+		t.L1Bytes = fallback.L1Bytes
+		t.L1Assoc = fallback.L1Assoc
+	}
+	if t.L2Assoc == 0 {
+		t.L2Assoc = fallback.L2Assoc
+	}
+	if err := t.Validate(); err != nil {
+		return fallback
+	}
+	return t
+}
+
+// ParseCPUInfo extracts socket count, cores per socket and the advertised
+// cache size from Linux /proc/cpuinfo content. It understands the fields the
+// paper's runtime reads: "physical id", "cpu cores" and "cache size".
+func ParseCPUInfo(content string) (Topology, error) {
+	var t Topology
+	physical := map[string]bool{}
+	coresPerSocket := 0
+	cacheKB := int64(0)
+	processors := 0
+
+	for _, line := range strings.Split(content, "\n") {
+		key, val, ok := splitField(line)
+		if !ok {
+			continue
+		}
+		switch key {
+		case "processor":
+			processors++
+		case "physical id":
+			physical[val] = true
+		case "cpu cores":
+			if n, err := strconv.Atoi(val); err == nil && n > coresPerSocket {
+				coresPerSocket = n
+			}
+		case "cache size":
+			// Format: "512 KB" or "6144 KB".
+			fields := strings.Fields(val)
+			if len(fields) >= 1 {
+				if n, err := strconv.ParseInt(fields[0], 10, 64); err == nil {
+					unit := int64(1)
+					if len(fields) >= 2 {
+						switch strings.ToUpper(fields[1]) {
+						case "KB":
+							unit = 1 << 10
+						case "MB":
+							unit = 1 << 20
+						}
+					}
+					if n*unit > cacheKB {
+						cacheKB = n * unit
+					}
+				}
+			}
+		}
+	}
+
+	if processors == 0 {
+		return t, fmt.Errorf("topology: no processors found in cpuinfo")
+	}
+	t.Sockets = len(physical)
+	if t.Sockets == 0 {
+		t.Sockets = 1
+	}
+	if coresPerSocket == 0 {
+		coresPerSocket = processors / t.Sockets
+		if coresPerSocket == 0 {
+			coresPerSocket = 1
+		}
+	}
+	t.CoresPerSocket = coresPerSocket
+	t.L2Bytes = cacheKB
+	t.LineBytes = 64
+	return t, nil
+}
+
+func splitField(line string) (key, val string, ok bool) {
+	i := strings.IndexByte(line, ':')
+	if i < 0 {
+		return "", "", false
+	}
+	return strings.TrimSpace(line[:i]), strings.TrimSpace(line[i+1:]), true
+}

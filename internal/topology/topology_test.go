@@ -1,0 +1,271 @@
+package topology
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestOpteron8380MatchesPaper(t *testing.T) {
+	top := Opteron8380()
+	if top.Sockets != 4 || top.CoresPerSocket != 4 {
+		t.Fatalf("want 4x4, got %dx%d", top.Sockets, top.CoresPerSocket)
+	}
+	if top.Workers() != 16 {
+		t.Fatalf("Workers() = %d, want 16", top.Workers())
+	}
+	if top.L2Bytes != 512<<10 {
+		t.Errorf("L2 = %d, want 512K", top.L2Bytes)
+	}
+	if top.SharedCacheBytes() != 6<<20 {
+		t.Errorf("Sc = %d, want 6M", top.SharedCacheBytes())
+	}
+	if err := top.Validate(); err != nil {
+		t.Errorf("Validate: %v", err)
+	}
+}
+
+func TestDualDualValid(t *testing.T) {
+	top := DualDual()
+	if err := top.Validate(); err != nil {
+		t.Fatalf("Validate: %v", err)
+	}
+	if top.Workers() != 4 {
+		t.Errorf("Workers = %d, want 4", top.Workers())
+	}
+	if top.SharedCacheBytes() != 480 {
+		t.Errorf("Sc = %d, want the paper's hypothetical 480 bytes", top.SharedCacheBytes())
+	}
+}
+
+func TestSquadMapping(t *testing.T) {
+	top := Opteron8380()
+	for w := 0; w < top.Workers(); w++ {
+		sq := top.SquadOf(w)
+		if sq != w/4 {
+			t.Errorf("SquadOf(%d) = %d, want %d", w, sq, w/4)
+		}
+	}
+	for s := 0; s < top.Sockets; s++ {
+		head := top.HeadWorker(s)
+		if head != s*4 {
+			t.Errorf("HeadWorker(%d) = %d, want %d", s, head, s*4)
+		}
+		if !top.IsHead(head) {
+			t.Errorf("IsHead(%d) = false for a head", head)
+		}
+		ws := top.SquadWorkers(s)
+		if len(ws) != 4 || ws[0] != head {
+			t.Errorf("SquadWorkers(%d) = %v", s, ws)
+		}
+		for _, w := range ws {
+			if top.SquadOf(w) != s {
+				t.Errorf("worker %d not mapped back to squad %d", w, s)
+			}
+		}
+	}
+}
+
+func TestIsHeadOnlySmallest(t *testing.T) {
+	top := Opteron8380()
+	heads := 0
+	for w := 0; w < top.Workers(); w++ {
+		if top.IsHead(w) {
+			heads++
+		}
+	}
+	if heads != top.Sockets {
+		t.Fatalf("found %d heads, want %d", heads, top.Sockets)
+	}
+}
+
+func TestSquadPartitionProperty(t *testing.T) {
+	// Every worker belongs to exactly one squad and squads partition workers.
+	if err := quick.Check(func(m, n uint8) bool {
+		top := Topology{Sockets: int(m%8) + 1, CoresPerSocket: int(n%8) + 1,
+			LineBytes: 64, L3Bytes: 1 << 20, L3Assoc: 8}
+		seen := map[int]bool{}
+		for s := 0; s < top.Sockets; s++ {
+			for _, w := range top.SquadWorkers(s) {
+				if seen[w] || top.SquadOf(w) != s {
+					return false
+				}
+				seen[w] = true
+			}
+		}
+		return len(seen) == top.Workers()
+	}, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestValidateRejects(t *testing.T) {
+	good := Opteron8380()
+	cases := map[string]func(*Topology){
+		"zero sockets":   func(t *Topology) { t.Sockets = 0 },
+		"zero cores":     func(t *Topology) { t.CoresPerSocket = 0 },
+		"bad line":       func(t *Topology) { t.LineBytes = 48 },
+		"zero line":      func(t *Topology) { t.LineBytes = 0 },
+		"no L3":          func(t *Topology) { t.L3Bytes = 0 },
+		"L3 assoc":       func(t *Topology) { t.L3Assoc = 0 },
+		"L2 assoc":       func(t *Topology) { t.L2Assoc = 0 },
+		"negative cache": func(t *Topology) { t.L1Bytes = -1 },
+	}
+	for name, mutate := range cases {
+		top := good
+		mutate(&top)
+		if err := top.Validate(); err == nil {
+			t.Errorf("%s: Validate accepted invalid topology", name)
+		}
+	}
+}
+
+const sampleCPUInfo = `processor	: 0
+vendor_id	: AuthenticAMD
+model name	: Quad-Core AMD Opteron(tm) Processor 8380
+cache size	: 512 KB
+physical id	: 0
+cpu cores	: 4
+
+processor	: 1
+cache size	: 512 KB
+physical id	: 0
+cpu cores	: 4
+
+processor	: 2
+cache size	: 512 KB
+physical id	: 1
+cpu cores	: 4
+
+processor	: 3
+cache size	: 512 KB
+physical id	: 1
+cpu cores	: 4
+`
+
+func TestParseCPUInfo(t *testing.T) {
+	top, err := ParseCPUInfo(sampleCPUInfo)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if top.Sockets != 2 {
+		t.Errorf("Sockets = %d, want 2", top.Sockets)
+	}
+	if top.CoresPerSocket != 4 {
+		t.Errorf("CoresPerSocket = %d, want 4", top.CoresPerSocket)
+	}
+	if top.L2Bytes != 512<<10 {
+		t.Errorf("L2 = %d, want 512K", top.L2Bytes)
+	}
+}
+
+func TestParseCPUInfoNoPhysicalID(t *testing.T) {
+	top, err := ParseCPUInfo("processor\t: 0\nprocessor\t: 1\n")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if top.Sockets != 1 {
+		t.Errorf("Sockets = %d, want 1 fallback", top.Sockets)
+	}
+	if top.CoresPerSocket != 2 {
+		t.Errorf("CoresPerSocket = %d, want 2 (processors/sockets)", top.CoresPerSocket)
+	}
+}
+
+func TestParseCPUInfoMBUnits(t *testing.T) {
+	top, err := ParseCPUInfo("processor : 0\ncache size : 6 MB\n")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if top.L2Bytes != 6<<20 {
+		t.Errorf("cache = %d, want 6M", top.L2Bytes)
+	}
+}
+
+func TestParseCPUInfoEmpty(t *testing.T) {
+	if _, err := ParseCPUInfo(""); err == nil {
+		t.Fatal("expected error for empty cpuinfo")
+	}
+}
+
+func TestDetectFallsBack(t *testing.T) {
+	// Detect must always return a valid topology, whatever the host.
+	top := Detect(Opteron8380())
+	if err := top.Validate(); err != nil {
+		t.Fatalf("Detect returned invalid topology: %v", err)
+	}
+}
+
+func TestStringMentionsGeometry(t *testing.T) {
+	s := Opteron8380().String()
+	for _, want := range []string{"4-socket", "4-core", "6M", "512K"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("String() = %q missing %q", s, want)
+		}
+	}
+}
+
+const intelCPUInfo = `processor	: 0
+vendor_id	: GenuineIntel
+model name	: Intel(R) Xeon(R) CPU X7560 @ 2.27GHz
+cache size	: 24576 KB
+physical id	: 0
+siblings	: 16
+core id		: 0
+cpu cores	: 8
+
+processor	: 1
+vendor_id	: GenuineIntel
+cache size	: 24576 KB
+physical id	: 0
+siblings	: 16
+core id		: 0
+cpu cores	: 8
+
+processor	: 2
+vendor_id	: GenuineIntel
+cache size	: 24576 KB
+physical id	: 1
+siblings	: 16
+core id		: 0
+cpu cores	: 8
+`
+
+func TestParseCPUInfoIntelStyle(t *testing.T) {
+	top, err := ParseCPUInfo(intelCPUInfo)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if top.Sockets != 2 {
+		t.Errorf("Sockets = %d, want 2", top.Sockets)
+	}
+	if top.CoresPerSocket != 8 {
+		t.Errorf("CoresPerSocket = %d, want 8 (from cpu cores, not siblings)", top.CoresPerSocket)
+	}
+	if top.L2Bytes != 24576<<10 {
+		t.Errorf("cache = %d, want 24 MB", top.L2Bytes)
+	}
+}
+
+func TestParseCPUInfoGarbageLines(t *testing.T) {
+	top, err := ParseCPUInfo("processor : 0\nnot a field line\ncache size : banana KB\ncpu cores : many\n")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if top.Sockets != 1 || top.CoresPerSocket != 1 {
+		t.Errorf("garbage tolerance broken: %+v", top)
+	}
+}
+
+func TestXeon7560Preset(t *testing.T) {
+	top := Xeon7560()
+	if err := top.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if top.Workers() != 16 || top.Sockets != 2 {
+		t.Errorf("Xeon preset shape wrong: %+v", top)
+	}
+	if top.SharedCacheBytes() != 24<<20 {
+		t.Errorf("Sc = %d, want 24M", top.SharedCacheBytes())
+	}
+}

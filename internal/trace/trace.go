@@ -1,0 +1,174 @@
+// Package trace records scheduling events from a simulated run and
+// exports them in Chrome trace-viewer format (chrome://tracing,
+// https://ui.perfetto.dev), giving a per-core Gantt view of what each
+// simulated core executed, when it stole, and when it idled.
+package trace
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+)
+
+// Kind labels a recorded event.
+type Kind int
+
+const (
+	// TaskRun is a span: core executed (part of) a task.
+	TaskRun Kind = iota
+	// Steal is an instant: a successful steal by core.
+	Steal
+	// Block is an instant: the running task suspended at a sync.
+	Block
+)
+
+// Event is one scheduling occurrence on the virtual timeline.
+type Event struct {
+	Kind  Kind
+	Core  int
+	Start int64 // virtual cycles
+	End   int64 // spans only; == Start for instants
+	Task  int64
+	Level int
+	Tier  string
+	Label string
+}
+
+// Recorder accumulates events. The simulation engine is single-threaded,
+// so no locking is needed during a run.
+type Recorder struct {
+	events []Event
+
+	// open per-core run spans, coalesced so consecutive actions of the
+	// same task form one span.
+	open map[int]*Event
+}
+
+// NewRecorder returns an empty recorder.
+func NewRecorder() *Recorder {
+	return &Recorder{open: map[int]*Event{}}
+}
+
+// RunSpan extends (or opens) the current execution span of task on core.
+func (r *Recorder) RunSpan(core int, task int64, level int, tier string, start, end int64) {
+	if cur := r.open[core]; cur != nil {
+		if cur.Task == task && start <= cur.End {
+			if end > cur.End {
+				cur.End = end
+			}
+			return
+		}
+		r.closeSpan(core)
+	}
+	r.open[core] = &Event{
+		Kind: TaskRun, Core: core, Start: start, End: end,
+		Task: task, Level: level, Tier: tier,
+		Label: fmt.Sprintf("task %d (L%d %s)", task, level, tier),
+	}
+}
+
+// Instant records a point event on a core.
+func (r *Recorder) Instant(kind Kind, core int, task int64, at int64, label string) {
+	r.closeSpan(core)
+	r.events = append(r.events, Event{
+		Kind: kind, Core: core, Start: at, End: at, Task: task, Label: label,
+	})
+}
+
+func (r *Recorder) closeSpan(core int) {
+	if cur := r.open[core]; cur != nil {
+		r.events = append(r.events, *cur)
+		delete(r.open, core)
+	}
+}
+
+// Finish closes all open spans and returns the events sorted by time.
+func (r *Recorder) Finish() []Event {
+	for core := range r.open {
+		r.closeSpan(core)
+	}
+	sort.SliceStable(r.events, func(i, j int) bool {
+		if r.events[i].Start != r.events[j].Start {
+			return r.events[i].Start < r.events[j].Start
+		}
+		return r.events[i].Core < r.events[j].Core
+	})
+	return r.events
+}
+
+// chromeEvent is the trace-viewer JSON schema (subset).
+type chromeEvent struct {
+	Name string            `json:"name"`
+	Ph   string            `json:"ph"`
+	Ts   float64           `json:"ts"`
+	Dur  float64           `json:"dur,omitempty"`
+	PID  int               `json:"pid"`
+	TID  int               `json:"tid"`
+	Args map[string]string `json:"args,omitempty"`
+}
+
+// WriteChrome writes the recorded events as a Chrome trace JSON array.
+// Virtual cycles are mapped to microseconds 1:1000 (trace-viewer wants
+// wall-clock-ish magnitudes).
+func (r *Recorder) WriteChrome(w io.Writer) error {
+	evs := r.Finish()
+	out := make([]chromeEvent, 0, len(evs))
+	for _, e := range evs {
+		ce := chromeEvent{
+			Name: e.Label,
+			Ts:   float64(e.Start) / 1000,
+			PID:  0,
+			TID:  e.Core,
+			Args: map[string]string{
+				"task": fmt.Sprint(e.Task),
+				"tier": e.Tier,
+			},
+		}
+		switch e.Kind {
+		case TaskRun:
+			ce.Ph = "X"
+			ce.Dur = float64(e.End-e.Start) / 1000
+		default:
+			ce.Ph = "i"
+		}
+		out = append(out, ce)
+	}
+	enc := json.NewEncoder(w)
+	return enc.Encode(out)
+}
+
+// Summary renders per-core busy statistics as text bars — a quick look at
+// utilization without a trace viewer.
+func (r *Recorder) Summary(w io.Writer, cores int, makespan int64) error {
+	busy := make([]int64, cores)
+	steals := make([]int, cores)
+	for _, e := range r.Finish() {
+		switch e.Kind {
+		case TaskRun:
+			if e.Core < cores {
+				busy[e.Core] += e.End - e.Start
+			}
+		case Steal:
+			if e.Core < cores {
+				steals[e.Core]++
+			}
+		}
+	}
+	for c := 0; c < cores; c++ {
+		frac := 0.0
+		if makespan > 0 {
+			frac = float64(busy[c]) / float64(makespan)
+		}
+		if frac > 1 {
+			frac = 1
+		}
+		bar := strings.Repeat("#", int(frac*40+0.5))
+		if _, err := fmt.Fprintf(w, "core %2d |%-40s| %5.1f%% busy, %d steals\n",
+			c, bar, frac*100, steals[c]); err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -1,0 +1,105 @@
+package trace
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+func TestRunSpanCoalescing(t *testing.T) {
+	r := NewRecorder()
+	r.RunSpan(0, 7, 2, "intra-socket", 0, 10)
+	r.RunSpan(0, 7, 2, "intra-socket", 10, 25) // same task, contiguous
+	r.RunSpan(0, 9, 3, "intra-socket", 25, 30) // different task
+	evs := r.Finish()
+	if len(evs) != 2 {
+		t.Fatalf("got %d events, want 2 coalesced spans", len(evs))
+	}
+	if evs[0].Task != 7 || evs[0].Start != 0 || evs[0].End != 25 {
+		t.Errorf("span 0 = %+v", evs[0])
+	}
+	if evs[1].Task != 9 || evs[1].End != 30 {
+		t.Errorf("span 1 = %+v", evs[1])
+	}
+}
+
+func TestInstantsCloseSpans(t *testing.T) {
+	r := NewRecorder()
+	r.RunSpan(1, 3, 1, "inter-socket", 5, 9)
+	r.Instant(Block, 1, 3, 9, "task 3 blocked")
+	r.RunSpan(1, 4, 2, "intra-socket", 9, 12)
+	evs := r.Finish()
+	if len(evs) != 3 {
+		t.Fatalf("got %d events, want 3", len(evs))
+	}
+	kinds := []Kind{evs[0].Kind, evs[1].Kind, evs[2].Kind}
+	if kinds[0] != TaskRun || kinds[1] != Block || kinds[2] != TaskRun {
+		t.Errorf("kinds = %v", kinds)
+	}
+}
+
+func TestEventsSortedByTime(t *testing.T) {
+	r := NewRecorder()
+	r.RunSpan(2, 10, 0, "intra-socket", 50, 60)
+	r.RunSpan(1, 11, 0, "intra-socket", 5, 20)
+	r.Instant(Steal, 0, 0, 30, "steal")
+	evs := r.Finish()
+	for i := 1; i < len(evs); i++ {
+		if evs[i].Start < evs[i-1].Start {
+			t.Fatalf("events not sorted: %v", evs)
+		}
+	}
+}
+
+func TestWriteChromeJSON(t *testing.T) {
+	r := NewRecorder()
+	r.RunSpan(0, 1, 0, "inter-socket", 0, 2000)
+	r.Instant(Steal, 1, 0, 500, "inter steal")
+	var buf bytes.Buffer
+	if err := r.WriteChrome(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var out []map[string]interface{}
+	if err := json.Unmarshal(buf.Bytes(), &out); err != nil {
+		t.Fatalf("invalid JSON: %v\n%s", err, buf.String())
+	}
+	if len(out) != 2 {
+		t.Fatalf("got %d JSON events, want 2", len(out))
+	}
+	if out[0]["ph"] != "X" || out[0]["dur"].(float64) != 2.0 {
+		t.Errorf("span event wrong: %v", out[0])
+	}
+	if out[1]["ph"] != "i" {
+		t.Errorf("instant event wrong: %v", out[1])
+	}
+}
+
+func TestSummaryBars(t *testing.T) {
+	r := NewRecorder()
+	r.RunSpan(0, 1, 0, "x", 0, 100) // core 0 fully busy
+	r.Instant(Steal, 1, 0, 10, "steal")
+	var buf bytes.Buffer
+	if err := r.Summary(&buf, 2, 100); err != nil {
+		t.Fatal(err)
+	}
+	s := buf.String()
+	if !strings.Contains(s, "core  0") || !strings.Contains(s, "100.0% busy") {
+		t.Errorf("summary missing core 0 line:\n%s", s)
+	}
+	if !strings.Contains(s, "1 steals") {
+		t.Errorf("summary missing steal count:\n%s", s)
+	}
+	lines := strings.Split(strings.TrimSpace(s), "\n")
+	if len(lines) != 2 {
+		t.Errorf("want 2 lines, got %d", len(lines))
+	}
+}
+
+func TestSummaryZeroMakespan(t *testing.T) {
+	r := NewRecorder()
+	var buf bytes.Buffer
+	if err := r.Summary(&buf, 1, 0); err != nil {
+		t.Fatal(err)
+	}
+}

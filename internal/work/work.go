@@ -1,0 +1,119 @@
+// Package work defines the task execution interface shared by the real
+// concurrent runtime (internal/rt) and the simulated machine
+// (internal/simengine), so every benchmark in internal/workloads runs
+// unmodified on both.
+//
+// A workload is a function of a Proc. It performs its real computation on
+// ordinary Go data (so results can be verified), spawns subtasks through
+// Spawn/Sync, and *annotates* its memory traffic through Load/Store using
+// synthetic addresses from a Layout. The real runtime ignores the
+// annotations; the simulator drives its cache model with them.
+package work
+
+// Proc is the execution context a task sees. Implementations are the
+// simulator's coroutine context and the real runtime's worker context.
+type Proc interface {
+	// Spawn creates a child task. Whether the caller continues (parent-
+	// first) or the child runs immediately while the caller's continuation
+	// becomes stealable (child-first) is the scheduler's decision, per the
+	// CAB tier rules. The child must not share mutable state with the
+	// parent without synchronization other than Sync.
+	Spawn(fn func(Proc))
+
+	// SpawnHint is Spawn with a placement hint: the preferred squad
+	// (socket) for the child. CAB uses it for the paper's §IV-D flat
+	// task-generation scheme; schedulers without placement (Cilk,
+	// task-sharing) ignore the hint. A negative hint means "no preference".
+	SpawnHint(squad int, fn func(Proc))
+
+	// Sync blocks until every child spawned by this task has completed.
+	Sync()
+
+	// Compute charges the given number of CPU cycles of pure computation
+	// to the executing core. The real runtime treats it as a no-op (the
+	// actual Go computation takes real time); the simulator advances the
+	// core's clock.
+	Compute(cycles int64)
+
+	// Load annotates a memory read of size bytes at the synthetic address
+	// addr. The simulator walks the covered cache lines through the
+	// executing core's hierarchy and charges the resulting latency.
+	Load(addr uint64, size int64)
+
+	// Store annotates a memory write (modeled write-allocate).
+	Store(addr uint64, size int64)
+
+	// Prefetch asks the executing socket's shared cache to pull in
+	// [addr, addr+size) ahead of demand — the paper's future-work
+	// helper-thread prefetching (§VII). On the simulator the lines are
+	// installed into the socket's L3 for a small issue cost; the real
+	// runtime treats it as a no-op (hardware prefetchers own that job).
+	Prefetch(addr uint64, size int64)
+
+	// Worker returns the ID of the worker (== core) currently executing
+	// the task. Valid only while the task is running.
+	Worker() int
+
+	// Level returns the task's depth in the execution DAG (main = 0).
+	Level() int
+
+	// Squads returns the number of squads (sockets) of the executing
+	// machine, so programs can compute placement hints for SpawnHint —
+	// the paper's inter_spawn manual-tuning mechanism (§IV-D) made
+	// data-driven. Serial execution reports 1.
+	Squads() int
+}
+
+// Fn is the type of a task body.
+type Fn = func(Proc)
+
+// Layout hands out non-overlapping synthetic address ranges, standing in
+// for the allocator when workloads describe their data to the cache model.
+// The zero value allocates from address 4096 (so 0 stays invalid).
+type Layout struct {
+	next uint64
+}
+
+// NewLayout returns an empty layout.
+func NewLayout() *Layout { return &Layout{} }
+
+// Alloc reserves size bytes aligned to align (which must be a power of two;
+// 0 means 64, one cache line) and returns the base address.
+func (l *Layout) Alloc(size int64, align uint64) uint64 {
+	if size < 0 {
+		panic("work: negative allocation")
+	}
+	if align == 0 {
+		align = 64
+	}
+	if align&(align-1) != 0 {
+		panic("work: alignment must be a power of two")
+	}
+	if l.next == 0 {
+		l.next = 4096
+	}
+	base := (l.next + align - 1) &^ (align - 1)
+	l.next = base + uint64(size)
+	return base
+}
+
+// Serial runs a task body to completion on the calling goroutine with a
+// degenerate Proc: Spawn executes children immediately and depth-first,
+// Sync is a no-op (children already ran), and annotations are discarded.
+// Workload tests use it to produce reference results.
+func Serial(fn Fn) {
+	fn(serialProc{})
+}
+
+type serialProc struct{ level int }
+
+func (s serialProc) Spawn(fn Fn)            { fn(serialProc{level: s.level + 1}) }
+func (s serialProc) SpawnHint(_ int, fn Fn) { fn(serialProc{level: s.level + 1}) }
+func (s serialProc) Sync()                  {}
+func (s serialProc) Compute(int64)          {}
+func (s serialProc) Load(uint64, int64)     {}
+func (s serialProc) Store(uint64, int64)    {}
+func (s serialProc) Prefetch(uint64, int64) {}
+func (s serialProc) Worker() int            { return 0 }
+func (s serialProc) Level() int             { return s.level }
+func (s serialProc) Squads() int            { return 1 }

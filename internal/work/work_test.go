@@ -1,0 +1,127 @@
+package work
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestLayoutDisjointAllocations(t *testing.T) {
+	l := NewLayout()
+	a := l.Alloc(100, 64)
+	b := l.Alloc(200, 64)
+	c := l.Alloc(1, 0)
+	if a == 0 {
+		t.Fatal("first allocation at 0 (reserved)")
+	}
+	if b < a+100 {
+		t.Fatalf("allocations overlap: a=%d..%d b=%d", a, a+100, b)
+	}
+	if c < b+200 {
+		t.Fatalf("allocations overlap: b=%d..%d c=%d", b, b+200, c)
+	}
+}
+
+func TestLayoutAlignment(t *testing.T) {
+	l := NewLayout()
+	for _, align := range []uint64{1, 2, 64, 4096} {
+		addr := l.Alloc(10, align)
+		if addr%align != 0 {
+			t.Errorf("Alloc(..., %d) = %d, not aligned", align, addr)
+		}
+	}
+	// Default alignment is one cache line.
+	if addr := l.Alloc(10, 0); addr%64 != 0 {
+		t.Errorf("default alignment broken: %d", addr)
+	}
+}
+
+func TestLayoutZeroValue(t *testing.T) {
+	var l Layout
+	if addr := l.Alloc(8, 8); addr < 4096 {
+		t.Fatalf("zero-value layout allocated reserved page: %d", addr)
+	}
+}
+
+func TestLayoutPanics(t *testing.T) {
+	l := NewLayout()
+	for name, f := range map[string]func(){
+		"negative size": func() { l.Alloc(-1, 64) },
+		"bad align":     func() { l.Alloc(8, 3) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s: expected panic", name)
+				}
+			}()
+			f()
+		}()
+	}
+}
+
+// Property: allocations never overlap and are monotone.
+func TestLayoutProperty(t *testing.T) {
+	f := func(sizes []uint16) bool {
+		l := NewLayout()
+		var prevEnd uint64
+		for _, s := range sizes {
+			a := l.Alloc(int64(s), 64)
+			if a < prevEnd {
+				return false
+			}
+			prevEnd = a + uint64(s)
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSerialDepthFirstOrder(t *testing.T) {
+	var order []int
+	Serial(func(p Proc) {
+		order = append(order, 0)
+		p.Spawn(func(q Proc) {
+			order = append(order, 1)
+			q.Spawn(func(r Proc) { order = append(order, 2) })
+			q.Sync()
+			order = append(order, 3)
+		})
+		p.Spawn(func(q Proc) { order = append(order, 4) })
+		p.Sync()
+		order = append(order, 5)
+	})
+	want := []int{0, 1, 2, 3, 4, 5}
+	for i := range want {
+		if order[i] != want[i] {
+			t.Fatalf("order = %v, want %v", order, want)
+		}
+	}
+}
+
+func TestSerialLevels(t *testing.T) {
+	Serial(func(p Proc) {
+		if p.Level() != 0 {
+			t.Errorf("root level = %d", p.Level())
+		}
+		p.SpawnHint(3, func(q Proc) {
+			if q.Level() != 1 {
+				t.Errorf("child level = %d", q.Level())
+			}
+		})
+	})
+}
+
+func TestSerialProcContracts(t *testing.T) {
+	Serial(func(p Proc) {
+		if p.Worker() != 0 || p.Squads() != 1 {
+			t.Error("serial Proc should report worker 0, 1 squad")
+		}
+		// Annotations are no-ops and must not panic.
+		p.Compute(100)
+		p.Load(4096, 64)
+		p.Store(4096, 64)
+		p.Sync()
+	})
+}

@@ -1,0 +1,175 @@
+package workloads
+
+import (
+	"fmt"
+	"math"
+
+	"cab/internal/work"
+)
+
+// Cholesky computes the lower-triangular factor L of a symmetric positive
+// definite N x N matrix A (A = L Lᵀ), blocked right-looking: for each
+// panel k it factors the diagonal block serially, solves the panel below
+// it row-block-parallel, and updates the trailing submatrix tile-parallel;
+// the parallel loops divide their ranges recursively (B = 2). CPU-bound:
+// O(N³/3) multiply-adds over O(N²) data.
+type Cholesky struct {
+	N     int
+	Block int
+
+	a    []float64 // overwritten with L in the lower triangle
+	addr uint64
+}
+
+// CholeskySpec builds the benchmark spec.
+func CholeskySpec(n int) Spec {
+	return Spec{
+		Name:        "Cholesky",
+		Description: "Cholesky decomposition",
+		MemoryBound: false,
+		Branch:      2,
+		InputBytes:  int64(n) * int64(n) * 8,
+		Make: func() *Instance {
+			c := NewCholesky(n)
+			return &Instance{Root: c.Root(), Verify: c.Verify}
+		},
+	}
+}
+
+// NewCholesky allocates a deterministic SPD matrix (diagonally dominant
+// symmetric matrices are SPD).
+func NewCholesky(n int) *Cholesky {
+	c := &Cholesky{N: n, Block: 64}
+	if c.Block > n/2 {
+		c.Block = n / 2
+		if c.Block < 1 {
+			c.Block = 1
+		}
+	}
+	c.a = make([]float64, n*n)
+	for r := 0; r < n; r++ {
+		for col := 0; col <= r; col++ {
+			v := 1 + float64((r*7+col*13)%10)/20
+			c.a[r*n+col] = v
+			c.a[col*n+r] = v
+		}
+		c.a[r*n+r] = float64(2 * n)
+	}
+	c.addr = work.NewLayout().Alloc(int64(n)*int64(n)*8, 64)
+	return c
+}
+
+func (c *Cholesky) at(r, col int) float64     { return c.a[r*c.N+col] }
+func (c *Cholesky) set(r, col int, v float64) { c.a[r*c.N+col] = v }
+func (c *Cholesky) rowAddr(r, col int) uint64 { return c.addr + uint64(r*c.N+col)*8 }
+
+// factorDiag factors the kb x kb diagonal block starting at k in place.
+func (c *Cholesky) factorDiag(p work.Proc, k, kb int) {
+	p.Load(c.rowAddr(k, k), int64(kb)*int64(kb)*8)
+	p.Compute(int64(kb) * int64(kb) * int64(kb) / 3 * 2)
+	for j := k; j < k+kb; j++ {
+		d := c.at(j, j)
+		for t := k; t < j; t++ {
+			d -= c.at(j, t) * c.at(j, t)
+		}
+		d = math.Sqrt(d)
+		c.set(j, j, d)
+		for i := j + 1; i < k+kb; i++ {
+			v := c.at(i, j)
+			for t := k; t < j; t++ {
+				v -= c.at(i, t) * c.at(j, t)
+			}
+			c.set(i, j, v/d)
+		}
+	}
+	p.Store(c.rowAddr(k, k), int64(kb)*int64(kb)*8)
+}
+
+// solveRows computes L[i, k:k+kb] for rows [lo, hi) via forward
+// substitution against the factored diagonal block.
+func (c *Cholesky) solveRows(p work.Proc, k, kb, lo, hi int) {
+	p.Load(c.rowAddr(k, k), int64(kb)*int64(kb)*8)
+	p.Load(c.rowAddr(lo, k), int64(hi-lo)*int64(kb)*8)
+	p.Compute(int64(hi-lo) * int64(kb) * int64(kb))
+	for i := lo; i < hi; i++ {
+		for j := k; j < k+kb; j++ {
+			v := c.at(i, j)
+			for t := k; t < j; t++ {
+				v -= c.at(i, t) * c.at(j, t)
+			}
+			c.set(i, j, v/c.at(j, j))
+		}
+	}
+	p.Store(c.rowAddr(lo, k), int64(hi-lo)*int64(kb)*8)
+}
+
+// updateRows applies the rank-kb update A[i, k+kb:i+1] -= L[i, k:k+kb] ·
+// L[col, k:k+kb]ᵀ for rows [lo, hi) (lower triangle only).
+func (c *Cholesky) updateRows(p work.Proc, k, kb, lo, hi int) {
+	p.Load(c.rowAddr(lo, k), int64(hi-lo)*int64(kb)*8)
+	var flops int64
+	for i := lo; i < hi; i++ {
+		for col := k + kb; col <= i; col++ {
+			v := c.at(i, col)
+			for t := k; t < k+kb; t++ {
+				v -= c.at(i, t) * c.at(col, t)
+			}
+			c.set(i, col, v)
+		}
+		flops += int64(i-(k+kb)+1) * int64(kb) * 2
+		p.Store(c.rowAddr(i, k+kb), int64(i-(k+kb)+1)*8)
+	}
+	if flops > 0 {
+		p.Compute(flops)
+	}
+}
+
+// Root returns the main task: panel factorizations with row-parallel solve
+// and update phases.
+func (c *Cholesky) Root() work.Fn {
+	return func(p work.Proc) {
+		n, b := c.N, c.Block
+		for k := 0; k < n; k += b {
+			kb := b
+			if k+kb > n {
+				kb = n - k
+			}
+			k, kb := k, kb
+			c.factorDiag(p, k, kb)
+			if k+kb >= n {
+				break
+			}
+			p.Spawn(rangeTask(k+kb, n, c.Block, func(q work.Proc, lo, hi int) {
+				c.solveRows(q, k, kb, lo, hi)
+			}))
+			p.Sync()
+			p.Spawn(rangeTask(k+kb, n, c.Block, func(q work.Proc, lo, hi int) {
+				c.updateRows(q, k, kb, lo, hi)
+			}))
+			p.Sync()
+		}
+	}
+}
+
+// Verify checks L Lᵀ == A on a deterministic sample of entries (a full
+// check is O(N³)).
+func (c *Cholesky) Verify() error {
+	ref := NewCholesky(c.N) // regenerates the original A
+	n := c.N
+	step := n/16 + 1
+	for r := 0; r < n; r += step {
+		for col := 0; col <= r; col += step {
+			var v float64
+			for t := 0; t <= col; t++ {
+				v += c.at(r, t) * c.at(col, t)
+			}
+			if !almostEqual(v, ref.at(r, col), 1e-8) {
+				return fmt.Errorf("cholesky: (LLᵀ)[%d][%d] = %g, want %g", r, col, v, ref.at(r, col))
+			}
+		}
+	}
+	return nil
+}
+
+// String describes the instance.
+func (c *Cholesky) String() string { return fmt.Sprintf("cholesky n=%d block=%d", c.N, c.Block) }

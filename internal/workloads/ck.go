@@ -1,0 +1,257 @@
+package workloads
+
+import (
+	"fmt"
+	"sync/atomic"
+
+	"cab/internal/work"
+)
+
+// Ck is the paper's "rudimentary checkers": a fixed-depth minimax search of
+// an 8x8 checkers position with a material evaluation, spawning a task per
+// move near the root and searching serially below. There is no alpha-beta
+// pruning, so the parallel search visits exactly the serial node set and
+// the minimax value is deterministic.
+//
+// Rules kept rudimentary on purpose (as in the original Cilk example):
+// men move one step diagonally forward, kings any diagonal step, single
+// jumps capture, promotion on the last row; captures are not forced.
+type Ck struct {
+	Depth      int
+	SpawnDepth int
+
+	Value atomic.Int64 // minimax value of the initial position
+	Nodes atomic.Int64
+}
+
+// board cells: 0 empty, 1 white man, 2 white king, -1 black man, -2 black king.
+type ckBoard [64]int8
+
+// CkSpec builds the benchmark spec for a search of the given depth.
+func CkSpec(depth int) Spec {
+	return Spec{
+		Name:        "Ck",
+		Description: "Rudimentary checkers",
+		MemoryBound: false,
+		Branch:      7, // average move fan-out near the root
+		InputBytes:  64,
+		Make: func() *Instance {
+			c := NewCk(depth)
+			return &Instance{Root: c.Root(), Verify: c.Verify}
+		},
+	}
+}
+
+// NewCk returns an instance searching from the standard opening position.
+func NewCk(depth int) *Ck {
+	sd := 2
+	if sd > depth-1 {
+		sd = depth - 1
+		if sd < 0 {
+			sd = 0
+		}
+	}
+	return &Ck{Depth: depth, SpawnDepth: sd}
+}
+
+func openingBoard() ckBoard {
+	var b ckBoard
+	for r := 0; r < 3; r++ {
+		for c := 0; c < 8; c++ {
+			if (r+c)%2 == 1 {
+				b[r*8+c] = 1 // white men at top
+			}
+		}
+	}
+	for r := 5; r < 8; r++ {
+		for c := 0; c < 8; c++ {
+			if (r+c)%2 == 1 {
+				b[r*8+c] = -1 // black men at bottom
+			}
+		}
+	}
+	return b
+}
+
+type ckMove struct {
+	from, to int8
+	capture  int8 // captured cell index, or -1
+}
+
+// moves generates the side-to-move's moves. side is +1 (white, moving down
+// the board) or -1 (black, moving up).
+func (b *ckBoard) moves(side int8) []ckMove {
+	var out []ckMove
+	for sq := 0; sq < 64; sq++ {
+		piece := b[sq]
+		if piece == 0 || (piece > 0) != (side > 0) {
+			continue
+		}
+		r, c := sq/8, sq%8
+		king := piece == 2 || piece == -2
+		dirs := [][2]int{}
+		if king {
+			dirs = [][2]int{{1, 1}, {1, -1}, {-1, 1}, {-1, -1}}
+		} else if side > 0 {
+			dirs = [][2]int{{1, 1}, {1, -1}}
+		} else {
+			dirs = [][2]int{{-1, 1}, {-1, -1}}
+		}
+		for _, d := range dirs {
+			nr, nc := r+d[0], c+d[1]
+			if nr < 0 || nr >= 8 || nc < 0 || nc >= 8 {
+				continue
+			}
+			t := nr*8 + nc
+			if b[t] == 0 {
+				out = append(out, ckMove{from: int8(sq), to: int8(t), capture: -1})
+				continue
+			}
+			// Occupied by an enemy piece: try the jump.
+			if (b[t] > 0) == (side > 0) {
+				continue
+			}
+			jr, jc := nr+d[0], nc+d[1]
+			if jr < 0 || jr >= 8 || jc < 0 || jc >= 8 {
+				continue
+			}
+			j := jr*8 + jc
+			if b[j] == 0 {
+				out = append(out, ckMove{from: int8(sq), to: int8(j), capture: int8(t)})
+			}
+		}
+	}
+	return out
+}
+
+// apply plays a move and returns an undo record via the returned closure-free
+// previous values (kept tiny for copy-based parallel search).
+func (b *ckBoard) apply(m ckMove, side int8) {
+	piece := b[m.from]
+	b[m.from] = 0
+	if m.capture >= 0 {
+		b[m.capture] = 0
+	}
+	// Promotion on the last row.
+	toRow := int(m.to) / 8
+	if piece == 1 && toRow == 7 {
+		piece = 2
+	}
+	if piece == -1 && toRow == 0 {
+		piece = -2
+	}
+	b[m.to] = piece
+}
+
+// eval scores material from white's point of view.
+func (b *ckBoard) eval() int64 {
+	var v int64
+	for _, p := range b {
+		switch p {
+		case 1:
+			v += 100
+		case 2:
+			v += 250
+		case -1:
+			v -= 100
+		case -2:
+			v -= 250
+		}
+	}
+	return v
+}
+
+// minimaxSerial searches without spawning, counting visited nodes.
+func (c *Ck) minimaxSerial(b ckBoard, side int8, depth int, nodes *int64) int64 {
+	*nodes++
+	if depth == 0 {
+		return b.eval()
+	}
+	ms := b.moves(side)
+	if len(ms) == 0 {
+		// Side to move has no moves: loses (rudimentary rule).
+		if side > 0 {
+			return -100000
+		}
+		return 100000
+	}
+	var best int64
+	if side > 0 {
+		best = -1 << 62
+	} else {
+		best = 1 << 62
+	}
+	for _, m := range ms {
+		nb := b
+		nb.apply(m, side)
+		v := c.minimaxSerial(nb, -side, depth-1, nodes)
+		if (side > 0 && v > best) || (side < 0 && v < best) {
+			best = v
+		}
+	}
+	return best
+}
+
+// search spawns one child per move down to SpawnDepth plies, then finishes
+// serially. Children report through result slots owned by the parent.
+func (c *Ck) search(b ckBoard, side int8, depth, ply int, out *int64) work.Fn {
+	return func(p work.Proc) {
+		if ply >= c.SpawnDepth || depth == 0 {
+			var nodes int64
+			v := c.minimaxSerial(b, side, depth, &nodes)
+			c.Nodes.Add(nodes)
+			p.Load(0x2000, 64) // the board
+			p.Compute(nodes * 12)
+			*out = v
+			return
+		}
+		ms := b.moves(side)
+		if len(ms) == 0 {
+			if side > 0 {
+				*out = -100000
+			} else {
+				*out = 100000
+			}
+			return
+		}
+		c.Nodes.Add(1)
+		results := make([]int64, len(ms))
+		for i, m := range ms {
+			nb := b
+			nb.apply(m, side)
+			p.Spawn(c.search(nb, -side, depth-1, ply+1, &results[i]))
+		}
+		p.Compute(int64(len(ms)) * 30)
+		p.Sync()
+		best := results[0]
+		for _, v := range results[1:] {
+			if (side > 0 && v > best) || (side < 0 && v < best) {
+				best = v
+			}
+		}
+		*out = best
+	}
+}
+
+// Root returns the main task searching the opening position, white to move.
+func (c *Ck) Root() work.Fn {
+	return func(p work.Proc) {
+		var v int64
+		p.Spawn(c.search(openingBoard(), 1, c.Depth, 0, &v))
+		p.Sync()
+		c.Value.Store(v)
+	}
+}
+
+// Verify recomputes the minimax value serially and compares.
+func (c *Ck) Verify() error {
+	var nodes int64
+	want := c.minimaxSerial(openingBoard(), 1, c.Depth, &nodes)
+	if got := c.Value.Load(); got != want {
+		return fmt.Errorf("ck: minimax value %d, want %d", got, want)
+	}
+	return nil
+}
+
+// String describes the instance.
+func (c *Ck) String() string { return fmt.Sprintf("ck depth=%d spawn=%d", c.Depth, c.SpawnDepth) }

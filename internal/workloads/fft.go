@@ -1,0 +1,159 @@
+package workloads
+
+import (
+	"fmt"
+	"math"
+	"math/cmplx"
+
+	"cab/internal/work"
+)
+
+// FFT computes an in-order radix-2 decimation-in-time fast Fourier
+// transform of N complex points (N a power of two): bit-reverse
+// permutation, then log2(N) butterfly stages; each stage's butterfly range
+// is divided recursively (B = 2). CPU-bound: heavy complex arithmetic per
+// element touched.
+type FFT struct {
+	N    int
+	Leaf int
+
+	data []complex128
+	orig []complex128
+	addr uint64
+}
+
+// FFTSpec builds the benchmark spec for n points (n must be a power of 2).
+func FFTSpec(n int) Spec {
+	return Spec{
+		Name:        "Fft",
+		Description: "Fast Fourier Transform",
+		MemoryBound: false,
+		Branch:      2,
+		InputBytes:  int64(n) * 16,
+		Make: func() *Instance {
+			f := NewFFT(n)
+			return &Instance{Root: f.Root(), Verify: f.Verify}
+		},
+	}
+}
+
+// NewFFT allocates a deterministic input signal.
+func NewFFT(n int) *FFT {
+	if n <= 0 || n&(n-1) != 0 {
+		panic("fft: size must be a positive power of two")
+	}
+	f := &FFT{N: n, Leaf: 1024}
+	if f.Leaf > n/2 {
+		f.Leaf = n / 2
+		if f.Leaf < 1 {
+			f.Leaf = 1
+		}
+	}
+	f.data = make([]complex128, n)
+	f.orig = make([]complex128, n)
+	for i := range f.data {
+		re := math.Sin(2*math.Pi*float64(i)/64) + 0.5*math.Cos(2*math.Pi*float64(i)/7)
+		im := 0.25 * math.Sin(2*math.Pi*float64(i)/13)
+		f.data[i] = complex(re, im)
+		f.orig[i] = f.data[i]
+	}
+	f.addr = work.NewLayout().Alloc(int64(n)*16, 64)
+	return f
+}
+
+// bitRevLeaf permutes indices [lo, hi) into bit-reversed positions,
+// swapping only when i < rev(i) so each pair is swapped exactly once
+// regardless of which leaf task owns which index.
+func (f *FFT) bitRevLeaf(p work.Proc, lo, hi, bits int) {
+	p.Load(f.addr+uint64(lo)*16, int64(hi-lo)*16)
+	p.Compute(int64(hi-lo) * 4)
+	for i := lo; i < hi; i++ {
+		j := reverseBits(i, bits)
+		if i < j {
+			f.data[i], f.data[j] = f.data[j], f.data[i]
+		}
+	}
+	p.Store(f.addr+uint64(lo)*16, int64(hi-lo)*16)
+}
+
+func reverseBits(v, bits int) int {
+	r := 0
+	for b := 0; b < bits; b++ {
+		r = (r << 1) | (v & 1)
+		v >>= 1
+	}
+	return r
+}
+
+// stageLeaf applies the butterflies of one stage (half-block size half)
+// for butterfly indices [lo, hi) of n/2 total.
+func (f *FFT) stageLeaf(p work.Proc, lo, hi, half int) {
+	p.Load(f.addr+uint64(lo)*32, int64(hi-lo)*32)
+	p.Compute(int64(hi-lo) * 14) // complex mul + add + sub per butterfly
+	step := math.Pi / float64(half)
+	for k := lo; k < hi; k++ {
+		block := k / half
+		off := k % half
+		i := block*half*2 + off
+		j := i + half
+		w := cmplx.Rect(1, -step*float64(off))
+		t := w * f.data[j]
+		f.data[j] = f.data[i] - t
+		f.data[i] = f.data[i] + t
+	}
+	p.Store(f.addr+uint64(lo)*32, int64(hi-lo)*32)
+}
+
+// Root returns the main task: the bit-reverse pass, then one row-parallel
+// DAG per butterfly stage.
+func (f *FFT) Root() work.Fn {
+	return func(p work.Proc) {
+		bits := log2int(f.N)
+		p.Spawn(rangeTask(0, f.N, f.Leaf, func(q work.Proc, lo, hi int) {
+			f.bitRevLeaf(q, lo, hi, bits)
+		}))
+		p.Sync()
+		for half := 1; half < f.N; half *= 2 {
+			half := half
+			p.Spawn(rangeTask(0, f.N/2, f.Leaf/2, func(q work.Proc, lo, hi int) {
+				f.stageLeaf(q, lo, hi, half)
+			}))
+			p.Sync()
+		}
+	}
+}
+
+// Verify checks the transform against the defining DFT sum on a sample of
+// output bins (a full naive DFT is O(n^2)), plus Parseval's identity over
+// the whole signal.
+func (f *FFT) Verify() error {
+	n := f.N
+	sample := 8
+	if n < sample {
+		sample = n
+	}
+	for s := 0; s < sample; s++ {
+		k := s * (n / sample)
+		var want complex128
+		for t := 0; t < n; t++ {
+			ang := -2 * math.Pi * float64(k) * float64(t) / float64(n)
+			want += f.orig[t] * cmplx.Rect(1, ang)
+		}
+		got := f.data[k]
+		if cmplx.Abs(got-want) > 1e-6*(1+cmplx.Abs(want)) {
+			return fmt.Errorf("fft: bin %d = %v, want %v", k, got, want)
+		}
+	}
+	var inE, outE float64
+	for i := 0; i < n; i++ {
+		inE += real(f.orig[i])*real(f.orig[i]) + imag(f.orig[i])*imag(f.orig[i])
+		outE += real(f.data[i])*real(f.data[i]) + imag(f.data[i])*imag(f.data[i])
+	}
+	if !almostEqual(outE, inE*float64(n), 1e-6) {
+		return fmt.Errorf("fft: Parseval mismatch: out %g, want %g", outE, inE*float64(n))
+	}
+	return nil
+}
+
+// String describes the instance.
+func (f *FFT) String() string { return fmt.Sprintf("fft n=%d leaf=%d", f.N, f.Leaf) }

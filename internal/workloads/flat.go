@@ -1,0 +1,165 @@
+package workloads
+
+import (
+	"fmt"
+	"sync/atomic"
+
+	"cab/internal/core"
+	"cab/internal/work"
+)
+
+// FlatRoot is the §IV-D flat task-generation variant of heat: instead of a
+// recursive tree, each timestep's main generates all leaf tasks at once,
+// one per contiguous row block.
+//
+// With grouped=false the tasks are spawned directly — what a flat Cilk
+// program does, and what random stealing then scatters. With grouped=true
+// the flat set is distributed the way the paper's CAB treats such
+// programs ("distribute tasks into inter-socket and intra-socket tiers"):
+// one region-group task per squad in the inter tier (hinted via
+// core.FlatAssign), each spawning its members as intra-socket tasks, so a
+// squad's workers share their region's rows in the socket cache.
+func (h *Heat) FlatRoot(pieces int, grouped bool) work.Fn {
+	if pieces < 1 {
+		pieces = 1
+	}
+	return func(p work.Proc) {
+		src, dst := h.src, h.dst
+		srcA, dstA := h.srcAddr, h.dstAddr
+		rows := h.Rows - 2 // interior rows [1, Rows-1)
+		for s := 0; s < h.Steps; s++ {
+			cs, cd, ca, cda := src, dst, srcA, dstA
+			piece := func(i int) (int, int) {
+				return 1 + rows*i/pieces, 1 + rows*(i+1)/pieces
+			}
+			if !grouped {
+				for i := 0; i < pieces; i++ {
+					lo, hi := piece(i)
+					if lo >= hi {
+						continue
+					}
+					p.Spawn(func(q work.Proc) {
+						h.stepLeaf(q, lo, hi, cs, cd, ca, cda)
+					})
+				}
+				p.Sync()
+			} else {
+				m := p.Squads()
+				assign := core.FlatAssign(pieces, m)
+				for g := 0; g < m; g++ {
+					first, last := -1, -1
+					for i, sq := range assign {
+						if sq == g {
+							if first < 0 {
+								first = i
+							}
+							last = i
+						}
+					}
+					if first < 0 {
+						continue
+					}
+					p.SpawnHint(g, func(q work.Proc) {
+						for i := first; i <= last; i++ {
+							lo, hi := piece(i)
+							if lo >= hi {
+								continue
+							}
+							q.Spawn(func(r work.Proc) {
+								h.stepLeaf(r, lo, hi, cs, cd, ca, cda)
+							})
+						}
+						q.Sync()
+					})
+				}
+				p.Sync()
+			}
+			src, dst = dst, src
+			srcA, dstA = dstA, srcA
+		}
+		h.src, h.dst = src, dst
+		h.srcAddr, h.dstAddr = srcA, dstA
+	}
+}
+
+// FlatHeatSpec builds the flat-generated heat benchmark (§IV-D): the plain
+// flat spawn structure a Cilk program would have.
+func FlatHeatSpec(rows, cols, steps, pieces int) Spec {
+	return flatHeatSpec(rows, cols, steps, pieces, false)
+}
+
+// FlatHeatGroupedSpec builds the CAB treatment of the same flat task set:
+// per-squad region groups in the inter tier, members in the intra tier.
+func FlatHeatGroupedSpec(rows, cols, steps, pieces int) Spec {
+	return flatHeatSpec(rows, cols, steps, pieces, true)
+}
+
+func flatHeatSpec(rows, cols, steps, pieces int, grouped bool) Spec {
+	kind := "flat"
+	if grouped {
+		kind = "flat-grouped"
+	}
+	return Spec{
+		Name:        "FlatHeat",
+		Description: fmt.Sprintf("%s five-point heat (%d pieces)", kind, pieces),
+		MemoryBound: true,
+		Branch:      pieces,
+		InputBytes:  int64(rows) * int64(cols) * 8,
+		Make: func() *Instance {
+			h := NewHeat(rows, cols, steps)
+			return &Instance{Root: h.FlatRoot(pieces, grouped), Verify: h.Verify}
+		},
+	}
+}
+
+// SpawnStorm is a synthetic fine-grained stress: a binary tree of the
+// given depth whose every node performs a small fixed compute. It is the
+// §II scenario where central-pool task-sharing pays lock contention on
+// every operation while task-stealing mostly works from local deques.
+type SpawnStorm struct {
+	Depth   int
+	Cycles  int64
+	Visited atomic.Int64
+}
+
+// SpawnStormSpec builds the benchmark spec.
+func SpawnStormSpec(depth int, cycles int64) Spec {
+	return Spec{
+		Name:        "SpawnStorm",
+		Description: fmt.Sprintf("fine-grained spawn storm (depth %d)", depth),
+		MemoryBound: false,
+		Branch:      2,
+		InputBytes:  64,
+		Make: func() *Instance {
+			s := &SpawnStorm{Depth: depth, Cycles: cycles}
+			return &Instance{Root: s.Root(), Verify: s.Verify}
+		},
+	}
+}
+
+// Root returns the main task.
+func (s *SpawnStorm) Root() work.Fn {
+	var rec func(d int) work.Fn
+	rec = func(d int) work.Fn {
+		return func(p work.Proc) {
+			s.Visited.Add(1)
+			p.Compute(s.Cycles)
+			if d == 0 {
+				return
+			}
+			p.Spawn(rec(d - 1))
+			p.Spawn(rec(d - 1))
+			p.Sync()
+		}
+	}
+	return rec(s.Depth)
+}
+
+// Verify checks that every node of the full binary tree ran exactly once.
+func (s *SpawnStorm) Verify() error {
+	want := int64(1)<<(s.Depth+1) - 1
+	if got := s.Visited.Load(); got != want {
+		return fmt.Errorf("spawnstorm: visited %d nodes, want %d", got, want)
+	}
+	return nil
+}

@@ -1,0 +1,116 @@
+package workloads
+
+import (
+	"fmt"
+
+	"cab/internal/work"
+)
+
+// GE performs Gaussian elimination (forward elimination without pivoting)
+// on a diagonally dominant N x N matrix. Each outer step k eliminates
+// column k from rows k+1..N-1; the row range is divided recursively
+// (B = 2). Diagonal dominance keeps the computation numerically stable
+// without pivoting, as in the classic Cilk benchmark.
+type GE struct {
+	N        int
+	LeafRows int
+
+	a    []float64 // N x N
+	addr uint64
+}
+
+// GESpec builds the benchmark spec for an N x N system.
+func GESpec(n int) Spec {
+	return Spec{
+		Name:        "GE",
+		Description: "Gaussian elimination algorithm",
+		MemoryBound: true,
+		Branch:      2,
+		InputBytes:  int64(n) * int64(n) * 8,
+		Make: func() *Instance {
+			g := NewGE(n)
+			return &Instance{Root: g.Root(), Verify: g.Verify}
+		},
+	}
+}
+
+// NewGE allocates a deterministic diagonally dominant matrix.
+func NewGE(n int) *GE {
+	g := &GE{N: n, LeafRows: 64}
+	if g.LeafRows > n/2 {
+		g.LeafRows = n / 2
+		if g.LeafRows < 1 {
+			g.LeafRows = 1
+		}
+	}
+	g.a = make([]float64, n*n)
+	for r := 0; r < n; r++ {
+		for c := 0; c < n; c++ {
+			if r == c {
+				g.a[r*n+c] = float64(2*n + 3)
+			} else {
+				g.a[r*n+c] = 1 + float64((r*13+c*7)%10)/10
+			}
+		}
+	}
+	g.addr = work.NewLayout().Alloc(int64(n)*int64(n)*8, 64)
+	return g
+}
+
+func (g *GE) rowAddr(r int) uint64 { return g.addr + uint64(r)*uint64(g.N)*8 }
+
+// eliminateLeaf subtracts the pivot row k from rows [lo, hi).
+func (g *GE) eliminateLeaf(p work.Proc, k, lo, hi int) {
+	n := g.N
+	width := int64(n-k) * 8
+	pivotOff := uint64(k * 8)
+	for r := lo; r < hi; r++ {
+		p.Load(g.rowAddr(k)+pivotOff, width)
+		p.Load(g.rowAddr(r)+pivotOff, width)
+		p.Compute(int64(n-k) * 2)
+		row, piv := r*n, k*n
+		f := g.a[row+k] / g.a[piv+k]
+		g.a[row+k] = 0
+		for c := k + 1; c < n; c++ {
+			g.a[row+c] -= f * g.a[piv+c]
+		}
+		p.Store(g.rowAddr(r)+pivotOff, width)
+	}
+}
+
+// Root returns the main task: N-1 sequential elimination steps, each a
+// fresh row-parallel DAG spawned by main.
+func (g *GE) Root() work.Fn {
+	return func(p work.Proc) {
+		for k := 0; k < g.N-1; k++ {
+			k := k
+			p.Spawn(rangeTask(k+1, g.N, g.LeafRows, func(q work.Proc, lo, hi int) {
+				g.eliminateLeaf(q, k, lo, hi)
+			}))
+			p.Sync()
+		}
+	}
+}
+
+// Verify compares the upper-triangular result with a serial elimination.
+func (g *GE) Verify() error {
+	ref := NewGE(g.N)
+	work.Serial(ref.Root())
+	for i := range ref.a {
+		if !almostEqual(ref.a[i], g.a[i], 1e-9) {
+			return errMismatch("ge", i, g.a[i], ref.a[i])
+		}
+	}
+	// The result must actually be upper triangular.
+	for r := 1; r < g.N; r++ {
+		for c := 0; c < r; c++ {
+			if g.a[r*g.N+c] != 0 {
+				return fmt.Errorf("ge: a[%d][%d] = %g, want 0 below diagonal", r, c, g.a[r*g.N+c])
+			}
+		}
+	}
+	return nil
+}
+
+// String describes the instance.
+func (g *GE) String() string { return fmt.Sprintf("ge %dx%d leaf=%d", g.N, g.N, g.LeafRows) }

@@ -1,0 +1,155 @@
+package workloads
+
+import (
+	"fmt"
+
+	"cab/internal/work"
+)
+
+// Heat is the paper's running example (Fig. 1): a five-point Jacobi stencil
+// simulating heat distribution on a metal plate. Rows 0 and Rows-1 and
+// columns 0 and Cols-1 are fixed boundary data; each step computes interior
+// point (r,c) from its four neighbours and itself in the previous step.
+// The recursion halves the row range (B = 2) until LeafRows rows remain —
+// the paper's heat divides until a leaf-sized row block remains (the
+// paper stops at 128 rows on its 16-core machine; 32 keeps every squad
+// worker busy even at the largest boundary levels Eq. 4 selects).
+type Heat struct {
+	Rows, Cols int
+	Steps      int
+	LeafRows   int
+	// PrefetchAhead > 0 enables the paper's future-work helper-thread
+	// prefetching (§VII): while processing row r, the task asks the
+	// socket cache to pull in source row r+PrefetchAhead, hiding DRAM
+	// latency on working sets too large for cross-step reuse.
+	PrefetchAhead int
+
+	src, dst []float64 // Rows x Cols, ping-pong
+	srcAddr  uint64    // synthetic base addresses for the cache model
+	dstAddr  uint64
+}
+
+// HeatSpec builds the benchmark spec for an R x C grid over the given
+// number of timesteps.
+func HeatSpec(rows, cols, steps int) Spec {
+	return Spec{
+		Name:        "Heat",
+		Description: fmt.Sprintf("Five-point heat (%dx%d, %d steps)", rows, cols, steps),
+		MemoryBound: true,
+		Branch:      2,
+		InputBytes:  int64(rows) * int64(cols) * 8,
+		Make: func() *Instance {
+			h := NewHeat(rows, cols, steps)
+			return &Instance{Root: h.Root(), Verify: h.Verify}
+		},
+	}
+}
+
+// HeatPrefetchSpec is HeatSpec with helper-thread prefetching enabled
+// (§VII future work), looking ahead the given number of rows.
+func HeatPrefetchSpec(rows, cols, steps, ahead int) Spec {
+	s := HeatSpec(rows, cols, steps)
+	s.Description = fmt.Sprintf("Five-point heat (%dx%d, %d steps, prefetch %d ahead)", rows, cols, steps, ahead)
+	s.Make = func() *Instance {
+		h := NewHeat(rows, cols, steps)
+		h.PrefetchAhead = ahead
+		return &Instance{Root: h.Root(), Verify: h.Verify}
+	}
+	return s
+}
+
+// NewHeat allocates a heat instance with a deterministic initial plate.
+func NewHeat(rows, cols, steps int) *Heat {
+	h := &Heat{Rows: rows, Cols: cols, Steps: steps, LeafRows: 32}
+	if h.LeafRows > rows/2 {
+		h.LeafRows = rows / 2
+		if h.LeafRows < 1 {
+			h.LeafRows = 1
+		}
+	}
+	h.src = make([]float64, rows*cols)
+	h.dst = make([]float64, rows*cols)
+	h.initPlate(h.src)
+	h.initPlate(h.dst) // boundaries must exist in both buffers
+	lay := work.NewLayout()
+	h.srcAddr = lay.Alloc(int64(rows)*int64(cols)*8, 64)
+	h.dstAddr = lay.Alloc(int64(rows)*int64(cols)*8, 64)
+	return h
+}
+
+// initPlate sets a hot top edge, a cold bottom edge and linear side edges.
+func (h *Heat) initPlate(g []float64) {
+	for c := 0; c < h.Cols; c++ {
+		g[c] = 100
+		g[(h.Rows-1)*h.Cols+c] = 0
+	}
+	for r := 0; r < h.Rows; r++ {
+		v := 100 * float64(h.Rows-1-r) / float64(h.Rows-1)
+		g[r*h.Cols] = v
+		g[r*h.Cols+h.Cols-1] = v
+	}
+}
+
+func (h *Heat) rowAddr(base uint64, r int) uint64 {
+	return base + uint64(r)*uint64(h.Cols)*8
+}
+
+// stepLeaf updates rows [lo, hi) of dst from src, annotating the rows it
+// touches: three source rows in and one destination row out per row.
+func (h *Heat) stepLeaf(p work.Proc, lo, hi int, src, dst []float64, srcA, dstA uint64) {
+	rowBytes := int64(h.Cols) * 8
+	for r := lo; r < hi; r++ {
+		if a := h.PrefetchAhead; a > 0 && r+a < h.Rows {
+			p.Prefetch(h.rowAddr(srcA, r+a), rowBytes)
+		}
+		p.Load(h.rowAddr(srcA, r-1), rowBytes)
+		p.Load(h.rowAddr(srcA, r), rowBytes)
+		p.Load(h.rowAddr(srcA, r+1), rowBytes)
+		p.Compute(int64(h.Cols) * 4) // ~4 ALU ops per point
+		row := r * h.Cols
+		up, down := row-h.Cols, row+h.Cols
+		for c := 1; c < h.Cols-1; c++ {
+			dst[row+c] = 0.25 * (src[up+c] + src[down+c] + src[row+c-1] + src[row+c+1])
+		}
+		p.Store(h.rowAddr(dstA, r), rowBytes)
+	}
+}
+
+// Root returns the main task: Steps sequential relaxation sweeps, each a
+// fresh divide-and-conquer DAG spawned directly by main (the shape Eq. 4's
+// model assumes).
+func (h *Heat) Root() work.Fn {
+	return func(p work.Proc) {
+		src, dst := h.src, h.dst
+		srcA, dstA := h.srcAddr, h.dstAddr
+		for s := 0; s < h.Steps; s++ {
+			cs, cd, ca, cda := src, dst, srcA, dstA // this step's buffers
+			p.Spawn(rangeTask(1, h.Rows-1, h.LeafRows, func(q work.Proc, lo, hi int) {
+				h.stepLeaf(q, lo, hi, cs, cd, ca, cda)
+			}))
+			p.Sync()
+			src, dst = dst, src
+			srcA, dstA = dstA, srcA
+		}
+		// Expose the final buffer for verification.
+		h.src, h.dst = src, dst
+		h.srcAddr, h.dstAddr = srcA, dstA
+	}
+}
+
+// Verify re-runs the stencil serially from the initial plate and compares.
+func (h *Heat) Verify() error {
+	ref := NewHeat(h.Rows, h.Cols, h.Steps)
+	work.Serial(ref.Root())
+	for i := range ref.src {
+		if !almostEqual(ref.src[i], h.src[i], 1e-12) {
+			return errMismatch("heat", i, h.src[i], ref.src[i])
+		}
+	}
+	return nil
+}
+
+// String describes the instance.
+func (h *Heat) String() string {
+	return fmt.Sprintf("heat %dx%d steps=%d leaf=%d", h.Rows, h.Cols, h.Steps, h.LeafRows)
+}

@@ -1,0 +1,201 @@
+package workloads
+
+import (
+	"math"
+	"math/cmplx"
+	"testing"
+
+	"cab/internal/work"
+)
+
+// --- FFT mathematical properties ---
+
+func TestFFTLinearity(t *testing.T) {
+	// FFT(a*x + y) == a*FFT(x) + FFT(y) on a shared deterministic input.
+	n := 256
+	x := NewFFT(n)
+	y := NewFFT(n)
+	for i := range y.data {
+		v := complex(float64((i*37)%19)-9, float64((i*11)%7)-3)
+		y.data[i] = v
+		y.orig[i] = v
+	}
+	const a = 2.5
+	sum := NewFFT(n)
+	for i := range sum.data {
+		sum.data[i] = complex(a, 0)*x.data[i] + y.data[i]
+		sum.orig[i] = sum.data[i]
+	}
+	work.Serial(x.Root())
+	work.Serial(y.Root())
+	work.Serial(sum.Root())
+	for i := range sum.data {
+		want := complex(a, 0)*x.data[i] + y.data[i]
+		if cmplx.Abs(sum.data[i]-want) > 1e-6*(1+cmplx.Abs(want)) {
+			t.Fatalf("linearity broken at bin %d: %v vs %v", i, sum.data[i], want)
+		}
+	}
+}
+
+func TestFFTShiftTheorem(t *testing.T) {
+	// A circular shift by s multiplies bin k by exp(-2*pi*i*k*s/n).
+	n := 128
+	base := NewFFT(n)
+	shifted := NewFFT(n)
+	const s = 5
+	for i := range shifted.data {
+		v := base.orig[(i+s)%n]
+		shifted.data[i] = v
+		shifted.orig[i] = v
+	}
+	work.Serial(base.Root())
+	work.Serial(shifted.Root())
+	for k := 0; k < n; k += 7 {
+		phase := cmplx.Rect(1, 2*math.Pi*float64(k)*float64(s)/float64(n))
+		want := base.data[k] * phase
+		if cmplx.Abs(shifted.data[k]-want) > 1e-6*(1+cmplx.Abs(want)) {
+			t.Fatalf("shift theorem broken at bin %d: %v vs %v", k, shifted.data[k], want)
+		}
+	}
+}
+
+// --- GE on a known small system ---
+
+func TestGEKnownSystem(t *testing.T) {
+	// Build a tiny GE instance by hand and check the eliminated matrix.
+	g := &GE{N: 3, LeafRows: 1}
+	g.a = []float64{
+		2, 1, 1,
+		4, 3, 3,
+		8, 7, 9,
+	}
+	g.addr = 4096
+	work.Serial(g.Root())
+	// After forward elimination: U = [[2,1,1],[0,1,1],[0,0,2]] (standard
+	// LU of this classic example).
+	want := []float64{
+		2, 1, 1,
+		0, 1, 1,
+		0, 0, 2,
+	}
+	for i := range want {
+		if !almostEqual(g.a[i], want[i], 1e-12) {
+			t.Fatalf("a[%d] = %g, want %g (got %v)", i, g.a[i], want[i], g.a)
+		}
+	}
+}
+
+// --- Cholesky of a hand-checkable matrix ---
+
+func TestCholeskyKnownMatrix(t *testing.T) {
+	// A = [[4,2],[2,5]] => L = [[2,0],[1,2]].
+	c := &Cholesky{N: 2, Block: 1}
+	c.a = []float64{4, 2, 2, 5}
+	c.addr = 4096
+	work.Serial(c.Root())
+	if !almostEqual(c.at(0, 0), 2, 1e-12) ||
+		!almostEqual(c.at(1, 0), 1, 1e-12) ||
+		!almostEqual(c.at(1, 1), 2, 1e-12) {
+		t.Fatalf("L = [[%g, .],[%g, %g]], want [[2,.],[1,2]]",
+			c.at(0, 0), c.at(1, 0), c.at(1, 1))
+	}
+}
+
+func TestCholeskyScaledIdentity(t *testing.T) {
+	// A = 9*I => L = 3*I.
+	n := 16
+	c := &Cholesky{N: n, Block: 4}
+	c.a = make([]float64, n*n)
+	for i := 0; i < n; i++ {
+		c.a[i*n+i] = 9
+	}
+	c.addr = 4096
+	work.Serial(c.Root())
+	for i := 0; i < n; i++ {
+		for j := 0; j <= i; j++ {
+			want := 0.0
+			if i == j {
+				want = 3
+			}
+			if !almostEqual(c.at(i, j), want, 1e-12) {
+				t.Fatalf("L[%d][%d] = %g, want %g", i, j, c.at(i, j), want)
+			}
+		}
+	}
+}
+
+// --- SOR fixed point ---
+
+func TestSORLinearFieldIsFixedPoint(t *testing.T) {
+	// A linear temperature field satisfies the discrete Laplace equation,
+	// so relaxation must leave it unchanged (up to float error).
+	s := NewSOR(32, 32, 4)
+	for r := 0; r < 32; r++ {
+		for c := 0; c < 32; c++ {
+			s.grid[r*32+c] = float64(r) * 2
+		}
+	}
+	want := make([]float64, len(s.grid))
+	copy(want, s.grid)
+	work.Serial(s.Root())
+	for i := range want {
+		if !almostEqual(s.grid[i], want[i], 1e-9) {
+			t.Fatalf("grid[%d] = %g, want fixed point %g", i, s.grid[i], want[i])
+		}
+	}
+}
+
+// --- Heat maximum principle and symmetry ---
+
+func TestHeatSymmetry(t *testing.T) {
+	// A left-right symmetric initial plate stays symmetric.
+	h := NewHeat(32, 32, 5)
+	work.Serial(h.Root())
+	for r := 0; r < 32; r++ {
+		for c := 0; c < 16; c++ {
+			a := h.src[r*32+c]
+			b := h.src[r*32+(31-c)]
+			if !almostEqual(a, b, 1e-9) {
+				t.Fatalf("asymmetry at (%d,%d): %g vs %g", r, c, a, b)
+			}
+		}
+	}
+}
+
+// --- Queens: parallel equals serial for non-table sizes ---
+
+func TestQueensSerialVsParallelCut(t *testing.T) {
+	for _, depth := range []int{1, 2, 4} {
+		q := NewQueens(8)
+		q.SpawnDepth = depth
+		work.Serial(q.Root())
+		if got := q.Solutions.Load(); got != 92 {
+			t.Fatalf("spawn depth %d: %d solutions, want 92", depth, got)
+		}
+	}
+}
+
+// --- Ck: deeper searches still deterministic ---
+
+func TestCkValueMonotoneDepthZero(t *testing.T) {
+	c := NewCk(0)
+	work.Serial(c.Root())
+	// Depth 0 from the opening position is the raw material balance: 0.
+	if got := c.Value.Load(); got != 0 {
+		t.Fatalf("depth-0 value = %d, want 0 (equal material)", got)
+	}
+}
+
+// --- Mergesort duplicates ---
+
+func TestMergesortAllEqualKeys(t *testing.T) {
+	m := NewMergesort(5000)
+	for i := range m.data {
+		m.data[i] = 7
+	}
+	m.sum = 7 * 5000
+	work.Serial(m.Root())
+	if err := m.Verify(); err != nil {
+		t.Fatal(err)
+	}
+}

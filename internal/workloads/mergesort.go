@@ -1,0 +1,170 @@
+package workloads
+
+import (
+	"fmt"
+	"sort"
+
+	"cab/internal/work"
+)
+
+// Mergesort sorts N int64 keys (the paper uses 1024*1024 numbers). The
+// recursion halves the index range (B = 2); leaves sort serially, inner
+// nodes merge their two sorted halves between a data buffer and a scratch
+// buffer, alternating direction by recursion depth so no extra copies are
+// needed.
+type Mergesort struct {
+	N    int
+	Leaf int
+
+	data     []int64
+	scratch  []int64
+	dataA    uint64
+	scratchA uint64
+	sum      int64 // checksum of the input multiset
+}
+
+// MergesortSpec builds the benchmark spec for n keys.
+func MergesortSpec(n int) Spec {
+	return Spec{
+		Name:        "Mergesort",
+		Description: fmt.Sprintf("Merge sort on %d numbers", n),
+		MemoryBound: true,
+		Branch:      2,
+		InputBytes:  int64(n) * 8,
+		Make: func() *Instance {
+			m := NewMergesort(n)
+			return &Instance{Root: m.Root(), Verify: m.Verify}
+		},
+	}
+}
+
+// NewMergesort allocates a deterministic pseudo-random key array.
+func NewMergesort(n int) *Mergesort {
+	m := &Mergesort{N: n, Leaf: 4096}
+	if m.Leaf > n/2 {
+		m.Leaf = n / 2
+		if m.Leaf < 1 {
+			m.Leaf = 1
+		}
+	}
+	m.data = make([]int64, n)
+	m.scratch = make([]int64, n)
+	state := uint64(0x9e3779b97f4a7c15)
+	for i := range m.data {
+		state ^= state << 13
+		state ^= state >> 7
+		state ^= state << 17
+		m.data[i] = int64(state % 1_000_003)
+		m.sum += m.data[i]
+	}
+	lay := work.NewLayout()
+	m.dataA = lay.Alloc(int64(n)*8, 64)
+	m.scratchA = lay.Alloc(int64(n)*8, 64)
+	return m
+}
+
+// sortRange sorts src[lo:hi) into dst[lo:hi) (dst may equal src only at
+// leaves, where sorting is in place then copied as needed).
+func (m *Mergesort) sortTask(lo, hi int, src, dst []int64, srcA, dstA uint64) work.Fn {
+	return func(p work.Proc) {
+		n := hi - lo
+		if n <= m.Leaf {
+			bytes := int64(n) * 8
+			p.Load(srcA+uint64(lo)*8, bytes)
+			// ~n log n comparison cost.
+			p.Compute(int64(n) * int64(log2int(n)+1) * 3)
+			s := src[lo:hi]
+			sort.Slice(s, func(i, j int) bool { return s[i] < s[j] })
+			if &src[0] != &dst[0] {
+				copy(dst[lo:hi], src[lo:hi])
+			}
+			p.Store(dstA+uint64(lo)*8, bytes)
+			return
+		}
+		mid := lo + n/2
+		// Children sort into the opposite buffer; this node merges back.
+		// Hints map subranges to squads proportionally (see rangeTask).
+		sq := p.Squads()
+		hint := func(l, h int) int {
+			if sq <= 1 {
+				return -1
+			}
+			return (l + h) / 2 * sq / m.N
+		}
+		p.SpawnHint(hint(lo, mid), m.sortTask(lo, mid, dst, src, dstA, srcA))
+		p.SpawnHint(hint(mid, hi), m.sortTask(mid, hi, dst, src, dstA, srcA))
+		p.Sync()
+		bytes := int64(n) * 8
+		p.Load(srcA+uint64(lo)*8, bytes)
+		p.Compute(int64(n) * 2)
+		merge(src[lo:mid], src[mid:hi], dst[lo:hi])
+		p.Store(dstA+uint64(lo)*8, bytes)
+	}
+}
+
+func merge(a, b, out []int64) {
+	i, j, k := 0, 0, 0
+	for i < len(a) && j < len(b) {
+		if a[i] <= b[j] {
+			out[k] = a[i]
+			i++
+		} else {
+			out[k] = b[j]
+			j++
+		}
+		k++
+	}
+	for i < len(a) {
+		out[k] = a[i]
+		i++
+		k++
+	}
+	for j < len(b) {
+		out[k] = b[j]
+		j++
+		k++
+	}
+}
+
+func log2int(n int) int {
+	l := 0
+	for n > 1 {
+		n >>= 1
+		l++
+	}
+	return l
+}
+
+// Root returns the main task: it spawns the recursive sort of the whole
+// array, with the sorted result ending in m.data.
+func (m *Mergesort) Root() work.Fn {
+	return func(p work.Proc) {
+		// Children sort halves of scratch<->data such that the final merge
+		// writes into data: pass src=scratch's role appropriately. Top
+		// call sorts from scratch-buffer into data-buffer, so first copy
+		// data into scratch (annotated as a streaming pass).
+		copy(m.scratch, m.data)
+		p.Load(m.dataA, int64(m.N)*8)
+		p.Store(m.scratchA, int64(m.N)*8)
+		p.Spawn(m.sortTask(0, m.N, m.scratch, m.data, m.scratchA, m.dataA))
+		p.Sync()
+	}
+}
+
+// Verify checks ordering and that the multiset is preserved (checksum).
+func (m *Mergesort) Verify() error {
+	var sum int64
+	for i, v := range m.data {
+		if i > 0 && m.data[i-1] > v {
+			return fmt.Errorf("mergesort: data[%d]=%d > data[%d]=%d", i-1, m.data[i-1], i, v)
+		}
+		sum += v
+	}
+	if sum != m.sum {
+		return fmt.Errorf("mergesort: checksum %d != %d (elements lost)", sum, m.sum)
+	}
+	return nil
+}
+
+// String describes the instance.
+func (m *Mergesort) String() string { return fmt.Sprintf("mergesort n=%d leaf=%d", m.N, m.Leaf) }

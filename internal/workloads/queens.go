@@ -1,0 +1,134 @@
+package workloads
+
+import (
+	"fmt"
+	"sync/atomic"
+
+	"cab/internal/work"
+)
+
+// Queens counts the solutions of the N-queens problem by backtracking,
+// spawning one task per safe placement down to SpawnDepth rows, then
+// finishing serially — the classic Cilk nqueens. CPU-bound: its tasks do
+// no annotated memory traffic beyond their tiny boards.
+//
+// The paper runs Queens(20); a full Queens(20) enumeration is ~1e13 nodes
+// and is not computable in test time on any hardware, so the suite runs a
+// reduced N (default 12). The scheduling behaviour the paper measures with
+// it — spawn-heavy, CPU-bound, BL = 0 — is unchanged.
+type Queens struct {
+	N          int
+	SpawnDepth int
+
+	Solutions atomic.Int64
+}
+
+// Known solution counts for verification.
+var queensSolutions = map[int]int64{
+	4: 2, 5: 10, 6: 4, 7: 40, 8: 92, 9: 352, 10: 724, 11: 2680, 12: 14200, 13: 73712,
+}
+
+// QueensSpec builds the benchmark spec.
+func QueensSpec(n int) Spec {
+	return Spec{
+		Name:        fmt.Sprintf("Queens(%d)", n),
+		Description: "N-queens problem",
+		MemoryBound: false,
+		Branch:      n,
+		InputBytes:  int64(n) * 8,
+		Make: func() *Instance {
+			q := NewQueens(n)
+			return &Instance{Root: q.Root(), Verify: q.Verify}
+		},
+	}
+}
+
+// NewQueens returns an instance counting solutions for an n x n board.
+func NewQueens(n int) *Queens {
+	d := 3
+	if d > n/2 {
+		d = n / 2
+	}
+	return &Queens{N: n, SpawnDepth: d}
+}
+
+// safe reports whether a queen at (row, col) is compatible with rows[0:row].
+func safe(rows []int8, row, col int) bool {
+	for r := 0; r < row; r++ {
+		c := int(rows[r])
+		if c == col || c-col == row-r || col-c == row-r {
+			return false
+		}
+	}
+	return true
+}
+
+// countSerial finishes the enumeration without spawning.
+func (q *Queens) countSerial(rows []int8, row int) int64 {
+	if row == q.N {
+		return 1
+	}
+	var n int64
+	for col := 0; col < q.N; col++ {
+		if safe(rows, row, col) {
+			rows[row] = int8(col)
+			n += q.countSerial(rows, row+1)
+		}
+	}
+	return n
+}
+
+func (q *Queens) place(rows []int8, row int) work.Fn {
+	return func(p work.Proc) {
+		if row >= q.SpawnDepth {
+			p.Load(0x1000, int64(q.N)) // the board itself
+			p.Compute(q.nodeCost(row))
+			q.Solutions.Add(q.countSerial(rows, row))
+			return
+		}
+		for col := 0; col < q.N; col++ {
+			if safe(rows, row, col) {
+				child := make([]int8, q.N)
+				copy(child, rows)
+				child[row] = int8(col)
+				p.Spawn(q.place(child, row+1))
+			}
+		}
+		p.Compute(int64(q.N * 8))
+		p.Sync()
+	}
+}
+
+// nodeCost estimates the serial subtree's compute cycles: ~n!/(row!) nodes
+// shrink fast; a few cycles per visited node.
+func (q *Queens) nodeCost(row int) int64 {
+	nodes := int64(1)
+	for r := row; r < q.N && r < row+6; r++ {
+		nodes *= int64(q.N - r)
+	}
+	return nodes / 4
+}
+
+// Root returns the main task.
+func (q *Queens) Root() work.Fn {
+	return func(p work.Proc) {
+		p.Spawn(q.place(make([]int8, q.N), 0))
+		p.Sync()
+	}
+}
+
+// Verify checks the count against the known table (or a serial recount).
+func (q *Queens) Verify() error {
+	got := q.Solutions.Load()
+	want, ok := queensSolutions[q.N]
+	if !ok {
+		want = q.countSerial(make([]int8, q.N), 0)
+	}
+	if got != want {
+		return fmt.Errorf("queens(%d): %d solutions, want %d", q.N, got, want)
+	}
+	return nil
+}
+
+// String describes the instance.
+func (q *Queens) String() string { return fmt.Sprintf("queens n=%d depth=%d", q.N, q.SpawnDepth) }

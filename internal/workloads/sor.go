@@ -1,0 +1,120 @@
+package workloads
+
+import (
+	"fmt"
+
+	"cab/internal/work"
+)
+
+// SOR is 2D successive over-relaxation with red-black ordering: each
+// iteration makes two half-sweeps (parity 0 then parity 1); within a
+// half-sweep all points of that colour update in place from the opposite
+// colour, so row-parallel updates are race-free. The recursion halves the
+// row range (B = 2).
+type SOR struct {
+	Rows, Cols int
+	Steps      int // full iterations (two half-sweeps each)
+	Omega      float64
+	LeafRows   int
+
+	grid []float64
+	addr uint64
+}
+
+// SORSpec builds the benchmark spec.
+func SORSpec(rows, cols, steps int) Spec {
+	return Spec{
+		Name:        "SOR",
+		Description: fmt.Sprintf("2D Successive Over-Relaxation (%dx%d, %d steps)", rows, cols, steps),
+		MemoryBound: true,
+		Branch:      2,
+		InputBytes:  int64(rows) * int64(cols) * 8,
+		Make: func() *Instance {
+			s := NewSOR(rows, cols, steps)
+			return &Instance{Root: s.Root(), Verify: s.Verify}
+		},
+	}
+}
+
+// NewSOR allocates an instance with a deterministic initial grid.
+func NewSOR(rows, cols, steps int) *SOR {
+	s := &SOR{Rows: rows, Cols: cols, Steps: steps, Omega: 1.25, LeafRows: 32}
+	if s.LeafRows > rows/2 {
+		s.LeafRows = rows / 2
+		if s.LeafRows < 1 {
+			s.LeafRows = 1
+		}
+	}
+	s.grid = make([]float64, rows*cols)
+	for r := 0; r < rows; r++ {
+		for c := 0; c < cols; c++ {
+			// A smooth, deterministic field with hot boundary strips.
+			switch {
+			case r == 0 || c == 0:
+				s.grid[r*cols+c] = 100
+			case r == rows-1 || c == cols-1:
+				s.grid[r*cols+c] = 0
+			default:
+				s.grid[r*cols+c] = float64((r*31+c*17)%100) / 10
+			}
+		}
+	}
+	s.addr = work.NewLayout().Alloc(int64(rows)*int64(cols)*8, 64)
+	return s
+}
+
+func (s *SOR) rowAddr(r int) uint64 { return s.addr + uint64(r)*uint64(s.Cols)*8 }
+
+// halfSweepLeaf relaxes the points of the given parity in rows [lo, hi).
+// In-place red-black: reads rows r-1, r, r+1, writes row r.
+func (s *SOR) halfSweepLeaf(p work.Proc, lo, hi, parity int) {
+	rowBytes := int64(s.Cols) * 8
+	w := s.Omega
+	for r := lo; r < hi; r++ {
+		p.Load(s.rowAddr(r-1), rowBytes)
+		p.Load(s.rowAddr(r), rowBytes)
+		p.Load(s.rowAddr(r+1), rowBytes)
+		p.Compute(int64(s.Cols) / 2 * 6) // ~6 ALU ops per updated point
+		row := r * s.Cols
+		up, down := row-s.Cols, row+s.Cols
+		start := 1 + (r+parity+1)%2
+		for c := start; c < s.Cols-1; c += 2 {
+			g := s.grid
+			g[row+c] = (1-w)*g[row+c] + w*0.25*(g[up+c]+g[down+c]+g[row+c-1]+g[row+c+1])
+		}
+		p.Store(s.rowAddr(r), rowBytes/2)
+	}
+}
+
+// Root returns the main task: Steps iterations of two row-parallel
+// half-sweeps, each sweep a fresh recursive DAG spawned by main.
+func (s *SOR) Root() work.Fn {
+	return func(p work.Proc) {
+		for it := 0; it < s.Steps; it++ {
+			for parity := 0; parity < 2; parity++ {
+				parity := parity
+				p.Spawn(rangeTask(1, s.Rows-1, s.LeafRows, func(q work.Proc, lo, hi int) {
+					s.halfSweepLeaf(q, lo, hi, parity)
+				}))
+				p.Sync()
+			}
+		}
+	}
+}
+
+// Verify compares against a serial run from the same initial state.
+func (s *SOR) Verify() error {
+	ref := NewSOR(s.Rows, s.Cols, s.Steps)
+	work.Serial(ref.Root())
+	for i := range ref.grid {
+		if !almostEqual(ref.grid[i], s.grid[i], 1e-12) {
+			return errMismatch("sor", i, s.grid[i], ref.grid[i])
+		}
+	}
+	return nil
+}
+
+// String describes the instance.
+func (s *SOR) String() string {
+	return fmt.Sprintf("sor %dx%d steps=%d leaf=%d", s.Rows, s.Cols, s.Steps, s.LeafRows)
+}

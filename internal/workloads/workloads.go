@@ -1,0 +1,144 @@
+// Package workloads implements the paper's eight benchmarks (Table III):
+//
+//	Queens     CPU-bound   N-queens problem
+//	Fft        CPU-bound   Fast Fourier Transform
+//	Ck         CPU-bound   rudimentary checkers (game-tree search)
+//	Cholesky   CPU-bound   Cholesky decomposition
+//	Heat       memory      five-point heat stencil
+//	Mergesort  memory      merge sort
+//	SOR        memory      2D successive over-relaxation
+//	GE         memory      Gaussian elimination
+//
+// Every benchmark is an ordinary recursive divide-and-conquer program
+// against work.Proc: it computes real results on real Go data (verified
+// against a serial reference) and annotates its memory traffic with
+// synthetic addresses so the simulated cache hierarchy sees the same reuse
+// pattern the real program would produce.
+package workloads
+
+import (
+	"fmt"
+
+	"cab/internal/work"
+)
+
+// Instance is one ready-to-run benchmark instance. Root must be executed
+// exactly once (by a scheduler or work.Serial); Verify checks the results.
+type Instance struct {
+	// Root is the main task (DAG level 0). Per the paper's partitioning
+	// model, it directly spawns the recursive procedure.
+	Root work.Fn
+	// Verify returns nil if the computation produced correct results.
+	Verify func() error
+}
+
+// Spec describes a benchmark for the harness and Table III.
+type Spec struct {
+	Name        string
+	Description string
+	MemoryBound bool
+	Branch      int   // B for Eq. 4
+	InputBytes  int64 // Sd for Eq. 4
+	Make        func() *Instance
+}
+
+// Kind renders the paper's Type(bound) column.
+func (s Spec) Kind() string {
+	if s.MemoryBound {
+		return "Memory"
+	}
+	return "CPU"
+}
+
+// All returns the Table III benchmark suite at the given scale factor.
+// scale 1.0 is the paper's configuration where tractable (CPU-bound inputs
+// are reduced: real minimax/backtracking at the paper's Queens(20) is not
+// computable in test time on any machine; the paper itself only needs the
+// scheduling overhead contrast, which is preserved).
+func All(scale float64) []Spec {
+	if scale <= 0 {
+		scale = 1
+	}
+	dim := func(d int) int {
+		v := int(float64(d) * scale)
+		if v < 64 {
+			v = 64
+		}
+		return v
+	}
+	n1k := dim(1024)
+	return []Spec{
+		QueensSpec(12),
+		FFTSpec(1 << uint(16+int(scale))),
+		CkSpec(6),
+		CholeskySpec(dim(512)),
+		HeatSpec(n1k, n1k, 10),
+		MergesortSpec(n1k * n1k),
+		SORSpec(n1k, n1k, 10),
+		GESpec(dim(768)),
+	}
+}
+
+// rangeTask recursively splits [lo, hi) in two (branching degree B = 2)
+// until the range is at most leaf long, then runs f on the leaf range. This
+// is the paper's recursive divide-and-conquer shape shared by the
+// memory-bound kernels.
+//
+// Each spawn carries a placement hint mapping the child's data region to a
+// squad proportionally over the root range [rootLo, rootHi). This is the
+// paper's inter_spawn mechanism (§IV-D) driven by the data layout: CAB
+// places hinted inter-socket tasks in the hinted squad's pool (keeping the
+// region-to-socket mapping stable across iterative phases, the source of
+// its cross-step cache reuse), schedulers without placement ignore hints,
+// and CAB's IgnoreHints ablation measures the fully automatic mode.
+func rangeTask(lo, hi, leaf int, f func(p work.Proc, lo, hi int)) work.Fn {
+	return rangeTaskIn(lo, hi, lo, hi, leaf, f)
+}
+
+func rangeTaskIn(rootLo, rootHi, lo, hi, leaf int, f func(p work.Proc, lo, hi int)) work.Fn {
+	return func(p work.Proc) {
+		if hi-lo <= leaf {
+			f(p, lo, hi)
+			return
+		}
+		mid := lo + (hi-lo)/2
+		m := p.Squads()
+		// Hint by the centre of the child's range so blocks that straddle
+		// an even split still distribute one-per-squad.
+		hint := func(l, h int) int {
+			if m <= 1 || rootHi <= rootLo {
+				return -1
+			}
+			return ((l+h)/2 - rootLo) * m / (rootHi - rootLo)
+		}
+		p.SpawnHint(hint(lo, mid), rangeTaskIn(rootLo, rootHi, lo, mid, leaf, f))
+		p.SpawnHint(hint(mid, hi), rangeTaskIn(rootLo, rootHi, mid, hi, leaf, f))
+		p.Sync()
+	}
+}
+
+// almostEqual compares floats with a relative-ish tolerance.
+func almostEqual(a, b, eps float64) bool {
+	d := a - b
+	if d < 0 {
+		d = -d
+	}
+	m := 1.0
+	if a > m {
+		m = a
+	}
+	if -a > m {
+		m = -a
+	}
+	if b > m {
+		m = b
+	}
+	if -b > m {
+		m = -b
+	}
+	return d <= eps*m
+}
+
+func errMismatch(what string, i int, got, want float64) error {
+	return fmt.Errorf("%s: element %d = %g, want %g", what, i, got, want)
+}

@@ -1,0 +1,318 @@
+package workloads
+
+import (
+	"testing"
+
+	"cab/internal/cache"
+	"cab/internal/core"
+	"cab/internal/simengine"
+	"cab/internal/simsched"
+	"cab/internal/topology"
+	"cab/internal/work"
+)
+
+func simTopo() topology.Topology {
+	return topology.Topology{
+		Sockets: 2, CoresPerSocket: 2, LineBytes: 64,
+		L1Bytes: 2 << 10, L1Assoc: 2,
+		L2Bytes: 16 << 10, L2Assoc: 4,
+		L3Bytes: 128 << 10, L3Assoc: 8,
+	}
+}
+
+// runSim executes an instance on the simulated machine under the given
+// scheduler and returns its stats after verifying the results.
+func runSim(t *testing.T, spec Spec, sched simengine.Scheduler, bl int) simengine.Stats {
+	t.Helper()
+	inst := spec.Make()
+	e, err := simengine.New(simengine.Config{
+		Topo: simTopo(), Latency: cache.DefaultLatency(),
+		Cost: simengine.DefaultCost(), Seed: 42, BL: bl,
+	}, sched)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st, err := e.Run(inst.Root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := inst.Verify(); err != nil {
+		t.Fatalf("%s under %s: %v", spec.Name, sched.Name(), err)
+	}
+	return st
+}
+
+// blFor computes the boundary level the runtime would pick for a spec on
+// the test machine.
+func blFor(t *testing.T, spec Spec) int {
+	t.Helper()
+	top := simTopo()
+	bl, err := core.BoundaryLevel(core.Params{
+		Branch: spec.Branch, Sockets: top.Sockets,
+		InputBytes: spec.InputBytes, SharedCache: top.SharedCacheBytes(),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return bl
+}
+
+// small test instances (fast enough for go test while still spawning
+// multi-level DAGs).
+func smallSpecs() []Spec {
+	return []Spec{
+		HeatSpec(128, 64, 3),
+		SORSpec(128, 64, 3),
+		GESpec(96),
+		MergesortSpec(20_000),
+		QueensSpec(7),
+		FFTSpec(1 << 10),
+		CkSpec(4),
+		CholeskySpec(96),
+	}
+}
+
+func TestSerialVerifiesAll(t *testing.T) {
+	for _, spec := range smallSpecs() {
+		spec := spec
+		t.Run(spec.Name, func(t *testing.T) {
+			inst := spec.Make()
+			work.Serial(inst.Root)
+			if err := inst.Verify(); err != nil {
+				t.Fatal(err)
+			}
+		})
+	}
+}
+
+func TestCilkRunsAll(t *testing.T) {
+	for _, spec := range smallSpecs() {
+		spec := spec
+		t.Run(spec.Name, func(t *testing.T) {
+			st := runSim(t, spec, simsched.NewCilk(), 0)
+			if st.Tasks < 3 {
+				t.Errorf("suspiciously few tasks: %d", st.Tasks)
+			}
+		})
+	}
+}
+
+func TestCABRunsAll(t *testing.T) {
+	for _, spec := range smallSpecs() {
+		spec := spec
+		t.Run(spec.Name, func(t *testing.T) {
+			bl := 0
+			if spec.MemoryBound {
+				bl = blFor(t, spec)
+			}
+			runSim(t, spec, simsched.NewCAB(), bl)
+		})
+	}
+}
+
+func TestSharingRunsMemoryBound(t *testing.T) {
+	for _, spec := range smallSpecs()[:4] {
+		spec := spec
+		t.Run(spec.Name, func(t *testing.T) {
+			runSim(t, spec, simsched.NewSharing(), 0)
+		})
+	}
+}
+
+func TestMemoryBoundShares(t *testing.T) {
+	// Memory-bound kernels must spend most work cycles in the memory
+	// hierarchy on the simulated machine; CPU-bound ones must not.
+	heat := runSim(t, HeatSpec(128, 64, 3), simsched.NewCilk(), 0)
+	if s := heat.MemoryBoundShare(); s < 0.5 {
+		t.Errorf("heat memory share = %.2f, want >= 0.5", s)
+	}
+	queens := runSim(t, QueensSpec(7), simsched.NewCilk(), 0)
+	if s := queens.MemoryBoundShare(); s > 0.5 {
+		t.Errorf("queens memory share = %.2f, want < 0.5", s)
+	}
+}
+
+func TestTableIIISuite(t *testing.T) {
+	specs := All(0.25)
+	if len(specs) != 8 {
+		t.Fatalf("All() returned %d specs, want 8", len(specs))
+	}
+	wantNames := map[string]bool{
+		"Heat": true, "SOR": true, "GE": true, "Mergesort": true,
+		"Fft": true, "Ck": true, "Cholesky": true,
+	}
+	mem := 0
+	for _, s := range specs {
+		if s.MemoryBound {
+			mem++
+		}
+		if s.Kind() != "Memory" && s.Kind() != "CPU" {
+			t.Errorf("%s: bad kind %q", s.Name, s.Kind())
+		}
+		delete(wantNames, s.Name)
+	}
+	if mem != 4 {
+		t.Errorf("memory-bound count = %d, want 4 (Table III)", mem)
+	}
+	if len(wantNames) != 0 {
+		t.Errorf("missing benchmarks: %v", wantNames)
+	}
+}
+
+func TestQueensKnownCounts(t *testing.T) {
+	for _, n := range []int{4, 5, 6, 7, 8} {
+		q := NewQueens(n)
+		work.Serial(q.Root())
+		if err := q.Verify(); err != nil {
+			t.Errorf("n=%d: %v", n, err)
+		}
+	}
+}
+
+func TestHeatPreservesBoundary(t *testing.T) {
+	h := NewHeat(64, 64, 2)
+	work.Serial(h.Root())
+	for c := 0; c < 64; c++ {
+		if h.src[c] != 100 {
+			t.Fatalf("top boundary disturbed at col %d: %g", c, h.src[c])
+		}
+		if h.src[63*64+c] != 0 {
+			t.Fatalf("bottom boundary disturbed at col %d: %g", c, h.src[63*64+c])
+		}
+	}
+}
+
+func TestHeatConvergesTowardGradient(t *testing.T) {
+	// After many steps, interior values must lie strictly between the
+	// boundary extremes (maximum principle).
+	h := NewHeat(32, 32, 50)
+	work.Serial(h.Root())
+	for r := 1; r < 31; r++ {
+		for c := 1; c < 31; c++ {
+			v := h.src[r*32+c]
+			if v < 0 || v > 100 {
+				t.Fatalf("heat value out of range at (%d,%d): %g", r, c, v)
+			}
+		}
+	}
+}
+
+func TestMergesortSortsAdversarialSizes(t *testing.T) {
+	for _, n := range []int{1, 2, 3, 5, 1023, 4096, 10_000} {
+		m := NewMergesort(n)
+		work.Serial(m.Root())
+		if err := m.Verify(); err != nil {
+			t.Errorf("n=%d: %v", n, err)
+		}
+	}
+}
+
+func TestGERejectsNothingAndEliminates(t *testing.T) {
+	g := NewGE(64)
+	work.Serial(g.Root())
+	if err := g.Verify(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCkDeterministicValue(t *testing.T) {
+	// The parallel minimax value must match the serial one at several
+	// depths (no pruning, so values are exact).
+	for _, d := range []int{1, 2, 3, 4} {
+		c := NewCk(d)
+		work.Serial(c.Root())
+		if err := c.Verify(); err != nil {
+			t.Errorf("depth %d: %v", d, err)
+		}
+	}
+}
+
+func TestCkOpeningMoves(t *testing.T) {
+	b := openingBoard()
+	ms := b.moves(1)
+	if len(ms) != 7 {
+		t.Errorf("white opening moves = %d, want 7", len(ms))
+	}
+	ms = b.moves(-1)
+	if len(ms) != 7 {
+		t.Errorf("black opening moves = %d, want 7", len(ms))
+	}
+}
+
+func TestCkPromotionAndCapture(t *testing.T) {
+	var b ckBoard
+	b[6*8+1] = 1 // white man one step from promotion
+	ms := b.moves(1)
+	found := false
+	for _, m := range ms {
+		nb := b
+		nb.apply(m, 1)
+		if int(m.to)/8 == 7 && nb[m.to] == 2 {
+			found = true
+		}
+	}
+	if !found {
+		t.Error("promotion move missing or not crowning")
+	}
+	// Capture: white at (3,3)=27, black at (4,4)=36, landing (5,5)=45 free.
+	var b2 ckBoard
+	b2[27] = 1
+	b2[36] = -1
+	ms = b2.moves(1)
+	var cap *ckMove
+	for i := range ms {
+		if ms[i].capture >= 0 {
+			cap = &ms[i]
+		}
+	}
+	if cap == nil {
+		t.Fatal("capture move not generated")
+	}
+	nb := b2
+	nb.apply(*cap, 1)
+	if nb[36] != 0 || nb[45] != 1 || nb[27] != 0 {
+		t.Errorf("capture applied wrong: %v", nb)
+	}
+}
+
+func TestFFTImpulse(t *testing.T) {
+	// FFT of a unit impulse is all ones.
+	f := NewFFT(64)
+	for i := range f.data {
+		f.data[i] = 0
+		f.orig[i] = 0
+	}
+	f.data[0] = 1
+	f.orig[0] = 1
+	work.Serial(f.Root())
+	for i, v := range f.data {
+		if !almostEqual(real(v), 1, 1e-9) || !almostEqual(imag(v), 0, 1e-9) {
+			t.Fatalf("bin %d = %v, want 1", i, v)
+		}
+	}
+}
+
+func TestFFTRejectsNonPowerOfTwo(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for n=100")
+		}
+	}()
+	NewFFT(100)
+}
+
+func TestCholeskySmallExact(t *testing.T) {
+	c := NewCholesky(48)
+	work.Serial(c.Root())
+	if err := c.Verify(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSpecStrings(t *testing.T) {
+	for _, s := range smallSpecs() {
+		if s.InputBytes <= 0 || s.Branch < 2 {
+			t.Errorf("%s: InputBytes=%d Branch=%d", s.Name, s.InputBytes, s.Branch)
+		}
+	}
+}

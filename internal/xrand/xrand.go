@@ -1,0 +1,75 @@
+// Package xrand provides small, fast, deterministic pseudo-random number
+// generators for the schedulers and the experiment harness.
+//
+// Every randomized decision in this repository (victim selection, workload
+// shuffling, synthetic data) draws from an explicitly seeded xrand source, so
+// a given experiment configuration always reproduces the same execution, the
+// same steal sequence and the same cache-miss counts. The generators are
+// intentionally not safe for concurrent use; each worker owns its own source
+// (as the Cilk and CAB runtimes do with per-worker RNG state).
+package xrand
+
+// Source is a splitmix64-based generator. The zero value is a valid source
+// seeded with 0.
+type Source struct {
+	state uint64
+}
+
+// New returns a Source seeded with seed.
+func New(seed uint64) *Source {
+	return &Source{state: seed}
+}
+
+// Seed resets the generator to the given seed.
+func (s *Source) Seed(seed uint64) { s.state = seed }
+
+// Uint64 returns the next value of the splitmix64 sequence.
+func (s *Source) Uint64() uint64 {
+	s.state += 0x9e3779b97f4a7c15
+	z := s.state
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+// Intn returns a uniformly distributed int in [0, n). It panics if n <= 0.
+func (s *Source) Intn(n int) int {
+	if n <= 0 {
+		panic("xrand: Intn with non-positive n")
+	}
+	// Lemire's nearly-divisionless bounded generation is overkill here;
+	// the simple multiply-shift reduction has negligible bias for the
+	// scheduler's small n (worker counts).
+	return int((s.Uint64() >> 33) % uint64(n))
+}
+
+// Float64 returns a uniformly distributed float64 in [0, 1).
+func (s *Source) Float64() float64 {
+	return float64(s.Uint64()>>11) / (1 << 53)
+}
+
+// Split derives an independent child source from s, advancing s. Children
+// derived from distinct draws are statistically independent, which lets one
+// experiment seed fan out to per-worker sources deterministically.
+func (s *Source) Split() *Source {
+	return New(s.Uint64() ^ 0xa5a5a5a5a5a5a5a5)
+}
+
+// Perm returns a deterministic pseudo-random permutation of [0, n).
+func (s *Source) Perm(n int) []int {
+	p := make([]int, n)
+	for i := range p {
+		j := s.Intn(i + 1)
+		p[i] = p[j]
+		p[j] = i
+	}
+	return p
+}
+
+// Shuffle pseudo-randomly swaps the elements of a slice of ints in place.
+func (s *Source) Shuffle(n int, swap func(i, j int)) {
+	for i := n - 1; i > 0; i-- {
+		j := s.Intn(i + 1)
+		swap(i, j)
+	}
+}

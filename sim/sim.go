@@ -1,0 +1,267 @@
+// Package sim runs CAB programs on a simulated multi-socket multi-core
+// machine and reports what the paper's testbed measured: execution time
+// (virtual cycles) and L2/L3 cache misses.
+//
+// The simulated machine has per-core private L1/L2 caches, one shared L3
+// per socket, and a discrete-event engine that charges every Compute /
+// Load / Store annotation (see cab.Task) to the executing core's clock,
+// pricing memory actions through set-associative LRU caches. Four
+// schedulers are available: the paper's CAB, the MIT-Cilk-style random
+// stealer it compares against, a central-pool task-sharing baseline, and a
+// SLAW-style adaptive baseline. Runs are fully deterministic for a given
+// Config.
+package sim
+
+import (
+	"fmt"
+	"io"
+
+	"cab"
+	"cab/internal/cache"
+	"cab/internal/core"
+	"cab/internal/simengine"
+	"cab/internal/simsched"
+	"cab/internal/topology"
+	"cab/internal/trace"
+)
+
+// SchedulerKind selects the scheduling policy of a simulated run.
+type SchedulerKind int
+
+const (
+	// CAB is the paper's cache-aware bi-tier task-stealing scheduler.
+	CAB SchedulerKind = iota
+	// Cilk is traditional random task-stealing (the paper's baseline).
+	Cilk
+	// Sharing is the central-pool task-sharing baseline of §II.
+	Sharing
+	// SLAW is an adaptive-policy stealing baseline in the spirit of the
+	// SLAW scheduler the paper's related work discusses: it mixes
+	// child-first and parent-first spawns by runtime conditions rather
+	// than by DAG tier, and has no socket awareness.
+	SLAW
+)
+
+// String names the scheduler as it appears in reports.
+func (k SchedulerKind) String() string {
+	switch k {
+	case CAB:
+		return "cab"
+	case Cilk:
+		return "cilk"
+	case Sharing:
+		return "sharing"
+	case SLAW:
+		return "slaw"
+	default:
+		return fmt.Sprintf("SchedulerKind(%d)", int(k))
+	}
+}
+
+// Machine describes the simulated MSMC hardware. The zero value of any
+// field takes the paper's Opteron 8380 value.
+type Machine struct {
+	Sockets        int
+	CoresPerSocket int
+	L1Bytes        int64
+	L2Bytes        int64 // private per core
+	L3Bytes        int64 // shared per socket (Sc)
+	LineBytes      int64
+}
+
+// Opteron8380 returns the paper's evaluation machine.
+func Opteron8380() Machine {
+	return Machine{Sockets: 4, CoresPerSocket: 4,
+		L1Bytes: 64 << 10, L2Bytes: 512 << 10, L3Bytes: 6 << 20, LineBytes: 64}
+}
+
+func (m Machine) topology() topology.Topology {
+	d := topology.Opteron8380()
+	t := topology.Topology{
+		Sockets: m.Sockets, CoresPerSocket: m.CoresPerSocket,
+		LineBytes: m.LineBytes,
+		L1Bytes:   m.L1Bytes, L1Assoc: d.L1Assoc,
+		L2Bytes: m.L2Bytes, L2Assoc: d.L2Assoc,
+		L3Bytes: m.L3Bytes, L3Assoc: d.L3Assoc,
+	}
+	if t.Sockets == 0 {
+		t.Sockets = d.Sockets
+	}
+	if t.CoresPerSocket == 0 {
+		t.CoresPerSocket = d.CoresPerSocket
+	}
+	if t.LineBytes == 0 {
+		t.LineBytes = d.LineBytes
+	}
+	if t.L1Bytes == 0 {
+		t.L1Bytes = d.L1Bytes
+	}
+	if t.L2Bytes == 0 {
+		t.L2Bytes = d.L2Bytes
+	}
+	if t.L3Bytes == 0 {
+		t.L3Bytes = d.L3Bytes
+	}
+	return t
+}
+
+// Options are the CAB implementation toggles exercised by the ablation
+// experiments; the zero value is the configuration used everywhere else.
+type Options struct {
+	// RandomVictims selects steal victims uniformly at random (Algorithm
+	// I's literal reading) instead of deterministic cyclic probing.
+	RandomVictims bool
+	// AllWorkersStealInter lifts the head-worker-only restriction.
+	AllWorkersStealInter bool
+	// IgnoreBusyState disables the one-inter-task-per-squad rule.
+	IgnoreBusyState bool
+	// IgnoreHints disables SpawnHint placement (inter_spawn), leaving
+	// only the automatic partitioning.
+	IgnoreHints bool
+}
+
+// Config assembles a simulated run.
+type Config struct {
+	Machine   Machine
+	Scheduler SchedulerKind
+	// BoundaryLevel: >= 0 forces a BL (sweep experiments); -1 selects
+	// Eq. 4 from DataSize and Branch. CAB only; other schedulers run
+	// single-tier regardless.
+	BoundaryLevel int
+	DataSize      int64
+	Branch        int
+	Seed          uint64
+	Options       Options
+	// TrackFootprint additionally records per-socket memory footprints
+	// (slower; one hash entry per distinct line per socket).
+	TrackFootprint bool
+	// Trace, when non-nil, receives a Chrome trace-viewer JSON of the
+	// run's per-core schedule (open in chrome://tracing or
+	// ui.perfetto.dev).
+	Trace io.Writer
+}
+
+// Report is what a simulated run measures — the software counterpart of
+// the paper's wall clock and PMU counters.
+type Report struct {
+	Scheduler string
+	BL        int
+
+	Cycles int64 // makespan of the run in CPU cycles
+
+	L2Accesses int64
+	L2Misses   int64
+	L3Accesses int64
+	L3Misses   int64
+
+	Tasks          int64
+	LeafInterTasks int64
+	StealsIntra    int64
+	StealsInter    int64
+	FailedSteals   int64
+	MaxTasksLive   int // peak in-flight tasks (space bound, Eq. 15)
+
+	Utilization    float64 // busy cycles / (cycles * cores)
+	InterTierShare float64 // inter-socket tier's share of total work
+	MemoryShare    float64 // share of work cycles spent in the memory system
+
+	// CriticalPath is T_inf(G): the longest dependency chain of charged
+	// cycles (§III-E); Cycles/CriticalPath bounds attainable speedup.
+	CriticalPath int64
+	// PrefetchedLines counts lines installed by Prefetch annotations.
+	PrefetchedLines int64
+
+	// FootprintBytes per socket and total (-1 when not tracked).
+	SocketFootprint []int64
+	FootprintBytes  int64
+}
+
+// Run executes root (a cab.TaskFunc, level 0) on the simulated machine.
+func Run(cfg Config, root cab.TaskFunc) (Report, error) {
+	topo := cfg.Machine.topology()
+	bl := 0
+	if cfg.Scheduler == CAB {
+		bl = cfg.BoundaryLevel
+		if bl < 0 {
+			branch := cfg.Branch
+			if branch == 0 {
+				branch = 2
+			}
+			var err error
+			bl, err = core.BoundaryLevel(core.Params{
+				Branch:      branch,
+				Sockets:     topo.Sockets,
+				InputBytes:  cfg.DataSize,
+				SharedCache: topo.SharedCacheBytes(),
+			})
+			if err != nil {
+				return Report{}, fmt.Errorf("sim: %w", err)
+			}
+		}
+	}
+	var sched simengine.Scheduler
+	switch cfg.Scheduler {
+	case CAB:
+		sched = simsched.NewCABOpts(simsched.CABOptions{
+			RandomInterVictim:    cfg.Options.RandomVictims,
+			AllWorkersStealInter: cfg.Options.AllWorkersStealInter,
+			IgnoreBusyState:      cfg.Options.IgnoreBusyState,
+			IgnoreHints:          cfg.Options.IgnoreHints,
+		})
+	case Cilk:
+		sched = simsched.NewCilk()
+	case Sharing:
+		sched = simsched.NewSharing()
+	case SLAW:
+		sched = simsched.NewSLAW()
+	default:
+		return Report{}, fmt.Errorf("sim: unknown scheduler %v", cfg.Scheduler)
+	}
+	var rec *trace.Recorder
+	if cfg.Trace != nil {
+		rec = trace.NewRecorder()
+	}
+	eng, err := simengine.New(simengine.Config{
+		Topo:    topo,
+		Latency: cache.DefaultLatency(),
+		Cost:    simengine.DefaultCost(),
+		Cache:   cache.Options{TrackFootprint: cfg.TrackFootprint},
+		Seed:    cfg.Seed,
+		BL:      bl,
+		Tracer:  rec,
+	}, sched)
+	if err != nil {
+		return Report{}, fmt.Errorf("sim: %w", err)
+	}
+	st, err := eng.Run(root)
+	if err != nil {
+		return Report{}, fmt.Errorf("sim: %w", err)
+	}
+	if rec != nil {
+		if werr := rec.WriteChrome(cfg.Trace); werr != nil {
+			return Report{}, fmt.Errorf("sim: writing trace: %w", werr)
+		}
+	}
+	return Report{
+		Scheduler:       st.Scheduler,
+		BL:              st.BL,
+		Cycles:          st.Time,
+		L2Accesses:      st.Cache.L2.Accesses,
+		L2Misses:        st.Cache.L2.Misses,
+		L3Accesses:      st.Cache.L3.Accesses,
+		L3Misses:        st.Cache.L3.Misses,
+		Tasks:           st.Tasks,
+		LeafInterTasks:  st.LeafInterTasks,
+		StealsIntra:     st.StealsIntra,
+		StealsInter:     st.StealsInter,
+		FailedSteals:    st.FailedSteals,
+		MaxTasksLive:    st.MaxInFlight,
+		CriticalPath:    st.CriticalPath,
+		PrefetchedLines: st.PrefetchedLines,
+		Utilization:     st.Utilization(),
+		InterTierShare:  st.InterTierShare(),
+		MemoryShare:     st.MemoryBoundShare(),
+		SocketFootprint: st.SocketFootprint,
+		FootprintBytes:  st.FootprintBytes,
+	}, nil
+}

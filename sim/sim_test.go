@@ -1,0 +1,208 @@
+package sim_test
+
+import (
+	"bytes"
+	"encoding/json"
+	"testing"
+
+	"cab"
+	"cab/sim"
+)
+
+// stencilish is a small iterative kernel with paper-heat structure: region
+// annotated row loads/stores, recursive split, several timesteps.
+func stencilish(rows, rowBytes, steps, leaf int) cab.TaskFunc {
+	var split func(rootLo, rootHi, lo, hi int) cab.TaskFunc
+	split = func(rootLo, rootHi, lo, hi int) cab.TaskFunc {
+		return func(p cab.Task) {
+			if hi-lo <= leaf {
+				for r := lo; r < hi; r++ {
+					p.Load(uint64(4096+r*rowBytes), int64(rowBytes))
+					p.Compute(64)
+					p.Store(uint64(4096+rows*rowBytes+r*rowBytes), int64(rowBytes))
+				}
+				return
+			}
+			mid := (lo + hi) / 2
+			m := p.Squads()
+			hint := func(l, h int) int { return (l + h) / 2 * m / rows }
+			p.SpawnHint(hint(lo, mid), split(rootLo, rootHi, lo, mid))
+			p.SpawnHint(hint(mid, hi), split(rootLo, rootHi, mid, hi))
+			p.Sync()
+		}
+	}
+	return func(p cab.Task) {
+		for s := 0; s < steps; s++ {
+			p.Spawn(split(0, rows, 0, rows))
+			p.Sync()
+		}
+	}
+}
+
+func TestRunAllSchedulers(t *testing.T) {
+	root := stencilish(256, 512, 3, 32)
+	for _, k := range []sim.SchedulerKind{sim.CAB, sim.Cilk, sim.Sharing, sim.SLAW} {
+		rep, err := sim.Run(sim.Config{
+			Scheduler:     k,
+			BoundaryLevel: -1,
+			DataSize:      256 * 512,
+			Branch:        2,
+			Seed:          1,
+		}, root)
+		if err != nil {
+			t.Fatalf("%v: %v", k, err)
+		}
+		if rep.Cycles <= 0 || rep.Tasks == 0 {
+			t.Errorf("%v: empty report %+v", k, rep)
+		}
+		if rep.Scheduler != k.String() {
+			t.Errorf("scheduler name %q != %q", rep.Scheduler, k.String())
+		}
+	}
+}
+
+func TestDeterministicReports(t *testing.T) {
+	cfgs := sim.Config{Scheduler: sim.CAB, BoundaryLevel: -1, DataSize: 256 * 512, Branch: 2, Seed: 9}
+	a, err := sim.Run(cfgs, stencilish(256, 512, 3, 32))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := sim.Run(cfgs, stencilish(256, 512, 3, 32))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Cycles != b.Cycles || a.L3Misses != b.L3Misses || a.StealsIntra != b.StealsIntra {
+		t.Fatalf("reports diverged: %+v vs %+v", a, b)
+	}
+}
+
+// The headline claim, through the public API: on an iterative memory-bound
+// kernel whose per-socket share fits the shared cache, CAB beats random
+// stealing on both time and L3 misses.
+func TestCABBeatsCilkOnMemoryBoundKernel(t *testing.T) {
+	root := func() cab.TaskFunc { return stencilish(512, 4096, 6, 64) }
+	base := sim.Config{BoundaryLevel: -1, DataSize: 512 * 4096, Branch: 2, Seed: 42}
+
+	cfgCilk := base
+	cfgCilk.Scheduler = sim.Cilk
+	cilk, err := sim.Run(cfgCilk, root())
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfgCAB := base
+	cfgCAB.Scheduler = sim.CAB
+	cabRep, err := sim.Run(cfgCAB, root())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cabRep.Cycles >= cilk.Cycles {
+		t.Errorf("CAB cycles %d not below Cilk %d", cabRep.Cycles, cilk.Cycles)
+	}
+	if cabRep.L3Misses >= cilk.L3Misses {
+		t.Errorf("CAB L3 misses %d not below Cilk %d", cabRep.L3Misses, cilk.L3Misses)
+	}
+}
+
+func TestBoundaryLevelOverrideAndReport(t *testing.T) {
+	rep, err := sim.Run(sim.Config{
+		Scheduler:     sim.CAB,
+		BoundaryLevel: 2,
+		Seed:          3,
+	}, stencilish(256, 512, 2, 32))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.BL != 2 {
+		t.Fatalf("report BL = %d, want 2", rep.BL)
+	}
+	if rep.LeafInterTasks == 0 {
+		t.Error("no leaf inter tasks at BL=2")
+	}
+}
+
+func TestFootprintTracking(t *testing.T) {
+	rep, err := sim.Run(sim.Config{
+		Scheduler:      sim.CAB,
+		BoundaryLevel:  -1,
+		DataSize:       256 * 512,
+		Branch:         2,
+		Seed:           1,
+		TrackFootprint: true,
+	}, stencilish(256, 512, 2, 32))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.FootprintBytes <= 0 {
+		t.Fatalf("FootprintBytes = %d, want > 0", rep.FootprintBytes)
+	}
+	if len(rep.SocketFootprint) != 4 {
+		t.Fatalf("SocketFootprint has %d entries, want 4", len(rep.SocketFootprint))
+	}
+}
+
+func TestUnknownScheduler(t *testing.T) {
+	if _, err := sim.Run(sim.Config{Scheduler: sim.SchedulerKind(99)}, func(cab.Task) {}); err == nil {
+		t.Fatal("expected error for unknown scheduler")
+	}
+}
+
+func TestSchedulerKindStrings(t *testing.T) {
+	if sim.CAB.String() != "cab" || sim.Cilk.String() != "cilk" ||
+		sim.Sharing.String() != "sharing" || sim.SLAW.String() != "slaw" {
+		t.Fatal("SchedulerKind strings wrong")
+	}
+	if sim.SchedulerKind(99).String() == "" {
+		t.Fatal("unknown kind should still render")
+	}
+}
+
+func TestCustomMachine(t *testing.T) {
+	rep, err := sim.Run(sim.Config{
+		Machine:   sim.Machine{Sockets: 2, CoresPerSocket: 2, L3Bytes: 1 << 20},
+		Scheduler: sim.Cilk,
+		Seed:      1,
+	}, stencilish(128, 256, 1, 32))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Cycles == 0 {
+		t.Fatal("no cycles")
+	}
+}
+
+func TestTraceOutput(t *testing.T) {
+	var buf bytes.Buffer
+	_, err := sim.Run(sim.Config{
+		Scheduler: sim.CAB, BoundaryLevel: 2, Seed: 1, Trace: &buf,
+	}, stencilish(128, 256, 1, 32))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var evs []map[string]interface{}
+	if err := json.Unmarshal(buf.Bytes(), &evs); err != nil {
+		t.Fatalf("trace is not valid JSON: %v", err)
+	}
+	if len(evs) < 4 {
+		t.Fatalf("trace has %d events, expected a schedule", len(evs))
+	}
+	spans := 0
+	for _, e := range evs {
+		if e["ph"] == "X" {
+			spans++
+		}
+	}
+	if spans == 0 {
+		t.Fatal("no execution spans in trace")
+	}
+}
+
+func TestReportCriticalPath(t *testing.T) {
+	rep, err := sim.Run(sim.Config{Scheduler: sim.CAB, BoundaryLevel: 2, Seed: 1},
+		stencilish(128, 256, 2, 32))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.CriticalPath <= 0 || rep.CriticalPath > rep.Cycles {
+		t.Fatalf("CriticalPath = %d outside (0, Cycles=%d]", rep.CriticalPath, rep.Cycles)
+	}
+}
