@@ -1,0 +1,25 @@
+# Developer entry points for the CAB reproduction. `make test` is the
+# tier-1 gate; `make race` covers the concurrent runtime under the race
+# detector; `make bench` runs the fast-path microbenchmarks and writes
+# BENCH_rt.json (see scripts/bench.sh) so PRs can track the perf trajectory.
+
+GO ?= go
+
+.PHONY: all build test race vet bench
+
+all: build vet test
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+vet:
+	$(GO) vet ./...
+
+bench:
+	./scripts/bench.sh

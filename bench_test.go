@@ -12,6 +12,7 @@ import (
 
 	"cab"
 	"cab/internal/exp"
+	"cab/internal/rtbench"
 	"cab/sim"
 )
 
@@ -114,3 +115,9 @@ func BenchmarkRealRuntimeFanout(b *testing.B) {
 }
 
 func BenchmarkSeedRobustness(b *testing.B) { benchExperiment(b, "seeds", 0.25) }
+
+// Real-runtime fast-path microbenchmarks (bodies in internal/rtbench, also
+// runnable as `cabbench -rtbench`; scripts/bench.sh tracks them over time).
+func BenchmarkSpawnSync(b *testing.B)       { rtbench.SpawnSync(b) }
+func BenchmarkStealThroughput(b *testing.B) { rtbench.StealThroughput(b) }
+func BenchmarkInterPool(b *testing.B)       { rtbench.InterPool(b) }

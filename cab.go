@@ -42,6 +42,12 @@ import (
 // fork-join parallelism, SpawnHint for data-placement hints (the paper's
 // inter_spawn), and Compute/Load/Store annotations that feed the cache
 // model when the same code runs on the simulated machine (cab/sim).
+//
+// SpawnHint's squad argument is validated, not trusted: any value outside
+// [0, Squads()) — negative or too large — is clamped to "no preference",
+// making the call equivalent to a plain Spawn (the child lands in the
+// spawner's squad pool and carries no affinity for hint-matched stealing).
+// Use Squads() to compute in-range hints portably across machines.
 type Task = work.Proc
 
 // TaskFunc is the type of a task body.
@@ -147,7 +153,10 @@ func (s *Scheduler) BoundaryLevel() int { return s.bl }
 // not concurrently.
 func (s *Scheduler) Run(fn TaskFunc) error { return s.rt.Run(fn) }
 
-// Stats reports scheduler event counters since New.
+// Stats reports scheduler event counters since New. The runtime keeps the
+// counts in cache-line-padded per-worker shards (so the spawn/steal hot
+// path never touches a shared contended line) and aggregates them here;
+// the snapshot is monitoring-grade, not a single linearizable cut.
 func (s *Scheduler) Stats() Stats {
 	st := s.rt.Stats()
 	return Stats{

@@ -154,6 +154,29 @@ func TestNewRejectsBadMachine(t *testing.T) {
 	}
 }
 
+// TestSpawnHintOutOfRangeClamped pins the documented public-API contract:
+// hints outside [0, Squads()) behave exactly like a plain Spawn.
+func TestSpawnHintOutOfRangeClamped(t *testing.T) {
+	s, err := cab.New(cab.Config{Machine: cab.Machine{Sockets: 2, CoresPerSocket: 2, SharedCache: 1 << 20}, BoundaryLevel: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	var ran atomic.Int64
+	err = s.Run(func(p cab.Task) {
+		for _, hint := range []int{-7, 0, 1, 2, 1 << 20} {
+			p.SpawnHint(hint, func(q cab.Task) { ran.Add(1) })
+		}
+		p.Sync()
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ran.Load() != 5 {
+		t.Fatalf("ran %d tasks, want 5 (out-of-range hints must still spawn)", ran.Load())
+	}
+}
+
 func TestOpteronMachineConstants(t *testing.T) {
 	m := cab.Opteron8380()
 	if m.Sockets != 4 || m.CoresPerSocket != 4 || m.SharedCache != 6<<20 {

@@ -3,12 +3,17 @@
 //
 // Usage:
 //
-//	cabbench [-exp id[,id...]] [-scale f] [-seed n] [-verify] [-list]
+//	cabbench [-exp id[,id...]] [-scale f] [-seed n] [-verify] [-list] [-rtbench]
 //
 // With no -exp it runs every experiment in presentation order. Experiment
 // IDs follow the paper: tab3, fig4, tab4, fig5, fig6, fig7, fig8, plus
 // tier, flat, share, bounds and abl for the claims outside numbered
 // artifacts.
+//
+// -rtbench instead runs the real-runtime fast-path microbenchmarks
+// (spawn/sync, steal throughput, inter-socket pool; see internal/rtbench)
+// and exits — the numbers EXPERIMENTS.md's "Runtime fast path" section and
+// scripts/bench.sh track.
 package main
 
 import (
@@ -16,9 +21,11 @@ import (
 	"fmt"
 	"os"
 	"strings"
+	"testing"
 	"time"
 
 	"cab/internal/exp"
+	"cab/internal/rtbench"
 )
 
 func main() {
@@ -28,8 +35,14 @@ func main() {
 		seed   = flag.Uint64("seed", 42, "simulation seed")
 		verify = flag.Bool("verify", false, "verify workload results against serial references")
 		list   = flag.Bool("list", false, "list experiments and exit")
+		rtb    = flag.Bool("rtbench", false, "run the real-runtime fast-path microbenchmarks and exit")
 	)
 	flag.Parse()
+
+	if *rtb {
+		runRTBench()
+		return
+	}
 
 	if *list {
 		for _, e := range exp.All() {
@@ -71,5 +84,31 @@ func main() {
 			fmt.Printf("     %-28s %.4g\n", name, res.Values[name])
 		}
 		fmt.Printf("   (%s, scale %.2g)\n\n", time.Since(start).Round(time.Millisecond), *scale)
+	}
+}
+
+// runRTBench executes the internal/rtbench bodies through testing.Benchmark
+// so cabbench reports the same numbers as `go test -bench` without needing
+// the test binary.
+func runRTBench() {
+	fmt.Println("== rt: real-runtime fast-path microbenchmarks")
+	for _, mb := range []struct {
+		name string
+		fn   func(*testing.B)
+	}{
+		{"SpawnSync", rtbench.SpawnSync},
+		{"StealThroughput", rtbench.StealThroughput},
+		{"InterPool", rtbench.InterPool},
+	} {
+		res := testing.Benchmark(mb.fn)
+		fmt.Printf("   %-16s %10d iters %12.1f ns/op %8d B/op %6d allocs/op",
+			mb.name, res.N, float64(res.T.Nanoseconds())/float64(res.N),
+			res.AllocedBytesPerOp(), res.AllocsPerOp())
+		for _, unit := range []string{"steals/op", "tasks/op"} {
+			if v, ok := res.Extra[unit]; ok {
+				fmt.Printf(" %10.1f %s", v, unit)
+			}
+		}
+		fmt.Println()
 	}
 }

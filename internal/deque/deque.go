@@ -131,19 +131,54 @@ func (d *Deque[T]) Empty() bool { return d.Len() == 0 }
 // task pools. All operations are safe for concurrent use. The paper's
 // protocol bounds its contention: within a squad only the head worker
 // touches it, so at most M workers (one per squad) ever compete.
+//
+// Storage is a growable power-of-two ring buffer indexed by monotonically
+// increasing head/tail cursors, so Push, Pop and Steal are O(1) with no
+// per-operation allocation and no retained head garbage (the old
+// slice-backed version shifted with items = items[1:], keeping dead
+// elements reachable through the backing array). StealMatch removes from
+// the middle by shifting only the head..hit prefix inside the ring —
+// allocation-free, and cheap because affinity hits cluster near the head.
 type Locked[T any] struct {
-	mu    sync.Mutex
-	items []*T
+	mu   sync.Mutex
+	buf  []*T  // power-of-two ring; nil until the first Push
+	head int64 // cursor of the oldest element (the "steal" end)
+	tail int64 // cursor one past the newest element (the "push/pop" end)
 }
 
 // NewLocked returns an empty locked deque.
 func NewLocked[T any]() *Locked[T] { return &Locked[T]{} }
 
-// Push adds x at the bottom (the "new tasks" end).
-func (l *Locked[T]) Push(x *T) {
+func (l *Locked[T]) mask() int64 { return int64(len(l.buf) - 1) }
+
+// grow doubles the ring (or creates the initial one), re-homing the live
+// range under the new mask. Caller holds l.mu.
+func (l *Locked[T]) grow() {
+	if len(l.buf) == 0 {
+		l.buf = make([]*T, minRingSize)
+		return
+	}
+	old := l.buf
+	oldMask := int64(len(old) - 1)
+	l.buf = make([]*T, 2*len(old))
+	for i := l.head; i < l.tail; i++ {
+		l.buf[i&l.mask()] = old[i&oldMask]
+	}
+}
+
+// Push adds x at the bottom (the "new tasks" end). It reports whether the
+// deque was empty beforehand, so callers can publish empty→nonempty
+// transitions to parked workers without a second lock acquisition.
+func (l *Locked[T]) Push(x *T) bool {
 	l.mu.Lock()
-	l.items = append(l.items, x)
+	wasEmpty := l.head == l.tail
+	if l.tail-l.head == int64(len(l.buf)) {
+		l.grow()
+	}
+	l.buf[l.tail&l.mask()] = x
+	l.tail++
 	l.mu.Unlock()
+	return wasEmpty
 }
 
 // Pop removes and returns the newest element, or nil if empty. Used by a
@@ -151,13 +186,13 @@ func (l *Locked[T]) Push(x *T) {
 func (l *Locked[T]) Pop() *T {
 	l.mu.Lock()
 	defer l.mu.Unlock()
-	n := len(l.items)
-	if n == 0 {
+	if l.head == l.tail {
 		return nil
 	}
-	x := l.items[n-1]
-	l.items[n-1] = nil
-	l.items = l.items[:n-1]
+	l.tail--
+	i := l.tail & l.mask()
+	x := l.buf[i]
+	l.buf[i] = nil
 	return x
 }
 
@@ -166,12 +201,13 @@ func (l *Locked[T]) Pop() *T {
 func (l *Locked[T]) Steal() *T {
 	l.mu.Lock()
 	defer l.mu.Unlock()
-	if len(l.items) == 0 {
+	if l.head == l.tail {
 		return nil
 	}
-	x := l.items[0]
-	l.items[0] = nil
-	l.items = l.items[1:]
+	i := l.head & l.mask()
+	x := l.buf[i]
+	l.buf[i] = nil
+	l.head++
 	return x
 }
 
@@ -181,11 +217,19 @@ func (l *Locked[T]) Steal() *T {
 func (l *Locked[T]) StealMatch(match func(*T) bool) *T {
 	l.mu.Lock()
 	defer l.mu.Unlock()
-	for i, x := range l.items {
-		if match(x) {
-			l.items = append(l.items[:i], l.items[i+1:]...)
-			return x
+	for i := l.head; i < l.tail; i++ {
+		x := l.buf[i&l.mask()]
+		if !match(x) {
+			continue
 		}
+		// Close the gap by shifting the head-side prefix up one slot; the
+		// element order of the remainder is preserved.
+		for j := i; j > l.head; j-- {
+			l.buf[j&l.mask()] = l.buf[(j-1)&l.mask()]
+		}
+		l.buf[l.head&l.mask()] = nil
+		l.head++
+		return x
 	}
 	return nil
 }
@@ -193,22 +237,23 @@ func (l *Locked[T]) StealMatch(match func(*T) bool) *T {
 // StealHalf removes and returns the oldest ceil(n/2) elements (oldest
 // first), implementing Hendler & Shavit's steal-half policy, which the
 // paper cites as orthogonal to CAB and integrable with it. It returns nil
-// when the deque is empty.
+// when the deque is empty. The returned slice is the only allocation; the
+// ring itself just advances its head cursor.
 func (l *Locked[T]) StealHalf() []*T {
 	l.mu.Lock()
 	defer l.mu.Unlock()
-	n := len(l.items)
+	n := l.tail - l.head
 	if n == 0 {
 		return nil
 	}
 	k := (n + 1) / 2
 	out := make([]*T, k)
-	copy(out, l.items[:k])
-	copy(l.items, l.items[k:])
-	for i := n - k; i < n; i++ {
-		l.items[i] = nil
+	for j := int64(0); j < k; j++ {
+		i := (l.head + j) & l.mask()
+		out[j] = l.buf[i]
+		l.buf[i] = nil
 	}
-	l.items = l.items[:n-k]
+	l.head += k
 	return out
 }
 
@@ -216,7 +261,7 @@ func (l *Locked[T]) StealHalf() []*T {
 func (l *Locked[T]) Len() int {
 	l.mu.Lock()
 	defer l.mu.Unlock()
-	return len(l.items)
+	return int(l.tail - l.head)
 }
 
 // Empty reports whether the deque is currently empty.

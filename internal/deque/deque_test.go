@@ -356,6 +356,93 @@ func TestLockedStealHalf(t *testing.T) {
 	}
 }
 
+// TestLockedRingWraparound drives head/tail cursors far past several ring
+// sizes with interleaved operations, checking order against a reference.
+func TestLockedRingWraparound(t *testing.T) {
+	l := NewLocked[int]()
+	rng := xrand.New(11)
+	var ref []int
+	vals := make([]int, 0, 8192)
+	for op := 0; op < 8192; op++ {
+		switch rng.Intn(4) {
+		case 0, 1: // bias toward pushes so the ring grows and wraps
+			vals = append(vals, op)
+			l.Push(&vals[len(vals)-1])
+			ref = append(ref, op)
+		case 2:
+			got := l.Pop()
+			if len(ref) == 0 {
+				if got != nil {
+					t.Fatalf("Pop = %d on empty", *got)
+				}
+			} else {
+				want := ref[len(ref)-1]
+				ref = ref[:len(ref)-1]
+				if got == nil || *got != want {
+					t.Fatalf("Pop = %v, want %d", got, want)
+				}
+			}
+		case 3:
+			got := l.Steal()
+			if len(ref) == 0 {
+				if got != nil {
+					t.Fatalf("Steal = %d on empty", *got)
+				}
+			} else {
+				want := ref[0]
+				ref = ref[1:]
+				if got == nil || *got != want {
+					t.Fatalf("Steal = %v, want %d", got, want)
+				}
+			}
+		}
+		if l.Len() != len(ref) {
+			t.Fatalf("Len = %d, want %d", l.Len(), len(ref))
+		}
+	}
+}
+
+func TestLockedPushReportsEmptyTransition(t *testing.T) {
+	l := NewLocked[int]()
+	x, y := 1, 2
+	if !l.Push(&x) {
+		t.Fatal("first Push must report the empty→nonempty transition")
+	}
+	if l.Push(&y) {
+		t.Fatal("Push onto a nonempty deque must report false")
+	}
+	l.Pop()
+	l.Pop()
+	if !l.Push(&x) {
+		t.Fatal("Push after draining must report the transition again")
+	}
+}
+
+// TestLockedStealMatchMiddlePreservesOrder removes from the middle and
+// checks the remaining elements keep their relative order across the
+// ring-shift compaction.
+func TestLockedStealMatchMiddlePreservesOrder(t *testing.T) {
+	l := NewLocked[int]()
+	vals := []int{1, 2, 3, 4, 5, 6}
+	for i := range vals {
+		l.Push(&vals[i])
+	}
+	four := func(x *int) bool { return *x == 4 }
+	if got := l.StealMatch(four); got == nil || *got != 4 {
+		t.Fatalf("StealMatch = %v, want 4", got)
+	}
+	want := []int{1, 2, 3, 5, 6}
+	for _, w := range want {
+		got := l.Steal()
+		if got == nil || *got != w {
+			t.Fatalf("Steal = %v, want %d (order broken after middle removal)", got, w)
+		}
+	}
+	if !l.Empty() {
+		t.Fatal("deque should be empty")
+	}
+}
+
 func TestLockedStealMatch(t *testing.T) {
 	l := NewLocked[int]()
 	vals := []int{10, 21, 30, 41}

@@ -1,0 +1,108 @@
+// Package park provides the idle-worker parking lot of the real CAB
+// runtime: a futex-style eventcount built from a sync.Cond plus a global
+// "work published" epoch.
+//
+// Idle workers previously burned CPU in a spin → Gosched → Sleep(20µs)
+// loop, re-probing queues forever. With the lot, a worker that has found
+// nothing announces itself (Prepare), re-probes once more, and then blocks
+// (Park) until somebody publishes work. A publisher pays a single atomic
+// load on the fast path — when nobody is parked, Publish is free of locks,
+// wakeups and even of the epoch bump.
+//
+// The handshake is the classic eventcount protocol:
+//
+//	parker                          publisher
+//	------                          ---------
+//	e := lot.Prepare()  (waiters++) push work (visible to probes)
+//	probe queues again              if lot.Waiters() == 0: done
+//	found? lot.Cancel() and run     else: bump epoch, broadcast
+//	else:  lot.Park(e)
+//
+// Sequential consistency of the atomics gives the usual flag/flag
+// guarantee: either the publisher observes waiters >= 1 and wakes everyone
+// (the epoch bump happens under the mutex, so a parker between its epoch
+// check and cond.Wait cannot miss it), or the parker's second probe
+// happens after the push and finds the work itself.
+//
+// Publish wakes all waiters (broadcast, not signal): published work is not
+// claimable by every worker (squad confinement, head-worker-only inter
+// pools), so waking one arbitrary worker could strand a task. Waiters that
+// cannot use the work re-park immediately; the runtime keeps broadcasts
+// rare by publishing only on empty-to-nonempty pool transitions and state
+// changes (busy-flag clears, join completions, root arrival, shutdown).
+package park
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+// Lot is a parking lot for idle workers. Use NewLot.
+type Lot struct {
+	mu      sync.Mutex
+	cond    *sync.Cond
+	epoch   atomic.Uint64
+	waiters atomic.Int32
+}
+
+// NewLot returns an empty parking lot.
+func NewLot() *Lot {
+	l := &Lot{}
+	l.cond = sync.NewCond(&l.mu)
+	return l
+}
+
+// Prepare announces intent to park and returns the current epoch. The
+// caller must re-probe its work sources after Prepare and then call
+// exactly one of Park (with the returned epoch) or Cancel.
+func (l *Lot) Prepare() uint64 {
+	l.waiters.Add(1)
+	return l.epoch.Load()
+}
+
+// Cancel withdraws a Prepare (the re-probe found work after all).
+func (l *Lot) Cancel() {
+	l.waiters.Add(-1)
+}
+
+// Park blocks until the epoch moves past e. It returns immediately if a
+// publish already happened since the matching Prepare.
+func (l *Lot) Park(e uint64) {
+	l.mu.Lock()
+	for l.epoch.Load() == e {
+		l.cond.Wait()
+	}
+	l.mu.Unlock()
+	l.waiters.Add(-1)
+}
+
+// Publish wakes every parked worker if there are any. Call it after making
+// new work reachable (queue empty→nonempty transition, busy-flag clear,
+// join completion, root arrival). When nobody is parked it costs one
+// atomic load.
+func (l *Lot) Publish() {
+	if l.waiters.Load() == 0 {
+		return
+	}
+	l.wake()
+}
+
+// Wake unconditionally bumps the epoch and wakes every parked worker —
+// shutdown uses it so workers parked before the stop flag was set cannot
+// sleep through it.
+func (l *Lot) Wake() {
+	l.wake()
+}
+
+func (l *Lot) wake() {
+	l.mu.Lock()
+	l.epoch.Add(1)
+	l.cond.Broadcast()
+	l.mu.Unlock()
+}
+
+// Waiters reports how many workers are between Prepare and the end of
+// their Park/Cancel — monitoring only, stale by the time it returns.
+func (l *Lot) Waiters() int {
+	return int(l.waiters.Load())
+}

@@ -1,0 +1,134 @@
+package park
+
+import (
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func TestParkWakesOnPublish(t *testing.T) {
+	l := NewLot()
+	woke := make(chan struct{})
+	go func() {
+		e := l.Prepare()
+		l.Park(e)
+		close(woke)
+	}()
+	// Wait for the parker to register, then publish.
+	for l.Waiters() == 0 {
+		time.Sleep(time.Millisecond)
+	}
+	l.Publish()
+	select {
+	case <-woke:
+	case <-time.After(5 * time.Second):
+		t.Fatal("parked goroutine not woken by Publish")
+	}
+}
+
+func TestParkReturnsImmediatelyOnStaleEpoch(t *testing.T) {
+	l := NewLot()
+	e := l.Prepare()
+	l.Wake() // epoch moves past e while we are between Prepare and Park
+	done := make(chan struct{})
+	go func() {
+		l.Park(e)
+		close(done)
+	}()
+	select {
+	case <-done:
+	case <-time.After(5 * time.Second):
+		t.Fatal("Park blocked despite a publish after Prepare")
+	}
+}
+
+func TestCancelDropsWaiter(t *testing.T) {
+	l := NewLot()
+	l.Prepare()
+	if l.Waiters() != 1 {
+		t.Fatalf("Waiters = %d after Prepare, want 1", l.Waiters())
+	}
+	l.Cancel()
+	if l.Waiters() != 0 {
+		t.Fatalf("Waiters = %d after Cancel, want 0", l.Waiters())
+	}
+}
+
+func TestPublishWithoutWaitersIsCheapNoop(t *testing.T) {
+	l := NewLot()
+	before := l.epoch.Load()
+	l.Publish()
+	if l.epoch.Load() != before {
+		t.Fatal("Publish with no waiters should not bump the epoch")
+	}
+	l.Wake()
+	if l.epoch.Load() == before {
+		t.Fatal("Wake must always bump the epoch")
+	}
+}
+
+// TestNoLostWakeups is the protocol's regression test: consumers only park
+// after a failed probe under Prepare, producers publish after every queue
+// transition; every produced item must be consumed.
+func TestNoLostWakeups(t *testing.T) {
+	l := NewLot()
+	const (
+		producers = 4
+		consumers = 4
+		items     = 2_000
+	)
+	var queue atomic.Int64 // stands in for "visible work"
+	var consumed atomic.Int64
+	var wg sync.WaitGroup
+
+	stop := make(chan struct{})
+	for c := 0; c < consumers; c++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				if n := queue.Load(); n > 0 && queue.CompareAndSwap(n, n-1) {
+					consumed.Add(1)
+					continue
+				}
+				e := l.Prepare()
+				select {
+				case <-stop:
+					l.Cancel()
+					return
+				default:
+				}
+				if n := queue.Load(); n > 0 && queue.CompareAndSwap(n, n-1) {
+					l.Cancel()
+					consumed.Add(1)
+					continue
+				}
+				l.Park(e)
+			}
+		}()
+	}
+	for p := 0; p < producers; p++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < items/producers; i++ {
+				queue.Add(1)
+				l.Publish()
+			}
+		}()
+	}
+
+	deadline := time.After(30 * time.Second)
+	for consumed.Load() < items {
+		select {
+		case <-deadline:
+			t.Fatalf("consumed %d of %d items; lost wakeup?", consumed.Load(), items)
+		default:
+			time.Sleep(time.Millisecond)
+		}
+	}
+	close(stop)
+	l.Wake()
+	wg.Wait()
+}

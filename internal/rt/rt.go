@@ -17,6 +17,14 @@
 // policies survive: intra-socket children go to the spawning worker's own
 // deque and are executed LIFO (depth-first, the locality child-first
 // buys), inter-socket children go parent-first to squad inter pools.
+//
+// The steady-state fast path is allocation-free and contention-free (see
+// DESIGN.md, "Runtime fast path"): task frames are recycled through
+// per-worker freelists with a shared overflow pool, the scheduler-event
+// counters and squad busy flags live in cache-line-padded per-worker /
+// per-squad shards, the inter pools are growable ring buffers, and idle
+// workers park on an eventcount (internal/park) instead of spinning, so
+// they cost no CPU and wake in microseconds when work is published.
 package rt
 
 import (
@@ -25,14 +33,33 @@ import (
 	"runtime/debug"
 	"sync"
 	"sync/atomic"
-	"time"
 
 	"cab/internal/core"
 	"cab/internal/deque"
+	"cab/internal/park"
 	"cab/internal/topology"
 	"cab/internal/work"
 	"cab/internal/xrand"
 )
+
+// cacheLine is the padding granularity for per-worker shards: two 64-byte
+// lines, so adjacent-line hardware prefetchers cannot re-couple neighbours.
+const cacheLine = 128
+
+// Frame-freelist tuning: a worker keeps at most frameCacheCap recycled
+// frames; on overflow it dumps frameBatch of them into the shared overflow
+// pool, and an empty worker refills by taking up to frameBatch at once.
+// Batching keeps the shared pool's mutex off the per-spawn path even when
+// stealing migrates frames between workers permanently (producers reclaim
+// what consumers recycle).
+const (
+	frameCacheCap = 256
+	frameBatch    = 128
+)
+
+// Idle workers probe this many rounds (spinning, then yielding) before
+// parking on the runtime's lot.
+const idleSpins = 32
 
 // Config configures a Runtime.
 type Config struct {
@@ -57,7 +84,10 @@ type Stats struct {
 
 // task is a frame in the run DAG. The paper's cilk2c adds level, parent
 // and inter_counter to each frame (§IV-B); pending is the join counter
-// covering children of both tiers.
+// covering children of both tiers. Frames are recycled through per-worker
+// freelists: execute returns a frame to its worker's cache after the
+// join completes, and spawn reuses it for the next child — steady-state
+// spawning performs no heap allocation.
 type task struct {
 	fn      work.Fn
 	parent  *task
@@ -66,6 +96,36 @@ type task struct {
 	hint    int
 	pending atomic.Int32
 	done    chan struct{} // non-nil on the root only
+	c       ctx           // embedded so execute needs no per-task context allocation
+}
+
+// statShard is one worker's private event counters, padded so two workers
+// never share a cache line. The counters are atomics only because Stats()
+// may aggregate them concurrently; each is written by a single worker, so
+// the RMWs are uncontended.
+type statShard struct {
+	spawns       atomic.Int64
+	interSpawns  atomic.Int64
+	stealsIntra  atomic.Int64
+	stealsInter  atomic.Int64
+	failedSteals atomic.Int64
+	helps        atomic.Int64
+	_            [cacheLine - 48]byte
+}
+
+// squadFlag is a per-squad busy_state flag on its own cache line; the
+// unpadded []atomic.Bool packed all squads into one line, so every
+// busy-flag write invalidated every squad's cached copy (false sharing).
+type squadFlag struct {
+	busy atomic.Bool
+	_    [cacheLine - 1]byte
+}
+
+// frameCache is a worker-private stack of recycled task frames, padded so
+// neighbouring workers' freelist headers do not false-share.
+type frameCache struct {
+	free []*task
+	_    [cacheLine - 24]byte
 }
 
 // Runtime is a running CAB scheduler instance.
@@ -73,21 +133,32 @@ type Runtime struct {
 	topo topology.Topology
 	bl   int
 
-	intra []*deque.Deque[task]
-	inter []*deque.Locked[task]
-	busy  []atomic.Bool
+	intra  []*deque.Deque[task]
+	inter  []*deque.Locked[task]
+	busy   []squadFlag
+	stats  []statShard
+	frames []frameCache
+
+	// matchFor[sq] is the prebuilt affinity predicate head workers use
+	// against other squads' inter pools (hoisted so steal probes do not
+	// allocate a closure).
+	matchFor []func(*task) bool
+
+	// overflow is the shared frame pool: workers dump surplus recycled
+	// frames here in batches and refill from it when their cache is empty.
+	overflowMu sync.Mutex
+	overflow   []*task
+
+	lot *park.Lot
 
 	workers int
 	stopped atomic.Bool
 	wg      sync.WaitGroup
 
-	spawns       atomic.Int64
-	interSpawns  atomic.Int64
-	stealsIntra  atomic.Int64
-	stealsInter  atomic.Int64
-	failedSteals atomic.Int64
-	helps        atomic.Int64
-
+	// runMu serializes root submission against Close, so Run can never
+	// send on a closed roots channel (Run checks stopped and sends while
+	// holding it; Close closes the channel while holding it).
+	runMu sync.Mutex
 	roots chan *task // work submitted via Run, delivered to worker 0's squad
 	seed  uint64
 
@@ -130,8 +201,9 @@ func New(cfg Config) (*Runtime, error) {
 		topo:    topo,
 		bl:      cfg.BL,
 		workers: topo.Workers(),
-		roots:   make(chan *task),
+		roots:   make(chan *task, 1),
 		seed:    cfg.Seed,
+		lot:     park.NewLot(),
 	}
 	if topo.Sockets == 1 {
 		r.bl = 0 // Algorithm II step 2: single socket degenerates to Cilk
@@ -144,7 +216,17 @@ func New(cfg Config) (*Runtime, error) {
 	for i := range r.inter {
 		r.inter[i] = deque.NewLocked[task]()
 	}
-	r.busy = make([]atomic.Bool, topo.Sockets)
+	r.busy = make([]squadFlag, topo.Sockets)
+	r.stats = make([]statShard, r.workers)
+	r.frames = make([]frameCache, r.workers)
+	for i := range r.frames {
+		r.frames[i].free = make([]*task, 0, frameCacheCap)
+	}
+	r.matchFor = make([]func(*task) bool, topo.Sockets)
+	for sq := range r.matchFor {
+		sq := sq
+		r.matchFor[sq] = func(x *task) bool { return x.hint < 0 || x.hint == sq }
+	}
 	for w := 0; w < r.workers; w++ {
 		r.wg.Add(1)
 		go r.workerLoop(w)
@@ -158,16 +240,75 @@ func (r *Runtime) BL() int { return r.bl }
 // Topology returns the logical machine.
 func (r *Runtime) Topology() topology.Topology { return r.topo }
 
-// Stats snapshots the event counters.
+// Stats aggregates the per-worker event shards into one snapshot. The sum
+// is not a single linearizable cut across workers — fine for monitoring,
+// and it keeps the hot path free of shared contended counters.
 func (r *Runtime) Stats() Stats {
-	return Stats{
-		Spawns:       r.spawns.Load(),
-		InterSpawns:  r.interSpawns.Load(),
-		StealsIntra:  r.stealsIntra.Load(),
-		StealsInter:  r.stealsInter.Load(),
-		FailedSteals: r.failedSteals.Load(),
-		Helps:        r.helps.Load(),
+	var s Stats
+	for i := range r.stats {
+		sh := &r.stats[i]
+		s.Spawns += sh.spawns.Load()
+		s.InterSpawns += sh.interSpawns.Load()
+		s.StealsIntra += sh.stealsIntra.Load()
+		s.StealsInter += sh.stealsInter.Load()
+		s.FailedSteals += sh.failedSteals.Load()
+		s.Helps += sh.helps.Load()
 	}
+	return s
+}
+
+// newFrame hands out a task frame from the worker's freelist, refilling
+// from the shared overflow pool in batches; only a fully drained runtime
+// allocates.
+func (r *Runtime) newFrame(worker int) *task {
+	fc := &r.frames[worker]
+	if n := len(fc.free); n > 0 {
+		t := fc.free[n-1]
+		fc.free[n-1] = nil
+		fc.free = fc.free[:n-1]
+		return t
+	}
+	r.overflowMu.Lock()
+	if n := len(r.overflow); n > 0 {
+		k := n - frameBatch
+		if k < 0 {
+			k = 0
+		}
+		take := r.overflow[k:n]
+		fc.free = append(fc.free, take[:len(take)-1]...)
+		t := take[len(take)-1]
+		for i := range take {
+			take[i] = nil
+		}
+		r.overflow = r.overflow[:k]
+		r.overflowMu.Unlock()
+		return t
+	}
+	r.overflowMu.Unlock()
+	return new(task)
+}
+
+// freeFrame recycles a completed frame. Callers must guarantee no live
+// references remain: execute calls it only after the frame's implicit sync
+// completed, so every child has already decremented the join counter.
+func (r *Runtime) freeFrame(worker int, t *task) {
+	t.fn = nil
+	t.parent = nil
+	t.done = nil
+	fc := &r.frames[worker]
+	if len(fc.free) < frameCacheCap {
+		fc.free = append(fc.free, t)
+		return
+	}
+	// Cache full: keep the hot top half local, dump the rest to overflow.
+	k := len(fc.free) - frameBatch
+	r.overflowMu.Lock()
+	r.overflow = append(r.overflow, fc.free[k:]...)
+	r.overflowMu.Unlock()
+	for i := k; i < len(fc.free); i++ {
+		fc.free[i] = nil
+	}
+	fc.free = append(fc.free[:k], t)
 }
 
 // Run executes fn as the initial task (level 0) and blocks until it and
@@ -175,16 +316,23 @@ func (r *Runtime) Stats() Stats {
 // Run may be called repeatedly (but not concurrently from multiple
 // goroutines, matching a Cilk program's single main).
 func (r *Runtime) Run(fn work.Fn) error {
-	if r.stopped.Load() {
-		return fmt.Errorf("rt: runtime is closed")
-	}
 	rootTier := core.TierIntra
 	if r.bl > 0 {
 		rootTier = core.TierInter
 	}
-	root := &task{fn: fn, level: 0, tier: rootTier, hint: -1, done: make(chan struct{})}
-	r.roots <- root
-	<-root.done
+	// done is kept in a local: the frame is recycled the moment the root
+	// completes, so Run must not read root.done after submission.
+	done := make(chan struct{})
+	root := &task{fn: fn, level: 0, tier: rootTier, hint: -1, done: done}
+	r.runMu.Lock()
+	if r.stopped.Load() {
+		r.runMu.Unlock()
+		return fmt.Errorf("rt: runtime is closed")
+	}
+	r.roots <- root // buffered: the previous root was consumed before its done closed
+	r.runMu.Unlock()
+	r.lot.Publish()
+	<-done
 	r.panicMu.Lock()
 	defer r.panicMu.Unlock()
 	if len(r.panics) > 0 {
@@ -197,14 +345,19 @@ func (r *Runtime) Run(fn work.Fn) error {
 
 // Close stops the workers. Outstanding Run calls must have returned.
 func (r *Runtime) Close() {
+	r.runMu.Lock()
 	if r.stopped.Swap(true) {
+		r.runMu.Unlock()
 		return
 	}
 	close(r.roots)
+	r.runMu.Unlock()
+	r.lot.Wake() // parked workers must observe the stop
 	r.wg.Wait()
 }
 
-// ctx is the work.Proc a task body sees.
+// ctx is the work.Proc a task body sees. It is embedded in the task frame,
+// so binding it costs no allocation.
 type ctx struct {
 	r      *Runtime
 	worker int
@@ -225,102 +378,131 @@ func (c *ctx) Load(uint64, int64)     {}
 func (c *ctx) Store(uint64, int64)    {}
 func (c *ctx) Prefetch(uint64, int64) {}
 
-func (c *ctx) Spawn(fn work.Fn)                { c.spawn(fn, -1) }
-func (c *ctx) SpawnHint(squad int, fn work.Fn) { c.spawn(fn, squad) }
+func (c *ctx) Spawn(fn work.Fn) { c.spawn(fn, -1) }
+
+// SpawnHint validates the squad hint explicitly: anything outside
+// [0, Squads) — negative or too large — is clamped to "no preference", so
+// the child is scheduled exactly like a plain Spawn (it lands in the
+// spawner's squad pool but carries no affinity for matched stealing).
+func (c *ctx) SpawnHint(squad int, fn work.Fn) {
+	if squad < 0 || squad >= c.r.topo.Sockets {
+		squad = -1
+	}
+	c.spawn(fn, squad)
+}
 
 func (c *ctx) spawn(fn work.Fn, hint int) {
 	r := c.r
-	child := &task{
-		fn:     fn,
-		parent: c.t,
-		level:  c.t.level + 1,
-		tier:   core.ChildTier(c.t.level, r.bl),
-		hint:   hint,
-	}
+	w := c.worker
+	child := r.newFrame(w)
+	child.fn = fn
+	child.parent = c.t
+	child.level = c.t.level + 1
+	child.tier = core.ChildTier(c.t.level, r.bl)
+	child.hint = hint
 	c.t.pending.Add(1)
-	r.spawns.Add(1)
+	sh := &r.stats[w]
+	sh.spawns.Add(1)
 	if child.tier == core.TierInter {
-		r.interSpawns.Add(1)
-		sq := r.topo.SquadOf(c.worker)
+		sh.interSpawns.Add(1)
+		sq := r.topo.SquadOf(w)
 		if hint >= 0 && hint < r.topo.Sockets {
 			sq = hint
 		}
-		r.inter[sq].Push(child)
+		if r.inter[sq].Push(child) {
+			r.lot.Publish() // pool went empty→nonempty: wake parked heads
+		}
 		return
 	}
-	r.intra[c.worker].Push(child)
+	d := r.intra[w]
+	wasEmpty := d.Empty()
+	d.Push(child)
+	if wasEmpty {
+		r.lot.Publish() // deque went empty→nonempty: wake parked thieves
+	}
 }
 
 // Sync blocks until all of this task's children are done, helping by
-// executing queued tasks meanwhile.
+// executing queued tasks meanwhile; when no help is findable it parks on
+// the runtime's lot until new work or a join completion is published.
 func (c *ctx) Sync() {
 	r := c.r
-	interSync := c.t.tier == core.TierInter && c.t.level < r.bl
+	t := c.t
+	if t.pending.Load() == 0 {
+		return
+	}
+	interSync := t.tier == core.TierInter && t.level < r.bl
 	sq := r.topo.SquadOf(c.worker)
 	if interSync {
 		// The frame suspends at an inter-tier sync: the squad may take
 		// another inter-socket task meanwhile (see simsched.CAB).
-		r.busy[sq].Store(false)
+		r.clearBusy(sq)
 	}
-	backoff := 0
-	for c.t.pending.Load() > 0 {
-		var t *task
-		if interSync || r.bl == 0 {
-			// Blocked at an inter-tier sync (or single-tier mode): the
-			// worker is fully free per Algorithm I.
-			t = r.findTask(c.worker, c.rng)
-		} else {
-			// A leaf inter-socket or intra-socket task joining its intra
-			// children helps only within its squad, preserving the
-			// one-inter-task-per-squad discipline.
-			t = r.findIntra(c.worker, c.rng)
-		}
-		if t != nil {
-			r.helps.Add(1)
-			r.execute(c.worker, t, c.rng)
-			backoff = 0
+	idle := 0
+	for t.pending.Load() > 0 {
+		if tk := r.syncFind(c.worker, interSync, c.rng); tk != nil {
+			r.stats[c.worker].helps.Add(1)
+			r.execute(c.worker, tk, c.rng)
+			idle = 0
 			continue
 		}
-		backoff = wait(backoff)
+		if idle < idleSpins {
+			idle++
+			if idle > 2 {
+				runtime.Gosched()
+			}
+			continue
+		}
+		// Nothing to help with: park until a spawn, busy-flag clear or
+		// join completion is published, re-probing once under Prepare.
+		e := r.lot.Prepare()
+		if t.pending.Load() == 0 {
+			r.lot.Cancel()
+			break
+		}
+		if tk := r.syncFind(c.worker, interSync, c.rng); tk != nil {
+			r.lot.Cancel()
+			r.stats[c.worker].helps.Add(1)
+			r.execute(c.worker, tk, c.rng)
+			idle = 0
+			continue
+		}
+		r.lot.Park(e)
+		idle = 0
 	}
 	if interSync {
-		r.busy[sq].Store(true) // the frame resumes as the squad's inter task
+		r.busy[sq].busy.Store(true) // the frame resumes as the squad's inter task
 	}
 }
 
-// wait implements the idle backoff: spin, yield, then sleep briefly.
-func wait(backoff int) int {
-	switch {
-	case backoff < 4:
-		// spin
-	case backoff < 16:
-		runtime.Gosched()
-	default:
-		time.Sleep(20 * time.Microsecond)
+// syncFind selects the helping mode of a blocked Sync per Algorithm I.
+func (r *Runtime) syncFind(w int, interSync bool, rng *xrand.Source) *task {
+	if interSync || r.bl == 0 {
+		// Blocked at an inter-tier sync (or single-tier mode): the worker
+		// is fully free.
+		return r.findTask(w, rng)
 	}
-	if backoff < 1<<20 {
-		backoff++
-	}
-	return backoff
+	// A leaf inter-socket or intra-socket task joining its intra children
+	// helps only within its squad, preserving the one-inter-task-per-squad
+	// discipline.
+	return r.findIntra(w, rng)
+}
+
+// clearBusy releases a squad's busy_state and publishes the transition:
+// the squad's head may be parked waiting for the pool to become claimable.
+func (r *Runtime) clearBusy(sq int) {
+	r.busy[sq].busy.Store(false)
+	r.lot.Publish()
 }
 
 // execute runs one task frame and settles its completion. A panicking
 // body is recovered and recorded (surfaced by Run); the frame still joins
-// its children so the DAG's counters stay consistent.
+// its children so the DAG's counters stay consistent. The frame is
+// recycled before the parent is notified — by then nothing references it.
 func (r *Runtime) execute(worker int, t *task, rng *xrand.Source) {
-	c := &ctx{r: r, worker: worker, t: t, rng: rng}
-	func() {
-		defer func() {
-			if v := recover(); v != nil {
-				r.panicMu.Lock()
-				r.panics = append(r.panics, &TaskPanic{
-					Value: v, Level: t.level, Stack: string(debug.Stack()),
-				})
-				r.panicMu.Unlock()
-			}
-		}()
-		t.fn(c)
-	}()
+	c := &t.c
+	c.r, c.worker, c.t, c.rng = r, worker, t, rng
+	r.runBody(t, c)
 	// Implicit final sync: a frame is not done until its children are
 	// (Cilk inserts one before every procedure return).
 	if t.pending.Load() > 0 {
@@ -328,21 +510,39 @@ func (r *Runtime) execute(worker int, t *task, rng *xrand.Source) {
 	}
 	if t.tier == core.TierInter {
 		// Algorithm II (c): a returning inter-socket task frees its squad.
-		r.busy[r.topo.SquadOf(worker)].Store(false)
+		r.clearBusy(r.topo.SquadOf(worker))
 	}
-	if t.parent != nil {
-		t.parent.pending.Add(-1)
+	parent, done := t.parent, t.done
+	r.freeFrame(worker, t)
+	if parent != nil {
+		if parent.pending.Add(-1) == 0 {
+			r.lot.Publish() // the joiner may be parked in Sync
+		}
 	}
-	if t.done != nil {
-		close(t.done)
+	if done != nil {
+		close(done)
 	}
 }
 
-// workerLoop is Algorithm I driven forever.
+// runBody invokes the task function under the panic barrier.
+func (r *Runtime) runBody(t *task, c *ctx) {
+	defer func() {
+		if v := recover(); v != nil {
+			r.panicMu.Lock()
+			r.panics = append(r.panics, &TaskPanic{
+				Value: v, Level: t.level, Stack: string(debug.Stack()),
+			})
+			r.panicMu.Unlock()
+		}
+	}()
+	t.fn(c)
+}
+
+// workerLoop is Algorithm I driven forever: probe, then park.
 func (r *Runtime) workerLoop(w int) {
 	defer r.wg.Done()
 	rng := xrand.New(r.seed + uint64(w)*0x9e3779b97f4a7c15 + 1)
-	backoff := 0
+	idle := 0
 	for {
 		// Worker 0 accepts new root tasks (Algorithm II step 3).
 		if w == 0 {
@@ -351,11 +551,8 @@ func (r *Runtime) workerLoop(w int) {
 				if !ok {
 					return
 				}
-				if root.tier == core.TierInter {
-					r.busy[0].Store(true)
-				}
-				r.execute(w, root, rng)
-				backoff = 0
+				r.runRoot(w, root, rng)
+				idle = 0
 				continue
 			default:
 			}
@@ -364,11 +561,51 @@ func (r *Runtime) workerLoop(w int) {
 		}
 		if t := r.findTask(w, rng); t != nil {
 			r.execute(w, t, rng)
-			backoff = 0
+			idle = 0
 			continue
 		}
-		backoff = wait(backoff)
+		if idle < idleSpins {
+			idle++
+			if idle > 2 {
+				runtime.Gosched()
+			}
+			continue
+		}
+		// Idle: announce, re-probe every source once, then park.
+		e := r.lot.Prepare()
+		if w == 0 {
+			select {
+			case root, ok := <-r.roots:
+				r.lot.Cancel()
+				if !ok {
+					return
+				}
+				r.runRoot(w, root, rng)
+				idle = 0
+				continue
+			default:
+			}
+		} else if r.stopped.Load() {
+			r.lot.Cancel()
+			return
+		}
+		if t := r.findTask(w, rng); t != nil {
+			r.lot.Cancel()
+			r.execute(w, t, rng)
+			idle = 0
+			continue
+		}
+		r.lot.Park(e)
+		idle = 0
 	}
+}
+
+// runRoot executes a task submitted through Run on worker 0.
+func (r *Runtime) runRoot(w int, root *task, rng *xrand.Source) {
+	if root.tier == core.TierInter {
+		r.busy[0].busy.Store(true)
+	}
+	r.execute(w, root, rng)
 }
 
 // findTask implements Algorithm I: own intra pool; within-squad intra
@@ -382,14 +619,14 @@ func (r *Runtime) findTask(w int, rng *xrand.Source) *task {
 		return r.stealAny(w, rng)
 	}
 	sq := r.topo.SquadOf(w)
-	if r.busy[sq].Load() {
+	if r.busy[sq].busy.Load() {
 		return r.stealIntraFrom(w, sq, rng)
 	}
 	if !r.topo.IsHead(w) {
 		return nil
 	}
 	if t := r.inter[sq].Pop(); t != nil {
-		r.busy[sq].Store(true)
+		r.busy[sq].busy.Store(true)
 		return t
 	}
 	m := r.topo.Sockets
@@ -400,18 +637,16 @@ func (r *Runtime) findTask(w int, rng *xrand.Source) *task {
 	if victim >= sq {
 		victim++
 	}
-	t := r.inter[victim].StealMatch(func(x *task) bool {
-		return x.hint < 0 || x.hint == sq
-	})
+	t := r.inter[victim].StealMatch(r.matchFor[sq])
 	if t == nil {
 		t = r.inter[victim].Steal()
 	}
 	if t != nil {
-		r.stealsInter.Add(1)
-		r.busy[sq].Store(true)
+		r.stats[w].stealsInter.Add(1)
+		r.busy[sq].busy.Store(true)
 		return t
 	}
-	r.failedSteals.Add(1)
+	r.stats[w].failedSteals.Add(1)
 	return nil
 }
 
@@ -435,10 +670,10 @@ func (r *Runtime) stealIntraFrom(w, sq int, rng *xrand.Source) *task {
 		victim++
 	}
 	if t := r.intra[victim].Steal(); t != nil {
-		r.stealsIntra.Add(1)
+		r.stats[w].stealsIntra.Add(1)
 		return t
 	}
-	r.failedSteals.Add(1)
+	r.stats[w].failedSteals.Add(1)
 	return nil
 }
 
@@ -453,9 +688,9 @@ func (r *Runtime) stealAny(w int, rng *xrand.Source) *task {
 		victim++
 	}
 	if t := r.intra[victim].Steal(); t != nil {
-		r.stealsIntra.Add(1)
+		r.stats[w].stealsIntra.Add(1)
 		return t
 	}
-	r.failedSteals.Add(1)
+	r.stats[w].failedSteals.Add(1)
 	return nil
 }

@@ -1,6 +1,8 @@
 package rt
 
 import (
+	"fmt"
+	"runtime"
 	"sync"
 	"sync/atomic"
 	"testing"
@@ -324,6 +326,195 @@ func TestPanicErrorString(t *testing.T) {
 	p := &TaskPanic{Value: "x", Level: 2}
 	if p.Error() == "" {
 		t.Fatal("empty error string")
+	}
+}
+
+var noopFn work.Fn = func(work.Proc) {}
+
+// TestSpawnSyncZeroAlloc is the fast-path regression test of the frame
+// freelist: steady-state spawn/sync on a warm runtime must perform zero
+// heap allocations per task frame. A 1x1 machine makes the measurement
+// deterministic (no concurrent thieves migrating frames mid-count); the
+// freelist's overflow pool covers the multi-worker case.
+func TestSpawnSyncZeroAlloc(t *testing.T) {
+	top := topology.Topology{
+		Sockets: 1, CoresPerSocket: 1, LineBytes: 64,
+		L3Bytes: 1 << 20, L3Assoc: 16,
+	}
+	r := newRT(t, top, 0)
+	var allocs float64
+	err := r.Run(func(p work.Proc) {
+		// Warm: populate the freelist and grow the deque ring.
+		for i := 0; i < 1024; i++ {
+			p.Spawn(noopFn)
+			if i&255 == 255 {
+				p.Sync()
+			}
+		}
+		p.Sync()
+		body := func() {
+			for i := 0; i < 64; i++ {
+				p.Spawn(noopFn)
+			}
+			p.Sync()
+		}
+		allocs = testing.AllocsPerRun(100, body)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if allocs != 0 {
+		t.Fatalf("steady-state spawn/sync allocated %.2f objects per 64-task batch, want 0", allocs)
+	}
+}
+
+// TestRunCloseRace is the regression test for the Run/Close race: Run used
+// to check stopped and then send on the roots channel unguarded, so a
+// concurrent Close could panic the send on a closed channel. Run must now
+// either execute the task or return the "closed" error — never panic.
+func TestRunCloseRace(t *testing.T) {
+	for i := 0; i < 100; i++ {
+		r, err := New(Config{Topo: quadTopo(), BL: 0, Seed: uint64(i)})
+		if err != nil {
+			t.Fatal(err)
+		}
+		start := make(chan struct{})
+		done := make(chan struct{})
+		go func() {
+			defer close(done)
+			<-start
+			for {
+				if err := r.Run(func(work.Proc) {}); err != nil {
+					return // runtime closed underneath us: the legal outcome
+				}
+			}
+		}()
+		close(start)
+		if i%2 == 0 {
+			runtime.Gosched()
+		}
+		r.Close()
+		<-done
+		if err := r.Run(func(work.Proc) {}); err == nil {
+			t.Fatal("Run after Close must fail")
+		}
+	}
+}
+
+// TestSpawnHintClamped: out-of-range squad hints (negative or >= Sockets)
+// are explicitly clamped to "no preference" instead of silently falling
+// through — the task still runs, lands in the spawner's squad pool, and
+// carries no affinity.
+func TestSpawnHintClamped(t *testing.T) {
+	r := newRT(t, quadTopo(), 1)
+	var ran atomic.Int64
+	err := r.Run(func(p work.Proc) {
+		for _, hint := range []int{-1, -99, 2, 3, 1 << 30} {
+			p.SpawnHint(hint, func(q work.Proc) { ran.Add(1) })
+		}
+		p.Sync()
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ran.Load() != 5 {
+		t.Fatalf("ran %d hinted tasks, want 5", ran.Load())
+	}
+	if got := r.Stats().InterSpawns; got != 5 {
+		t.Fatalf("InterSpawns = %d, want 5 (clamped hints still spawn inter-tier)", got)
+	}
+}
+
+// TestPanicDoesNotLeakAcrossRuns: a panic surfaced by Run N must not
+// resurface from Run N+1 on the same runtime.
+func TestPanicDoesNotLeakAcrossRuns(t *testing.T) {
+	r := newRT(t, quadTopo(), 1)
+	for round := 0; round < 4; round++ {
+		err := r.Run(func(p work.Proc) {
+			for i := 0; i < 4; i++ {
+				i := i
+				p.Spawn(func(q work.Proc) {
+					if i == 2 {
+						panic(fmt.Sprintf("round %d", round))
+					}
+				})
+			}
+			p.Sync()
+		})
+		if err == nil {
+			t.Fatalf("round %d: expected panic error", round)
+		}
+		if want := fmt.Sprintf("round %d", round); err.(*TaskPanic).Value != want {
+			t.Fatalf("round %d: got stale panic %v, want %q", round, err.(*TaskPanic).Value, want)
+		}
+		// The intervening clean run must report no error at all.
+		if err := r.Run(func(p work.Proc) {
+			p.Spawn(noopFn)
+			p.Sync()
+		}); err != nil {
+			t.Fatalf("round %d: clean run inherited panic: %v", round, err)
+		}
+	}
+}
+
+// TestPanicInInterTaskReleasesBusy: when an inter-tier task panics, its
+// squad's busy_state must still be released (execute's recover runs before
+// the busy clear), so the squad can accept inter-socket work afterwards.
+func TestPanicInInterTaskReleasesBusy(t *testing.T) {
+	r := newRT(t, quadTopo(), 1)
+	err := r.Run(func(p work.Proc) {
+		for i := 0; i < 4; i++ {
+			p.Spawn(func(q work.Proc) { panic("inter boom") }) // level 1 == BL: leaf inter tasks
+		}
+		p.Sync()
+	})
+	if err == nil {
+		t.Fatal("expected panic error")
+	}
+	if lvl := err.(*TaskPanic).Level; lvl != 1 {
+		t.Fatalf("panic level = %d, want 1 (inter tier)", lvl)
+	}
+	for sq := range r.busy {
+		if r.busy[sq].busy.Load() {
+			t.Fatalf("squad %d busy flag leaked after inter-task panic", sq)
+		}
+	}
+	// The squads must still process inter-tier work.
+	var ran atomic.Int64
+	if err := r.Run(func(p work.Proc) {
+		for i := 0; i < 8; i++ {
+			p.SpawnHint(i%2, func(q work.Proc) { ran.Add(1) })
+		}
+		p.Sync()
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if ran.Load() != 8 {
+		t.Fatalf("ran %d inter tasks after panic, want 8", ran.Load())
+	}
+}
+
+// TestFrameRecyclingAcrossRuns: spawning far more tasks than the freelist
+// capacity across repeated runs must neither wedge nor miscount — frames
+// cycle through worker caches and the shared overflow pool.
+func TestFrameRecyclingAcrossRuns(t *testing.T) {
+	r := newRT(t, quadTopo(), 2)
+	for round := 0; round < 3; round++ {
+		var n atomic.Int64
+		if err := r.Run(func(p work.Proc) {
+			for i := 0; i < 4096; i++ {
+				p.Spawn(func(q work.Proc) { n.Add(1) })
+				if i&127 == 127 {
+					p.Sync()
+				}
+			}
+			p.Sync()
+		}); err != nil {
+			t.Fatal(err)
+		}
+		if n.Load() != 4096 {
+			t.Fatalf("round %d: ran %d tasks, want 4096", round, n.Load())
+		}
 	}
 }
 

@@ -1,0 +1,151 @@
+// Package rtbench holds the real-runtime microbenchmark bodies shared by
+// `go test -bench` (the wrappers in the repo root's bench_test.go) and
+// `cabbench -rtbench`, so the fast-path numbers recorded in EXPERIMENTS.md
+// and scripts/bench.sh's BENCH_rt.json come from a single implementation.
+//
+// The three benchmarks target the three hot structures of internal/rt:
+//
+//   - SpawnSync: the task-frame path (spawn, queue, execute, join) on a
+//     warm runtime — the paper's per-spawn overhead, dominated by frame
+//     allocation before the freelist change and by queue traffic after.
+//   - StealThroughput: a full binary fork-join tree on a 2x2 machine, the
+//     workload shape that makes workers steal; reports observed steals/op.
+//   - InterPool: the per-squad inter-socket pool (deque.Locked) under the
+//     head-worker traffic pattern: batched pushes drained by a mix of
+//     hint-matched steals, plain steals and owner pops.
+package rtbench
+
+import (
+	"testing"
+
+	"cab/internal/deque"
+	"cab/internal/rt"
+	"cab/internal/topology"
+	"cab/internal/work"
+)
+
+func quadTopo() topology.Topology {
+	return topology.Topology{
+		Sockets: 2, CoresPerSocket: 2, LineBytes: 64,
+		L3Bytes: 1 << 20, L3Assoc: 16,
+	}
+}
+
+var noop work.Fn = func(work.Proc) {}
+
+// SpawnSync measures one spawn plus its share of a 256-wide sync on a warm
+// runtime (2 squads x 2 workers, BL = 0). allocs/op is the headline number:
+// steady state must not allocate a task frame per spawn.
+func SpawnSync(b *testing.B) {
+	r, err := rt.New(rt.Config{Topo: quadTopo(), BL: 0, Seed: 1})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer r.Close()
+	// Warm the runtime: grow deque rings and populate frame freelists.
+	if err := r.Run(func(p work.Proc) {
+		for i := 0; i < 2048; i++ {
+			p.Spawn(noop)
+			if i&255 == 255 {
+				p.Sync()
+			}
+		}
+		p.Sync()
+	}); err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	if err := r.Run(func(p work.Proc) {
+		for i := 0; i < b.N; i++ {
+			p.Spawn(noop)
+			if i&255 == 255 {
+				p.Sync()
+			}
+		}
+		p.Sync()
+	}); err != nil {
+		b.Fatal(err)
+	}
+}
+
+// StealThroughput runs a complete binary fork-join tree (2^11 leaves) per
+// iteration on a 2x2 machine at BL = 0 — the shape that makes every worker
+// steal to get started — and reports the steal rate it observed.
+func StealThroughput(b *testing.B) {
+	r, err := rt.New(rt.Config{Topo: quadTopo(), BL: 0, Seed: 1})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer r.Close()
+	var tree func(d int) work.Fn
+	tree = func(d int) work.Fn {
+		return func(p work.Proc) {
+			if d == 0 {
+				spin(64)
+				return
+			}
+			p.Spawn(tree(d - 1))
+			p.Spawn(tree(d - 1))
+			p.Sync()
+		}
+	}
+	const depth = 11
+	if err := r.Run(tree(depth)); err != nil { // warm
+		b.Fatal(err)
+	}
+	before := r.Stats()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := r.Run(tree(depth)); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.StopTimer()
+	after := r.Stats()
+	steals := after.StealsIntra + after.StealsInter - before.StealsIntra - before.StealsInter
+	b.ReportMetric(float64(steals)/float64(b.N), "steals/op")
+	b.ReportMetric(float64(uint64(2)<<depth-1), "tasks/op")
+}
+
+// spin burns a few cycles of real CPU so stolen leaves have weight.
+func spin(n int) {
+	x := 1.0
+	for i := 0; i < n; i++ {
+		x = x*1.0000001 + 0.5
+	}
+	_ = x
+}
+
+// InterPool drives one per-squad inter pool through the head-worker traffic
+// pattern: each iteration pushes 64 hinted tasks, removes 16 by hint match
+// (hitting the middle of the pool, the worst case for the old shifting
+// implementation), steals 16 from the head and pops the rest from the tail.
+func InterPool(b *testing.B) {
+	l := deque.NewLocked[int]()
+	vals := make([]int, 64)
+	for i := range vals {
+		vals[i] = i % 4
+	}
+	wantHint := func(x *int) bool { return *x == 3 }
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for j := 0; j < 64; j++ {
+			l.Push(&vals[j])
+		}
+		for j := 0; j < 16; j++ {
+			if l.StealMatch(wantHint) == nil {
+				b.Fatal("hint match missed")
+			}
+		}
+		for j := 0; j < 16; j++ {
+			if l.Steal() == nil {
+				b.Fatal("steal missed")
+			}
+		}
+		for l.Pop() != nil {
+		}
+	}
+}

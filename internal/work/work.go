@@ -23,7 +23,9 @@ type Proc interface {
 	// SpawnHint is Spawn with a placement hint: the preferred squad
 	// (socket) for the child. CAB uses it for the paper's §IV-D flat
 	// task-generation scheme; schedulers without placement (Cilk,
-	// task-sharing) ignore the hint. A negative hint means "no preference".
+	// task-sharing) ignore the hint. A negative hint means "no
+	// preference"; hints >= Squads() are likewise clamped to no
+	// preference rather than trusted.
 	SpawnHint(squad int, fn func(Proc))
 
 	// Sync blocks until every child spawned by this task has completed.

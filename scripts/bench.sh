@@ -1,0 +1,45 @@
+#!/bin/sh
+# Runs the real-runtime fast-path microbenchmarks (internal/rtbench via the
+# wrappers in bench_test.go) with -benchmem -count=5 and distills the output
+# into BENCH_rt.json, one entry per benchmark run, so successive PRs can
+# diff allocs/op and ns/op over time (EXPERIMENTS.md records the notable
+# befores/afters).
+#
+# Usage: scripts/bench.sh [output.json]   (default: BENCH_rt.json)
+set -eu
+
+cd "$(dirname "$0")/.."
+out="${1:-BENCH_rt.json}"
+raw="$(mktemp)"
+trap 'rm -f "$raw"' EXIT
+
+go test -run '^$' -bench 'BenchmarkSpawnSync$|BenchmarkStealThroughput$|BenchmarkInterPool$' \
+    -benchmem -count=5 . | tee "$raw"
+
+awk '
+BEGIN { print "["; first = 1 }
+/^Benchmark/ {
+    name = $1
+    sub(/^Benchmark/, "", name)
+    sub(/-[0-9]+$/, "", name)          # strip the GOMAXPROCS suffix if present
+    iters = $2
+    ns = ""; bytes = ""; allocs = ""; extra = ""
+    for (i = 3; i < NF; i += 2) {
+        v = $i; u = $(i + 1)
+        if (u == "ns/op") ns = v
+        else if (u == "B/op") bytes = v
+        else if (u == "allocs/op") allocs = v
+        else {
+            gsub(/\//, "_per_", u)
+            extra = extra sprintf(", \"%s\": %s", u, v)
+        }
+    }
+    if (!first) print ","
+    first = 0
+    printf "  {\"name\": \"%s\", \"iters\": %s, \"ns_per_op\": %s, \"bytes_per_op\": %s, \"allocs_per_op\": %s%s}", \
+        name, iters, ns, bytes, allocs, extra
+}
+END { print ""; print "]" }
+' "$raw" > "$out"
+
+echo "wrote $out"
