@@ -121,3 +121,4 @@ func BenchmarkSeedRobustness(b *testing.B) { benchExperiment(b, "seeds", 0.25) }
 func BenchmarkSpawnSync(b *testing.B)       { rtbench.SpawnSync(b) }
 func BenchmarkStealThroughput(b *testing.B) { rtbench.StealThroughput(b) }
 func BenchmarkInterPool(b *testing.B)       { rtbench.InterPool(b) }
+func BenchmarkJobThroughput(b *testing.B)   { rtbench.JobThroughput(b) }

@@ -25,14 +25,21 @@
 //	    t.Sync()
 //	})
 //
+// A Scheduler is multi-tenant: beyond the single blocking Run above, any
+// number of goroutines may Submit independent jobs concurrently and wait
+// on the returned futures (see jobs.go — per-job stats, context
+// cancellation, bounded admission with backpressure).
+//
 // The measurement side of the paper (cache misses, simulated MSMC
 // machines) lives in the companion package cab/sim.
 package cab
 
 import (
+	"context"
 	"fmt"
 
 	"cab/internal/core"
+	"cab/internal/jobs"
 	"cab/internal/rt"
 	"cab/internal/topology"
 	"cab/internal/work"
@@ -103,12 +110,24 @@ type Config struct {
 	// Seed drives victim selection; runs with equal seeds make the same
 	// random choices.
 	Seed uint64
+	// QueueDepth bounds the job admission queue (see Submit): at most
+	// this many submitted jobs may wait for a worker. 0 means the
+	// default (64).
+	QueueDepth int
+	// OnFull selects Submit's full-queue behaviour: BlockWhenFull
+	// (default; backpressure) or RejectWhenFull (fail fast with
+	// ErrQueueFull).
+	OnFull SubmitPolicy
 }
 
-// Scheduler is a running CAB worker pool.
+// Scheduler is a running CAB worker pool. It is multi-tenant: Run and
+// Submit may be called concurrently from any number of goroutines, and
+// every submission is an independently accounted, independently
+// cancellable job on the shared squad-structured pool.
 type Scheduler struct {
-	rt *rt.Runtime
-	bl int
+	rt  *rt.Runtime
+	eng *jobs.Engine
+	bl  int
 }
 
 // New launches M*N workers grouped into per-socket squads and computes the
@@ -137,11 +156,18 @@ func New(cfg Config) (*Scheduler, error) {
 			return nil, fmt.Errorf("cab: %w", err)
 		}
 	}
-	r, err := rt.New(rt.Config{Topo: m.topology(), BL: bl, Seed: cfg.Seed})
+	r, err := rt.New(rt.Config{
+		Topo: m.topology(), BL: bl, Seed: cfg.Seed, QueueDepth: cfg.QueueDepth,
+	})
 	if err != nil {
 		return nil, fmt.Errorf("cab: %w", err)
 	}
-	return &Scheduler{rt: r, bl: r.BL()}, nil
+	policy := jobs.Block
+	if cfg.OnFull == RejectWhenFull {
+		policy = jobs.Reject
+	}
+	eng := jobs.New(r, jobs.Config{Policy: policy})
+	return &Scheduler{rt: r, eng: eng, bl: r.BL()}, nil
 }
 
 // BoundaryLevel returns the BL in effect (0 means single-tier scheduling,
@@ -149,9 +175,16 @@ func New(cfg Config) (*Scheduler, error) {
 func (s *Scheduler) BoundaryLevel() int { return s.bl }
 
 // Run executes fn as the initial task and returns when it and every task
-// it transitively spawned have finished. Run may be called repeatedly but
-// not concurrently.
-func (s *Scheduler) Run(fn TaskFunc) error { return s.rt.Run(fn) }
+// it transitively spawned have finished. Run is Submit + Wait with a
+// background context: it may be called repeatedly and concurrently — each
+// call is one job. After Close it fails fast with ErrClosed.
+func (s *Scheduler) Run(fn TaskFunc) error {
+	j, err := s.eng.Submit(context.Background(), fn)
+	if err != nil {
+		return err
+	}
+	return j.Wait()
+}
 
 // Stats reports scheduler event counters since New. The runtime keeps the
 // counts in cache-line-padded per-worker shards (so the spawn/steal hot
@@ -169,8 +202,14 @@ func (s *Scheduler) Stats() Stats {
 	}
 }
 
-// Close stops the workers. All Run calls must have returned.
-func (s *Scheduler) Close() { s.rt.Close() }
+// Close shuts the scheduler down gracefully: new submissions fail fast
+// with ErrClosed, every job already admitted (queued or running) drains to
+// completion, and only then do the workers stop. Idempotent; concurrent
+// calls all block until termination.
+func (s *Scheduler) Close() {
+	s.eng.Close()
+	s.rt.Close()
+}
 
 // Stats are cumulative scheduler event counters.
 type Stats struct {

@@ -11,19 +11,27 @@
 // artifacts.
 //
 // -rtbench instead runs the real-runtime fast-path microbenchmarks
-// (spawn/sync, steal throughput, inter-socket pool; see internal/rtbench)
-// and exits — the numbers EXPERIMENTS.md's "Runtime fast path" section and
-// scripts/bench.sh track.
+// (spawn/sync, steal throughput, inter-socket pool, job throughput; see
+// internal/rtbench) and exits — the numbers EXPERIMENTS.md's "Runtime fast
+// path" section and scripts/bench.sh track.
+//
+// -loadgen runs the multi-job load generator: -submitters goroutines each
+// Submit -jobs fork-join jobs of -width leaves through one shared
+// Scheduler and wait on the futures; it reports jobs/sec and the service
+// counters, the end-to-end figure for the jobs subsystem.
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
 	"strings"
+	"sync"
 	"testing"
 	"time"
 
+	"cab"
 	"cab/internal/exp"
 	"cab/internal/rtbench"
 )
@@ -36,11 +44,21 @@ func main() {
 		verify = flag.Bool("verify", false, "verify workload results against serial references")
 		list   = flag.Bool("list", false, "list experiments and exit")
 		rtb    = flag.Bool("rtbench", false, "run the real-runtime fast-path microbenchmarks and exit")
+
+		loadgen    = flag.Bool("loadgen", false, "run the multi-job throughput load generator and exit")
+		submitters = flag.Int("submitters", 64, "loadgen: concurrent submitter goroutines")
+		jobs       = flag.Int("jobs", 200, "loadgen: jobs per submitter")
+		width      = flag.Int("width", 8, "loadgen: leaves spawned per job")
+		queue      = flag.Int("queue", 256, "loadgen: admission queue depth")
 	)
 	flag.Parse()
 
 	if *rtb {
 		runRTBench()
+		return
+	}
+	if *loadgen {
+		runLoadgen(*submitters, *jobs, *width, *queue)
 		return
 	}
 
@@ -99,16 +117,69 @@ func runRTBench() {
 		{"SpawnSync", rtbench.SpawnSync},
 		{"StealThroughput", rtbench.StealThroughput},
 		{"InterPool", rtbench.InterPool},
+		{"JobThroughput", rtbench.JobThroughput},
 	} {
 		res := testing.Benchmark(mb.fn)
 		fmt.Printf("   %-16s %10d iters %12.1f ns/op %8d B/op %6d allocs/op",
 			mb.name, res.N, float64(res.T.Nanoseconds())/float64(res.N),
 			res.AllocedBytesPerOp(), res.AllocsPerOp())
-		for _, unit := range []string{"steals/op", "tasks/op"} {
+		for _, unit := range []string{"steals/op", "tasks/op", "jobs/sec"} {
 			if v, ok := res.Extra[unit]; ok {
 				fmt.Printf(" %10.1f %s", v, unit)
 			}
 		}
 		fmt.Println()
 	}
+}
+
+// runLoadgen drives the jobs subsystem end to end through the public API:
+// `submitters` goroutines each submit `jobs` fork-join jobs of `width`
+// leaves and wait on the futures, all against one shared Scheduler.
+func runLoadgen(submitters, jobs, width, queue int) {
+	sched, err := cab.New(cab.Config{QueueDepth: queue})
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "cabbench: %v\n", err)
+		os.Exit(1)
+	}
+	defer sched.Close()
+	total := submitters * jobs
+	fmt.Printf("== loadgen: %d submitters x %d jobs x %d leaves (queue %d, BL %d)\n",
+		submitters, jobs, width, queue, sched.BoundaryLevel())
+	body := func(p cab.Task) {
+		for i := 0; i < width; i++ {
+			p.Spawn(func(cab.Task) {})
+		}
+		p.Sync()
+	}
+	start := time.Now()
+	var wg sync.WaitGroup
+	errs := make(chan error, submitters)
+	for g := 0; g < submitters; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < jobs; i++ {
+				j, err := sched.Submit(context.Background(), body)
+				if err != nil {
+					errs <- err
+					return
+				}
+				if err := j.Wait(); err != nil {
+					errs <- err
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		fmt.Fprintf(os.Stderr, "cabbench: loadgen: %v\n", err)
+		os.Exit(1)
+	}
+	el := time.Since(start)
+	st := sched.ServiceStats()
+	fmt.Printf("   %d jobs in %s: %.1f jobs/sec\n", total, el.Round(time.Millisecond), float64(total)/el.Seconds())
+	fmt.Printf("   service: submitted %d, completed %d, rejected %d, cancelled %d\n",
+		st.Submitted, st.Completed, st.Rejected, st.Cancelled)
 }

@@ -1,0 +1,256 @@
+// Command cabserve demonstrates the multi-job subsystem as a service: one
+// shared cab.Scheduler behind an HTTP front end, with every request
+// submitted as an independent job. Concurrent requests interleave on the
+// squad-structured worker pool; a client that disconnects cancels its job
+// (the request context is the job context); a full admission queue maps to
+// 503 Service Unavailable; SIGINT drains in-flight jobs before exit.
+//
+// Usage:
+//
+//	cabserve [-addr :8080] [-queue 64] [-reject]
+//
+// Endpoints:
+//
+//	GET /fib?n=30       parallel Fibonacci (fork-join tree, serial cutoff)
+//	GET /matmul?n=128   parallel n x n matrix multiply, returns a checksum
+//	GET /nqueens?n=10   parallel N-queens solution count
+//	GET /statz          scheduler + job-service counters
+//
+// Work endpoints return JSON: the job ID, the result, wall-clock time and
+// the job's scheduler events (spawns, steals, migrations) — the per-job
+// accounting the runtime keeps for each submission.
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"strconv"
+	"sync/atomic"
+	"syscall"
+	"time"
+
+	"cab"
+)
+
+func main() {
+	var (
+		addr   = flag.String("addr", ":8080", "listen address")
+		queue  = flag.Int("queue", 64, "job admission queue depth")
+		reject = flag.Bool("reject", false, "reject submissions when the queue is full (default: block)")
+	)
+	flag.Parse()
+
+	policy := cab.BlockWhenFull
+	if *reject {
+		policy = cab.RejectWhenFull
+	}
+	sched, err := cab.New(cab.Config{QueueDepth: *queue, OnFull: policy})
+	if err != nil {
+		log.Fatalf("cabserve: %v", err)
+	}
+
+	mux := http.NewServeMux()
+	mux.HandleFunc("/fib", handler(sched, 1, 45, fibJob))
+	mux.HandleFunc("/matmul", handler(sched, 1, 1024, matmulJob))
+	mux.HandleFunc("/nqueens", handler(sched, 1, 14, nqueensJob))
+	mux.HandleFunc("/statz", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, http.StatusOK, map[string]any{
+			"scheduler": sched.Stats(),
+			"service":   sched.ServiceStats(),
+		})
+	})
+
+	srv := &http.Server{Addr: *addr, Handler: mux}
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		sig := make(chan os.Signal, 1)
+		signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+		<-sig
+		log.Println("cabserve: shutting down (draining in-flight jobs)")
+		ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+		defer cancel()
+		_ = srv.Shutdown(ctx) // stop accepting, finish open requests
+		sched.Close()         // drain admitted jobs, stop workers
+	}()
+
+	log.Printf("cabserve: listening on %s (BL %d, queue %d, reject=%v)",
+		*addr, sched.BoundaryLevel(), *queue, *reject)
+	if err := srv.ListenAndServe(); err != nil && !errors.Is(err, http.ErrServerClosed) {
+		log.Fatalf("cabserve: %v", err)
+	}
+	<-done
+}
+
+// jobFunc builds the task body for one request and returns where to read
+// the result once the job has drained.
+type jobFunc func(n int) (cab.TaskFunc, *atomic.Int64)
+
+// handler submits one job per request, bounded to [min, max], governed by
+// the request context so client disconnects cancel the job.
+func handler(sched *cab.Scheduler, min, max int, mk jobFunc) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		n, err := strconv.Atoi(r.URL.Query().Get("n"))
+		if err != nil || n < min || n > max {
+			writeJSON(w, http.StatusBadRequest, map[string]any{
+				"error": fmt.Sprintf("want n in [%d, %d]", min, max),
+			})
+			return
+		}
+		fn, result := mk(n)
+		job, err := sched.Submit(r.Context(), fn)
+		if err != nil {
+			writeJSON(w, submitStatus(err), map[string]any{"error": err.Error()})
+			return
+		}
+		if err := job.Wait(); err != nil {
+			writeJSON(w, http.StatusInternalServerError, map[string]any{
+				"job": job.ID(), "error": err.Error(),
+			})
+			return
+		}
+		st := job.Stats()
+		writeJSON(w, http.StatusOK, map[string]any{
+			"job":     st.ID,
+			"n":       n,
+			"result":  result.Load(),
+			"wall_ms": float64(st.Wall.Microseconds()) / 1000,
+			"stats": map[string]int64{
+				"spawns":     st.Spawns,
+				"steals":     st.Steals,
+				"migrations": st.Migrations,
+				"helps":      st.Helps,
+			},
+		})
+	}
+}
+
+// submitStatus maps Submit errors to HTTP: overload and shutdown are 503
+// (retryable elsewhere), a dead request context is the client's 499-alike.
+func submitStatus(err error) int {
+	switch {
+	case errors.Is(err, cab.ErrQueueFull), errors.Is(err, cab.ErrClosed):
+		return http.StatusServiceUnavailable
+	case errors.Is(err, context.Canceled), errors.Is(err, context.DeadlineExceeded):
+		return http.StatusRequestTimeout
+	}
+	return http.StatusInternalServerError
+}
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(v)
+}
+
+// fibJob computes fib(n) as a fork-join tree with a serial cutoff — the
+// classic work-stealing benchmark shape.
+func fibJob(n int) (cab.TaskFunc, *atomic.Int64) {
+	var out atomic.Int64
+	var fib func(n int, dst *atomic.Int64) cab.TaskFunc
+	fib = func(n int, dst *atomic.Int64) cab.TaskFunc {
+		return func(t cab.Task) {
+			if n < 16 {
+				dst.Add(serialFib(n))
+				return
+			}
+			t.Spawn(fib(n-1, dst))
+			t.Spawn(fib(n-2, dst))
+			t.Sync()
+		}
+	}
+	return fib(n, &out), &out
+}
+
+func serialFib(n int) int64 {
+	if n < 2 {
+		return int64(n)
+	}
+	a, b := int64(0), int64(1)
+	for i := 2; i <= n; i++ {
+		a, b = b, a+b
+	}
+	return b
+}
+
+// matmulJob multiplies two deterministic n x n matrices, one spawned task
+// per row band, and reports a checksum of the product.
+func matmulJob(n int) (cab.TaskFunc, *atomic.Int64) {
+	var out atomic.Int64
+	root := func(t cab.Task) {
+		a := make([]int64, n*n)
+		b := make([]int64, n*n)
+		c := make([]int64, n*n)
+		for i := range a {
+			a[i] = int64(i%7) - 3
+			b[i] = int64(i%5) - 2
+		}
+		const band = 16
+		for lo := 0; lo < n; lo += band {
+			lo := lo
+			hi := lo + band
+			if hi > n {
+				hi = n
+			}
+			t.Spawn(func(cab.Task) {
+				for i := lo; i < hi; i++ {
+					for k := 0; k < n; k++ {
+						aik := a[i*n+k]
+						for j := 0; j < n; j++ {
+							c[i*n+j] += aik * b[k*n+j]
+						}
+					}
+				}
+			})
+		}
+		t.Sync()
+		var sum int64
+		for _, v := range c {
+			sum += v
+		}
+		out.Store(sum)
+	}
+	return root, &out
+}
+
+// nqueensJob counts N-queens solutions, fanning out one task per
+// first-row placement and solving serially below.
+func nqueensJob(n int) (cab.TaskFunc, *atomic.Int64) {
+	var out atomic.Int64
+	root := func(t cab.Task) {
+		for col := 0; col < n; col++ {
+			col := col
+			bit := uint32(1) << col
+			t.Spawn(func(cab.Task) {
+				out.Add(countQueens(n, 1, bit, bit<<1, bit>>1))
+			})
+		}
+		t.Sync()
+	}
+	return root, &out
+}
+
+// countQueens solves rows [row, n) given the occupied columns and the
+// left/right diagonal masks, bit-twiddling style.
+func countQueens(n, row int, cols, left, right uint32) int64 {
+	if row == n {
+		return 1
+	}
+	var count int64
+	full := uint32(1)<<n - 1
+	for avail := full &^ (cols | left | right); avail != 0; {
+		bit := avail & -avail
+		avail &^= bit
+		count += countQueens(n, row+1, cols|bit, (left|bit)<<1, (right|bit)>>1)
+	}
+	return count
+}

@@ -1,0 +1,235 @@
+// Package jobs is the multi-job submission engine of the CAB runtime: it
+// turns internal/rt's raw Submit (bounded admission queue, Job futures,
+// cooperative cancellation) into a context-aware job service.
+//
+// The engine adds what a Go caller expects on top of the scheduler
+// protocol:
+//
+//   - context.Context integration — a job whose context is cancelled or
+//     times out stops spawning, drains its DAG cleanly, and reports the
+//     context's error from Wait; a context cancelled while a Block-policy
+//     submission waits for queue space aborts the admission too.
+//   - admission policy — Block (backpressure: Submit waits for queue
+//     space) or Reject (fail fast with ErrQueueFull), chosen per engine.
+//   - service accounting — submitted / completed / rejected / cancelled
+//     totals for monitoring, alongside the per-job rt.JobStats.
+//   - graceful drain — Close stops admitting and waits for every admitted
+//     job to finish; post-Close submissions fail fast with ErrClosed.
+//
+// One engine serves any number of concurrent submitters; the underlying
+// runtime multiplexes all their DAGs onto one squad-structured worker
+// pool, so the paper's cache-aware placement applies across jobs, not just
+// within one.
+package jobs
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+
+	"cab/internal/rt"
+	"cab/internal/work"
+)
+
+// Policy selects what Submit does when the admission queue is full.
+type Policy int
+
+const (
+	// Block waits for queue space; backpressure propagates to the
+	// submitter. The wait still aborts if the job's context is cancelled.
+	Block Policy = iota
+	// Reject fails fast with ErrQueueFull.
+	Reject
+)
+
+// Sentinel errors of the engine API.
+var (
+	// ErrClosed is returned by Submit once Close has begun.
+	ErrClosed = errors.New("jobs: engine is closed")
+	// ErrQueueFull is returned under the Reject policy when the admission
+	// queue is at capacity.
+	ErrQueueFull = errors.New("jobs: admission queue is full")
+	// ErrCancelled is returned by Wait when a job was cancelled directly
+	// (via Job.Cancel) rather than through its context.
+	ErrCancelled = errors.New("jobs: job cancelled")
+)
+
+// Config configures an Engine.
+type Config struct {
+	// Policy is the full-queue behaviour; the zero value is Block.
+	Policy Policy
+}
+
+// Stats are cumulative service-level counters.
+type Stats struct {
+	Submitted int64 // jobs admitted
+	Completed int64 // jobs whose DAG fully drained
+	Rejected  int64 // submissions refused with ErrQueueFull
+	Cancelled int64 // jobs cancelled (context or Job.Cancel)
+}
+
+// Engine is a concurrent job-submission front end over one rt.Runtime.
+// All methods are safe for concurrent use.
+type Engine struct {
+	r      *rt.Runtime
+	policy Policy
+
+	mu     sync.Mutex
+	closed bool
+	live   sync.WaitGroup // one count per admitted, unfinished job
+
+	submitted atomic.Int64
+	completed atomic.Int64
+	rejected  atomic.Int64
+	cancelled atomic.Int64
+}
+
+// New returns an engine submitting into r. The engine does not own r:
+// Close drains the engine's jobs but leaves the runtime running.
+func New(r *rt.Runtime, cfg Config) *Engine {
+	return &Engine{r: r, policy: cfg.Policy}
+}
+
+// Runtime returns the underlying scheduler runtime.
+func (e *Engine) Runtime() *rt.Runtime { return e.r }
+
+// Job is the future for one submitted root task.
+type Job struct {
+	eng *Engine
+	rj  *rt.Job
+	ctx context.Context
+
+	cancelOnce sync.Once
+	settleOnce sync.Once
+	err        error
+}
+
+// Submit enqueues fn as a new job governed by ctx and returns its future.
+// It is safe to call from any number of goroutines. A nil ctx means
+// context.Background(). Errors: ErrClosed after Close, ErrQueueFull under
+// the Reject policy, ctx.Err() if the context is already dead or fires
+// while a Block-policy admission waits for queue space.
+//
+// Do not call Submit-and-Wait from inside a task body running on the same
+// runtime: a blocked admission or wait would hold a scheduler worker.
+// Spawn children instead, or hand the submission to a plain goroutine.
+func (e *Engine) Submit(ctx context.Context, fn work.Fn) (*Job, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	e.mu.Lock()
+	if e.closed {
+		e.mu.Unlock()
+		return nil, ErrClosed
+	}
+	e.live.Add(1)
+	e.mu.Unlock()
+	if err := ctx.Err(); err != nil {
+		e.live.Done()
+		return nil, err
+	}
+	rj, err := e.r.SubmitWith(fn, rt.SubmitOpts{
+		NoWait: e.policy == Reject,
+		Cancel: ctx.Done(),
+		OnDone: func() { e.completed.Add(1); e.live.Done() },
+	})
+	if err != nil {
+		e.live.Done()
+		switch {
+		case errors.Is(err, rt.ErrQueueFull):
+			e.rejected.Add(1)
+			return nil, ErrQueueFull
+		case errors.Is(err, rt.ErrClosed):
+			return nil, ErrClosed
+		case errors.Is(err, rt.ErrSubmitCancelled):
+			return nil, ctx.Err()
+		}
+		return nil, err
+	}
+	e.submitted.Add(1)
+	j := &Job{eng: e, rj: rj, ctx: ctx}
+	if ctx.Done() != nil {
+		go j.watch()
+	}
+	return j, nil
+}
+
+// watch propagates a context cancellation to the runtime job. It exits as
+// soon as the job completes, whichever comes first.
+func (j *Job) watch() {
+	select {
+	case <-j.ctx.Done():
+		j.cancel()
+	case <-j.rj.Done():
+	}
+}
+
+func (j *Job) cancel() {
+	j.cancelOnce.Do(func() {
+		j.rj.Cancel()
+		j.eng.cancelled.Add(1)
+	})
+}
+
+// Cancel asks the job to stop spawning and drain. Idempotent; safe
+// concurrently with Wait. The job's Wait reports ErrCancelled (or the
+// context's error if that fired first).
+func (j *Job) Cancel() { j.cancel() }
+
+// Done returns a channel closed when the job's DAG has fully drained.
+func (j *Job) Done() <-chan struct{} { return j.rj.Done() }
+
+// ID returns the runtime-assigned job ID.
+func (j *Job) ID() int64 { return j.rj.ID() }
+
+// Stats snapshots the job's runtime accounting.
+func (j *Job) Stats() rt.JobStats { return j.rj.Stats() }
+
+// Wait blocks until the job's DAG has fully drained — even a cancelled
+// job is waited to a clean stop — and returns the job's outcome: nil on
+// success, the job's first *rt.TaskPanic if a task panicked, the
+// context's error (wrapped, errors.Is-transparent) if the context
+// cancelled it, or ErrCancelled for a direct Cancel. Wait may be called
+// repeatedly and concurrently; every call returns the same result.
+func (j *Job) Wait() error {
+	<-j.rj.Done()
+	j.settleOnce.Do(j.settle)
+	return j.err
+}
+
+func (j *Job) settle() {
+	if err := j.rj.Wait(); err != nil {
+		j.err = err // a panic is more diagnostic than the cancellation
+		return
+	}
+	if j.rj.Cancelled() {
+		if cerr := j.ctx.Err(); cerr != nil {
+			j.err = fmt.Errorf("jobs: job %d cancelled: %w", j.rj.ID(), cerr)
+		} else {
+			j.err = ErrCancelled
+		}
+	}
+}
+
+// Stats reports the engine's cumulative service counters.
+func (e *Engine) Stats() Stats {
+	return Stats{
+		Submitted: e.submitted.Load(),
+		Completed: e.completed.Load(),
+		Rejected:  e.rejected.Load(),
+		Cancelled: e.cancelled.Load(),
+	}
+}
+
+// Close stops admitting jobs (Submit fails fast with ErrClosed) and waits
+// for every already-admitted job to finish — the graceful drain. It does
+// not stop the underlying runtime. Idempotent; concurrent calls all block
+// until the drain completes.
+func (e *Engine) Close() {
+	e.mu.Lock()
+	e.closed = true
+	e.mu.Unlock()
+	e.live.Wait()
+}

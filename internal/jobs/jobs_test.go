@@ -1,0 +1,374 @@
+package jobs
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"cab/internal/rt"
+	"cab/internal/topology"
+	"cab/internal/work"
+)
+
+func quadTopo() topology.Topology {
+	return topology.Topology{
+		Sockets: 2, CoresPerSocket: 2, LineBytes: 64,
+		L3Bytes: 1 << 20, L3Assoc: 16,
+	}
+}
+
+func uniTopo() topology.Topology {
+	return topology.Topology{
+		Sockets: 1, CoresPerSocket: 1, LineBytes: 64,
+		L3Bytes: 1 << 20, L3Assoc: 16,
+	}
+}
+
+func newEngine(t *testing.T, cfg rt.Config, ecfg Config) *Engine {
+	t.Helper()
+	r, err := rt.New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(r.Close)
+	e := New(r, ecfg)
+	t.Cleanup(e.Close)
+	return e
+}
+
+func TestSubmitWaitBasic(t *testing.T) {
+	e := newEngine(t, rt.Config{Topo: quadTopo(), Seed: 1}, Config{})
+	var n atomic.Int64
+	j, err := e.Submit(context.Background(), func(p work.Proc) {
+		for i := 0; i < 10; i++ {
+			p.Spawn(func(work.Proc) { n.Add(1) })
+		}
+		p.Sync()
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := j.Wait(); err != nil {
+		t.Fatal(err)
+	}
+	if n.Load() != 10 {
+		t.Fatalf("n = %d, want 10", n.Load())
+	}
+	if s := j.Stats(); s.Spawns != 10 || !s.Done {
+		t.Fatalf("job stats = %+v", s)
+	}
+	if s := e.Stats(); s.Submitted != 1 || s.Completed != 1 {
+		t.Fatalf("engine stats = %+v", s)
+	}
+}
+
+// TestConcurrentSubmitStress is the headline jobs-layer stress test (run
+// under -race in CI): 64 goroutines submit 100 jobs each, every job a
+// small fork-join DAG, all multiplexed on one runtime.
+func TestConcurrentSubmitStress(t *testing.T) {
+	const submitters, perSubmitter, width = 64, 100, 4
+	e := newEngine(t, rt.Config{Topo: quadTopo(), Seed: 11, QueueDepth: 128}, Config{})
+	var tasks atomic.Int64
+	var wg sync.WaitGroup
+	for s := 0; s < submitters; s++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < perSubmitter; i++ {
+				j, err := e.Submit(context.Background(), func(p work.Proc) {
+					for k := 0; k < width; k++ {
+						p.Spawn(func(work.Proc) { tasks.Add(1) })
+					}
+					p.Sync()
+					tasks.Add(1)
+				})
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				if err := j.Wait(); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	want := int64(submitters * perSubmitter * (width + 1))
+	if got := tasks.Load(); got != want {
+		t.Fatalf("tasks = %d, want %d", got, want)
+	}
+	s := e.Stats()
+	if s.Submitted != submitters*perSubmitter || s.Completed != submitters*perSubmitter {
+		t.Fatalf("engine stats = %+v, want %d submitted and completed", s, submitters*perSubmitter)
+	}
+	if s.Rejected != 0 || s.Cancelled != 0 {
+		t.Fatalf("engine stats = %+v, want no rejections/cancellations", s)
+	}
+}
+
+// TestCancellationMidDAG: cancelling the context of a job whose DAG would
+// otherwise grow forever must drain it and surface context.Canceled.
+func TestCancellationMidDAG(t *testing.T) {
+	e := newEngine(t, rt.Config{Topo: quadTopo(), Seed: 2}, Config{})
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	var rec func(p work.Proc)
+	rec = func(p work.Proc) {
+		p.Spawn(rec)
+		p.Spawn(rec)
+		p.Sync()
+	}
+	j, err := e.Submit(ctx, func(p work.Proc) { rec(p) })
+	if err != nil {
+		t.Fatal(err)
+	}
+	for j.Stats().Spawns < 5_000 {
+		time.Sleep(time.Millisecond)
+	}
+	cancel()
+	err = j.Wait()
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("Wait = %v, want context.Canceled", err)
+	}
+	if !j.Stats().Done || !j.Stats().Cancelled {
+		t.Fatalf("stats = %+v, want Done and Cancelled", j.Stats())
+	}
+	if e.Stats().Cancelled != 1 {
+		t.Fatalf("engine cancelled = %d, want 1", e.Stats().Cancelled)
+	}
+}
+
+// TestDeadlineExceeded: a context deadline cancels the job the same way.
+func TestDeadlineExceeded(t *testing.T) {
+	e := newEngine(t, rt.Config{Topo: quadTopo(), Seed: 3}, Config{})
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Millisecond)
+	defer cancel()
+	var rec func(p work.Proc)
+	rec = func(p work.Proc) {
+		p.Spawn(rec)
+		p.Sync()
+	}
+	j, err := e.Submit(ctx, rec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := j.Wait(); !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("Wait = %v, want context.DeadlineExceeded", err)
+	}
+}
+
+// TestDirectCancel: Job.Cancel without any context involvement reports
+// ErrCancelled.
+func TestDirectCancel(t *testing.T) {
+	e := newEngine(t, rt.Config{Topo: quadTopo(), Seed: 4}, Config{})
+	started := make(chan struct{})
+	var once sync.Once
+	var rec func(p work.Proc)
+	rec = func(p work.Proc) {
+		once.Do(func() { close(started) })
+		p.Spawn(rec)
+		p.Sync()
+	}
+	j, err := e.Submit(context.Background(), rec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	<-started
+	j.Cancel()
+	if err := j.Wait(); !errors.Is(err, ErrCancelled) {
+		t.Fatalf("Wait = %v, want ErrCancelled", err)
+	}
+}
+
+// TestPanicIsolationConcurrentJobs: eight jobs, the odd ones panic; each
+// Wait reports exactly its own job's outcome.
+func TestPanicIsolationConcurrentJobs(t *testing.T) {
+	e := newEngine(t, rt.Config{Topo: quadTopo(), Seed: 5}, Config{})
+	const jobs = 8
+	futures := make([]*Job, jobs)
+	for i := 0; i < jobs; i++ {
+		i := i
+		j, err := e.Submit(context.Background(), func(p work.Proc) {
+			p.Spawn(func(work.Proc) {
+				if i%2 == 1 {
+					panic(i)
+				}
+			})
+			p.Sync()
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		futures[i] = j
+	}
+	for i, j := range futures {
+		err := j.Wait()
+		if i%2 == 0 {
+			if err != nil {
+				t.Fatalf("job %d: unexpected error %v", i, err)
+			}
+			continue
+		}
+		var tp *rt.TaskPanic
+		if !errors.As(err, &tp) {
+			t.Fatalf("job %d: error %v, want *rt.TaskPanic", i, err)
+		}
+		if tp.Value != i {
+			t.Fatalf("job %d surfaced job %v's panic", i, tp.Value)
+		}
+	}
+}
+
+// gatedEngine fills a depth-1 queue behind a single busy worker.
+func gatedEngine(t *testing.T, ecfg Config) (e *Engine, release func()) {
+	t.Helper()
+	e = newEngine(t, rt.Config{Topo: uniTopo(), Seed: 6, QueueDepth: 1}, ecfg)
+	gate := make(chan struct{})
+	started := make(chan struct{})
+	if _, err := e.Submit(context.Background(), func(work.Proc) { close(started); <-gate }); err != nil {
+		t.Fatal(err)
+	}
+	<-started
+	if _, err := e.Submit(context.Background(), func(work.Proc) {}); err != nil {
+		t.Fatal(err) // fills the queue slot
+	}
+	return e, func() { close(gate) }
+}
+
+// TestRejectPolicyQueueFull: under Reject, a full queue fails fast with
+// ErrQueueFull and counts as a rejection.
+func TestRejectPolicyQueueFull(t *testing.T) {
+	e, release := gatedEngine(t, Config{Policy: Reject})
+	defer release()
+	if _, err := e.Submit(context.Background(), func(work.Proc) {}); !errors.Is(err, ErrQueueFull) {
+		t.Fatalf("Submit = %v, want ErrQueueFull", err)
+	}
+	if e.Stats().Rejected != 1 {
+		t.Fatalf("rejected = %d, want 1", e.Stats().Rejected)
+	}
+}
+
+// TestBlockPolicyBackpressure: under Block, Submit waits for queue space;
+// a context cancellation releases the waiting submitter with ctx.Err().
+func TestBlockPolicyBackpressure(t *testing.T) {
+	e, release := gatedEngine(t, Config{Policy: Block})
+	ctx, cancel := context.WithCancel(context.Background())
+	errc := make(chan error, 1)
+	go func() {
+		_, err := e.Submit(ctx, func(work.Proc) {})
+		errc <- err
+	}()
+	select {
+	case err := <-errc:
+		t.Fatalf("blocked Submit returned early: %v", err)
+	case <-time.After(50 * time.Millisecond):
+	}
+	cancel()
+	select {
+	case err := <-errc:
+		if !errors.Is(err, context.Canceled) {
+			t.Fatalf("Submit = %v, want context.Canceled", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("cancelled Submit never returned")
+	}
+	release()
+}
+
+// TestBlockPolicyEventuallyAdmits: a blocked submission completes once the
+// queue drains (real backpressure, not deadlock).
+func TestBlockPolicyEventuallyAdmits(t *testing.T) {
+	e, release := gatedEngine(t, Config{Policy: Block})
+	var ran atomic.Bool
+	errc := make(chan error, 1)
+	jc := make(chan *Job, 1)
+	go func() {
+		j, err := e.Submit(context.Background(), func(work.Proc) { ran.Store(true) })
+		jc <- j
+		errc <- err
+	}()
+	time.Sleep(20 * time.Millisecond)
+	release()
+	if err := <-errc; err != nil {
+		t.Fatal(err)
+	}
+	if err := (<-jc).Wait(); err != nil {
+		t.Fatal(err)
+	}
+	if !ran.Load() {
+		t.Fatal("backpressured job never ran")
+	}
+}
+
+// TestPrecancelledContext: a dead context is rejected before admission.
+func TestPrecancelledContext(t *testing.T) {
+	e := newEngine(t, rt.Config{Topo: quadTopo(), Seed: 7}, Config{})
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	var ran atomic.Bool
+	if _, err := e.Submit(ctx, func(work.Proc) { ran.Store(true) }); !errors.Is(err, context.Canceled) {
+		t.Fatalf("Submit = %v, want context.Canceled", err)
+	}
+	if e.Stats().Submitted != 0 {
+		t.Fatalf("submitted = %d, want 0", e.Stats().Submitted)
+	}
+	if ran.Load() {
+		t.Fatal("job body ran despite pre-cancelled context")
+	}
+}
+
+// TestCloseDrainsAndFailsFast: Close waits for admitted jobs and makes
+// later submissions fail with ErrClosed.
+func TestCloseDrainsAndFailsFast(t *testing.T) {
+	r, err := rt.New(rt.Config{Topo: quadTopo(), Seed: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.Close()
+	e := New(r, Config{})
+	const jobs = 16
+	var ran atomic.Int64
+	for i := 0; i < jobs; i++ {
+		if _, err := e.Submit(context.Background(), func(p work.Proc) {
+			p.Spawn(func(work.Proc) { ran.Add(1) })
+			p.Sync()
+		}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	e.Close()
+	if got := ran.Load(); got != jobs {
+		t.Fatalf("after Close: %d jobs ran, want %d", got, jobs)
+	}
+	if _, err := e.Submit(context.Background(), func(work.Proc) {}); !errors.Is(err, ErrClosed) {
+		t.Fatalf("Submit after Close = %v, want ErrClosed", err)
+	}
+	if s := e.Stats(); s.Completed != jobs {
+		t.Fatalf("completed = %d, want %d", s.Completed, jobs)
+	}
+}
+
+// TestWaitIdempotent: repeated and concurrent Waits agree.
+func TestWaitIdempotent(t *testing.T) {
+	e := newEngine(t, rt.Config{Topo: quadTopo(), Seed: 9}, Config{})
+	j, err := e.Submit(context.Background(), func(p work.Proc) { panic("once") })
+	if err != nil {
+		t.Fatal(err)
+	}
+	first := j.Wait()
+	var wg sync.WaitGroup
+	for i := 0; i < 4; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			if err := j.Wait(); err != first {
+				t.Errorf("Wait disagreed: %v != %v", err, first)
+			}
+		}()
+	}
+	wg.Wait()
+}

@@ -1,0 +1,205 @@
+// Job submission: the multi-tenant side of the runtime. The original
+// runtime mirrored a Cilk program — one main goroutine feeding one root at
+// a time through a 1-slot channel. The submission layer here turns it into
+// a job service: any goroutine may Submit a root concurrently, receiving a
+// *Job future; roots queue in a bounded admission queue and are adopted by
+// idle eligible workers (Algorithm II step 3 generalized from worker 0 to
+// every head worker — or every worker when BL == 0). Each frame of a job's
+// DAG is tagged with its Job, giving per-job event accounting, per-job
+// panic isolation and cooperative cancellation (a cancelled job stops
+// spawning, so its DAG drains cleanly).
+package rt
+
+import (
+	"errors"
+	"sync/atomic"
+	"time"
+
+	"cab/internal/core"
+	"cab/internal/work"
+)
+
+// defaultQueueDepth bounds the admission queue when Config.QueueDepth is 0.
+const defaultQueueDepth = 64
+
+// Sentinel errors of the submission API.
+var (
+	// ErrClosed is returned by Submit (and Run) once Close has begun: the
+	// runtime rejects new jobs while draining the ones already admitted.
+	ErrClosed = errors.New("rt: runtime is closed")
+	// ErrQueueFull is returned by TrySubmit, and by SubmitWith under
+	// NoWait, when the admission queue is at capacity.
+	ErrQueueFull = errors.New("rt: admission queue is full")
+	// ErrSubmitCancelled is returned by SubmitWith when its Cancel channel
+	// fires while the submission is blocked on a full admission queue.
+	ErrSubmitCancelled = errors.New("rt: submission cancelled while queued")
+)
+
+// Job is the future for one submitted root task and the DAG it spawns.
+// Every frame of that DAG carries a pointer back to its Job, which is what
+// the runtime uses for join/completion accounting, panic isolation and
+// cancellation across concurrently running jobs.
+type Job struct {
+	id    int64
+	start time.Time
+
+	cancelled atomic.Bool
+	panicked  atomic.Pointer[TaskPanic]
+
+	// Per-job event counters. Unlike the global per-worker stat shards
+	// these are shared by every worker touching the job's frames; the
+	// contention is confined to one job's cache lines and only occurs
+	// while several workers run the same job at once.
+	spawns      atomic.Int64
+	interSpawns atomic.Int64
+	steals      atomic.Int64
+	migrations  atomic.Int64
+	helps       atomic.Int64
+
+	wall   atomic.Int64 // ns from Submit to completion, written before done closes
+	onDone func()
+	done   chan struct{}
+}
+
+// JobStats is a point-in-time snapshot of one job's accounting.
+type JobStats struct {
+	ID          int64
+	Spawns      int64 // tasks created by this job's frames
+	InterSpawns int64 // spawns into the inter-socket tier
+	Steals      int64 // frames of this job taken by intra-squad thieves
+	Migrations  int64 // frames of this job that crossed squads
+	Helps       int64 // frames of this job executed inside someone's Sync
+	Wall        time.Duration
+	Done        bool
+	Cancelled   bool
+}
+
+// SubmitOpts modifies SubmitWith.
+type SubmitOpts struct {
+	// NoWait fails with ErrQueueFull instead of blocking when the
+	// admission queue is at capacity.
+	NoWait bool
+	// Cancel, when non-nil, aborts a blocked admission wait with
+	// ErrSubmitCancelled as soon as the channel is closed.
+	Cancel <-chan struct{}
+	// OnDone, when non-nil, runs on the completing worker right after the
+	// job's done channel closes. It must be fast and must not block (it
+	// holds up a scheduler worker).
+	OnDone func()
+}
+
+// Submit enqueues fn as a new root task (level 0) and returns its Job
+// future without waiting for execution. It may be called concurrently from
+// any number of goroutines; it blocks while the admission queue is full
+// (backpressure) and fails fast with ErrClosed once Close has begun.
+func (r *Runtime) Submit(fn work.Fn) (*Job, error) {
+	return r.SubmitWith(fn, SubmitOpts{})
+}
+
+// TrySubmit is Submit with ErrQueueFull instead of blocking admission.
+func (r *Runtime) TrySubmit(fn work.Fn) (*Job, error) {
+	return r.SubmitWith(fn, SubmitOpts{NoWait: true})
+}
+
+// SubmitWith is Submit with explicit admission options.
+func (r *Runtime) SubmitWith(fn work.Fn, opts SubmitOpts) (*Job, error) {
+	rootTier := core.TierIntra
+	if r.bl > 0 {
+		rootTier = core.TierInter
+	}
+	j := &Job{
+		id:     r.nextJob.Add(1),
+		start:  time.Now(),
+		onDone: opts.OnDone,
+		done:   make(chan struct{}),
+	}
+	root := &task{fn: fn, level: 0, tier: rootTier, hint: -1, job: j}
+	r.submitMu.Lock()
+	if r.closed {
+		r.submitMu.Unlock()
+		return nil, ErrClosed
+	}
+	// Holding a live count pins the roots channel open: Close closes it
+	// only after live drains to zero, so the sends below can never hit a
+	// closed channel.
+	r.live.Add(1)
+	r.submitMu.Unlock()
+	if opts.NoWait {
+		select {
+		case r.roots <- root:
+		default:
+			r.live.Done()
+			return nil, ErrQueueFull
+		}
+	} else {
+		// A nil Cancel channel blocks forever, reducing this to a plain
+		// send; workers keep draining the queue until Close, so a blocked
+		// submission waits for capacity, not forever.
+		select {
+		case r.roots <- root:
+		case <-opts.Cancel:
+			r.live.Done()
+			return nil, ErrSubmitCancelled
+		}
+	}
+	r.lot.Publish() // a root is adoptable: wake parked workers
+	return j, nil
+}
+
+// finishJob settles a job whose root frame just completed its join.
+func (r *Runtime) finishJob(j *Job) {
+	j.wall.Store(int64(time.Since(j.start)))
+	close(j.done)
+	if j.onDone != nil {
+		j.onDone()
+	}
+	r.live.Done()
+}
+
+// ID returns the job's runtime-unique ID (frames are tagged with it).
+func (j *Job) ID() int64 { return j.id }
+
+// Done returns a channel closed when the job's entire DAG has finished.
+func (j *Job) Done() <-chan struct{} { return j.done }
+
+// Cancel asks the job to stop: its frames stop spawning children and
+// not-yet-started frames skip their bodies, so the DAG drains cleanly.
+// Already-running task bodies are not interrupted. Idempotent.
+func (j *Job) Cancel() { j.cancelled.Store(true) }
+
+// Cancelled reports whether Cancel has been called.
+func (j *Job) Cancelled() bool { return j.cancelled.Load() }
+
+// Wait blocks until the job's DAG has fully drained and returns nil or the
+// first panic raised by one of the job's tasks. Cancellation is not an
+// error at this layer (internal/jobs maps it to the context's error).
+func (j *Job) Wait() error {
+	<-j.done
+	if p := j.panicked.Load(); p != nil {
+		return p
+	}
+	return nil
+}
+
+// Stats snapshots the job's accounting. Wall is the elapsed time since
+// Submit while the job runs and the final submit-to-completion time once
+// Done is set.
+func (j *Job) Stats() JobStats {
+	s := JobStats{
+		ID:          j.id,
+		Spawns:      j.spawns.Load(),
+		InterSpawns: j.interSpawns.Load(),
+		Steals:      j.steals.Load(),
+		Migrations:  j.migrations.Load(),
+		Helps:       j.helps.Load(),
+		Cancelled:   j.cancelled.Load(),
+	}
+	select {
+	case <-j.done:
+		s.Done = true
+		s.Wall = time.Duration(j.wall.Load())
+	default:
+		s.Wall = time.Since(j.start)
+	}
+	return s
+}

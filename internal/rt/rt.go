@@ -25,6 +25,12 @@
 // per-squad shards, the inter pools are growable ring buffers, and idle
 // workers park on an eventcount (internal/park) instead of spinning, so
 // they cost no CPU and wake in microseconds when work is published.
+//
+// Unlike a Cilk program's single main, the runtime is multi-tenant: any
+// goroutine may Submit a root task at any time (see job.go). Roots wait in
+// a bounded admission queue until an idle eligible worker adopts them, so
+// several independent jobs run interleaved on one worker pool, each with
+// its own join accounting, panic isolation and cancellation.
 package rt
 
 import (
@@ -70,6 +76,10 @@ type Config struct {
 	BL int
 	// Seed drives victim selection.
 	Seed uint64
+	// QueueDepth bounds the admission queue: at most this many submitted
+	// roots may wait for adoption (running jobs do not count). 0 selects
+	// the default (64); negative is an error.
+	QueueDepth int
 }
 
 // Stats counts scheduler events since the runtime started.
@@ -84,19 +94,20 @@ type Stats struct {
 
 // task is a frame in the run DAG. The paper's cilk2c adds level, parent
 // and inter_counter to each frame (§IV-B); pending is the join counter
-// covering children of both tiers. Frames are recycled through per-worker
-// freelists: execute returns a frame to its worker's cache after the
-// join completes, and spawn reuses it for the next child — steady-state
-// spawning performs no heap allocation.
+// covering children of both tiers, and job tags the frame with the
+// submission it belongs to (inherited from the parent at spawn). Frames
+// are recycled through per-worker freelists: execute returns a frame to
+// its worker's cache after the join completes, and spawn reuses it for the
+// next child — steady-state spawning performs no heap allocation.
 type task struct {
 	fn      work.Fn
 	parent  *task
+	job     *Job // the submission this frame belongs to (parent == nil on its root)
 	level   int
 	tier    core.Tier
 	hint    int
 	pending atomic.Int32
-	done    chan struct{} // non-nil on the root only
-	c       ctx           // embedded so execute needs no per-task context allocation
+	c       ctx // embedded so execute needs no per-task context allocation
 }
 
 // statShard is one worker's private event counters, padded so two workers
@@ -152,32 +163,39 @@ type Runtime struct {
 	lot *park.Lot
 
 	workers int
-	stopped atomic.Bool
 	wg      sync.WaitGroup
 
-	// runMu serializes root submission against Close, so Run can never
-	// send on a closed roots channel (Run checks stopped and sends while
-	// holding it; Close closes the channel while holding it).
-	runMu sync.Mutex
-	roots chan *task // work submitted via Run, delivered to worker 0's squad
-	seed  uint64
-
-	panicMu sync.Mutex
-	panics  []*TaskPanic
+	// Admission state. closed (guarded by submitMu) makes Submit fail
+	// fast; live counts admitted-but-unfinished jobs, including ones still
+	// blocked in a full-queue Submit, so Close can drain them before the
+	// roots channel is closed; stopping tells workers that cannot observe
+	// the channel close (ineligible ones under BL > 0) to exit; term is
+	// closed when the worker pool has fully terminated.
+	submitMu sync.Mutex
+	closed   bool
+	live     sync.WaitGroup
+	stopping atomic.Bool
+	term     chan struct{}
+	roots    chan *task // bounded admission queue of submitted root frames
+	nextJob  atomic.Int64
+	seed     uint64
 }
 
 // TaskPanic describes a panic raised inside a task body. The runtime
 // recovers it (so one bad task cannot wedge the worker pool), completes
-// the join protocol as if the task returned, and reports it from Run.
+// the join protocol as if the task returned, and records it on the task's
+// Job — panics are isolated per job and surface from that job's Wait (and
+// from Run), never from a concurrently running job.
 type TaskPanic struct {
 	Value interface{} // the value passed to panic
+	Job   int64       // ID of the job whose task panicked
 	Level int         // DAG level of the panicking task
 	Stack string      // goroutine stack at recovery
 }
 
 // Error implements error.
 func (p *TaskPanic) Error() string {
-	return fmt.Sprintf("rt: task (level %d) panicked: %v", p.Level, p.Value)
+	return fmt.Sprintf("rt: task (job %d, level %d) panicked: %v", p.Job, p.Level, p.Value)
 }
 
 // New starts the worker pool: M*N goroutine workers, one per logical core,
@@ -197,11 +215,19 @@ func New(cfg Config) (*Runtime, error) {
 	if cfg.BL < 0 {
 		return nil, fmt.Errorf("rt: negative BL %d", cfg.BL)
 	}
+	if cfg.QueueDepth < 0 {
+		return nil, fmt.Errorf("rt: negative QueueDepth %d", cfg.QueueDepth)
+	}
+	depth := cfg.QueueDepth
+	if depth == 0 {
+		depth = defaultQueueDepth
+	}
 	r := &Runtime{
 		topo:    topo,
 		bl:      cfg.BL,
 		workers: topo.Workers(),
-		roots:   make(chan *task, 1),
+		roots:   make(chan *task, depth),
+		term:    make(chan struct{}),
 		seed:    cfg.Seed,
 		lot:     park.NewLot(),
 	}
@@ -294,7 +320,7 @@ func (r *Runtime) newFrame(worker int) *task {
 func (r *Runtime) freeFrame(worker int, t *task) {
 	t.fn = nil
 	t.parent = nil
-	t.done = nil
+	t.job = nil
 	fc := &r.frames[worker]
 	if len(fc.free) < frameCacheCap {
 		fc.free = append(fc.free, t)
@@ -312,48 +338,39 @@ func (r *Runtime) freeFrame(worker int, t *task) {
 }
 
 // Run executes fn as the initial task (level 0) and blocks until it and
-// every task it transitively spawned have finished. Runtimes are reusable:
-// Run may be called repeatedly (but not concurrently from multiple
-// goroutines, matching a Cilk program's single main).
+// every task it transitively spawned have finished. It is a thin shim over
+// Submit + Wait, so — unlike the original single-main API — Run may be
+// called concurrently from any number of goroutines; each call is one job.
+// After Close has begun it fails fast with ErrClosed.
 func (r *Runtime) Run(fn work.Fn) error {
-	rootTier := core.TierIntra
-	if r.bl > 0 {
-		rootTier = core.TierInter
+	j, err := r.Submit(fn)
+	if err != nil {
+		return err
 	}
-	// done is kept in a local: the frame is recycled the moment the root
-	// completes, so Run must not read root.done after submission.
-	done := make(chan struct{})
-	root := &task{fn: fn, level: 0, tier: rootTier, hint: -1, done: done}
-	r.runMu.Lock()
-	if r.stopped.Load() {
-		r.runMu.Unlock()
-		return fmt.Errorf("rt: runtime is closed")
-	}
-	r.roots <- root // buffered: the previous root was consumed before its done closed
-	r.runMu.Unlock()
-	r.lot.Publish()
-	<-done
-	r.panicMu.Lock()
-	defer r.panicMu.Unlock()
-	if len(r.panics) > 0 {
-		first := r.panics[0]
-		r.panics = nil
-		return first
-	}
-	return nil
+	return j.Wait()
 }
 
-// Close stops the workers. Outstanding Run calls must have returned.
+// Close shuts the runtime down gracefully: it first rejects new
+// submissions (Submit and Run fail fast with ErrClosed), then drains —
+// every job already admitted, including roots still waiting in the
+// admission queue, runs to completion — and only then stops the workers.
+// Concurrent and repeated Close calls all block until the pool has fully
+// terminated.
 func (r *Runtime) Close() {
-	r.runMu.Lock()
-	if r.stopped.Swap(true) {
-		r.runMu.Unlock()
+	r.submitMu.Lock()
+	if r.closed {
+		r.submitMu.Unlock()
+		<-r.term
 		return
 	}
-	close(r.roots)
-	r.runMu.Unlock()
-	r.lot.Wake() // parked workers must observe the stop
+	r.closed = true
+	r.submitMu.Unlock()
+	r.live.Wait()          // drain: admitted jobs (queued or running) finish
+	r.stopping.Store(true) // ineligible workers cannot see the channel close
+	close(r.roots)         // safe: live == 0 means no Submit holds a send
+	r.lot.Wake()           // parked workers must observe the stop
 	r.wg.Wait()
+	close(r.term)
 }
 
 // ctx is the work.Proc a task body sees. It is embedded in the task frame,
@@ -394,17 +411,28 @@ func (c *ctx) SpawnHint(squad int, fn work.Fn) {
 func (c *ctx) spawn(fn work.Fn, hint int) {
 	r := c.r
 	w := c.worker
+	j := c.t.job
+	if j != nil && j.cancelled.Load() {
+		return // cancelled jobs stop spawning; the existing DAG drains
+	}
 	child := r.newFrame(w)
 	child.fn = fn
 	child.parent = c.t
+	child.job = j
 	child.level = c.t.level + 1
 	child.tier = core.ChildTier(c.t.level, r.bl)
 	child.hint = hint
 	c.t.pending.Add(1)
 	sh := &r.stats[w]
 	sh.spawns.Add(1)
+	if j != nil {
+		j.spawns.Add(1)
+	}
 	if child.tier == core.TierInter {
 		sh.interSpawns.Add(1)
+		if j != nil {
+			j.interSpawns.Add(1)
+		}
 		sq := r.topo.SquadOf(w)
 		if hint >= 0 && hint < r.topo.Sockets {
 			sq = hint
@@ -441,8 +469,7 @@ func (c *ctx) Sync() {
 	idle := 0
 	for t.pending.Load() > 0 {
 		if tk := r.syncFind(c.worker, interSync, c.rng); tk != nil {
-			r.stats[c.worker].helps.Add(1)
-			r.execute(c.worker, tk, c.rng)
+			r.help(c.worker, tk, c.rng)
 			idle = 0
 			continue
 		}
@@ -462,8 +489,7 @@ func (c *ctx) Sync() {
 		}
 		if tk := r.syncFind(c.worker, interSync, c.rng); tk != nil {
 			r.lot.Cancel()
-			r.stats[c.worker].helps.Add(1)
-			r.execute(c.worker, tk, c.rng)
+			r.help(c.worker, tk, c.rng)
 			idle = 0
 			continue
 		}
@@ -473,6 +499,18 @@ func (c *ctx) Sync() {
 	if interSync {
 		r.busy[sq].busy.Store(true) // the frame resumes as the squad's inter task
 	}
+}
+
+// help executes a task found while blocked at a Sync, attributing the help
+// to the worker's shard and to the helped task's job. Helping never adopts
+// queued roots: starting a whole new job under a blocked join would nest
+// arbitrarily deep and delay the join by that job's entire runtime.
+func (r *Runtime) help(w int, tk *task, rng *xrand.Source) {
+	r.stats[w].helps.Add(1)
+	if j := tk.job; j != nil {
+		j.helps.Add(1)
+	}
+	r.execute(w, tk, rng)
 }
 
 // syncFind selects the helping mode of a blocked Sync per Algorithm I.
@@ -496,13 +534,18 @@ func (r *Runtime) clearBusy(sq int) {
 }
 
 // execute runs one task frame and settles its completion. A panicking
-// body is recovered and recorded (surfaced by Run); the frame still joins
-// its children so the DAG's counters stay consistent. The frame is
-// recycled before the parent is notified — by then nothing references it.
+// body is recovered and recorded on the frame's job (surfaced by that
+// job's Wait); the frame still joins its children so the DAG's counters
+// stay consistent. A frame whose job was cancelled skips its body but
+// still runs the join protocol, so cancelled DAGs drain cleanly. The frame
+// is recycled before the parent is notified — by then nothing references
+// it.
 func (r *Runtime) execute(worker int, t *task, rng *xrand.Source) {
 	c := &t.c
 	c.r, c.worker, c.t, c.rng = r, worker, t, rng
-	r.runBody(t, c)
+	if j := t.job; j == nil || !j.cancelled.Load() {
+		r.runBody(t, c)
+	}
 	// Implicit final sync: a frame is not done until its children are
 	// (Cilk inserts one before every procedure return).
 	if t.pending.Load() > 0 {
@@ -512,55 +555,54 @@ func (r *Runtime) execute(worker int, t *task, rng *xrand.Source) {
 		// Algorithm II (c): a returning inter-socket task frees its squad.
 		r.clearBusy(r.topo.SquadOf(worker))
 	}
-	parent, done := t.parent, t.done
+	parent, job := t.parent, t.job
 	r.freeFrame(worker, t)
 	if parent != nil {
 		if parent.pending.Add(-1) == 0 {
 			r.lot.Publish() // the joiner may be parked in Sync
 		}
-	}
-	if done != nil {
-		close(done)
+	} else if job != nil {
+		r.finishJob(job) // the root's join completed: the job is done
 	}
 }
 
-// runBody invokes the task function under the panic barrier.
+// runBody invokes the task function under the panic barrier. The first
+// panic of a job wins; later ones (other tasks of the same job) are
+// dropped — each concurrent job keeps its own slot, so a panicking job
+// never contaminates its neighbours.
 func (r *Runtime) runBody(t *task, c *ctx) {
 	defer func() {
 		if v := recover(); v != nil {
-			r.panicMu.Lock()
-			r.panics = append(r.panics, &TaskPanic{
+			tp := &TaskPanic{
 				Value: v, Level: t.level, Stack: string(debug.Stack()),
-			})
-			r.panicMu.Unlock()
+			}
+			if j := t.job; j != nil {
+				tp.Job = j.id
+				j.panicked.CompareAndSwap(nil, tp)
+			}
 		}
 	}()
 	t.fn(c)
 }
 
-// workerLoop is Algorithm I driven forever: probe, then park.
+// workerLoop is Algorithm I driven forever: probe, adopt a queued root
+// when otherwise idle, then park.
 func (r *Runtime) workerLoop(w int) {
 	defer r.wg.Done()
 	rng := xrand.New(r.seed + uint64(w)*0x9e3779b97f4a7c15 + 1)
 	idle := 0
 	for {
-		// Worker 0 accepts new root tasks (Algorithm II step 3).
-		if w == 0 {
-			select {
-			case root, ok := <-r.roots:
-				if !ok {
-					return
-				}
-				r.runRoot(w, root, rng)
-				idle = 0
-				continue
-			default:
-			}
-		} else if r.stopped.Load() {
-			return
-		}
 		if t := r.findTask(w, rng); t != nil {
 			r.execute(w, t, rng)
+			idle = 0
+			continue
+		}
+		root, stop := r.pollRoot(w)
+		if stop {
+			return
+		}
+		if root != nil {
+			r.runRoot(w, root, rng)
 			idle = 0
 			continue
 		}
@@ -573,25 +615,20 @@ func (r *Runtime) workerLoop(w int) {
 		}
 		// Idle: announce, re-probe every source once, then park.
 		e := r.lot.Prepare()
-		if w == 0 {
-			select {
-			case root, ok := <-r.roots:
-				r.lot.Cancel()
-				if !ok {
-					return
-				}
-				r.runRoot(w, root, rng)
-				idle = 0
-				continue
-			default:
-			}
-		} else if r.stopped.Load() {
-			r.lot.Cancel()
-			return
-		}
 		if t := r.findTask(w, rng); t != nil {
 			r.lot.Cancel()
 			r.execute(w, t, rng)
+			idle = 0
+			continue
+		}
+		root, stop = r.pollRoot(w)
+		if stop {
+			r.lot.Cancel()
+			return
+		}
+		if root != nil {
+			r.lot.Cancel()
+			r.runRoot(w, root, rng)
 			idle = 0
 			continue
 		}
@@ -600,10 +637,39 @@ func (r *Runtime) workerLoop(w int) {
 	}
 }
 
-// runRoot executes a task submitted through Run on worker 0.
+// pollRoot tries to adopt a queued root task — Algorithm II step 3,
+// generalized from "worker 0 accepts new roots" to every eligible worker
+// so independent jobs run concurrently. Under BL > 0 roots are
+// inter-socket tasks, so only a head worker whose squad is not busy may
+// adopt one (the busy_state discipline caps concurrency at one inter-tier
+// job root per squad); under BL == 0 every worker is eligible. stop
+// reports that the runtime has shut down and the worker should exit.
+func (r *Runtime) pollRoot(w int) (root *task, stop bool) {
+	if r.bl > 0 {
+		sq := r.topo.SquadOf(w)
+		if !r.topo.IsHead(w) || r.busy[sq].busy.Load() {
+			// Ineligible workers never observe the channel close; the
+			// stopping flag (set just before it) tells them to exit.
+			return nil, r.stopping.Load()
+		}
+	}
+	select {
+	case t, ok := <-r.roots:
+		if !ok {
+			return nil, true
+		}
+		return t, false
+	default:
+	}
+	return nil, r.stopping.Load()
+}
+
+// runRoot executes an adopted root frame on worker w. An inter-tier root
+// occupies the adopting worker's squad, exactly like an inter-socket task
+// obtained from a squad pool.
 func (r *Runtime) runRoot(w int, root *task, rng *xrand.Source) {
 	if root.tier == core.TierInter {
-		r.busy[0].busy.Store(true)
+		r.busy[r.topo.SquadOf(w)].busy.Store(true)
 	}
 	r.execute(w, root, rng)
 }
@@ -643,6 +709,9 @@ func (r *Runtime) findTask(w int, rng *xrand.Source) *task {
 	}
 	if t != nil {
 		r.stats[w].stealsInter.Add(1)
+		if j := t.job; j != nil {
+			j.migrations.Add(1) // the frame crossed squads
+		}
 		r.busy[sq].busy.Store(true)
 		return t
 	}
@@ -671,6 +740,9 @@ func (r *Runtime) stealIntraFrom(w, sq int, rng *xrand.Source) *task {
 	}
 	if t := r.intra[victim].Steal(); t != nil {
 		r.stats[w].stealsIntra.Add(1)
+		if j := t.job; j != nil {
+			j.steals.Add(1)
+		}
 		return t
 	}
 	r.stats[w].failedSteals.Add(1)
@@ -689,6 +761,12 @@ func (r *Runtime) stealAny(w int, rng *xrand.Source) *task {
 	}
 	if t := r.intra[victim].Steal(); t != nil {
 		r.stats[w].stealsIntra.Add(1)
+		if j := t.job; j != nil {
+			j.steals.Add(1)
+			if r.topo.SquadOf(victim) != r.topo.SquadOf(w) {
+				j.migrations.Add(1)
+			}
+		}
 		return t
 	}
 	r.stats[w].failedSteals.Add(1)

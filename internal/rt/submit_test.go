@@ -1,0 +1,388 @@
+package rt
+
+import (
+	"errors"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"cab/internal/topology"
+	"cab/internal/work"
+)
+
+func uniTopo() topology.Topology {
+	return topology.Topology{
+		Sockets: 1, CoresPerSocket: 1, LineBytes: 64,
+		L3Bytes: 1 << 20, L3Assoc: 16,
+	}
+}
+
+// TestRunConcurrent: Run is now Submit+Wait, so concurrent Run calls from
+// many goroutines must all execute (no hang, no race, no lost roots).
+func TestRunConcurrent(t *testing.T) {
+	r := newRT(t, quadTopo(), 0)
+	const goroutines, runs = 16, 20
+	var count atomic.Int64
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < runs; i++ {
+				if err := r.Run(func(p work.Proc) {
+					p.Spawn(func(work.Proc) { count.Add(1) })
+					p.Sync()
+					count.Add(1)
+				}); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	if got := count.Load(); got != goroutines*runs*2 {
+		t.Fatalf("count = %d, want %d", got, goroutines*runs*2)
+	}
+}
+
+// TestMultipleLiveRoots proves two jobs are genuinely in flight at once:
+// each job's root blocks until it has seen the other start.
+func TestMultipleLiveRoots(t *testing.T) {
+	r := newRT(t, quadTopo(), 0) // 4 workers
+	a, b := make(chan struct{}), make(chan struct{})
+	ja, err := r.Submit(func(work.Proc) { close(a); <-b })
+	if err != nil {
+		t.Fatal(err)
+	}
+	jb, err := r.Submit(func(work.Proc) { close(b); <-a })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := ja.Wait(); err != nil {
+		t.Fatal(err)
+	}
+	if err := jb.Wait(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestCloseDrainsPendingJobs: jobs admitted before Close — including ones
+// still waiting in the admission queue — must run to completion before
+// Close stops the workers.
+func TestCloseDrainsPendingJobs(t *testing.T) {
+	r, err := New(Config{Topo: uniTopo(), BL: 0, Seed: 3, QueueDepth: 64})
+	if err != nil {
+		t.Fatal(err)
+	}
+	const jobs = 32
+	var ran atomic.Int64
+	for i := 0; i < jobs; i++ {
+		if _, err := r.Submit(func(p work.Proc) { ran.Add(1) }); err != nil {
+			t.Fatal(err)
+		}
+	}
+	r.Close() // must block until every admitted job executed
+	if got := ran.Load(); got != jobs {
+		t.Fatalf("after Close: %d jobs ran, want %d", got, jobs)
+	}
+}
+
+// TestSubmitAfterCloseFailsFast: once Close has begun — even while it is
+// still draining a running job — new submissions fail with ErrClosed.
+func TestSubmitAfterCloseFailsFast(t *testing.T) {
+	r, err := New(Config{Topo: uniTopo(), BL: 0, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	gate := make(chan struct{})
+	started := make(chan struct{})
+	if _, err := r.Submit(func(work.Proc) { close(started); <-gate }); err != nil {
+		t.Fatal(err)
+	}
+	<-started
+	closed := make(chan struct{})
+	go func() { r.Close(); close(closed) }()
+	// Close is now blocked draining the gated job; poll until the closed
+	// flag is visible to Submit.
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		_, err := r.Submit(func(work.Proc) {})
+		if errors.Is(err, ErrClosed) {
+			break
+		}
+		if err != nil {
+			t.Fatalf("unexpected submit error: %v", err)
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("Submit kept succeeding while Close was draining")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	close(gate)
+	<-closed
+	if _, err := r.Submit(func(work.Proc) {}); !errors.Is(err, ErrClosed) {
+		t.Fatalf("Submit after Close: err = %v, want ErrClosed", err)
+	}
+	if err := r.Run(func(work.Proc) {}); !errors.Is(err, ErrClosed) {
+		t.Fatalf("Run after Close: err = %v, want ErrClosed", err)
+	}
+}
+
+// blockedQueue fills a depth-1 admission queue on a single-worker runtime:
+// one job holds the worker, a second waits in the queue. release unblocks
+// both.
+func blockedQueue(t *testing.T) (r *Runtime, release func()) {
+	t.Helper()
+	r, err := New(Config{Topo: uniTopo(), BL: 0, Seed: 5, QueueDepth: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	gate := make(chan struct{})
+	started := make(chan struct{})
+	if _, err := r.Submit(func(work.Proc) { close(started); <-gate }); err != nil {
+		t.Fatal(err)
+	}
+	<-started // the worker has adopted job 1; the queue is empty
+	if _, err := r.Submit(func(work.Proc) {}); err != nil {
+		t.Fatal(err) // job 2 occupies the queue's single slot
+	}
+	return r, func() { close(gate) }
+}
+
+func TestTrySubmitQueueFull(t *testing.T) {
+	r, release := blockedQueue(t)
+	if _, err := r.TrySubmit(func(work.Proc) {}); !errors.Is(err, ErrQueueFull) {
+		t.Fatalf("TrySubmit on full queue: err = %v, want ErrQueueFull", err)
+	}
+	release()
+	r.Close()
+}
+
+// TestSubmitCancelAbortsBlockedAdmission: a blocking Submit waiting on a
+// full queue must abort with ErrSubmitCancelled when its Cancel channel
+// fires.
+func TestSubmitCancelAbortsBlockedAdmission(t *testing.T) {
+	r, release := blockedQueue(t)
+	cancel := make(chan struct{})
+	errc := make(chan error, 1)
+	go func() {
+		_, err := r.SubmitWith(func(work.Proc) {}, SubmitOpts{Cancel: cancel})
+		errc <- err
+	}()
+	select {
+	case err := <-errc:
+		t.Fatalf("blocked Submit returned early: %v", err)
+	case <-time.After(50 * time.Millisecond):
+	}
+	close(cancel)
+	select {
+	case err := <-errc:
+		if !errors.Is(err, ErrSubmitCancelled) {
+			t.Fatalf("err = %v, want ErrSubmitCancelled", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("cancelled Submit never returned")
+	}
+	release()
+	r.Close()
+}
+
+// TestCancelStopsSpawning: a job whose DAG would grow forever must drain
+// once cancelled — spawn becomes a no-op and queued frames skip their
+// bodies.
+func TestCancelStopsSpawning(t *testing.T) {
+	r := newRT(t, quadTopo(), 0)
+	var rec func(p work.Proc)
+	rec = func(p work.Proc) {
+		p.Spawn(rec)
+		p.Spawn(rec)
+		p.Sync()
+	}
+	j, err := r.Submit(func(p work.Proc) { rec(p) })
+	if err != nil {
+		t.Fatal(err)
+	}
+	for j.Stats().Spawns < 10_000 {
+		time.Sleep(time.Millisecond)
+	}
+	j.Cancel()
+	done := make(chan error, 1)
+	go func() { done <- j.Wait() }()
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("cancelled job Wait: %v", err)
+		}
+	case <-time.After(30 * time.Second):
+		t.Fatal("cancelled job never drained")
+	}
+	if !j.Stats().Cancelled || !j.Stats().Done {
+		t.Fatalf("stats = %+v, want Cancelled and Done", j.Stats())
+	}
+}
+
+// TestPerJobStatsIsolation: two concurrent jobs with known spawn counts
+// must account their events separately, and the global counters must cover
+// both.
+func TestPerJobStatsIsolation(t *testing.T) {
+	r := newRT(t, quadTopo(), 0)
+	before := r.Stats()
+	mk := func(n int) work.Fn {
+		return func(p work.Proc) {
+			for i := 0; i < n; i++ {
+				p.Spawn(func(work.Proc) { busywork() })
+			}
+			p.Sync()
+		}
+	}
+	ja, err := r.Submit(mk(100))
+	if err != nil {
+		t.Fatal(err)
+	}
+	jb, err := r.Submit(mk(50))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := ja.Wait(); err != nil {
+		t.Fatal(err)
+	}
+	if err := jb.Wait(); err != nil {
+		t.Fatal(err)
+	}
+	sa, sb := ja.Stats(), jb.Stats()
+	if sa.Spawns != 100 || sb.Spawns != 50 {
+		t.Fatalf("per-job spawns = %d/%d, want 100/50", sa.Spawns, sb.Spawns)
+	}
+	if sa.ID == sb.ID {
+		t.Fatal("jobs share an ID")
+	}
+	if !sa.Done || sa.Wall <= 0 {
+		t.Fatalf("job A stats not settled: %+v", sa)
+	}
+	global := r.Stats()
+	if got := global.Spawns - before.Spawns; got != 150 {
+		t.Fatalf("global spawns = %d, want 150", got)
+	}
+	if global.StealsIntra+global.StealsInter > 0 {
+		if sa.Steals+sa.Migrations+sb.Steals+sb.Migrations == 0 {
+			t.Log("steals occurred but were not attributed to either job (other activity)")
+		}
+	}
+}
+
+// TestPanicIsolationAcrossJobs: a panic in one job surfaces from that
+// job's Wait only; a concurrent healthy job is unaffected.
+func TestPanicIsolationAcrossJobs(t *testing.T) {
+	r := newRT(t, quadTopo(), 0)
+	gate := make(chan struct{})
+	healthy, err := r.Submit(func(p work.Proc) { <-gate })
+	if err != nil {
+		t.Fatal(err)
+	}
+	bad, err := r.Submit(func(p work.Proc) {
+		p.Spawn(func(work.Proc) { panic("job-scoped boom") })
+		p.Sync()
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	badErr := bad.Wait()
+	if badErr == nil {
+		t.Fatal("panicking job reported no error")
+	}
+	tp, ok := badErr.(*TaskPanic)
+	if !ok {
+		t.Fatalf("error type %T, want *TaskPanic", badErr)
+	}
+	if tp.Value != "job-scoped boom" || tp.Job != bad.ID() || tp.Level != 1 {
+		t.Fatalf("panic details wrong: %+v", tp)
+	}
+	close(gate)
+	if err := healthy.Wait(); err != nil {
+		t.Fatalf("healthy job inherited neighbour's panic: %v", err)
+	}
+}
+
+// TestInterTierRootsOccupySquads: under BL > 0 a root is an inter-socket
+// task — it must be adopted by a head worker and mark its squad busy, and
+// two jobs must still be able to run concurrently on a two-squad machine.
+func TestInterTierRootsOccupySquads(t *testing.T) {
+	top := quadTopo()
+	r := newRT(t, top, 2)
+	a, b := make(chan struct{}), make(chan struct{})
+	var wa, wb atomic.Int64
+	ja, err := r.Submit(func(p work.Proc) { wa.Store(int64(p.Worker())); close(a); <-b })
+	if err != nil {
+		t.Fatal(err)
+	}
+	jb, err := r.Submit(func(p work.Proc) { wb.Store(int64(p.Worker())); close(b); <-a })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := ja.Wait(); err != nil {
+		t.Fatal(err)
+	}
+	if err := jb.Wait(); err != nil {
+		t.Fatal(err)
+	}
+	if !top.IsHead(int(wa.Load())) || !top.IsHead(int(wb.Load())) {
+		t.Fatalf("roots ran on workers %d/%d; inter-tier roots must run on heads", wa.Load(), wb.Load())
+	}
+	if top.SquadOf(int(wa.Load())) == top.SquadOf(int(wb.Load())) {
+		t.Fatalf("both roots ran in squad %d; concurrent jobs should spread across squads", top.SquadOf(int(wa.Load())))
+	}
+	for sq := range r.busy {
+		if r.busy[sq].busy.Load() {
+			t.Fatalf("squad %d busy flag leaked after jobs finished", sq)
+		}
+	}
+}
+
+// TestJobWallTime: Wall tracks elapsed time while running and settles at
+// completion.
+func TestJobWallTime(t *testing.T) {
+	r := newRT(t, quadTopo(), 0)
+	j, err := r.Submit(func(work.Proc) { time.Sleep(20 * time.Millisecond) })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := j.Wait(); err != nil {
+		t.Fatal(err)
+	}
+	s := j.Stats()
+	if !s.Done {
+		t.Fatal("job not Done after Wait")
+	}
+	if s.Wall < 20*time.Millisecond {
+		t.Fatalf("Wall = %v, want >= 20ms", s.Wall)
+	}
+	if again := j.Stats().Wall; again != s.Wall {
+		t.Fatalf("settled Wall moved: %v != %v", again, s.Wall)
+	}
+}
+
+// TestCloseIdempotentAndConcurrent: overlapping Close calls must all block
+// until termination and leave the runtime cleanly closed.
+func TestCloseIdempotentAndConcurrent(t *testing.T) {
+	r, err := New(Config{Topo: quadTopo(), BL: 0, Seed: 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 8; i++ {
+		if _, err := r.Submit(func(work.Proc) { busywork() }); err != nil {
+			t.Fatal(err)
+		}
+	}
+	var wg sync.WaitGroup
+	for i := 0; i < 4; i++ {
+		wg.Add(1)
+		go func() { defer wg.Done(); r.Close() }()
+	}
+	wg.Wait()
+	r.Close() // still fine afterwards
+	if _, err := r.Submit(func(work.Proc) {}); !errors.Is(err, ErrClosed) {
+		t.Fatalf("Submit after concurrent Close: %v", err)
+	}
+}

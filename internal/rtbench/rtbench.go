@@ -3,7 +3,7 @@
 // `cabbench -rtbench`, so the fast-path numbers recorded in EXPERIMENTS.md
 // and scripts/bench.sh's BENCH_rt.json come from a single implementation.
 //
-// The three benchmarks target the three hot structures of internal/rt:
+// The benchmarks target the hot structures of internal/rt:
 //
 //   - SpawnSync: the task-frame path (spawn, queue, execute, join) on a
 //     warm runtime — the paper's per-spawn overhead, dominated by frame
@@ -13,12 +13,18 @@
 //   - InterPool: the per-squad inter-socket pool (deque.Locked) under the
 //     head-worker traffic pattern: batched pushes drained by a mix of
 //     hint-matched steals, plain steals and owner pops.
+//   - JobThroughput: the multi-job admission path (Submit, bounded queue,
+//     root adoption, per-job completion) under 64 concurrent submitters —
+//     the jobs/sec figure the jobs subsystem is sized by.
 package rtbench
 
 import (
+	"sync"
 	"testing"
+	"time"
 
 	"cab/internal/deque"
+	"cab/internal/jobs"
 	"cab/internal/rt"
 	"cab/internal/topology"
 	"cab/internal/work"
@@ -107,6 +113,65 @@ func StealThroughput(b *testing.B) {
 	steals := after.StealsIntra + after.StealsInter - before.StealsIntra - before.StealsInter
 	b.ReportMetric(float64(steals)/float64(b.N), "steals/op")
 	b.ReportMetric(float64(uint64(2)<<depth-1), "tasks/op")
+}
+
+// JobThroughput measures end-to-end job service rate: 64 goroutines
+// concurrently Submit small fork-join jobs (8 leaves each) through the
+// jobs engine and wait on the futures, splitting b.N jobs between them.
+// Reports jobs/sec — the headline number for the multi-job subsystem —
+// on a 2x2 machine at BL = 0 (every worker adopts roots) with a deep
+// admission queue so throughput, not queue capacity, is measured.
+func JobThroughput(b *testing.B) {
+	const submitters = 64
+	r, err := rt.New(rt.Config{Topo: quadTopo(), BL: 0, Seed: 1, QueueDepth: 256})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer r.Close()
+	eng := jobs.New(r, jobs.Config{Policy: jobs.Block})
+	defer eng.Close()
+	body := func(p work.Proc) {
+		for i := 0; i < 8; i++ {
+			p.Spawn(noop)
+		}
+		p.Sync()
+	}
+	// Warm: populate freelists and grow the deque rings.
+	if j, err := eng.Submit(nil, body); err != nil {
+		b.Fatal(err)
+	} else if err := j.Wait(); err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	start := time.Now()
+	var wg sync.WaitGroup
+	for g := 0; g < submitters; g++ {
+		n := b.N / submitters
+		if g < b.N%submitters {
+			n++
+		}
+		wg.Add(1)
+		go func(n int) {
+			defer wg.Done()
+			for i := 0; i < n; i++ {
+				j, err := eng.Submit(nil, body)
+				if err != nil {
+					b.Error(err)
+					return
+				}
+				if err := j.Wait(); err != nil {
+					b.Error(err)
+					return
+				}
+			}
+		}(n)
+	}
+	wg.Wait()
+	b.StopTimer()
+	if el := time.Since(start).Seconds(); el > 0 {
+		b.ReportMetric(float64(b.N)/el, "jobs/sec")
+	}
 }
 
 // spin burns a few cycles of real CPU so stolen leaves have weight.

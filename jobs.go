@@ -1,0 +1,136 @@
+// Multi-job submission: the public face of the jobs subsystem
+// (internal/jobs over internal/rt). A Scheduler is multi-tenant — any
+// goroutine may Submit a job at any time; jobs queue in a bounded
+// admission queue, run interleaved on the squad-structured worker pool,
+// and return futures with per-job statistics, panic isolation and
+// context-based cancellation.
+//
+//	sched, _ := cab.New(cab.Config{})
+//	defer sched.Close() // drains in-flight jobs first
+//
+//	job, err := sched.Submit(ctx, func(t cab.Task) {
+//	    t.Spawn(left)
+//	    t.Spawn(right)
+//	    t.Sync()
+//	})
+//	if err != nil { ... }          // cab.ErrQueueFull, cab.ErrClosed, ctx errors
+//	if err := job.Wait(); err != nil { ... }
+//	fmt.Println(job.Stats().Wall)
+package cab
+
+import (
+	"context"
+	"time"
+
+	"cab/internal/jobs"
+)
+
+// Sentinel errors of the job API. Compare with errors.Is.
+var (
+	// ErrClosed reports a submission after Close began; the scheduler
+	// keeps draining already-admitted jobs but admits no new ones.
+	ErrClosed = jobs.ErrClosed
+	// ErrQueueFull reports a full admission queue under RejectWhenFull.
+	ErrQueueFull = jobs.ErrQueueFull
+	// ErrJobCancelled reports a job cancelled via Job.Cancel (contexts
+	// surface their own errors instead).
+	ErrJobCancelled = jobs.ErrCancelled
+)
+
+// SubmitPolicy selects what Submit does when the admission queue is full.
+type SubmitPolicy int
+
+const (
+	// BlockWhenFull makes Submit wait for queue space (backpressure); the
+	// wait aborts with the context's error if ctx fires first.
+	BlockWhenFull SubmitPolicy = iota
+	// RejectWhenFull makes Submit fail fast with ErrQueueFull, for
+	// callers that shed load instead of queueing it.
+	RejectWhenFull
+)
+
+// Job is a future for one submitted task DAG.
+type Job struct {
+	j *jobs.Job
+}
+
+// Submit enqueues fn as a new job and returns its future without waiting.
+// Safe for concurrent use from any number of goroutines — this is how a
+// server shares one Scheduler across requests. A nil ctx means
+// context.Background(); cancelling ctx (or hitting its deadline) makes the
+// job stop spawning, drain cleanly, and report the context's error from
+// Wait.
+//
+// Do not Submit-and-Wait from inside a task body on the same scheduler (it
+// would hold a worker); spawn children instead.
+func (s *Scheduler) Submit(ctx context.Context, fn TaskFunc) (*Job, error) {
+	j, err := s.eng.Submit(ctx, fn)
+	if err != nil {
+		return nil, err
+	}
+	return &Job{j: j}, nil
+}
+
+// Wait blocks until the job's DAG has fully drained and returns nil, the
+// first panic a task of this job raised (*rt.TaskPanic, isolated from
+// concurrent jobs), the context's error for a context cancellation, or
+// ErrJobCancelled for a direct Cancel. Idempotent.
+func (j *Job) Wait() error { return j.j.Wait() }
+
+// Done returns a channel closed when the job's DAG has fully drained.
+func (j *Job) Done() <-chan struct{} { return j.j.Done() }
+
+// Cancel asks the job to stop: its tasks stop spawning and the DAG drains
+// cleanly. Running task bodies are not interrupted. Idempotent.
+func (j *Job) Cancel() { j.j.Cancel() }
+
+// ID returns the scheduler-unique job ID.
+func (j *Job) ID() int64 { return j.j.ID() }
+
+// JobStats is a point-in-time snapshot of one job's scheduler events.
+type JobStats struct {
+	ID          int64
+	Spawns      int64         // tasks created by this job
+	InterSpawns int64         // spawns into the inter-socket tier
+	Steals      int64         // this job's tasks taken by intra-squad thieves
+	Migrations  int64         // this job's tasks that crossed squads
+	Helps       int64         // this job's tasks run inside someone's Sync
+	Wall        time.Duration // submit-to-now, or submit-to-completion once Done
+	Done        bool
+	Cancelled   bool
+}
+
+// Stats snapshots the job's accounting; callable while the job runs.
+func (j *Job) Stats() JobStats {
+	s := j.j.Stats()
+	return JobStats{
+		ID:          s.ID,
+		Spawns:      s.Spawns,
+		InterSpawns: s.InterSpawns,
+		Steals:      s.Steals,
+		Migrations:  s.Migrations,
+		Helps:       s.Helps,
+		Wall:        s.Wall,
+		Done:        s.Done,
+		Cancelled:   s.Cancelled,
+	}
+}
+
+// ServiceStats are cumulative scheduler-level job counters.
+type ServiceStats struct {
+	Submitted int64 // jobs admitted
+	Completed int64 // jobs fully drained
+	Rejected  int64 // submissions refused with ErrQueueFull
+	Cancelled int64 // jobs cancelled (context or Cancel)
+}
+
+// ServiceStats reports the scheduler's cumulative job-service counters.
+func (s *Scheduler) ServiceStats() ServiceStats {
+	st := s.eng.Stats()
+	return ServiceStats{
+		Submitted: st.Submitted,
+		Completed: st.Completed,
+		Rejected:  st.Rejected,
+		Cancelled: st.Cancelled,
+	}
+}

@@ -1,0 +1,266 @@
+// Tests for the public multi-job API: Submit/Wait futures, policies,
+// cancellation and service stats through package cab (the internal
+// engine and runtime have their own, deeper suites).
+package cab_test
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"cab"
+)
+
+func newTestSched(t *testing.T, cfg cab.Config) *cab.Scheduler {
+	t.Helper()
+	if cfg.Machine.Sockets == 0 {
+		cfg.Machine = cab.Machine{Sockets: 2, CoresPerSocket: 2, SharedCache: 1 << 20}
+	}
+	s, err := cab.New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(s.Close)
+	return s
+}
+
+func TestSubmitWait(t *testing.T) {
+	s := newTestSched(t, cab.Config{})
+	var n atomic.Int64
+	job, err := s.Submit(context.Background(), func(p cab.Task) {
+		for i := 0; i < 8; i++ {
+			p.Spawn(func(cab.Task) { n.Add(1) })
+		}
+		p.Sync()
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := job.Wait(); err != nil {
+		t.Fatal(err)
+	}
+	if got := n.Load(); got != 8 {
+		t.Fatalf("ran %d children, want 8", got)
+	}
+	st := job.Stats()
+	if !st.Done || st.Spawns != 8 || st.ID != job.ID() {
+		t.Fatalf("stats = %+v", st)
+	}
+}
+
+func TestConcurrentSubmitters(t *testing.T) {
+	s := newTestSched(t, cab.Config{QueueDepth: 128})
+	const submitters, perSubmitter = 16, 25
+	var total atomic.Int64
+	var wg sync.WaitGroup
+	errs := make(chan error, submitters)
+	for g := 0; g < submitters; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < perSubmitter; i++ {
+				job, err := s.Submit(context.Background(), func(p cab.Task) {
+					p.Spawn(func(cab.Task) { total.Add(1) })
+					p.Spawn(func(cab.Task) { total.Add(1) })
+					p.Sync()
+				})
+				if err != nil {
+					errs <- err
+					return
+				}
+				if err := job.Wait(); err != nil {
+					errs <- err
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+	if got := total.Load(); got != submitters*perSubmitter*2 {
+		t.Fatalf("ran %d leaves, want %d", got, submitters*perSubmitter*2)
+	}
+	st := s.ServiceStats()
+	if st.Submitted != submitters*perSubmitter || st.Completed != submitters*perSubmitter {
+		t.Fatalf("service stats = %+v", st)
+	}
+}
+
+func TestRejectWhenFull(t *testing.T) {
+	s := newTestSched(t, cab.Config{
+		Machine:    cab.Machine{Sockets: 1, CoresPerSocket: 1, SharedCache: 1 << 20},
+		QueueDepth: 1,
+		OnFull:     cab.RejectWhenFull,
+	})
+	gate := make(chan struct{})
+	running := make(chan struct{})
+	blocker, err := s.Submit(context.Background(), func(cab.Task) {
+		close(running)
+		<-gate
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	<-running
+	queued, err := s.Submit(context.Background(), func(cab.Task) {})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The single worker is blocked and the depth-1 queue holds `queued`,
+	// so a third submission must be rejected.
+	if _, err := s.Submit(context.Background(), func(cab.Task) {}); !errors.Is(err, cab.ErrQueueFull) {
+		t.Fatalf("third Submit = %v, want ErrQueueFull", err)
+	}
+	if got := s.ServiceStats().Rejected; got != 1 {
+		t.Fatalf("Rejected = %d, want 1", got)
+	}
+	close(gate)
+	if err := blocker.Wait(); err != nil {
+		t.Fatal(err)
+	}
+	if err := queued.Wait(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestContextCancellation(t *testing.T) {
+	s := newTestSched(t, cab.Config{})
+	ctx, cancel := context.WithCancel(context.Background())
+	started := make(chan struct{})
+	var once sync.Once
+	var grow func(p cab.Task)
+	grow = func(p cab.Task) {
+		once.Do(func() { close(started) })
+		p.Spawn(grow)
+		p.Sync()
+	}
+	job, err := s.Submit(ctx, grow)
+	if err != nil {
+		t.Fatal(err)
+	}
+	<-started
+	cancel()
+	err = job.Wait()
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("Wait = %v, want context.Canceled", err)
+	}
+	if !job.Stats().Cancelled {
+		t.Fatal("job not marked cancelled")
+	}
+}
+
+func TestDirectCancelError(t *testing.T) {
+	s := newTestSched(t, cab.Config{})
+	gate := make(chan struct{})
+	running := make(chan struct{})
+	job, err := s.Submit(context.Background(), func(p cab.Task) {
+		close(running)
+		<-gate
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	<-running
+	job.Cancel()
+	close(gate)
+	if err := job.Wait(); !errors.Is(err, cab.ErrJobCancelled) {
+		t.Fatalf("Wait = %v, want ErrJobCancelled", err)
+	}
+	if got := s.ServiceStats().Cancelled; got != 1 {
+		t.Fatalf("Cancelled = %d, want 1", got)
+	}
+}
+
+func TestPanicIsolationPublic(t *testing.T) {
+	s := newTestSched(t, cab.Config{})
+	bad, err := s.Submit(context.Background(), func(p cab.Task) {
+		p.Spawn(func(cab.Task) { panic("boom") })
+		p.Sync()
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	good, err := s.Submit(context.Background(), func(p cab.Task) {
+		p.Spawn(func(cab.Task) {})
+		p.Sync()
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := good.Wait(); err != nil {
+		t.Fatalf("healthy job contaminated: %v", err)
+	}
+	if err := bad.Wait(); err == nil {
+		t.Fatal("panicking job returned nil")
+	}
+}
+
+func TestSubmitAfterClose(t *testing.T) {
+	s, err := cab.New(cab.Config{
+		Machine: cab.Machine{Sockets: 2, CoresPerSocket: 2, SharedCache: 1 << 20},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.Close()
+	if _, err := s.Submit(context.Background(), func(cab.Task) {}); !errors.Is(err, cab.ErrClosed) {
+		t.Fatalf("Submit after Close = %v, want ErrClosed", err)
+	}
+	if err := s.Run(func(cab.Task) {}); !errors.Is(err, cab.ErrClosed) {
+		t.Fatalf("Run after Close = %v, want ErrClosed", err)
+	}
+}
+
+func TestJobWallAndDone(t *testing.T) {
+	s := newTestSched(t, cab.Config{})
+	job, err := s.Submit(context.Background(), func(cab.Task) {
+		time.Sleep(10 * time.Millisecond)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case <-job.Done():
+		t.Fatal("Done closed before the job could plausibly finish running")
+	default:
+	}
+	if err := job.Wait(); err != nil {
+		t.Fatal(err)
+	}
+	<-job.Done()
+	if w := job.Stats().Wall; w < 10*time.Millisecond {
+		t.Fatalf("Wall = %v, want >= 10ms", w)
+	}
+}
+
+// Example-style smoke test that the README quickstart compiles and works.
+func ExampleScheduler_Submit() {
+	sched, err := cab.New(cab.Config{
+		Machine: cab.Machine{Sockets: 1, CoresPerSocket: 2, SharedCache: 1 << 20},
+	})
+	if err != nil {
+		panic(err)
+	}
+	defer sched.Close()
+
+	job, err := sched.Submit(context.Background(), func(t cab.Task) {
+		t.Spawn(func(cab.Task) {})
+		t.Spawn(func(cab.Task) {})
+		t.Sync()
+	})
+	if err != nil {
+		panic(err)
+	}
+	if err := job.Wait(); err != nil {
+		panic(err)
+	}
+	fmt.Println(job.Stats().Spawns, "spawns")
+	// Output: 2 spawns
+}

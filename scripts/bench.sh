@@ -13,7 +13,7 @@ out="${1:-BENCH_rt.json}"
 raw="$(mktemp)"
 trap 'rm -f "$raw"' EXIT
 
-go test -run '^$' -bench 'BenchmarkSpawnSync$|BenchmarkStealThroughput$|BenchmarkInterPool$' \
+go test -run '^$' -bench 'BenchmarkSpawnSync$|BenchmarkStealThroughput$|BenchmarkInterPool$|BenchmarkJobThroughput$' \
     -benchmem -count=5 . | tee "$raw"
 
 awk '
