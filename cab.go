@@ -37,6 +37,7 @@ package cab
 import (
 	"context"
 	"fmt"
+	"io"
 
 	"cab/internal/core"
 	"cab/internal/jobs"
@@ -118,6 +119,15 @@ type Config struct {
 	// (default; backpressure) or RejectWhenFull (fail fast with
 	// ErrQueueFull).
 	OnFull SubmitPolicy
+	// Trace arms scheduler event tracing from the start (see StartTrace /
+	// StopTrace). Disarmed tracing costs one atomic load per
+	// instrumentation point; the latency histograms behind JobStats and
+	// ServiceStats are always on regardless.
+	Trace bool
+	// TraceDepth is the per-worker trace ring capacity in events, rounded
+	// up to a power of two; 0 selects the default (16384). Old events are
+	// overwritten, so tracing may stay armed indefinitely.
+	TraceDepth int
 }
 
 // Scheduler is a running CAB worker pool. It is multi-tenant: Run and
@@ -158,6 +168,7 @@ func New(cfg Config) (*Scheduler, error) {
 	}
 	r, err := rt.New(rt.Config{
 		Topo: m.topology(), BL: bl, Seed: cfg.Seed, QueueDepth: cfg.QueueDepth,
+		Trace: cfg.Trace, TraceDepth: cfg.TraceDepth,
 	})
 	if err != nil {
 		return nil, fmt.Errorf("cab: %w", err)
@@ -201,6 +212,44 @@ func (s *Scheduler) Stats() Stats {
 		Helps:        st.Helps,
 	}
 }
+
+// SquadStats reports the per-squad (per-socket) breakdown of the event
+// counters — the lens the paper's §V argument uses: a healthy BL > 0 run
+// shows intra-socket steals inside every squad and few inter-socket ones.
+func (s *Scheduler) SquadStats() []Stats {
+	per := s.rt.SquadStats()
+	out := make([]Stats, len(per))
+	for i, st := range per {
+		out[i] = Stats{
+			Spawns:       st.Spawns,
+			InterSpawns:  st.InterSpawns,
+			StealsIntra:  st.StealsIntra,
+			StealsInter:  st.StealsInter,
+			FailedSteals: st.FailedSteals,
+			Helps:        st.Helps,
+		}
+	}
+	return out
+}
+
+// StartTrace arms scheduler event tracing: workers record spawns, steals,
+// migrations, parks, job lifecycle transitions and task execution spans
+// into per-worker ring buffers until StopTrace. Arming while armed extends
+// the current window. Safe on a live scheduler; the disarmed cost it
+// removes is one atomic load per event site.
+func (s *Scheduler) StartTrace() { s.rt.StartTrace() }
+
+// StopTrace disarms tracing and writes the recorded window to w as Chrome
+// trace-viewer / Perfetto JSON: workers appear as lanes grouped by socket,
+// so at BL > 0 intra-socket tasks visibly stay inside one squad's lane
+// group while cross-socket migrations jump between groups. Load the output
+// in chrome://tracing or https://ui.perfetto.dev.
+func (s *Scheduler) StopTrace(w io.Writer) error {
+	return s.rt.WriteTrace(w, s.rt.StopTrace())
+}
+
+// Tracing reports whether event tracing is armed.
+func (s *Scheduler) Tracing() bool { return s.rt.Tracing() }
 
 // Close shuts the scheduler down gracefully: new submissions fail fast
 // with ErrClosed, every job already admitted (queued or running) drains to

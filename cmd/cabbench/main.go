@@ -19,6 +19,13 @@
 // Submit -jobs fork-join jobs of -width leaves through one shared
 // Scheduler and wait on the futures; it reports jobs/sec and the service
 // counters, the end-to-end figure for the jobs subsystem.
+//
+// -trace out.json runs fib(-tracefib) on the real runtime with event
+// tracing armed on a 2-socket squad machine (BL 2) and writes the window
+// as Chrome trace-viewer JSON — load it in chrome://tracing or
+// https://ui.perfetto.dev to see workers as lanes grouped by socket. It
+// composes with -rtbench: the traced run happens first, then the
+// microbenchmarks.
 package main
 
 import (
@@ -50,11 +57,20 @@ func main() {
 		jobs       = flag.Int("jobs", 200, "loadgen: jobs per submitter")
 		width      = flag.Int("width", 8, "loadgen: leaves spawned per job")
 		queue      = flag.Int("queue", 256, "loadgen: admission queue depth")
+
+		trace    = flag.String("trace", "", "write a Chrome trace of a traced fib run to this file")
+		tracefib = flag.Int("tracefib", 30, "trace: the fib argument of the traced run")
 	)
 	flag.Parse()
 
+	if *trace != "" {
+		runTrace(*trace, *tracefib)
+	}
 	if *rtb {
 		runRTBench()
+		return
+	}
+	if *trace != "" {
 		return
 	}
 	if *loadgen {
@@ -105,6 +121,72 @@ func main() {
 	}
 }
 
+// runTrace runs fib(n) with event tracing armed on a 2-socket squad
+// machine at BL 2 — deep enough that the top of the tree distributes
+// across squads while the sub-trees stay cache-confined — and writes the
+// trace window to path as Chrome trace-viewer JSON.
+func runTrace(path string, n int) {
+	sched, err := cab.New(cab.Config{
+		Machine:       cab.Machine{Sockets: 2, CoresPerSocket: 2, SharedCache: 1 << 20},
+		BoundaryLevel: 2,
+		Trace:         true,
+	})
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "cabbench: %v\n", err)
+		os.Exit(1)
+	}
+	defer sched.Close()
+	var fib func(n int) cab.TaskFunc
+	fib = func(n int) cab.TaskFunc {
+		return func(t cab.Task) {
+			if n < 16 {
+				serialFib(n)
+				return
+			}
+			t.Spawn(fib(n - 1))
+			t.Spawn(fib(n - 2))
+			t.Sync()
+		}
+	}
+	start := time.Now()
+	if err := sched.Run(fib(n)); err != nil {
+		fmt.Fprintf(os.Stderr, "cabbench: trace run: %v\n", err)
+		os.Exit(1)
+	}
+	el := time.Since(start)
+	f, err := os.Create(path)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "cabbench: %v\n", err)
+		os.Exit(1)
+	}
+	if err := sched.StopTrace(f); err != nil {
+		fmt.Fprintf(os.Stderr, "cabbench: writing trace: %v\n", err)
+		os.Exit(1)
+	}
+	info, _ := f.Stat()
+	if err := f.Close(); err != nil {
+		fmt.Fprintf(os.Stderr, "cabbench: %v\n", err)
+		os.Exit(1)
+	}
+	st := sched.Stats()
+	fmt.Printf("== trace: fib(%d) on 2x2 squads, BL %d, %s\n", n, sched.BoundaryLevel(), el.Round(time.Millisecond))
+	fmt.Printf("   %s: %d bytes (load in chrome://tracing or ui.perfetto.dev)\n", path, info.Size())
+	fmt.Printf("   spawns %d, steals intra %d / inter %d, helps %d\n",
+		st.Spawns, st.StealsIntra, st.StealsInter, st.Helps)
+}
+
+// serialFib is the sequential cutoff of the traced fib run.
+func serialFib(n int) int64 {
+	if n < 2 {
+		return int64(n)
+	}
+	a, b := int64(0), int64(1)
+	for i := 2; i <= n; i++ {
+		a, b = b, a+b
+	}
+	return b
+}
+
 // runRTBench executes the internal/rtbench bodies through testing.Benchmark
 // so cabbench reports the same numbers as `go test -bench` without needing
 // the test binary.
@@ -115,6 +197,7 @@ func runRTBench() {
 		fn   func(*testing.B)
 	}{
 		{"SpawnSync", rtbench.SpawnSync},
+		{"SpawnSyncTraced", rtbench.SpawnSyncTraced},
 		{"StealThroughput", rtbench.StealThroughput},
 		{"InterPool", rtbench.InterPool},
 		{"JobThroughput", rtbench.JobThroughput},

@@ -14,7 +14,12 @@
 //	GET /fib?n=30       parallel Fibonacci (fork-join tree, serial cutoff)
 //	GET /matmul?n=128   parallel n x n matrix multiply, returns a checksum
 //	GET /nqueens?n=10   parallel N-queens solution count
-//	GET /statz          scheduler + job-service counters
+//	GET /statz          scheduler + job-service counters (JSON)
+//	GET /metricz        Prometheus text exposition: counters, per-squad
+//	                    breakdowns, p50/p95/p99 job latency histograms
+//	GET /tracez?ms=500  arm event tracing for a window and stream the
+//	                    recorded Chrome trace-viewer JSON back
+//	GET /debug/pprof/   standard net/http/pprof profiles
 //
 // Work endpoints return JSON: the job ID, the result, wall-clock time and
 // the job's scheduler events (spawns, steals, migrations) — the per-job
@@ -29,9 +34,11 @@ import (
 	"fmt"
 	"log"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
 	"strconv"
+	"sync"
 	"sync/atomic"
 	"syscall"
 	"time"
@@ -56,18 +63,7 @@ func main() {
 		log.Fatalf("cabserve: %v", err)
 	}
 
-	mux := http.NewServeMux()
-	mux.HandleFunc("/fib", handler(sched, 1, 45, fibJob))
-	mux.HandleFunc("/matmul", handler(sched, 1, 1024, matmulJob))
-	mux.HandleFunc("/nqueens", handler(sched, 1, 14, nqueensJob))
-	mux.HandleFunc("/statz", func(w http.ResponseWriter, r *http.Request) {
-		writeJSON(w, http.StatusOK, map[string]any{
-			"scheduler": sched.Stats(),
-			"service":   sched.ServiceStats(),
-		})
-	})
-
-	srv := &http.Server{Addr: *addr, Handler: mux}
+	srv := &http.Server{Addr: *addr, Handler: newMux(sched)}
 	done := make(chan struct{})
 	go func() {
 		defer close(done)
@@ -87,6 +83,76 @@ func main() {
 		log.Fatalf("cabserve: %v", err)
 	}
 	<-done
+}
+
+// maxTraceWindow caps how long a single /tracez request may keep tracing
+// armed; longer windows just overwrite the ring buffers anyway.
+const maxTraceWindow = 10 * time.Second
+
+// newMux builds the full routing table over one shared scheduler. Factored
+// out of main so tests can drive the exact production handlers through
+// httptest without binding a socket.
+func newMux(sched *cab.Scheduler) *http.ServeMux {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/fib", handler(sched, 1, 45, fibJob))
+	mux.HandleFunc("/matmul", handler(sched, 1, 1024, matmulJob))
+	mux.HandleFunc("/nqueens", handler(sched, 1, 14, nqueensJob))
+	mux.HandleFunc("/statz", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, http.StatusOK, map[string]any{
+			"scheduler": sched.Stats(),
+			"squads":    sched.SquadStats(),
+			"service":   sched.ServiceStats(),
+		})
+	})
+	mux.HandleFunc("/metricz", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		sched.WritePrometheus(w)
+	})
+
+	// One trace window at a time: a concurrent /tracez would disarm the
+	// first requester's window mid-collection.
+	var traceMu sync.Mutex
+	mux.HandleFunc("/tracez", func(w http.ResponseWriter, r *http.Request) {
+		window := 500 * time.Millisecond
+		if q := r.URL.Query().Get("ms"); q != "" {
+			ms, err := strconv.Atoi(q)
+			if err != nil || ms < 1 {
+				writeJSON(w, http.StatusBadRequest, map[string]any{
+					"error": "want ms as a positive integer",
+				})
+				return
+			}
+			window = time.Duration(ms) * time.Millisecond
+			if window > maxTraceWindow {
+				window = maxTraceWindow
+			}
+		}
+		if !traceMu.TryLock() {
+			writeJSON(w, http.StatusConflict, map[string]any{
+				"error": "a trace window is already in progress",
+			})
+			return
+		}
+		defer traceMu.Unlock()
+		sched.StartTrace()
+		select {
+		case <-time.After(window):
+		case <-r.Context().Done():
+			// Client gone: still StopTrace below so tracing disarms.
+		}
+		w.Header().Set("Content-Type", "application/json")
+		w.Header().Set("Content-Disposition", `attachment; filename="cab-trace.json"`)
+		if err := sched.StopTrace(w); err != nil {
+			log.Printf("cabserve: /tracez: %v", err)
+		}
+	})
+
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	return mux
 }
 
 // jobFunc builds the task body for one request and returns where to read

@@ -1,0 +1,140 @@
+// httptest coverage for the production mux: the work endpoints plus the
+// observability surface (/metricz Prometheus exposition, /tracez Chrome
+// JSON streaming, pprof wiring).
+package main
+
+import (
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"cab"
+)
+
+func testServer(t *testing.T) (*cab.Scheduler, *httptest.Server) {
+	t.Helper()
+	sched, err := cab.New(cab.Config{
+		Machine: cab.Machine{Sockets: 2, CoresPerSocket: 2, SharedCache: 1 << 20},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := httptest.NewServer(newMux(sched))
+	t.Cleanup(func() { srv.Close(); sched.Close() })
+	return sched, srv
+}
+
+func get(t *testing.T, url string) (int, string) {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp.StatusCode, string(body)
+}
+
+func TestFibEndpoint(t *testing.T) {
+	_, srv := testServer(t)
+	code, body := get(t, srv.URL+"/fib?n=20")
+	if code != http.StatusOK {
+		t.Fatalf("status %d: %s", code, body)
+	}
+	var out struct {
+		Result int64 `json:"result"`
+	}
+	if err := json.Unmarshal([]byte(body), &out); err != nil {
+		t.Fatal(err)
+	}
+	if out.Result != 6765 {
+		t.Fatalf("fib(20) = %d, want 6765", out.Result)
+	}
+}
+
+func TestMetricz(t *testing.T) {
+	_, srv := testServer(t)
+	// Run a job first so the counters and histograms are non-zero.
+	if code, body := get(t, srv.URL+"/fib?n=25"); code != http.StatusOK {
+		t.Fatalf("warm-up job failed: %d %s", code, body)
+	}
+	code, body := get(t, srv.URL+"/metricz")
+	if code != http.StatusOK {
+		t.Fatalf("status %d", code)
+	}
+	for _, want := range []string{
+		"# TYPE cab_spawns_total counter",
+		`cab_squad_spawns_total{squad="0"}`,
+		`cab_squad_spawns_total{squad="1"}`,
+		"cab_jobs_submitted_total 1",
+		"cab_jobs_completed_total 1",
+		"# TYPE cab_job_queue_wait_seconds histogram",
+		`cab_job_run_seconds_bucket{le="+Inf"} 1`,
+		`cab_job_run_quantile_seconds{q="0.99"}`,
+		"cab_boundary_level 0",
+		"cab_tracing_armed 0",
+	} {
+		if !strings.Contains(body, want) {
+			t.Errorf("/metricz missing %q\n--- body ---\n%s", want, body)
+		}
+	}
+}
+
+func TestTracez(t *testing.T) {
+	sched, srv := testServer(t)
+	// Generate work concurrently with the trace window so it records spans.
+	done := make(chan error, 1)
+	go func() {
+		_, err := http.Get(srv.URL + "/fib?n=30")
+		done <- err
+	}()
+	code, body := get(t, srv.URL+"/tracez?ms=100")
+	if err := <-done; err != nil {
+		t.Fatal(err)
+	}
+	if code != http.StatusOK {
+		t.Fatalf("status %d: %s", code, body)
+	}
+	if sched.Tracing() {
+		t.Fatal("/tracez left tracing armed")
+	}
+	var evs []map[string]any
+	if err := json.Unmarshal([]byte(body), &evs); err != nil {
+		t.Fatalf("trace is not valid JSON: %v", err)
+	}
+	var spans int
+	for _, e := range evs {
+		if e["ph"] == "X" {
+			spans++
+		}
+	}
+	if spans == 0 {
+		t.Fatal("trace window over a running job recorded no spans")
+	}
+}
+
+func TestTracezBadWindow(t *testing.T) {
+	_, srv := testServer(t)
+	for _, q := range []string{"ms=abc", "ms=0", "ms=-5"} {
+		if code, _ := get(t, srv.URL+"/tracez?"+q); code != http.StatusBadRequest {
+			t.Errorf("/tracez?%s: status %d, want 400", q, code)
+		}
+	}
+}
+
+func TestPprofIndex(t *testing.T) {
+	_, srv := testServer(t)
+	code, body := get(t, srv.URL+"/debug/pprof/")
+	if code != http.StatusOK {
+		t.Fatalf("status %d", code)
+	}
+	if !strings.Contains(body, "goroutine") {
+		t.Fatal("pprof index does not list profiles")
+	}
+}

@@ -29,6 +29,7 @@ import (
 	"sync"
 	"sync/atomic"
 
+	"cab/internal/obs"
 	"cab/internal/rt"
 	"cab/internal/work"
 )
@@ -222,6 +223,11 @@ func (e *Engine) Stats() Stats {
 		Cancelled: e.cancelled.Load(),
 	}
 }
+
+// Metrics snapshots the runtime's always-on latency histograms (job queue
+// wait, job run time, idle steal-scan duration) — the data behind the
+// service's p50/p95/p99 figures.
+func (e *Engine) Metrics() obs.MetricsSnapshot { return e.r.Metrics() }
 
 // Close stops admitting jobs (Submit fails fast with ErrClosed) and waits
 // for every already-admitted job to finish — the graceful drain. It does

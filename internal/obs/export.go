@@ -1,0 +1,112 @@
+// Chrome trace export: turns a tracer snapshot of the real runtime into
+// the same trace-viewer JSON the simulator emits, with real workers as
+// lanes grouped by squad — load the output in chrome://tracing or
+// https://ui.perfetto.dev and cross-socket migrations show up as spans
+// jumping between socket lane groups.
+package obs
+
+import (
+	"fmt"
+	"io"
+
+	"cab/internal/trace"
+)
+
+// execOpen is one entry of a worker's open-span stack while replaying
+// exec-begin/exec-end events.
+type execOpen struct {
+	start int64
+	level int
+	tier  uint8
+	job   int64
+}
+
+// WriteChrome renders a snapshot as Chrome trace JSON. workers is the pool
+// size; squadOf maps a worker to its squad (lane group). Events recorded
+// off the pool (job admission) land on a synthetic "service" lane in their
+// own group. Timestamps are exported at nanosecond granularity (the
+// recorder's 1:1000 cycle→µs mapping turns ns into µs with ns fractions).
+func WriteChrome(w io.Writer, evs []Event, workers int, squadOf func(int) int) error {
+	rec := trace.NewRecorder()
+	serviceLane := workers // one past the last worker
+	squads := 0
+	for wk := 0; wk < workers; wk++ {
+		if s := squadOf(wk); s >= squads {
+			squads = s + 1
+		}
+	}
+	rec.LaneGroup = func(core int) int {
+		if core >= workers {
+			return squads
+		}
+		return squadOf(core)
+	}
+	rec.LaneName = func(core int) string {
+		if core >= workers {
+			return "service/admission"
+		}
+		return fmt.Sprintf("socket%d/worker%d", squadOf(core), core)
+	}
+	rec.GroupName = func(group int) string {
+		if group >= squads {
+			return "service"
+		}
+		return fmt.Sprintf("socket %d", group)
+	}
+
+	tierName := func(t uint8) string {
+		if t == TierInter {
+			return "inter"
+		}
+		return "intra"
+	}
+	open := make(map[int][]execOpen)
+	var last int64
+	for _, e := range evs {
+		if e.Time > last {
+			last = e.Time
+		}
+		lane := e.Worker
+		if lane < 0 || lane > workers {
+			lane = serviceLane
+		}
+		switch e.Kind {
+		case EvExecBegin:
+			open[lane] = append(open[lane], execOpen{
+				start: e.Time, level: e.Level, tier: e.Tier, job: e.Job,
+			})
+		case EvExecEnd:
+			stack := open[lane]
+			if len(stack) == 0 {
+				continue // begin fell off the ring; drop the orphan end
+			}
+			o := stack[len(stack)-1]
+			open[lane] = stack[:len(stack)-1]
+			rec.Span(lane, o.job, o.level, tierName(o.tier), o.start, e.Time,
+				fmt.Sprintf("job %d (L%d %s)", o.job, o.level, tierName(o.tier)))
+		case EvStealIntra, EvStealInter, EvMigrate:
+			rec.Instant(trace.Steal, lane, e.Job, e.Time,
+				fmt.Sprintf("%s job %d", e.Kind, e.Job))
+		case EvPark:
+			rec.Instant(trace.Block, lane, e.Job, e.Time, "park")
+		case EvUnpark:
+			rec.Instant(trace.Block, lane, e.Job, e.Time, "unpark")
+		case EvJobAdmit, EvJobStart, EvJobDone:
+			rec.Instant(trace.Block, lane, e.Job, e.Time,
+				fmt.Sprintf("%s job %d", e.Kind, e.Job))
+		case EvSpawn, EvSpawnInter:
+			// Spawns dominate event volume; they shape the spans already,
+			// so they are not re-emitted as instants.
+		}
+	}
+	// A still-armed snapshot can catch bodies mid-execution: close their
+	// spans at the window's horizon so the viewer shows them.
+	for lane, stack := range open {
+		for i := len(stack) - 1; i >= 0; i-- {
+			o := stack[i]
+			rec.Span(lane, o.job, o.level, tierName(o.tier), o.start, last,
+				fmt.Sprintf("job %d (L%d %s, open)", o.job, o.level, tierName(o.tier)))
+		}
+	}
+	return rec.WriteChrome(w)
+}

@@ -1,0 +1,165 @@
+// Package obs is the observability layer of the real CAB runtime: cheap
+// always-on latency histograms plus an armable event tracer whose
+// per-worker ring buffers record scheduler events (spawns, steals,
+// migrations, parks, job lifecycle, task execution spans) for export as
+// Chrome trace-viewer / Perfetto JSON.
+//
+// The design constraint is the runtime's fast path: with tracing disarmed
+// the only cost an instrumentation point may add is one atomic load (the
+// armed check) and zero allocations; histograms are recorded only at
+// job-level and idle-level events, never per spawn. Everything in this
+// package is allocation-free on the record path and safe for concurrent
+// use under the race detector: rings use per-slot sequence-validated
+// atomics (a seqlock the reader can only ever lose, never block), and
+// histograms are plain atomic bucket counters.
+package obs
+
+import (
+	"math"
+	"math/bits"
+	"sync/atomic"
+	"time"
+)
+
+// histBuckets is the bucket count of a power-of-two histogram: bucket k
+// holds samples v with bits.Len64(v) == k, i.e. v in [2^(k-1), 2^k).
+// Bucket 0 holds exactly v == 0; bucket 64 absorbs the int64 overflow tail.
+const histBuckets = 65
+
+// Histogram is a fixed-size power-of-two-bucket histogram of non-negative
+// int64 samples (nanoseconds, in the runtime's use). Record and Snapshot
+// are safe for concurrent use; Record is two uncontended atomic adds and
+// never allocates. The zero value is ready to use.
+type Histogram struct {
+	sum     atomic.Int64
+	buckets [histBuckets]atomic.Int64
+}
+
+// Record adds one sample. Negative samples clamp to zero (they can only
+// arise from clock weirdness; losing them beats corrupting a bucket index).
+func (h *Histogram) Record(v int64) {
+	if v < 0 {
+		v = 0
+	}
+	h.buckets[bits.Len64(uint64(v))].Add(1)
+	h.sum.Add(v)
+}
+
+// HistSnapshot is a point-in-time copy of a histogram. The copy is not a
+// linearizable cut (buckets are read one by one while writers proceed) —
+// monitoring grade, like the runtime's sharded counters.
+type HistSnapshot struct {
+	Count   int64
+	Sum     int64
+	Buckets [histBuckets]int64
+}
+
+// Snapshot copies the current bucket counts.
+func (h *Histogram) Snapshot() HistSnapshot {
+	var s HistSnapshot
+	for i := range h.buckets {
+		n := h.buckets[i].Load()
+		s.Buckets[i] = n
+		s.Count += n
+	}
+	s.Sum = h.sum.Load()
+	return s
+}
+
+// BucketBound returns the inclusive upper bound of bucket i: the largest
+// sample value it can hold. The last bucket's bound is MaxInt64.
+func BucketBound(i int) int64 {
+	if i <= 0 {
+		return 0
+	}
+	if i >= 63 {
+		return math.MaxInt64
+	}
+	return int64(1)<<i - 1
+}
+
+// Quantile returns an upper bound for the q-quantile (0 < q <= 1) of the
+// recorded samples: the bound of the bucket holding the rank-⌈qN⌉ sample.
+// With power-of-two buckets the estimate is at most 2x the true value.
+// Zero samples yield 0.
+func (s HistSnapshot) Quantile(q float64) int64 {
+	if s.Count == 0 {
+		return 0
+	}
+	rank := int64(math.Ceil(q * float64(s.Count)))
+	if rank < 1 {
+		rank = 1
+	}
+	var seen int64
+	for i, n := range s.Buckets {
+		seen += n
+		if seen >= rank {
+			return BucketBound(i)
+		}
+	}
+	return BucketBound(histBuckets - 1)
+}
+
+// P50, P95 and P99 are the quantiles the serving surface reports.
+func (s HistSnapshot) P50() int64 { return s.Quantile(0.50) }
+func (s HistSnapshot) P95() int64 { return s.Quantile(0.95) }
+func (s HistSnapshot) P99() int64 { return s.Quantile(0.99) }
+
+// Mean returns the average sample, or 0 with no samples.
+func (s HistSnapshot) Mean() int64 {
+	if s.Count == 0 {
+		return 0
+	}
+	return s.Sum / s.Count
+}
+
+// Metrics bundles the always-on latency histograms the runtime keeps.
+// All values are nanoseconds.
+type Metrics struct {
+	// QueueWait is submit-to-adoption: how long a root waited in the
+	// admission queue (including any backpressure wait in Submit) before
+	// an idle eligible worker picked it up.
+	QueueWait Histogram
+	// Run is adoption-to-drain: how long a job's DAG took to execute once
+	// a worker adopted its root.
+	Run Histogram
+	// StealScan is the duration of a worker's idle scan: from the first
+	// failed probe of its work sources to the probe that found a task (or
+	// to giving up and parking). Parked time is not counted.
+	StealScan Histogram
+}
+
+// MetricsSnapshot is a point-in-time copy of all histograms.
+type MetricsSnapshot struct {
+	QueueWait HistSnapshot
+	Run       HistSnapshot
+	StealScan HistSnapshot
+}
+
+// Snapshot copies all histograms.
+func (m *Metrics) Snapshot() MetricsSnapshot {
+	return MetricsSnapshot{
+		QueueWait: m.QueueWait.Snapshot(),
+		Run:       m.Run.Snapshot(),
+		StealScan: m.StealScan.Snapshot(),
+	}
+}
+
+// LatencySummary condenses one histogram into the durations a stats API
+// reports.
+type LatencySummary struct {
+	Count         int64
+	Mean          time.Duration
+	P50, P95, P99 time.Duration
+}
+
+// Summary converts a snapshot of nanosecond samples into durations.
+func (s HistSnapshot) Summary() LatencySummary {
+	return LatencySummary{
+		Count: s.Count,
+		Mean:  time.Duration(s.Mean()),
+		P50:   time.Duration(s.P50()),
+		P95:   time.Duration(s.P95()),
+		P99:   time.Duration(s.P99()),
+	}
+}

@@ -1,0 +1,170 @@
+package obs
+
+import (
+	"math"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestHistogramZeroSamples(t *testing.T) {
+	var h Histogram
+	s := h.Snapshot()
+	if s.Count != 0 || s.Sum != 0 {
+		t.Fatalf("empty histogram: count %d sum %d", s.Count, s.Sum)
+	}
+	if s.P50() != 0 || s.P95() != 0 || s.P99() != 0 || s.Mean() != 0 {
+		t.Fatalf("empty histogram quantiles nonzero: p50=%d p95=%d p99=%d mean=%d",
+			s.P50(), s.P95(), s.P99(), s.Mean())
+	}
+}
+
+func TestHistogramSingleBucket(t *testing.T) {
+	var h Histogram
+	for i := 0; i < 1000; i++ {
+		h.Record(100) // bits.Len64(100) == 7: bucket 7, bound 127
+	}
+	s := h.Snapshot()
+	if s.Count != 1000 || s.Sum != 100000 {
+		t.Fatalf("count %d sum %d", s.Count, s.Sum)
+	}
+	for _, q := range []float64{0.01, 0.5, 0.95, 0.99, 1.0} {
+		if got := s.Quantile(q); got != 127 {
+			t.Fatalf("Quantile(%g) = %d, want 127 (the single bucket's bound)", q, got)
+		}
+	}
+	if s.Mean() != 100 {
+		t.Fatalf("mean %d, want 100", s.Mean())
+	}
+}
+
+func TestHistogramZeroValueBucket(t *testing.T) {
+	var h Histogram
+	h.Record(0)
+	h.Record(-5) // clamps to 0
+	s := h.Snapshot()
+	if s.Buckets[0] != 2 {
+		t.Fatalf("bucket 0 holds %d, want 2", s.Buckets[0])
+	}
+	if s.P50() != 0 {
+		t.Fatalf("p50 of all-zero samples = %d, want 0", s.P50())
+	}
+}
+
+func TestHistogramOverflowBucket(t *testing.T) {
+	var h Histogram
+	h.Record(math.MaxInt64)
+	h.Record(math.MaxInt64 - 1)
+	s := h.Snapshot()
+	if s.Count != 2 {
+		t.Fatalf("count %d", s.Count)
+	}
+	if got := s.P99(); got != math.MaxInt64 {
+		t.Fatalf("p99 of max samples = %d, want MaxInt64", got)
+	}
+	// The top buckets' bounds must clamp instead of overflowing.
+	for i := 63; i < histBuckets; i++ {
+		if BucketBound(i) != math.MaxInt64 {
+			t.Fatalf("BucketBound(%d) = %d, want MaxInt64", i, BucketBound(i))
+		}
+	}
+}
+
+func TestHistogramQuantileSpread(t *testing.T) {
+	var h Histogram
+	// 90 cheap samples, 10 expensive: p50 must sit in the cheap bucket,
+	// p99 in the expensive one.
+	for i := 0; i < 90; i++ {
+		h.Record(1000) // bucket 10, bound 1023
+	}
+	for i := 0; i < 10; i++ {
+		h.Record(1 << 20) // bucket 21, bound 2^21-1
+	}
+	s := h.Snapshot()
+	if got := s.P50(); got != 1023 {
+		t.Fatalf("p50 = %d, want 1023", got)
+	}
+	if got := s.P99(); got != 1<<21-1 {
+		t.Fatalf("p99 = %d, want %d", got, 1<<21-1)
+	}
+}
+
+// TestHistogramConcurrent hammers Record from many goroutines while
+// snapshotting; under -race this is the data-race proof, and the final
+// snapshot must account for every sample.
+func TestHistogramConcurrent(t *testing.T) {
+	var h Histogram
+	const writers, per = 8, 10000
+	stop := make(chan struct{})
+	var reader sync.WaitGroup
+	reader.Add(1)
+	go func() { // concurrent reader
+		defer reader.Done()
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+				s := h.Snapshot()
+				if s.Count < 0 {
+					t.Error("negative count")
+					return
+				}
+			}
+		}
+	}()
+	var wg sync.WaitGroup
+	for g := 0; g < writers; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				h.Record(int64(g*1000 + i))
+			}
+		}(g)
+	}
+	wg.Wait()
+	close(stop)
+	reader.Wait()
+	s := h.Snapshot()
+	if s.Count != writers*per {
+		t.Fatalf("count %d, want %d", s.Count, writers*per)
+	}
+}
+
+func TestLatencySummary(t *testing.T) {
+	var h Histogram
+	h.Record(int64(time.Millisecond))
+	sum := h.Snapshot().Summary()
+	if sum.Count != 1 {
+		t.Fatalf("count %d", sum.Count)
+	}
+	if sum.P50 < time.Millisecond || sum.P50 > 2*time.Millisecond {
+		t.Fatalf("p50 %v outside [1ms, 2ms]", sum.P50)
+	}
+}
+
+func TestPromHistogramFormat(t *testing.T) {
+	var h Histogram
+	for i := 0; i < 100; i++ {
+		h.Record(1e6) // 1ms
+	}
+	var b strings.Builder
+	PromHistogram(&b, "cab_test_latency", "test latency", h.Snapshot())
+	out := b.String()
+	for _, want := range []string{
+		"# TYPE cab_test_latency_seconds histogram",
+		`cab_test_latency_seconds_bucket{le="+Inf"} 100`,
+		"cab_test_latency_seconds_count 100",
+		`cab_test_latency_quantile_seconds{q="0.99"}`,
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("prometheus output missing %q:\n%s", want, out)
+		}
+	}
+	// Buckets must be cumulative and end at Count.
+	if !strings.Contains(out, "cab_test_latency_seconds_sum 0.1") {
+		t.Fatalf("sum of 100 x 1ms should be 0.1s:\n%s", out)
+	}
+}

@@ -1,0 +1,64 @@
+// Prometheus text exposition (version 0.0.4) helpers, dependency-free.
+// cmd/cabserve's /metricz handler renders the runtime's counters and
+// histograms through these; keeping the formatting here makes it testable
+// without an HTTP server.
+package obs
+
+import (
+	"fmt"
+	"io"
+)
+
+// PromCounter writes one counter sample with optional labels, preceded by
+// its TYPE header.
+func PromCounter(w io.Writer, name, help string, v int64) {
+	fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s counter\n%s %d\n", name, help, name, name, v)
+}
+
+// PromCounterVec writes a labelled counter family: one TYPE header, one
+// sample per (labelValue, value) pair.
+func PromCounterVec(w io.Writer, name, help, label string, vals map[string]int64, order []string) {
+	fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s counter\n", name, help, name)
+	for _, k := range order {
+		fmt.Fprintf(w, "%s{%s=%q} %d\n", name, label, k, vals[k])
+	}
+}
+
+// PromGauge writes one gauge sample.
+func PromGauge(w io.Writer, name, help string, v float64) {
+	fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s gauge\n%s %g\n", name, help, name, name, v)
+}
+
+// PromHistogram writes a HistSnapshot of nanosecond samples as a
+// Prometheus histogram in seconds named <base>_seconds: cumulative buckets
+// at the non-empty power-of-two bounds, a +Inf bucket, _sum and _count,
+// plus the p50/p95/p99 the runtime's stats API reports, rendered as a
+// separate <base>_quantile_seconds gauge family (quantiles on a histogram
+// metric itself would make it a summary).
+func PromHistogram(w io.Writer, base, help string, s HistSnapshot) {
+	name := base + "_seconds"
+	fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s histogram\n", name, help, name)
+	var cum int64
+	for i, n := range s.Buckets {
+		cum += n
+		if n == 0 {
+			continue
+		}
+		fmt.Fprintf(w, "%s_bucket{le=%q} %d\n", name, promSeconds(BucketBound(i)), cum)
+	}
+	fmt.Fprintf(w, "%s_bucket{le=\"+Inf\"} %d\n", name, s.Count)
+	fmt.Fprintf(w, "%s_sum %g\n", name, float64(s.Sum)/1e9)
+	fmt.Fprintf(w, "%s_count %d\n", name, s.Count)
+	fmt.Fprintf(w, "# TYPE %s_quantile_seconds gauge\n", base)
+	for _, q := range []struct {
+		tag string
+		v   int64
+	}{{"0.5", s.P50()}, {"0.95", s.P95()}, {"0.99", s.P99()}} {
+		fmt.Fprintf(w, "%s_quantile_seconds{q=%q} %s\n", base, q.tag, promSeconds(q.v))
+	}
+}
+
+// promSeconds renders nanoseconds as a seconds value.
+func promSeconds(ns int64) string {
+	return fmt.Sprintf("%g", float64(ns)/1e9)
+}

@@ -1,0 +1,253 @@
+// Event tracing: per-worker fixed-size ring buffers of timestamped
+// scheduler events, armable at runtime. Disarmed cost is one atomic load
+// per instrumentation point; armed cost is one clock read plus four atomic
+// stores into the worker's own ring — no locks, no allocation, and old
+// events are silently overwritten, so a trace window can stay armed
+// indefinitely without growing.
+package obs
+
+import (
+	"sort"
+	"sync/atomic"
+	"time"
+)
+
+// Kind labels a traced scheduler event.
+type Kind uint8
+
+const (
+	// EvSpawn is an intra-tier task creation by a worker.
+	EvSpawn Kind = iota
+	// EvSpawnInter is a task creation into the inter-socket tier.
+	EvSpawnInter
+	// EvStealIntra is a successful steal from a squad mate's deque.
+	EvStealIntra
+	// EvStealInter is a successful steal from another squad's inter pool.
+	EvStealInter
+	// EvMigrate marks a stolen task crossing squads (every EvStealInter
+	// implies one; BL==0 cross-squad deque steals emit it too).
+	EvMigrate
+	// EvPark and EvUnpark bracket a worker blocking on the parking lot.
+	EvPark
+	EvUnpark
+	// EvJobAdmit is a root entering the admission queue (recorded on the
+	// submitter's goroutine, so it lands in the external ring).
+	EvJobAdmit
+	// EvJobStart is a worker adopting a queued root.
+	EvJobStart
+	// EvJobDone is a job's root join completing.
+	EvJobDone
+	// EvExecBegin and EvExecEnd bracket one task body's execution on a
+	// worker; the exporter turns matched pairs into Chrome spans.
+	EvExecBegin
+	EvExecEnd
+)
+
+// String returns the event kind's wire name (used as trace span categories
+// and instant labels).
+func (k Kind) String() string {
+	switch k {
+	case EvSpawn:
+		return "spawn"
+	case EvSpawnInter:
+		return "spawn-inter"
+	case EvStealIntra:
+		return "steal-intra"
+	case EvStealInter:
+		return "steal-inter"
+	case EvMigrate:
+		return "migrate"
+	case EvPark:
+		return "park"
+	case EvUnpark:
+		return "unpark"
+	case EvJobAdmit:
+		return "job-admit"
+	case EvJobStart:
+		return "job-start"
+	case EvJobDone:
+		return "job-done"
+	case EvExecBegin:
+		return "exec-begin"
+	case EvExecEnd:
+		return "exec-end"
+	}
+	return "unknown"
+}
+
+// TierIntra and TierInter are the tier tags an event can carry.
+const (
+	TierIntra uint8 = 0
+	TierInter uint8 = 1
+)
+
+// Event is one decoded trace event.
+type Event struct {
+	Time   int64 // ns since the tracer's start time
+	Kind   Kind
+	Worker int // -1 for events recorded off the worker pool (job admission)
+	Level  int // DAG level, where meaningful
+	Tier   uint8
+	Job    int64 // job ID, 0 if not job-related
+}
+
+// slot is one ring entry: a per-slot seqlock over three payload words. The
+// writer publishes seq = 2i+1 (odd: in progress), writes the payload, then
+// seq = 2i+2 (even: stable, and identifying logical index i, so a reader
+// can tell this slot still holds event i and not a later wrap). Readers
+// validate seq before and after loading the payload and drop torn slots.
+type slot struct {
+	seq  atomic.Uint64
+	time atomic.Int64
+	meta atomic.Uint64
+	job  atomic.Int64
+}
+
+// ring is one event ring. Worker rings are single-writer (the owning
+// worker); the external ring is multi-writer and claims indices with an
+// atomic add — two writers landing on the same physical slot across a wrap
+// can tear it, which the seq validation turns into a dropped event rather
+// than a corrupt one.
+type ring struct {
+	pos  atomic.Uint64 // next logical index
+	arm  atomic.Uint64 // logical index when the tracer was last armed
+	_    [cacheLinePad - 16]byte
+	mask uint64
+	slot []slot
+}
+
+// cacheLinePad keeps neighbouring rings' write cursors off each other's
+// cache lines (the rings slice is contiguous).
+const cacheLinePad = 128
+
+func (r *ring) record(now int64, meta uint64, job int64) {
+	i := r.pos.Add(1) - 1
+	s := &r.slot[i&r.mask]
+	s.seq.Store(2*i + 1)
+	s.time.Store(now)
+	s.meta.Store(meta)
+	s.job.Store(job)
+	s.seq.Store(2*i + 2)
+}
+
+// snapshot appends the ring's stable events since the last arm to out.
+func (r *ring) snapshot(out []Event) []Event {
+	end := r.pos.Load()
+	begin := r.arm.Load()
+	if n := uint64(len(r.slot)); end-begin > n {
+		begin = end - n
+	}
+	for i := begin; i < end; i++ {
+		s := &r.slot[i&r.mask]
+		want := 2*i + 2
+		if s.seq.Load() != want {
+			continue
+		}
+		t := s.time.Load()
+		meta := s.meta.Load()
+		job := s.job.Load()
+		if s.seq.Load() != want {
+			continue // overwritten while reading
+		}
+		out = append(out, decodeEvent(t, meta, job))
+	}
+	return out
+}
+
+// Meta packing: kind(8) | tier(8) | worker+1(16) | level(32).
+func packMeta(k Kind, tier uint8, worker, level int) uint64 {
+	return uint64(k)<<56 | uint64(tier)<<48 |
+		uint64(uint16(worker+1))<<32 | uint64(uint32(level))
+}
+
+func decodeEvent(t int64, meta uint64, job int64) Event {
+	return Event{
+		Time:   t,
+		Kind:   Kind(meta >> 56),
+		Tier:   uint8(meta >> 48),
+		Worker: int(uint16(meta>>32)) - 1,
+		Level:  int(int32(uint32(meta))),
+		Job:    job,
+	}
+}
+
+// DefaultRingDepth is the per-worker event capacity when the runtime's
+// Config leaves it zero: 16384 events ≈ 512 KiB per worker, a few
+// milliseconds of worst-case spawn traffic or minutes of job-level events.
+const DefaultRingDepth = 1 << 14
+
+// Tracer owns the rings for a worker pool: one per worker plus one
+// "external" ring for events recorded off the pool (job admission happens
+// on the submitter's goroutine). The tracer starts disarmed.
+type Tracer struct {
+	armed atomic.Bool
+	start time.Time
+	rings []ring
+}
+
+// NewTracer sizes rings for workers workers with depth events each (0
+// selects DefaultRingDepth; other values round up to a power of two).
+func NewTracer(workers, depth int) *Tracer {
+	if depth <= 0 {
+		depth = DefaultRingDepth
+	}
+	n := 1
+	for n < depth {
+		n <<= 1
+	}
+	t := &Tracer{start: time.Now(), rings: make([]ring, workers+1)}
+	for i := range t.rings {
+		t.rings[i].slot = make([]slot, n)
+		t.rings[i].mask = uint64(n - 1)
+	}
+	return t
+}
+
+// Armed reports whether events are being recorded. This is the disarmed
+// fast path: instrumentation points guard on it and pay one atomic load.
+func (t *Tracer) Armed() bool { return t.armed.Load() }
+
+// Arm starts a trace window: the snapshot boundary moves to now (events
+// from earlier windows are excluded) and recording begins. Arming an armed
+// tracer is a no-op (the current window continues).
+func (t *Tracer) Arm() {
+	if t.armed.Load() {
+		return
+	}
+	for i := range t.rings {
+		r := &t.rings[i]
+		r.arm.Store(r.pos.Load())
+	}
+	t.armed.Store(true)
+}
+
+// Disarm stops recording. Events of the window remain snapshottable until
+// the next Arm.
+func (t *Tracer) Disarm() { t.armed.Store(false) }
+
+// Now returns the event timestamp for this instant: ns since the tracer's
+// start (monotonic).
+func (t *Tracer) Now() int64 { return int64(time.Since(t.start)) }
+
+// Record appends an event to worker's ring (-1 selects the external
+// ring). Callers guard with Armed(); Record itself does not re-check, so a
+// racing Disarm can admit a final in-flight event — harmless.
+func (t *Tracer) Record(worker int, k Kind, tier uint8, level int, job int64) {
+	ri := worker
+	if ri < 0 || ri >= len(t.rings)-1 {
+		ri = len(t.rings) - 1
+	}
+	t.rings[ri].record(t.Now(), packMeta(k, tier, worker, level), job)
+}
+
+// Snapshot decodes every stable event of the current window, across all
+// rings, sorted by time. It allocates only the result slice and may run
+// concurrently with recording (torn slots are dropped, not blocked on).
+func (t *Tracer) Snapshot() []Event {
+	var out []Event
+	for i := range t.rings {
+		out = t.rings[i].snapshot(out)
+	}
+	sort.SliceStable(out, func(i, j int) bool { return out[i].Time < out[j].Time })
+	return out
+}

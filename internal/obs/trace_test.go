@@ -1,0 +1,209 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestTracerDisarmedRecordsNothing(t *testing.T) {
+	tr := NewTracer(2, 64)
+	tr.Record(0, EvSpawn, TierIntra, 1, 7) // callers guard on Armed(); direct call still lands
+	if tr.Armed() {
+		t.Fatal("new tracer must start disarmed")
+	}
+	// The runtime's contract is that instrumentation points check Armed()
+	// first, so the disarmed path records nothing:
+	if tr.Armed() {
+		tr.Record(0, EvSpawn, TierIntra, 1, 7)
+	}
+	tr.Arm()
+	if evs := tr.Snapshot(); len(evs) != 0 {
+		t.Fatalf("arming must start a fresh window, got %d stale events", len(evs))
+	}
+}
+
+func TestTracerRoundTrip(t *testing.T) {
+	tr := NewTracer(4, 64)
+	tr.Arm()
+	tr.Record(2, EvStealInter, TierInter, 3, 42)
+	tr.Record(-1, EvJobAdmit, TierInter, 0, 42)
+	tr.Record(0, EvExecBegin, TierIntra, 5, 42)
+	tr.Disarm()
+	evs := tr.Snapshot()
+	if len(evs) != 3 {
+		t.Fatalf("got %d events, want 3", len(evs))
+	}
+	byKind := map[Kind]Event{}
+	for _, e := range evs {
+		byKind[e.Kind] = e
+	}
+	steal := byKind[EvStealInter]
+	if steal.Worker != 2 || steal.Level != 3 || steal.Job != 42 || steal.Tier != TierInter {
+		t.Fatalf("steal event decoded wrong: %+v", steal)
+	}
+	admit := byKind[EvJobAdmit]
+	if admit.Worker != -1 {
+		t.Fatalf("external event worker = %d, want -1", admit.Worker)
+	}
+	exec := byKind[EvExecBegin]
+	if exec.Worker != 0 || exec.Level != 5 {
+		t.Fatalf("exec event decoded wrong: %+v", exec)
+	}
+	// Timestamps are monotone non-decreasing in the sorted snapshot.
+	for i := 1; i < len(evs); i++ {
+		if evs[i].Time < evs[i-1].Time {
+			t.Fatal("snapshot not sorted by time")
+		}
+	}
+}
+
+func TestTracerRingOverwrite(t *testing.T) {
+	tr := NewTracer(1, 64) // rounds to 64 slots per ring
+	tr.Arm()
+	const n = 500
+	for i := 0; i < n; i++ {
+		tr.Record(0, EvSpawn, TierIntra, i, int64(i))
+	}
+	evs := tr.Snapshot()
+	if len(evs) == 0 || len(evs) > 64 {
+		t.Fatalf("got %d events from a 64-slot ring after %d records", len(evs), n)
+	}
+	// Only the newest events survive.
+	for _, e := range evs {
+		if e.Level < n-64 {
+			t.Fatalf("stale event level %d survived overwrite (want >= %d)", e.Level, n-64)
+		}
+	}
+}
+
+func TestTracerRearmExcludesOldWindow(t *testing.T) {
+	tr := NewTracer(1, 64)
+	tr.Arm()
+	tr.Record(0, EvSpawn, TierIntra, 1, 1)
+	tr.Disarm()
+	tr.Arm()
+	tr.Record(0, EvSpawn, TierIntra, 2, 2)
+	evs := tr.Snapshot()
+	if len(evs) != 1 || evs[0].Level != 2 {
+		t.Fatalf("re-armed window returned %+v, want only the level-2 event", evs)
+	}
+}
+
+// TestTracerConcurrent runs per-worker writers, external-ring writers and
+// a snapshotting reader together — the -race proof for the seqlock rings.
+func TestTracerConcurrent(t *testing.T) {
+	const workers = 4
+	tr := NewTracer(workers, 256)
+	tr.Arm()
+	stop := make(chan struct{})
+	var reader sync.WaitGroup
+	reader.Add(1)
+	go func() {
+		defer reader.Done()
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+				for _, e := range tr.Snapshot() {
+					if e.Kind > EvExecEnd {
+						t.Errorf("corrupt event kind %d", e.Kind)
+						return
+					}
+				}
+			}
+		}
+	}()
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 5000; i++ {
+				tr.Record(w, EvSpawn, TierIntra, i, int64(w))
+			}
+		}(w)
+	}
+	for g := 0; g < 3; g++ { // multi-writer external ring
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 2000; i++ {
+				tr.Record(-1, EvJobAdmit, TierIntra, 0, int64(i))
+			}
+		}()
+	}
+	wg.Wait()
+	close(stop)
+	reader.Wait()
+	if evs := tr.Snapshot(); len(evs) == 0 {
+		t.Fatal("no events survived the concurrent run")
+	}
+}
+
+func TestWriteChromeFromEvents(t *testing.T) {
+	squadOf := func(w int) int { return w / 2 } // 2x2 machine
+	evs := []Event{
+		{Time: 100, Kind: EvExecBegin, Worker: 0, Level: 0, Tier: TierInter, Job: 1},
+		{Time: 150, Kind: EvExecBegin, Worker: 0, Level: 1, Tier: TierIntra, Job: 1},
+		{Time: 180, Kind: EvExecEnd, Worker: 0, Level: 1, Tier: TierIntra, Job: 1},
+		{Time: 200, Kind: EvStealInter, Worker: 2, Level: 1, Tier: TierInter, Job: 1},
+		{Time: 220, Kind: EvExecEnd, Worker: 0, Level: 0, Tier: TierInter, Job: 1},
+		{Time: 250, Kind: EvJobDone, Worker: -1, Level: 0, Tier: TierInter, Job: 1},
+		{Time: 260, Kind: EvExecBegin, Worker: 3, Level: 2, Tier: TierIntra, Job: 2},
+		// no matching end: must be closed at the horizon, not dropped
+	}
+	var buf bytes.Buffer
+	if err := WriteChrome(&buf, evs, 4, squadOf); err != nil {
+		t.Fatal(err)
+	}
+	var out []struct {
+		Name string            `json:"name"`
+		Ph   string            `json:"ph"`
+		PID  int               `json:"pid"`
+		TID  int               `json:"tid"`
+		Dur  float64           `json:"dur"`
+		Args map[string]string `json:"args"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &out); err != nil {
+		t.Fatalf("emitted trace is not valid JSON: %v\n%s", err, buf.String())
+	}
+	var lanes, spans, instants int
+	laneNames := map[string]int{}
+	for _, e := range out {
+		switch e.Ph {
+		case "M":
+			lanes++
+			if e.Name == "thread_name" {
+				laneNames[e.Args["name"]] = e.PID
+			}
+		case "X":
+			spans++
+		case "i":
+			instants++
+		}
+	}
+	if spans != 3 {
+		t.Fatalf("got %d spans, want 3 (two closed + one horizon-closed)", spans)
+	}
+	if instants != 2 {
+		t.Fatalf("got %d instants, want 2 (steal + job-done)", instants)
+	}
+	// Worker 0 is socket0, worker 3 socket1: lanes must carry squad names
+	// and squad-grouped pids.
+	if pid, ok := laneNames["socket0/worker0"]; !ok || pid != 0 {
+		t.Fatalf("missing socket0/worker0 lane (lanes: %v)", laneNames)
+	}
+	if pid, ok := laneNames["socket1/worker3"]; !ok || pid != 1 {
+		t.Fatalf("missing socket1/worker3 lane in group 1 (lanes: %v)", laneNames)
+	}
+	if _, ok := laneNames["service/admission"]; !ok {
+		t.Fatalf("missing service lane (lanes: %v)", laneNames)
+	}
+	if !strings.Contains(buf.String(), "job 1 (L1 intra)") {
+		t.Fatalf("span labels missing:\n%s", buf.String())
+	}
+}

@@ -16,6 +16,7 @@ import (
 	"time"
 
 	"cab/internal/core"
+	"cab/internal/obs"
 	"cab/internal/work"
 )
 
@@ -56,9 +57,10 @@ type Job struct {
 	migrations  atomic.Int64
 	helps       atomic.Int64
 
-	wall   atomic.Int64 // ns from Submit to completion, written before done closes
-	onDone func()
-	done   chan struct{}
+	wall      atomic.Int64 // ns from Submit to completion, written before done closes
+	queueWait atomic.Int64 // ns from Submit to adoption, written by the adopting worker
+	onDone    func()
+	done      chan struct{}
 }
 
 // JobStats is a point-in-time snapshot of one job's accounting.
@@ -70,6 +72,8 @@ type JobStats struct {
 	Migrations  int64 // frames of this job that crossed squads
 	Helps       int64 // frames of this job executed inside someone's Sync
 	Wall        time.Duration
+	QueueWait   time.Duration // Submit to adoption; while queued, Submit to now
+	RunTime     time.Duration // adoption to drain; 0 until adopted
 	Done        bool
 	Cancelled   bool
 }
@@ -142,13 +146,23 @@ func (r *Runtime) SubmitWith(fn work.Fn, opts SubmitOpts) (*Job, error) {
 			return nil, ErrSubmitCancelled
 		}
 	}
+	if r.tr.Armed() {
+		r.tr.Record(-1, obs.EvJobAdmit, obsTier(rootTier), 0, j.id)
+	}
 	r.lot.Publish() // a root is adoptable: wake parked workers
 	return j, nil
 }
 
-// finishJob settles a job whose root frame just completed its join.
-func (r *Runtime) finishJob(j *Job) {
-	j.wall.Store(int64(time.Since(j.start)))
+// finishJob settles a job whose root frame just completed its join on
+// worker w: the wall clock stops, the run-time histogram gets its sample
+// (wall minus queue wait), and the done channel closes.
+func (r *Runtime) finishJob(w int, j *Job) {
+	wall := int64(time.Since(j.start))
+	j.wall.Store(wall)
+	r.met.Run.Record(wall - j.queueWait.Load())
+	if r.tr.Armed() {
+		r.tr.Record(w, obs.EvJobDone, 0, 0, j.id)
+	}
 	close(j.done)
 	if j.onDone != nil {
 		j.onDone()
@@ -194,12 +208,21 @@ func (j *Job) Stats() JobStats {
 		Helps:       j.helps.Load(),
 		Cancelled:   j.cancelled.Load(),
 	}
+	qw := time.Duration(j.queueWait.Load())
 	select {
 	case <-j.done:
 		s.Done = true
 		s.Wall = time.Duration(j.wall.Load())
+		s.QueueWait = qw
+		s.RunTime = s.Wall - qw
 	default:
 		s.Wall = time.Since(j.start)
+		if qw > 0 { // adopted and running
+			s.QueueWait = qw
+			s.RunTime = s.Wall - qw
+		} else { // still waiting for a worker
+			s.QueueWait = s.Wall
+		}
 	}
 	return s
 }

@@ -35,13 +35,16 @@ package rt
 
 import (
 	"fmt"
+	"io"
 	"runtime"
 	"runtime/debug"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"cab/internal/core"
 	"cab/internal/deque"
+	"cab/internal/obs"
 	"cab/internal/park"
 	"cab/internal/topology"
 	"cab/internal/work"
@@ -80,6 +83,14 @@ type Config struct {
 	// roots may wait for adoption (running jobs do not count). 0 selects
 	// the default (64); negative is an error.
 	QueueDepth int
+	// Trace arms event tracing from the start (see StartTrace/StopTrace
+	// for runtime control). Disarmed tracing costs one atomic load per
+	// instrumentation point and zero allocations.
+	Trace bool
+	// TraceDepth is the per-worker event ring capacity, rounded up to a
+	// power of two; 0 selects obs.DefaultRingDepth (16384). Old events
+	// are overwritten, so an armed window never grows.
+	TraceDepth int
 }
 
 // Stats counts scheduler events since the runtime started.
@@ -162,6 +173,12 @@ type Runtime struct {
 
 	lot *park.Lot
 
+	// Observability: the tracer's armed flag gates every event record (one
+	// atomic load when disarmed); the metrics histograms are always on but
+	// touched only at job-level and idle-level events, never per spawn.
+	tr  *obs.Tracer
+	met *obs.Metrics
+
 	workers int
 	wg      sync.WaitGroup
 
@@ -230,6 +247,11 @@ func New(cfg Config) (*Runtime, error) {
 		term:    make(chan struct{}),
 		seed:    cfg.Seed,
 		lot:     park.NewLot(),
+		tr:      obs.NewTracer(topo.Workers(), cfg.TraceDepth),
+		met:     &obs.Metrics{},
+	}
+	if cfg.Trace {
+		r.tr.Arm()
 	}
 	if topo.Sockets == 1 {
 		r.bl = 0 // Algorithm II step 2: single socket degenerates to Cilk
@@ -281,6 +303,70 @@ func (r *Runtime) Stats() Stats {
 		s.Helps += sh.helps.Load()
 	}
 	return s
+}
+
+// SquadStats aggregates the per-worker event shards squad by squad — the
+// per-socket breakdown the serving surface exposes (the paper's §V
+// argument is made per socket, not per machine).
+func (r *Runtime) SquadStats() []Stats {
+	out := make([]Stats, r.topo.Sockets)
+	for w := range r.stats {
+		sh := &r.stats[w]
+		s := &out[r.topo.SquadOf(w)]
+		s.Spawns += sh.spawns.Load()
+		s.InterSpawns += sh.interSpawns.Load()
+		s.StealsIntra += sh.stealsIntra.Load()
+		s.StealsInter += sh.stealsInter.Load()
+		s.FailedSteals += sh.failedSteals.Load()
+		s.Helps += sh.helps.Load()
+	}
+	return out
+}
+
+// Metrics snapshots the always-on latency histograms: job queue wait, job
+// run time and idle steal-scan duration.
+func (r *Runtime) Metrics() obs.MetricsSnapshot { return r.met.Snapshot() }
+
+// StartTrace arms event tracing: from now until StopTrace, workers record
+// scheduler events into per-worker ring buffers. Arming an armed runtime
+// extends the current window. Safe to call at any time.
+func (r *Runtime) StartTrace() { r.tr.Arm() }
+
+// StopTrace disarms tracing and returns the recorded window, sorted by
+// time. The events stay valid until the next StartTrace.
+func (r *Runtime) StopTrace() []obs.Event {
+	r.tr.Disarm()
+	return r.tr.Snapshot()
+}
+
+// TraceSnapshot returns the current window without disarming — events
+// recorded while snapshotting are either included or cleanly dropped,
+// never torn.
+func (r *Runtime) TraceSnapshot() []obs.Event { return r.tr.Snapshot() }
+
+// Tracing reports whether event tracing is armed.
+func (r *Runtime) Tracing() bool { return r.tr.Armed() }
+
+// WriteTrace renders a trace window as Chrome trace-viewer / Perfetto
+// JSON, with workers as lanes grouped by squad.
+func (r *Runtime) WriteTrace(w io.Writer, evs []obs.Event) error {
+	return obs.WriteChrome(w, evs, r.workers, r.topo.SquadOf)
+}
+
+// obsTier maps a frame tier to the event encoding.
+func obsTier(t core.Tier) uint8 {
+	if t == core.TierInter {
+		return obs.TierInter
+	}
+	return obs.TierIntra
+}
+
+// jid is the job tag events carry (0 = no job, never a real ID).
+func jid(j *Job) int64 {
+	if j == nil {
+		return 0
+	}
+	return j.id
 }
 
 // newFrame hands out a task frame from the worker's freelist, refilling
@@ -428,6 +514,13 @@ func (c *ctx) spawn(fn work.Fn, hint int) {
 	if j != nil {
 		j.spawns.Add(1)
 	}
+	if r.tr.Armed() {
+		k := obs.EvSpawn
+		if child.tier == core.TierInter {
+			k = obs.EvSpawnInter
+		}
+		r.tr.Record(w, k, obsTier(child.tier), child.level, jid(j))
+	}
 	if child.tier == core.TierInter {
 		sh.interSpawns.Add(1)
 		if j != nil {
@@ -493,7 +586,13 @@ func (c *ctx) Sync() {
 			idle = 0
 			continue
 		}
+		if r.tr.Armed() {
+			r.tr.Record(c.worker, obs.EvPark, obsTier(t.tier), t.level, jid(t.job))
+		}
 		r.lot.Park(e)
+		if r.tr.Armed() {
+			r.tr.Record(c.worker, obs.EvUnpark, obsTier(t.tier), t.level, jid(t.job))
+		}
 		idle = 0
 	}
 	if interSync {
@@ -543,6 +642,12 @@ func (r *Runtime) clearBusy(sq int) {
 func (r *Runtime) execute(worker int, t *task, rng *xrand.Source) {
 	c := &t.c
 	c.r, c.worker, c.t, c.rng = r, worker, t, rng
+	// The exec span covers body plus implicit sync; tasks helped while
+	// blocked at the sync emit their own spans, nested inside this one.
+	traced := r.tr.Armed()
+	if traced {
+		r.tr.Record(worker, obs.EvExecBegin, obsTier(t.tier), t.level, jid(t.job))
+	}
 	if j := t.job; j == nil || !j.cancelled.Load() {
 		r.runBody(t, c)
 	}
@@ -550,6 +655,9 @@ func (r *Runtime) execute(worker int, t *task, rng *xrand.Source) {
 	// (Cilk inserts one before every procedure return).
 	if t.pending.Load() > 0 {
 		c.Sync()
+	}
+	if traced {
+		r.tr.Record(worker, obs.EvExecEnd, obsTier(t.tier), t.level, jid(t.job))
 	}
 	if t.tier == core.TierInter {
 		// Algorithm II (c): a returning inter-socket task frees its squad.
@@ -562,7 +670,7 @@ func (r *Runtime) execute(worker int, t *task, rng *xrand.Source) {
 			r.lot.Publish() // the joiner may be parked in Sync
 		}
 	} else if job != nil {
-		r.finishJob(job) // the root's join completed: the job is done
+		r.finishJob(worker, job) // the root's join completed: the job is done
 	}
 }
 
@@ -591,17 +699,32 @@ func (r *Runtime) workerLoop(w int) {
 	defer r.wg.Done()
 	rng := xrand.New(r.seed + uint64(w)*0x9e3779b97f4a7c15 + 1)
 	idle := 0
+	// scanStart times the idle steal scan: set at the first failed probe,
+	// settled into the StealScan histogram when work is found or the
+	// worker gives up and parks (parked time is not scanning).
+	var scanStart time.Time
+	endScan := func() {
+		if !scanStart.IsZero() {
+			r.met.StealScan.Record(int64(time.Since(scanStart)))
+			scanStart = time.Time{}
+		}
+	}
 	for {
 		if t := r.findTask(w, rng); t != nil {
+			endScan()
 			r.execute(w, t, rng)
 			idle = 0
 			continue
+		}
+		if scanStart.IsZero() {
+			scanStart = time.Now()
 		}
 		root, stop := r.pollRoot(w)
 		if stop {
 			return
 		}
 		if root != nil {
+			endScan()
 			r.runRoot(w, root, rng)
 			idle = 0
 			continue
@@ -617,6 +740,7 @@ func (r *Runtime) workerLoop(w int) {
 		e := r.lot.Prepare()
 		if t := r.findTask(w, rng); t != nil {
 			r.lot.Cancel()
+			endScan()
 			r.execute(w, t, rng)
 			idle = 0
 			continue
@@ -628,11 +752,19 @@ func (r *Runtime) workerLoop(w int) {
 		}
 		if root != nil {
 			r.lot.Cancel()
+			endScan()
 			r.runRoot(w, root, rng)
 			idle = 0
 			continue
 		}
+		endScan()
+		if r.tr.Armed() {
+			r.tr.Record(w, obs.EvPark, obs.TierIntra, 0, 0)
+		}
 		r.lot.Park(e)
+		if r.tr.Armed() {
+			r.tr.Record(w, obs.EvUnpark, obs.TierIntra, 0, 0)
+		}
 		idle = 0
 	}
 }
@@ -666,8 +798,17 @@ func (r *Runtime) pollRoot(w int) (root *task, stop bool) {
 
 // runRoot executes an adopted root frame on worker w. An inter-tier root
 // occupies the adopting worker's squad, exactly like an inter-socket task
-// obtained from a squad pool.
+// obtained from a squad pool. Adoption is where the job's queue wait ends
+// and its run time begins, so both are settled here.
 func (r *Runtime) runRoot(w int, root *task, rng *xrand.Source) {
+	if j := root.job; j != nil {
+		wait := int64(time.Since(j.start))
+		j.queueWait.Store(wait)
+		r.met.QueueWait.Record(wait)
+		if r.tr.Armed() {
+			r.tr.Record(w, obs.EvJobStart, obsTier(root.tier), 0, j.id)
+		}
+	}
 	if root.tier == core.TierInter {
 		r.busy[r.topo.SquadOf(w)].busy.Store(true)
 	}
@@ -712,6 +853,10 @@ func (r *Runtime) findTask(w int, rng *xrand.Source) *task {
 		if j := t.job; j != nil {
 			j.migrations.Add(1) // the frame crossed squads
 		}
+		if r.tr.Armed() {
+			r.tr.Record(w, obs.EvStealInter, obsTier(t.tier), t.level, jid(t.job))
+			r.tr.Record(w, obs.EvMigrate, obsTier(t.tier), t.level, jid(t.job))
+		}
 		r.busy[sq].busy.Store(true)
 		return t
 	}
@@ -743,6 +888,9 @@ func (r *Runtime) stealIntraFrom(w, sq int, rng *xrand.Source) *task {
 		if j := t.job; j != nil {
 			j.steals.Add(1)
 		}
+		if r.tr.Armed() {
+			r.tr.Record(w, obs.EvStealIntra, obsTier(t.tier), t.level, jid(t.job))
+		}
 		return t
 	}
 	r.stats[w].failedSteals.Add(1)
@@ -761,10 +909,17 @@ func (r *Runtime) stealAny(w int, rng *xrand.Source) *task {
 	}
 	if t := r.intra[victim].Steal(); t != nil {
 		r.stats[w].stealsIntra.Add(1)
+		crossed := r.topo.SquadOf(victim) != r.topo.SquadOf(w)
 		if j := t.job; j != nil {
 			j.steals.Add(1)
-			if r.topo.SquadOf(victim) != r.topo.SquadOf(w) {
+			if crossed {
 				j.migrations.Add(1)
+			}
+		}
+		if r.tr.Armed() {
+			r.tr.Record(w, obs.EvStealIntra, obsTier(t.tier), t.level, jid(t.job))
+			if crossed {
+				r.tr.Record(w, obs.EvMigrate, obsTier(t.tier), t.level, jid(t.job))
 			}
 		}
 		return t

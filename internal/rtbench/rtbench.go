@@ -43,7 +43,20 @@ var noop work.Fn = func(work.Proc) {}
 // runtime (2 squads x 2 workers, BL = 0). allocs/op is the headline number:
 // steady state must not allocate a task frame per spawn.
 func SpawnSync(b *testing.B) {
-	r, err := rt.New(rt.Config{Topo: quadTopo(), BL: 0, Seed: 1})
+	spawnSync(b, rt.Config{Topo: quadTopo(), BL: 0, Seed: 1})
+}
+
+// SpawnSyncTraced is SpawnSync with event tracing armed — the same path
+// plus one ring-buffer record per spawn/exec event. The delta against
+// SpawnSync is the armed-tracing overhead scripts/bench.sh records as
+// trace_overhead_pct; allocs/op must stay 0 either way (recording never
+// allocates, it overwrites ring slots).
+func SpawnSyncTraced(b *testing.B) {
+	spawnSync(b, rt.Config{Topo: quadTopo(), BL: 0, Seed: 1, Trace: true})
+}
+
+func spawnSync(b *testing.B, cfg rt.Config) {
+	r, err := rt.New(cfg)
 	if err != nil {
 		b.Fatal(err)
 	}

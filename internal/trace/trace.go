@@ -44,6 +44,19 @@ type Recorder struct {
 	// open per-core run spans, coalesced so consecutive actions of the
 	// same task form one span.
 	open map[int]*Event
+
+	// LaneName, when non-nil, names each core's lane in the exported
+	// trace (Chrome thread_name metadata) — e.g. the real runtime maps
+	// worker w to "socket2/worker5". Nil keeps the bare numeric lanes of
+	// the simulated machine.
+	LaneName func(core int) string
+	// LaneGroup, when non-nil, maps a core to its process group (Chrome
+	// pid) so lanes cluster — e.g. one group per socket. Nil puts every
+	// lane in group 0.
+	LaneGroup func(core int) int
+	// GroupName, when non-nil, names a lane group (Chrome process_name
+	// metadata), e.g. "socket 2".
+	GroupName func(group int) string
 }
 
 // NewRecorder returns an empty recorder.
@@ -67,6 +80,18 @@ func (r *Recorder) RunSpan(core int, task int64, level int, tier string, start, 
 		Task: task, Level: level, Tier: tier,
 		Label: fmt.Sprintf("task %d (L%d %s)", task, level, tier),
 	}
+}
+
+// Span appends a closed execution span directly, without the open-span
+// coalescing of RunSpan. The real runtime's exporter uses it: its
+// exec-begin/exec-end pairs may nest (a task body blocked at a Sync helps
+// with other tasks), and nested spans must all survive to the output,
+// where trace viewers stack them flame-graph style.
+func (r *Recorder) Span(core int, task int64, level int, tier string, start, end int64, label string) {
+	r.events = append(r.events, Event{
+		Kind: TaskRun, Core: core, Start: start, End: end,
+		Task: task, Level: level, Tier: tier, Label: label,
+	})
 }
 
 // Instant records a point event on a core.
@@ -111,15 +136,40 @@ type chromeEvent struct {
 
 // WriteChrome writes the recorded events as a Chrome trace JSON array.
 // Virtual cycles are mapped to microseconds 1:1000 (trace-viewer wants
-// wall-clock-ish magnitudes).
+// wall-clock-ish magnitudes). When the lane hooks are set, each distinct
+// core lane (and each lane group) gets a metadata naming event, so the
+// viewer shows "socket0/worker1" instead of bare thread IDs.
 func (r *Recorder) WriteChrome(w io.Writer) error {
 	evs := r.Finish()
 	out := make([]chromeEvent, 0, len(evs))
+	group := func(core int) int {
+		if r.LaneGroup != nil {
+			return r.LaneGroup(core)
+		}
+		return 0
+	}
+	seenLane := map[int]bool{}
+	seenGroup := map[int]bool{}
 	for _, e := range evs {
+		pid := group(e.Core)
+		if r.LaneName != nil && !seenLane[e.Core] {
+			seenLane[e.Core] = true
+			out = append(out, chromeEvent{
+				Name: "thread_name", Ph: "M", PID: pid, TID: e.Core,
+				Args: map[string]string{"name": r.LaneName(e.Core)},
+			})
+		}
+		if r.GroupName != nil && !seenGroup[pid] {
+			seenGroup[pid] = true
+			out = append(out, chromeEvent{
+				Name: "process_name", Ph: "M", PID: pid, TID: 0,
+				Args: map[string]string{"name": r.GroupName(pid)},
+			})
+		}
 		ce := chromeEvent{
 			Name: e.Label,
 			Ts:   float64(e.Start) / 1000,
-			PID:  0,
+			PID:  pid,
 			TID:  e.Core,
 			Args: map[string]string{
 				"task": fmt.Sprint(e.Task),

@@ -3,6 +3,7 @@ package trace
 import (
 	"bytes"
 	"encoding/json"
+	"fmt"
 	"strings"
 	"testing"
 )
@@ -72,6 +73,81 @@ func TestWriteChromeJSON(t *testing.T) {
 	}
 	if out[1]["ph"] != "i" {
 		t.Errorf("instant event wrong: %v", out[1])
+	}
+}
+
+// TestWriteChromeLanesRoundTrip drives the lane-naming hooks and parses
+// the emitted JSON back: every lane referenced by an event must carry a
+// thread_name metadata record with the caller's name and group, every
+// group a process_name, and payload events must sit in their lane's group.
+func TestWriteChromeLanesRoundTrip(t *testing.T) {
+	r := NewRecorder()
+	r.LaneName = func(core int) string { return fmt.Sprintf("socket%d/worker%d", core/2, core) }
+	r.LaneGroup = func(core int) int { return core / 2 }
+	r.GroupName = func(group int) string { return fmt.Sprintf("socket %d", group) }
+	r.Span(0, 1, 0, "inter", 0, 1000, "job 1")
+	r.Span(3, 1, 2, "intra", 200, 600, "job 1")
+	r.Instant(Steal, 2, 1, 100, "steal-inter")
+	var buf bytes.Buffer
+	if err := r.WriteChrome(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var out []struct {
+		Name string            `json:"name"`
+		Ph   string            `json:"ph"`
+		PID  int               `json:"pid"`
+		TID  int               `json:"tid"`
+		Args map[string]string `json:"args"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &out); err != nil {
+		t.Fatalf("invalid JSON: %v\n%s", err, buf.String())
+	}
+	threadNames := map[int]string{} // tid -> name
+	threadGroup := map[int]int{}    // tid -> pid
+	groupNames := map[int]string{}  // pid -> name
+	payload := 0
+	for _, e := range out {
+		switch {
+		case e.Ph == "M" && e.Name == "thread_name":
+			threadNames[e.TID] = e.Args["name"]
+			threadGroup[e.TID] = e.PID
+		case e.Ph == "M" && e.Name == "process_name":
+			groupNames[e.PID] = e.Args["name"]
+		default:
+			payload++
+			if want := e.TID / 2; e.PID != want {
+				t.Errorf("event on lane %d has pid %d, want %d", e.TID, e.PID, want)
+			}
+		}
+	}
+	if payload != 3 {
+		t.Fatalf("got %d payload events, want 3", payload)
+	}
+	for _, tid := range []int{0, 2, 3} {
+		want := fmt.Sprintf("socket%d/worker%d", tid/2, tid)
+		if threadNames[tid] != want {
+			t.Errorf("lane %d named %q, want %q", tid, threadNames[tid], want)
+		}
+		if threadGroup[tid] != tid/2 {
+			t.Errorf("lane %d grouped into %d, want %d", tid, threadGroup[tid], tid/2)
+		}
+	}
+	for _, pid := range []int{0, 1} {
+		if want := fmt.Sprintf("socket %d", pid); groupNames[pid] != want {
+			t.Errorf("group %d named %q, want %q", pid, groupNames[pid], want)
+		}
+	}
+}
+
+// TestSpanDoesNotCoalesce pins the difference from RunSpan: two Span calls
+// for the same task stay two events (nesting must survive to the output).
+func TestSpanDoesNotCoalesce(t *testing.T) {
+	r := NewRecorder()
+	r.Span(0, 1, 0, "inter", 0, 100, "outer")
+	r.Span(0, 1, 1, "intra", 20, 40, "inner")
+	evs := r.Finish()
+	if len(evs) != 2 {
+		t.Fatalf("Span coalesced: got %d events, want 2", len(evs))
 	}
 }
 

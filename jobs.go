@@ -23,7 +23,12 @@ import (
 	"time"
 
 	"cab/internal/jobs"
+	"cab/internal/obs"
 )
+
+// obsSummary aliases the internal latency summary for the conversion in
+// ServiceStats.
+type obsSummary = obs.LatencySummary
 
 // Sentinel errors of the job API. Compare with errors.Is.
 var (
@@ -96,6 +101,8 @@ type JobStats struct {
 	Migrations  int64         // this job's tasks that crossed squads
 	Helps       int64         // this job's tasks run inside someone's Sync
 	Wall        time.Duration // submit-to-now, or submit-to-completion once Done
+	QueueWait   time.Duration // submit-to-adoption; while queued, submit-to-now
+	RunTime     time.Duration // adoption-to-drain; 0 until a worker adopts the root
 	Done        bool
 	Cancelled   bool
 }
@@ -111,26 +118,51 @@ func (j *Job) Stats() JobStats {
 		Migrations:  s.Migrations,
 		Helps:       s.Helps,
 		Wall:        s.Wall,
+		QueueWait:   s.QueueWait,
+		RunTime:     s.RunTime,
 		Done:        s.Done,
 		Cancelled:   s.Cancelled,
 	}
 }
 
-// ServiceStats are cumulative scheduler-level job counters.
+// Latency summarizes one latency distribution from the runtime's
+// power-of-two histograms. Quantiles are bucket upper bounds, so each is
+// an overestimate of at most 2x — monitoring grade, allocation-free to
+// collect.
+type Latency struct {
+	Count         int64         // samples recorded
+	Mean          time.Duration // Sum / Count
+	P50, P95, P99 time.Duration
+}
+
+// ServiceStats are cumulative scheduler-level job counters plus the
+// always-on latency distributions of the job lifecycle.
 type ServiceStats struct {
 	Submitted int64 // jobs admitted
 	Completed int64 // jobs fully drained
 	Rejected  int64 // submissions refused with ErrQueueFull
 	Cancelled int64 // jobs cancelled (context or Cancel)
+
+	QueueWait Latency // submit-to-adoption per job
+	Run       Latency // adoption-to-drain per job
+	StealScan Latency // per idle scan: first failed probe to work found or park
 }
 
-// ServiceStats reports the scheduler's cumulative job-service counters.
+// ServiceStats reports the scheduler's cumulative job-service counters and
+// latency quantiles.
 func (s *Scheduler) ServiceStats() ServiceStats {
 	st := s.eng.Stats()
+	m := s.rt.Metrics()
+	lat := func(sum obsSummary) Latency {
+		return Latency{Count: sum.Count, Mean: sum.Mean, P50: sum.P50, P95: sum.P95, P99: sum.P99}
+	}
 	return ServiceStats{
 		Submitted: st.Submitted,
 		Completed: st.Completed,
 		Rejected:  st.Rejected,
 		Cancelled: st.Cancelled,
+		QueueWait: lat(m.QueueWait.Summary()),
+		Run:       lat(m.Run.Summary()),
+		StealScan: lat(m.StealScan.Summary()),
 	}
 }

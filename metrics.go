@@ -1,0 +1,77 @@
+// Prometheus text exposition of the scheduler's observability data: the
+// cache-line-sharded event counters (global and per squad), the job
+// service counters, and the always-on latency histograms. cmd/cabserve
+// serves this from /metricz; keeping the rendering here makes the format
+// testable without an HTTP server and available to other front ends.
+package cab
+
+import (
+	"io"
+	"strconv"
+
+	"cab/internal/obs"
+)
+
+// WritePrometheus writes every scheduler metric to w in Prometheus text
+// exposition format (version 0.0.4):
+//
+//   - cab_<event>_total counters — the Stats() view;
+//   - cab_squad_<event>_total{squad="N"} — the SquadStats() breakdown, the
+//     lens that shows whether intra-socket steals stay inside squads;
+//   - cab_jobs_<state>_total — the job-service counters;
+//   - cab_job_queue_wait_seconds, cab_job_run_seconds and
+//     cab_steal_scan_seconds histograms with companion
+//     *_quantile_seconds{q="0.5|0.95|0.99"} gauges.
+//
+// Collection is allocation-light and safe on a live scheduler: counters
+// come from per-worker shards, histogram snapshots from atomic loads.
+func (s *Scheduler) WritePrometheus(w io.Writer) {
+	st := s.rt.Stats()
+	obs.PromCounter(w, "cab_spawns_total", "Tasks created.", st.Spawns)
+	obs.PromCounter(w, "cab_inter_spawns_total", "Tasks created into the inter-socket tier.", st.InterSpawns)
+	obs.PromCounter(w, "cab_steals_intra_total", "Successful intra-socket steals.", st.StealsIntra)
+	obs.PromCounter(w, "cab_steals_inter_total", "Successful inter-socket steals.", st.StealsInter)
+	obs.PromCounter(w, "cab_failed_steals_total", "Empty or lost steal probes.", st.FailedSteals)
+	obs.PromCounter(w, "cab_helps_total", "Tasks executed while a worker waited at a Sync.", st.Helps)
+
+	per := s.rt.SquadStats()
+	order := make([]string, len(per))
+	families := []struct {
+		name, help string
+		get        func(i int) int64
+	}{
+		{"cab_squad_spawns_total", "Tasks created, by spawning worker's squad.", func(i int) int64 { return per[i].Spawns }},
+		{"cab_squad_steals_intra_total", "Successful intra-socket steals, by thief's squad.", func(i int) int64 { return per[i].StealsIntra }},
+		{"cab_squad_steals_inter_total", "Successful inter-socket steals, by thief's squad.", func(i int) int64 { return per[i].StealsInter }},
+		{"cab_squad_failed_steals_total", "Empty or lost steal probes, by prober's squad.", func(i int) int64 { return per[i].FailedSteals }},
+		{"cab_squad_helps_total", "Sync-helping executions, by helper's squad.", func(i int) int64 { return per[i].Helps }},
+	}
+	for i := range per {
+		order[i] = strconv.Itoa(i)
+	}
+	for _, f := range families {
+		vals := make(map[string]int64, len(per))
+		for i := range per {
+			vals[order[i]] = f.get(i)
+		}
+		obs.PromCounterVec(w, f.name, f.help, "squad", vals, order)
+	}
+
+	es := s.eng.Stats()
+	obs.PromCounter(w, "cab_jobs_submitted_total", "Jobs admitted.", es.Submitted)
+	obs.PromCounter(w, "cab_jobs_completed_total", "Jobs whose DAG fully drained.", es.Completed)
+	obs.PromCounter(w, "cab_jobs_rejected_total", "Submissions refused with a full queue.", es.Rejected)
+	obs.PromCounter(w, "cab_jobs_cancelled_total", "Jobs cancelled via context or Cancel.", es.Cancelled)
+
+	obs.PromGauge(w, "cab_boundary_level", "Boundary level BL in effect (0 = single-tier).", float64(s.bl))
+	tracing := 0.0
+	if s.rt.Tracing() {
+		tracing = 1
+	}
+	obs.PromGauge(w, "cab_tracing_armed", "Whether event tracing is currently armed.", tracing)
+
+	m := s.rt.Metrics()
+	obs.PromHistogram(w, "cab_job_queue_wait", "Job submit-to-adoption latency.", m.QueueWait)
+	obs.PromHistogram(w, "cab_job_run", "Job adoption-to-drain latency.", m.Run)
+	obs.PromHistogram(w, "cab_steal_scan", "Idle steal-scan duration (first failed probe to work or park).", m.StealScan)
+}

@@ -1,0 +1,105 @@
+// Public-API coverage for the observability surface: StartTrace/StopTrace
+// Chrome export, SquadStats, and the latency quantiles on ServiceStats and
+// JobStats.
+package cab_test
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"testing"
+
+	"cab"
+)
+
+func obsScheduler(t *testing.T) *cab.Scheduler {
+	t.Helper()
+	s, err := cab.New(cab.Config{
+		Machine: cab.Machine{Sockets: 2, CoresPerSocket: 2, SharedCache: 1 << 20},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(s.Close)
+	return s
+}
+
+func TestSchedulerTraceRoundTrip(t *testing.T) {
+	s := obsScheduler(t)
+	if s.Tracing() {
+		t.Fatal("tracing must start disarmed")
+	}
+	s.StartTrace()
+	var tree func(d int) cab.TaskFunc
+	tree = func(d int) cab.TaskFunc {
+		return func(p cab.Task) {
+			if d == 0 {
+				return
+			}
+			p.Spawn(tree(d - 1))
+			p.Spawn(tree(d - 1))
+			p.Sync()
+		}
+	}
+	if err := s.Run(tree(8)); err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := s.StopTrace(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if s.Tracing() {
+		t.Fatal("StopTrace must disarm")
+	}
+	var out []map[string]any
+	if err := json.Unmarshal(buf.Bytes(), &out); err != nil {
+		t.Fatalf("trace not valid JSON: %v", err)
+	}
+	var spans int
+	for _, e := range out {
+		if e["ph"] == "X" {
+			spans++
+		}
+	}
+	if spans == 0 {
+		t.Fatal("trace has no execution spans")
+	}
+}
+
+func TestServiceStatsLatencies(t *testing.T) {
+	s := obsScheduler(t)
+	j, err := s.Submit(context.Background(), func(p cab.Task) {
+		for i := 0; i < 32; i++ {
+			p.Spawn(func(cab.Task) {})
+		}
+		p.Sync()
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := j.Wait(); err != nil {
+		t.Fatal(err)
+	}
+	st := s.ServiceStats()
+	if st.QueueWait.Count == 0 || st.Run.Count == 0 {
+		t.Fatalf("latency counts empty: %+v", st)
+	}
+	if st.Run.P99 < st.Run.P50 {
+		t.Fatalf("p99 %v < p50 %v", st.Run.P99, st.Run.P50)
+	}
+	js := j.Stats()
+	if js.QueueWait+js.RunTime != js.Wall {
+		t.Fatalf("QueueWait %v + RunTime %v != Wall %v", js.QueueWait, js.RunTime, js.Wall)
+	}
+	per := s.SquadStats()
+	if len(per) != 2 {
+		t.Fatalf("got %d squads, want 2", len(per))
+	}
+	var spawns int64
+	for _, sq := range per {
+		spawns += sq.Spawns
+	}
+	if spawns != s.Stats().Spawns {
+		t.Fatalf("squad spawns %d != global %d", spawns, s.Stats().Spawns)
+	}
+}

@@ -13,7 +13,7 @@ out="${1:-BENCH_rt.json}"
 raw="$(mktemp)"
 trap 'rm -f "$raw"' EXIT
 
-go test -run '^$' -bench 'BenchmarkSpawnSync$|BenchmarkStealThroughput$|BenchmarkInterPool$|BenchmarkJobThroughput$' \
+go test -run '^$' -bench 'BenchmarkSpawnSync$|BenchmarkSpawnSyncTraced$|BenchmarkStealThroughput$|BenchmarkInterPool$|BenchmarkJobThroughput$' \
     -benchmem -count=5 . | tee "$raw"
 
 awk '
@@ -34,12 +34,22 @@ BEGIN { print "["; first = 1 }
             extra = extra sprintf(", \"%s\": %s", u, v)
         }
     }
+    if (ns != "") { sum[name] += ns; runs[name]++ }
     if (!first) print ","
     first = 0
     printf "  {\"name\": \"%s\", \"iters\": %s, \"ns_per_op\": %s, \"bytes_per_op\": %s, \"allocs_per_op\": %s%s}", \
         name, iters, ns, bytes, allocs, extra
 }
-END { print ""; print "]" }
+END {
+    # Armed-tracing overhead: mean SpawnSyncTraced vs mean SpawnSync ns/op.
+    if (runs["SpawnSync"] > 0 && runs["SpawnSyncTraced"] > 0) {
+        base = sum["SpawnSync"] / runs["SpawnSync"]
+        traced = sum["SpawnSyncTraced"] / runs["SpawnSyncTraced"]
+        printf ",\n  {\"name\": \"TraceOverhead\", \"base_ns_per_op\": %.1f, \"traced_ns_per_op\": %.1f, \"trace_overhead_pct\": %.1f}", \
+            base, traced, (traced - base) * 100 / base
+    }
+    print ""; print "]"
+}
 ' "$raw" > "$out"
 
 echo "wrote $out"
