@@ -118,8 +118,9 @@ func BenchmarkSeedRobustness(b *testing.B) { benchExperiment(b, "seeds", 0.25) }
 
 // Real-runtime fast-path microbenchmarks (bodies in internal/rtbench, also
 // runnable as `cabbench -rtbench`; scripts/bench.sh tracks them over time).
-func BenchmarkSpawnSync(b *testing.B)       { rtbench.SpawnSync(b) }
-func BenchmarkSpawnSyncTraced(b *testing.B) { rtbench.SpawnSyncTraced(b) }
+func BenchmarkSpawnSync(b *testing.B)          { rtbench.SpawnSync(b) }
+func BenchmarkSpawnSyncTraced(b *testing.B)    { rtbench.SpawnSyncTraced(b) }
+func BenchmarkSpawnSyncFaultHook(b *testing.B) { rtbench.SpawnSyncFaultHook(b) }
 func BenchmarkStealThroughput(b *testing.B) { rtbench.StealThroughput(b) }
 func BenchmarkInterPool(b *testing.B)       { rtbench.InterPool(b) }
 func BenchmarkJobThroughput(b *testing.B)   { rtbench.JobThroughput(b) }

@@ -128,6 +128,13 @@ type Config struct {
 	// up to a power of two; 0 selects the default (16384). Old events are
 	// overwritten, so tracing may stay armed indefinitely.
 	TraceDepth int
+	// FaultHook, when non-nil, is invoked at the runtime's fault-injection
+	// points (see robust.go and internal/chaos). nil — the default — costs
+	// one pointer nil-check per site.
+	FaultHook FaultHook
+	// Watchdog configures the stall/overrun/deadline monitor; the zero
+	// value enables it with defaults (250ms interval, 1s stall threshold).
+	Watchdog WatchdogConfig
 }
 
 // Scheduler is a running CAB worker pool. It is multi-tenant: Run and
@@ -169,6 +176,7 @@ func New(cfg Config) (*Scheduler, error) {
 	r, err := rt.New(rt.Config{
 		Topo: m.topology(), BL: bl, Seed: cfg.Seed, QueueDepth: cfg.QueueDepth,
 		Trace: cfg.Trace, TraceDepth: cfg.TraceDepth,
+		FaultHook: cfg.FaultHook, Watchdog: cfg.Watchdog,
 	})
 	if err != nil {
 		return nil, fmt.Errorf("cab: %w", err)

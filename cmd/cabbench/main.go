@@ -3,7 +3,7 @@
 //
 // Usage:
 //
-//	cabbench [-exp id[,id...]] [-scale f] [-seed n] [-verify] [-list] [-rtbench]
+//	cabbench [-exp id[,id...]] [-scale f] [-seed n] [-verify] [-list] [-rtbench] [-chaos]
 //
 // With no -exp it runs every experiment in presentation order. Experiment
 // IDs follow the paper: tab3, fig4, tab4, fig5, fig6, fig7, fig8, plus
@@ -20,6 +20,15 @@
 // Scheduler and wait on the futures; it reports jobs/sec and the service
 // counters, the end-to-end figure for the jobs subsystem.
 //
+// -chaos runs the fault-tolerance smoke: against one live Scheduler with a
+// fast watchdog it freezes a worker mid-task (asserting the watchdog flags
+// it, DumpState names it, and the job drains after thaw), forces a panic
+// in an inter-socket-tier task (asserting it surfaces from Wait and the
+// squad stays adoptable), and submits a deadline-doomed job (asserting
+// ErrDeadlineExceeded). It prints the resulting health counters as JSON to
+// stdout and exits 1 if any scenario misbehaves — the CI smoke for the
+// robustness layer.
+//
 // -trace out.json runs fib(-tracefib) on the real runtime with event
 // tracing armed on a 2-socket squad machine (BL 2) and writes the window
 // as Chrome trace-viewer JSON — load it in chrome://tracing or
@@ -29,7 +38,10 @@
 package main
 
 import (
+	"bytes"
 	"context"
+	"encoding/json"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
@@ -39,6 +51,7 @@ import (
 	"time"
 
 	"cab"
+	"cab/internal/chaos"
 	"cab/internal/exp"
 	"cab/internal/rtbench"
 )
@@ -60,8 +73,15 @@ func main() {
 
 		trace    = flag.String("trace", "", "write a Chrome trace of a traced fib run to this file")
 		tracefib = flag.Int("tracefib", 30, "trace: the fib argument of the traced run")
+
+		chaosSmoke = flag.Bool("chaos", false, "run the fault-injection smoke scenarios and exit")
 	)
 	flag.Parse()
+
+	if *chaosSmoke {
+		runChaos()
+		return
+	}
 
 	if *trace != "" {
 		runTrace(*trace, *tracefib)
@@ -198,6 +218,7 @@ func runRTBench() {
 	}{
 		{"SpawnSync", rtbench.SpawnSync},
 		{"SpawnSyncTraced", rtbench.SpawnSyncTraced},
+		{"SpawnSyncFaultHook", rtbench.SpawnSyncFaultHook},
 		{"StealThroughput", rtbench.StealThroughput},
 		{"InterPool", rtbench.InterPool},
 		{"JobThroughput", rtbench.JobThroughput},
@@ -212,6 +233,158 @@ func runRTBench() {
 			}
 		}
 		fmt.Println()
+	}
+}
+
+// chaosFail prints a smoke failure and exits non-zero.
+func chaosFail(format string, args ...interface{}) {
+	fmt.Fprintf(os.Stderr, "cabbench: chaos: "+format+"\n", args...)
+	os.Exit(1)
+}
+
+// runChaos is the fault-tolerance smoke test: frozen worker, forced
+// inter-tier panic, and a doomed deadline, all against one Scheduler with
+// a fast watchdog. It emits the final health counters as JSON on stdout
+// and exits 1 on any deviation.
+func runChaos() {
+	inj := chaos.New(42)
+	sched, err := cab.New(cab.Config{
+		Machine:       cab.Machine{Sockets: 2, CoresPerSocket: 2, SharedCache: 1 << 20},
+		BoundaryLevel: 1,
+		FaultHook:     inj.Hook,
+		Watchdog: cab.WatchdogConfig{
+			Interval: 5 * time.Millisecond, StallAfter: 25 * time.Millisecond,
+			Output: os.Stderr,
+		},
+	})
+	if err != nil {
+		chaosFail("%v", err)
+	}
+	defer sched.Close()
+	defer inj.UnfreezeAll() // never leave a frozen worker for Close to wait on
+
+	// Scenario 1: freeze worker 1 mid-task-body. The root streams leaves
+	// until the freeze is entered (a fixed fanout could drain on the other
+	// workers), the watchdog must flag the stall, DumpState must name the
+	// worker, and after the thaw the job drains cleanly.
+	const frozenWorker = 1
+	entered := inj.FreezeWorker(frozenWorker, cab.FaultExec)
+	// Two-level stream: at BL 1 the level-1 branches are inter-tier (head
+	// workers only), but their level-2 leaves are intra-tier and stealable
+	// by every worker — including the one under the freeze gate.
+	branch := func(p cab.Task) {
+		for k := 0; k < 4; k++ {
+			p.Spawn(func(cab.Task) { time.Sleep(20 * time.Microsecond) })
+		}
+		p.Sync()
+	}
+	j, err := sched.Submit(context.Background(), func(p cab.Task) {
+		for i := 0; ; i++ {
+			select {
+			case <-entered:
+				p.Sync()
+				return
+			default:
+			}
+			p.Spawn(branch)
+			if i%8 == 7 {
+				p.Sync()
+			}
+		}
+	})
+	if err != nil {
+		chaosFail("freeze job submit: %v", err)
+	}
+	select {
+	case <-entered:
+	case <-time.After(10 * time.Second):
+		chaosFail("worker %d never hit the freeze gate", frozenWorker)
+	}
+	deadline := time.Now().Add(10 * time.Second)
+	for sched.Health().StalledWorkers == 0 {
+		if time.Now().After(deadline) {
+			chaosFail("watchdog never flagged the frozen worker")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	var dump bytes.Buffer
+	sched.DumpState(&dump)
+	if want := fmt.Sprintf("worker %d", frozenWorker); !strings.Contains(dump.String(), want+" (") ||
+		!strings.Contains(dump.String(), "STALLED") {
+		chaosFail("DumpState does not name the frozen worker:\n%s", dump.String())
+	}
+	inj.Unfreeze(frozenWorker)
+	if err := j.Wait(); err != nil {
+		chaosFail("frozen job after thaw: %v", err)
+	}
+	deadline = time.Now().Add(10 * time.Second)
+	for sched.Health().StalledWorkers != 0 {
+		if time.Now().After(deadline) {
+			chaosFail("stall never recovered after thaw")
+		}
+		time.Sleep(time.Millisecond)
+	}
+
+	// Scenario 2: one-shot forced panic in an inter-socket-tier task
+	// (level 1 at BL 1). It must surface from Wait as the injected value,
+	// and the next job must run clean — the squad's busy state came back.
+	inj.PanicNext(chaos.Match{Worker: chaos.Any, Level: 1, Tier: 1})
+	j, err = sched.Submit(context.Background(), func(p cab.Task) {
+		for i := 0; i < 8; i++ {
+			p.Spawn(func(cab.Task) {})
+		}
+		p.Sync()
+	})
+	if err != nil {
+		chaosFail("panic job submit: %v", err)
+	}
+	werr := j.Wait()
+	if werr == nil || !strings.Contains(werr.Error(), "chaos: injected panic") {
+		chaosFail("panic job Wait = %v, want the injected panic", werr)
+	}
+	if err := sched.Run(func(p cab.Task) {
+		for i := 0; i < 8; i++ {
+			p.Spawn(func(cab.Task) {})
+		}
+		p.Sync()
+	}); err != nil {
+		chaosFail("job after injected panic: %v", err)
+	}
+
+	// Scenario 3: a 20ms deadline on an unbounded DAG must come back as
+	// ErrDeadlineExceeded, promptly.
+	ctx, cancel := context.WithTimeout(context.Background(), 20*time.Millisecond)
+	defer cancel()
+	var spin func(p cab.Task)
+	spin = func(p cab.Task) {
+		p.Spawn(spin)
+		p.Sync()
+	}
+	j, err = sched.Submit(ctx, spin)
+	if err != nil {
+		chaosFail("deadline job submit: %v", err)
+	}
+	if werr := j.Wait(); !errors.Is(werr, cab.ErrDeadlineExceeded) {
+		chaosFail("deadline job Wait = %v, want ErrDeadlineExceeded", werr)
+	}
+
+	h := sched.Health()
+	st := inj.Stats()
+	out := struct {
+		Stalls          int64 `json:"watchdog_stalls"`
+		StallsRecovered int64 `json:"watchdog_stalls_recovered"`
+		DeadlineCancels int64 `json:"watchdog_deadline_cancels"`
+		Freezes         int64 `json:"injected_freezes"`
+		Panics          int64 `json:"injected_panics"`
+		OK              bool  `json:"ok"`
+	}{h.Stalls, h.StallsRecovered, h.DeadlineCancels, st.Freezes, st.Panics, true}
+	if out.Stalls < 1 || out.StallsRecovered < 1 || out.Freezes < 1 || out.Panics != 1 {
+		chaosFail("watchdog/injector counters not exercised: %+v", out)
+	}
+	enc := json.NewEncoder(os.Stdout)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(out); err != nil {
+		chaosFail("%v", err)
 	}
 }
 

@@ -5,9 +5,15 @@
 // (the request context is the job context); a full admission queue maps to
 // 503 Service Unavailable; SIGINT drains in-flight jobs before exit.
 //
+// Under overload the server degrades gracefully instead of queueing
+// without bound: a background shedder watches the windowed p95 job
+// queue-wait (see shed.go) and, past the -shed-target, refuses new work
+// submissions with 503 + Retry-After before they enter the queue.
+//
 // Usage:
 //
 //	cabserve [-addr :8080] [-queue 64] [-reject]
+//	         [-shed-target 100ms] [-shed-interval 250ms]
 //
 // Endpoints:
 //
@@ -15,6 +21,9 @@
 //	GET /matmul?n=128   parallel n x n matrix multiply, returns a checksum
 //	GET /nqueens?n=10   parallel N-queens solution count
 //	GET /statz          scheduler + job-service counters (JSON)
+//	GET /healthz        liveness: 200 unless the watchdog sees wedged workers
+//	GET /readyz         readiness: 200 unless draining or shedding load
+//	GET /dumpz          the scheduler's DumpState diagnostic (plain text)
 //	GET /metricz        Prometheus text exposition: counters, per-squad
 //	                    breakdowns, p50/p95/p99 job latency histograms
 //	GET /tracez?ms=500  arm event tracing for a window and stream the
@@ -48,9 +57,11 @@ import (
 
 func main() {
 	var (
-		addr   = flag.String("addr", ":8080", "listen address")
-		queue  = flag.Int("queue", 64, "job admission queue depth")
-		reject = flag.Bool("reject", false, "reject submissions when the queue is full (default: block)")
+		addr         = flag.String("addr", ":8080", "listen address")
+		queue        = flag.Int("queue", 64, "job admission queue depth")
+		reject       = flag.Bool("reject", false, "reject submissions when the queue is full (default: block)")
+		shedTarget   = flag.Duration("shed-target", 100*time.Millisecond, "shed new work when windowed p95 queue wait exceeds this (0 disables)")
+		shedInterval = flag.Duration("shed-interval", 250*time.Millisecond, "shedding decision window")
 	)
 	flag.Parse()
 
@@ -58,12 +69,29 @@ func main() {
 	if *reject {
 		policy = cab.RejectWhenFull
 	}
-	sched, err := cab.New(cab.Config{QueueDepth: *queue, OnFull: policy})
+	sched, err := cab.New(cab.Config{
+		QueueDepth: *queue, OnFull: policy,
+		// Watchdog diagnostics (stalled workers, overdue jobs) go to the
+		// server log; thresholds are the defaults (250ms / 1s).
+		Watchdog: cab.WatchdogConfig{Output: os.Stderr},
+	})
 	if err != nil {
 		log.Fatalf("cabserve: %v", err)
 	}
+	sv := newServer(sched, *shedTarget, *shedInterval)
 
-	srv := &http.Server{Addr: *addr, Handler: newMux(sched)}
+	srv := &http.Server{
+		Addr:    *addr,
+		Handler: sv.routes(),
+		// A slowloris client must not hold a connection (and its worker
+		// goroutine) forever: bound every phase of the exchange. The write
+		// timeout still leaves room for the longest work endpoints and a
+		// full /tracez window.
+		ReadHeaderTimeout: 5 * time.Second,
+		ReadTimeout:       30 * time.Second,
+		WriteTimeout:      2 * time.Minute,
+		IdleTimeout:       2 * time.Minute,
+	}
 	done := make(chan struct{})
 	go func() {
 		defer close(done)
@@ -71,14 +99,16 @@ func main() {
 		signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
 		<-sig
 		log.Println("cabserve: shutting down (draining in-flight jobs)")
+		sv.draining.Store(true) // /readyz flips before the listener closes
 		ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
 		defer cancel()
 		_ = srv.Shutdown(ctx) // stop accepting, finish open requests
-		sched.Close()         // drain admitted jobs, stop workers
+		sv.shed.close()
+		sched.Close() // drain admitted jobs, stop workers
 	}()
 
-	log.Printf("cabserve: listening on %s (BL %d, queue %d, reject=%v)",
-		*addr, sched.BoundaryLevel(), *queue, *reject)
+	log.Printf("cabserve: listening on %s (BL %d, queue %d, reject=%v, shed-target %v)",
+		*addr, sched.BoundaryLevel(), *queue, *reject, *shedTarget)
 	if err := srv.ListenAndServe(); err != nil && !errors.Is(err, http.ErrServerClosed) {
 		log.Fatalf("cabserve: %v", err)
 	}
@@ -89,24 +119,81 @@ func main() {
 // armed; longer windows just overwrite the ring buffers anyway.
 const maxTraceWindow = 10 * time.Second
 
-// newMux builds the full routing table over one shared scheduler. Factored
-// out of main so tests can drive the exact production handlers through
-// httptest without binding a socket.
-func newMux(sched *cab.Scheduler) *http.ServeMux {
+// server bundles the shared scheduler with the service-level state the
+// handlers consult: the overload shedder and the draining flag /readyz
+// reports during shutdown.
+type server struct {
+	sched    *cab.Scheduler
+	shed     *shedder // nil when shedding is disabled
+	draining atomic.Bool
+}
+
+// newServer wires the scheduler to a shedder (target <= 0 disables it).
+func newServer(sched *cab.Scheduler, shedTarget, shedInterval time.Duration) *server {
+	return &server{sched: sched, shed: newShedder(sched, shedTarget, shedInterval)}
+}
+
+// routes builds the full routing table. Factored out of main so tests can
+// drive the exact production handlers through httptest without binding a
+// socket.
+func (sv *server) routes() *http.ServeMux {
+	sched := sv.sched
 	mux := http.NewServeMux()
-	mux.HandleFunc("/fib", handler(sched, 1, 45, fibJob))
-	mux.HandleFunc("/matmul", handler(sched, 1, 1024, matmulJob))
-	mux.HandleFunc("/nqueens", handler(sched, 1, 14, nqueensJob))
+	mux.HandleFunc("/fib", sv.handler(1, 45, fibJob))
+	mux.HandleFunc("/matmul", sv.handler(1, 1024, matmulJob))
+	mux.HandleFunc("/nqueens", sv.handler(1, 14, nqueensJob))
 	mux.HandleFunc("/statz", func(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusOK, map[string]any{
 			"scheduler": sched.Stats(),
 			"squads":    sched.SquadStats(),
 			"service":   sched.ServiceStats(),
+			"health":    sched.Health(),
 		})
+	})
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
+		// Liveness: the process serves and the watchdog sees no wedged
+		// workers. Overload does NOT fail liveness — a shedding server is
+		// degraded, not dead (that is /readyz's distinction).
+		h := sched.Health()
+		if h.StalledWorkers > 0 {
+			writeJSON(w, http.StatusServiceUnavailable, map[string]any{
+				"status": "stalled", "stalled_workers": h.StalledWorkers,
+			})
+			return
+		}
+		writeJSON(w, http.StatusOK, map[string]any{"status": "ok"})
+	})
+	mux.HandleFunc("/readyz", func(w http.ResponseWriter, r *http.Request) {
+		// Readiness: route new traffic here only if the server is neither
+		// draining for shutdown nor shedding under overload.
+		switch {
+		case sv.draining.Load():
+			writeJSON(w, http.StatusServiceUnavailable, map[string]any{"status": "draining"})
+		case sv.shed.shedding():
+			w.Header().Set("Retry-After", strconv.FormatInt(sv.shed.retryAfterSeconds(), 10))
+			writeJSON(w, http.StatusServiceUnavailable, map[string]any{
+				"status": "shedding", "queue_wait_p95_ns": sv.shed.lastP95.Load(),
+			})
+		default:
+			writeJSON(w, http.StatusOK, map[string]any{"status": "ready"})
+		}
+	})
+	mux.HandleFunc("/dumpz", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		sched.DumpState(w)
 	})
 	mux.HandleFunc("/metricz", func(w http.ResponseWriter, r *http.Request) {
 		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
 		sched.WritePrometheus(w)
+		if sv.shed != nil {
+			fmt.Fprintf(w, "# HELP cab_shed_total Requests refused by overload shedding.\n# TYPE cab_shed_total counter\ncab_shed_total %d\n",
+				sv.shed.shedTotal.Load())
+			shedding := 0
+			if sv.shed.shedding() {
+				shedding = 1
+			}
+			fmt.Fprintf(w, "# HELP cab_shedding Whether overload shedding is active.\n# TYPE cab_shedding gauge\ncab_shedding %d\n", shedding)
+		}
 	})
 
 	// One trace window at a time: a concurrent /tracez would disarm the
@@ -160,9 +247,20 @@ func newMux(sched *cab.Scheduler) *http.ServeMux {
 type jobFunc func(n int) (cab.TaskFunc, *atomic.Int64)
 
 // handler submits one job per request, bounded to [min, max], governed by
-// the request context so client disconnects cancel the job.
-func handler(sched *cab.Scheduler, min, max int, mk jobFunc) http.HandlerFunc {
+// the request context so client disconnects cancel the job. When the
+// shedder reports overload the request is refused before it touches the
+// admission queue — 503 with Retry-After — so queued jobs keep draining.
+func (sv *server) handler(min, max int, mk jobFunc) http.HandlerFunc {
+	sched := sv.sched
 	return func(w http.ResponseWriter, r *http.Request) {
+		if sv.shed.shedding() {
+			sv.shed.shedTotal.Add(1)
+			w.Header().Set("Retry-After", strconv.FormatInt(sv.shed.retryAfterSeconds(), 10))
+			writeJSON(w, http.StatusServiceUnavailable, map[string]any{
+				"error": "overloaded: queue wait above target, try again later",
+			})
+			return
+		}
 		n, err := strconv.Atoi(r.URL.Query().Get("n"))
 		if err != nil || n < min || n > max {
 			writeJSON(w, http.StatusBadRequest, map[string]any{

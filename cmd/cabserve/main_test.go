@@ -10,11 +10,22 @@ import (
 	"net/http/httptest"
 	"strings"
 	"testing"
+	"time"
 
 	"cab"
 )
 
 func testServer(t *testing.T) (*cab.Scheduler, *httptest.Server) {
+	sched, sv, srv := testServerFull(t, 0)
+	_ = sv
+	return sched, srv
+}
+
+// testServerFull exposes the server struct so shed/readyz tests can drive
+// the admission state machine directly. shedTarget <= 0 disables shedding;
+// a positive target starts the shedder with an hour-long decision window,
+// so only explicit observe calls change its state.
+func testServerFull(t *testing.T, shedTarget time.Duration) (*cab.Scheduler, *server, *httptest.Server) {
 	t.Helper()
 	sched, err := cab.New(cab.Config{
 		Machine: cab.Machine{Sockets: 2, CoresPerSocket: 2, SharedCache: 1 << 20},
@@ -22,9 +33,10 @@ func testServer(t *testing.T) (*cab.Scheduler, *httptest.Server) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	srv := httptest.NewServer(newMux(sched))
-	t.Cleanup(func() { srv.Close(); sched.Close() })
-	return sched, srv
+	sv := newServer(sched, shedTarget, time.Hour)
+	srv := httptest.NewServer(sv.routes())
+	t.Cleanup(func() { srv.Close(); sv.shed.close(); sched.Close() })
+	return sched, sv, srv
 }
 
 func get(t *testing.T, url string) (int, string) {
@@ -124,6 +136,132 @@ func TestTracezBadWindow(t *testing.T) {
 	for _, q := range []string{"ms=abc", "ms=0", "ms=-5"} {
 		if code, _ := get(t, srv.URL+"/tracez?"+q); code != http.StatusBadRequest {
 			t.Errorf("/tracez?%s: status %d, want 400", q, code)
+		}
+	}
+}
+
+func TestHealthz(t *testing.T) {
+	_, srv := testServer(t)
+	code, body := get(t, srv.URL+"/healthz")
+	if code != http.StatusOK {
+		t.Fatalf("/healthz status %d: %s", code, body)
+	}
+	if !strings.Contains(body, `"status": "ok"`) {
+		t.Fatalf("/healthz body %q", body)
+	}
+}
+
+func TestReadyz(t *testing.T) {
+	_, sv, srv := testServerFull(t, time.Millisecond)
+
+	if code, body := get(t, srv.URL+"/readyz"); code != http.StatusOK {
+		t.Fatalf("/readyz status %d: %s", code, body)
+	}
+
+	// Overload: a window whose queue-wait p95 is far past the 1ms target
+	// flips the shedder; /readyz must report not-ready with Retry-After.
+	sv.shed.observe(cab.LatencyWindow{
+		QueueWait: cab.Latency{Count: 100, P95: 50 * time.Millisecond},
+	})
+	resp, err := http.Get(srv.URL + "/readyz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("/readyz while shedding: status %d, want 503", resp.StatusCode)
+	}
+	if resp.Header.Get("Retry-After") == "" {
+		t.Fatal("/readyz while shedding: no Retry-After header")
+	}
+
+	// Recovery: an idle window exits shedding (hysteresis path).
+	sv.shed.observe(cab.LatencyWindow{})
+	if code, _ := get(t, srv.URL+"/readyz"); code != http.StatusOK {
+		t.Fatalf("/readyz after recovery: status %d, want 200", code)
+	}
+
+	// Draining beats everything.
+	sv.draining.Store(true)
+	code, body := get(t, srv.URL+"/readyz")
+	if code != http.StatusServiceUnavailable || !strings.Contains(body, "draining") {
+		t.Fatalf("/readyz while draining: status %d body %q", code, body)
+	}
+}
+
+func TestShedRefusesWork(t *testing.T) {
+	_, sv, srv := testServerFull(t, time.Millisecond)
+	sv.shed.observe(cab.LatencyWindow{
+		QueueWait: cab.Latency{Count: 100, P95: 10 * time.Millisecond},
+	})
+	resp, err := http.Get(srv.URL + "/fib?n=20")
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("shed work request: status %d, want 503", resp.StatusCode)
+	}
+	if ra := resp.Header.Get("Retry-After"); ra == "" {
+		t.Fatal("shed response has no Retry-After")
+	}
+	if n := sv.shed.shedTotal.Load(); n != 1 {
+		t.Fatalf("shedTotal = %d, want 1", n)
+	}
+	// Metrics must reflect the refusal and the active state.
+	if _, body := get(t, srv.URL+"/metricz"); !strings.Contains(body, "cab_shed_total 1") ||
+		!strings.Contains(body, "cab_shedding 1") {
+		t.Fatalf("/metricz missing shed metrics:\n%s", body)
+	}
+	// After recovery the same endpoint serves again.
+	sv.shed.observe(cab.LatencyWindow{})
+	if code, body := get(t, srv.URL+"/fib?n=20"); code != http.StatusOK {
+		t.Fatalf("post-recovery fib: status %d: %s", code, body)
+	}
+}
+
+func TestShedObserveHysteresis(t *testing.T) {
+	s := &shedder{target: 10 * time.Millisecond}
+
+	// Too few samples: one slow job must not flip the state.
+	s.observe(cab.LatencyWindow{QueueWait: cab.Latency{Count: 1, P95: time.Second}})
+	if s.shedding() {
+		t.Fatal("shedding after a 1-sample window")
+	}
+	// Enough samples over target: shed, with Retry-After scaled up.
+	s.observe(cab.LatencyWindow{QueueWait: cab.Latency{Count: 50, P95: 100 * time.Millisecond}})
+	if !s.shedding() {
+		t.Fatal("not shedding with p95 10x target")
+	}
+	if ra := s.retryAfterSeconds(); ra != 10 {
+		t.Fatalf("Retry-After = %d, want 10 (overload ratio)", ra)
+	}
+	// p95 under target but above target/2: hysteresis keeps shedding.
+	s.observe(cab.LatencyWindow{QueueWait: cab.Latency{Count: 50, P95: 8 * time.Millisecond}})
+	if !s.shedding() {
+		t.Fatal("exited shedding above the hysteresis floor")
+	}
+	// Under half the target: recover.
+	s.observe(cab.LatencyWindow{QueueWait: cab.Latency{Count: 50, P95: 4 * time.Millisecond}})
+	if s.shedding() {
+		t.Fatal("still shedding under target/2")
+	}
+}
+
+func TestDumpz(t *testing.T) {
+	_, srv := testServer(t)
+	if code, body := get(t, srv.URL+"/fib?n=20"); code != http.StatusOK {
+		t.Fatalf("warm-up job failed: %d %s", code, body)
+	}
+	code, body := get(t, srv.URL+"/dumpz")
+	if code != http.StatusOK {
+		t.Fatalf("/dumpz status %d", code)
+	}
+	for _, want := range []string{"=== rt state", "squad 0", "worker 0", "health:"} {
+		if !strings.Contains(body, want) {
+			t.Errorf("/dumpz missing %q\n--- body ---\n%s", want, body)
 		}
 	}
 }

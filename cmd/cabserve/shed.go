@@ -1,0 +1,140 @@
+// Adaptive overload shedding: queue-wait-based admission control in the
+// CoDel tradition. A background loop samples the scheduler's queue-wait
+// histogram in windows (cab.LatencySince); when the windowed p95 exceeds
+// the target, the server stops admitting work endpoints before they touch
+// the queue — 503 with a Retry-After scaled to how far over target the
+// service is — so the jobs already admitted keep their latency and the
+// squads keep their cache-affinity benefits instead of thrashing through
+// an ever-growing backlog. Shedding exits with hysteresis (p95 back under
+// half the target, or an idle window) to keep the decision from
+// flapping around the threshold.
+package main
+
+import (
+	"sync/atomic"
+	"time"
+
+	"cab"
+)
+
+// minShedSamples is the fewest queue-wait samples a window must hold
+// before its p95 is trusted to start shedding; one slow job in an
+// otherwise idle window is noise, not overload.
+const minShedSamples = 4
+
+// Retry-After bounds, seconds.
+const (
+	minRetryAfter = 1
+	maxRetryAfter = 30
+)
+
+// shedder decides admission for the work endpoints. The decision logic
+// (observe) is pure state-machine over latency windows, so tests drive it
+// directly; the loop goroutine only feeds it real windows on a ticker.
+type shedder struct {
+	sched  *cab.Scheduler
+	target time.Duration
+
+	active     atomic.Bool
+	retryAfter atomic.Int64 // seconds, valid while active
+	lastP95    atomic.Int64 // ns, last window's queue-wait p95
+	shedTotal  atomic.Int64 // requests refused while active
+
+	stop chan struct{}
+	done chan struct{}
+}
+
+// newShedder starts the sampling loop; target <= 0 disables shedding
+// entirely (returns nil, and a nil shedder admits everything).
+func newShedder(sched *cab.Scheduler, target, interval time.Duration) *shedder {
+	if target <= 0 {
+		return nil
+	}
+	if interval <= 0 {
+		interval = 250 * time.Millisecond
+	}
+	s := &shedder{
+		sched:  sched,
+		target: target,
+		stop:   make(chan struct{}),
+		done:   make(chan struct{}),
+	}
+	go s.loop(interval)
+	return s
+}
+
+func (s *shedder) loop(interval time.Duration) {
+	defer close(s.done)
+	snap := s.sched.LatencySnapshot()
+	t := time.NewTicker(interval)
+	defer t.Stop()
+	for {
+		select {
+		case <-s.stop:
+			return
+		case <-t.C:
+		}
+		var win cab.LatencyWindow
+		win, snap = s.sched.LatencySince(snap)
+		s.observe(win)
+	}
+}
+
+// observe advances the shed state machine by one latency window.
+func (s *shedder) observe(win cab.LatencyWindow) {
+	p95 := win.QueueWait.P95
+	s.lastP95.Store(int64(p95))
+	if s.active.Load() {
+		// Exit with hysteresis: an idle window (nothing adopted — either
+		// drained or everything shed) or p95 back under half the target.
+		if win.QueueWait.Count == 0 || p95 <= s.target/2 {
+			s.active.Store(false)
+			return
+		}
+		s.retryAfter.Store(retrySecs(p95, s.target))
+		return
+	}
+	if win.QueueWait.Count >= minShedSamples && p95 > s.target {
+		s.retryAfter.Store(retrySecs(p95, s.target))
+		s.active.Store(true)
+	}
+}
+
+// retrySecs scales the advised backoff with the overload ratio: just over
+// target asks for a second; an order of magnitude over asks for tens.
+func retrySecs(p95, target time.Duration) int64 {
+	if target <= 0 {
+		return minRetryAfter
+	}
+	secs := int64(p95 / target) // floor of the overload ratio
+	if secs < minRetryAfter {
+		return minRetryAfter
+	}
+	if secs > maxRetryAfter {
+		return maxRetryAfter
+	}
+	return secs
+}
+
+// shedding reports whether new work should currently be refused. nil
+// receiver (shedding disabled) admits everything.
+func (s *shedder) shedding() bool { return s != nil && s.active.Load() }
+
+// retryAfterSeconds is the current Retry-After advice, valid while
+// shedding.
+func (s *shedder) retryAfterSeconds() int64 {
+	n := s.retryAfter.Load()
+	if n < minRetryAfter {
+		return minRetryAfter
+	}
+	return n
+}
+
+// close stops the sampling loop (idempotent per shedder; nil-safe).
+func (s *shedder) close() {
+	if s == nil {
+		return
+	}
+	close(s.stop)
+	<-s.done
+}

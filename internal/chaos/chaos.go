@@ -1,0 +1,311 @@
+// Package chaos is the runtime's fault-injection harness: deterministic,
+// seedable injectors built on rt's Config.FaultHook seam. An Injector is
+// configured with any mix of faults — task-body stalls, artificially slow
+// steals, a forced panic at a chosen DAG level/tier, probabilistic task
+// flake, worker freeze/unfreeze — and its Hook method is installed as the
+// runtime's fault hook:
+//
+//	inj := chaos.New(42)
+//	inj.StallTasks(chaos.Match{Level: 2}, time.Millisecond, 8)
+//	r, _ := rt.New(rt.Config{FaultHook: inj.Hook})
+//
+// Everything is safe for concurrent use from all workers, allocation-free
+// on the hook path, and deterministic for a fixed seed and schedule:
+// randomness comes from a seeded splitmix-derived source, and "every Nth"
+// sampling uses atomic counters, so the set of injected faults depends
+// only on the interleaving the runtime produces. Injectors are inert by
+// default — a freshly constructed Injector's Hook does nothing.
+package chaos
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"cab/internal/rt"
+	"cab/internal/xrand"
+)
+
+// Match selects task-body fault targets by runtime location. Fields set
+// to -1 (the Any wildcard) match everything; Tier uses the obs encoding
+// carried by rt.FaultInfo (0 = intra, 1 = inter).
+type Match struct {
+	Worker int
+	Level  int
+	Tier   int
+}
+
+// Any is the wildcard for a Match field.
+const Any = -1
+
+// MatchAll matches every task body.
+var MatchAll = Match{Worker: Any, Level: Any, Tier: Any}
+
+func (m Match) hit(fi rt.FaultInfo) bool {
+	if m.Worker != Any && m.Worker != fi.Worker {
+		return false
+	}
+	if m.Level != Any && m.Level != fi.Level {
+		return false
+	}
+	if m.Tier != Any && m.Tier != int(fi.Tier) {
+		return false
+	}
+	return true
+}
+
+// InjectedPanic is the value a forced panic carries, so tests can assert
+// the recovered rt.TaskPanic originated here and where it fired.
+type InjectedPanic struct {
+	Worker int
+	Level  int
+}
+
+// Error implements error for convenient matching.
+func (p InjectedPanic) Error() string {
+	return fmt.Sprintf("chaos: injected panic (worker %d, level %d)", p.Worker, p.Level)
+}
+
+// Stats counts the faults an Injector has actually fired.
+type Stats struct {
+	Stalls     int64
+	SlowSteals int64
+	Panics     int64
+	Freezes    int64 // hook entries that blocked on a frozen worker's gate
+}
+
+// stallRule delays matching task bodies.
+type stallRule struct {
+	m   Match
+	d   time.Duration
+	nth int64 // fire on every nth match; 1 = every
+	n   atomic.Int64
+}
+
+// freezeGate blocks a frozen worker's hook entries until Unfreeze.
+type freezeGate struct {
+	point   rt.FaultPoint
+	gate    chan struct{} // closed by Unfreeze
+	entered chan struct{} // closed on first block, so tests can rendezvous
+	once    sync.Once
+}
+
+// Injector is a configured set of fault rules; install its Hook as
+// rt.Config.FaultHook. Configuration methods may be called before or
+// during a run (rules are published atomically), but the usual shape is
+// configure-then-run for determinism.
+type Injector struct {
+	mu      sync.Mutex
+	rngMu   sync.Mutex
+	rng     *xrand.Source
+	stalls  atomic.Pointer[[]*stallRule]
+	flakes  atomic.Pointer[[]*flakeRule]
+	panics  atomic.Pointer[panicRule]
+	slow    atomic.Pointer[slowRule]
+	frozen  atomic.Pointer[map[int]*freezeGate]
+	nStall  atomic.Int64
+	nSlow   atomic.Int64
+	nPanic  atomic.Int64
+	nFreeze atomic.Int64
+}
+
+type flakeRule struct {
+	m    Match
+	prob float64
+}
+
+type panicRule struct {
+	m     Match
+	armed atomic.Bool
+}
+
+type slowRule struct {
+	d   time.Duration
+	nth int64
+	n   atomic.Int64
+}
+
+// New returns an inert Injector whose probabilistic faults draw from the
+// given seed.
+func New(seed uint64) *Injector {
+	in := &Injector{rng: xrand.New(seed)}
+	empty := map[int]*freezeGate{}
+	in.frozen.Store(&empty)
+	return in
+}
+
+// StallTasks delays every nth task body matching m by d (nth <= 1 means
+// every match). The delay happens inside the body's panic barrier, so the
+// watchdog attributes it to the task exactly like a slow body.
+func (in *Injector) StallTasks(m Match, d time.Duration, nth int) {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	cur := in.stalls.Load()
+	var rules []*stallRule
+	if cur != nil {
+		rules = append(rules, *cur...)
+	}
+	if nth < 1 {
+		nth = 1
+	}
+	rules = append(rules, &stallRule{m: m, d: d, nth: int64(nth)})
+	in.stalls.Store(&rules)
+}
+
+// SlowSteals delays every nth steal probe by d — the interference that
+// degrades inter-socket stealing under load (the paper's TRICI analysis).
+func (in *Injector) SlowSteals(d time.Duration, nth int) {
+	if nth < 1 {
+		nth = 1
+	}
+	r := &slowRule{d: d, nth: int64(nth)}
+	in.slow.Store(r)
+}
+
+// PanicNext arms a one-shot forced panic: the next task body matching m
+// panics with an InjectedPanic. The runtime recovers it like any body
+// panic (it becomes the job's rt.TaskPanic).
+func (in *Injector) PanicNext(m Match) {
+	r := &panicRule{m: m}
+	r.armed.Store(true)
+	in.panics.Store(r)
+}
+
+// FlakeTasks makes every task body matching m panic with probability
+// prob, drawn from the injector's seeded source.
+func (in *Injector) FlakeTasks(m Match, prob float64) {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	cur := in.flakes.Load()
+	var rules []*flakeRule
+	if cur != nil {
+		rules = append(rules, *cur...)
+	}
+	rules = append(rules, &flakeRule{m: m, prob: prob})
+	in.flakes.Store(&rules)
+}
+
+// FreezeWorker wedges worker w at its next fault-hook entry of the given
+// point (rt.FaultExec freezes it mid-task-body; rt.FaultPoll freezes it
+// idle): the hook blocks until Unfreeze. The returned channel is closed
+// when the worker has actually blocked, so a test can rendezvous with the
+// freeze instead of sleeping. Freezing an already-frozen worker replaces
+// the pending gate only if the old one was released.
+//
+// A frozen worker holds real runtime resources (possibly a task frame and
+// its squad's busy state) — Unfreeze before Close, or Close will block on
+// the drain forever, by design.
+func (in *Injector) FreezeWorker(w int, point rt.FaultPoint) <-chan struct{} {
+	g := &freezeGate{
+		point:   point,
+		gate:    make(chan struct{}),
+		entered: make(chan struct{}),
+	}
+	in.mu.Lock()
+	old := *in.frozen.Load()
+	next := make(map[int]*freezeGate, len(old)+1)
+	for k, v := range old {
+		next[k] = v
+	}
+	next[w] = g
+	in.frozen.Store(&next)
+	in.mu.Unlock()
+	return g.entered
+}
+
+// Unfreeze releases worker w's freeze gate (idempotent, also safe when w
+// was never frozen).
+func (in *Injector) Unfreeze(w int) {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	old := *in.frozen.Load()
+	g, ok := old[w]
+	if !ok {
+		return
+	}
+	next := make(map[int]*freezeGate, len(old))
+	for k, v := range old {
+		if k != w {
+			next[k] = v
+		}
+	}
+	in.frozen.Store(&next)
+	close(g.gate)
+}
+
+// UnfreezeAll releases every pending freeze gate.
+func (in *Injector) UnfreezeAll() {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	old := *in.frozen.Load()
+	empty := map[int]*freezeGate{}
+	in.frozen.Store(&empty)
+	for _, g := range old {
+		close(g.gate)
+	}
+}
+
+// Stats snapshots the injector's fired-fault counters.
+func (in *Injector) Stats() Stats {
+	return Stats{
+		Stalls:     in.nStall.Load(),
+		SlowSteals: in.nSlow.Load(),
+		Panics:     in.nPanic.Load(),
+		Freezes:    in.nFreeze.Load(),
+	}
+}
+
+// Hook is the rt.FaultHook to install. It runs on scheduler workers; its
+// disabled-rule cost is a handful of atomic pointer loads.
+func (in *Injector) Hook(fi rt.FaultInfo) {
+	// Freezes apply at any point kind and take priority: a frozen worker
+	// must stop here even if other rules also match.
+	if m := *in.frozen.Load(); len(m) != 0 {
+		if g, ok := m[fi.Worker]; ok && g.point == fi.Point {
+			g.once.Do(func() { close(g.entered) })
+			in.nFreeze.Add(1)
+			<-g.gate
+		}
+	}
+	switch fi.Point {
+	case rt.FaultSteal:
+		if r := in.slow.Load(); r != nil {
+			if r.n.Add(1)%r.nth == 0 {
+				in.nSlow.Add(1)
+				time.Sleep(r.d)
+			}
+		}
+	case rt.FaultExec:
+		if rules := in.stalls.Load(); rules != nil {
+			for _, r := range *rules {
+				if r.m.hit(fi) && r.n.Add(1)%r.nth == 0 {
+					in.nStall.Add(1)
+					time.Sleep(r.d)
+				}
+			}
+		}
+		if r := in.panics.Load(); r != nil && r.m.hit(fi) &&
+			r.armed.CompareAndSwap(true, false) {
+			in.nPanic.Add(1)
+			panic(InjectedPanic{Worker: fi.Worker, Level: fi.Level})
+		}
+		if rules := in.flakes.Load(); rules != nil {
+			for _, r := range *rules {
+				if r.m.hit(fi) && in.roll() < r.prob {
+					in.nPanic.Add(1)
+					panic(InjectedPanic{Worker: fi.Worker, Level: fi.Level})
+				}
+			}
+		}
+	}
+}
+
+// roll draws a uniform [0,1) sample from the seeded source. The mutex is
+// off every path that has no flake rules installed.
+func (in *Injector) roll() float64 {
+	in.rngMu.Lock()
+	v := in.rng.Float64()
+	in.rngMu.Unlock()
+	return v
+}

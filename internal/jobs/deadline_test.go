@@ -1,0 +1,111 @@
+// Deadline semantics at the job-service layer: ErrDeadlineExceeded is
+// distinct from ErrCancelled, matches context.DeadlineExceeded for
+// callers using either sentinel, and the engine's Cancelled and
+// DeadlineExceeded counters stay disjoint.
+package jobs
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"testing"
+	"time"
+
+	"cab/internal/rt"
+	"cab/internal/work"
+)
+
+// spin is an unbounded DAG that only a cancellation can stop.
+func spin(p work.Proc) {
+	p.Spawn(spin)
+	p.Sync()
+}
+
+func TestDeadlineErrSentinels(t *testing.T) {
+	e := newEngine(t, rt.Config{Topo: quadTopo(), Seed: 11}, Config{})
+	ctx, cancel := context.WithTimeout(context.Background(), 20*time.Millisecond)
+	defer cancel()
+	j, err := e.Submit(ctx, spin)
+	if err != nil {
+		t.Fatal(err)
+	}
+	werr := j.Wait()
+	if !errors.Is(werr, ErrDeadlineExceeded) {
+		t.Fatalf("Wait = %v, want ErrDeadlineExceeded", werr)
+	}
+	if !errors.Is(werr, context.DeadlineExceeded) {
+		t.Fatalf("Wait = %v does not match context.DeadlineExceeded", werr)
+	}
+	if errors.Is(werr, ErrCancelled) {
+		t.Fatalf("deadline error %v must not match ErrCancelled", werr)
+	}
+	s := e.Stats()
+	if s.DeadlineExceeded != 1 || s.Cancelled != 0 {
+		t.Fatalf("Stats = {DeadlineExceeded %d, Cancelled %d}, want {1, 0}",
+			s.DeadlineExceeded, s.Cancelled)
+	}
+}
+
+// TestDeadlineWatchdogBackstop: the runtime watchdog enforces the ctx
+// deadline too (it learns it via SubmitOpts), so the job is classified as
+// deadline-exceeded regardless of whether the engine's ctx watcher or the
+// watchdog got there first.
+func TestDeadlineWatchdogBackstop(t *testing.T) {
+	e := newEngine(t, rt.Config{
+		Topo: quadTopo(), Seed: 12,
+		Watchdog: rt.WatchdogConfig{Interval: 2 * time.Millisecond, StallAfter: time.Second},
+	}, Config{})
+	ctx, cancel := context.WithTimeout(context.Background(), 15*time.Millisecond)
+	defer cancel()
+	start := time.Now()
+	j, err := e.Submit(ctx, spin)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if werr := j.Wait(); !errors.Is(werr, ErrDeadlineExceeded) {
+		t.Fatalf("Wait = %v, want ErrDeadlineExceeded", werr)
+	}
+	if el := time.Since(start); el > 5*time.Second {
+		t.Fatalf("deadline job took %v to settle", el)
+	}
+}
+
+// TestDeadlineAndCancelDisjoint: a plain cancel and a deadline trip land
+// in different counters, never both.
+func TestDeadlineAndCancelDisjoint(t *testing.T) {
+	e := newEngine(t, rt.Config{Topo: quadTopo(), Seed: 13}, Config{})
+
+	ctx, cancel := context.WithTimeout(context.Background(), 15*time.Millisecond)
+	defer cancel()
+	jd, err := e.Submit(ctx, spin)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	started := make(chan struct{})
+	var once sync.Once
+	var body func(p work.Proc)
+	body = func(p work.Proc) {
+		once.Do(func() { close(started) })
+		p.Spawn(body)
+		p.Sync()
+	}
+	jc, err := e.Submit(context.Background(), body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	<-started
+	jc.Cancel()
+
+	if werr := jd.Wait(); !errors.Is(werr, ErrDeadlineExceeded) {
+		t.Fatalf("deadline job Wait = %v", werr)
+	}
+	if werr := jc.Wait(); !errors.Is(werr, ErrCancelled) || errors.Is(werr, ErrDeadlineExceeded) {
+		t.Fatalf("cancelled job Wait = %v, want ErrCancelled only", werr)
+	}
+	s := e.Stats()
+	if s.DeadlineExceeded != 1 || s.Cancelled != 1 {
+		t.Fatalf("Stats = {DeadlineExceeded %d, Cancelled %d}, want {1, 1}",
+			s.DeadlineExceeded, s.Cancelled)
+	}
+}

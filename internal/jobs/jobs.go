@@ -55,6 +55,11 @@ var (
 	// ErrCancelled is returned by Wait when a job was cancelled directly
 	// (via Job.Cancel) rather than through its context.
 	ErrCancelled = errors.New("jobs: job cancelled")
+	// ErrDeadlineExceeded is returned by Wait when the job was cancelled
+	// because its deadline passed — whether the context noticed first or
+	// the runtime's watchdog did. It wraps context.DeadlineExceeded, so
+	// errors.Is matches either sentinel.
+	ErrDeadlineExceeded = fmt.Errorf("jobs: job deadline exceeded: %w", context.DeadlineExceeded)
 )
 
 // Config configures an Engine.
@@ -69,6 +74,9 @@ type Stats struct {
 	Completed int64 // jobs whose DAG fully drained
 	Rejected  int64 // submissions refused with ErrQueueFull
 	Cancelled int64 // jobs cancelled (context or Job.Cancel)
+	// DeadlineExceeded counts jobs cancelled by a passed deadline
+	// (disjoint from Cancelled: a job lands in exactly one).
+	DeadlineExceeded int64
 }
 
 // Engine is a concurrent job-submission front end over one rt.Runtime.
@@ -85,6 +93,7 @@ type Engine struct {
 	completed atomic.Int64
 	rejected  atomic.Int64
 	cancelled atomic.Int64
+	deadline  atomic.Int64
 }
 
 // New returns an engine submitting into r. The engine does not own r:
@@ -131,11 +140,20 @@ func (e *Engine) Submit(ctx context.Context, fn work.Fn) (*Job, error) {
 		e.live.Done()
 		return nil, err
 	}
-	rj, err := e.r.SubmitWith(fn, rt.SubmitOpts{
+	opts := rt.SubmitOpts{
 		NoWait: e.policy == Reject,
 		Cancel: ctx.Done(),
 		OnDone: func() { e.completed.Add(1); e.live.Done() },
-	})
+	}
+	// A context deadline becomes a runtime-enforced one: the watchdog
+	// cancels the job even if this process never schedules the watch
+	// goroutine again (and even while the root sits in the admission
+	// queue). The watch below is the low-latency path; the watchdog is the
+	// backstop.
+	if dl, ok := ctx.Deadline(); ok {
+		opts.Deadline = dl
+	}
+	rj, err := e.r.SubmitWith(fn, opts)
 	if err != nil {
 		e.live.Done()
 		switch {
@@ -157,12 +175,17 @@ func (e *Engine) Submit(ctx context.Context, fn work.Fn) (*Job, error) {
 	return j, nil
 }
 
-// watch propagates a context cancellation to the runtime job. It exits as
-// soon as the job completes, whichever comes first.
+// watch propagates a context cancellation to the runtime job, preserving
+// the cause (deadline vs plain cancel). It exits as soon as the job
+// completes, whichever comes first.
 func (j *Job) watch() {
 	select {
 	case <-j.ctx.Done():
-		j.cancel()
+		if errors.Is(j.ctx.Err(), context.DeadlineExceeded) {
+			j.cancelDeadline()
+		} else {
+			j.cancel()
+		}
 	case <-j.rj.Done():
 	}
 }
@@ -171,6 +194,13 @@ func (j *Job) cancel() {
 	j.cancelOnce.Do(func() {
 		j.rj.Cancel()
 		j.eng.cancelled.Add(1)
+	})
+}
+
+func (j *Job) cancelDeadline() {
+	j.cancelOnce.Do(func() {
+		j.rj.CancelDeadline()
+		j.eng.deadline.Add(1)
 	})
 }
 
@@ -205,7 +235,14 @@ func (j *Job) settle() {
 		j.err = err // a panic is more diagnostic than the cancellation
 		return
 	}
-	if j.rj.Cancelled() {
+	switch {
+	case j.rj.DeadlineExceeded():
+		// Whether the context watch or the runtime watchdog noticed first,
+		// the outcome is the same error; cancelDeadline is a once, so the
+		// engine counter stays exact when the watchdog got there alone.
+		j.cancelDeadline()
+		j.err = fmt.Errorf("jobs: job %d: %w", j.rj.ID(), ErrDeadlineExceeded)
+	case j.rj.Cancelled():
 		if cerr := j.ctx.Err(); cerr != nil {
 			j.err = fmt.Errorf("jobs: job %d cancelled: %w", j.rj.ID(), cerr)
 		} else {
@@ -217,10 +254,11 @@ func (j *Job) settle() {
 // Stats reports the engine's cumulative service counters.
 func (e *Engine) Stats() Stats {
 	return Stats{
-		Submitted: e.submitted.Load(),
-		Completed: e.completed.Load(),
-		Rejected:  e.rejected.Load(),
-		Cancelled: e.cancelled.Load(),
+		Submitted:        e.submitted.Load(),
+		Completed:        e.completed.Load(),
+		Rejected:         e.rejected.Load(),
+		Cancelled:        e.cancelled.Load(),
+		DeadlineExceeded: e.deadline.Load(),
 	}
 }
 

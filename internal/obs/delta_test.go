@@ -1,0 +1,41 @@
+package obs
+
+import "testing"
+
+// TestHistSnapshotDelta: the window between two snapshots of one
+// histogram holds exactly the samples recorded in between, and quantiles
+// computed on the delta reflect only that window.
+func TestHistSnapshotDelta(t *testing.T) {
+	var h Histogram
+	h.Record(10)
+	h.Record(10)
+	prev := h.Snapshot()
+
+	for i := 0; i < 10; i++ {
+		h.Record(1000)
+	}
+	win := h.Snapshot().Delta(prev)
+	if win.Count != 10 {
+		t.Fatalf("window Count = %d, want 10", win.Count)
+	}
+	if win.Sum != 10*1000 {
+		t.Fatalf("window Sum = %d, want 10000", win.Sum)
+	}
+	// All windowed samples were ~1000, so the windowed p95 must sit in
+	// the 1000-sample bucket's range even though the cumulative snapshot
+	// still remembers the two 10ns outliers.
+	if p := win.P95(); p < 1000 || p > BucketBound(11) {
+		t.Fatalf("window P95 = %d, want within the 1000-value bucket", p)
+	}
+
+	// An idle window is empty.
+	cur := h.Snapshot()
+	if d := cur.Delta(cur); d.Count != 0 || d.Sum != 0 {
+		t.Fatalf("self-delta = {Count %d, Sum %d}, want zeros", d.Count, d.Sum)
+	}
+
+	// Torn pairs (prev ahead of cur) clamp to zero, never go negative.
+	if d := prev.Delta(cur); d.Count != 0 || d.Sum != 0 {
+		t.Fatalf("reversed delta = {Count %d, Sum %d}, want clamped zeros", d.Count, d.Sum)
+	}
+}

@@ -94,6 +94,9 @@ func WriteChrome(w io.Writer, evs []Event, workers int, squadOf func(int) int) e
 		case EvJobAdmit, EvJobStart, EvJobDone:
 			rec.Instant(trace.Block, lane, e.Job, e.Time,
 				fmt.Sprintf("%s job %d", e.Kind, e.Job))
+		case EvStall, EvOverrun, EvDeadline:
+			rec.Instant(trace.Block, lane, e.Job, e.Time,
+				fmt.Sprintf("%s job %d", e.Kind, e.Job))
 		case EvSpawn, EvSpawnInter:
 			// Spawns dominate event volume; they shape the spans already,
 			// so they are not re-emitted as instants.

@@ -66,6 +66,28 @@ func (h *Histogram) Snapshot() HistSnapshot {
 	return s
 }
 
+// Delta returns the histogram activity between prev and s: the samples
+// recorded in the window separating the two snapshots of one histogram.
+// Counts clamp at zero (the snapshots are monitoring-grade, not
+// linearizable cuts), so a slightly torn pair yields a sane window. This
+// is what windowed overload detection (queue-wait p95 over the last
+// interval) is built on: cumulative histograms never forget, deltas do.
+func (s HistSnapshot) Delta(prev HistSnapshot) HistSnapshot {
+	var d HistSnapshot
+	for i := range s.Buckets {
+		n := s.Buckets[i] - prev.Buckets[i]
+		if n < 0 {
+			n = 0
+		}
+		d.Buckets[i] = n
+		d.Count += n
+	}
+	if d.Sum = s.Sum - prev.Sum; d.Sum < 0 {
+		d.Sum = 0
+	}
+	return d
+}
+
 // BucketBound returns the inclusive upper bound of bucket i: the largest
 // sample value it can hold. The last bucket's bound is MaxInt64.
 func BucketBound(i int) int64 {

@@ -41,6 +41,14 @@ const (
 	// worker; the exporter turns matched pairs into Chrome spans.
 	EvExecBegin
 	EvExecEnd
+	// EvStall is the watchdog flagging a worker as wedged inside a task
+	// body (no heartbeat progress past the stall threshold).
+	EvStall
+	// EvOverrun is the watchdog flagging a job running past the configured
+	// overrun threshold (recorded once per job, on the external ring).
+	EvOverrun
+	// EvDeadline is the watchdog cancelling a job whose deadline passed.
+	EvDeadline
 )
 
 // String returns the event kind's wire name (used as trace span categories
@@ -71,6 +79,12 @@ func (k Kind) String() string {
 		return "exec-begin"
 	case EvExecEnd:
 		return "exec-end"
+	case EvStall:
+		return "stall"
+	case EvOverrun:
+		return "overrun"
+	case EvDeadline:
+		return "deadline"
 	}
 	return "unknown"
 }

@@ -1,0 +1,410 @@
+// Tests for the fault-tolerance layer: the fault-hook seam's disabled
+// cost (0 allocs/op regression gate), watchdog stall detection and
+// recovery on a frozen worker, DumpState diagnostics, runtime-enforced
+// deadlines and job overrun flagging. The chaos injectors built on the
+// hook live in internal/chaos (which imports this package, so these
+// tests hand-roll their hooks).
+package rt
+
+import (
+	"bytes"
+	"errors"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"cab/internal/work"
+)
+
+// syncBuf is an io.Writer the watchdog goroutine and the test may share.
+type syncBuf struct {
+	mu sync.Mutex
+	b  bytes.Buffer
+}
+
+func (s *syncBuf) Write(p []byte) (int, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.b.Write(p)
+}
+
+func (s *syncBuf) String() string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.b.String()
+}
+
+// waitFor polls cond until it holds or the deadline passes.
+func waitFor(t *testing.T, d time.Duration, what string, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(d)
+	for time.Now().Before(deadline) {
+		if cond() {
+			return
+		}
+		time.Sleep(time.Millisecond)
+	}
+	t.Fatalf("timed out after %v waiting for %s", d, what)
+}
+
+// TestNilFaultHookZeroAlloc is the regression gate for the fault seam and
+// the heartbeat instrumentation: with no hook installed and the watchdog
+// running at a tight interval, the spawn/sync fast path must stay at zero
+// allocations.
+func TestNilFaultHookZeroAlloc(t *testing.T) {
+	r, err := New(Config{
+		Topo: uniTopo(), Seed: 7,
+		Watchdog: WatchdogConfig{Interval: time.Millisecond},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.Close()
+	var allocs float64
+	err = r.Run(func(p work.Proc) {
+		for i := 0; i < 1024; i++ { // warm freelist and deque
+			p.Spawn(noopFn)
+			if i&255 == 255 {
+				p.Sync()
+			}
+		}
+		p.Sync()
+		allocs = testing.AllocsPerRun(100, func() {
+			for i := 0; i < 64; i++ {
+				p.Spawn(noopFn)
+			}
+			p.Sync()
+		})
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if allocs != 0 {
+		t.Fatalf("nil fault hook + watchdog cost %.2f allocs per 64-task batch, want 0", allocs)
+	}
+}
+
+// TestWatchdogFlagsFrozenWorker is the headline chaos scenario: freeze one
+// worker mid-task-body via a blocking fault hook; the watchdog must flag
+// it within its check interval, DumpState must name the worker and its
+// squad, and after unfreezing the job completes, the stall is recorded as
+// recovered, and the pool still serves new jobs.
+func TestWatchdogFlagsFrozenWorker(t *testing.T) {
+	var (
+		out     syncBuf
+		froze   atomic.Bool
+		entered = make(chan int, 1)
+		gate    = make(chan struct{})
+	)
+	hook := func(fi FaultInfo) {
+		if fi.Point == FaultExec && fi.Level == 1 && froze.CompareAndSwap(false, true) {
+			entered <- fi.Worker
+			<-gate
+		}
+	}
+	r, err := New(Config{
+		Topo: quadTopo(), BL: 0, Seed: 7,
+		FaultHook: hook,
+		Watchdog: WatchdogConfig{
+			Interval: 2 * time.Millisecond, StallAfter: 10 * time.Millisecond,
+			Output: &out,
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.Close()
+
+	var done atomic.Int64
+	j, err := r.Submit(func(p work.Proc) {
+		for i := 0; i < 8; i++ {
+			p.Spawn(func(work.Proc) { done.Add(1) })
+		}
+		p.Sync()
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	frozen := <-entered
+
+	waitFor(t, 2*time.Second, "watchdog to flag the frozen worker", func() bool {
+		h := r.Health()
+		return h.StalledWorkers == 1 && h.Stalls >= 1
+	})
+	var dump bytes.Buffer
+	r.DumpState(&dump)
+	wantWorker := "worker " + itoa(frozen)
+	wantSquad := "squad " + itoa(r.topo.SquadOf(frozen))
+	if s := dump.String(); !strings.Contains(s, wantWorker+" ("+wantSquad+"): STALLED") {
+		t.Fatalf("DumpState does not name the frozen worker:\nwant %q STALLED\n%s", wantWorker, s)
+	}
+	if s := out.String(); !strings.Contains(s, "stalled") {
+		t.Fatalf("watchdog Output got no stall diagnostic: %q", s)
+	}
+
+	close(gate) // thaw: the job must now complete and the stall recover
+	if err := j.Wait(); err != nil {
+		t.Fatalf("job after unfreeze: %v", err)
+	}
+	if got := done.Load(); got != 8 {
+		t.Fatalf("leaf count = %d, want 8", got)
+	}
+	waitFor(t, 2*time.Second, "stall recovery", func() bool {
+		h := r.Health()
+		return h.StalledWorkers == 0 && h.StallsRecovered >= 1
+	})
+
+	// The pool is not wedged: a fresh job runs to completion.
+	if err := r.Run(func(p work.Proc) {
+		for i := 0; i < 4; i++ {
+			p.Spawn(noopFn)
+		}
+		p.Sync()
+	}); err != nil {
+		t.Fatalf("post-recovery job: %v", err)
+	}
+}
+
+// TestInterTierPanicReleasesSquad is the satellite case the busy_state
+// discipline makes dangerous: a panic in an inter-socket-tier task (level
+// <= BL at BL > 0) must still release the squad's busy flag, surface as
+// the job's TaskPanic from Wait, and leave the squad adoptable for the
+// next job.
+func TestInterTierPanicReleasesSquad(t *testing.T) {
+	r := newRT(t, quadTopo(), 1)
+	var ran atomic.Int64
+	j, err := r.Submit(func(p work.Proc) {
+		p.Spawn(func(q work.Proc) { // level 1 <= BL: inter-socket tier
+			// Prove the tier assumption before panicking inside it.
+			if q.Level() != 1 {
+				t.Errorf("child level = %d, want 1", q.Level())
+			}
+			panic("inter-tier boom")
+		})
+		p.Spawn(func(work.Proc) { ran.Add(1) }) // sibling, also inter
+		p.Sync()
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	err = j.Wait()
+	var tp *TaskPanic
+	if !errors.As(err, &tp) {
+		t.Fatalf("Wait = %v, want *TaskPanic", err)
+	}
+	if tp.Level != 1 || tp.Job != j.ID() || tp.Value != "inter-tier boom" {
+		t.Fatalf("TaskPanic = {level %d, job %d, value %v}, want {1, %d, inter-tier boom}",
+			tp.Level, tp.Job, tp.Value, j.ID())
+	}
+
+	// Every squad's busy_state must settle back to free once the DAG has
+	// drained (the panicking inter task's execute path clears it).
+	waitFor(t, 2*time.Second, "squad busy flags to clear", func() bool {
+		for sq := range r.busy {
+			if r.busy[sq].busy.Load() {
+				return false
+			}
+		}
+		return true
+	})
+
+	// A subsequent inter-tier job is adopted and completes on the same
+	// squads — the panic did not leak a held busy flag.
+	var after atomic.Int64
+	if err := r.Run(func(p work.Proc) {
+		for i := 0; i < 4; i++ {
+			p.Spawn(func(work.Proc) { after.Add(1) })
+		}
+		p.Sync()
+	}); err != nil {
+		t.Fatalf("job after inter-tier panic: %v", err)
+	}
+	if after.Load() != 4 {
+		t.Fatalf("post-panic job ran %d leaves, want 4", after.Load())
+	}
+}
+
+// TestWatchdogEnforcesDeadline submits a long DAG with a runtime-level
+// deadline and no context: the watchdog alone must cancel it (deadline
+// reason), well before the undisturbed runtime, and the pool must drain
+// cleanly.
+func TestWatchdogEnforcesDeadline(t *testing.T) {
+	r, err := New(Config{
+		Topo: quadTopo(), Seed: 7,
+		Watchdog: WatchdogConfig{Interval: 2 * time.Millisecond, StallAfter: time.Second},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.Close()
+
+	// Each level sleeps, so the full tree would take far longer than the
+	// deadline; cancellation stops spawning and the DAG drains early.
+	var spawn func(depth int) work.Fn
+	spawn = func(depth int) work.Fn {
+		return func(p work.Proc) {
+			time.Sleep(2 * time.Millisecond)
+			if depth == 0 {
+				return
+			}
+			for i := 0; i < 4; i++ {
+				p.Spawn(spawn(depth - 1))
+			}
+			p.Sync()
+		}
+	}
+	start := time.Now()
+	j, err := r.SubmitWith(spawn(6), SubmitOpts{Deadline: time.Now().Add(30 * time.Millisecond)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := j.Wait(); err != nil {
+		t.Fatalf("Wait after deadline cancel: %v (deadline is not an error at the rt layer)", err)
+	}
+	elapsed := time.Since(start)
+	if elapsed > 2*time.Second {
+		t.Fatalf("deadline-cancelled job took %v — watchdog did not cut the DAG short", elapsed)
+	}
+	if !j.DeadlineExceeded() {
+		t.Fatal("job not marked DeadlineExceeded")
+	}
+	st := j.Stats()
+	if !st.Cancelled || !st.DeadlineExceeded {
+		t.Fatalf("Stats = {Cancelled %v, DeadlineExceeded %v}, want both true", st.Cancelled, st.DeadlineExceeded)
+	}
+	if h := r.Health(); h.DeadlineCancels < 1 {
+		t.Fatalf("Health.DeadlineCancels = %d, want >= 1", h.DeadlineCancels)
+	}
+}
+
+// TestWatchdogFlagsOverrun: a job running past OverrunAfter is counted
+// once and diagnosed on the configured output, but not cancelled.
+func TestWatchdogFlagsOverrun(t *testing.T) {
+	var out syncBuf
+	r, err := New(Config{
+		Topo: uniTopo(), Seed: 7,
+		Watchdog: WatchdogConfig{
+			Interval: 2 * time.Millisecond, StallAfter: time.Second,
+			OverrunAfter: 10 * time.Millisecond, Output: &out,
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.Close()
+	release := make(chan struct{})
+	j, err := r.Submit(func(p work.Proc) { <-release })
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitFor(t, 2*time.Second, "overrun flag", func() bool {
+		return r.Health().JobOverruns == 1
+	})
+	close(release)
+	if err := j.Wait(); err != nil {
+		t.Fatal(err)
+	}
+	if h := r.Health(); h.JobOverruns != 1 {
+		t.Fatalf("JobOverruns = %d, want exactly 1 (flagged once)", h.JobOverruns)
+	}
+	if s := out.String(); !strings.Contains(s, "overdue") {
+		t.Fatalf("no overrun diagnostic on Output: %q", s)
+	}
+}
+
+// TestIdleWorkersNotStalled: parked idle workers and workers blocked at a
+// join must never trip stall detection, no matter how long they wait.
+func TestIdleWorkersNotStalled(t *testing.T) {
+	r, err := New(Config{
+		Topo: quadTopo(), Seed: 7,
+		Watchdog: WatchdogConfig{Interval: 5 * time.Millisecond, StallAfter: 50 * time.Millisecond},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.Close()
+
+	// Idle pool well past StallAfter: every worker is parked, none may be
+	// flagged. Then a job whose root blocks at Sync on slow children: the
+	// root's worker parks at the join (blocked, not stalled) and each
+	// child body runs 20ms, under StallAfter, so no signal goes static
+	// long enough to flag.
+	time.Sleep(120 * time.Millisecond)
+	err = r.Run(func(p work.Proc) {
+		for i := 0; i < 2; i++ {
+			p.Spawn(func(work.Proc) { time.Sleep(20 * time.Millisecond) })
+			p.Sync() // serial joins: this worker waits while others run
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h := r.Health(); h.Stalls != 0 {
+		t.Fatalf("Stalls = %d after idle + blocked joins, want 0", h.Stalls)
+	}
+	if h := r.Health(); h.WatchdogTicks == 0 {
+		t.Fatal("watchdog never ticked")
+	}
+}
+
+// TestDumpStateQueuedJobs: DumpState must show admitted-but-unadopted
+// roots (queue depth) and running jobs with deadlines.
+func TestDumpStateQueuedJobs(t *testing.T) {
+	r, err := New(Config{Topo: uniTopo(), Seed: 7, QueueDepth: 4,
+		Watchdog: WatchdogConfig{Disable: true}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.Close()
+	release := make(chan struct{})
+	j1, err := r.Submit(func(p work.Proc) { <-release })
+	if err != nil {
+		t.Fatal(err)
+	}
+	j2, err := r.SubmitWith(func(work.Proc) {}, SubmitOpts{Deadline: time.Now().Add(time.Hour)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitFor(t, time.Second, "first job to start", func() bool {
+		return j1.Stats().RunTime > 0
+	})
+	var dump bytes.Buffer
+	r.DumpState(&dump)
+	s := dump.String()
+	for _, want := range []string{
+		"admission queue: 1/4 roots waiting", // j2 queued behind the 1-worker pool
+		"job 1:", "job 2:", "deadline=",
+	} {
+		if !strings.Contains(s, want) {
+			t.Errorf("DumpState missing %q:\n%s", want, s)
+		}
+	}
+	close(release)
+	if err := j1.Wait(); err != nil {
+		t.Fatal(err)
+	}
+	if err := j2.Wait(); err != nil {
+		t.Fatal(err)
+	}
+	// Watchdog disabled: health counters stay zero, ticks included.
+	if h := r.Health(); h.WatchdogTicks != 0 || h.Stalls != 0 {
+		t.Fatalf("disabled watchdog reported activity: %+v", h)
+	}
+}
+
+// itoa avoids strconv just for tiny worker indices in assertions.
+func itoa(n int) string {
+	if n == 0 {
+		return "0"
+	}
+	var b [8]byte
+	i := len(b)
+	for n > 0 {
+		i--
+		b[i] = byte('0' + n%10)
+		n /= 10
+	}
+	return string(b[i:])
+}

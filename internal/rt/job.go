@@ -44,7 +44,15 @@ type Job struct {
 	id    int64
 	start time.Time
 
+	// deadline is the absolute submit-time deadline (zero = none); the
+	// watchdog enforces it as a backstop even when no goroutine watches a
+	// context — including while the root still waits in the admission
+	// queue. overdue latches the watchdog's one-shot overrun flag.
+	deadline time.Time
+	overdue  atomic.Bool
+
 	cancelled atomic.Bool
+	reason    atomic.Int32 // first cancel cause wins (cancelExplicit/cancelDeadline)
 	panicked  atomic.Pointer[TaskPanic]
 
 	// Per-job event counters. Unlike the global per-worker stat shards
@@ -76,7 +84,17 @@ type JobStats struct {
 	RunTime     time.Duration // adoption to drain; 0 until adopted
 	Done        bool
 	Cancelled   bool
+	// DeadlineExceeded reports that the cancellation's first cause was the
+	// job's deadline (CancelDeadline or the watchdog), not a plain Cancel.
+	DeadlineExceeded bool
 }
+
+// Cancellation causes, first-cause-wins (Job.reason).
+const (
+	cancelNone int32 = iota
+	cancelExplicit
+	cancelDeadline
+)
 
 // SubmitOpts modifies SubmitWith.
 type SubmitOpts struct {
@@ -90,6 +108,12 @@ type SubmitOpts struct {
 	// job's done channel closes. It must be fast and must not block (it
 	// holds up a scheduler worker).
 	OnDone func()
+	// Deadline, when non-zero, is the job's absolute deadline: the
+	// runtime's watchdog cancels the job (deadline reason) once it passes,
+	// whether the root is running or still queued. Enforcement granularity
+	// is the watchdog interval; layers that need tighter latency also
+	// watch a context (internal/jobs does both).
+	Deadline time.Time
 }
 
 // Submit enqueues fn as a new root task (level 0) and returns its Job
@@ -112,10 +136,11 @@ func (r *Runtime) SubmitWith(fn work.Fn, opts SubmitOpts) (*Job, error) {
 		rootTier = core.TierInter
 	}
 	j := &Job{
-		id:     r.nextJob.Add(1),
-		start:  time.Now(),
-		onDone: opts.OnDone,
-		done:   make(chan struct{}),
+		id:       r.nextJob.Add(1),
+		start:    time.Now(),
+		deadline: opts.Deadline,
+		onDone:   opts.OnDone,
+		done:     make(chan struct{}),
 	}
 	root := &task{fn: fn, level: 0, tier: rootTier, hint: -1, job: j}
 	r.submitMu.Lock()
@@ -146,6 +171,7 @@ func (r *Runtime) SubmitWith(fn work.Fn, opts SubmitOpts) (*Job, error) {
 			return nil, ErrSubmitCancelled
 		}
 	}
+	r.trackJob(j) // visible to the watchdog from admission, not adoption
 	if r.tr.Armed() {
 		r.tr.Record(-1, obs.EvJobAdmit, obsTier(rootTier), 0, j.id)
 	}
@@ -157,6 +183,7 @@ func (r *Runtime) SubmitWith(fn work.Fn, opts SubmitOpts) (*Job, error) {
 // worker w: the wall clock stops, the run-time histogram gets its sample
 // (wall minus queue wait), and the done channel closes.
 func (r *Runtime) finishJob(w int, j *Job) {
+	r.untrackJob(j)
 	wall := int64(time.Since(j.start))
 	j.wall.Store(wall)
 	r.met.Run.Record(wall - j.queueWait.Load())
@@ -179,10 +206,30 @@ func (j *Job) Done() <-chan struct{} { return j.done }
 // Cancel asks the job to stop: its frames stop spawning children and
 // not-yet-started frames skip their bodies, so the DAG drains cleanly.
 // Already-running task bodies are not interrupted. Idempotent.
-func (j *Job) Cancel() { j.cancelled.Store(true) }
+func (j *Job) Cancel() { j.cancelWith(cancelExplicit) }
+
+// CancelDeadline cancels the job recording the deadline as the cause, so
+// DeadlineExceeded distinguishes it from a plain Cancel. The runtime's
+// watchdog uses it for SubmitOpts.Deadline; internal/jobs uses it when a
+// context dies of context.DeadlineExceeded.
+func (j *Job) CancelDeadline() { j.cancelWith(cancelDeadline) }
+
+// cancelWith records the first cancellation cause, then sets the flag the
+// spawn path checks. Order matters: a reader that observes cancelled must
+// also observe the settled reason.
+func (j *Job) cancelWith(reason int32) {
+	j.reason.CompareAndSwap(cancelNone, reason)
+	j.cancelled.Store(true)
+}
 
 // Cancelled reports whether Cancel has been called.
 func (j *Job) Cancelled() bool { return j.cancelled.Load() }
+
+// DeadlineExceeded reports that the job was cancelled because its deadline
+// passed (and not by an earlier explicit Cancel).
+func (j *Job) DeadlineExceeded() bool {
+	return j.reason.Load() == cancelDeadline
+}
 
 // Wait blocks until the job's DAG has fully drained and returns nil or the
 // first panic raised by one of the job's tasks. Cancellation is not an
@@ -208,6 +255,7 @@ func (j *Job) Stats() JobStats {
 		Helps:       j.helps.Load(),
 		Cancelled:   j.cancelled.Load(),
 	}
+	s.DeadlineExceeded = j.DeadlineExceeded()
 	qw := time.Duration(j.queueWait.Load())
 	select {
 	case <-j.done:

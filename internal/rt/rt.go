@@ -91,6 +91,14 @@ type Config struct {
 	// power of two; 0 selects obs.DefaultRingDepth (16384). Old events
 	// are overwritten, so an armed window never grows.
 	TraceDepth int
+	// FaultHook, when non-nil, is invoked at the runtime's fault points
+	// (task-body entry, scheduling-loop iterations, steal probes) — the
+	// chaos-injection seam internal/chaos builds on. nil (the default)
+	// costs one pointer nil-check per site; see fault.go.
+	FaultHook FaultHook
+	// Watchdog configures the stall/overrun/deadline monitor; the zero
+	// value enables it with defaults (250ms interval, 1s stall threshold).
+	Watchdog WatchdogConfig
 }
 
 // Stats counts scheduler events since the runtime started.
@@ -125,6 +133,14 @@ type task struct {
 // never share a cache line. The counters are atomics only because Stats()
 // may aggregate them concurrently; each is written by a single worker, so
 // the RMWs are uncontended.
+//
+// The shard doubles as the worker's watchdog heartbeat (piggybacked here
+// so monitoring adds no new per-worker cache lines): exec is a monotonic
+// progress beat (bumped every hbBatch bodies and on park transitions);
+// curJob/curLevel identify the most recently entered body (written only
+// when they change, so steady state pays plain loads); parked marks lot
+// waits; stalled is the watchdog's verdict (the one field not written by
+// the owning worker).
 type statShard struct {
 	spawns       atomic.Int64
 	interSpawns  atomic.Int64
@@ -132,7 +148,12 @@ type statShard struct {
 	stealsInter  atomic.Int64
 	failedSteals atomic.Int64
 	helps        atomic.Int64
-	_            [cacheLine - 48]byte
+	exec         atomic.Uint64 // heartbeat: monotonic progress beat
+	curJob       atomic.Int64
+	curLevel     atomic.Int64
+	parked       atomic.Uint32
+	stalled      atomic.Uint32
+	_            [cacheLine - 80]byte
 }
 
 // squadFlag is a per-squad busy_state flag on its own cache line; the
@@ -178,6 +199,17 @@ type Runtime struct {
 	// touched only at job-level and idle-level events, never per spawn.
 	tr  *obs.Tracer
 	met *obs.Metrics
+
+	// Fault tolerance (fault.go): the injection hook (nil = disabled, one
+	// nil-check per site), the watchdog's shared counters, its lifecycle
+	// channels (nil when disabled), and the running-job registry it scans.
+	fault  FaultHook
+	health healthCounters
+	wdStop chan struct{}
+	wdDone chan struct{}
+
+	jobsMu  sync.Mutex
+	running map[int64]*Job
 
 	workers int
 	wg      sync.WaitGroup
@@ -249,6 +281,8 @@ func New(cfg Config) (*Runtime, error) {
 		lot:     park.NewLot(),
 		tr:      obs.NewTracer(topo.Workers(), cfg.TraceDepth),
 		met:     &obs.Metrics{},
+		fault:   cfg.FaultHook,
+		running: make(map[int64]*Job),
 	}
 	if cfg.Trace {
 		r.tr.Arm()
@@ -278,6 +312,11 @@ func New(cfg Config) (*Runtime, error) {
 	for w := 0; w < r.workers; w++ {
 		r.wg.Add(1)
 		go r.workerLoop(w)
+	}
+	if !cfg.Watchdog.Disable {
+		r.wdStop = make(chan struct{})
+		r.wdDone = make(chan struct{})
+		go r.watchdog(cfg.Watchdog.withDefaults())
 	}
 	return r, nil
 }
@@ -456,6 +495,12 @@ func (r *Runtime) Close() {
 	close(r.roots)         // safe: live == 0 means no Submit holds a send
 	r.lot.Wake()           // parked workers must observe the stop
 	r.wg.Wait()
+	if r.wdStop != nil {
+		// The watchdog outlives the workers (it enforces deadlines during
+		// the drain above) and stops only once the pool has terminated.
+		close(r.wdStop)
+		<-r.wdDone
+	}
 	close(r.term)
 }
 
@@ -466,6 +511,12 @@ type ctx struct {
 	worker int
 	t      *task
 	rng    *xrand.Source
+	// hbN counts this frame's body entries; every hbBatch-th bumps the
+	// worker heartbeat. The counter is frame-local (frames recycle via a
+	// per-worker LIFO freelist), so the amortized bump rate across a
+	// worker's stream of bodies stays ~1/hbBatch without a dedicated
+	// padded per-worker counter line.
+	hbN uint32
 }
 
 var _ work.Proc = (*ctx)(nil)
@@ -589,7 +640,9 @@ func (c *ctx) Sync() {
 		if r.tr.Armed() {
 			r.tr.Record(c.worker, obs.EvPark, obsTier(t.tier), t.level, jid(t.job))
 		}
+		r.markParked(c.worker, true) // blocked join, not a stall
 		r.lot.Park(e)
+		r.markParked(c.worker, false)
 		if r.tr.Armed() {
 			r.tr.Record(c.worker, obs.EvUnpark, obsTier(t.tier), t.level, jid(t.job))
 		}
@@ -678,7 +731,25 @@ func (r *Runtime) execute(worker int, t *task, rng *xrand.Source) {
 // panic of a job wins; later ones (other tasks of the same job) are
 // dropped — each concurrent job keeps its own slot, so a panicking job
 // never contaminates its neighbours.
+//
+// Entry advances the worker's heartbeat (a batched beat bump plus
+// store-on-change job/level markers — see hbBatch; the steady-state cost
+// is plain loads and one uncontended atomic add per hbBatch bodies), so
+// the watchdog can tell a worker wedged inside a body from one making
+// progress; parking covers the idle side. The fault hook fires here
+// inside the barrier: a hook that panics is recovered exactly like a
+// panicking body, and a hook that blocks registers as an in-body stall.
 func (r *Runtime) runBody(t *task, c *ctx) {
+	sh := &r.stats[c.worker]
+	if j := jid(t.job); sh.curJob.Load() != j {
+		sh.curJob.Store(j)
+	}
+	if lv := int64(t.level); sh.curLevel.Load() != lv {
+		sh.curLevel.Store(lv)
+	}
+	if c.hbN++; c.hbN%hbBatch == 0 {
+		sh.exec.Add(1)
+	}
 	defer func() {
 		if v := recover(); v != nil {
 			tp := &TaskPanic{
@@ -690,6 +761,12 @@ func (r *Runtime) runBody(t *task, c *ctx) {
 			}
 		}
 	}()
+	if h := r.fault; h != nil {
+		h(FaultInfo{
+			Point: FaultExec, Worker: c.worker, Level: t.level,
+			Tier: obsTier(t.tier), Job: jid(t.job),
+		})
+	}
 	t.fn(c)
 }
 
@@ -710,6 +787,9 @@ func (r *Runtime) workerLoop(w int) {
 		}
 	}
 	for {
+		if h := r.fault; h != nil {
+			h(FaultInfo{Point: FaultPoll, Worker: w, Level: -1})
+		}
 		if t := r.findTask(w, rng); t != nil {
 			endScan()
 			r.execute(w, t, rng)
@@ -761,7 +841,9 @@ func (r *Runtime) workerLoop(w int) {
 		if r.tr.Armed() {
 			r.tr.Record(w, obs.EvPark, obs.TierIntra, 0, 0)
 		}
+		r.markParked(w, true)
 		r.lot.Park(e)
+		r.markParked(w, false)
 		if r.tr.Armed() {
 			r.tr.Record(w, obs.EvUnpark, obs.TierIntra, 0, 0)
 		}
@@ -840,6 +922,9 @@ func (r *Runtime) findTask(w int, rng *xrand.Source) *task {
 	if m == 1 {
 		return nil
 	}
+	if h := r.fault; h != nil {
+		h(FaultInfo{Point: FaultSteal, Worker: w, Level: -1})
+	}
 	victim := rng.Intn(m - 1)
 	if victim >= sq {
 		victim++
@@ -878,6 +963,9 @@ func (r *Runtime) stealIntraFrom(w, sq int, rng *xrand.Source) *task {
 	if n == 1 {
 		return nil
 	}
+	if h := r.fault; h != nil {
+		h(FaultInfo{Point: FaultSteal, Worker: w, Level: -1})
+	}
 	base := r.topo.HeadWorker(sq)
 	victim := base + rng.Intn(n-1)
 	if victim >= w {
@@ -902,6 +990,9 @@ func (r *Runtime) stealAny(w int, rng *xrand.Source) *task {
 	n := r.workers
 	if n == 1 {
 		return nil
+	}
+	if h := r.fault; h != nil {
+		h(FaultInfo{Point: FaultSteal, Worker: w, Level: -1})
 	}
 	victim := rng.Intn(n - 1)
 	if victim >= w {

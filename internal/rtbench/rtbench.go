@@ -20,6 +20,7 @@ package rtbench
 
 import (
 	"sync"
+	"sync/atomic"
 	"testing"
 	"time"
 
@@ -85,6 +86,27 @@ func spawnSync(b *testing.B, cfg rt.Config) {
 		p.Sync()
 	}); err != nil {
 		b.Fatal(err)
+	}
+}
+
+// SpawnSyncFaultHook is SpawnSync with an installed no-op fault hook and a
+// tight watchdog — the worst-case enabled cost of the robustness layer on
+// the spawn fast path. The delta against SpawnSync (whose hook is nil) is
+// what scripts/bench.sh records as fault_hook_overhead_pct; allocs/op must
+// stay 0 (the hook passes FaultInfo by value, no captures escape).
+func SpawnSyncFaultHook(b *testing.B) {
+	var fired atomic.Int64
+	hook := func(fi rt.FaultInfo) {
+		if fi.Point == rt.FaultExec {
+			fired.Add(1)
+		}
+	}
+	spawnSync(b, rt.Config{
+		Topo: quadTopo(), BL: 0, Seed: 1, FaultHook: hook,
+		Watchdog: rt.WatchdogConfig{Interval: 10 * time.Millisecond},
+	})
+	if fired.Load() == 0 {
+		b.Fatal("fault hook never fired")
 	}
 }
 

@@ -26,9 +26,12 @@ import (
 	"cab/internal/obs"
 )
 
-// obsSummary aliases the internal latency summary for the conversion in
-// ServiceStats.
-type obsSummary = obs.LatencySummary
+// obsSummary and metricsSnapshot alias the internal observability types
+// used by ServiceStats and LatencySince.
+type (
+	obsSummary      = obs.LatencySummary
+	metricsSnapshot = obs.MetricsSnapshot
+)
 
 // Sentinel errors of the job API. Compare with errors.Is.
 var (
@@ -105,6 +108,9 @@ type JobStats struct {
 	RunTime     time.Duration // adoption-to-drain; 0 until a worker adopts the root
 	Done        bool
 	Cancelled   bool
+	// DeadlineExceeded reports that the cancellation's first cause was the
+	// job's deadline, not a plain Cancel.
+	DeadlineExceeded bool
 }
 
 // Stats snapshots the job's accounting; callable while the job runs.
@@ -120,8 +126,9 @@ func (j *Job) Stats() JobStats {
 		Wall:        s.Wall,
 		QueueWait:   s.QueueWait,
 		RunTime:     s.RunTime,
-		Done:        s.Done,
-		Cancelled:   s.Cancelled,
+		Done:             s.Done,
+		Cancelled:        s.Cancelled,
+		DeadlineExceeded: s.DeadlineExceeded,
 	}
 }
 
@@ -142,6 +149,16 @@ type ServiceStats struct {
 	Completed int64 // jobs fully drained
 	Rejected  int64 // submissions refused with ErrQueueFull
 	Cancelled int64 // jobs cancelled (context or Cancel)
+	// DeadlineExceeded counts jobs cancelled by a passed deadline
+	// (disjoint from Cancelled: a job lands in exactly one).
+	DeadlineExceeded int64
+
+	// Watchdog health counters (see Health for the full snapshot).
+	StalledWorkers  int   // workers currently flagged as wedged
+	Stalls          int64 // cumulative stall detections
+	StallsRecovered int64 // flagged workers that progressed again
+	JobOverruns     int64 // jobs flagged past the overrun threshold
+	DeadlineCancels int64 // deadline cancellations enforced by the watchdog
 
 	QueueWait Latency // submit-to-adoption per job
 	Run       Latency // adoption-to-drain per job
@@ -153,16 +170,23 @@ type ServiceStats struct {
 func (s *Scheduler) ServiceStats() ServiceStats {
 	st := s.eng.Stats()
 	m := s.rt.Metrics()
+	h := s.rt.Health()
 	lat := func(sum obsSummary) Latency {
 		return Latency{Count: sum.Count, Mean: sum.Mean, P50: sum.P50, P95: sum.P95, P99: sum.P99}
 	}
 	return ServiceStats{
-		Submitted: st.Submitted,
-		Completed: st.Completed,
-		Rejected:  st.Rejected,
-		Cancelled: st.Cancelled,
-		QueueWait: lat(m.QueueWait.Summary()),
-		Run:       lat(m.Run.Summary()),
-		StealScan: lat(m.StealScan.Summary()),
+		Submitted:        st.Submitted,
+		Completed:        st.Completed,
+		Rejected:         st.Rejected,
+		Cancelled:        st.Cancelled,
+		DeadlineExceeded: st.DeadlineExceeded,
+		StalledWorkers:   h.StalledWorkers,
+		Stalls:           h.Stalls,
+		StallsRecovered:  h.StallsRecovered,
+		JobOverruns:      h.JobOverruns,
+		DeadlineCancels:  h.DeadlineCancels,
+		QueueWait:        lat(m.QueueWait.Summary()),
+		Run:              lat(m.Run.Summary()),
+		StealScan:        lat(m.StealScan.Summary()),
 	}
 }

@@ -62,6 +62,16 @@ func (s *Scheduler) WritePrometheus(w io.Writer) {
 	obs.PromCounter(w, "cab_jobs_completed_total", "Jobs whose DAG fully drained.", es.Completed)
 	obs.PromCounter(w, "cab_jobs_rejected_total", "Submissions refused with a full queue.", es.Rejected)
 	obs.PromCounter(w, "cab_jobs_cancelled_total", "Jobs cancelled via context or Cancel.", es.Cancelled)
+	obs.PromCounter(w, "cab_jobs_deadline_total", "Jobs cancelled by a passed deadline.", es.DeadlineExceeded)
+
+	h := s.rt.Health()
+	obs.PromGauge(w, "cab_watchdog_stalled_workers", "Workers currently flagged as wedged by the watchdog.", float64(h.StalledWorkers))
+	obs.PromCounter(w, "cab_watchdog_stalls_total", "Cumulative worker stall detections.", h.Stalls)
+	obs.PromCounter(w, "cab_watchdog_stalls_recovered_total", "Stalled workers that progressed again.", h.StallsRecovered)
+	obs.PromCounter(w, "cab_watchdog_job_overruns_total", "Jobs flagged past the overrun threshold.", h.JobOverruns)
+	obs.PromCounter(w, "cab_watchdog_deadline_cancels_total", "Deadline cancellations enforced by the watchdog.", h.DeadlineCancels)
+	obs.PromGauge(w, "cab_jobs_running", "Admitted jobs not yet drained.", float64(h.RunningJobs))
+	obs.PromGauge(w, "cab_jobs_queued", "Roots waiting in the admission queue.", float64(h.QueuedRoots))
 
 	obs.PromGauge(w, "cab_boundary_level", "Boundary level BL in effect (0 = single-tier).", float64(s.bl))
 	tracing := 0.0

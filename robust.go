@@ -1,0 +1,112 @@
+// Fault tolerance: the public face of the runtime's failure model
+// (internal/rt's fault hook, watchdog and deadlines; see DESIGN.md §9).
+//
+//	sched, _ := cab.New(cab.Config{
+//	    Watchdog: cab.WatchdogConfig{StallAfter: 500 * time.Millisecond},
+//	})
+//	ctx, cancel := context.WithTimeout(context.Background(), 50*time.Millisecond)
+//	defer cancel()
+//	job, _ := sched.Submit(ctx, longDAG)
+//	err := job.Wait() // errors.Is(err, cab.ErrDeadlineExceeded) past 50ms
+//
+//	h := sched.Health()
+//	if h.StalledWorkers > 0 {
+//	    sched.DumpState(os.Stderr)
+//	}
+package cab
+
+import (
+	"io"
+
+	"cab/internal/jobs"
+	"cab/internal/rt"
+)
+
+// FaultPoint identifies the class of runtime location a FaultHook fires
+// at; FaultInfo describes the specific site. See rt's fault seam —
+// internal/chaos builds deterministic injectors (stalls, slow steals,
+// forced panics, worker freezes) on top of it.
+type (
+	FaultPoint = rt.FaultPoint
+	FaultInfo  = rt.FaultInfo
+	// FaultHook is invoked at the runtime's fault points when installed
+	// via Config.FaultHook. nil costs one pointer nil-check per site; a
+	// non-nil hook runs on scheduler workers, so whatever it does (sleep,
+	// panic, block) is the injected fault.
+	FaultHook = rt.FaultHook
+)
+
+// Fault point classes (see rt.FaultExec and friends).
+const (
+	// FaultExec fires right before a task body, inside the panic barrier.
+	FaultExec = rt.FaultExec
+	// FaultPoll fires at the top of each worker scheduling iteration.
+	FaultPoll = rt.FaultPoll
+	// FaultSteal fires before each steal probe.
+	FaultSteal = rt.FaultSteal
+)
+
+// WatchdogConfig configures the runtime's stall/overrun/deadline monitor.
+// The zero value enables it with defaults (250ms interval, 1s stall
+// threshold); set Disable to turn monitoring off entirely.
+type WatchdogConfig = rt.WatchdogConfig
+
+// Health is the watchdog's snapshot of the runtime: currently stalled
+// workers, cumulative stall/recovery/overrun/deadline counters, and the
+// live job load.
+type Health = rt.Health
+
+// ErrDeadlineExceeded reports a job cancelled because its deadline passed
+// — whether its context noticed first or the runtime's watchdog did. It
+// wraps context.DeadlineExceeded, so errors.Is matches either sentinel.
+var ErrDeadlineExceeded = jobs.ErrDeadlineExceeded
+
+// Health reports the watchdog's view of the scheduler. With the watchdog
+// disabled the counters stay zero but the job-load fields remain live.
+func (s *Scheduler) Health() Health { return s.rt.Health() }
+
+// DumpState writes a human-readable diagnostic of the live scheduler to
+// w: per-worker heartbeat state (running/parked/stalled, current job and
+// DAG level, deque depth), per-squad busy flags and inter-pool depths,
+// the admission queue, running jobs with ages and deadlines, and the
+// watchdog counters. Safe on a wedged pool — it is what the watchdog
+// itself emits on a detection.
+func (s *Scheduler) DumpState(w io.Writer) { s.rt.DumpState(w) }
+
+// LatencySnapshot is an opaque point-in-time capture of the scheduler's
+// latency histograms, used in pairs to compute windowed quantiles.
+type LatencySnapshot struct {
+	m metricsSnapshot
+}
+
+// LatencyWindow summarizes the latency distributions recorded between two
+// snapshots — the windowed view overload control wants (cumulative
+// histograms never forget; a shedder must).
+type LatencyWindow struct {
+	QueueWait Latency
+	Run       Latency
+	StealScan Latency
+}
+
+// LatencySnapshot captures the current histogram state.
+func (s *Scheduler) LatencySnapshot() LatencySnapshot {
+	return LatencySnapshot{m: s.rt.Metrics()}
+}
+
+// LatencySince summarizes the samples recorded since prev and returns the
+// window plus the fresh snapshot to use as the next baseline:
+//
+//	win, snap = sched.LatencySince(snap)
+//	if win.QueueWait.P95 > target { shed() }
+func (s *Scheduler) LatencySince(prev LatencySnapshot) (LatencyWindow, LatencySnapshot) {
+	cur := s.rt.Metrics()
+	lat := func(sum obsSummary) Latency {
+		return Latency{Count: sum.Count, Mean: sum.Mean, P50: sum.P50, P95: sum.P95, P99: sum.P99}
+	}
+	win := LatencyWindow{
+		QueueWait: lat(cur.QueueWait.Delta(prev.m.QueueWait).Summary()),
+		Run:       lat(cur.Run.Delta(prev.m.Run).Summary()),
+		StealScan: lat(cur.StealScan.Delta(prev.m.StealScan).Summary()),
+	}
+	return win, LatencySnapshot{m: cur}
+}

@@ -13,7 +13,7 @@ out="${1:-BENCH_rt.json}"
 raw="$(mktemp)"
 trap 'rm -f "$raw"' EXIT
 
-go test -run '^$' -bench 'BenchmarkSpawnSync$|BenchmarkSpawnSyncTraced$|BenchmarkStealThroughput$|BenchmarkInterPool$|BenchmarkJobThroughput$' \
+go test -run '^$' -bench 'BenchmarkSpawnSync$|BenchmarkSpawnSyncTraced$|BenchmarkSpawnSyncFaultHook$|BenchmarkStealThroughput$|BenchmarkInterPool$|BenchmarkJobThroughput$' \
     -benchmem -count=5 . | tee "$raw"
 
 awk '
@@ -47,6 +47,14 @@ END {
         traced = sum["SpawnSyncTraced"] / runs["SpawnSyncTraced"]
         printf ",\n  {\"name\": \"TraceOverhead\", \"base_ns_per_op\": %.1f, \"traced_ns_per_op\": %.1f, \"trace_overhead_pct\": %.1f}", \
             base, traced, (traced - base) * 100 / base
+    }
+    # Fault-hook seam overhead: mean SpawnSyncFaultHook (no-op hook + tight
+    # watchdog) vs mean SpawnSync (nil hook) ns/op.
+    if (runs["SpawnSync"] > 0 && runs["SpawnSyncFaultHook"] > 0) {
+        base = sum["SpawnSync"] / runs["SpawnSync"]
+        hooked = sum["SpawnSyncFaultHook"] / runs["SpawnSyncFaultHook"]
+        printf ",\n  {\"name\": \"FaultHookOverhead\", \"base_ns_per_op\": %.1f, \"hooked_ns_per_op\": %.1f, \"fault_hook_overhead_pct\": %.1f}", \
+            base, hooked, (hooked - base) * 100 / base
     }
     print ""; print "]"
 }
