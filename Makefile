@@ -1,11 +1,14 @@
 # Developer entry points for the CAB reproduction. `make test` is the
 # tier-1 gate; `make race` covers the concurrent runtime under the race
-# detector; `make bench` runs the fast-path microbenchmarks and writes
-# BENCH_rt.json (see scripts/bench.sh) so PRs can track the perf trajectory.
+# detector; `make lint` machine-checks the runtime's concurrency and
+# hot-path invariants with cablint (see internal/lint); `make check` is
+# the full pre-merge sweep; `make bench` runs the fast-path
+# microbenchmarks and writes BENCH_rt.json (see scripts/bench.sh) so PRs
+# can track the perf trajectory.
 
 GO ?= go
 
-.PHONY: all build test race vet bench
+.PHONY: all build test race vet lint check bench
 
 all: build vet test
 
@@ -20,6 +23,14 @@ race:
 
 vet:
 	$(GO) vet ./...
+
+bin/cablint: $(wildcard cmd/cablint/*.go internal/lint/*.go)
+	$(GO) build -o bin/cablint ./cmd/cablint
+
+lint: bin/cablint
+	$(GO) vet -vettool=$(CURDIR)/bin/cablint ./...
+
+check: build vet lint test
 
 bench:
 	./scripts/bench.sh

@@ -1,0 +1,347 @@
+// Command cablint checks the CAB runtime's concurrency and hot-path
+// invariants (see internal/lint). It runs two ways:
+//
+// Standalone, over package patterns:
+//
+//	cablint ./...
+//	cablint -json ./internal/rt
+//
+// As a vet tool, which lets the go command drive it per package with
+// build caching and export data it has already computed:
+//
+//	go vet -vettool=$(pwd)/bin/cablint ./...
+//
+// In vet-tool mode cablint speaks cmd/go's vettool protocol: it answers
+// the -V=full version handshake and the -flags probe, and otherwise
+// receives a JSON config file describing one package (file set, import
+// map, export data locations) per invocation.
+//
+// Individual analyzers can be disabled with -atomicfield=false etc.
+// Exit status: 0 clean, 1 usage or load failure (standalone findings
+// also exit 1), 2 findings in vet-tool mode.
+package main
+
+import (
+	"crypto/sha256"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"path/filepath"
+	"runtime"
+	"strings"
+
+	"cab/internal/lint"
+)
+
+var (
+	versionFlag = flag.String("V", "", "print version and exit (used by the go command's vettool handshake)")
+	flagsProbe  = flag.Bool("flags", false, "print the tool's flags as JSON and exit (go command probe)")
+	jsonOut     = flag.Bool("json", false, "emit machine-readable diagnostics on stdout (standalone mode)")
+
+	enabled = map[string]*bool{}
+)
+
+func init() {
+	for _, a := range lint.All() {
+		enabled[a.Name] = flag.Bool(a.Name, true, "enable the "+a.Name+" analyzer: "+a.Doc)
+	}
+}
+
+func main() {
+	os.Exit(run())
+}
+
+func run() int {
+	flag.Usage = func() {
+		fmt.Fprintf(flag.CommandLine.Output(),
+			"usage: cablint [flags] [package patterns]\n   or: go vet -vettool=$(command -v cablint) [packages]\n")
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+
+	if *versionFlag != "" {
+		return printVersion(*versionFlag)
+	}
+	if *flagsProbe {
+		return printFlags()
+	}
+
+	var analyzers []*lint.Analyzer
+	for _, a := range lint.All() {
+		if *enabled[a.Name] {
+			analyzers = append(analyzers, a)
+		}
+	}
+
+	if flag.NArg() == 1 && strings.HasSuffix(flag.Arg(0), ".cfg") {
+		return vetTool(flag.Arg(0), analyzers)
+	}
+	return standalone(flag.Args(), analyzers)
+}
+
+// printVersion answers `cablint -V=full`. The go command requires at
+// least three fields with "version" second; for a "devel" version the
+// final field must carry a content hash, which doubles as the cache key
+// that invalidates vet results when the tool binary changes.
+func printVersion(mode string) int {
+	if mode != "full" {
+		fmt.Println("cablint version devel")
+		return 0
+	}
+	exe, err := os.Executable()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "cablint:", err)
+		return 1
+	}
+	f, err := os.Open(exe)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "cablint:", err)
+		return 1
+	}
+	defer f.Close()
+	h := sha256.New()
+	if _, err := io.Copy(h, f); err != nil {
+		fmt.Fprintln(os.Stderr, "cablint:", err)
+		return 1
+	}
+	fmt.Printf("cablint version devel buildID=%x\n", h.Sum(nil))
+	return 0
+}
+
+// printFlags answers `cablint -flags`: the go command asks which flags
+// the tool supports before forwarding any.
+func printFlags() int {
+	type jsonFlag struct {
+		Name  string
+		Bool  bool
+		Usage string
+	}
+	var out []jsonFlag
+	flag.VisitAll(func(f *flag.Flag) {
+		b, isBool := f.Value.(interface{ IsBoolFlag() bool })
+		out = append(out, jsonFlag{f.Name, isBool && b.IsBoolFlag(), f.Usage})
+	})
+	data, err := json.Marshal(out)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "cablint:", err)
+		return 1
+	}
+	os.Stdout.Write(data)
+	fmt.Println()
+	return 0
+}
+
+// vetConfig is the per-package JSON config cmd/go hands a vet tool.
+type vetConfig struct {
+	ID                        string
+	Compiler                  string
+	Dir                       string
+	ImportPath                string
+	GoFiles                   []string
+	NonGoFiles                []string
+	IgnoredFiles              []string
+	ImportMap                 map[string]string
+	PackageFile               map[string]string
+	Standard                  map[string]bool
+	PackageVetx               map[string]string
+	VetxOnly                  bool
+	VetxOutput                string
+	GoVersion                 string
+	SucceedOnTypecheckFailure bool
+}
+
+// vetTool analyzes the single package described by cfgPath, printing
+// diagnostics the way cmd/vet does: file:line:col on stderr, exit 2.
+func vetTool(cfgPath string, analyzers []*lint.Analyzer) int {
+	data, err := os.ReadFile(cfgPath)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "cablint:", err)
+		return 1
+	}
+	var cfg vetConfig
+	if err := json.Unmarshal(data, &cfg); err != nil {
+		fmt.Fprintf(os.Stderr, "cablint: parsing %s: %v\n", cfgPath, err)
+		return 1
+	}
+
+	// cablint exports no facts, so a facts-only invocation (a dependency
+	// of the packages being vetted) has nothing to compute.
+	if cfg.VetxOnly {
+		return writeVetx(cfg.VetxOutput)
+	}
+
+	pkg, err := checkVetPackage(&cfg)
+	if err != nil {
+		if cfg.SucceedOnTypecheckFailure {
+			return writeVetx(cfg.VetxOutput)
+		}
+		fmt.Fprintf(os.Stderr, "cablint: %s: %v\n", cfg.ImportPath, err)
+		return 1
+	}
+	diags, err := lint.Run(pkg, analyzers)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "cablint: %s: %v\n", cfg.ImportPath, err)
+		return 1
+	}
+	if code := writeVetx(cfg.VetxOutput); code != 0 {
+		return code
+	}
+	if len(diags) == 0 {
+		return 0
+	}
+	for _, d := range diags {
+		fmt.Fprintln(os.Stderr, d.String())
+	}
+	return 2
+}
+
+// writeVetx records the (empty) fact set so the go command can cache
+// this vet result.
+func writeVetx(path string) int {
+	if path == "" {
+		return 0
+	}
+	if err := os.WriteFile(path, []byte("cablint\n"), 0o666); err != nil {
+		fmt.Fprintln(os.Stderr, "cablint:", err)
+		return 1
+	}
+	return 0
+}
+
+// checkVetPackage parses and type-checks the package a vet config
+// describes, resolving imports through the config's export-data tables.
+func checkVetPackage(cfg *vetConfig) (*lint.Package, error) {
+	fset := token.NewFileSet()
+	var files []*ast.File
+	for _, name := range cfg.GoFiles {
+		if !filepath.IsAbs(name) {
+			name = filepath.Join(cfg.Dir, name)
+		}
+		f, err := parser.ParseFile(fset, name, nil, parser.ParseComments|parser.SkipObjectResolution)
+		if err != nil {
+			return nil, err
+		}
+		files = append(files, f)
+	}
+	compiler := cfg.Compiler
+	if compiler == "" {
+		compiler = "source"
+	}
+	lookup := func(path string) (io.ReadCloser, error) {
+		if mapped, ok := cfg.ImportMap[path]; ok {
+			path = mapped
+		}
+		file, ok := cfg.PackageFile[path]
+		if !ok {
+			return nil, fmt.Errorf("no export data for %q", path)
+		}
+		return os.Open(file)
+	}
+	sizes := types.SizesFor(compiler, runtime.GOARCH)
+	if sizes == nil {
+		sizes = types.SizesFor("gc", runtime.GOARCH)
+	}
+	conf := types.Config{
+		Importer:  importer.ForCompiler(fset, compiler, lookup),
+		Sizes:     sizes,
+		GoVersion: cfg.GoVersion,
+	}
+	info := lint.NewInfo()
+	tpkg, err := conf.Check(cfg.ImportPath, fset, files, info)
+	if err != nil {
+		return nil, err
+	}
+	return &lint.Package{
+		ImportPath: cfg.ImportPath,
+		Fset:       fset,
+		Files:      files,
+		Types:      tpkg,
+		Info:       info,
+		Sizes:      conf.Sizes,
+	}, nil
+}
+
+// standalone loads patterns itself via `go list -export` and reports on
+// stdout. Test variants of a package re-analyze its non-test files, so
+// diagnostics are deduplicated by position before reporting.
+func standalone(patterns []string, analyzers []*lint.Analyzer) int {
+	pkgs, err := lint.Load(".", patterns...)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "cablint:", err)
+		return 1
+	}
+	seen := map[string]bool{}
+	var diags []lint.Diagnostic
+	for _, pkg := range pkgs {
+		ds, err := lint.Run(pkg, analyzers)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "cablint: %s: %v\n", pkg.ImportPath, err)
+			return 1
+		}
+		for _, d := range ds {
+			key := d.String()
+			if !seen[key] {
+				seen[key] = true
+				diags = append(diags, d)
+			}
+		}
+	}
+	if *jsonOut {
+		return emitJSON(diags, analyzers)
+	}
+	for _, d := range diags {
+		fmt.Println(d.String())
+	}
+	if len(diags) > 0 {
+		return 1
+	}
+	return 0
+}
+
+// emitJSON prints the machine-readable report consumed by
+// scripts/bench.sh: a total, per-analyzer counts, and the diagnostics.
+func emitJSON(diags []lint.Diagnostic, analyzers []*lint.Analyzer) int {
+	type jsonDiag struct {
+		File     string `json:"file"`
+		Line     int    `json:"line"`
+		Col      int    `json:"col"`
+		Analyzer string `json:"analyzer"`
+		Message  string `json:"message"`
+	}
+	report := struct {
+		Total       int            `json:"total"`
+		Counts      map[string]int `json:"counts"`
+		Diagnostics []jsonDiag     `json:"diagnostics"`
+	}{
+		Total:       len(diags),
+		Counts:      map[string]int{},
+		Diagnostics: []jsonDiag{},
+	}
+	for _, a := range analyzers {
+		report.Counts[a.Name] = 0
+	}
+	for _, d := range diags {
+		report.Counts[d.Analyzer]++
+		report.Diagnostics = append(report.Diagnostics, jsonDiag{
+			File: d.Pos.Filename, Line: d.Pos.Line, Col: d.Pos.Column,
+			Analyzer: d.Analyzer, Message: d.Message,
+		})
+	}
+	enc := json.NewEncoder(os.Stdout)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(report); err != nil {
+		fmt.Fprintln(os.Stderr, "cablint:", err)
+		return 1
+	}
+	if len(diags) > 0 {
+		return 1
+	}
+	return 0
+}

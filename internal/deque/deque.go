@@ -22,6 +22,7 @@ type ring[T any] struct {
 }
 
 func newRing[T any](size int64) *ring[T] {
+	//cab:allow hotpath ring growth doubles, so allocation is amortized O(1)
 	return &ring[T]{mask: size - 1, slots: make([]atomic.Pointer[T], size)}
 }
 
@@ -57,6 +58,8 @@ func (d *Deque[T]) ring() *ring[T] {
 }
 
 // Push adds x at the bottom. Owner only.
+//
+//cab:hotpath
 func (d *Deque[T]) Push(x *T) {
 	b := d.bottom.Load()
 	t := d.top.Load()
@@ -76,6 +79,8 @@ func (d *Deque[T]) Push(x *T) {
 
 // Pop removes and returns the most recently pushed element, or nil if the
 // deque is empty. Owner only.
+//
+//cab:hotpath
 func (d *Deque[T]) Pop() *T {
 	b := d.bottom.Load() - 1
 	r := d.ring()
@@ -99,6 +104,8 @@ func (d *Deque[T]) Pop() *T {
 
 // Steal removes and returns the oldest element, or nil if the deque is
 // empty or the steal lost a race (callers treat both as "try elsewhere").
+//
+//cab:hotpath
 func (d *Deque[T]) Steal() *T {
 	t := d.top.Load()
 	b := d.bottom.Load()
@@ -155,11 +162,13 @@ func (l *Locked[T]) mask() int64 { return int64(len(l.buf) - 1) }
 // range under the new mask. Caller holds l.mu.
 func (l *Locked[T]) grow() {
 	if len(l.buf) == 0 {
+		//cab:allow hotpath first-push initialization, happens once per deque
 		l.buf = make([]*T, minRingSize)
 		return
 	}
 	old := l.buf
 	oldMask := int64(len(old) - 1)
+	//cab:allow hotpath ring growth doubles, so allocation is amortized O(1)
 	l.buf = make([]*T, 2*len(old))
 	for i := l.head; i < l.tail; i++ {
 		l.buf[i&l.mask()] = old[i&oldMask]
@@ -169,6 +178,8 @@ func (l *Locked[T]) grow() {
 // Push adds x at the bottom (the "new tasks" end). It reports whether the
 // deque was empty beforehand, so callers can publish empty→nonempty
 // transitions to parked workers without a second lock acquisition.
+//
+//cab:hotpath
 func (l *Locked[T]) Push(x *T) bool {
 	l.mu.Lock()
 	wasEmpty := l.head == l.tail
@@ -183,6 +194,8 @@ func (l *Locked[T]) Push(x *T) bool {
 
 // Pop removes and returns the newest element, or nil if empty. Used by a
 // squad's head worker obtaining a task from its own inter-socket pool.
+//
+//cab:hotpath
 func (l *Locked[T]) Pop() *T {
 	l.mu.Lock()
 	defer l.mu.Unlock()
@@ -198,6 +211,8 @@ func (l *Locked[T]) Pop() *T {
 
 // Steal removes and returns the oldest element, or nil if empty. Used by
 // other squads' head workers stealing across sockets.
+//
+//cab:hotpath
 func (l *Locked[T]) Steal() *T {
 	l.mu.Lock()
 	defer l.mu.Unlock()
@@ -214,6 +229,8 @@ func (l *Locked[T]) Steal() *T {
 // StealMatch removes and returns the oldest element satisfying match, or
 // nil if none does. Affinity-aware thieves use it to take only work hinted
 // at them, falling back to Steal when starved.
+//
+//cab:hotpath
 func (l *Locked[T]) StealMatch(match func(*T) bool) *T {
 	l.mu.Lock()
 	defer l.mu.Unlock()

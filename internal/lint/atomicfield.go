@@ -1,0 +1,142 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// AtomicField flags mixed atomic/plain access: once any access to a
+// variable or struct field goes through sync/atomic (atomic.LoadInt64,
+// atomic.AddUint64, ...), every access must. A single plain read of a
+// shard counter, heartbeat word or busy flag is a data race the race
+// detector only catches when both sides execute under it; on hardware it
+// silently yields stale or torn values. Fields of the typed wrappers
+// (atomic.Int64, atomic.Bool, ...) are immune by construction — their
+// only access path is a method call — which is why the runtime prefers
+// them; this analyzer guards the function-style residue.
+var AtomicField = &Analyzer{
+	Name: "atomicfield",
+	Doc:  "variables accessed via sync/atomic anywhere must be accessed atomically everywhere",
+	Run:  runAtomicField,
+}
+
+func runAtomicField(pass *Pass) error {
+	info := pass.TypesInfo
+
+	// Pass 1: find every `&x` handed to a sync/atomic function. The
+	// pointed-to variable joins the atomic set and that specific operand
+	// node is sanctioned.
+	atomicVars := map[*types.Var]bool{}
+	sanctioned := map[ast.Node]bool{}
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok || pkgOfCall(info, call) != "sync/atomic" {
+				return true
+			}
+			for _, arg := range call.Args {
+				un, ok := arg.(*ast.UnaryExpr)
+				if !ok || un.Op.String() != "&" {
+					continue
+				}
+				if v := addressedVar(info, un.X); v != nil {
+					atomicVars[v] = true
+					sanctioned[un.X] = true
+				}
+			}
+			return true
+		})
+	}
+	if len(atomicVars) == 0 {
+		return nil
+	}
+
+	// Pass 2: every other appearance of those variables is a violation —
+	// plain reads, plain writes, composite-literal initialization and
+	// addresses escaping to non-atomic code all bypass the discipline.
+	parents := buildParents(pass.Files)
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			id, ok := n.(*ast.Ident)
+			if !ok {
+				return true
+			}
+			obj, ok := info.Uses[id].(*types.Var)
+			if !ok || !atomicVars[obj] {
+				return true
+			}
+			node := accessExpr(parents, id)
+			if sanctioned[node] {
+				return true
+			}
+			owner := ""
+			if obj.IsField() {
+				owner = ownerTypeName(pass.Pkg, obj) + "."
+			}
+			pass.Reportf(node.Pos(),
+				"%s%s is accessed with sync/atomic elsewhere; this plain access is a data race (use sync/atomic here too)",
+				owner, obj.Name())
+			return true
+		})
+	}
+	return nil
+}
+
+// addressedVar resolves the operand of a unary & to the variable or
+// struct field it denotes, or nil.
+func addressedVar(info *types.Info, e ast.Expr) *types.Var {
+	switch x := e.(type) {
+	case *ast.Ident:
+		if v, ok := info.Uses[x].(*types.Var); ok && !v.IsField() {
+			return v
+		}
+	case *ast.SelectorExpr:
+		if v := fieldOf(info, x); v != nil {
+			return v
+		}
+		// &pkg.Var and plain variable selectors.
+		if v, ok := info.Uses[x.Sel].(*types.Var); ok {
+			return v
+		}
+	case *ast.IndexExpr:
+		// &arr[i]: per-element atomics on a shared array. Attribute the
+		// discipline to the array variable/field itself.
+		return addressedVar(info, x.X)
+	}
+	return nil
+}
+
+// accessExpr widens an identifier use to the expression checked against
+// the sanctioned set: its enclosing selector (x.f rather than f) when it
+// is a selector's field name, then any index expression over that
+// (&arr[i] records the IndexExpr as its sanctioned operand).
+func accessExpr(parents map[ast.Node]ast.Node, id *ast.Ident) ast.Node {
+	var node ast.Node = id
+	if sel, ok := parents[node].(*ast.SelectorExpr); ok && sel.Sel == id {
+		node = sel
+	}
+	if ix, ok := parents[node].(*ast.IndexExpr); ok && ix.X == node {
+		node = ix
+	}
+	return node
+}
+
+// ownerTypeName names the struct type a field belongs to, best-effort.
+func ownerTypeName(pkg *types.Package, field *types.Var) string {
+	for _, name := range pkg.Scope().Names() {
+		tn, ok := pkg.Scope().Lookup(name).(*types.TypeName)
+		if !ok {
+			continue
+		}
+		st, ok := tn.Type().Underlying().(*types.Struct)
+		if !ok {
+			continue
+		}
+		for i := 0; i < st.NumFields(); i++ {
+			if st.Field(i) == field {
+				return tn.Name()
+			}
+		}
+	}
+	return "struct"
+}

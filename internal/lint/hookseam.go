@@ -1,0 +1,383 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// obsPkgSuffix identifies the tracing package whose Record discipline
+// rule B enforces; the check is skipped inside that package itself.
+const obsPkgSuffix = "internal/obs"
+
+// HookSeam machine-checks the three disciplines around the runtime's
+// optional instrumentation seams, which exist precisely so the disabled
+// state costs one load and zero branches mispredicted:
+//
+//  A. Calls through a value of a named function type annotated
+//     //cab:hook (rt.FaultHook) must be dominated by a nil check of that
+//     same expression — `if h := r.fault; h != nil { h(...) }`. An
+//     unguarded call either panics when the hook is unset or forces the
+//     caller to pre-load it into an interface.
+//
+//  B. Calls to (*obs.Tracer).Record outside internal/obs must be
+//     dominated by an Armed() check — directly (`if r.tr.Armed()`) or
+//     through a local bound from it (`traced := r.tr.Armed(); if traced`).
+//     Record does not re-check, so an unguarded call bypasses the
+//     one-atomic-load disarm contract and records into a dead window.
+//
+//  C. Values published through sync/atomic.Pointer must be treated as
+//     copy-on-write: a map or slice obtained from p.Load() (directly or
+//     through a local) must never be mutated in place — no index
+//     assignment, delete, or append on it. Readers hold no lock by
+//     design; in-place mutation after publication is a data race.
+var HookSeam = &Analyzer{
+	Name: "hookseam",
+	Doc:  "hook/tracer dereferences need nil/armed guards; atomic.Pointer data is copy-on-write",
+	Run:  runHookSeam,
+}
+
+func runHookSeam(pass *Pass) error {
+	info := pass.TypesInfo
+	parents := buildParents(pass.Files)
+
+	// Named function types annotated //cab:hook in this package.
+	hookTypes := map[*types.TypeName]bool{}
+	for _, f := range pass.Files {
+		for _, d := range f.Decls {
+			gd, ok := d.(*ast.GenDecl)
+			if !ok {
+				continue
+			}
+			for _, spec := range gd.Specs {
+				ts, ok := spec.(*ast.TypeSpec)
+				if !ok || !hasDirective(typeSpecDoc(gd, ts), "hook") {
+					continue
+				}
+				if tn, ok := info.Defs[ts.Name].(*types.TypeName); ok {
+					hookTypes[tn] = true
+				}
+			}
+		}
+	}
+
+	inObs := len(pass.Pkg.Path()) >= len(obsPkgSuffix) &&
+		pass.Pkg.Path()[len(pass.Pkg.Path())-len(obsPkgSuffix):] == obsPkgSuffix
+
+	for _, f := range pass.Files {
+		if isTestFile(pass.Fset, f.Pos()) {
+			continue // tests drive seams directly on purpose
+		}
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			checkHookCall(pass, parents, hookTypes, call)
+			if !inObs {
+				checkTracerRecord(pass, parents, call)
+			}
+			return true
+		})
+		checkCopyOnWrite(pass, f)
+	}
+	return nil
+}
+
+// checkHookCall enforces rule A on one call expression.
+func checkHookCall(pass *Pass, parents map[ast.Node]ast.Node, hookTypes map[*types.TypeName]bool, call *ast.CallExpr) {
+	info := pass.TypesInfo
+	tv, ok := info.Types[call.Fun]
+	if !ok || tv.IsType() {
+		return
+	}
+	named := namedOf(tv.Type)
+	if named == nil || !hookTypes[named.Obj()] {
+		return
+	}
+	if _, ok := tv.Type.Underlying().(*types.Signature); !ok {
+		return
+	}
+	want := types.ExprString(ast.Unparen(call.Fun))
+	if dominatedByNilCheck(info, parents, call, want) {
+		return
+	}
+	pass.Reportf(call.Pos(),
+		"call through hook %s is not dominated by a nil check (guard with `if h := %s; h != nil`)",
+		want, want)
+}
+
+// dominatedByNilCheck climbs the parent chain looking for an if whose
+// then-branch contains n and whose condition (possibly one arm of a &&)
+// compares the expression spelled want against nil.
+func dominatedByNilCheck(info *types.Info, parents map[ast.Node]ast.Node, n ast.Node, want string) bool {
+	for cur, p := ast.Node(n), parents[n]; p != nil; cur, p = p, parents[p] {
+		ifs, ok := p.(*ast.IfStmt)
+		if !ok || ifs.Body != cur && !within(ifs.Body, cur) {
+			continue
+		}
+		if condHasNilCheck(info, ifs.Cond, want) {
+			return true
+		}
+	}
+	return false
+}
+
+// within reports whether n lies inside body (by position).
+func within(body *ast.BlockStmt, n ast.Node) bool {
+	return n.Pos() >= body.Pos() && n.End() <= body.End()
+}
+
+// condHasNilCheck scans a condition (descending through &&) for
+// `<want> != nil`.
+func condHasNilCheck(info *types.Info, cond ast.Expr, want string) bool {
+	switch c := ast.Unparen(cond).(type) {
+	case *ast.BinaryExpr:
+		switch c.Op {
+		case token.LAND:
+			return condHasNilCheck(info, c.X, want) || condHasNilCheck(info, c.Y, want)
+		case token.NEQ:
+			x, y := ast.Unparen(c.X), ast.Unparen(c.Y)
+			if isNilExpr(info, y) && types.ExprString(x) == want {
+				return true
+			}
+			if isNilExpr(info, x) && types.ExprString(y) == want {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+func isNilExpr(info *types.Info, e ast.Expr) bool {
+	tv, ok := info.Types[e]
+	return ok && tv.IsNil()
+}
+
+// checkTracerRecord enforces rule B on one call expression.
+func checkTracerRecord(pass *Pass, parents map[ast.Node]ast.Node, call *ast.CallExpr) {
+	info := pass.TypesInfo
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok || sel.Sel.Name != "Record" {
+		return
+	}
+	s, ok := info.Selections[sel]
+	if !ok || s.Kind() != types.MethodVal {
+		return
+	}
+	recv := namedOf(s.Recv())
+	if recv == nil || recv.Obj().Name() != "Tracer" {
+		return
+	}
+	if pkg := recv.Obj().Pkg(); pkg == nil || !hasSuffix(pkg.Path(), obsPkgSuffix) {
+		return
+	}
+	recvStr := types.ExprString(ast.Unparen(sel.X))
+	if dominatedByArmedCheck(pass, parents, call, recvStr) {
+		return
+	}
+	pass.Reportf(call.Pos(),
+		"%s.Record is not dominated by an Armed() check: tracing must cost one atomic load when disarmed (guard with `if %s.Armed()`)",
+		recvStr, recvStr)
+}
+
+func hasSuffix(s, suf string) bool {
+	return len(s) >= len(suf) && s[len(s)-len(suf):] == suf
+}
+
+// dominatedByArmedCheck climbs the parent chain for an if whose
+// condition is `<recv>.Armed()` (possibly under &&) or a local boolean
+// that was bound from `<recv>.Armed()` in the same function.
+func dominatedByArmedCheck(pass *Pass, parents map[ast.Node]ast.Node, n ast.Node, recvStr string) bool {
+	for cur, p := ast.Node(n), parents[n]; p != nil; cur, p = p, parents[p] {
+		ifs, ok := p.(*ast.IfStmt)
+		if !ok || ifs.Body != cur && !within(ifs.Body, cur) {
+			continue
+		}
+		if condHasArmed(pass, parents, ifs.Cond, recvStr) {
+			return true
+		}
+	}
+	return false
+}
+
+func condHasArmed(pass *Pass, parents map[ast.Node]ast.Node, cond ast.Expr, recvStr string) bool {
+	info := pass.TypesInfo
+	switch c := ast.Unparen(cond).(type) {
+	case *ast.BinaryExpr:
+		if c.Op == token.LAND {
+			return condHasArmed(pass, parents, c.X, recvStr) ||
+				condHasArmed(pass, parents, c.Y, recvStr)
+		}
+	case *ast.CallExpr:
+		if isArmedCall(pass.TypesInfo, c, recvStr) {
+			return true
+		}
+	case *ast.Ident:
+		// `traced := r.tr.Armed(); ... if traced { ... }`
+		obj, ok := info.Uses[c].(*types.Var)
+		if !ok {
+			return false
+		}
+		return boundFromArmed(pass, obj, recvStr)
+	}
+	return false
+}
+
+// isArmedCall reports whether c is `<recv>.Armed()` for the receiver
+// expression spelled recvStr.
+func isArmedCall(info *types.Info, c *ast.CallExpr, recvStr string) bool {
+	sel, ok := c.Fun.(*ast.SelectorExpr)
+	if !ok || sel.Sel.Name != "Armed" {
+		return false
+	}
+	return types.ExprString(ast.Unparen(sel.X)) == recvStr
+}
+
+// boundFromArmed reports whether obj has a `obj := <recv>.Armed()`
+// definition somewhere in the package files.
+func boundFromArmed(pass *Pass, obj *types.Var, recvStr string) bool {
+	info := pass.TypesInfo
+	found := false
+	for _, f := range pass.Files {
+		if found {
+			break
+		}
+		if f.Pos() > obj.Pos() || f.End() < obj.Pos() {
+			continue
+		}
+		ast.Inspect(f, func(n ast.Node) bool {
+			if found {
+				return false
+			}
+			as, ok := n.(*ast.AssignStmt)
+			if !ok || len(as.Lhs) != len(as.Rhs) {
+				return true
+			}
+			for i, lhs := range as.Lhs {
+				id, ok := lhs.(*ast.Ident)
+				if !ok || info.Defs[id] != obj && info.Uses[id] != obj {
+					continue
+				}
+				if call, ok := ast.Unparen(as.Rhs[i]).(*ast.CallExpr); ok &&
+					isArmedCall(info, call, recvStr) {
+					found = true
+				}
+			}
+			return true
+		})
+	}
+	return found
+}
+
+// checkCopyOnWrite enforces rule C within one file: locals bound from
+// atomic.Pointer Load() results must not be mutated in place.
+func checkCopyOnWrite(pass *Pass, f *ast.File) {
+	info := pass.TypesInfo
+
+	// Locals whose value aliases published data: `x := p.Load()` (a
+	// pointer) or `x := *p.Load()` (the pointed-to map/slice).
+	loaded := map[*types.Var]bool{}
+	ast.Inspect(f, func(n ast.Node) bool {
+		as, ok := n.(*ast.AssignStmt)
+		if !ok || len(as.Lhs) != len(as.Rhs) {
+			return true
+		}
+		for i, lhs := range as.Lhs {
+			id, ok := lhs.(*ast.Ident)
+			if !ok {
+				continue
+			}
+			v, ok := info.Defs[id].(*types.Var)
+			if !ok {
+				v, ok = info.Uses[id].(*types.Var)
+				if !ok {
+					continue
+				}
+			}
+			if loadRooted(info, as.Rhs[i], loaded) {
+				loaded[v] = true
+			}
+		}
+		return true
+	})
+
+	report := func(pos token.Pos, what string) {
+		pass.Reportf(pos,
+			"%s mutates data loaded from an atomic.Pointer in place; published values are copy-on-write (clone, mutate, Store)", what)
+	}
+	ast.Inspect(f, func(n ast.Node) bool {
+		switch x := n.(type) {
+		case *ast.AssignStmt:
+			for _, lhs := range x.Lhs {
+				switch l := lhs.(type) {
+				case *ast.IndexExpr:
+					if loadRooted(info, l.X, loaded) {
+						report(l.Pos(), "index assignment")
+					}
+				case *ast.StarExpr:
+					if loadRooted(info, l.X, loaded) {
+						report(l.Pos(), "assignment through pointer")
+					}
+				case *ast.SelectorExpr:
+					if loadRooted(info, l.X, loaded) {
+						report(l.Pos(), "field assignment")
+					}
+				}
+			}
+		case *ast.CallExpr:
+			if id, ok := x.Fun.(*ast.Ident); ok {
+				if b, ok := info.Uses[id].(*types.Builtin); ok && len(x.Args) > 0 {
+					switch b.Name() {
+					case "delete":
+						if loadRooted(info, x.Args[0], loaded) {
+							report(x.Pos(), "delete")
+						}
+					case "append":
+						if loadRooted(info, x.Args[0], loaded) {
+							report(x.Pos(), "append to a loaded slice (may write the shared backing array)")
+						}
+					}
+				}
+			}
+		}
+		return true
+	})
+}
+
+// loadRooted reports whether e derives from an atomic.Pointer Load():
+// the call itself, a deref/index of it, or a local recorded in loaded.
+func loadRooted(info *types.Info, e ast.Expr, loaded map[*types.Var]bool) bool {
+	switch x := ast.Unparen(e).(type) {
+	case *ast.Ident:
+		if v, ok := info.Uses[x].(*types.Var); ok {
+			return loaded[v]
+		}
+	case *ast.StarExpr:
+		return loadRooted(info, x.X, loaded)
+	case *ast.IndexExpr:
+		return loadRooted(info, x.X, loaded)
+	case *ast.CallExpr:
+		return isAtomicPointerLoad(info, x)
+	}
+	return false
+}
+
+// isAtomicPointerLoad reports whether call is `p.Load()` for p of type
+// sync/atomic.Pointer[T] (or a *Pointer[T] field).
+func isAtomicPointerLoad(info *types.Info, call *ast.CallExpr) bool {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok || sel.Sel.Name != "Load" {
+		return false
+	}
+	s, ok := info.Selections[sel]
+	if !ok || s.Kind() != types.MethodVal {
+		return false
+	}
+	named := namedOf(s.Recv())
+	if named == nil || named.Obj().Name() != "Pointer" {
+		return false
+	}
+	pkg := named.Obj().Pkg()
+	return pkg != nil && pkg.Path() == "sync/atomic"
+}

@@ -1,0 +1,374 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+)
+
+// HotPath enforces the runtime's 0 allocs/op discipline on functions
+// annotated //cab:hotpath and everything they reach inside the package.
+// The spawn/steal/park paths hold the paper's SpawnSync ~100 ns/op
+// result only while they perform no heap allocation; one innocent
+// fmt.Sprintf or escaping closure silently multiplies the cost. The
+// analyzer flags the escape-prone constructs that can't be proven cheap
+// syntactically:
+//
+//   - closures that capture variables (except a closure deferred once at
+//     function scope, which Go open-codes without allocating)
+//   - go statements and defer inside loops
+//   - calls into package fmt, and string concatenation
+//   - map/slice/chan allocations: make, new, append, map/slice literals,
+//     &T{} literals, string<->[]byte conversions
+//   - implicit interface conversions at call boundaries (boxing)
+//
+// Cold branches inside hot functions (pool refill, ring growth, panic
+// recovery) are waived line by line with //cab:allow hotpath <reason>,
+// which keeps every exception reviewed and greppable. Benchmarks with
+// testing.AllocsPerRun gates remain the runtime proof; this analyzer
+// turns a silent regression into a build break at the offending line.
+var HotPath = &Analyzer{
+	Name: "hotpath",
+	Doc:  "//cab:hotpath functions and their intra-package callees must avoid escape-prone constructs",
+	Run:  runHotPath,
+}
+
+func runHotPath(pass *Pass) error {
+	info := pass.TypesInfo
+
+	// Collect declared functions and the //cab:hotpath roots.
+	decls := map[*types.Func]*ast.FuncDecl{}
+	var roots []*types.Func
+	for _, f := range pass.Files {
+		if isTestFile(pass.Fset, f.Pos()) {
+			continue
+		}
+		for _, d := range f.Decls {
+			fd, ok := d.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			fn, ok := info.Defs[fd.Name].(*types.Func)
+			if !ok {
+				continue
+			}
+			decls[fn] = fd
+			if hasDirective(fd.Doc, "hotpath") {
+				roots = append(roots, fn)
+			}
+		}
+	}
+	if len(roots) == 0 {
+		return nil
+	}
+
+	// Static intra-package call graph (direct calls only; calls through
+	// function values are invisible, which is exactly why hot code
+	// avoids them).
+	callees := map[*types.Func][]*types.Func{}
+	for fn, fd := range decls {
+		ast.Inspect(fd.Body, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			if target := staticCallee(info, call); target != nil {
+				if _, local := decls[target]; local {
+					callees[fn] = append(callees[fn], target)
+				}
+			}
+			return true
+		})
+	}
+
+	// Transitive closure from the annotated roots; remember one root per
+	// reached function so diagnostics can name the hot entry point.
+	rootOf := map[*types.Func]*types.Func{}
+	var queue []*types.Func
+	for _, r := range roots {
+		if _, seen := rootOf[r]; !seen {
+			rootOf[r] = r
+			queue = append(queue, r)
+		}
+	}
+	for len(queue) > 0 {
+		fn := queue[0]
+		queue = queue[1:]
+		for _, c := range callees[fn] {
+			if _, seen := rootOf[c]; !seen {
+				rootOf[c] = rootOf[fn]
+				queue = append(queue, c)
+			}
+		}
+	}
+
+	// Stable iteration order for deterministic output.
+	var hot []*types.Func
+	for fn := range rootOf {
+		hot = append(hot, fn)
+	}
+	sort.Slice(hot, func(i, j int) bool { return hot[i].Pos() < hot[j].Pos() })
+
+	parents := buildParents(pass.Files)
+	for _, fn := range hot {
+		checkHotFunc(pass, parents, decls[fn], fn, rootOf[fn])
+	}
+	return nil
+}
+
+// checkHotFunc walks one hot function's body and reports every
+// escape-prone construct.
+func checkHotFunc(pass *Pass, parents map[ast.Node]ast.Node, fd *ast.FuncDecl, fn, root *types.Func) {
+	info := pass.TypesInfo
+	via := ""
+	if fn != root {
+		via = " (reached from //cab:hotpath " + root.Name() + ")"
+	}
+	report := func(pos token.Pos, what string) {
+		pass.Reportf(pos, "hot path %s%s: %s", fn.Name(), via, what)
+	}
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		switch x := n.(type) {
+		case *ast.GoStmt:
+			report(x.Pos(), "go statement launches a goroutine (allocates a stack)")
+		case *ast.DeferStmt:
+			if insideLoop(parents, x, fd) {
+				report(x.Pos(), "defer inside a loop allocates per iteration")
+			}
+		case *ast.FuncLit:
+			if deferredAtFunctionScope(parents, x, fd) {
+				return true // open-coded defer: no allocation
+			}
+			if capturesVariables(info, pass.Pkg, x) {
+				report(x.Pos(), "closure captures variables and escapes (allocates per call)")
+			}
+		case *ast.BinaryExpr:
+			if x.Op == token.ADD && isStringExpr(info, x) && info.Types[x].Value == nil {
+				report(x.Pos(), "string concatenation allocates")
+			}
+		case *ast.CompositeLit:
+			switch info.Types[x].Type.Underlying().(type) {
+			case *types.Map:
+				report(x.Pos(), "map literal allocates")
+			case *types.Slice:
+				report(x.Pos(), "slice literal allocates")
+			}
+		case *ast.UnaryExpr:
+			if x.Op == token.AND {
+				if _, ok := x.X.(*ast.CompositeLit); ok {
+					report(x.Pos(), "address of composite literal is escape-prone")
+				}
+			}
+		case *ast.CallExpr:
+			checkHotCall(pass, report, x)
+		}
+		return true
+	})
+}
+
+// checkHotCall classifies one call inside a hot function.
+func checkHotCall(pass *Pass, report func(token.Pos, string), call *ast.CallExpr) {
+	info := pass.TypesInfo
+
+	// Conversions: T(x).
+	if tv, ok := info.Types[call.Fun]; ok && tv.IsType() {
+		to := tv.Type
+		fromTV := info.Types[call.Args[0]]
+		if _, isIface := to.Underlying().(*types.Interface); isIface &&
+			!isInterfaceOrNil(fromTV) && !isDirectIface(fromTV.Type) {
+			report(call.Pos(), "conversion to interface boxes the value (allocates)")
+		}
+		if convAllocates(to, fromTV.Type) && fromTV.Value == nil {
+			report(call.Pos(), "string/[]byte conversion copies and allocates")
+		}
+		return
+	}
+
+	// Builtins.
+	if id, ok := call.Fun.(*ast.Ident); ok {
+		if b, ok := info.Uses[id].(*types.Builtin); ok {
+			switch b.Name() {
+			case "make":
+				report(call.Pos(), "make allocates")
+			case "new":
+				report(call.Pos(), "new allocates")
+			case "append":
+				report(call.Pos(), "append may grow and allocate")
+			}
+			return
+		}
+	}
+
+	// Package fmt: everything in it boxes arguments and allocates.
+	if pkgOfCall(info, call) == "fmt" {
+		report(call.Pos(), "fmt call formats through reflection and allocates")
+		return
+	}
+
+	// Implicit interface conversions at the call boundary.
+	sig, ok := info.Types[call.Fun].Type.(*types.Signature)
+	if !ok {
+		return
+	}
+	params := sig.Params()
+	for i, arg := range call.Args {
+		var pt types.Type
+		switch {
+		case sig.Variadic() && i >= params.Len()-1:
+			if call.Ellipsis.IsValid() {
+				continue // slice passed through, no per-element boxing
+			}
+			pt = params.At(params.Len() - 1).Type().(*types.Slice).Elem()
+		case i < params.Len():
+			pt = params.At(i).Type()
+		default:
+			continue
+		}
+		if _, isIface := pt.Underlying().(*types.Interface); !isIface {
+			continue
+		}
+		if tv, ok := info.Types[arg]; ok && !isInterfaceOrNil(tv) && !isDirectIface(tv.Type) {
+			report(arg.Pos(), "argument is boxed into an interface (allocates unless escape analysis saves it)")
+		}
+	}
+}
+
+// staticCallee resolves a call to the package-level function or method
+// it targets (the generic origin for instantiations), or nil for
+// builtins, conversions and calls through values.
+func staticCallee(info *types.Info, call *ast.CallExpr) *types.Func {
+	fun := ast.Unparen(call.Fun)
+	// Explicit instantiation: f[T](...) wraps the callee in an index.
+	switch ix := fun.(type) {
+	case *ast.IndexExpr:
+		fun = ix.X
+	case *ast.IndexListExpr:
+		fun = ix.X
+	}
+	switch fun := fun.(type) {
+	case *ast.Ident:
+		if fn, ok := info.Uses[fun].(*types.Func); ok {
+			return fn.Origin()
+		}
+	case *ast.SelectorExpr:
+		if sel, ok := info.Selections[fun]; ok && sel.Kind() == types.MethodVal {
+			if fn, ok := sel.Obj().(*types.Func); ok {
+				return fn.Origin()
+			}
+			return nil
+		}
+		if fn, ok := info.Uses[fun.Sel].(*types.Func); ok {
+			return fn.Origin()
+		}
+	}
+	return nil
+}
+
+// insideLoop reports whether n has a for/range ancestor below fd.
+func insideLoop(parents map[ast.Node]ast.Node, n ast.Node, fd *ast.FuncDecl) bool {
+	for p := parents[n]; p != nil && p != fd; p = parents[p] {
+		switch p.(type) {
+		case *ast.ForStmt, *ast.RangeStmt:
+			return true
+		case *ast.FuncLit:
+			return false // the loop containing a closure is the closure's problem
+		}
+	}
+	return false
+}
+
+// deferredAtFunctionScope reports whether lit is the immediate operand
+// of a defer statement that is not inside a loop: Go open-codes such
+// defers, so the closure does not allocate.
+func deferredAtFunctionScope(parents map[ast.Node]ast.Node, lit *ast.FuncLit, fd *ast.FuncDecl) bool {
+	call, ok := parents[lit].(*ast.CallExpr)
+	if !ok || call.Fun != lit {
+		return false
+	}
+	def, ok := parents[call].(*ast.DeferStmt)
+	if !ok {
+		return false
+	}
+	return !insideLoop(parents, def, fd)
+}
+
+// capturesVariables reports whether the function literal references any
+// variable declared outside itself (excluding package-level variables,
+// which need no closure cell).
+func capturesVariables(info *types.Info, pkg *types.Package, lit *ast.FuncLit) bool {
+	captured := false
+	ast.Inspect(lit, func(n ast.Node) bool {
+		id, ok := n.(*ast.Ident)
+		if !ok || captured {
+			return !captured
+		}
+		v, ok := info.Uses[id].(*types.Var)
+		if !ok || v.IsField() {
+			return true
+		}
+		if v.Parent() == nil || v.Parent() == pkg.Scope() || v.Parent() == types.Universe {
+			return true
+		}
+		if v.Pos() < lit.Pos() || v.Pos() > lit.End() {
+			captured = true
+		}
+		return true
+	})
+	return captured
+}
+
+// isStringExpr reports whether e's static type is a string.
+func isStringExpr(info *types.Info, e ast.Expr) bool {
+	tv, ok := info.Types[e]
+	if !ok || tv.Type == nil {
+		return false
+	}
+	b, ok := tv.Type.Underlying().(*types.Basic)
+	return ok && b.Info()&types.IsString != 0
+}
+
+// isDirectIface reports whether values of t are stored directly in an
+// interface word without allocating: pointer-shaped types (pointers,
+// channels, maps, functions, unsafe.Pointer) box for free.
+func isDirectIface(t types.Type) bool {
+	switch u := t.Underlying().(type) {
+	case *types.Pointer, *types.Chan, *types.Map, *types.Signature:
+		return true
+	case *types.Basic:
+		return u.Kind() == types.UnsafePointer
+	}
+	return false
+}
+
+// isInterfaceOrNil reports whether a value is already an interface (no
+// boxing needed) or the untyped nil.
+func isInterfaceOrNil(tv types.TypeAndValue) bool {
+	if tv.IsNil() || tv.Type == nil {
+		return true
+	}
+	_, ok := tv.Type.Underlying().(*types.Interface)
+	return ok
+}
+
+// convAllocates reports whether a conversion between to and from copies
+// memory: string <-> []byte / []rune.
+func convAllocates(to, from types.Type) bool {
+	return (isStringType(to) && isByteOrRuneSlice(from)) ||
+		(isByteOrRuneSlice(to) && isStringType(from))
+}
+
+func isStringType(t types.Type) bool {
+	b, ok := t.Underlying().(*types.Basic)
+	return ok && b.Info()&types.IsString != 0
+}
+
+func isByteOrRuneSlice(t types.Type) bool {
+	s, ok := t.Underlying().(*types.Slice)
+	if !ok {
+		return false
+	}
+	b, ok := s.Elem().Underlying().(*types.Basic)
+	return ok && (b.Kind() == types.Byte || b.Kind() == types.Rune ||
+		b.Kind() == types.Uint8 || b.Kind() == types.Int32)
+}

@@ -1,0 +1,314 @@
+// Package lint is cablint's analysis framework: five analyzers that
+// machine-check the CAB runtime's concurrency and hot-path invariants,
+// plus the minimal go/analysis-style plumbing they run on.
+//
+// The framework mirrors golang.org/x/tools/go/analysis (Analyzer, Pass,
+// Diagnostic) but is built purely on the standard library's go/ast,
+// go/parser and go/types, because this repository carries no external
+// dependencies. Packages are loaded either from `go list -export` output
+// (standalone mode, see load.go) or from the config file the go command
+// hands a vet tool (cmd/cablint).
+//
+// The enforced invariants live only in comments otherwise:
+//
+//   - atomicfield: a field accessed via sync/atomic anywhere must be
+//     accessed atomically everywhere (one plain read of a shard counter
+//     or busy flag breaks Algorithms I & II under the race detector and,
+//     worse, silently on weaker memory models).
+//   - hotpath: functions annotated //cab:hotpath (and their intra-package
+//     callees) must stay free of escape-prone constructs, or the
+//     SpawnSync ~100 ns/op, 0 allocs/op result quietly regresses.
+//   - padcheck: structs annotated //cab:padded must actually land on
+//     separate 128-byte cache-line groups, computed from types.Sizes.
+//   - hookseam: calls through //cab:hook function values (the FaultHook
+//     seam) must be dominated by a nil check, obs.Tracer.Record calls by
+//     an Armed() check, and data published through atomic.Pointer must be
+//     copy-on-write (never mutated in place after Load).
+//   - lockorder: the package-level mutex-acquisition graph must be
+//     acyclic, and no mutex class may be re-acquired while held.
+//
+// A diagnostic can be waived at a specific line with a
+// `//cab:allow <analyzer> <reason>` comment on the flagged line or the
+// line directly above it; the waiver must name the analyzer.
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// Analyzer is one named invariant check.
+type Analyzer struct {
+	Name string
+	Doc  string
+	Run  func(*Pass) error
+}
+
+// All returns the five cablint analyzers in stable order.
+func All() []*Analyzer {
+	return []*Analyzer{
+		AtomicField,
+		HotPath,
+		PadCheck,
+		HookSeam,
+		LockOrder,
+	}
+}
+
+// ByName returns the analyzer with the given name, or nil.
+func ByName(name string) *Analyzer {
+	for _, a := range All() {
+		if a.Name == name {
+			return a
+		}
+	}
+	return nil
+}
+
+// Pass carries one type-checked package through one analyzer.
+type Pass struct {
+	Analyzer   *Analyzer
+	Fset       *token.FileSet
+	Files      []*ast.File
+	Pkg        *types.Package
+	TypesInfo  *types.Info
+	TypesSizes types.Sizes
+
+	diags *[]Diagnostic
+}
+
+// Reportf records a diagnostic at pos.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...interface{}) {
+	*p.diags = append(*p.diags, Diagnostic{
+		Pos:      p.Fset.Position(pos),
+		Analyzer: p.Analyzer.Name,
+		Message:  fmt.Sprintf(format, args...),
+	})
+}
+
+// Diagnostic is one reported violation.
+type Diagnostic struct {
+	Pos      token.Position
+	Analyzer string
+	Message  string
+}
+
+func (d Diagnostic) String() string {
+	return fmt.Sprintf("%s: %s (%s)", d.Pos, d.Message, d.Analyzer)
+}
+
+// Package is a type-checked package ready for analysis.
+type Package struct {
+	ImportPath string
+	Fset       *token.FileSet
+	Files      []*ast.File
+	Types      *types.Package
+	Info       *types.Info
+	Sizes      types.Sizes
+}
+
+// NewInfo returns a types.Info with every map the analyzers consult.
+func NewInfo() *types.Info {
+	return &types.Info{
+		Types:      map[ast.Expr]types.TypeAndValue{},
+		Defs:       map[*ast.Ident]types.Object{},
+		Uses:       map[*ast.Ident]types.Object{},
+		Selections: map[*ast.SelectorExpr]*types.Selection{},
+		Implicits:  map[ast.Node]types.Object{},
+		Scopes:     map[ast.Node]*types.Scope{},
+	}
+}
+
+// Run applies the analyzers to pkg, filters waived diagnostics, and
+// returns the remainder sorted by position.
+func Run(pkg *Package, analyzers []*Analyzer) ([]Diagnostic, error) {
+	var diags []Diagnostic
+	for _, a := range analyzers {
+		pass := &Pass{
+			Analyzer:   a,
+			Fset:       pkg.Fset,
+			Files:      pkg.Files,
+			Pkg:        pkg.Types,
+			TypesInfo:  pkg.Info,
+			TypesSizes: pkg.Sizes,
+			diags:      &diags,
+		}
+		if err := a.Run(pass); err != nil {
+			return nil, fmt.Errorf("%s: %v", a.Name, err)
+		}
+	}
+	diags = filterAllowed(pkg, diags)
+	sort.Slice(diags, func(i, j int) bool {
+		a, b := diags[i].Pos, diags[j].Pos
+		if a.Filename != b.Filename {
+			return a.Filename < b.Filename
+		}
+		if a.Line != b.Line {
+			return a.Line < b.Line
+		}
+		if a.Column != b.Column {
+			return a.Column < b.Column
+		}
+		return diags[i].Analyzer < diags[j].Analyzer
+	})
+	return diags, nil
+}
+
+// filterAllowed drops diagnostics waived by //cab:allow comments. A
+// waiver covers its own line and the line below it, so it can sit either
+// at the end of the flagged line or on its own line above.
+func filterAllowed(pkg *Package, diags []Diagnostic) []Diagnostic {
+	allowed := map[string]map[int][]string{} // filename -> line -> analyzer names
+	for _, f := range pkg.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				text := strings.TrimPrefix(c.Text, "//")
+				if !strings.HasPrefix(text, "cab:allow") {
+					continue
+				}
+				fields := strings.Fields(strings.TrimPrefix(text, "cab:allow"))
+				if len(fields) == 0 {
+					continue // a bare cab:allow waives nothing
+				}
+				pos := pkg.Fset.Position(c.Pos())
+				m := allowed[pos.Filename]
+				if m == nil {
+					m = map[int][]string{}
+					allowed[pos.Filename] = m
+				}
+				m[pos.Line] = append(m[pos.Line], fields[0])
+				m[pos.Line+1] = append(m[pos.Line+1], fields[0])
+			}
+		}
+	}
+	out := diags[:0]
+	for _, d := range diags {
+		waived := false
+		for _, name := range allowed[d.Pos.Filename][d.Pos.Line] {
+			if name == d.Analyzer {
+				waived = true
+				break
+			}
+		}
+		if !waived {
+			out = append(out, d)
+		}
+	}
+	return out
+}
+
+// hasDirective reports whether a doc comment group carries the given
+// //cab:NAME directive (exact word; an argument may follow).
+func hasDirective(doc *ast.CommentGroup, name string) bool {
+	_, ok := directiveArg(doc, name)
+	return ok
+}
+
+// directiveArg returns the argument text after a //cab:NAME directive in
+// doc ("" when the directive is bare) and whether the directive exists.
+func directiveArg(doc *ast.CommentGroup, name string) (string, bool) {
+	if doc == nil {
+		return "", false
+	}
+	prefix := "cab:" + name
+	for _, c := range doc.List {
+		text := strings.TrimPrefix(c.Text, "//")
+		if text == prefix {
+			return "", true
+		}
+		if strings.HasPrefix(text, prefix+" ") {
+			return strings.TrimSpace(text[len(prefix):]), true
+		}
+	}
+	return "", false
+}
+
+// typeSpecDoc returns the doc comment of a type spec, falling back to its
+// enclosing GenDecl's doc (the common `// comment\ntype T ...` shape).
+func typeSpecDoc(decl *ast.GenDecl, spec *ast.TypeSpec) *ast.CommentGroup {
+	if spec.Doc != nil {
+		return spec.Doc
+	}
+	return decl.Doc
+}
+
+// isTestFile reports whether pos falls in a _test.go file.
+func isTestFile(fset *token.FileSet, pos token.Pos) bool {
+	return strings.HasSuffix(fset.Position(pos).Filename, "_test.go")
+}
+
+// buildParents maps every AST node in the files to its parent node.
+func buildParents(files []*ast.File) map[ast.Node]ast.Node {
+	parents := map[ast.Node]ast.Node{}
+	for _, f := range files {
+		var stack []ast.Node
+		ast.Inspect(f, func(n ast.Node) bool {
+			if n == nil {
+				stack = stack[:len(stack)-1]
+				return false
+			}
+			if len(stack) > 0 {
+				parents[n] = stack[len(stack)-1]
+			}
+			stack = append(stack, n)
+			return true
+		})
+	}
+	return parents
+}
+
+// namedOf unwraps pointers and aliases down to a named type, or nil.
+func namedOf(t types.Type) *types.Named {
+	for {
+		switch u := t.(type) {
+		case *types.Pointer:
+			t = u.Elem()
+		case *types.Named:
+			return u
+		case *types.Alias:
+			t = types.Unalias(t)
+		default:
+			return nil
+		}
+	}
+}
+
+// fieldOf resolves a selector expression to the struct field it selects,
+// or nil when it is not a field selection.
+func fieldOf(info *types.Info, sel *ast.SelectorExpr) *types.Var {
+	if s, ok := info.Selections[sel]; ok {
+		if s.Kind() == types.FieldVal {
+			if v, ok := s.Obj().(*types.Var); ok {
+				return v
+			}
+		}
+		return nil
+	}
+	// Qualified identifiers (pkg.Var) resolve through Uses.
+	if v, ok := info.Uses[sel.Sel].(*types.Var); ok && v.IsField() {
+		return v
+	}
+	return nil
+}
+
+// pkgOfCall returns the import path of the package a qualified call
+// (pkg.Fn(...)) targets, or "".
+func pkgOfCall(info *types.Info, call *ast.CallExpr) string {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return ""
+	}
+	id, ok := sel.X.(*ast.Ident)
+	if !ok {
+		return ""
+	}
+	pn, ok := info.Uses[id].(*types.PkgName)
+	if !ok {
+		return ""
+	}
+	return pn.Imported().Path()
+}

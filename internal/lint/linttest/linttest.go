@@ -1,0 +1,256 @@
+// Package linttest is a self-contained analysistest analogue for the
+// cablint analyzers: it type-checks a fixture directory as one package,
+// runs an analyzer over it, and diffs the diagnostics against
+// `// want "regexp"` comments in the fixture source. It exists because
+// the container builds offline — golang.org/x/tools/go/analysis/analysistest
+// is not vendored — and the cablint framework is small enough that its
+// test harness fits in one file.
+package linttest
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"regexp"
+	"strconv"
+	"strings"
+	"sync"
+	"testing"
+
+	"cab/internal/lint"
+)
+
+// Run type-checks testdata/<dir> (relative to the calling test's
+// package directory) as a single package and asserts that the
+// analyzer's diagnostics exactly match the `// want` expectations in
+// the fixture files.
+//
+// Expectation syntax, one or more per comment, attached to the
+// comment's line:
+//
+//	x = 1 // want `plain access`
+//	y = 2 // want "first" "second"
+func Run(t *testing.T, a *lint.Analyzer, dir string) {
+	t.Helper()
+	fixdir := filepath.Join("testdata", dir)
+	pkg, err := loadFixture(fixdir)
+	if err != nil {
+		t.Fatalf("loading fixture %s: %v", fixdir, err)
+	}
+	diags, err := lint.Run(pkg, []*lint.Analyzer{a})
+	if err != nil {
+		t.Fatalf("running %s on %s: %v", a.Name, fixdir, err)
+	}
+
+	wants, err := collectWants(pkg.Fset, pkg.Files)
+	if err != nil {
+		t.Fatalf("parsing want comments in %s: %v", fixdir, err)
+	}
+
+	for _, d := range diags {
+		key := posKey{filepath.Base(d.Pos.Filename), d.Pos.Line}
+		if !wants.match(key, d.Message) {
+			t.Errorf("%s:%d: unexpected diagnostic: %s", key.file, key.line, d.Message)
+		}
+	}
+	for key, exps := range wants {
+		for _, e := range exps {
+			if !e.matched {
+				t.Errorf("%s:%d: expected diagnostic matching %q, got none", key.file, key.line, e.re)
+			}
+		}
+	}
+}
+
+type posKey struct {
+	file string
+	line int
+}
+
+type expectation struct {
+	re      *regexp.Regexp
+	matched bool
+}
+
+type wantMap map[posKey][]*expectation
+
+// match marks and returns whether any unmatched expectation at key
+// matches msg.
+func (w wantMap) match(key posKey, msg string) bool {
+	for _, e := range w[key] {
+		if !e.matched && e.re.MatchString(msg) {
+			e.matched = true
+			return true
+		}
+	}
+	return false
+}
+
+var wantRe = regexp.MustCompile(`//\s*want\s+(.*)`)
+
+// collectWants extracts `// want "re" ...` expectations from every
+// comment in the fixture files.
+func collectWants(fset *token.FileSet, files []*ast.File) (wantMap, error) {
+	wants := wantMap{}
+	for _, f := range files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				m := wantRe.FindStringSubmatch(c.Text)
+				if m == nil {
+					continue
+				}
+				pos := fset.Position(c.Pos())
+				key := posKey{filepath.Base(pos.Filename), pos.Line}
+				rest := strings.TrimSpace(m[1])
+				for rest != "" {
+					lit, rem, err := nextStringLit(rest)
+					if err != nil {
+						return nil, fmt.Errorf("%s:%d: %v", key.file, key.line, err)
+					}
+					re, err := regexp.Compile(lit)
+					if err != nil {
+						return nil, fmt.Errorf("%s:%d: bad want pattern %q: %v", key.file, key.line, lit, err)
+					}
+					wants[key] = append(wants[key], &expectation{re: re})
+					rest = strings.TrimSpace(rem)
+				}
+			}
+		}
+	}
+	return wants, nil
+}
+
+// nextStringLit splits one leading Go string literal (quoted or
+// backquoted) off s.
+func nextStringLit(s string) (lit, rest string, err error) {
+	if s == "" || (s[0] != '"' && s[0] != '`') {
+		return "", "", fmt.Errorf("want arguments must be string literals, got %q", s)
+	}
+	q := s[0]
+	for i := 1; i < len(s); i++ {
+		if s[i] == q && (q == '`' || s[i-1] != '\\') {
+			unq, err := strconv.Unquote(s[:i+1])
+			if err != nil {
+				return "", "", err
+			}
+			return unq, s[i+1:], nil
+		}
+	}
+	return "", "", fmt.Errorf("unterminated string literal in want comment: %q", s)
+}
+
+// loadFixture parses every .go file in dir as one package and
+// type-checks it against toolchain export data. Sizes are pinned to
+// gc/amd64 so padcheck fixtures are deterministic across hosts.
+func loadFixture(dir string) (*lint.Package, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	fset := token.NewFileSet()
+	var files []*ast.File
+	imports := map[string]bool{}
+	for _, e := range entries {
+		if e.IsDir() || !strings.HasSuffix(e.Name(), ".go") {
+			continue
+		}
+		f, err := parser.ParseFile(fset, filepath.Join(dir, e.Name()), nil,
+			parser.ParseComments|parser.SkipObjectResolution)
+		if err != nil {
+			return nil, err
+		}
+		files = append(files, f)
+		for _, imp := range f.Imports {
+			p, err := strconv.Unquote(imp.Path.Value)
+			if err != nil {
+				return nil, err
+			}
+			imports[p] = true
+		}
+	}
+	if len(files) == 0 {
+		return nil, fmt.Errorf("no .go files in %s", dir)
+	}
+
+	lookup, err := exportLookup(imports)
+	if err != nil {
+		return nil, err
+	}
+	conf := types.Config{
+		Importer: importer.ForCompiler(fset, "gc", lookup),
+		Sizes:    types.SizesFor("gc", "amd64"),
+	}
+	info := lint.NewInfo()
+	ipath := "cab/fixture/" + filepath.Base(dir)
+	tpkg, err := conf.Check(ipath, fset, files, info)
+	if err != nil {
+		return nil, fmt.Errorf("typecheck: %v", err)
+	}
+	return &lint.Package{
+		ImportPath: ipath,
+		Fset:       fset,
+		Files:      files,
+		Types:      tpkg,
+		Info:       info,
+		Sizes:      conf.Sizes,
+	}, nil
+}
+
+var (
+	exportMu    sync.Mutex
+	exportCache = map[string]string{} // import path -> export data file
+)
+
+// exportLookup resolves the fixture's imports (and their deps) to
+// export data files via `go list -export`, cached process-wide.
+func exportLookup(imports map[string]bool) (func(string) (io.ReadCloser, error), error) {
+	exportMu.Lock()
+	defer exportMu.Unlock()
+	var missing []string
+	for p := range imports {
+		if _, ok := exportCache[p]; !ok {
+			missing = append(missing, p)
+		}
+	}
+	if len(missing) > 0 {
+		cmd := exec.Command("go", append([]string{
+			"list", "-e", "-deps", "-export", "-json=ImportPath,Export",
+		}, missing...)...)
+		var stderr bytes.Buffer
+		cmd.Stderr = &stderr
+		out, err := cmd.Output()
+		if err != nil {
+			return nil, fmt.Errorf("go list -export: %v\n%s", err, stderr.String())
+		}
+		dec := json.NewDecoder(bytes.NewReader(out))
+		for {
+			var p struct{ ImportPath, Export string }
+			if err := dec.Decode(&p); err == io.EOF {
+				break
+			} else if err != nil {
+				return nil, err
+			}
+			if p.Export != "" {
+				exportCache[p.ImportPath] = p.Export
+			}
+		}
+	}
+	return func(path string) (io.ReadCloser, error) {
+		exportMu.Lock()
+		file, ok := exportCache[path]
+		exportMu.Unlock()
+		if !ok {
+			return nil, fmt.Errorf("no export data for %q", path)
+		}
+		return os.Open(file)
+	}, nil
+}

@@ -1,0 +1,165 @@
+// Standalone package loading for cablint: a `go list -export` driven
+// loader that parses the target packages from source and type-checks
+// them against the toolchain's export data, entirely offline. This is
+// what `cablint ./...` uses; under `go vet -vettool=` the go command
+// supplies an equivalent config per package instead (see cmd/cablint).
+package lint
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"runtime"
+	"strings"
+)
+
+// listPkg is the subset of `go list -json` output the loader consumes.
+type listPkg struct {
+	ImportPath string
+	Name       string
+	Dir        string
+	Export     string
+	GoFiles    []string
+	Imports    []string
+	Standard   bool
+	DepOnly    bool
+	ForTest    string
+	Incomplete bool
+	Error      *struct{ Err string }
+}
+
+// Load lists patterns in dir (a module directory), including test
+// variants, and returns a type-checked Package for every matched
+// non-standard package. Dependencies are imported from compiler export
+// data, so only the target packages are parsed from source.
+func Load(dir string, patterns ...string) ([]*Package, error) {
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	pkgs, err := goList(dir, true, patterns)
+	if err != nil {
+		return nil, err
+	}
+	exports := map[string]string{}
+	for _, p := range pkgs {
+		if p.Export != "" {
+			exports[p.ImportPath] = p.Export
+		}
+	}
+	var out []*Package
+	for _, p := range pkgs {
+		if p.DepOnly || p.Standard || strings.HasSuffix(p.ImportPath, ".test") {
+			continue // dependencies and generated test mains
+		}
+		if p.Error != nil {
+			return nil, fmt.Errorf("go list: %s: %s", p.ImportPath, p.Error.Err)
+		}
+		pkg, err := checkPackage(p, exports)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, pkg)
+	}
+	return out, nil
+}
+
+// goList runs `go list -deps -export -json` (plus -test when tests is
+// set) and decodes the stream of package objects.
+func goList(dir string, tests bool, patterns []string) ([]*listPkg, error) {
+	args := []string{
+		"list", "-e", "-deps", "-export",
+		"-json=ImportPath,Name,Dir,Export,GoFiles,Imports,Standard,DepOnly,ForTest,Incomplete,Error",
+	}
+	if tests {
+		args = append(args, "-test")
+	}
+	args = append(args, patterns...)
+	cmd := exec.Command("go", args...)
+	cmd.Dir = dir
+	var stderr bytes.Buffer
+	cmd.Stderr = &stderr
+	outb, err := cmd.Output()
+	if err != nil {
+		return nil, fmt.Errorf("go list: %v\n%s", err, stderr.String())
+	}
+	dec := json.NewDecoder(bytes.NewReader(outb))
+	var pkgs []*listPkg
+	for {
+		p := new(listPkg)
+		if err := dec.Decode(p); err == io.EOF {
+			break
+		} else if err != nil {
+			return nil, fmt.Errorf("go list: decoding output: %v", err)
+		}
+		pkgs = append(pkgs, p)
+	}
+	return pkgs, nil
+}
+
+// checkPackage parses and type-checks one listed package against the
+// export data table.
+func checkPackage(p *listPkg, exports map[string]string) (*Package, error) {
+	fset := token.NewFileSet()
+	var files []*ast.File
+	for _, name := range p.GoFiles {
+		path := name
+		if !filepath.IsAbs(path) {
+			path = filepath.Join(p.Dir, name)
+		}
+		f, err := parser.ParseFile(fset, path, nil, parser.ParseComments|parser.SkipObjectResolution)
+		if err != nil {
+			return nil, err
+		}
+		files = append(files, f)
+	}
+	// Within a test variant, imports of in-test packages are spelled
+	// plainly in source ("cab/internal/rt") but listed resolved
+	// ("cab/internal/rt [cab/internal/rt.test]"); prefer the resolved
+	// variant so export_test.go symbols exist.
+	resolve := map[string]string{}
+	for _, imp := range p.Imports {
+		base := imp
+		if i := strings.Index(imp, " ["); i >= 0 {
+			base = imp[:i]
+			resolve[base] = imp // bracketed variant wins
+		} else if _, ok := resolve[base]; !ok {
+			resolve[base] = imp
+		}
+	}
+	lookup := func(path string) (io.ReadCloser, error) {
+		if r, ok := resolve[path]; ok {
+			path = r
+		}
+		file, ok := exports[path]
+		if !ok {
+			return nil, fmt.Errorf("no export data for %q", path)
+		}
+		return os.Open(file)
+	}
+	conf := types.Config{
+		Importer: importer.ForCompiler(fset, "gc", lookup),
+		Sizes:    types.SizesFor("gc", runtime.GOARCH),
+	}
+	info := NewInfo()
+	tpkg, err := conf.Check(p.ImportPath, fset, files, info)
+	if err != nil {
+		return nil, fmt.Errorf("typecheck %s: %v", p.ImportPath, err)
+	}
+	return &Package{
+		ImportPath: p.ImportPath,
+		Fset:       fset,
+		Files:      files,
+		Types:      tpkg,
+		Info:       info,
+		Sizes:      conf.Sizes,
+	}, nil
+}

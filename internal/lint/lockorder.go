@@ -1,0 +1,320 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// LockOrder builds the package's static lock-acquisition graph and
+// demands it be acyclic. Nodes are mutexes keyed by declaration site
+// ("Runtime.mu", "Job.mu") — instance-insensitive, because two
+// goroutines interleaving the same two *fields* in opposite orders is
+// the deadlock shape regardless of which instances they hold. Edges are
+// added when a Lock happens while another mutex is statically held,
+// either directly in the function body or inside an intra-package callee
+// (computed to a fixpoint over the call graph). A cycle A→B→A means one
+// goroutine can hold A wanting B while another holds B wanting A; a
+// self-edge means re-acquiring a non-reentrant mutex the caller already
+// holds, which deadlocks immediately.
+//
+// Heuristics and their limits: calls through function values and
+// cross-package calls are invisible; `defer mu.Unlock()` keeps the mutex
+// held to the end of the function (source order approximates dominance).
+// Those limits are why the runtime keeps its lock hierarchy shallow —
+// and why this analyzer can afford to be exact about what it does see.
+var LockOrder = &Analyzer{
+	Name: "lockorder",
+	Doc:  "the package's static lock-acquisition graph must be acyclic",
+	Run:  runLockOrder,
+}
+
+// lockEvent is one Lock/Unlock observed in source order within a
+// function body, or a call that may acquire more locks.
+type lockEvent struct {
+	pos    token.Pos
+	key    string      // mutex key for lock/unlock events
+	unlock bool        // Unlock/RUnlock
+	defer_ bool        // appeared under defer (held until return)
+	callee *types.Func // non-nil: intra-package call
+}
+
+func runLockOrder(pass *Pass) error {
+	info := pass.TypesInfo
+
+	// Per-function event streams, in source order.
+	events := map[*types.Func][]lockEvent{}
+	for _, f := range pass.Files {
+		for _, d := range f.Decls {
+			fd, ok := d.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			fn, ok := info.Defs[fd.Name].(*types.Func)
+			if !ok {
+				continue
+			}
+			events[fn] = collectLockEvents(info, fd.Body)
+		}
+	}
+
+	// mayAcquire: every mutex key a function can lock, transitively.
+	// Fixpoint because the call graph may have cycles.
+	mayAcquire := map[*types.Func]map[string]bool{}
+	for fn := range events {
+		mayAcquire[fn] = map[string]bool{}
+	}
+	for changed := true; changed; {
+		changed = false
+		for fn, evs := range events {
+			for _, ev := range evs {
+				if ev.callee != nil {
+					for k := range mayAcquire[ev.callee] {
+						if !mayAcquire[fn][k] {
+							mayAcquire[fn][k] = true
+							changed = true
+						}
+					}
+				} else if !ev.unlock && !mayAcquire[fn][ev.key] {
+					mayAcquire[fn][ev.key] = true
+					changed = true
+				}
+			}
+		}
+	}
+
+	// Build the edge set held → acquired, remembering one witness
+	// position per edge for the diagnostic.
+	type edge struct{ from, to string }
+	witness := map[edge]token.Pos{}
+	addEdge := func(from, to string, pos token.Pos) {
+		e := edge{from, to}
+		if _, ok := witness[e]; !ok {
+			witness[e] = pos
+		}
+	}
+	fns := make([]*types.Func, 0, len(events))
+	for fn := range events {
+		fns = append(fns, fn)
+	}
+	sort.Slice(fns, func(i, j int) bool { return fns[i].Pos() < fns[j].Pos() })
+	for _, fn := range fns {
+		held := map[string]bool{}
+		for _, ev := range events[fn] {
+			switch {
+			case ev.callee != nil:
+				for h := range held {
+					for k := range mayAcquire[ev.callee] {
+						addEdge(h, k, ev.pos)
+					}
+				}
+			case ev.unlock:
+				if !ev.defer_ {
+					delete(held, ev.key)
+				}
+			default:
+				for h := range held {
+					addEdge(h, ev.key, ev.pos)
+				}
+				held[ev.key] = true
+			}
+		}
+	}
+
+	// Self-edges deadlock without needing a second goroutine.
+	edges := map[string][]string{}
+	for e, pos := range witness {
+		if e.from == e.to {
+			pass.Reportf(pos,
+				"%s is acquired while already held: non-reentrant mutex self-deadlock", e.from)
+			continue
+		}
+		edges[e.from] = append(edges[e.from], e.to)
+	}
+	for _, tos := range edges {
+		sort.Strings(tos)
+	}
+
+	// Cycle detection over the remaining graph; report each cycle once
+	// at the witness of its lexicographically first edge.
+	reported := map[string]bool{}
+	nodes := make([]string, 0, len(edges))
+	for n := range edges {
+		nodes = append(nodes, n)
+	}
+	sort.Strings(nodes)
+	for _, start := range nodes {
+		if cycle := findCycle(edges, start); cycle != nil {
+			key := canonicalCycle(cycle)
+			if reported[key] {
+				continue
+			}
+			reported[key] = true
+			pos := witness[edge{cycle[0], cycle[1]}]
+			pass.Reportf(pos,
+				"lock-order cycle: %s — two goroutines taking these in opposite order deadlock; pick one global order",
+				strings.Join(cycle, " -> "))
+		}
+	}
+	return nil
+}
+
+// collectLockEvents walks body in source order, recording mutex
+// operations and intra-package calls. Function literals are skipped:
+// they run at an unknown time, not under the enclosing held set.
+func collectLockEvents(info *types.Info, body *ast.BlockStmt) []lockEvent {
+	var evs []lockEvent
+	var walk func(n ast.Node, deferred bool)
+	walk = func(n ast.Node, deferred bool) {
+		ast.Inspect(n, func(n ast.Node) bool {
+			switch x := n.(type) {
+			case *ast.FuncLit:
+				return false
+			case *ast.DeferStmt:
+				walk(x.Call, true)
+				return false
+			case *ast.CallExpr:
+				if key, unlock, ok := mutexOp(info, x); ok {
+					evs = append(evs, lockEvent{pos: x.Pos(), key: key, unlock: unlock, defer_: deferred})
+					return true
+				}
+				if fn := staticCallee(info, x); fn != nil && !deferred {
+					evs = append(evs, lockEvent{pos: x.Pos(), callee: fn})
+				}
+			}
+			return true
+		})
+	}
+	walk(body, false)
+	return evs
+}
+
+// mutexOp recognises m.Lock/Unlock/RLock/RUnlock/TryLock on a
+// sync.Mutex or sync.RWMutex value and returns the mutex key.
+func mutexOp(info *types.Info, call *ast.CallExpr) (key string, unlock, ok bool) {
+	sel, isSel := call.Fun.(*ast.SelectorExpr)
+	if !isSel {
+		return "", false, false
+	}
+	switch sel.Sel.Name {
+	case "Lock", "RLock", "TryLock", "TryRLock":
+		unlock = false
+	case "Unlock", "RUnlock":
+		unlock = true
+	default:
+		return "", false, false
+	}
+	s, isMethod := info.Selections[sel]
+	if !isMethod || s.Kind() != types.MethodVal {
+		return "", false, false
+	}
+	recv := s.Recv()
+	named := namedOf(recv)
+	if named == nil {
+		return "", false, false
+	}
+	pkg := named.Obj().Pkg()
+	if pkg == nil || pkg.Path() != "sync" {
+		return "", false, false
+	}
+	if name := named.Obj().Name(); name != "Mutex" && name != "RWMutex" {
+		return "", false, false
+	}
+	return mutexKey(info, sel.X), unlock, true
+}
+
+// mutexKey names a mutex by its declaration site: "Owner.field" for a
+// struct field (resolved through any receiver expression), the variable
+// name for package-level or local mutexes, or the expression text as a
+// last resort.
+func mutexKey(info *types.Info, e ast.Expr) string {
+	switch x := ast.Unparen(e).(type) {
+	case *ast.Ident:
+		if v, ok := info.Uses[x].(*types.Var); ok {
+			return v.Name()
+		}
+	case *ast.SelectorExpr:
+		if v := fieldOf(info, x); v != nil {
+			return fieldOwner(info, x) + "." + v.Name()
+		}
+		if v, ok := info.Uses[x.Sel].(*types.Var); ok {
+			return v.Name() // pkg-level var accessed via selector
+		}
+	}
+	return types.ExprString(e)
+}
+
+// fieldOwner names the struct type that declares the selected field,
+// using the selection's receiver type so embedded instances of the same
+// struct map to the same key.
+func fieldOwner(info *types.Info, sel *ast.SelectorExpr) string {
+	s, ok := info.Selections[sel]
+	if !ok {
+		return "struct"
+	}
+	t := s.Recv()
+	// Step through the selection index to the struct that actually
+	// declares the final field.
+	idx := s.Index()
+	for _, i := range idx[:len(idx)-1] {
+		st, ok := t.Underlying().(*types.Struct)
+		if !ok {
+			break
+		}
+		t = st.Field(i).Type()
+	}
+	if n := namedOf(t); n != nil {
+		return n.Obj().Name()
+	}
+	return fmt.Sprintf("%s", t)
+}
+
+// findCycle looks for a cycle reachable from start and returns it as a
+// node list with the repeated node at both ends, or nil.
+func findCycle(edges map[string][]string, start string) []string {
+	var path []string
+	onPath := map[string]bool{}
+	done := map[string]bool{}
+	var dfs func(n string) []string
+	dfs = func(n string) []string {
+		if onPath[n] {
+			// Slice the path from the first occurrence of n.
+			for i, p := range path {
+				if p == n {
+					return append(append([]string{}, path[i:]...), n)
+				}
+			}
+		}
+		if done[n] {
+			return nil
+		}
+		onPath[n] = true
+		path = append(path, n)
+		for _, m := range edges[n] {
+			if c := dfs(m); c != nil {
+				return c
+			}
+		}
+		path = path[:len(path)-1]
+		onPath[n] = false
+		done[n] = true
+		return nil
+	}
+	return dfs(start)
+}
+
+// canonicalCycle produces a rotation-invariant key for a cycle.
+func canonicalCycle(cycle []string) string {
+	body := cycle[:len(cycle)-1] // drop the repeated tail
+	min := 0
+	for i := range body {
+		if body[i] < body[min] {
+			min = i
+		}
+	}
+	rot := append(append([]string{}, body[min:]...), body[:min]...)
+	return strings.Join(rot, "->")
+}

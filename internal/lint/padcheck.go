@@ -1,0 +1,136 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/types"
+	"strconv"
+)
+
+// defaultLineBytes is the padding granularity the runtime designs for:
+// two 64-byte lines, so adjacent-line hardware prefetchers cannot
+// re-couple neighbouring elements (see internal/rt's cacheLine const).
+const defaultLineBytes = 128
+
+// PadCheck verifies that structs annotated //cab:padded actually deliver
+// the false-sharing isolation their pad fields promise, computed from
+// types.Sizes rather than eyeballed arithmetic. For an annotated struct
+// (optionally //cab:padded <bytes> to override the 128-byte default):
+//
+//   - sizeof(T) must be a non-zero multiple of the line size, so
+//     elements of a []T never share an interior line group. This is the
+//     check that actually bites: add one field to a padded shard and
+//     forget to shrink the pad, and every element of the array starts
+//     drifting across line boundaries.
+//   - T must contain at least one blank pad field `_ [N]byte`.
+//   - every blank pad must end exactly on a line boundary, so the
+//     fields after it start on a fresh line.
+//   - no pad may be a whole line or larger (the struct should shrink).
+var PadCheck = &Analyzer{
+	Name: "padcheck",
+	Doc:  "structs annotated //cab:padded must land fields on separate cache-line groups (from types.Sizes)",
+	Run:  runPadCheck,
+}
+
+func runPadCheck(pass *Pass) error {
+	for _, f := range pass.Files {
+		for _, d := range f.Decls {
+			gd, ok := d.(*ast.GenDecl)
+			if !ok {
+				continue
+			}
+			for _, spec := range gd.Specs {
+				ts, ok := spec.(*ast.TypeSpec)
+				if !ok {
+					continue
+				}
+				doc := typeSpecDoc(gd, ts)
+				arg, ok := directiveArg(doc, "padded")
+				if !ok {
+					continue
+				}
+				line := int64(defaultLineBytes)
+				if arg != "" {
+					n, err := strconv.ParseInt(arg, 10, 64)
+					if err != nil || n <= 0 {
+						pass.Reportf(ts.Pos(), "//cab:padded argument %q is not a positive line size", arg)
+						continue
+					}
+					line = n
+				}
+				checkPadded(pass, ts, line)
+			}
+		}
+	}
+	return nil
+}
+
+func checkPadded(pass *Pass, ts *ast.TypeSpec, line int64) {
+	obj, ok := pass.TypesInfo.Defs[ts.Name]
+	if !ok {
+		return
+	}
+	st, ok := obj.Type().Underlying().(*types.Struct)
+	if !ok {
+		pass.Reportf(ts.Pos(), "%s is annotated //cab:padded but is not a struct", ts.Name.Name)
+		return
+	}
+	sizes := pass.TypesSizes
+	size := sizes.Sizeof(obj.Type())
+	if size == 0 || size%line != 0 {
+		pass.Reportf(ts.Pos(),
+			"%s is annotated //cab:padded but its size %d is not a multiple of %d bytes: adjacent elements share a cache-line group (fix the pad: %s)",
+			ts.Name.Name, size, line, padHint(st, sizes, size, line))
+	}
+
+	fields := make([]*types.Var, st.NumFields())
+	for i := range fields {
+		fields[i] = st.Field(i)
+	}
+	offsets := sizes.Offsetsof(fields)
+	pads := 0
+	for i, fv := range fields {
+		if !isPadField(fv) {
+			continue
+		}
+		pads++
+		end := offsets[i] + sizes.Sizeof(fv.Type())
+		if end%line != 0 {
+			pass.Reportf(fv.Pos(),
+				"pad field of %s ends at offset %d, not on a %d-byte boundary: the fields after it straddle a line group",
+				ts.Name.Name, end, line)
+		}
+		if padLen := sizes.Sizeof(fv.Type()); padLen >= line {
+			pass.Reportf(fv.Pos(),
+				"pad field of %s is %d bytes (>= one %d-byte line group): shrink it by %d",
+				ts.Name.Name, padLen, line, line*(padLen/line))
+		}
+	}
+	if pads == 0 {
+		pass.Reportf(ts.Pos(),
+			"%s is annotated //cab:padded but declares no blank `_ [N]byte` pad field",
+			ts.Name.Name)
+	}
+}
+
+// isPadField reports whether fv is a blank byte-array pad.
+func isPadField(fv *types.Var) bool {
+	if fv.Name() != "_" {
+		return false
+	}
+	arr, ok := fv.Type().Underlying().(*types.Array)
+	if !ok {
+		return false
+	}
+	b, ok := arr.Elem().Underlying().(*types.Basic)
+	return ok && b.Kind() == types.Uint8
+}
+
+// padHint suggests the pad adjustment that would restore alignment.
+func padHint(st *types.Struct, sizes types.Sizes, size, line int64) string {
+	need := (line - size%line) % line
+	if need == 0 {
+		need = line
+	}
+	return fmt.Sprintf("size %d needs %d more bytes to reach the next %d-byte boundary", size, need, line)
+}

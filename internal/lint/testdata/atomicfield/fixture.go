@@ -1,0 +1,66 @@
+// Fixture for the atomicfield analyzer: variables and fields touched by
+// sync/atomic anywhere must be accessed atomically everywhere.
+package fixture
+
+import "sync/atomic"
+
+// seq is accessed atomically in next, so every other access must be too.
+var seq int64
+
+func next() int64 {
+	return atomic.AddInt64(&seq, 1)
+}
+
+func peek() int64 {
+	return seq // want "seq is accessed with sync/atomic elsewhere"
+}
+
+func rewind() {
+	seq = 0 // want "seq is accessed with sync/atomic elsewhere"
+}
+
+func peekAtomically() int64 {
+	return atomic.LoadInt64(&seq) // sanctioned: no diagnostic
+}
+
+// counterShard mixes an atomic field with a plain one.
+type counterShard struct {
+	hits  int64
+	drops int64 // never touched atomically: plain access stays legal
+}
+
+var shard counterShard
+
+func bump() {
+	atomic.AddInt64(&shard.hits, 1)
+	shard.drops++ // ok: drops is not in the atomic set
+}
+
+func snapshot() (int64, int64) {
+	return shard.hits, shard.drops // want "counterShard.hits is accessed with sync/atomic elsewhere"
+}
+
+// Per-element atomics on an array attribute the discipline to the array
+// field itself.
+type gauges struct {
+	slot [4]uint64
+}
+
+var g gauges
+
+func inc(i int) {
+	atomic.AddUint64(&g.slot[i], 1)
+}
+
+func readSlot(i int) uint64 {
+	return g.slot[i] // want "gauges.slot is accessed with sync/atomic elsewhere"
+}
+
+// plainOnly is never touched by sync/atomic; plain access everywhere is
+// fine and produces no diagnostics.
+var plainOnly int64
+
+func usePlain() int64 {
+	plainOnly++
+	return plainOnly
+}

@@ -1,0 +1,100 @@
+// Fixture for the hookseam analyzer: nil-guarded hook calls,
+// Armed()-guarded tracer records, and copy-on-write discipline for data
+// published through atomic.Pointer.
+package fixture
+
+import (
+	"sync/atomic"
+
+	"cab/internal/obs"
+)
+
+// Hook mirrors rt.FaultHook: an optional seam that is nil when disabled.
+//
+//cab:hook
+type Hook func(err error)
+
+type runtime struct {
+	fault Hook
+	tr    *obs.Tracer
+	table atomic.Pointer[map[string]int]
+	rules atomic.Pointer[[]int]
+}
+
+// --- rule A: hook calls need a dominating nil check ---
+
+func (r *runtime) hookGuardedLocal(err error) {
+	if h := r.fault; h != nil {
+		h(err) // ok: guarded through a local
+	}
+}
+
+func (r *runtime) hookGuardedDirect(err error) {
+	if r.fault != nil {
+		r.fault(err) // ok: guarded directly
+	}
+}
+
+func (r *runtime) hookGuardedCompound(err error, on bool) {
+	if on && r.fault != nil {
+		r.fault(err) // ok: guard is one arm of a &&
+	}
+}
+
+func (r *runtime) hookUnguarded(err error) {
+	r.fault(err) // want "not dominated by a nil check"
+}
+
+func (r *runtime) hookWrongGuard(err error) {
+	h := r.fault
+	if r.tr != nil { // checks the wrong thing
+		h(err) // want "not dominated by a nil check"
+	}
+}
+
+// --- rule B: Tracer.Record needs a dominating Armed() check ---
+
+func (r *runtime) traceGuarded(now int64) {
+	if r.tr.Armed() {
+		r.tr.Record(0, obs.EvSpawn, obs.TierIntra, 0, 1) // ok
+	}
+}
+
+func (r *runtime) traceGuardedViaLocal(now int64) {
+	traced := r.tr.Armed()
+	if traced {
+		r.tr.Record(0, obs.EvSpawn, obs.TierIntra, 0, 1) // ok: hoisted guard
+	}
+}
+
+func (r *runtime) traceUnguarded(now int64) {
+	r.tr.Record(0, obs.EvSpawn, obs.TierIntra, 0, 1) // want "not dominated by an Armed.. check"
+}
+
+// --- rule C: atomic.Pointer data is copy-on-write ---
+
+func (r *runtime) cowMapBad() {
+	m := *r.table.Load()
+	m["x"] = 1        // want "index assignment mutates data loaded from an atomic.Pointer"
+	delete(m, "y")    // want "delete mutates data loaded from an atomic.Pointer"
+}
+
+func (r *runtime) cowSliceBad() {
+	s := *r.rules.Load()
+	s = append(s, 1) // want "append to a loaded slice"
+	_ = s
+}
+
+func (r *runtime) cowDirectBad() {
+	(*r.table.Load())["x"] = 1 // want "index assignment mutates data loaded from an atomic.Pointer"
+}
+
+func (r *runtime) cowGood() {
+	cur := *r.table.Load()
+	next := make(map[string]int, len(cur)+1)
+	for k, v := range cur {
+		next[k] = v // ok: next is a fresh private copy
+	}
+	next["x"] = 1
+	r.table.Store(&next)
+}

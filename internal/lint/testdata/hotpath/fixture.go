@@ -1,0 +1,99 @@
+// Fixture for the hotpath analyzer: //cab:hotpath functions and their
+// intra-package callees must avoid escape-prone constructs.
+package fixture
+
+import "fmt"
+
+//cab:hotpath
+func hotRoot(x int) int {
+	return reached(x)
+}
+
+// reached is not annotated itself but is called from hotRoot, so the
+// discipline propagates into it.
+func reached(x int) int {
+	s := make([]int, x) // want "make allocates"
+	return len(s)
+}
+
+//cab:hotpath
+func hotConstructs(a, b string, n int) {
+	_ = a + b              // want "string concatenation allocates"
+	_ = fmt.Sprintf("%d", n) // want "fmt call formats through reflection"
+	p := new(int)          // want "new allocates"
+	_ = p
+	m := map[int]int{} // want "map literal allocates"
+	_ = m
+	sl := []int{1, 2} // want "slice literal allocates"
+	_ = sl
+	q := &point{1, 2} // want "address of composite literal"
+	_ = q
+	bs := []byte(a) // want "conversion copies and allocates"
+	_ = bs
+	go reached(n) // want "go statement launches a goroutine"
+}
+
+type point struct{ x, y int }
+
+//cab:hotpath
+func hotClosure(n int) func() int {
+	f := func() int { return n } // want "closure captures variables"
+	return f
+}
+
+//cab:hotpath
+func hotDeferLoop(n int) {
+	for i := 0; i < n; i++ {
+		defer clean(i) // want "defer inside a loop allocates per iteration"
+	}
+}
+
+// A single defer at function scope is open-coded by the compiler; the
+// deferred closure does not allocate even though it captures.
+//
+//cab:hotpath
+func hotDeferOK(n int) (out int) {
+	defer func() { out += n }()
+	return n
+}
+
+type boxer interface{ box() }
+
+type payload struct{ n int }
+
+func (payload) box() {}
+
+func sink(boxer) {}
+
+//cab:hotpath
+func hotBoxing(v payload, i boxer) {
+	sink(v)      // want "boxed into an interface"
+	sink(i)      // ok: already an interface, no conversion
+	sink(&v)     // ok: pointers are stored directly in the interface word
+	_ = boxer(v) // want "conversion to interface boxes the value"
+	_ = boxer(&v) // ok: pointer-shaped conversion does not allocate
+}
+
+// Cold branches are waived line by line, and the waiver must name the
+// analyzer.
+//
+//cab:hotpath
+func hotWaived(n int) []int {
+	//cab:allow hotpath refill is the slow path by construction
+	return make([]int, n)
+}
+
+// clean is in the hot set (called from hotDeferLoop) but allocation-free.
+func clean(x int) int {
+	return x * 2
+}
+
+// coldFunc is not reachable from any //cab:hotpath root; everything is
+// permitted here.
+func coldFunc(n int) []string {
+	out := make([]string, 0, n)
+	for i := 0; i < n; i++ {
+		out = append(out, fmt.Sprint(i))
+	}
+	return out
+}

@@ -1,0 +1,103 @@
+// Fixture for the lockorder analyzer: the static lock-acquisition graph
+// must be acyclic, and no mutex class may be re-acquired while held.
+package fixture
+
+import "sync"
+
+// --- an A/B inversion between two functions ---
+
+type alpha struct{ mu sync.Mutex }
+type beta struct{ mu sync.Mutex }
+
+var va alpha
+var vb beta
+
+func lockAlphaBeta() {
+	va.mu.Lock()
+	vb.mu.Lock() // want "lock-order cycle: alpha.mu -> beta.mu -> alpha.mu"
+	vb.mu.Unlock()
+	va.mu.Unlock()
+}
+
+func lockBetaAlpha() {
+	vb.mu.Lock()
+	va.mu.Lock() // the other half of the inversion
+	va.mu.Unlock()
+	vb.mu.Unlock()
+}
+
+// --- self-deadlock through an intra-package call ---
+
+type gamma struct{ mu sync.Mutex }
+
+var vg gamma
+
+func outer() {
+	vg.mu.Lock()
+	inner() // want "gamma.mu is acquired while already held"
+	vg.mu.Unlock()
+}
+
+func inner() {
+	vg.mu.Lock()
+	vg.mu.Unlock()
+}
+
+// --- direct re-acquisition in one body ---
+
+type delta struct{ mu sync.Mutex }
+
+var vd delta
+
+func reacquire() {
+	vd.mu.Lock()
+	vd.mu.Lock() // want "delta.mu is acquired while already held"
+	vd.mu.Unlock()
+	vd.mu.Unlock()
+}
+
+// --- clean patterns that must stay silent ---
+
+type parent struct {
+	mu       sync.Mutex
+	children childSet
+}
+
+type childSet struct{ mu sync.RWMutex }
+
+var vp parent
+
+// consistent parent -> child order from every path: a hierarchy, not a
+// cycle.
+func parentThenChild() {
+	vp.mu.Lock()
+	defer vp.mu.Unlock() // defer keeps parent.mu held to return; still no cycle
+	vp.children.mu.Lock()
+	vp.children.mu.Unlock()
+}
+
+func parentThenChildRead() {
+	vp.mu.Lock()
+	vp.children.mu.RLock()
+	vp.children.mu.RUnlock()
+	vp.mu.Unlock()
+}
+
+// sequential (non-nested) acquisition creates no edge.
+func sequential() {
+	va.mu.Lock()
+	va.mu.Unlock()
+	vb.mu.Lock()
+	vb.mu.Unlock()
+}
+
+// a closure's locks do not run under the enclosing held set.
+func closureIsDetached() (func(), func()) {
+	lockA := func() {
+		va.mu.Lock()
+		va.mu.Unlock()
+	}
+	vb.mu.Lock()
+	vb.mu.Unlock()
+	return lockA, nil
+}

@@ -1,0 +1,75 @@
+// Fixture for the padcheck analyzer. All sizes below assume gc/amd64
+// layout, which the test harness pins via types.SizesFor("gc", "amd64").
+package fixture
+
+// goodShard is the shape the runtime uses: payload plus a blank pad
+// filling the 128-byte line group exactly.
+//
+//cab:padded
+type goodShard struct {
+	n     int64
+	busy  uint32
+	_     [116]byte
+}
+
+// badSize grew a trailing field without shrinking the pad, so adjacent
+// elements of a []badSize drift across line-group boundaries.
+//
+//cab:padded
+type badSize struct { // want "size 136 is not a multiple of 128"
+	n int64
+	_ [120]byte
+	m int64
+}
+
+// badPad has a pad that stops mid-line, so the field after it straddles
+// a line group. The struct total is also off.
+//
+//cab:padded
+type badPad struct { // want "size 80 is not a multiple of 128"
+	a int64
+	_ [64]byte // want "ends at offset 72, not on a 128-byte boundary"
+	b int64
+}
+
+// noPad is annotated but holds no blank pad at all.
+//
+//cab:padded
+type noPad struct { // want "declares no blank"
+	a int64
+	b [120]byte
+}
+
+// fatPad is a whole line group larger than it needs to be.
+//
+//cab:padded
+type fatPad struct {
+	a int64
+	_ [248]byte // want "248 bytes .>= one 128-byte line group."
+}
+
+// smallLine overrides the line size; 64-byte isolation is enough here.
+//
+//cab:padded 64
+type smallLine struct {
+	a int64
+	_ [56]byte
+}
+
+// notStruct cannot be padded.
+//
+//cab:padded
+type notStruct int // want "not a struct"
+
+// badArg rejects a malformed line-size argument.
+//
+//cab:padded next-line
+type badArg struct { // want "is not a positive line size"
+	_ [128]byte
+}
+
+// unannotated structs are never checked, whatever their size.
+type unannotated struct {
+	a int64
+	b int32
+}

@@ -37,6 +37,8 @@ type Histogram struct {
 
 // Record adds one sample. Negative samples clamp to zero (they can only
 // arise from clock weirdness; losing them beats corrupting a bucket index).
+//
+//cab:hotpath
 func (h *Histogram) Record(v int64) {
 	if v < 0 {
 		v = 0

@@ -122,18 +122,29 @@ type slot struct {
 // atomic add — two writers landing on the same physical slot across a wrap
 // can tear it, which the seq validation turns into a dropped event rather
 // than a corrupt one.
+//
+// The write cursors sit on their own line group and the trailing pad
+// rounds the struct up to a full multiple of it: without the tail pad the
+// struct was 160 bytes, so in the contiguous rings slice one ring's
+// read-mostly mask/slot shared a line group with the next ring's write-hot
+// pos cursor — exactly the false sharing the interior pad exists to
+// prevent (found by cablint's padcheck).
+//
+//cab:padded
 type ring struct {
 	pos  atomic.Uint64 // next logical index
 	arm  atomic.Uint64 // logical index when the tracer was last armed
 	_    [cacheLinePad - 16]byte
 	mask uint64
 	slot []slot
+	_    [cacheLinePad - 32]byte
 }
 
 // cacheLinePad keeps neighbouring rings' write cursors off each other's
 // cache lines (the rings slice is contiguous).
 const cacheLinePad = 128
 
+//cab:hotpath
 func (r *ring) record(now int64, meta uint64, job int64) {
 	i := r.pos.Add(1) - 1
 	s := &r.slot[i&r.mask]
@@ -219,6 +230,8 @@ func NewTracer(workers, depth int) *Tracer {
 
 // Armed reports whether events are being recorded. This is the disarmed
 // fast path: instrumentation points guard on it and pay one atomic load.
+//
+//cab:hotpath
 func (t *Tracer) Armed() bool { return t.armed.Load() }
 
 // Arm starts a trace window: the snapshot boundary moves to now (events
@@ -241,11 +254,17 @@ func (t *Tracer) Disarm() { t.armed.Store(false) }
 
 // Now returns the event timestamp for this instant: ns since the tracer's
 // start (monotonic).
+//
+//cab:hotpath
 func (t *Tracer) Now() int64 { return int64(time.Since(t.start)) }
 
 // Record appends an event to worker's ring (-1 selects the external
 // ring). Callers guard with Armed(); Record itself does not re-check, so a
-// racing Disarm can admit a final in-flight event — harmless.
+// racing Disarm can admit a final in-flight event — harmless. cablint's
+// hookseam analyzer enforces the Armed() guard at every call site outside
+// this package.
+//
+//cab:hotpath
 func (t *Tracer) Record(worker int, k Kind, tier uint8, level int, job int64) {
 	ri := worker
 	if ri < 0 || ri >= len(t.rings)-1 {

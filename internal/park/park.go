@@ -55,18 +55,21 @@ func NewLot() *Lot {
 // Prepare announces intent to park and returns the current epoch. The
 // caller must re-probe its work sources after Prepare and then call
 // exactly one of Park (with the returned epoch) or Cancel.
+//cab:hotpath
 func (l *Lot) Prepare() uint64 {
 	l.waiters.Add(1)
 	return l.epoch.Load()
 }
 
 // Cancel withdraws a Prepare (the re-probe found work after all).
+//cab:hotpath
 func (l *Lot) Cancel() {
 	l.waiters.Add(-1)
 }
 
 // Park blocks until the epoch moves past e. It returns immediately if a
 // publish already happened since the matching Prepare.
+//cab:hotpath
 func (l *Lot) Park(e uint64) {
 	l.mu.Lock()
 	for l.epoch.Load() == e {
@@ -80,6 +83,7 @@ func (l *Lot) Park(e uint64) {
 // new work reachable (queue empty→nonempty transition, busy-flag clear,
 // join completion, root arrival). When nobody is parked it costs one
 // atomic load.
+//cab:hotpath
 func (l *Lot) Publish() {
 	if l.waiters.Load() == 0 {
 		return

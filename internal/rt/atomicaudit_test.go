@@ -1,0 +1,67 @@
+package rt
+
+import (
+	"io"
+	"sync"
+	"testing"
+
+	"cab/internal/work"
+)
+
+// TestConcurrentObserversRace is the regression net behind cablint's
+// atomicfield analyzer: every observer surface (Stats, SquadStats,
+// Health, Metrics, DumpState, TraceSnapshot) reads the worker shards and
+// job registry while workers are mutating them, so any shard or
+// heartbeat field read without sync/atomic shows up here under -race.
+// The analyzer catches mixed access statically; this test catches the
+// case the analyzer cannot see — a field that is only ever accessed
+// plainly but is still shared across goroutines.
+func TestConcurrentObserversRace(t *testing.T) {
+	r := newRT(t, quadTopo(), 1)
+	r.StartTrace()
+
+	const jobs = 8
+	stop := make(chan struct{})
+	var obsWG sync.WaitGroup
+	obsWG.Add(1)
+	go func() {
+		defer obsWG.Done()
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			_ = r.Stats()
+			_ = r.SquadStats()
+			_ = r.Health()
+			_ = r.Metrics()
+			_ = r.TraceSnapshot()
+			r.DumpState(io.Discard)
+		}
+	}()
+
+	var jobWG sync.WaitGroup
+	for i := 0; i < jobs; i++ {
+		jobWG.Add(1)
+		go func() {
+			defer jobWG.Done()
+			err := r.Run(func(p work.Proc) {
+				for k := 0; k < 64; k++ {
+					p.Spawn(func(q work.Proc) {
+						q.Spawn(func(work.Proc) {})
+						q.Sync()
+					})
+				}
+				p.Sync()
+			})
+			if err != nil {
+				t.Error(err)
+			}
+		}()
+	}
+	jobWG.Wait()
+	close(stop)
+	obsWG.Wait()
+	_ = r.StopTrace()
+}

@@ -141,6 +141,8 @@ type task struct {
 // when they change, so steady state pays plain loads); parked marks lot
 // waits; stalled is the watchdog's verdict (the one field not written by
 // the owning worker).
+//
+//cab:padded
 type statShard struct {
 	spawns       atomic.Int64
 	interSpawns  atomic.Int64
@@ -159,13 +161,20 @@ type statShard struct {
 // squadFlag is a per-squad busy_state flag on its own cache line; the
 // unpadded []atomic.Bool packed all squads into one line, so every
 // busy-flag write invalidated every squad's cached copy (false sharing).
+// atomic.Bool is a uint32 underneath (4 bytes, not 1): the original
+// cacheLine-1 pad made the struct 132 bytes, so elements of []squadFlag
+// drifted across line-group boundaries (found by cablint's padcheck).
+//
+//cab:padded
 type squadFlag struct {
 	busy atomic.Bool
-	_    [cacheLine - 1]byte
+	_    [cacheLine - 4]byte
 }
 
 // frameCache is a worker-private stack of recycled task frames, padded so
 // neighbouring workers' freelist headers do not false-share.
+//
+//cab:padded
 type frameCache struct {
 	free []*task
 	_    [cacheLine - 24]byte
@@ -410,7 +419,9 @@ func jid(j *Job) int64 {
 
 // newFrame hands out a task frame from the worker's freelist, refilling
 // from the shared overflow pool in batches; only a fully drained runtime
-// allocates.
+// allocates. The appends and the terminal new below are that drained slow
+// path, waived line by line so any new allocation in the fast path trips
+// cablint.
 func (r *Runtime) newFrame(worker int) *task {
 	fc := &r.frames[worker]
 	if n := len(fc.free); n > 0 {
@@ -426,6 +437,7 @@ func (r *Runtime) newFrame(worker int) *task {
 			k = 0
 		}
 		take := r.overflow[k:n]
+		//cab:allow hotpath refill batch: freelist capacity stabilizes at frameCacheCap
 		fc.free = append(fc.free, take[:len(take)-1]...)
 		t := take[len(take)-1]
 		for i := range take {
@@ -436,6 +448,7 @@ func (r *Runtime) newFrame(worker int) *task {
 		return t
 	}
 	r.overflowMu.Unlock()
+	//cab:allow hotpath drained-pool slow path: the only steady-state frame allocation
 	return new(task)
 }
 
@@ -448,17 +461,20 @@ func (r *Runtime) freeFrame(worker int, t *task) {
 	t.job = nil
 	fc := &r.frames[worker]
 	if len(fc.free) < frameCacheCap {
+		//cab:allow hotpath amortized growth: capacity stabilizes at frameCacheCap
 		fc.free = append(fc.free, t)
 		return
 	}
 	// Cache full: keep the hot top half local, dump the rest to overflow.
 	k := len(fc.free) - frameBatch
 	r.overflowMu.Lock()
+	//cab:allow hotpath overflow spill is the bounded slow path
 	r.overflow = append(r.overflow, fc.free[k:]...)
 	r.overflowMu.Unlock()
 	for i := k; i < len(fc.free); i++ {
 		fc.free[i] = nil
 	}
+	//cab:allow hotpath writes within capacity after the spill above
 	fc.free = append(fc.free[:k], t)
 }
 
@@ -532,12 +548,17 @@ func (c *ctx) Load(uint64, int64)     {}
 func (c *ctx) Store(uint64, int64)    {}
 func (c *ctx) Prefetch(uint64, int64) {}
 
+// Spawn queues fn as a child of the current task.
+//
+//cab:hotpath
 func (c *ctx) Spawn(fn work.Fn) { c.spawn(fn, -1) }
 
 // SpawnHint validates the squad hint explicitly: anything outside
 // [0, Squads) — negative or too large — is clamped to "no preference", so
 // the child is scheduled exactly like a plain Spawn (it lands in the
 // spawner's squad pool but carries no affinity for matched stealing).
+//
+//cab:hotpath
 func (c *ctx) SpawnHint(squad int, fn work.Fn) {
 	if squad < 0 || squad >= c.r.topo.Sockets {
 		squad = -1
@@ -597,6 +618,8 @@ func (c *ctx) spawn(fn work.Fn, hint int) {
 // Sync blocks until all of this task's children are done, helping by
 // executing queued tasks meanwhile; when no help is findable it parks on
 // the runtime's lot until new work or a join completion is published.
+//
+//cab:hotpath
 func (c *ctx) Sync() {
 	r := c.r
 	t := c.t
@@ -692,6 +715,8 @@ func (r *Runtime) clearBusy(sq int) {
 // still runs the join protocol, so cancelled DAGs drain cleanly. The frame
 // is recycled before the parent is notified — by then nothing references
 // it.
+//
+//cab:hotpath
 func (r *Runtime) execute(worker int, t *task, rng *xrand.Source) {
 	c := &t.c
 	c.r, c.worker, c.t, c.rng = r, worker, t, rng
@@ -752,7 +777,9 @@ func (r *Runtime) runBody(t *task, c *ctx) {
 	}
 	defer func() {
 		if v := recover(); v != nil {
+			//cab:allow hotpath panic path: the job is already failing, allocation is irrelevant
 			tp := &TaskPanic{
+				//cab:allow hotpath panic path: capturing the stack requires a copy
 				Value: v, Level: t.level, Stack: string(debug.Stack()),
 			}
 			if j := t.job; j != nil {
@@ -900,6 +927,8 @@ func (r *Runtime) runRoot(w int, root *task, rng *xrand.Source) {
 // findTask implements Algorithm I: own intra pool; within-squad intra
 // steal while the squad is busy; head worker obtains/steals inter tasks
 // when it is not.
+//
+//cab:hotpath
 func (r *Runtime) findTask(w int, rng *xrand.Source) *task {
 	if t := r.intra[w].Pop(); t != nil {
 		return t
@@ -951,6 +980,8 @@ func (r *Runtime) findTask(w int, rng *xrand.Source) *task {
 
 // findIntra is the restricted helping mode of a leaf inter-socket task:
 // own pool, then squad mates.
+//
+//cab:hotpath
 func (r *Runtime) findIntra(w int, rng *xrand.Source) *task {
 	if t := r.intra[w].Pop(); t != nil {
 		return t
@@ -986,6 +1017,8 @@ func (r *Runtime) stealIntraFrom(w, sq int, rng *xrand.Source) *task {
 }
 
 // stealAny is the BL == 0 degenerate mode: random victim over all workers.
+//
+//cab:hotpath
 func (r *Runtime) stealAny(w int, rng *xrand.Source) *task {
 	n := r.workers
 	if n == 1 {

@@ -176,8 +176,9 @@ func TestLevelsVisible(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if rootLevel != 0 || childLevel != 1 {
-		t.Fatalf("levels = %d/%d, want 0/1", rootLevel, childLevel)
+	if atomic.LoadInt64(&rootLevel) != 0 || atomic.LoadInt64(&childLevel) != 1 {
+		t.Fatalf("levels = %d/%d, want 0/1",
+			atomic.LoadInt64(&rootLevel), atomic.LoadInt64(&childLevel))
 	}
 }
 
@@ -185,8 +186,8 @@ func TestSquadsReported(t *testing.T) {
 	r := newRT(t, quadTopo(), 1)
 	var squads int64
 	_ = r.Run(func(p work.Proc) { atomic.StoreInt64(&squads, int64(p.Squads())) })
-	if squads != 2 {
-		t.Fatalf("Squads() = %d, want 2", squads)
+	if atomic.LoadInt64(&squads) != 2 {
+		t.Fatalf("Squads() = %d, want 2", atomic.LoadInt64(&squads))
 	}
 }
 

@@ -5,6 +5,11 @@
 # diff allocs/op and ns/op over time (EXPERIMENTS.md records the notable
 # befores/afters).
 #
+# Before benchmarking it runs cablint -json over the repository and folds
+# the diagnostic counts into BENCH_lint.json: a perf number recorded while
+# a hot-path invariant is broken is not comparable, so any violation
+# aborts the run.
+#
 # Usage: scripts/bench.sh [output.json]   (default: BENCH_rt.json)
 set -eu
 
@@ -12,6 +17,14 @@ cd "$(dirname "$0")/.."
 out="${1:-BENCH_rt.json}"
 raw="$(mktemp)"
 trap 'rm -f "$raw"' EXIT
+
+# Static-analysis gate: cablint must be clean before perf is measured.
+go build -o bin/cablint ./cmd/cablint
+if ! ./bin/cablint -json ./... > BENCH_lint.json; then
+    echo "cablint found violations (see BENCH_lint.json); not benchmarking a broken invariant" >&2
+    exit 1
+fi
+echo "cablint clean: $(python3 -c "import json; c = json.load(open('BENCH_lint.json'))['counts']; print(', '.join(f'{k}={v}' for k, v in sorted(c.items())))")"
 
 go test -run '^$' -bench 'BenchmarkSpawnSync$|BenchmarkSpawnSyncTraced$|BenchmarkSpawnSyncFaultHook$|BenchmarkStealThroughput$|BenchmarkInterPool$|BenchmarkJobThroughput$' \
     -benchmem -count=5 . | tee "$raw"
