@@ -8,7 +8,7 @@
 
 GO ?= go
 
-.PHONY: all build test race vet lint check bench
+.PHONY: all build test race vet lint check bench bench-check
 
 all: build vet test
 
@@ -34,3 +34,8 @@ check: build vet lint test
 
 bench:
 	./scripts/bench.sh
+
+# Regression gate: re-measure and fail on >25% regression in the headline
+# numbers (SpawnSync ns/op, JobThroughput jobs/sec) vs committed BENCH_rt.json.
+bench-check:
+	./scripts/bench.sh --check

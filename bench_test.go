@@ -121,6 +121,9 @@ func BenchmarkSeedRobustness(b *testing.B) { benchExperiment(b, "seeds", 0.25) }
 func BenchmarkSpawnSync(b *testing.B)          { rtbench.SpawnSync(b) }
 func BenchmarkSpawnSyncTraced(b *testing.B)    { rtbench.SpawnSyncTraced(b) }
 func BenchmarkSpawnSyncFaultHook(b *testing.B) { rtbench.SpawnSyncFaultHook(b) }
-func BenchmarkStealThroughput(b *testing.B) { rtbench.StealThroughput(b) }
-func BenchmarkInterPool(b *testing.B)       { rtbench.InterPool(b) }
-func BenchmarkJobThroughput(b *testing.B)   { rtbench.JobThroughput(b) }
+func BenchmarkStealThroughput(b *testing.B)    { rtbench.StealThroughput(b) }
+func BenchmarkStealBatchTiered(b *testing.B)   { rtbench.StealBatchTiered(b) }
+func BenchmarkInterPool(b *testing.B)          { rtbench.InterPool(b) }
+func BenchmarkJobThroughput(b *testing.B)      { rtbench.JobThroughput(b) }
+func BenchmarkJobSubmit(b *testing.B)          { rtbench.JobSubmit(b) }
+func BenchmarkSubmitBatchLatency(b *testing.B) { rtbench.SubmitBatchLatency(b) }

@@ -212,12 +212,16 @@ func (s *Scheduler) Run(fn TaskFunc) error {
 func (s *Scheduler) Stats() Stats {
 	st := s.rt.Stats()
 	return Stats{
-		Spawns:       st.Spawns,
-		InterSpawns:  st.InterSpawns,
-		StealsIntra:  st.StealsIntra,
-		StealsInter:  st.StealsInter,
-		FailedSteals: st.FailedSteals,
-		Helps:        st.Helps,
+		Spawns:           st.Spawns,
+		InterSpawns:      st.InterSpawns,
+		StealsIntra:      st.StealsIntra,
+		StealsInter:      st.StealsInter,
+		StealsInterTasks: st.StealsInterTasks,
+		BatchSteals:      st.BatchSteals,
+		FailedSteals:     st.FailedSteals,
+		Helps:            st.Helps,
+		ProbesIntra:      st.ProbesIntra,
+		ProbesInter:      st.ProbesInter,
 	}
 }
 
@@ -229,12 +233,16 @@ func (s *Scheduler) SquadStats() []Stats {
 	out := make([]Stats, len(per))
 	for i, st := range per {
 		out[i] = Stats{
-			Spawns:       st.Spawns,
-			InterSpawns:  st.InterSpawns,
-			StealsIntra:  st.StealsIntra,
-			StealsInter:  st.StealsInter,
-			FailedSteals: st.FailedSteals,
-			Helps:        st.Helps,
+			Spawns:           st.Spawns,
+			InterSpawns:      st.InterSpawns,
+			StealsIntra:      st.StealsIntra,
+			StealsInter:      st.StealsInter,
+			StealsInterTasks: st.StealsInterTasks,
+			BatchSteals:      st.BatchSteals,
+			FailedSteals:     st.FailedSteals,
+			Helps:            st.Helps,
+			ProbesIntra:      st.ProbesIntra,
+			ProbesInter:      st.ProbesInter,
 		}
 	}
 	return out
@@ -270,12 +278,24 @@ func (s *Scheduler) Close() {
 
 // Stats are cumulative scheduler event counters.
 type Stats struct {
-	Spawns       int64 // tasks created
-	InterSpawns  int64 // tasks created into the inter-socket tier
-	StealsIntra  int64 // successful intra-socket steals
-	StealsInter  int64 // successful inter-socket steals (head workers)
-	FailedSteals int64 // empty or lost probes
-	Helps        int64 // tasks executed while a worker waited at a Sync
+	Spawns      int64 // tasks created
+	InterSpawns int64 // tasks created into the inter-socket tier
+	StealsIntra int64 // successful intra-socket steals
+	// StealsInter counts cross-socket steal operations; StealsInterTasks
+	// counts the tasks those operations carried. Steal-half batching makes
+	// the second exceed the first — the gap is socket crossings saved —
+	// and BatchSteals counts the operations that moved more than one task.
+	StealsInter      int64
+	StealsInterTasks int64
+	BatchSteals      int64
+	FailedSteals     int64 // scans that found nothing anywhere
+	Helps            int64 // tasks executed while a worker waited at a Sync
+	// ProbesIntra and ProbesInter count individual steal attempts by
+	// victim distance; distance-graded retries keep ProbesIntra well above
+	// ProbesInter on starved squads (local retries are nearly free, socket
+	// crossings are not).
+	ProbesIntra int64
+	ProbesInter int64
 }
 
 // BoundaryLevel computes the paper's Eq. 4 directly: the smallest DAG

@@ -220,14 +220,18 @@ func runRTBench() {
 		{"SpawnSyncTraced", rtbench.SpawnSyncTraced},
 		{"SpawnSyncFaultHook", rtbench.SpawnSyncFaultHook},
 		{"StealThroughput", rtbench.StealThroughput},
+		{"StealBatchTiered", rtbench.StealBatchTiered},
 		{"InterPool", rtbench.InterPool},
 		{"JobThroughput", rtbench.JobThroughput},
+		{"JobSubmit", rtbench.JobSubmit},
+		{"SubmitBatchLatency", rtbench.SubmitBatchLatency},
 	} {
 		res := testing.Benchmark(mb.fn)
 		fmt.Printf("   %-16s %10d iters %12.1f ns/op %8d B/op %6d allocs/op",
 			mb.name, res.N, float64(res.T.Nanoseconds())/float64(res.N),
 			res.AllocedBytesPerOp(), res.AllocsPerOp())
-		for _, unit := range []string{"steals/op", "tasks/op", "jobs/sec"} {
+		for _, unit := range []string{"steals/op", "tasks/op", "jobs/sec",
+			"intersteals/op", "tasks/steal", "jobs/op"} {
 			if v, ok := res.Extra[unit]; ok {
 				fmt.Printf(" %10.1f %s", v, unit)
 			}

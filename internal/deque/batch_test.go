@@ -1,0 +1,218 @@
+package deque
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"testing"
+)
+
+// TestStealHalfIntoBasics checks the steal-half arithmetic and ordering on
+// a quiet deque: ceil(n/2) oldest elements, oldest first, capped by dst.
+func TestStealHalfIntoBasics(t *testing.T) {
+	l := NewLocked[int]()
+	vals := make([]int, 7)
+	for i := range vals {
+		vals[i] = i
+		l.Push(&vals[i])
+	}
+	dst := make([]*int, 16)
+	if got := l.StealHalfInto(dst, nil); got != 4 { // ceil(7/2)
+		t.Fatalf("StealHalfInto took %d, want 4", got)
+	}
+	for i := 0; i < 4; i++ {
+		if *dst[i] != i {
+			t.Fatalf("dst[%d] = %d, want %d (oldest first)", i, *dst[i], i)
+		}
+	}
+	if l.Len() != 3 {
+		t.Fatalf("Len = %d after steal-half, want 3", l.Len())
+	}
+	// Cap by dst length.
+	if got := l.StealHalfInto(dst[:1], nil); got != 1 {
+		t.Fatalf("capped StealHalfInto took %d, want 1", got)
+	}
+	if *dst[0] != 4 {
+		t.Fatalf("capped steal got %d, want 4", *dst[0])
+	}
+	// Empty dst and empty deque both take nothing.
+	if got := l.StealHalfInto(nil, nil); got != 0 {
+		t.Fatalf("nil dst took %d", got)
+	}
+	l.StealHalfInto(dst, nil)
+	l.StealHalfInto(dst, nil)
+	if got := l.StealHalfInto(dst, nil); got != 0 {
+		t.Fatalf("empty deque took %d", got)
+	}
+}
+
+// TestStealHalfIntoMatch checks the match-filtered grab: only matching
+// elements move, non-matching ones keep their relative order, and a fully
+// non-matching pool returns 0 without disturbing anything.
+func TestStealHalfIntoMatch(t *testing.T) {
+	l := NewLocked[int]()
+	vals := make([]int, 8)
+	for i := range vals {
+		vals[i] = i
+		l.Push(&vals[i])
+	}
+	even := func(x *int) bool { return *x%2 == 0 }
+	dst := make([]*int, 16)
+	n := l.StealHalfInto(dst, even)
+	if n != 4 { // ceil(8/2) = 4, and there are exactly 4 evens
+		t.Fatalf("match steal took %d, want 4", n)
+	}
+	for i := 0; i < n; i++ {
+		if *dst[i]%2 != 0 {
+			t.Fatalf("match steal returned odd %d", *dst[i])
+		}
+	}
+	// The odds remain, in order.
+	want := []int{1, 3, 5, 7}
+	for _, w := range want {
+		got := l.Steal()
+		if got == nil || *got != w {
+			t.Fatalf("remainder Steal = %v, want %d", got, w)
+		}
+	}
+	// Nothing matches: take nothing, leave the pool intact.
+	for i := range vals {
+		l.Push(&vals[i])
+	}
+	none := func(x *int) bool { return false }
+	if n := l.StealHalfInto(dst, none); n != 0 {
+		t.Fatalf("no-match steal took %d, want 0", n)
+	}
+	if l.Len() != len(vals) {
+		t.Fatalf("no-match steal disturbed the pool: Len = %d", l.Len())
+	}
+}
+
+// TestPushBatch checks batch append order and the wasEmpty report.
+func TestPushBatch(t *testing.T) {
+	l := NewLocked[int]()
+	vals := make([]int, 5)
+	ptrs := make([]*int, 5)
+	for i := range vals {
+		vals[i] = i
+		ptrs[i] = &vals[i]
+	}
+	if !l.PushBatch(ptrs[:3]) {
+		t.Fatal("PushBatch into empty deque should report wasEmpty")
+	}
+	if l.PushBatch(ptrs[3:]) {
+		t.Fatal("PushBatch into non-empty deque reported wasEmpty")
+	}
+	if l.PushBatch(nil) {
+		t.Fatal("empty PushBatch reported wasEmpty")
+	}
+	for i := 0; i < 5; i++ {
+		got := l.Steal()
+		if got == nil || *got != i {
+			t.Fatalf("Steal = %v, want %d", got, i)
+		}
+	}
+}
+
+// TestStealHalfIntoStress runs concurrent steal-half thieves (some
+// match-filtered), single-steal thieves and batch requeuers against an
+// active owner and verifies no element is lost or duplicated. Run under
+// -race this doubles as the memory-model check for the batched paths.
+func TestStealHalfIntoStress(t *testing.T) {
+	const (
+		thieves = 4
+		items   = 20000
+	)
+	l := NewLocked[int]()
+	taken := make([]atomic.Int32, items) // per-element delivery count
+	var got atomic.Int64                 // total elements accounted for
+	vals := make([]int, items)
+	for i := range vals {
+		vals[i] = i
+	}
+
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	account := func(x *int) {
+		if x == nil {
+			return
+		}
+		if taken[*x].Add(1) != 1 {
+			t.Errorf("element %d delivered twice", *x)
+		}
+		got.Add(1)
+	}
+	evens := func(x *int) bool { return *x%2 == 0 }
+	for th := 0; th < thieves; th++ {
+		wg.Add(1)
+		go func(th int) {
+			defer wg.Done()
+			dst := make([]*int, 8)
+			for {
+				select {
+				case <-stop:
+					// Final drain so the count converges even if the owner
+					// pushed after our last probe.
+					for {
+						n := l.StealHalfInto(dst, nil)
+						if n == 0 {
+							return
+						}
+						for i := 0; i < n; i++ {
+							account(dst[i])
+						}
+					}
+				default:
+				}
+				switch th % 3 {
+				case 0: // batched thief
+					n := l.StealHalfInto(dst, nil)
+					for i := 0; i < n; i++ {
+						account(dst[i])
+					}
+				case 1: // match-filtered batched thief with fallback
+					n := l.StealHalfInto(dst, evens)
+					if n == 0 {
+						n = l.StealHalfInto(dst, nil)
+					}
+					for i := 0; i < n; i++ {
+						account(dst[i])
+					}
+				case 2: // single-steal thief racing the batched ones
+					account(l.Steal())
+				}
+				runtime.Gosched()
+			}
+		}(th)
+	}
+	// The owner interleaves pushes (single and batched) with pops.
+	popped := 0
+	for i := 0; i < items; {
+		if i%7 == 3 && i+4 <= items {
+			batch := make([]*int, 4)
+			for k := 0; k < 4; k++ {
+				batch[k] = &vals[i+k]
+			}
+			l.PushBatch(batch)
+			i += 4
+		} else {
+			l.Push(&vals[i])
+			i++
+		}
+		if i%5 == 0 {
+			account(l.Pop())
+			popped++
+		}
+		if i%64 == 0 {
+			runtime.Gosched()
+		}
+	}
+	close(stop)
+	wg.Wait()
+	if g := got.Load(); g != items {
+		t.Fatalf("accounted for %d elements, want %d", g, items)
+	}
+	if l.Len() != 0 {
+		t.Fatalf("deque not drained: Len = %d", l.Len())
+	}
+}

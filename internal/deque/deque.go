@@ -255,7 +255,8 @@ func (l *Locked[T]) StealMatch(match func(*T) bool) *T {
 // first), implementing Hendler & Shavit's steal-half policy, which the
 // paper cites as orthogonal to CAB and integrable with it. It returns nil
 // when the deque is empty. The returned slice is the only allocation; the
-// ring itself just advances its head cursor.
+// ring itself just advances its head cursor. Hot paths use StealHalfInto
+// instead, which reuses a caller buffer.
 func (l *Locked[T]) StealHalf() []*T {
 	l.mu.Lock()
 	defer l.mu.Unlock()
@@ -272,6 +273,77 @@ func (l *Locked[T]) StealHalf() []*T {
 	}
 	l.head += k
 	return out
+}
+
+// StealHalfInto is the allocation-free batched steal the runtime's
+// cross-socket path uses: in one lock acquisition it removes up to
+// ceil(n/2) elements satisfying match — oldest first, capped by len(dst) —
+// writes them into dst and reports how many it took. A nil match accepts
+// everything. When match is non-nil and nothing satisfies it, it takes
+// nothing and returns 0 (callers fall back to an unconditional grab), so a
+// hinted thief never displaces work destined for somebody else.
+//
+// Non-matching elements keep their relative order: removing from the
+// middle shifts only the head-side prefix inside the ring, the same
+// compaction StealMatch uses, and affinity hits cluster near the head so
+// the shifts stay short.
+//
+//cab:hotpath
+func (l *Locked[T]) StealHalfInto(dst []*T, match func(*T) bool) int {
+	if len(dst) == 0 {
+		return 0
+	}
+	l.mu.Lock()
+	n := l.tail - l.head
+	if n == 0 {
+		l.mu.Unlock()
+		return 0
+	}
+	want := (n + 1) / 2
+	if int64(len(dst)) < want {
+		want = int64(len(dst))
+	}
+	took := int64(0)
+	for i := l.head; i < l.tail && took < want; i++ {
+		x := l.buf[i&l.mask()]
+		if match != nil && !match(x) {
+			continue
+		}
+		// Close the gap: shift the head-side prefix up one slot, then
+		// advance the head past the vacated oldest position.
+		for j := i; j > l.head; j-- {
+			l.buf[j&l.mask()] = l.buf[(j-1)&l.mask()]
+		}
+		l.buf[l.head&l.mask()] = nil
+		l.head++
+		dst[took] = x
+		took++
+	}
+	l.mu.Unlock()
+	return int(took)
+}
+
+// PushBatch appends xs oldest-first at the tail in one lock acquisition —
+// the requeue half of a batched steal (the thief keeps one task and parks
+// the rest in its own squad's pool). It reports whether the deque was
+// empty beforehand, so callers can publish the empty→nonempty transition.
+//
+//cab:hotpath
+func (l *Locked[T]) PushBatch(xs []*T) bool {
+	if len(xs) == 0 {
+		return false
+	}
+	l.mu.Lock()
+	wasEmpty := l.head == l.tail
+	for _, x := range xs {
+		if l.tail-l.head == int64(len(l.buf)) {
+			l.grow()
+		}
+		l.buf[l.tail&l.mask()] = x
+		l.tail++
+	}
+	l.mu.Unlock()
+	return wasEmpty
 }
 
 // Len returns the current number of elements.

@@ -1,0 +1,154 @@
+package jobs
+
+import (
+	"context"
+	"errors"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"cab/internal/rt"
+	"cab/internal/work"
+)
+
+// TestSubmitBatchBasic admits a batch larger than one admission chunk and
+// checks every job runs, futures come back in order, and the service
+// counters account for the whole batch.
+func TestSubmitBatchBasic(t *testing.T) {
+	e := newEngine(t, rt.Config{Topo: quadTopo(), Seed: 1}, Config{})
+	const n = 100 // spans several submitChunk-sized admission sections
+	var ran atomic.Int64
+	order := make([]atomic.Int64, n)
+	fns := make([]work.Fn, n)
+	for i := range fns {
+		i := i
+		fns[i] = func(p work.Proc) {
+			ran.Add(1)
+			order[i].Add(1)
+		}
+	}
+	js, err := e.SubmitBatch(context.Background(), fns)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(js) != n {
+		t.Fatalf("got %d futures, want %d", len(js), n)
+	}
+	for i := 1; i < n; i++ {
+		if js[i].ID() <= js[i-1].ID() {
+			t.Fatalf("IDs not in admission order: js[%d]=%d, js[%d]=%d", i-1, js[i-1].ID(), i, js[i].ID())
+		}
+	}
+	for _, j := range js {
+		if err := j.Wait(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := ran.Load(); got != n {
+		t.Fatalf("%d bodies ran, want %d", got, n)
+	}
+	for i := range order {
+		if order[i].Load() != 1 {
+			t.Fatalf("body %d ran %d times", i, order[i].Load())
+		}
+	}
+	st := e.Stats()
+	if st.Submitted != n || st.Completed != n {
+		t.Fatalf("Stats submitted=%d completed=%d, want %d/%d", st.Submitted, st.Completed, n, n)
+	}
+}
+
+// TestSubmitBatchEmpty checks the zero-length fast path.
+func TestSubmitBatchEmpty(t *testing.T) {
+	e := newEngine(t, rt.Config{Topo: uniTopo(), Seed: 1}, Config{})
+	js, err := e.SubmitBatch(context.Background(), nil)
+	if err != nil || len(js) != 0 {
+		t.Fatalf("empty batch: js=%v err=%v", js, err)
+	}
+}
+
+// TestSubmitBatchPartialReject fills a tiny Reject-policy queue with a
+// parked job, then over-submits a batch: the admitted prefix must run and
+// the call must report ErrQueueFull for the rest.
+func TestSubmitBatchPartialReject(t *testing.T) {
+	e := newEngine(t, rt.Config{Topo: uniTopo(), Seed: 1, QueueDepth: 4}, Config{Policy: Reject})
+	// Wedge the single worker so queued roots cannot drain.
+	release := make(chan struct{})
+	blocker, err := e.Submit(context.Background(), func(p work.Proc) { <-release })
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Give the worker a beat to adopt the blocker so the queue is empty.
+	time.Sleep(20 * time.Millisecond)
+
+	fns := make([]work.Fn, 10) // queue holds 4
+	var ran atomic.Int64
+	for i := range fns {
+		fns[i] = func(p work.Proc) { ran.Add(1) }
+	}
+	js, berr := e.SubmitBatch(context.Background(), fns)
+	if !errors.Is(berr, ErrQueueFull) {
+		t.Fatalf("over-submit err = %v, want ErrQueueFull", berr)
+	}
+	if len(js) == 0 || len(js) >= len(fns) {
+		t.Fatalf("admitted %d of %d, want a proper non-empty prefix", len(js), len(fns))
+	}
+	close(release)
+	if err := blocker.Wait(); err != nil {
+		t.Fatal(err)
+	}
+	for _, j := range js {
+		if err := j.Wait(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := ran.Load(); got != int64(len(js)) {
+		t.Fatalf("%d bodies ran, want %d (the admitted prefix)", got, len(js))
+	}
+	if st := e.Stats(); st.Rejected != int64(len(fns)-len(js)) {
+		t.Fatalf("Rejected = %d, want %d", st.Rejected, len(fns)-len(js))
+	}
+}
+
+// TestSubmitBatchContextCancel checks the shared batch watcher: cancelling
+// the batch's context cancels every still-running job, and each Wait
+// reports the context error.
+func TestSubmitBatchContextCancel(t *testing.T) {
+	e := newEngine(t, rt.Config{Topo: quadTopo(), Seed: 1}, Config{})
+	ctx, cancel := context.WithCancel(context.Background())
+	started := make(chan struct{}, 8)
+	release := make(chan struct{})
+	fns := make([]work.Fn, 4)
+	for i := range fns {
+		fns[i] = func(p work.Proc) {
+			started <- struct{}{}
+			<-release
+		}
+	}
+	js, err := e.SubmitBatch(ctx, fns)
+	if err != nil {
+		t.Fatal(err)
+	}
+	<-started // at least one job is running
+	cancel()
+	close(release)
+	for _, j := range js {
+		werr := j.Wait()
+		if werr == nil {
+			continue // finished before the cancellation landed
+		}
+		if !errors.Is(werr, context.Canceled) {
+			t.Fatalf("Wait = %v, want context.Canceled", werr)
+		}
+	}
+}
+
+// TestSubmitBatchClosed checks post-Close batch submission fails fast.
+func TestSubmitBatchClosed(t *testing.T) {
+	e := newEngine(t, rt.Config{Topo: uniTopo(), Seed: 1}, Config{})
+	e.Close()
+	_, err := e.SubmitBatch(context.Background(), []work.Fn{func(p work.Proc) {}})
+	if !errors.Is(err, ErrClosed) {
+		t.Fatalf("err = %v, want ErrClosed", err)
+	}
+}

@@ -79,15 +79,23 @@ type Stats struct {
 	DeadlineExceeded int64
 }
 
+// jobSlabSize is how many Job futures one engine slab block holds; blocks
+// are never recycled (a handed-out *Job stays valid forever), so the
+// per-submit allocation amortizes to 1/jobSlabSize of a block.
+const jobSlabSize = 256
+
 // Engine is a concurrent job-submission front end over one rt.Runtime.
 // All methods are safe for concurrent use.
 type Engine struct {
 	r      *rt.Runtime
 	policy Policy
+	onDone func() // hoisted completion hook: one closure per engine, not per submit
 
 	mu     sync.Mutex
 	closed bool
 	live   sync.WaitGroup // one count per admitted, unfinished job
+	slab   []Job          // current handout block, guarded by mu
+	slabN  int
 
 	submitted atomic.Int64
 	completed atomic.Int64
@@ -99,7 +107,22 @@ type Engine struct {
 // New returns an engine submitting into r. The engine does not own r:
 // Close drains the engine's jobs but leaves the runtime running.
 func New(r *rt.Runtime, cfg Config) *Engine {
-	return &Engine{r: r, policy: cfg.Policy}
+	e := &Engine{r: r, policy: cfg.Policy}
+	e.onDone = func() { e.completed.Add(1); e.live.Done() }
+	return e
+}
+
+// newJobLocked hands out the next Job future from the engine's slab.
+// Caller holds e.mu. Slab memory is zeroed, which is a Job's valid
+// initial state; the caller fills eng/rj/ctx once admission succeeds.
+func (e *Engine) newJobLocked() *Job {
+	if e.slabN == len(e.slab) {
+		e.slab = make([]Job, jobSlabSize)
+		e.slabN = 0
+	}
+	j := &e.slab[e.slabN]
+	e.slabN++
+	return j
 }
 
 // Runtime returns the underlying scheduler runtime.
@@ -135,6 +158,7 @@ func (e *Engine) Submit(ctx context.Context, fn work.Fn) (*Job, error) {
 		return nil, ErrClosed
 	}
 	e.live.Add(1)
+	j := e.newJobLocked()
 	e.mu.Unlock()
 	if err := ctx.Err(); err != nil {
 		e.live.Done()
@@ -143,7 +167,7 @@ func (e *Engine) Submit(ctx context.Context, fn work.Fn) (*Job, error) {
 	opts := rt.SubmitOpts{
 		NoWait: e.policy == Reject,
 		Cancel: ctx.Done(),
-		OnDone: func() { e.completed.Add(1); e.live.Done() },
+		OnDone: e.onDone,
 	}
 	// A context deadline becomes a runtime-enforced one: the watchdog
 	// cancels the job even if this process never schedules the watch
@@ -168,11 +192,122 @@ func (e *Engine) Submit(ctx context.Context, fn work.Fn) (*Job, error) {
 		return nil, err
 	}
 	e.submitted.Add(1)
-	j := &Job{eng: e, rj: rj, ctx: ctx}
+	j.eng, j.rj, j.ctx = e, rj, ctx
 	if ctx.Done() != nil {
 		go j.watch()
 	}
 	return j, nil
+}
+
+// SubmitBatch admits every fn as its own job governed by ctx and returns
+// their futures in order. The whole batch shares one engine critical
+// section, one runtime admission pass (rt.SubmitBatch's chunked single
+// lock acquisitions) and — when ctx is cancellable — one watch goroutine,
+// instead of one of each per job.
+//
+// Errors mirror Submit, with partial-admission semantics: on a full queue
+// under Reject (or a context fired while a Block admission waits), the
+// already-admitted jobs are returned alongside the error — those run; the
+// rest were never admitted.
+func (e *Engine) SubmitBatch(ctx context.Context, fns []work.Fn) ([]*Job, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	if len(fns) == 0 {
+		return nil, nil
+	}
+	n := len(fns)
+	e.mu.Lock()
+	if e.closed {
+		e.mu.Unlock()
+		return nil, ErrClosed
+	}
+	e.live.Add(n)
+	out := make([]*Job, n)
+	for i := range out {
+		out[i] = e.newJobLocked()
+	}
+	e.mu.Unlock()
+	if err := ctx.Err(); err != nil {
+		e.live.Add(-n)
+		return nil, err
+	}
+	opts := rt.SubmitOpts{
+		NoWait: e.policy == Reject,
+		Cancel: ctx.Done(),
+		OnDone: e.onDone,
+	}
+	if dl, ok := ctx.Deadline(); ok {
+		opts.Deadline = dl
+	}
+	var remaining atomic.Int64
+	var batchDone chan struct{}
+	if ctx.Done() != nil {
+		// One watcher serves the whole batch: completions decrement
+		// remaining (seeded with n, trued up after partial admission) and
+		// the last one releases the watcher.
+		remaining.Store(int64(n))
+		batchDone = make(chan struct{})
+		inner := opts.OnDone
+		opts.OnDone = func() {
+			inner()
+			if remaining.Add(-1) == 0 {
+				close(batchDone)
+			}
+		}
+	}
+	rjs, err := e.r.SubmitBatch(fns, opts)
+	admitted := len(rjs)
+	for i := admitted; i < n; i++ {
+		e.live.Done()
+	}
+	e.submitted.Add(int64(admitted))
+	for i, rj := range rjs {
+		out[i].eng, out[i].rj, out[i].ctx = e, rj, ctx
+	}
+	out = out[:admitted]
+	if batchDone != nil {
+		if short := int64(n - admitted); short > 0 && remaining.Add(-short) == 0 {
+			close(batchDone)
+		}
+		if admitted > 0 {
+			go watchBatch(ctx, out, batchDone)
+		}
+	}
+	if err != nil {
+		switch {
+		case errors.Is(err, rt.ErrQueueFull):
+			e.rejected.Add(int64(n - admitted))
+			return out, ErrQueueFull
+		case errors.Is(err, rt.ErrClosed):
+			return out, ErrClosed
+		case errors.Is(err, rt.ErrSubmitCancelled):
+			return out, ctx.Err()
+		}
+		return out, err
+	}
+	return out, nil
+}
+
+// watchBatch is the batch analogue of watch: one goroutine propagates a
+// context cancellation to every still-running job of the batch, and exits
+// as soon as the whole batch drains.
+func watchBatch(ctx context.Context, js []*Job, batchDone chan struct{}) {
+	select {
+	case <-ctx.Done():
+		deadline := errors.Is(ctx.Err(), context.DeadlineExceeded)
+		for _, j := range js {
+			if j.rj.Finished() {
+				continue
+			}
+			if deadline {
+				j.cancelDeadline()
+			} else {
+				j.cancel()
+			}
+		}
+	case <-batchDone:
+	}
 }
 
 // watch propagates a context cancellation to the runtime job, preserving
@@ -225,7 +360,7 @@ func (j *Job) Stats() rt.JobStats { return j.rj.Stats() }
 // cancelled it, or ErrCancelled for a direct Cancel. Wait may be called
 // repeatedly and concurrently; every call returns the same result.
 func (j *Job) Wait() error {
-	<-j.rj.Done()
+	j.rj.Wait() // blocks on the runtime latch; the outcome is read in settle
 	j.settleOnce.Do(j.settle)
 	return j.err
 }

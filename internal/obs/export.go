@@ -87,6 +87,10 @@ func WriteChrome(w io.Writer, evs []Event, workers int, squadOf func(int) int) e
 		case EvStealIntra, EvStealInter, EvMigrate:
 			rec.Instant(trace.Steal, lane, e.Job, e.Time,
 				fmt.Sprintf("%s job %d", e.Kind, e.Job))
+		case EvStealBatch:
+			// Level carries the batch size for this kind.
+			rec.Instant(trace.Steal, lane, e.Job, e.Time,
+				fmt.Sprintf("steal-batch x%d job %d", e.Level, e.Job))
 		case EvPark:
 			rec.Instant(trace.Block, lane, e.Job, e.Time, "park")
 		case EvUnpark:

@@ -24,6 +24,10 @@ const (
 	EvStealIntra
 	// EvStealInter is a successful steal from another squad's inter pool.
 	EvStealInter
+	// EvStealBatch is a cross-socket steal-half operation that moved more
+	// than one frame in its single lock acquisition; Level carries the
+	// batch size (one record per operation, not per frame).
+	EvStealBatch
 	// EvMigrate marks a stolen task crossing squads (every EvStealInter
 	// implies one; BL==0 cross-squad deque steals emit it too).
 	EvMigrate
@@ -63,6 +67,8 @@ func (k Kind) String() string {
 		return "steal-intra"
 	case EvStealInter:
 		return "steal-inter"
+	case EvStealBatch:
+		return "steal-batch"
 	case EvMigrate:
 		return "migrate"
 	case EvPark:

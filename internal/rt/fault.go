@@ -287,10 +287,8 @@ func (r *Runtime) checkJobs(cfg WatchdogConfig, now time.Time) {
 	}
 	r.jobsMu.Unlock()
 	for _, j := range jobs {
-		select {
-		case <-j.done:
+		if j.Finished() {
 			continue // finished between the snapshot and this check
-		default:
 		}
 		if !j.deadline.IsZero() && now.After(j.deadline) && !j.cancelled.Load() {
 			j.cancelWith(cancelDeadline)
@@ -368,6 +366,16 @@ func (r *Runtime) DumpState(w io.Writer) {
 func (r *Runtime) trackJob(j *Job) {
 	r.jobsMu.Lock()
 	r.running[j.id] = j
+	r.jobsMu.Unlock()
+}
+
+// trackJobs registers a batch of admitted jobs in one registry lock
+// acquisition (SubmitBatch's analogue of trackJob).
+func (r *Runtime) trackJobs(js []*Job) {
+	r.jobsMu.Lock()
+	for _, j := range js {
+		r.running[j.id] = j
+	}
 	r.jobsMu.Unlock()
 }
 

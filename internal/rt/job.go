@@ -12,6 +12,7 @@ package rt
 
 import (
 	"errors"
+	"sync"
 	"sync/atomic"
 	"time"
 
@@ -22,6 +23,29 @@ import (
 
 // defaultQueueDepth bounds the admission queue when Config.QueueDepth is 0.
 const defaultQueueDepth = 64
+
+// jobSlabSize is how many Job futures one slab block holds. Blocks are
+// handed out pointer by pointer and never recycled — a *Job stays valid
+// for as long as the caller keeps it, and the GC frees a block once every
+// job in it is unreachable — so the per-submit allocation amortizes to
+// 1/jobSlabSize of a block instead of one Job plus one done channel each.
+const jobSlabSize = 256
+
+// submitChunk bounds how many jobs SubmitBatch stages per admission
+// critical section; the scratch arrays live on the submitter's stack.
+const submitChunk = 32
+
+// jobDone is the terminal Job.state value (zero means running, which is
+// what fresh slab memory reads).
+const jobDone uint32 = 1
+
+// closedChan is the shared pre-closed channel Done returns for finished
+// jobs that never lazily created one.
+var closedChan = func() chan struct{} {
+	ch := make(chan struct{})
+	close(ch)
+	return ch
+}()
 
 // Sentinel errors of the submission API.
 var (
@@ -65,10 +89,20 @@ type Job struct {
 	migrations  atomic.Int64
 	helps       atomic.Int64
 
-	wall      atomic.Int64 // ns from Submit to completion, written before done closes
+	wall      atomic.Int64 // ns from Submit to completion, written before the latch trips
 	queueWait atomic.Int64 // ns from Submit to adoption, written by the adopting worker
 	onDone    func()
-	done      chan struct{}
+
+	// Completion latch. The old per-job done channel cost one allocation
+	// per submit whether or not anybody ever selected on it; the latch is
+	// an atomic state word plus a condition variable embedded in the Job
+	// itself, with a channel created lazily only when Done() is actually
+	// called. state is the lock-free fast path; mu guards doneCh creation
+	// and cv waits; finishJob trips all three.
+	state  atomic.Uint32 // 0 = running, jobDone = drained
+	mu     sync.Mutex
+	cv     sync.Cond     // cv.L = &mu, set when the slab hands the Job out
+	doneCh chan struct{} // lazily created by Done(), closed by finishJob
 }
 
 // JobStats is a point-in-time snapshot of one job's accounting.
@@ -129,20 +163,82 @@ func (r *Runtime) TrySubmit(fn work.Fn) (*Job, error) {
 	return r.SubmitWith(fn, SubmitOpts{NoWait: true})
 }
 
+// newJobLocked hands out the next Job future from the current slab block,
+// starting a fresh block when the old one is exhausted. Caller holds
+// submitMu (the slab cursor is admission state). Slab memory is zeroed,
+// which is exactly a Job's initial state; only the cond's lock pointer
+// needs wiring.
+func (r *Runtime) newJobLocked() *Job {
+	if r.jobSlabN == len(r.jobSlab) {
+		//cab:allow hotpath slab refill: one block allocation per jobSlabSize submissions
+		r.jobSlab = make([]Job, jobSlabSize)
+		r.jobSlabN = 0
+	}
+	j := &r.jobSlab[r.jobSlabN]
+	r.jobSlabN++
+	j.cv.L = &j.mu
+	j.id = r.nextJob.Add(1)
+	return j
+}
+
+// submitFrame hands out a root frame on the submit path. Submitters have
+// no worker identity, so they draw from the shared overflow pool that
+// worker freelists spill into; in steady state completed frames recycle
+// faster than roots are admitted and submission allocates nothing.
+//
+//cab:hotpath
+func (r *Runtime) submitFrame() *task {
+	r.overflowMu.Lock()
+	if n := len(r.overflow); n > 0 {
+		t := r.overflow[n-1]
+		r.overflow[n-1] = nil
+		r.overflow = r.overflow[:n-1]
+		r.overflowMu.Unlock()
+		return t
+	}
+	r.overflowMu.Unlock()
+	//cab:allow hotpath drained-pool slow path, mirrors newFrame
+	return new(task)
+}
+
+// submitFrames fills dst with root frames in one overflow-pool lock
+// acquisition (the batch analogue of submitFrame).
+func (r *Runtime) submitFrames(dst []*task) {
+	r.overflowMu.Lock()
+	k := len(r.overflow)
+	if k > len(dst) {
+		k = len(dst)
+	}
+	base := len(r.overflow) - k
+	for i := 0; i < k; i++ {
+		dst[i] = r.overflow[base+i]
+		r.overflow[base+i] = nil
+	}
+	r.overflow = r.overflow[:base]
+	r.overflowMu.Unlock()
+	for i := k; i < len(dst); i++ {
+		dst[i] = new(task)
+	}
+}
+
+// freeSubmitFrame returns an unadmitted root frame to the shared pool
+// (failed admissions only — admitted frames recycle through freeFrame on
+// the worker that completes them).
+func (r *Runtime) freeSubmitFrame(t *task) {
+	t.fn = nil
+	t.parent = nil
+	t.job = nil
+	r.overflowMu.Lock()
+	r.overflow = append(r.overflow, t)
+	r.overflowMu.Unlock()
+}
+
 // SubmitWith is Submit with explicit admission options.
 func (r *Runtime) SubmitWith(fn work.Fn, opts SubmitOpts) (*Job, error) {
 	rootTier := core.TierIntra
 	if r.bl > 0 {
 		rootTier = core.TierInter
 	}
-	j := &Job{
-		id:       r.nextJob.Add(1),
-		start:    time.Now(),
-		deadline: opts.Deadline,
-		onDone:   opts.OnDone,
-		done:     make(chan struct{}),
-	}
-	root := &task{fn: fn, level: 0, tier: rootTier, hint: -1, job: j}
 	r.submitMu.Lock()
 	if r.closed {
 		r.submitMu.Unlock()
@@ -152,11 +248,22 @@ func (r *Runtime) SubmitWith(fn work.Fn, opts SubmitOpts) (*Job, error) {
 	// only after live drains to zero, so the sends below can never hit a
 	// closed channel.
 	r.live.Add(1)
+	j := r.newJobLocked()
 	r.submitMu.Unlock()
+	j.start = time.Now()
+	j.deadline = opts.Deadline
+	j.onDone = opts.OnDone
+	root := r.submitFrame()
+	root.fn, root.level, root.tier, root.hint, root.job = fn, 0, rootTier, -1, j
+	// Track before the send so the watchdog sees the job from admission
+	// and finishJob's untrack can never race ahead of the track.
+	r.trackJob(j)
 	if opts.NoWait {
 		select {
 		case r.roots <- root:
 		default:
+			r.untrackJob(j)
+			r.freeSubmitFrame(root)
 			r.live.Done()
 			return nil, ErrQueueFull
 		}
@@ -167,11 +274,12 @@ func (r *Runtime) SubmitWith(fn work.Fn, opts SubmitOpts) (*Job, error) {
 		select {
 		case r.roots <- root:
 		case <-opts.Cancel:
+			r.untrackJob(j)
+			r.freeSubmitFrame(root)
 			r.live.Done()
 			return nil, ErrSubmitCancelled
 		}
 	}
-	r.trackJob(j) // visible to the watchdog from admission, not adoption
 	if r.tr.Armed() {
 		r.tr.Record(-1, obs.EvJobAdmit, obsTier(rootTier), 0, j.id)
 	}
@@ -179,9 +287,101 @@ func (r *Runtime) SubmitWith(fn work.Fn, opts SubmitOpts) (*Job, error) {
 	return j, nil
 }
 
+// SubmitBatch admits every fn as its own level-0 job and returns their
+// futures in order. It is the bulk front door: jobs are staged in chunks
+// of submitChunk, and each chunk pays one admission critical section, one
+// watchdog-registry lock and one frame-pool lock instead of one of each
+// per job. Admission order matches slice order.
+//
+// On a full queue under NoWait (or a Cancel fired while blocked), the
+// already-admitted prefix is returned alongside ErrQueueFull or
+// ErrSubmitCancelled: those jobs run; the rest were never admitted.
+func (r *Runtime) SubmitBatch(fns []work.Fn, opts SubmitOpts) ([]*Job, error) {
+	if len(fns) == 0 {
+		return nil, nil
+	}
+	rootTier := core.TierIntra
+	if r.bl > 0 {
+		rootTier = core.TierInter
+	}
+	out := make([]*Job, 0, len(fns))
+	var frames [submitChunk]*task
+	var jobs [submitChunk]*Job
+	for base := 0; base < len(fns); base += submitChunk {
+		chunk := fns[base:]
+		if len(chunk) > submitChunk {
+			chunk = chunk[:submitChunk]
+		}
+		n := len(chunk)
+		r.submitMu.Lock()
+		if r.closed {
+			r.submitMu.Unlock()
+			return out, ErrClosed
+		}
+		r.live.Add(n)
+		for i := 0; i < n; i++ {
+			jobs[i] = r.newJobLocked()
+		}
+		r.submitMu.Unlock()
+		now := time.Now()
+		r.submitFrames(frames[:n])
+		for i := 0; i < n; i++ {
+			j := jobs[i]
+			j.start, j.deadline, j.onDone = now, opts.Deadline, opts.OnDone
+			t := frames[i]
+			t.fn, t.level, t.tier, t.hint, t.job = chunk[i], 0, rootTier, -1, j
+		}
+		r.trackJobs(jobs[:n])
+		admitted := 0
+		var err error
+		for i := 0; i < n && err == nil; i++ {
+			if opts.NoWait {
+				select {
+				case r.roots <- frames[i]:
+					admitted++
+				default:
+					err = ErrQueueFull
+				}
+			} else {
+				select {
+				case r.roots <- frames[i]:
+					admitted++
+				case <-opts.Cancel:
+					err = ErrSubmitCancelled
+				}
+			}
+			if err == nil {
+				// Publish per send, not per chunk: with every worker parked
+				// a bounded queue could otherwise fill and wedge the
+				// blocking sends before anybody wakes to drain it.
+				r.lot.Publish()
+			}
+		}
+		if r.tr.Armed() {
+			for i := 0; i < admitted; i++ {
+				r.tr.Record(-1, obs.EvJobAdmit, obsTier(rootTier), 0, jobs[i].id)
+			}
+		}
+		out = append(out, jobs[:admitted]...)
+		if err != nil {
+			// Unwind the unadmitted tail: frames back to the pool, watchdog
+			// entries out, live counts down.
+			for i := admitted; i < n; i++ {
+				r.untrackJob(jobs[i])
+				r.freeSubmitFrame(frames[i])
+				r.live.Done()
+			}
+			return out, err
+		}
+	}
+	return out, nil
+}
+
 // finishJob settles a job whose root frame just completed its join on
 // worker w: the wall clock stops, the run-time histogram gets its sample
-// (wall minus queue wait), and the done channel closes.
+// (wall minus queue wait), and the completion latch trips — state for
+// lock-free polls, the cond for Wait blockers, the lazy channel (if Done
+// was ever called) for selectors.
 func (r *Runtime) finishJob(w int, j *Job) {
 	r.untrackJob(j)
 	wall := int64(time.Since(j.start))
@@ -190,7 +390,13 @@ func (r *Runtime) finishJob(w int, j *Job) {
 	if r.tr.Armed() {
 		r.tr.Record(w, obs.EvJobDone, 0, 0, j.id)
 	}
-	close(j.done)
+	j.mu.Lock()
+	j.state.Store(jobDone)
+	if j.doneCh != nil {
+		close(j.doneCh)
+	}
+	j.cv.Broadcast()
+	j.mu.Unlock()
 	if j.onDone != nil {
 		j.onDone()
 	}
@@ -200,8 +406,29 @@ func (r *Runtime) finishJob(w int, j *Job) {
 // ID returns the job's runtime-unique ID (frames are tagged with it).
 func (j *Job) ID() int64 { return j.id }
 
+// Finished reports whether the job's entire DAG has drained. This is the
+// allocation-free poll the watchdog and Stats use.
+func (j *Job) Finished() bool { return j.state.Load() == jobDone }
+
 // Done returns a channel closed when the job's entire DAG has finished.
-func (j *Job) Done() <-chan struct{} { return j.done }
+// The channel is created lazily on first call (a finished job gets a
+// shared pre-closed one), so jobs nobody selects on never pay for it.
+func (j *Job) Done() <-chan struct{} {
+	if j.Finished() {
+		return closedChan
+	}
+	j.mu.Lock()
+	if j.state.Load() == jobDone {
+		j.mu.Unlock()
+		return closedChan
+	}
+	if j.doneCh == nil {
+		j.doneCh = make(chan struct{})
+	}
+	ch := j.doneCh
+	j.mu.Unlock()
+	return ch
+}
 
 // Cancel asks the job to stop: its frames stop spawning children and
 // not-yet-started frames skip their bodies, so the DAG drains cleanly.
@@ -235,7 +462,13 @@ func (j *Job) DeadlineExceeded() bool {
 // first panic raised by one of the job's tasks. Cancellation is not an
 // error at this layer (internal/jobs maps it to the context's error).
 func (j *Job) Wait() error {
-	<-j.done
+	if !j.Finished() {
+		j.mu.Lock()
+		for j.state.Load() != jobDone {
+			j.cv.Wait()
+		}
+		j.mu.Unlock()
+	}
 	if p := j.panicked.Load(); p != nil {
 		return p
 	}
@@ -257,13 +490,12 @@ func (j *Job) Stats() JobStats {
 	}
 	s.DeadlineExceeded = j.DeadlineExceeded()
 	qw := time.Duration(j.queueWait.Load())
-	select {
-	case <-j.done:
+	if j.Finished() {
 		s.Done = true
 		s.Wall = time.Duration(j.wall.Load())
 		s.QueueWait = qw
 		s.RunTime = s.Wall - qw
-	default:
+	} else {
 		s.Wall = time.Since(j.start)
 		if qw > 0 { // adopted and running
 			s.QueueWait = qw

@@ -253,9 +253,13 @@ func TestSquadStats(t *testing.T) {
 		sum.Spawns += s.Spawns
 		sum.StealsIntra += s.StealsIntra
 		sum.StealsInter += s.StealsInter
+		sum.StealsInterTasks += s.StealsInterTasks
+		sum.BatchSteals += s.BatchSteals
 		sum.FailedSteals += s.FailedSteals
 		sum.Helps += s.Helps
 		sum.InterSpawns += s.InterSpawns
+		sum.ProbesIntra += s.ProbesIntra
+		sum.ProbesInter += s.ProbesInter
 	}
 	if got := r.Stats(); got != sum {
 		t.Fatalf("squad stats sum %+v != global %+v", sum, got)

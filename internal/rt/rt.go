@@ -70,6 +70,23 @@ const (
 // parking on the runtime's lot.
 const idleSpins = 32
 
+// Distance-graded steal attempts, after blaze's num_tries scheme
+// (SNIPPETS.md Snippet 1) and the localized-work-stealing analysis in
+// PAPERS.md: a thief retries squad-mates — whose deques its L3 already
+// covers — several times before giving up, but probes remote sockets only
+// once per scan, because a remote steal is expensive whether it hits or
+// misses. Each failed scan also consults a per-worker affinity hint (the
+// last victim that fed this worker) before rolling new random victims.
+const (
+	triesIntra = 4 // probes against squad-mates' Chase-Lev deques per scan
+	triesInter = 1 // probes against remote squads' inter pools per scan
+)
+
+// stealBatchMax caps how many frames one cross-socket steal may carry off:
+// enough to keep a squad fed without re-crossing the socket, small enough
+// to bound the victim pool's lock hold time and the per-worker scratch.
+const stealBatchMax = 16
+
 // Config configures a Runtime.
 type Config struct {
 	// Topo defines the squad structure (M squads of N workers). Leave a
@@ -103,12 +120,27 @@ type Config struct {
 
 // Stats counts scheduler events since the runtime started.
 type Stats struct {
-	Spawns       int64
-	InterSpawns  int64
-	StealsIntra  int64
-	StealsInter  int64
-	FailedSteals int64
-	Helps        int64 // tasks executed inside someone's Sync
+	Spawns      int64
+	InterSpawns int64
+	StealsIntra int64
+	// StealsInter counts cross-socket steal *operations* (lock
+	// acquisitions on a remote squad's inter pool that came back with
+	// work); StealsInterTasks counts the frames those operations carried.
+	// With steal-half batching one operation may move many frames, so
+	// StealsInterTasks >= StealsInter, and the gap is the cross-socket
+	// traffic batching saved.
+	StealsInter      int64
+	StealsInterTasks int64
+	BatchSteals      int64 // inter steal operations that moved more than one frame
+	FailedSteals     int64
+	Helps            int64 // tasks executed inside someone's Sync
+	// ProbesIntra and ProbesInter count individual steal attempts
+	// (successful or not) against squad-mate deques and remote inter pools
+	// — the raw distance-graded retry traffic. A healthy BL > 0 runtime
+	// shows ProbesIntra well above ProbesInter: thieves retry locally and
+	// give remote sockets only rare, batched visits.
+	ProbesIntra int64
+	ProbesInter int64
 }
 
 // task is a frame in the run DAG. The paper's cilk2c adds level, parent
@@ -144,18 +176,22 @@ type task struct {
 //
 //cab:padded
 type statShard struct {
-	spawns       atomic.Int64
-	interSpawns  atomic.Int64
-	stealsIntra  atomic.Int64
-	stealsInter  atomic.Int64
-	failedSteals atomic.Int64
-	helps        atomic.Int64
-	exec         atomic.Uint64 // heartbeat: monotonic progress beat
-	curJob       atomic.Int64
-	curLevel     atomic.Int64
-	parked       atomic.Uint32
-	stalled      atomic.Uint32
-	_            [cacheLine - 80]byte
+	spawns           atomic.Int64
+	interSpawns      atomic.Int64
+	stealsIntra      atomic.Int64
+	stealsInter      atomic.Int64
+	stealsInterTasks atomic.Int64
+	batchSteals      atomic.Int64
+	failedSteals     atomic.Int64
+	helps            atomic.Int64
+	probesIntra      atomic.Int64
+	probesInter      atomic.Int64
+	exec             atomic.Uint64 // heartbeat: monotonic progress beat
+	curJob           atomic.Int64
+	curLevel         atomic.Int64
+	parked           atomic.Uint32
+	stalled          atomic.Uint32
+	_                [cacheLine - 112]byte
 }
 
 // squadFlag is a per-squad busy_state flag on its own cache line; the
@@ -180,6 +216,22 @@ type frameCache struct {
 	_    [cacheLine - 24]byte
 }
 
+// stealState is a worker's private stealing context: the last victims that
+// actually fed it (probed first on the next scan, before any random
+// victim — a worker that found work on a deque once tends to find the
+// rest of that subtree there) and the scratch buffer batched cross-socket
+// steals land in. All fields are owner-only (findTask and its callees run
+// exclusively on the owning worker), so none need atomics; the padding
+// keeps neighbouring workers' states off each other's cache lines.
+//
+//cab:padded
+type stealState struct {
+	lastIntra int32 // last successful intra-squad victim worker, -1 if none
+	lastInter int32 // last remote squad whose inter pool yielded work, -1 if none
+	batch     []*task
+	_         [cacheLine - 32]byte
+}
+
 // Runtime is a running CAB scheduler instance.
 type Runtime struct {
 	topo topology.Topology
@@ -190,6 +242,7 @@ type Runtime struct {
 	busy   []squadFlag
 	stats  []statShard
 	frames []frameCache
+	steal  []stealState
 
 	// matchFor[sq] is the prebuilt affinity predicate head workers use
 	// against other squads' inter pools (hoisted so steal probes do not
@@ -237,6 +290,12 @@ type Runtime struct {
 	roots    chan *task // bounded admission queue of submitted root frames
 	nextJob  atomic.Int64
 	seed     uint64
+
+	// Job futures are handed out of never-recycled slab blocks (guarded
+	// by submitMu along with the rest of the admission state), so a
+	// submission's allocation cost amortizes to 1/jobSlabSize of a block.
+	jobSlab  []Job
+	jobSlabN int
 }
 
 // TaskPanic describes a panic raised inside a task body. The runtime
@@ -313,6 +372,12 @@ func New(cfg Config) (*Runtime, error) {
 	for i := range r.frames {
 		r.frames[i].free = make([]*task, 0, frameCacheCap)
 	}
+	r.steal = make([]stealState, r.workers)
+	for i := range r.steal {
+		r.steal[i].lastIntra = -1
+		r.steal[i].lastInter = -1
+		r.steal[i].batch = make([]*task, stealBatchMax)
+	}
 	r.matchFor = make([]func(*task) bool, topo.Sockets)
 	for sq := range r.matchFor {
 		sq := sq
@@ -347,8 +412,12 @@ func (r *Runtime) Stats() Stats {
 		s.InterSpawns += sh.interSpawns.Load()
 		s.StealsIntra += sh.stealsIntra.Load()
 		s.StealsInter += sh.stealsInter.Load()
+		s.StealsInterTasks += sh.stealsInterTasks.Load()
+		s.BatchSteals += sh.batchSteals.Load()
 		s.FailedSteals += sh.failedSteals.Load()
 		s.Helps += sh.helps.Load()
+		s.ProbesIntra += sh.probesIntra.Load()
+		s.ProbesInter += sh.probesInter.Load()
 	}
 	return s
 }
@@ -365,8 +434,12 @@ func (r *Runtime) SquadStats() []Stats {
 		s.InterSpawns += sh.interSpawns.Load()
 		s.StealsIntra += sh.stealsIntra.Load()
 		s.StealsInter += sh.stealsInter.Load()
+		s.StealsInterTasks += sh.stealsInterTasks.Load()
+		s.BatchSteals += sh.batchSteals.Load()
 		s.FailedSteals += sh.failedSteals.Load()
 		s.Helps += sh.helps.Load()
+		s.ProbesIntra += sh.probesIntra.Load()
+		s.ProbesInter += sh.probesInter.Load()
 	}
 	return out
 }
@@ -926,7 +999,10 @@ func (r *Runtime) runRoot(w int, root *task, rng *xrand.Source) {
 
 // findTask implements Algorithm I: own intra pool; within-squad intra
 // steal while the squad is busy; head worker obtains/steals inter tasks
-// when it is not.
+// when it is not. Cross-socket steals are batched (steal-half) and
+// distance-graded: a remote squad's pool is probed at most triesInter
+// times per scan, against triesIntra retries for squad-mates, and a
+// successful victim is remembered and probed first next time.
 //
 //cab:hotpath
 func (r *Runtime) findTask(w int, rng *xrand.Source) *task {
@@ -954,28 +1030,84 @@ func (r *Runtime) findTask(w int, rng *xrand.Source) *task {
 	if h := r.fault; h != nil {
 		h(FaultInfo{Point: FaultSteal, Worker: w, Level: -1})
 	}
-	victim := rng.Intn(m - 1)
-	if victim >= sq {
-		victim++
-	}
-	t := r.inter[victim].StealMatch(r.matchFor[sq])
-	if t == nil {
-		t = r.inter[victim].Steal()
-	}
-	if t != nil {
-		r.stats[w].stealsInter.Add(1)
-		if j := t.job; j != nil {
-			j.migrations.Add(1) // the frame crossed squads
+	st := &r.steal[w]
+	sh := &r.stats[w]
+	// Affinity first: the squad whose pool fed this head last time.
+	if v := int(st.lastInter); v >= 0 && v != sq && v < m {
+		if t := r.stealInterFrom(w, sq, v); t != nil {
+			return t
 		}
-		if r.tr.Armed() {
-			r.tr.Record(w, obs.EvStealInter, obsTier(t.tier), t.level, jid(t.job))
-			r.tr.Record(w, obs.EvMigrate, obsTier(t.tier), t.level, jid(t.job))
-		}
-		r.busy[sq].busy.Store(true)
-		return t
+		st.lastInter = -1
 	}
-	r.stats[w].failedSteals.Add(1)
+	for i := 0; i < triesInter; i++ {
+		victim := rng.Intn(m - 1)
+		if victim >= sq {
+			victim++
+		}
+		if t := r.stealInterFrom(w, sq, victim); t != nil {
+			st.lastInter = int32(victim)
+			return t
+		}
+	}
+	sh.failedSteals.Add(1)
 	return nil
+}
+
+// stealInterFrom probes one remote squad's inter pool with a batched
+// steal-half grab: up to half the matching frames (capped at
+// stealBatchMax) move in one lock acquisition. The head executes the
+// oldest and requeues the rest into its own squad's pool, so the squad's
+// next inter tasks are a local Pop instead of another socket crossing.
+//
+//cab:hotpath
+func (r *Runtime) stealInterFrom(w, sq, victim int) *task {
+	sh := &r.stats[w]
+	sh.probesInter.Add(1)
+	st := &r.steal[w]
+	k := r.inter[victim].StealHalfInto(st.batch, r.matchFor[sq])
+	if k == 0 {
+		// Nothing hinted at us: fall back to an unconditional grab, the
+		// same starvation escape the single-task StealMatch path had.
+		k = r.inter[victim].StealHalfInto(st.batch, nil)
+	}
+	if k == 0 {
+		return nil
+	}
+	t := st.batch[0]
+	st.batch[0] = nil
+	sh.stealsInter.Add(1)
+	sh.stealsInterTasks.Add(int64(k))
+	traced := r.tr.Armed()
+	if k > 1 {
+		sh.batchSteals.Add(1)
+		if traced {
+			// Level carries the batch size: one record per operation, not
+			// per frame, keeps tracing cost off the batched path.
+			r.tr.Record(w, obs.EvStealBatch, obsTier(t.tier), k, jid(t.job))
+		}
+	}
+	for i := 1; i < k; i++ {
+		if j := st.batch[i].job; j != nil {
+			j.migrations.Add(1) // the requeued frames crossed squads too
+		}
+	}
+	if j := t.job; j != nil {
+		j.migrations.Add(1)
+	}
+	if traced {
+		r.tr.Record(w, obs.EvStealInter, obsTier(t.tier), t.level, jid(t.job))
+		r.tr.Record(w, obs.EvMigrate, obsTier(t.tier), t.level, jid(t.job))
+	}
+	if k > 1 {
+		if r.inter[sq].PushBatch(st.batch[1:k]) {
+			r.lot.Publish() // own pool went empty→nonempty: other heads may take over
+		}
+		for i := 1; i < k; i++ {
+			st.batch[i] = nil
+		}
+	}
+	r.busy[sq].busy.Store(true)
+	return t
 }
 
 // findIntra is the restricted helping mode of a leaf inter-socket task:
@@ -989,6 +1121,12 @@ func (r *Runtime) findIntra(w int, rng *xrand.Source) *task {
 	return r.stealIntraFrom(w, r.topo.SquadOf(w), rng)
 }
 
+// stealIntraFrom probes squad-mates' deques with graded retries: the
+// last successful victim first, then up to triesIntra random squad-mates.
+// Retrying an intra-squad victim is cheap (the deque lives in the shared
+// L3) and often wins a Chase-Lev race lost a moment earlier.
+//
+//cab:hotpath
 func (r *Runtime) stealIntraFrom(w, sq int, rng *xrand.Source) *task {
 	n := r.topo.CoresPerSocket
 	if n == 1 {
@@ -997,26 +1135,52 @@ func (r *Runtime) stealIntraFrom(w, sq int, rng *xrand.Source) *task {
 	if h := r.fault; h != nil {
 		h(FaultInfo{Point: FaultSteal, Worker: w, Level: -1})
 	}
+	st := &r.steal[w]
 	base := r.topo.HeadWorker(sq)
-	victim := base + rng.Intn(n-1)
-	if victim >= w {
-		victim++
+	if v := int(st.lastIntra); v >= base && v < base+n && v != w {
+		if t := r.stealIntraProbe(w, v); t != nil {
+			return t
+		}
+		st.lastIntra = -1
 	}
-	if t := r.intra[victim].Steal(); t != nil {
-		r.stats[w].stealsIntra.Add(1)
-		if j := t.job; j != nil {
-			j.steals.Add(1)
+	for i := 0; i < triesIntra; i++ {
+		victim := base + rng.Intn(n-1)
+		if victim >= w {
+			victim++
 		}
-		if r.tr.Armed() {
-			r.tr.Record(w, obs.EvStealIntra, obsTier(t.tier), t.level, jid(t.job))
+		if t := r.stealIntraProbe(w, victim); t != nil {
+			st.lastIntra = int32(victim)
+			return t
 		}
-		return t
 	}
 	r.stats[w].failedSteals.Add(1)
 	return nil
 }
 
-// stealAny is the BL == 0 degenerate mode: random victim over all workers.
+// stealIntraProbe is one attempt against one squad-mate's deque.
+//
+//cab:hotpath
+func (r *Runtime) stealIntraProbe(w, victim int) *task {
+	r.stats[w].probesIntra.Add(1)
+	t := r.intra[victim].Steal()
+	if t == nil {
+		return nil
+	}
+	r.stats[w].stealsIntra.Add(1)
+	if j := t.job; j != nil {
+		j.steals.Add(1)
+	}
+	if r.tr.Armed() {
+		r.tr.Record(w, obs.EvStealIntra, obsTier(t.tier), t.level, jid(t.job))
+	}
+	return t
+}
+
+// stealAny is the BL == 0 degenerate mode: random victims over all
+// workers, but still distance-graded — squad-mates get triesIntra probes
+// (after the affinity hint) before remote workers get triesInter, so even
+// single-tier scheduling prefers L3-local steals, per the localized
+// work-stealing results in PAPERS.md.
 //
 //cab:hotpath
 func (r *Runtime) stealAny(w int, rng *xrand.Source) *task {
@@ -1027,27 +1191,72 @@ func (r *Runtime) stealAny(w int, rng *xrand.Source) *task {
 	if h := r.fault; h != nil {
 		h(FaultInfo{Point: FaultSteal, Worker: w, Level: -1})
 	}
-	victim := rng.Intn(n - 1)
-	if victim >= w {
-		victim++
+	st := &r.steal[w]
+	sq := r.topo.SquadOf(w)
+	per := r.topo.CoresPerSocket
+	base := r.topo.HeadWorker(sq)
+	if v := int(st.lastIntra); v >= 0 && v < n && v != w {
+		if t := r.stealAnyProbe(w, sq, v); t != nil {
+			return t
+		}
+		st.lastIntra = -1
 	}
-	if t := r.intra[victim].Steal(); t != nil {
-		r.stats[w].stealsIntra.Add(1)
-		crossed := r.topo.SquadOf(victim) != r.topo.SquadOf(w)
-		if j := t.job; j != nil {
-			j.steals.Add(1)
-			if crossed {
-				j.migrations.Add(1)
+	if per > 1 {
+		for i := 0; i < triesIntra; i++ {
+			victim := base + rng.Intn(per-1)
+			if victim >= w {
+				victim++
+			}
+			if t := r.stealAnyProbe(w, sq, victim); t != nil {
+				st.lastIntra = int32(victim)
+				return t
 			}
 		}
-		if r.tr.Armed() {
-			r.tr.Record(w, obs.EvStealIntra, obsTier(t.tier), t.level, jid(t.job))
-			if crossed {
-				r.tr.Record(w, obs.EvMigrate, obsTier(t.tier), t.level, jid(t.job))
+	}
+	if remote := n - per; remote > 0 {
+		for i := 0; i < triesInter; i++ {
+			victim := rng.Intn(remote)
+			if victim >= base {
+				victim += per // skip own squad's contiguous worker range
+			}
+			if t := r.stealAnyProbe(w, sq, victim); t != nil {
+				st.lastIntra = int32(victim)
+				return t
 			}
 		}
-		return t
 	}
 	r.stats[w].failedSteals.Add(1)
 	return nil
+}
+
+// stealAnyProbe is one attempt against any worker's deque in BL == 0
+// mode, attributing cross-squad hits as migrations.
+//
+//cab:hotpath
+func (r *Runtime) stealAnyProbe(w, sq, victim int) *task {
+	sh := &r.stats[w]
+	crossed := r.topo.SquadOf(victim) != sq
+	if crossed {
+		sh.probesInter.Add(1)
+	} else {
+		sh.probesIntra.Add(1)
+	}
+	t := r.intra[victim].Steal()
+	if t == nil {
+		return nil
+	}
+	sh.stealsIntra.Add(1)
+	if j := t.job; j != nil {
+		j.steals.Add(1)
+		if crossed {
+			j.migrations.Add(1)
+		}
+	}
+	if r.tr.Armed() {
+		r.tr.Record(w, obs.EvStealIntra, obsTier(t.tier), t.level, jid(t.job))
+		if crossed {
+			r.tr.Record(w, obs.EvMigrate, obsTier(t.tier), t.level, jid(t.job))
+		}
+	}
+	return t
 }

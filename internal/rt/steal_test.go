@@ -1,0 +1,206 @@
+package rt
+
+import (
+	"testing"
+	"time"
+
+	"cab/internal/core"
+	"cab/internal/xrand"
+)
+
+// waitAllParked blocks until every worker of r has parked on the lot, so a
+// test can drive the steal paths directly without the pool's own startup
+// idle scans racing its counter assertions. Direct probe calls below never
+// Publish (pools stay empty, or pushes are pre-warmed non-empty), so once
+// parked the workers stay parked.
+func waitAllParked(t *testing.T, r *Runtime) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		all := true
+		for w := range r.stats {
+			if r.stats[w].parked.Load() == 0 {
+				all = false
+				break
+			}
+		}
+		if all {
+			return
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("workers did not park")
+		}
+		time.Sleep(time.Millisecond)
+	}
+}
+
+// TestGradedTries drives findTask directly on a starved squad with a fixed
+// seed and asserts the distance grading: every failed scan by a non-head
+// squad-mate costs triesIntra local probes, while a head's cross-socket
+// scan costs only triesInter remote probes.
+func TestGradedTries(t *testing.T) {
+	r := newRT(t, quadTopo(), 2)
+	waitAllParked(t, r)
+	base := r.Stats()
+	rng := xrand.New(7)
+
+	const scans = 1000
+	// Starved squad 0: mark it busy so worker 1 (non-head) scans its
+	// squad-mates' empty deques.
+	r.busy[0].busy.Store(true)
+	for i := 0; i < scans; i++ {
+		if tk := r.findTask(1, rng); tk != nil {
+			t.Fatal("found a task in an empty runtime")
+		}
+	}
+	r.busy[0].busy.Store(false)
+	// Idle head 0 now scans remote inter pools (also empty).
+	for i := 0; i < scans; i++ {
+		if tk := r.findTask(0, rng); tk != nil {
+			t.Fatal("found a task in an empty runtime")
+		}
+	}
+	st := r.Stats()
+	intra := st.ProbesIntra - base.ProbesIntra
+	inter := st.ProbesInter - base.ProbesInter
+	if intra != triesIntra*scans {
+		t.Fatalf("ProbesIntra delta = %d, want %d (triesIntra=%d per scan)", intra, triesIntra*scans, triesIntra)
+	}
+	if inter != triesInter*scans {
+		t.Fatalf("ProbesInter delta = %d, want %d (triesInter=%d per scan)", inter, triesInter*scans, triesInter)
+	}
+	if intra <= inter {
+		t.Fatalf("graded tries inverted: %d intra probes vs %d inter", intra, inter)
+	}
+	if fails := st.FailedSteals - base.FailedSteals; fails != 2*scans {
+		t.Fatalf("FailedSteals delta = %d, want %d (one per scan, not per probe)", fails, 2*scans)
+	}
+}
+
+// TestGradedTriesBL0 checks the same grading in single-tier mode: stealAny
+// probes squad-mates triesIntra times before probing remote workers
+// triesInter times.
+func TestGradedTriesBL0(t *testing.T) {
+	r := newRT(t, quadTopo(), 0)
+	waitAllParked(t, r)
+	base := r.Stats()
+	rng := xrand.New(7)
+	const scans = 500
+	for i := 0; i < scans; i++ {
+		if tk := r.findTask(1, rng); tk != nil {
+			t.Fatal("found a task in an empty runtime")
+		}
+	}
+	st := r.Stats()
+	if d := st.ProbesIntra - base.ProbesIntra; d != triesIntra*scans {
+		t.Fatalf("ProbesIntra delta = %d, want %d", d, triesIntra*scans)
+	}
+	if d := st.ProbesInter - base.ProbesInter; d != triesInter*scans {
+		t.Fatalf("ProbesInter delta = %d, want %d", d, triesInter*scans)
+	}
+}
+
+// TestBatchInterSteal plants frames in a remote squad's inter pool and
+// drives one batched steal: half the pool moves in one operation, the
+// oldest frame is returned for execution, and the remainder lands in the
+// thief's own squad's pool so squad-mates find it locally.
+func TestBatchInterSteal(t *testing.T) {
+	r := newRT(t, quadTopo(), 2)
+	waitAllParked(t, r)
+	base := r.Stats()
+
+	// Pre-warm the thief squad's pool so the requeue's PushBatch never
+	// reports empty→nonempty (no Publish, parked workers stay out of the
+	// way of the Len assertions below).
+	warm := &task{fn: nil, level: 1, tier: core.TierInter, hint: 0}
+	r.inter[0].Push(warm)
+	planted := make([]*task, 8)
+	for i := range planted {
+		planted[i] = &task{fn: nil, level: 1, tier: core.TierInter, hint: -1}
+		r.inter[1].Push(planted[i])
+	}
+
+	got := r.stealInterFrom(0, 0, 1)
+	if got != planted[0] {
+		t.Fatalf("stealInterFrom returned %p, want the oldest planted frame %p", got, planted[0])
+	}
+	// ceil(8/2) = 4 moved: one returned, three requeued locally.
+	if n := r.inter[1].Len(); n != 4 {
+		t.Fatalf("victim pool Len = %d after steal-half, want 4", n)
+	}
+	if n := r.inter[0].Len(); n != 1+3 {
+		t.Fatalf("thief pool Len = %d, want 4 (1 warm + 3 requeued)", n)
+	}
+	if !r.busy[0].busy.Load() {
+		t.Fatal("batched steal did not claim the squad's busy state")
+	}
+	st := r.Stats()
+	if d := st.StealsInter - base.StealsInter; d != 1 {
+		t.Fatalf("StealsInter delta = %d, want 1 operation", d)
+	}
+	if d := st.StealsInterTasks - base.StealsInterTasks; d != 4 {
+		t.Fatalf("StealsInterTasks delta = %d, want 4 frames", d)
+	}
+	if d := st.BatchSteals - base.BatchSteals; d != 1 {
+		t.Fatalf("BatchSteals delta = %d, want 1", d)
+	}
+	if d := st.ProbesInter - base.ProbesInter; d != 1 {
+		t.Fatalf("ProbesInter delta = %d, want 1 (one probe, four frames)", d)
+	}
+	// The requeued frames are the next-oldest, in order.
+	r.inter[0].Steal() // the warm frame
+	for i := 1; i <= 3; i++ {
+		if x := r.inter[0].Steal(); x != planted[i] {
+			t.Fatalf("requeued frame %d = %p, want %p", i, x, planted[i])
+		}
+	}
+	// Restore the quiet state.
+	for r.inter[1].Pop() != nil {
+	}
+	r.busy[0].busy.Store(false)
+}
+
+// TestStealAffinityHint checks the last-successful-victim hint: after a
+// steal from squad 1's pool, the next scan probes squad 1 first (exactly
+// one probe), and a failed hint probe clears the hint.
+func TestStealAffinityHint(t *testing.T) {
+	r := newRT(t, quadTopo(), 2)
+	waitAllParked(t, r)
+
+	if got := int(r.steal[0].lastInter); got != -1 {
+		t.Fatalf("initial lastInter = %d, want -1", got)
+	}
+	// A single planted frame: k == 1, so no requeue, no Publish.
+	one := &task{fn: nil, level: 1, tier: core.TierInter, hint: -1}
+	r.inter[1].Push(one)
+	rng := xrand.New(7)
+	if got := r.findTask(0, rng); got != one {
+		t.Fatalf("findTask = %p, want planted frame", got)
+	}
+	if got := int(r.steal[0].lastInter); got != 1 {
+		t.Fatalf("lastInter = %d after successful steal from squad 1, want 1", got)
+	}
+	r.busy[0].busy.Store(false)
+
+	// Hint hit: with the pool refilled, the very next scan takes it with
+	// one probe, no randomness involved.
+	base := r.Stats()
+	two := &task{fn: nil, level: 1, tier: core.TierInter, hint: -1}
+	r.inter[1].Push(two)
+	if got := r.findTask(0, rng); got != two {
+		t.Fatalf("hinted findTask = %p, want planted frame", got)
+	}
+	if d := r.Stats().ProbesInter - base.ProbesInter; d != 1 {
+		t.Fatalf("hinted scan cost %d probes, want exactly 1", d)
+	}
+	r.busy[0].busy.Store(false)
+
+	// Hint miss on an empty pool: the scan falls back to random victims
+	// and the stale hint clears.
+	if got := r.findTask(0, rng); got != nil {
+		t.Fatalf("findTask on empty pools = %p, want nil", got)
+	}
+	if got := int(r.steal[0].lastInter); got != -1 {
+		t.Fatalf("lastInter = %d after failed hint probe, want -1 (cleared)", got)
+	}
+}

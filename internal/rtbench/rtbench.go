@@ -13,12 +13,13 @@
 //   - InterPool: the per-squad inter-socket pool (deque.Locked) under the
 //     head-worker traffic pattern: batched pushes drained by a mix of
 //     hint-matched steals, plain steals and owner pops.
-//   - JobThroughput: the multi-job admission path (Submit, bounded queue,
-//     root adoption, per-job completion) under 64 concurrent submitters —
-//     the jobs/sec figure the jobs subsystem is sized by.
+//   - JobThroughput: the multi-job admission path (SubmitBatch, bounded
+//     queue, root adoption, per-job completion) under concurrent
+//     submitters — the jobs/sec figure the jobs subsystem is sized by.
 package rtbench
 
 import (
+	"runtime"
 	"sync"
 	"sync/atomic"
 	"testing"
@@ -110,36 +111,52 @@ func SpawnSyncFaultHook(b *testing.B) {
 	}
 }
 
+// stealTree builds one reusable closure set for a complete binary
+// fork-join tree of the given depth: one closure per level, each spawning
+// the level below twice. Built once, outside any benchmark timer — the old
+// per-iteration recursive builder allocated a fresh closure per interior
+// node, so the benchmark recorded its own 4k allocs/op, not the runtime's.
+// Leaves yield the processor so that, on test machines with fewer cores
+// than workers, woken thieves actually get scheduled against a running
+// owner instead of starving until the tree is done.
+func stealTree(depth int) work.Fn {
+	fns := make([]work.Fn, depth+1)
+	fns[0] = func(p work.Proc) {
+		spin(64)
+		runtime.Gosched()
+	}
+	for d := 1; d <= depth; d++ {
+		child := fns[d-1]
+		fns[d] = func(p work.Proc) {
+			p.Spawn(child)
+			p.Spawn(child)
+			p.Sync()
+		}
+	}
+	return fns[depth]
+}
+
 // StealThroughput runs a complete binary fork-join tree (2^11 leaves) per
 // iteration on a 2x2 machine at BL = 0 — the shape that makes every worker
-// steal to get started — and reports the steal rate it observed.
+// steal to get started — and reports the steal rate it observed. The tree
+// closures are pre-built, so allocs/op is the runtime's own admission +
+// frame cost, not the benchmark's.
 func StealThroughput(b *testing.B) {
 	r, err := rt.New(rt.Config{Topo: quadTopo(), BL: 0, Seed: 1})
 	if err != nil {
 		b.Fatal(err)
 	}
 	defer r.Close()
-	var tree func(d int) work.Fn
-	tree = func(d int) work.Fn {
-		return func(p work.Proc) {
-			if d == 0 {
-				spin(64)
-				return
-			}
-			p.Spawn(tree(d - 1))
-			p.Spawn(tree(d - 1))
-			p.Sync()
-		}
-	}
 	const depth = 11
-	if err := r.Run(tree(depth)); err != nil { // warm
+	root := stealTree(depth)
+	if err := r.Run(root); err != nil { // warm
 		b.Fatal(err)
 	}
 	before := r.Stats()
 	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if err := r.Run(tree(depth)); err != nil {
+		if err := r.Run(root); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -150,32 +167,83 @@ func StealThroughput(b *testing.B) {
 	b.ReportMetric(float64(uint64(2)<<depth-1), "tasks/op")
 }
 
-// JobThroughput measures end-to-end job service rate: 64 goroutines
-// concurrently Submit small fork-join jobs (8 leaves each) through the
-// jobs engine and wait on the futures, splitting b.N jobs between them.
-// Reports jobs/sec — the headline number for the multi-job subsystem —
-// on a 2x2 machine at BL = 0 (every worker adopts roots) with a deep
-// admission queue so throughput, not queue capacity, is measured.
+// StealBatchTiered exercises the batched cross-socket path: at BL = 1 a
+// wide root spawns 16 leaf inter-socket subtrees into its own squad's
+// pool, so a remote head's steal-half grabs several of them in one lock
+// acquisition. It reports the cross-socket operation rate and the average
+// frames each operation carried — the batching win is tasks_per_steal > 1
+// (each socket crossing amortized over several frames).
+func StealBatchTiered(b *testing.B) {
+	r, err := rt.New(rt.Config{Topo: quadTopo(), BL: 1, Seed: 1})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer r.Close()
+	sub := stealTree(7)
+	root := func(p work.Proc) {
+		for i := 0; i < 16; i++ {
+			p.Spawn(sub)
+		}
+		p.Sync()
+	}
+	if err := r.Run(root); err != nil { // warm
+		b.Fatal(err)
+	}
+	before := r.Stats()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := r.Run(root); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.StopTimer()
+	after := r.Stats()
+	ops := after.StealsInter - before.StealsInter
+	frames := after.StealsInterTasks - before.StealsInterTasks
+	b.ReportMetric(float64(ops)/float64(b.N), "intersteals/op")
+	if ops > 0 {
+		b.ReportMetric(float64(frames)/float64(ops), "tasks/steal")
+	}
+}
+
+// jobBody is the standard small fork-join job (8 leaves) the job-path
+// benchmarks submit, shared so their numbers stay comparable.
+func jobBody(p work.Proc) {
+	for i := 0; i < 8; i++ {
+		p.Spawn(noop)
+	}
+	p.Sync()
+}
+
+// JobThroughput measures end-to-end job service rate: 16 goroutines
+// concurrently push small fork-join jobs (8 leaves each) through the jobs
+// engine's batch front door (SubmitBatch, 64 jobs per call) and wait on
+// every future, splitting b.N jobs between them. Reports jobs/sec — the
+// headline number for the multi-job subsystem — on a 2x2 machine at
+// BL = 0 (every worker adopts roots) with a deep admission queue so
+// throughput, not queue capacity, is measured.
 func JobThroughput(b *testing.B) {
-	const submitters = 64
-	r, err := rt.New(rt.Config{Topo: quadTopo(), BL: 0, Seed: 1, QueueDepth: 256})
+	const (
+		submitters = 16
+		batch      = 64
+	)
+	r, err := rt.New(rt.Config{Topo: quadTopo(), BL: 0, Seed: 1, QueueDepth: 512})
 	if err != nil {
 		b.Fatal(err)
 	}
 	defer r.Close()
 	eng := jobs.New(r, jobs.Config{Policy: jobs.Block})
 	defer eng.Close()
-	body := func(p work.Proc) {
-		for i := 0; i < 8; i++ {
-			p.Spawn(noop)
-		}
-		p.Sync()
-	}
 	// Warm: populate freelists and grow the deque rings.
-	if j, err := eng.Submit(nil, body); err != nil {
+	if j, err := eng.Submit(nil, jobBody); err != nil {
 		b.Fatal(err)
 	} else if err := j.Wait(); err != nil {
 		b.Fatal(err)
+	}
+	fns := make([]work.Fn, batch)
+	for i := range fns {
+		fns[i] = jobBody
 	}
 	b.ReportAllocs()
 	b.ResetTimer()
@@ -189,16 +257,23 @@ func JobThroughput(b *testing.B) {
 		wg.Add(1)
 		go func(n int) {
 			defer wg.Done()
-			for i := 0; i < n; i++ {
-				j, err := eng.Submit(nil, body)
+			for n > 0 {
+				k := batch
+				if n < k {
+					k = n
+				}
+				js, err := eng.SubmitBatch(nil, fns[:k])
 				if err != nil {
 					b.Error(err)
 					return
 				}
-				if err := j.Wait(); err != nil {
-					b.Error(err)
-					return
+				for _, j := range js {
+					if err := j.Wait(); err != nil {
+						b.Error(err)
+						return
+					}
 				}
+				n -= k
 			}
 		}(n)
 	}
@@ -207,6 +282,74 @@ func JobThroughput(b *testing.B) {
 	if el := time.Since(start).Seconds(); el > 0 {
 		b.ReportMetric(float64(b.N)/el, "jobs/sec")
 	}
+}
+
+// JobSubmit measures the single-job admission path in isolation: one
+// goroutine Submits the standard small job and waits for it, so ns/op is
+// the submit→adopt→run→settle round trip and allocs/op is the submit
+// path's own footprint (slab-amortized Job, pooled root frame, latch
+// instead of a done channel — ≤ 1 alloc/op in steady state).
+func JobSubmit(b *testing.B) {
+	r, err := rt.New(rt.Config{Topo: quadTopo(), BL: 0, Seed: 1, QueueDepth: 512})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer r.Close()
+	eng := jobs.New(r, jobs.Config{Policy: jobs.Block})
+	defer eng.Close()
+	if j, err := eng.Submit(nil, jobBody); err != nil {
+		b.Fatal(err)
+	} else if err := j.Wait(); err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		j, err := eng.Submit(nil, jobBody)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if err := j.Wait(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// SubmitBatchLatency measures the bulk admission primitive itself: one
+// rt.SubmitBatch call of 32 pre-built roots per iteration, waited to
+// completion, reporting ns and allocs per job (divide by 32 mentally; the
+// per-op figures are per batch).
+func SubmitBatchLatency(b *testing.B) {
+	r, err := rt.New(rt.Config{Topo: quadTopo(), BL: 0, Seed: 1, QueueDepth: 512})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer r.Close()
+	const batch = 32
+	fns := make([]work.Fn, batch)
+	for i := range fns {
+		fns[i] = noop
+	}
+	if js, err := r.SubmitBatch(fns, rt.SubmitOpts{}); err != nil { // warm
+		b.Fatal(err)
+	} else {
+		for _, j := range js {
+			j.Wait()
+		}
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		js, err := r.SubmitBatch(fns, rt.SubmitOpts{})
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, j := range js {
+			j.Wait()
+		}
+	}
+	b.StopTimer()
+	b.ReportMetric(batch, "jobs/op")
 }
 
 // spin burns a few cycles of real CPU so stolen leaves have weight.

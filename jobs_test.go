@@ -264,3 +264,36 @@ func ExampleScheduler_Submit() {
 	fmt.Println(job.Stats().Spawns, "spawns")
 	// Output: 2 spawns
 }
+
+func TestSubmitBatchPublic(t *testing.T) {
+	s := newTestSched(t, cab.Config{})
+	var n atomic.Int64
+	fns := make([]cab.TaskFunc, 40)
+	for i := range fns {
+		fns[i] = func(p cab.Task) {
+			p.Spawn(func(cab.Task) { n.Add(1) })
+			p.Sync()
+		}
+	}
+	jobs, err := s.SubmitBatch(context.Background(), fns)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(jobs) != len(fns) {
+		t.Fatalf("got %d futures, want %d", len(jobs), len(fns))
+	}
+	for _, j := range jobs {
+		if err := j.Wait(); err != nil {
+			t.Fatal(err)
+		}
+		if st := j.Stats(); !st.Done || st.Spawns != 1 {
+			t.Fatalf("job %d stats = %+v", j.ID(), st)
+		}
+	}
+	if got := n.Load(); got != int64(len(fns)) {
+		t.Fatalf("ran %d children, want %d", got, len(fns))
+	}
+	if svc := s.ServiceStats(); svc.Submitted < int64(len(fns)) || svc.Completed < int64(len(fns)) {
+		t.Fatalf("service stats = %+v", svc)
+	}
+}

@@ -11,10 +11,24 @@
 # aborts the run.
 #
 # Usage: scripts/bench.sh [output.json]   (default: BENCH_rt.json)
+#        scripts/bench.sh --check
+#
+# --check is the regression gate: it benchmarks into a temp file, compares
+# the fresh means against the committed BENCH_rt.json, and exits nonzero if
+# SpawnSync ns/op or JobThroughput jobs/sec regressed by more than 25% —
+# the two headline numbers this repo's perf work is anchored to.
 set -eu
 
 cd "$(dirname "$0")/.."
-out="${1:-BENCH_rt.json}"
+
+check=0
+out="BENCH_rt.json"
+if [ "${1:-}" = "--check" ]; then
+    check=1
+    out="$(mktemp --suffix=.json)"
+elif [ -n "${1:-}" ]; then
+    out="$1"
+fi
 raw="$(mktemp)"
 trap 'rm -f "$raw"' EXIT
 
@@ -26,7 +40,7 @@ if ! ./bin/cablint -json ./... > BENCH_lint.json; then
 fi
 echo "cablint clean: $(python3 -c "import json; c = json.load(open('BENCH_lint.json'))['counts']; print(', '.join(f'{k}={v}' for k, v in sorted(c.items())))")"
 
-go test -run '^$' -bench 'BenchmarkSpawnSync$|BenchmarkSpawnSyncTraced$|BenchmarkSpawnSyncFaultHook$|BenchmarkStealThroughput$|BenchmarkInterPool$|BenchmarkJobThroughput$' \
+go test -run '^$' -bench 'BenchmarkSpawnSync$|BenchmarkSpawnSyncTraced$|BenchmarkSpawnSyncFaultHook$|BenchmarkStealThroughput$|BenchmarkStealBatchTiered$|BenchmarkInterPool$|BenchmarkJobThroughput$|BenchmarkJobSubmit$|BenchmarkSubmitBatchLatency$' \
     -benchmem -count=5 . | tee "$raw"
 
 awk '
@@ -74,3 +88,45 @@ END {
 ' "$raw" > "$out"
 
 echo "wrote $out"
+
+if [ "$check" = 1 ]; then
+    status=0
+    python3 - "$out" <<'EOF' || status=$?
+import json, sys
+
+TOLERANCE = 0.25  # fail on >25% regression
+
+def mean(entries, name, key):
+    vals = [e[key] for e in entries if e["name"] == name and key in e]
+    if not vals:
+        sys.exit(f"regression check: no {key} samples for {name}")
+    return sum(vals) / len(vals)
+
+fresh = json.load(open(sys.argv[1]))
+base = json.load(open("BENCH_rt.json"))
+
+failed = False
+# SpawnSync: lower ns/op is better.
+b, f = mean(base, "SpawnSync", "ns_per_op"), mean(fresh, "SpawnSync", "ns_per_op")
+pct = (f - b) * 100 / b
+print(f"SpawnSync ns/op: baseline {b:.1f}, fresh {f:.1f} ({pct:+.1f}%)")
+if f > b * (1 + TOLERANCE):
+    print(f"FAIL: SpawnSync regressed more than {TOLERANCE:.0%}")
+    failed = True
+# JobThroughput: higher jobs/sec is better.
+b, f = mean(base, "JobThroughput", "jobs_per_sec"), mean(fresh, "JobThroughput", "jobs_per_sec")
+pct = (f - b) * 100 / b
+print(f"JobThroughput jobs/sec: baseline {b:.0f}, fresh {f:.0f} ({pct:+.1f}%)")
+if f < b * (1 - TOLERANCE):
+    print(f"FAIL: JobThroughput regressed more than {TOLERANCE:.0%}")
+    failed = True
+
+sys.exit(1 if failed else 0)
+EOF
+    rm -f "$out"
+    if [ "$status" != 0 ]; then
+        echo "bench --check: regression gate FAILED" >&2
+        exit "$status"
+    fi
+    echo "bench --check: within tolerance"
+fi
