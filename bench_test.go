@@ -127,3 +127,11 @@ func BenchmarkInterPool(b *testing.B)          { rtbench.InterPool(b) }
 func BenchmarkJobThroughput(b *testing.B)      { rtbench.JobThroughput(b) }
 func BenchmarkJobSubmit(b *testing.B)          { rtbench.JobSubmit(b) }
 func BenchmarkSubmitBatchLatency(b *testing.B) { rtbench.SubmitBatchLatency(b) }
+
+// Data-parallel subsystem (internal/par + internal/workloads): the
+// ParallelFor grain sweep and the two memory-bound workloads built on it.
+func BenchmarkParallelFor(b *testing.B)       { rtbench.ParallelFor(b) }
+func BenchmarkParallelForFine(b *testing.B)   { rtbench.ParallelForFine(b) }
+func BenchmarkParallelForCoarse(b *testing.B) { rtbench.ParallelForCoarse(b) }
+func BenchmarkSamplesort(b *testing.B)        { rtbench.Samplesort(b) }
+func BenchmarkHashJoin(b *testing.B)          { rtbench.HashJoin(b) }

@@ -41,6 +41,7 @@ import (
 
 	"cab/internal/core"
 	"cab/internal/jobs"
+	"cab/internal/par"
 	"cab/internal/rt"
 	"cab/internal/topology"
 	"cab/internal/work"
@@ -142,9 +143,10 @@ type Config struct {
 // every submission is an independently accounted, independently
 // cancellable job on the shared squad-structured pool.
 type Scheduler struct {
-	rt  *rt.Runtime
-	eng *jobs.Engine
-	bl  int
+	rt   *rt.Runtime
+	eng  *jobs.Engine
+	pool *par.Pool // loop/span descriptor recycling for ParallelFor
+	bl   int
 }
 
 // New launches M*N workers grouped into per-socket squads and computes the
@@ -186,7 +188,7 @@ func New(cfg Config) (*Scheduler, error) {
 		policy = jobs.Reject
 	}
 	eng := jobs.New(r, jobs.Config{Policy: policy})
-	return &Scheduler{rt: r, eng: eng, bl: r.BL()}, nil
+	return &Scheduler{rt: r, eng: eng, pool: par.NewPool(r.Topology()), bl: r.BL()}, nil
 }
 
 // BoundaryLevel returns the BL in effect (0 means single-tier scheduling,

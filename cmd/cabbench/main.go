@@ -3,7 +3,7 @@
 //
 // Usage:
 //
-//	cabbench [-exp id[,id...]] [-scale f] [-seed n] [-verify] [-list] [-rtbench] [-chaos]
+//	cabbench [-exp id[,id...]] [-scale f] [-seed n] [-verify] [-list] [-rtbench] [-par] [-chaos]
 //
 // With no -exp it runs every experiment in presentation order. Experiment
 // IDs follow the paper: tab3, fig4, tab4, fig5, fig6, fig7, fig8, plus
@@ -19,6 +19,14 @@
 // Submit -jobs fork-join jobs of -width leaves through one shared
 // Scheduler and wait on the futures; it reports jobs/sec and the service
 // counters, the end-to-end figure for the jobs subsystem.
+//
+// -par runs the data-parallel subsystem smoke: against one live Scheduler
+// at BL 1 it executes a cab.ParallelFor saxpy, a cab.Reduce sum checked
+// against the closed form, the data-parallel sample sort and the
+// squad-affine hash join (both verified against serial references), and
+// prints timings plus scheduler counters as JSON, exiting 1 on any
+// mismatch — the CI smoke for internal/par and the data-parallel
+// workloads.
 //
 // -chaos runs the fault-tolerance smoke: against one live Scheduler with a
 // fast watchdog it freezes a worker mid-task (asserting the watchdog flags
@@ -54,6 +62,7 @@ import (
 	"cab/internal/chaos"
 	"cab/internal/exp"
 	"cab/internal/rtbench"
+	"cab/internal/workloads"
 )
 
 func main() {
@@ -75,8 +84,14 @@ func main() {
 		tracefib = flag.Int("tracefib", 30, "trace: the fib argument of the traced run")
 
 		chaosSmoke = flag.Bool("chaos", false, "run the fault-injection smoke scenarios and exit")
+		parSmoke   = flag.Bool("par", false, "run the data-parallel subsystem smoke (ParallelFor/Reduce/samplesort/hash join) and exit")
 	)
 	flag.Parse()
+
+	if *parSmoke {
+		runPar()
+		return
+	}
 
 	if *chaosSmoke {
 		runChaos()
@@ -225,18 +240,128 @@ func runRTBench() {
 		{"JobThroughput", rtbench.JobThroughput},
 		{"JobSubmit", rtbench.JobSubmit},
 		{"SubmitBatchLatency", rtbench.SubmitBatchLatency},
+		{"ParallelFor", rtbench.ParallelFor},
+		{"ParallelForFine", rtbench.ParallelForFine},
+		{"ParallelForCoarse", rtbench.ParallelForCoarse},
+		{"Samplesort", rtbench.Samplesort},
+		{"HashJoin", rtbench.HashJoin},
 	} {
 		res := testing.Benchmark(mb.fn)
 		fmt.Printf("   %-16s %10d iters %12.1f ns/op %8d B/op %6d allocs/op",
 			mb.name, res.N, float64(res.T.Nanoseconds())/float64(res.N),
 			res.AllocedBytesPerOp(), res.AllocsPerOp())
 		for _, unit := range []string{"steals/op", "tasks/op", "jobs/sec",
-			"intersteals/op", "tasks/steal", "jobs/op"} {
+			"intersteals/op", "tasks/steal", "jobs/op",
+			"ns/elem", "speedup_vs_sortslice", "keys/sec", "tuples/sec"} {
 			if v, ok := res.Extra[unit]; ok {
 				fmt.Printf(" %10.1f %s", v, unit)
 			}
 		}
 		fmt.Println()
+	}
+}
+
+// parFail prints a data-parallel smoke failure and exits non-zero.
+func parFail(format string, args ...interface{}) {
+	fmt.Fprintf(os.Stderr, "cabbench: par: "+format+"\n", args...)
+	os.Exit(1)
+}
+
+// runPar is the data-parallel subsystem smoke: against one Scheduler on a
+// 2x2 squad machine at BL 1 it runs a cab.ParallelFor saxpy, a cab.Reduce
+// sum (checked against the closed form), the sample sort and the
+// squad-affine hash join (both self-verifying), then prints the timings
+// and scheduler counters as JSON — the CI gate for the subsystem.
+func runPar() {
+	sched, err := cab.New(cab.Config{
+		Machine:       cab.Machine{Sockets: 2, CoresPerSocket: 2, SharedCache: 1 << 20},
+		BoundaryLevel: 1,
+	})
+	if err != nil {
+		parFail("%v", err)
+	}
+	defer sched.Close()
+	ctx := context.Background()
+
+	const n = 1 << 20
+	data := make([]float64, n)
+	for i := range data {
+		data[i] = float64(i)
+	}
+	t0 := time.Now()
+	if err := sched.ParallelFor(ctx, 0, n, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			data[i] = 2*data[i] + 1
+		}
+	}, cab.WithElemBytes(8)); err != nil {
+		parFail("ParallelFor: %v", err)
+	}
+	forMS := float64(time.Since(t0).Microseconds()) / 1000
+
+	t0 = time.Now()
+	sum, err := cab.Reduce(sched, ctx, 0, n,
+		func(lo, hi int) float64 {
+			var s float64
+			for i := lo; i < hi; i++ {
+				s += data[i]
+			}
+			return s
+		},
+		func(a, b float64) float64 { return a + b },
+		cab.WithElemBytes(8))
+	if err != nil {
+		parFail("Reduce: %v", err)
+	}
+	reduceMS := float64(time.Since(t0).Microseconds()) / 1000
+	// data[i] = 2i+1, so the sum is n^2 exactly (float64-exact at this n).
+	if want := float64(n) * float64(n); sum != want {
+		parFail("Reduce sum = %v, want %v", sum, want)
+	}
+
+	const sortN = 200_000
+	s := workloads.NewSamplesort(sortN)
+	t0 = time.Now()
+	if err := sched.Run(s.Root()); err != nil {
+		parFail("samplesort: %v", err)
+	}
+	sortMS := float64(time.Since(t0).Microseconds()) / 1000
+	if err := s.Verify(); err != nil {
+		parFail("samplesort: %v", err)
+	}
+
+	h := workloads.NewHashJoin(100_000, 200_000, 32, workloads.JoinAffine)
+	t0 = time.Now()
+	if err := sched.Run(h.Root()); err != nil {
+		parFail("hash join: %v", err)
+	}
+	joinMS := float64(time.Since(t0).Microseconds()) / 1000
+	if err := h.Verify(); err != nil {
+		parFail("hash join: %v", err)
+	}
+
+	st := sched.Stats()
+	out := struct {
+		ForN        int     `json:"parallel_for_n"`
+		ForMS       float64 `json:"parallel_for_ms"`
+		ReduceMS    float64 `json:"reduce_ms"`
+		ReduceSum   float64 `json:"reduce_sum"`
+		SortN       int     `json:"sort_n"`
+		SortMS      float64 `json:"sort_ms"`
+		JoinProbes  int     `json:"join_probes"`
+		JoinMS      float64 `json:"join_ms"`
+		JoinResult  int64   `json:"join_result"`
+		Spawns      int64   `json:"spawns"`
+		StealsIntra int64   `json:"steals_intra"`
+		StealsInter int64   `json:"steals_inter"`
+		OK          bool    `json:"ok"`
+	}{n, forMS, reduceMS, sum, sortN, sortMS, h.NProbe, joinMS, h.Result(), st.Spawns, st.StealsIntra, st.StealsInter, true}
+	if out.Spawns == 0 || out.JoinResult <= 0 {
+		parFail("suspicious counters: %+v", out)
+	}
+	enc := json.NewEncoder(os.Stdout)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(out); err != nil {
+		parFail("%v", err)
 	}
 }
 

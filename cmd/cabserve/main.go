@@ -20,6 +20,9 @@
 //	GET /fib?n=30       parallel Fibonacci (fork-join tree, serial cutoff)
 //	GET /matmul?n=128   parallel n x n matrix multiply, returns a checksum
 //	GET /nqueens?n=10   parallel N-queens solution count
+//	GET /sort?n=100000  data-parallel sample sort of n keys, returns a checksum
+//	GET /join?n=100000  partitioned hash join (n probes vs n/2 build tuples),
+//	                    returns the matched payload sum
 //	GET /statz          scheduler + job-service counters (JSON)
 //	GET /healthz        liveness: 200 unless the watchdog sees wedged workers
 //	GET /readyz         readiness: 200 unless draining or shedding load
@@ -53,6 +56,7 @@ import (
 	"time"
 
 	"cab"
+	"cab/internal/workloads"
 )
 
 func main() {
@@ -142,6 +146,8 @@ func (sv *server) routes() *http.ServeMux {
 	mux.HandleFunc("/fib", sv.handler(1, 45, fibJob))
 	mux.HandleFunc("/matmul", sv.handler(1, 1024, matmulJob))
 	mux.HandleFunc("/nqueens", sv.handler(1, 14, nqueensJob))
+	mux.HandleFunc("/sort", sv.handler(256, 1<<21, sortJob))
+	mux.HandleFunc("/join", sv.handler(256, 1<<21, joinJob))
 	mux.HandleFunc("/statz", func(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusOK, map[string]any{
 			"scheduler": sched.Stats(),
@@ -382,6 +388,45 @@ func matmulJob(n int) (cab.TaskFunc, *atomic.Int64) {
 			sum += v
 		}
 		out.Store(sum)
+	}
+	return root, &out
+}
+
+// sortJob runs the data-parallel sample sort (internal/workloads, built
+// on cab.ParallelFor's underlying loop machinery) over n deterministic
+// keys and reports the checksum of the sorted output. A verification
+// failure panics, surfacing from Wait as the job's error.
+func sortJob(n int) (cab.TaskFunc, *atomic.Int64) {
+	var out atomic.Int64
+	s := workloads.NewSamplesort(n)
+	sorter := s.Root()
+	root := func(t cab.Task) {
+		sorter(t)
+		if err := s.Verify(); err != nil {
+			panic(err)
+		}
+		var sum int64
+		for _, v := range s.Sorted() {
+			sum += v
+		}
+		out.Store(sum)
+	}
+	return root, &out
+}
+
+// joinJob runs the partitioned hash join with squad-affine placement:
+// n probe tuples against n/2 build tuples over 32 partitions, reporting
+// the matched payload sum.
+func joinJob(n int) (cab.TaskFunc, *atomic.Int64) {
+	var out atomic.Int64
+	h := workloads.NewHashJoin(n/2, n, 32, workloads.JoinAffine)
+	joiner := h.Root()
+	root := func(t cab.Task) {
+		joiner(t)
+		if err := h.Verify(); err != nil {
+			panic(err)
+		}
+		out.Store(h.Result())
 	}
 	return root, &out
 }

@@ -70,6 +70,53 @@ func TestFibEndpoint(t *testing.T) {
 	}
 }
 
+func TestSortEndpoint(t *testing.T) {
+	_, srv := testServer(t)
+	code, body := get(t, srv.URL+"/sort?n=20000")
+	if code != http.StatusOK {
+		t.Fatalf("status %d: %s", code, body)
+	}
+	var out struct {
+		N      int   `json:"n"`
+		Result int64 `json:"result"`
+	}
+	if err := json.Unmarshal([]byte(body), &out); err != nil {
+		t.Fatal(err)
+	}
+	// The checksum is deterministic per n; the job verifies sortedness
+	// itself (a failure would have surfaced as a 500), so assert the
+	// endpoint round-trips the parameters and a non-trivial result.
+	if out.N != 20000 || out.Result == 0 {
+		t.Fatalf("sort response %+v", out)
+	}
+	if code, body := get(t, srv.URL+"/sort?n=1"); code != http.StatusBadRequest {
+		t.Fatalf("undersized n: status %d: %s", code, body)
+	}
+}
+
+func TestJoinEndpoint(t *testing.T) {
+	_, srv := testServer(t)
+	code, body := get(t, srv.URL+"/join?n=20000")
+	if code != http.StatusOK {
+		t.Fatalf("status %d: %s", code, body)
+	}
+	var out struct {
+		Result int64 `json:"result"`
+	}
+	if err := json.Unmarshal([]byte(body), &out); err != nil {
+		t.Fatal(err)
+	}
+	// The join verifies against its map-based reference inside the job;
+	// a mismatch panics into a 500. ~half the probes match, so the
+	// payload sum is positive.
+	if out.Result <= 0 {
+		t.Fatalf("join result = %d, want > 0", out.Result)
+	}
+	if code, body := get(t, srv.URL+"/join?n=0"); code != http.StatusBadRequest {
+		t.Fatalf("undersized n: status %d: %s", code, body)
+	}
+}
+
 func TestMetricz(t *testing.T) {
 	_, srv := testServer(t)
 	// Run a job first so the counters and histograms are non-zero.

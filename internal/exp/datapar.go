@@ -1,0 +1,102 @@
+package exp
+
+import (
+	"fmt"
+	"strings"
+
+	"cab/internal/cache"
+	"cab/internal/tablefmt"
+	"cab/internal/workloads"
+)
+
+// joinParts is chosen so joinParts mod sockets != 0 on the 4-socket
+// testbed: round-robin dealing then sends every probe task to a
+// different squad than its partition's build (the worst case a
+// placement-unaware scheduler can produce), while the affine mapping
+// i*M/P is unaffected.
+const joinParts = 17
+
+func joinSpecAt(p Params, mode workloads.JoinMode) workloads.Spec {
+	nBuild := p.dim(49152)
+	return workloads.HashJoinSpec(nBuild, 2*nBuild, joinParts, mode)
+}
+
+// socketMissList renders per-socket L3 misses as "a/b/c/d".
+func socketMissList(sock []int64) string {
+	parts := make([]string, len(sock))
+	for i, v := range sock {
+		parts[i] = fmt.Sprint(v)
+	}
+	return strings.Join(parts, "/")
+}
+
+// Join measures the squad-affine partition contract with the simulator's
+// per-socket L3 counters: the partitioned hash join run with build and
+// probe tasks of each partition hinted to the same squad (affine) versus
+// dealt round-robin across squads. The join computes the same answer
+// either way; only the placement differs, so the delta in shared-cache
+// misses is purely the cost of probing a hash table that another socket
+// built.
+func Join() Experiment {
+	return Experiment{
+		ID:    "join",
+		Title: "Hash join: squad-affine vs round-robin partition placement",
+		Paper: "generalizes Fig. 4's locality argument to flat data-parallel phases: keeping a partition's build and probe on one socket turns the probe's table traffic into local L3 hits",
+		Run: func(p Params) (*Result, error) {
+			t := tablefmt.New("Hash join under CAB (BL=1): placement vs per-socket L3 misses",
+				"placement", "cycles", "L3 misses", "per-socket L3 misses")
+			res := &Result{Values: map[string]float64{}}
+			top := opteron()
+
+			affine, err := run(runCfg{spec: joinSpecAt(p, workloads.JoinAffine),
+				sched: "cab", bl: 1, seed: p.Seed, machine: top, verify: p.Verify})
+			if err != nil {
+				return nil, err
+			}
+			rr, err := run(runCfg{spec: joinSpecAt(p, workloads.JoinRoundRobin),
+				sched: "cab", bl: 1, seed: p.Seed, machine: top, verify: p.Verify})
+			if err != nil {
+				return nil, err
+			}
+			// Context row: a placement-oblivious random stealer (hints are
+			// ignored entirely, so the mode is irrelevant to it).
+			cilk, err := run(runCfg{spec: joinSpecAt(p, workloads.JoinAffine),
+				sched: "cilk", seed: p.Seed, machine: top, verify: p.Verify})
+			if err != nil {
+				return nil, err
+			}
+
+			t.AddRow("affine", fmt.Sprint(affine.Time),
+				fmt.Sprint(affine.Cache.L3.Misses), socketMissList(l3Misses(affine.SocketL3)))
+			t.AddRow("round-robin", fmt.Sprint(rr.Time),
+				fmt.Sprint(rr.Cache.L3.Misses), socketMissList(l3Misses(rr.SocketL3)))
+			t.AddRow("cilk (no hints)", fmt.Sprint(cilk.Time),
+				fmt.Sprint(cilk.Cache.L3.Misses), socketMissList(l3Misses(cilk.SocketL3)))
+			t.AddNote("same join, same answer; only task placement differs")
+
+			res.Values["affine.l3misses"] = float64(affine.Cache.L3.Misses)
+			res.Values["rr.l3misses"] = float64(rr.Cache.L3.Misses)
+			res.Values["cilk.l3misses"] = float64(cilk.Cache.L3.Misses)
+			res.Values["l3reduction"] = gain(float64(rr.Cache.L3.Misses), float64(affine.Cache.L3.Misses))
+			res.Values["timeGain"] = gain(float64(rr.Time), float64(affine.Time))
+			res.Values["sockets"] = float64(len(affine.SocketL3))
+			improved := 0
+			for s := range affine.SocketL3 {
+				if s < len(rr.SocketL3) && affine.SocketL3[s].Misses < rr.SocketL3[s].Misses {
+					improved++
+				}
+			}
+			res.Values["socketsImproved"] = float64(improved)
+			res.Tables = []*tablefmt.Table{t}
+			return res, nil
+		},
+	}
+}
+
+func l3Misses(sock []cache.Stats) []int64 {
+	out := make([]int64, len(sock))
+	for i, s := range sock {
+		out[i] = s.Misses
+	}
+	return out
+}

@@ -99,6 +99,7 @@ func All() []Experiment {
 		Machines(),
 		Slaw(),
 		Seeds(),
+		Join(),
 	}
 }
 

@@ -45,8 +45,8 @@ func TestAllHaveUniqueIDs(t *testing.T) {
 		}
 		seen[e.ID] = true
 	}
-	if len(seen) != 17 {
-		t.Errorf("expected 17 experiments, got %d", len(seen))
+	if len(seen) != 18 {
+		t.Errorf("expected 18 experiments, got %d", len(seen))
 	}
 }
 
@@ -304,6 +304,23 @@ func TestSlawShape(t *testing.T) {
 	if res.Value("cabGain") <= res.Value("slawGain") {
 		t.Errorf("CAB gain %.2f should exceed SLAW gain %.2f",
 			res.Value("cabGain"), res.Value("slawGain"))
+	}
+}
+
+func TestJoinShape(t *testing.T) {
+	res := mustRun(t, "join", testParams())
+	// The squad-affine contract's measurable claim: same join, same
+	// answer, fewer shared-cache misses — on every socket, not just in
+	// aggregate — when each partition's probe runs where its build ran.
+	if red := res.Value("l3reduction"); red < 0.10 {
+		t.Errorf("affine L3 miss reduction = %.1f%%, want >= 10%%", red*100)
+	}
+	if res.Value("socketsImproved") != res.Value("sockets") {
+		t.Errorf("affine improved only %v of %v sockets",
+			res.Value("socketsImproved"), res.Value("sockets"))
+	}
+	if res.Value("affine.l3misses") <= 0 {
+		t.Error("no per-socket L3 traffic measured")
 	}
 }
 

@@ -97,3 +97,58 @@ func coldFunc(n int) []string {
 	}
 	return out
 }
+
+// The data-parallel range-splitting pattern (internal/par's runSpan):
+// a halving loop that peels spans off a freelist whose task funcs were
+// bound when the descriptor was first allocated. Nothing on the split
+// path itself allocates — the only allocation is the freelist-miss
+// refill, waived as the slow path — so the pattern is hotpath-clean
+// without per-split waivers.
+
+type span struct {
+	lo, hi int
+	fn     func()
+}
+
+var spanFree []*span
+
+func getSpan(lo, hi int) *span {
+	if n := len(spanFree); n > 0 {
+		s := spanFree[n-1]
+		spanFree = spanFree[:n-1]
+		s.lo, s.hi = lo, hi
+		return s
+	}
+	//cab:allow hotpath freelist miss is the amortized slow path
+	s := new(span)
+	s.fn = s.run
+	return s
+}
+
+func (s *span) run() { _ = s.hi - s.lo }
+
+func submit(func()) {}
+
+//cab:hotpath
+func hotRangeSplit(lo, hi, grain int) {
+	for hi-lo > grain {
+		mid := lo + (hi-lo)/2
+		s := getSpan(mid, hi)
+		submit(s.fn)
+		hi = mid
+	}
+}
+
+// The naive version binds a fresh closure per split — one heap
+// allocation per spawned span, exactly what the freelist pattern above
+// exists to avoid.
+//
+//cab:hotpath
+func hotRangeSplitNaive(lo, hi, grain int) {
+	for hi-lo > grain {
+		mid := lo + (hi-lo)/2
+		m := mid
+		submit(func() { _ = m }) // want "closure captures variables"
+		hi = mid
+	}
+}

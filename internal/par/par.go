@@ -1,0 +1,339 @@
+// Package par is the data-parallel layer of the CAB runtime: a recursive
+// range-splitting ParallelFor and a tree-combining Reduce built on top of
+// the fork-join task frames of internal/rt (and, unchanged, on the
+// simulated machine — everything here speaks work.Proc, so the same loop
+// runs under the real scheduler and under the cache simulator).
+//
+// The loop [lo, hi) is split like a fork-join tree, but iteratively: a
+// task keeps the left half for itself and spawns the right half, halving
+// until its local range reaches the grain, so one frame publishes
+// log2(n/grain) stealable subranges while descending to its own leaf.
+// Each spawned subrange carries a placement hint mapping its centre
+// proportionally onto the squads (the paper's inter_spawn idiom, §IV-D):
+// at BL > 0 the top of the split tree distributes one region per socket
+// and the tiles of a region stay inside one squad's shared cache.
+//
+// Tiling model. The grain (leaf size, in elements) is derived from the
+// topology unless overridden: large enough that a leaf amortizes the
+// ~100ns frame cost and never splits below a few cache lines (false
+// sharing), small enough that a leaf's working set fits comfortably in
+// the executing worker's share of its socket's L3 — the resource-oblivious
+// block-size recipe of "Efficient Resource Oblivious Algorithms for
+// Multicores" instantiated with the configured machine model. See Grain.
+//
+// Allocation discipline. The split/leaf path is //cab:hotpath: steady
+// state performs no heap allocation. Subrange descriptors (spans) are
+// recycled through per-worker padded freelists exactly like the runtime's
+// task frames — a span carries a pre-bound task closure, so re-spawning a
+// recycled span costs zero allocations — and loop descriptors are pooled
+// across ParallelFor calls. TestParallelForZeroAlloc enforces this with
+// testing.AllocsPerRun, the same gate SpawnSync has.
+package par
+
+import (
+	"sync"
+
+	"cab/internal/topology"
+	"cab/internal/work"
+)
+
+// cacheLine is the padding granularity for per-worker shards, matching
+// internal/rt: two 64-byte lines so adjacent-line prefetchers cannot
+// re-couple neighbours.
+const cacheLine = 128
+
+// spanCacheCap bounds how many recycled spans one worker shard retains;
+// surplus spans are dropped for the GC (a loop body that fans out wider
+// than this is re-allocating anyway).
+const spanCacheCap = 1024
+
+// parSlack is the oversubscription factor of the auto grain: the split
+// aims for about parSlack leaves per worker, so late-arriving thieves
+// still find stealable subranges after the first wave is claimed.
+const parSlack = 8
+
+// DefaultMaxWorkers sizes pools built without a concrete machine (the
+// workloads construct their pools before knowing which runtime — real or
+// simulated — will execute them). Worker IDs at or above the shard count
+// fall back to plain allocation, so the bound is a performance ceiling,
+// not a correctness one.
+const DefaultMaxWorkers = 256
+
+// Body is a leaf body: it processes elements [lo, hi) of the iteration
+// space. It runs concurrently with other leaves and must not touch
+// elements outside its range without synchronization.
+type Body = func(lo, hi int)
+
+// BodyProc is a leaf body that also receives the executing task context,
+// so workloads can annotate their memory traffic for the simulator or
+// spawn nested subtasks.
+type BodyProc = func(p work.Proc, lo, hi int)
+
+// Options tunes one loop. The zero value derives everything from the
+// pool's machine model.
+type Options struct {
+	// Grain is the leaf size in elements; 0 derives it from the topology
+	// (see Grain). Negative is treated as 0.
+	Grain int
+	// ElemBytes is the number of bytes one element's leaf work touches,
+	// used by the automatic grain; 0 means 8 (one word).
+	ElemBytes int64
+	// NoHints disables the proportional squad placement hints, leaving
+	// subrange placement entirely to stealing.
+	NoHints bool
+}
+
+// Grain returns the cache-aware leaf size for a loop of n elements
+// touching elemBytes per element on machine t: the parallel-slack target
+// n/(parSlack*workers), capped so a leaf's working set stays within half
+// a worker's fair share of the socket's shared cache, floored at a few
+// cache lines so leaves never fragment a line across workers.
+func Grain(n int, elemBytes int64, t topology.Topology) int {
+	if n <= 0 {
+		return 1
+	}
+	if elemBytes <= 0 {
+		elemBytes = 8
+	}
+	line := t.LineBytes
+	if line <= 0 {
+		line = 64
+	}
+	lineElems := int(line / elemBytes)
+	if lineElems < 1 {
+		lineElems = 1
+	}
+	floor := 8 * lineElems // amortize the frame cost, keep lines whole
+	workers := t.Workers()
+	if workers < 1 {
+		workers = 1
+	}
+	g := n / (parSlack * workers)
+	if t.L3Bytes > 0 && t.CoresPerSocket > 0 {
+		cap := int(t.L3Bytes / 2 / int64(t.CoresPerSocket) / elemBytes)
+		if cap >= 1 && g > cap {
+			g = cap
+		}
+	}
+	if g < floor {
+		g = floor
+	}
+	if g > n {
+		g = n
+	}
+	if g < 1 {
+		g = 1
+	}
+	return g
+}
+
+// Pool recycles loop and span descriptors across ParallelFor calls, so
+// steady-state loops allocate nothing. One pool per scheduler (or per
+// workload instance); pools are safe for concurrent use — span shards are
+// owner-worker-only like the runtime's frame freelists, loop descriptors
+// go through a mutex off the hot path.
+type Pool struct {
+	topo   topology.Topology
+	shards []spanShard
+
+	loopMu sync.Mutex
+	loops  []*Loop
+}
+
+// spanShard is one worker's private stack of recycled spans, padded so
+// neighbouring workers' freelist headers do not false-share.
+//
+//cab:padded
+type spanShard struct {
+	free []*span
+	_    [cacheLine - 24]byte
+}
+
+// NewPool builds a pool for machine t. A zero-valued topology sizes the
+// shard array at DefaultMaxWorkers and uses the default tiling constants.
+func NewPool(t topology.Topology) *Pool {
+	workers := t.Workers()
+	if workers <= 0 {
+		workers = DefaultMaxWorkers
+	}
+	return &Pool{topo: t, shards: make([]spanShard, workers)}
+}
+
+// Topology returns the machine model the pool derives grains from.
+func (pl *Pool) Topology() topology.Topology { return pl.topo }
+
+// span is one spawned subrange of a loop: the data-parallel analogue of a
+// task frame. fn is the pre-bound task closure (created once, when the
+// span is first allocated) so re-spawning a recycled span allocates
+// nothing.
+type span struct {
+	l      *Loop
+	lo, hi int
+	fn     work.Fn
+}
+
+// run executes the span's subrange and recycles the descriptor. By the
+// time runSpan returns, the subrange's children have joined (runSpan
+// syncs), so nothing references the span anymore.
+func (s *span) run(p work.Proc) {
+	l := s.l
+	lo, hi := s.lo, s.hi
+	l.runSpan(p, lo, hi)
+	l.pool.put(p.Worker(), s)
+}
+
+// get hands out a span from the executing worker's shard, falling back to
+// allocation when the shard is drained (or the worker ID exceeds the
+// shard array — possible only for pools sized by DefaultMaxWorkers).
+//
+//cab:hotpath
+func (pl *Pool) get(w int, l *Loop, lo, hi int) *span {
+	if uint(w) < uint(len(pl.shards)) {
+		sh := &pl.shards[w]
+		if n := len(sh.free); n > 0 {
+			s := sh.free[n-1]
+			sh.free[n-1] = nil
+			sh.free = sh.free[:n-1]
+			s.l, s.lo, s.hi = l, lo, hi
+			return s
+		}
+	}
+	//cab:allow hotpath drained-shard slow path: the only steady-state span allocation
+	s := &span{l: l, lo: lo, hi: hi}
+	s.fn = s.run //cab:allow hotpath one-time method bind, reused for the span's lifetime
+	return s
+}
+
+// put recycles a finished span into the executing worker's shard.
+//
+//cab:hotpath
+func (pl *Pool) put(w int, s *span) {
+	s.l = nil
+	if uint(w) >= uint(len(pl.shards)) {
+		return // oversized worker ID: drop for the GC
+	}
+	sh := &pl.shards[w]
+	if len(sh.free) >= spanCacheCap {
+		return
+	}
+	//cab:allow hotpath amortized growth: capacity stabilizes at spanCacheCap
+	sh.free = append(sh.free, s)
+}
+
+// Loop is one prepared ParallelFor: the iteration space, the resolved
+// grain and the leaf body. Loops are pooled — obtain one with Pool.For,
+// run Task() exactly once (under any scheduler), then Release it.
+type Loop struct {
+	pool           *Pool
+	rootLo, rootHi int
+	grain          int
+	squads         int
+	hinted         bool
+	body           Body
+	bodyP          BodyProc
+	fn             work.Fn // bound run, created once per descriptor
+}
+
+// For prepares a loop over [lo, hi) calling body on each leaf subrange.
+// The descriptor comes from the pool; pass the returned loop's Task to a
+// scheduler (or work.Serial) exactly once, then Release it.
+func (pl *Pool) For(lo, hi int, o Options, body Body) *Loop {
+	l := pl.newLoop(lo, hi, o)
+	l.body = body
+	return l
+}
+
+// ForProc is For with a context-aware leaf body (annotated workloads).
+func (pl *Pool) ForProc(lo, hi int, o Options, body BodyProc) *Loop {
+	l := pl.newLoop(lo, hi, o)
+	l.bodyP = body
+	return l
+}
+
+func (pl *Pool) newLoop(lo, hi int, o Options) *Loop {
+	pl.loopMu.Lock()
+	var l *Loop
+	if n := len(pl.loops); n > 0 {
+		l = pl.loops[n-1]
+		pl.loops[n-1] = nil
+		pl.loops = pl.loops[:n-1]
+		pl.loopMu.Unlock()
+	} else {
+		pl.loopMu.Unlock()
+		l = &Loop{pool: pl}
+		l.fn = l.run
+	}
+	g := o.Grain
+	if g <= 0 {
+		g = Grain(hi-lo, o.ElemBytes, pl.topo)
+	}
+	l.rootLo, l.rootHi, l.grain, l.hinted = lo, hi, g, !o.NoHints
+	l.body, l.bodyP = nil, nil
+	return l
+}
+
+// Release returns the loop descriptor to the pool. Call only after the
+// loop's task has fully drained (Run/Wait returned): a released loop may
+// be reissued to a concurrent ParallelFor immediately.
+func (l *Loop) Release() {
+	pl := l.pool
+	l.body, l.bodyP = nil, nil
+	pl.loopMu.Lock()
+	pl.loops = append(pl.loops, l)
+	pl.loopMu.Unlock()
+}
+
+// Task returns the loop's root task body.
+func (l *Loop) Task() work.Fn { return l.fn }
+
+// Grain returns the resolved leaf size in elements.
+func (l *Loop) Grain() int { return l.grain }
+
+// run is the root task of the loop.
+func (l *Loop) run(p work.Proc) {
+	l.squads = p.Squads()
+	l.runSpan(p, l.rootLo, l.rootHi)
+}
+
+// runSpan is the split/leaf hot path: halve the range, spawning right
+// halves (hinted onto squads proportionally) and keeping left halves
+// local, until the local range reaches the grain; run the leaf body; join
+// the spawned halves. One execution publishes its largest subranges
+// first, so thieves grab big, cache-coherent regions while the owner
+// descends depth-first into the leftmost tile — the locality child-first
+// scheduling buys, without frame recursion.
+//
+//cab:hotpath
+func (l *Loop) runSpan(p work.Proc, lo, hi int) {
+	g := l.grain
+	spawned := false
+	for hi-lo > g {
+		mid := lo + (hi-lo)/2
+		c := l.pool.get(p.Worker(), l, mid, hi)
+		p.SpawnHint(l.hintFor(mid, hi), c.fn)
+		hi = mid
+		spawned = true
+	}
+	if hi > lo {
+		if l.bodyP != nil {
+			l.bodyP(p, lo, hi)
+		} else {
+			l.body(lo, hi)
+		}
+	}
+	if spawned {
+		p.Sync()
+	}
+}
+
+// hintFor maps a subrange's centre proportionally onto the squads — the
+// same region-to-socket rule the recursive workloads use, so iterative
+// loops over the same data keep a stable squad mapping across calls.
+//
+//cab:hotpath
+func (l *Loop) hintFor(lo, hi int) int {
+	if !l.hinted || l.squads <= 1 || l.rootHi <= l.rootLo {
+		return -1
+	}
+	return ((lo+hi)/2 - l.rootLo) * l.squads / (l.rootHi - l.rootLo)
+}

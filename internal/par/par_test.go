@@ -1,0 +1,326 @@
+package par
+
+import (
+	"sync/atomic"
+	"testing"
+
+	"cab/internal/rt"
+	"cab/internal/topology"
+	"cab/internal/work"
+)
+
+func quadTopo() topology.Topology {
+	return topology.Topology{
+		Sockets: 2, CoresPerSocket: 2, LineBytes: 64,
+		L1Bytes: 32 << 10, L1Assoc: 8,
+		L2Bytes: 256 << 10, L2Assoc: 8,
+		L3Bytes: 1 << 20, L3Assoc: 16,
+	}
+}
+
+func newRT(t *testing.T, top topology.Topology, bl int) *rt.Runtime {
+	t.Helper()
+	r, err := rt.New(rt.Config{Topo: top, BL: bl, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(r.Close)
+	return r
+}
+
+// runLoop executes one prepared loop to completion on r and releases it.
+func runLoop(t *testing.T, r *rt.Runtime, l *Loop) {
+	t.Helper()
+	if err := r.Run(l.Task()); err != nil {
+		t.Fatal(err)
+	}
+	l.Release()
+}
+
+// checkVisits asserts every index in [0, n) was visited exactly once.
+func checkVisits(t *testing.T, visits []atomic.Int32) {
+	t.Helper()
+	for i := range visits {
+		if v := visits[i].Load(); v != 1 {
+			t.Fatalf("index %d visited %d times, want 1", i, v)
+		}
+	}
+}
+
+func TestParallelForVisitsEveryIndexOnce(t *testing.T) {
+	const n = 10000
+	pool := NewPool(quadTopo())
+	for _, bl := range []int{0, 1} {
+		for _, grain := range []int{0, 1, 7, 64, n, 3 * n} {
+			r := newRT(t, quadTopo(), bl)
+			visits := make([]atomic.Int32, n)
+			l := pool.For(0, n, Options{Grain: grain}, func(lo, hi int) {
+				for i := lo; i < hi; i++ {
+					visits[i].Add(1)
+				}
+			})
+			runLoop(t, r, l)
+			checkVisits(t, visits)
+		}
+	}
+}
+
+func TestParallelForOffsetRange(t *testing.T) {
+	pool := NewPool(quadTopo())
+	r := newRT(t, quadTopo(), 1)
+	lo, hi := 1000, 4321
+	visits := make([]atomic.Int32, hi-lo)
+	l := pool.For(lo, hi, Options{Grain: 50}, func(a, b int) {
+		for i := a; i < b; i++ {
+			visits[i-lo].Add(1)
+		}
+	})
+	runLoop(t, r, l)
+	checkVisits(t, visits)
+}
+
+func TestParallelForEmptyRange(t *testing.T) {
+	pool := NewPool(quadTopo())
+	r := newRT(t, quadTopo(), 1)
+	for _, rng := range [][2]int{{0, 0}, {5, 5}, {7, 3}} {
+		called := atomic.Int32{}
+		l := pool.For(rng[0], rng[1], Options{}, func(lo, hi int) {
+			called.Add(1)
+		})
+		runLoop(t, r, l)
+		if called.Load() != 0 {
+			t.Fatalf("body called %d times on empty range %v, want 0", called.Load(), rng)
+		}
+	}
+}
+
+func TestParallelForSingleElement(t *testing.T) {
+	pool := NewPool(quadTopo())
+	r := newRT(t, quadTopo(), 1)
+	var gotLo, gotHi int
+	calls := atomic.Int32{}
+	l := pool.For(41, 42, Options{}, func(lo, hi int) {
+		calls.Add(1)
+		gotLo, gotHi = lo, hi
+	})
+	runLoop(t, r, l)
+	if calls.Load() != 1 || gotLo != 41 || gotHi != 42 {
+		t.Fatalf("single-element loop: calls=%d range=[%d,%d), want 1 call of [41,42)", calls.Load(), gotLo, gotHi)
+	}
+}
+
+func TestParallelForGrainLargerThanRange(t *testing.T) {
+	pool := NewPool(quadTopo())
+	r := newRT(t, quadTopo(), 1)
+	calls := atomic.Int32{}
+	l := pool.For(0, 100, Options{Grain: 1 << 20}, func(lo, hi int) {
+		calls.Add(1)
+		if lo != 0 || hi != 100 {
+			t.Errorf("leaf range [%d,%d), want [0,100)", lo, hi)
+		}
+	})
+	runLoop(t, r, l)
+	if calls.Load() != 1 {
+		t.Fatalf("grain>range loop ran %d leaves, want 1", calls.Load())
+	}
+}
+
+func TestParallelForUnderSerial(t *testing.T) {
+	pool := NewPool(topology.Topology{})
+	const n = 500
+	visits := make([]atomic.Int32, n)
+	l := pool.ForProc(0, n, Options{Grain: 32}, func(p work.Proc, lo, hi int) {
+		for i := lo; i < hi; i++ {
+			visits[i].Add(1)
+		}
+	})
+	work.Serial(l.Task())
+	l.Release()
+	checkVisits(t, visits)
+}
+
+// TestLoopReuse runs many loops through one pool so recycled loop and
+// span descriptors are exercised with fresh ranges and bodies.
+func TestLoopReuse(t *testing.T) {
+	pool := NewPool(quadTopo())
+	r := newRT(t, quadTopo(), 1)
+	for round := 0; round < 20; round++ {
+		n := 100 + round*37
+		var sum atomic.Int64
+		l := pool.For(0, n, Options{Grain: 16}, func(lo, hi int) {
+			for i := lo; i < hi; i++ {
+				sum.Add(int64(i))
+			}
+		})
+		runLoop(t, r, l)
+		want := int64(n*(n-1)) / 2
+		if sum.Load() != want {
+			t.Fatalf("round %d: sum=%d want %d", round, sum.Load(), want)
+		}
+	}
+}
+
+func TestGrainDerivation(t *testing.T) {
+	top := quadTopo() // 4 workers, 64B lines, 1MB L3, 2 cores/socket
+	// Floor: tiny loops never split below 8 cache lines of elements.
+	if g := Grain(100, 8, top); g != 64 {
+		t.Fatalf("floor grain = %d, want 64 (8 lines of 8 8B elems)", g)
+	}
+	// Slack: big loops target n/(parSlack*workers) unless the L3 cap bites.
+	n := 1 << 20
+	want := n / (parSlack * 4)
+	capElems := int(top.L3Bytes / 2 / int64(top.CoresPerSocket) / 8)
+	if want > capElems {
+		want = capElems
+	}
+	if g := Grain(n, 8, top); g != want {
+		t.Fatalf("auto grain = %d, want %d", g, want)
+	}
+	// L3 cap: huge elements shrink the cap below the slack target.
+	if g := Grain(1<<20, 4096, top); g > int(top.L3Bytes/2/int64(top.CoresPerSocket)/4096) {
+		t.Fatalf("grain %d exceeds the per-worker L3 share cap", g)
+	}
+	// Clamp: the grain never exceeds n.
+	if g := Grain(10, 1, topology.Topology{}); g > 10 {
+		t.Fatalf("grain %d exceeds n=10", g)
+	}
+	// Degenerate inputs stay sane.
+	if g := Grain(0, 8, top); g != 1 {
+		t.Fatalf("empty-range grain = %d, want 1", g)
+	}
+	if g := Grain(100, 0, topology.Topology{}); g < 1 {
+		t.Fatalf("zero-elem-bytes grain = %d, want >=1", g)
+	}
+}
+
+func TestHintsCoverSquads(t *testing.T) {
+	pool := NewPool(quadTopo())
+	l := pool.For(0, 1000, Options{Grain: 10}, func(int, int) {})
+	l.squads = 4
+	seen := map[int]bool{}
+	for lo := 0; lo < 1000; lo += 10 {
+		h := l.hintFor(lo, lo+10)
+		if h < 0 || h > 3 {
+			t.Fatalf("hint %d out of range for subrange [%d,%d)", h, lo, lo+10)
+		}
+		seen[h] = true
+	}
+	if len(seen) != 4 {
+		t.Fatalf("hints covered %d squads, want 4", len(seen))
+	}
+	// NoHints loops always say "no preference".
+	l2 := pool.For(0, 1000, Options{Grain: 10, NoHints: true}, func(int, int) {})
+	l2.squads = 4
+	if h := l2.hintFor(500, 510); h != -1 {
+		t.Fatalf("NoHints hint = %d, want -1", h)
+	}
+	l.Release()
+	l2.Release()
+}
+
+func TestReduceSum(t *testing.T) {
+	pool := NewPool(quadTopo())
+	r := newRT(t, quadTopo(), 1)
+	const n = 100000
+	var got int64
+	task := ReduceTask(pool, 0, n, Options{Grain: 1000},
+		func(lo, hi int) int64 {
+			var s int64
+			for i := lo; i < hi; i++ {
+				s += int64(i)
+			}
+			return s
+		},
+		func(a, b int64) int64 { return a + b },
+		&got)
+	if err := r.Run(task); err != nil {
+		t.Fatal(err)
+	}
+	if want := int64(n) * (n - 1) / 2; got != want {
+		t.Fatalf("reduce sum = %d, want %d", got, want)
+	}
+}
+
+func TestReduceEmptyAndSerial(t *testing.T) {
+	pool := NewPool(topology.Topology{})
+	got := int64(-1)
+	task := ReduceTask(pool, 5, 5, Options{},
+		func(lo, hi int) int64 { return 99 },
+		func(a, b int64) int64 { return a + b },
+		&got)
+	work.Serial(task)
+	// An empty range still runs one (empty) leaf: [5,5).
+	if got != 99 {
+		t.Fatalf("empty reduce = %d, want leaf(5,5)=99", got)
+	}
+	// Max-reduce under Serial.
+	var max int64
+	task = ReduceTask(pool, 0, 1000, Options{Grain: 64},
+		func(lo, hi int) int64 {
+			m := int64(lo)
+			for i := lo; i < hi; i++ {
+				if v := int64(i ^ 0x155); v > m {
+					m = v
+				}
+			}
+			return m
+		},
+		func(a, b int64) int64 {
+			if a > b {
+				return a
+			}
+			return b
+		},
+		&max)
+	work.Serial(task)
+	want := int64(0)
+	for i := 0; i < 1000; i++ {
+		if v := int64(i ^ 0x155); v > want {
+			want = v
+		}
+	}
+	if max != want {
+		t.Fatalf("reduce max = %d, want %d", max, want)
+	}
+}
+
+var sink int64
+
+// TestParallelForZeroAlloc is the data-parallel analogue of the runtime's
+// TestSpawnSyncZeroAlloc: on a warm pool, preparing, splitting, running
+// and releasing a loop allocates nothing. A 1x1 machine keeps the
+// measurement deterministic (no thieves migrating spans between shards
+// mid-count); the multi-worker case recycles through per-worker shards
+// the same way frames do.
+func TestParallelForZeroAlloc(t *testing.T) {
+	top := topology.Topology{
+		Sockets: 1, CoresPerSocket: 1, LineBytes: 64,
+		L3Bytes: 1 << 20, L3Assoc: 16,
+	}
+	r := newRT(t, top, 0)
+	pool := NewPool(top)
+	const n = 4096
+	body := func(lo, hi int) {
+		var s int64
+		for i := lo; i < hi; i++ {
+			s += int64(i)
+		}
+		sink += s
+	}
+	var allocs float64
+	err := r.Run(func(p work.Proc) {
+		run := func() {
+			l := pool.For(0, n, Options{Grain: 64}, body)
+			l.run(p)
+			l.Release()
+		}
+		run() // warm: populate the loop pool and span freelist
+		allocs = testing.AllocsPerRun(100, run)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if allocs != 0 {
+		t.Fatalf("steady-state ParallelFor allocated %.2f objects per loop, want 0", allocs)
+	}
+}

@@ -1,0 +1,63 @@
+package par
+
+import "cab/internal/work"
+
+// ReduceTask builds the root task of a tree-combining reduction over
+// [lo, hi): leaf computes one subrange's partial result, combine folds two
+// partials. combine must be associative; leaves run concurrently and
+// combine runs on joined subtrees, so neither may share mutable state.
+// The reduction writes its result through out after the task's Sync tree
+// has drained — read *out only after the scheduler reports the root task
+// complete.
+//
+// The tree shape and placement mirror ParallelFor (same grain model, same
+// proportional squad hints), but the combining tree is built from
+// closures: a reduction allocates O(n/grain) nodes per call. The 0-alloc
+// discipline applies to ParallelFor's hot loop body, where steady-state
+// repetition matters; reductions trade that for carrying typed partial
+// results up the tree.
+func ReduceTask[T any](pl *Pool, lo, hi int, o Options, leaf func(lo, hi int) T, combine func(a, b T) T, out *T) work.Fn {
+	g := o.Grain
+	if g <= 0 {
+		g = Grain(hi-lo, o.ElemBytes, pl.topo)
+	}
+	r := &reduction[T]{
+		rootLo: lo, rootHi: hi, grain: g, hinted: !o.NoHints,
+		leaf: leaf, combine: combine,
+	}
+	return func(p work.Proc) {
+		r.squads = p.Squads()
+		*out = r.run(p, lo, hi)
+	}
+}
+
+type reduction[T any] struct {
+	rootLo, rootHi int
+	grain          int
+	squads         int
+	hinted         bool
+	leaf           func(lo, hi int) T
+	combine        func(a, b T) T
+}
+
+// run computes the reduction of [lo, hi): split in half, spawn the right
+// half onto its proportional squad, recurse into the left, join, combine.
+// Right-half results land in a stack-local slot per tree node; the Sync
+// before combining is the only ordering needed.
+func (r *reduction[T]) run(p work.Proc, lo, hi int) T {
+	if hi-lo <= r.grain {
+		return r.leaf(lo, hi)
+	}
+	mid := lo + (hi-lo)/2
+	var right T
+	hint := -1
+	if r.hinted && r.squads > 1 && r.rootHi > r.rootLo {
+		hint = ((mid+hi)/2 - r.rootLo) * r.squads / (r.rootHi - r.rootLo)
+	}
+	p.SpawnHint(hint, func(cp work.Proc) {
+		right = r.run(cp, mid, hi)
+	})
+	left := r.run(p, lo, mid)
+	p.Sync()
+	return r.combine(left, right)
+}

@@ -1,0 +1,155 @@
+package rtbench
+
+import (
+	"sort"
+	"testing"
+	"time"
+
+	"cab/internal/par"
+	"cab/internal/rt"
+	"cab/internal/work"
+	"cab/internal/workloads"
+)
+
+// parForN is the range every ParallelFor variant iterates, large enough
+// that per-element cost dominates the loop's fixed setup.
+const parForN = 1 << 16
+
+// parallelFor measures one par loop over parForN elements per iteration,
+// run nested inside a single warm root job (the shape workload phases
+// use), and reports ns/elem. After the warm-up the span and frame
+// freelists are populated, so allocs/op must read 0.
+func parallelFor(b *testing.B, o par.Options) {
+	r, err := rt.New(rt.Config{Topo: quadTopo(), BL: 0, Seed: 1})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer r.Close()
+	pool := par.NewPool(quadTopo())
+	data := make([]int64, parForN)
+	body := func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			data[i] += int64(i)
+		}
+	}
+	once := func(p work.Proc) {
+		l := pool.For(0, parForN, o, body)
+		l.Task()(p)
+		l.Release()
+	}
+	// Warm: grow deque rings, span shards and per-worker frame freelists
+	// past their steady-state depth (root frames migrate from the shared
+	// overflow pool to worker freelists at ~1 per loop).
+	if err := r.Run(func(p work.Proc) {
+		for i := 0; i < 512; i++ {
+			once(p)
+		}
+	}); err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	start := time.Now()
+	if err := r.Run(func(p work.Proc) {
+		for i := 0; i < b.N; i++ {
+			once(p)
+		}
+	}); err != nil {
+		b.Fatal(err)
+	}
+	b.StopTimer()
+	b.ReportMetric(float64(time.Since(start).Nanoseconds())/float64(b.N)/parForN, "ns/elem")
+}
+
+// ParallelFor is the auto-grain configuration: the topology-derived tile
+// (8 cache lines minimum, L3-bounded, worker-count scaled) the public
+// cab.ParallelFor uses when no option overrides it.
+func ParallelFor(b *testing.B) { parallelFor(b, par.Options{ElemBytes: 8}) }
+
+// ParallelForFine forces tiny 64-element tiles — the split-tree-overhead
+// end of the grain sweep (1024 spans per loop).
+func ParallelForFine(b *testing.B) { parallelFor(b, par.Options{Grain: 64}) }
+
+// ParallelForCoarse forces quarter-range tiles — the no-parallelism end
+// of the sweep (4 spans; overhead is almost pure body).
+func ParallelForCoarse(b *testing.B) { parallelFor(b, par.Options{Grain: parForN / 4}) }
+
+// Samplesort runs the data-parallel sample sort (internal/workloads) over
+// 1<<19 keys per iteration on the 2x2 runtime at BL 1, and reports its
+// speedup over a serial sort.Slice of the same keys —
+// speedup_vs_sortslice must stay above 1 on the 4 workers for the
+// subsystem to be paying for itself.
+func Samplesort(b *testing.B) {
+	const n = 1 << 19
+	r, err := rt.New(rt.Config{Topo: quadTopo(), BL: 1, Seed: 1})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer r.Close()
+	s := workloads.NewSamplesort(n)
+	root := s.Root()
+	if err := r.Run(root); err != nil { // warm
+		b.Fatal(err)
+	}
+	if err := s.Verify(); err != nil {
+		b.Fatal(err)
+	}
+	// Serial baseline: sort.Slice (the stdlib's comparison-func sort) over
+	// a copy of the same keys; best of 3 so a stray descheduling doesn't
+	// flatter the parallel side.
+	buf := make([]int64, n)
+	baseline := time.Duration(1 << 62)
+	for t := 0; t < 3; t++ {
+		copy(buf, s.Input())
+		t0 := time.Now()
+		sort.Slice(buf, func(i, j int) bool { return buf[i] < buf[j] })
+		if el := time.Since(t0); el < baseline {
+			baseline = el
+		}
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	start := time.Now()
+	for i := 0; i < b.N; i++ {
+		if err := r.Run(root); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.StopTimer()
+	perOp := float64(time.Since(start).Nanoseconds()) / float64(b.N)
+	b.ReportMetric(float64(baseline.Nanoseconds())/perOp, "speedup_vs_sortslice")
+	b.ReportMetric(float64(n)*float64(b.N)/time.Since(start).Seconds(), "keys/sec")
+}
+
+// HashJoin runs the partitioned hash join (1<<17 build x 1<<18 probe
+// tuples, 32 partitions, squad-affine placement) per iteration on the
+// 2x2 runtime at BL 1 and reports end-to-end tuple throughput.
+func HashJoin(b *testing.B) {
+	const (
+		nBuild = 1 << 17
+		nProbe = 1 << 18
+	)
+	r, err := rt.New(rt.Config{Topo: quadTopo(), BL: 1, Seed: 1})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer r.Close()
+	h := workloads.NewHashJoin(nBuild, nProbe, 32, workloads.JoinAffine)
+	root := h.Root()
+	if err := r.Run(root); err != nil { // warm
+		b.Fatal(err)
+	}
+	if err := h.Verify(); err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	start := time.Now()
+	for i := 0; i < b.N; i++ {
+		if err := r.Run(root); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.StopTimer()
+	b.ReportMetric(float64(nBuild+nProbe)*float64(b.N)/time.Since(start).Seconds(), "tuples/sec")
+}

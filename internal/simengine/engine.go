@@ -464,7 +464,9 @@ func (e *Engine) finalizeStats() {
 	}
 	top := e.cfg.Topo
 	e.stats.SocketFootprint = make([]int64, top.Sockets)
+	e.stats.SocketL3 = make([]cache.Stats, top.Sockets)
 	for s := 0; s < top.Sockets; s++ {
 		e.stats.SocketFootprint[s] = e.hier.FootprintBytes(s)
+		e.stats.SocketL3[s] = e.hier.SocketL3(s)
 	}
 }

@@ -52,7 +52,12 @@ type Stats struct {
 	// completion — the T_inf term of the §III-E time bound (Eq. 13).
 	CriticalPath int64
 
-	Cache           cache.LevelStats
+	Cache cache.LevelStats
+	// SocketL3 is the per-socket breakdown of the shared-cache counters
+	// (Cache.L3 is their sum) — the lens the data-parallel locality
+	// experiments use: squad-affine placement shows fewer misses on every
+	// socket than placement-oblivious dealing of the same work.
+	SocketL3        []cache.Stats
 	FootprintBytes  int64 // -1 when footprint tracking is off
 	SocketFootprint []int64
 	PerCoreBusy     []int64

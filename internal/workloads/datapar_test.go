@@ -1,0 +1,107 @@
+package workloads
+
+import (
+	"testing"
+
+	"cab/internal/rt"
+	"cab/internal/simsched"
+	"cab/internal/work"
+)
+
+func dataparSpecs() []Spec {
+	return []Spec{
+		SamplesortSpec(20_000),
+		HashJoinSpec(8_000, 16_000, 9, JoinAffine),
+		HashJoinSpec(8_000, 16_000, 9, JoinRoundRobin),
+	}
+}
+
+func TestDataParSerialVerifies(t *testing.T) {
+	for _, spec := range dataparSpecs() {
+		spec := spec
+		t.Run(spec.Description, func(t *testing.T) {
+			inst := spec.Make()
+			work.Serial(inst.Root)
+			if err := inst.Verify(); err != nil {
+				t.Fatal(err)
+			}
+		})
+	}
+}
+
+func TestDataParUnderSimSchedulers(t *testing.T) {
+	for _, spec := range dataparSpecs() {
+		spec := spec
+		t.Run(spec.Description, func(t *testing.T) {
+			st := runSim(t, spec, simsched.NewCilk(), 0)
+			if st.Tasks < 10 {
+				t.Errorf("suspiciously few tasks under cilk: %d", st.Tasks)
+			}
+			runSim(t, spec, simsched.NewCAB(), 1)
+		})
+	}
+}
+
+// TestDataParUnderRealRuntime runs the data-parallel workloads on the
+// concurrent runtime at BL 1 — the race detector's view of the count/
+// scatter cursor scheme, the span freelists and the flat build/probe and
+// bucket-sort phases.
+func TestDataParUnderRealRuntime(t *testing.T) {
+	for _, spec := range dataparSpecs() {
+		spec := spec
+		t.Run(spec.Description, func(t *testing.T) {
+			r, err := rt.New(rt.Config{Topo: simTopo(), BL: 1, Seed: 7})
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer r.Close()
+			inst := spec.Make()
+			if err := r.Run(inst.Root); err != nil {
+				t.Fatal(err)
+			}
+			if err := inst.Verify(); err != nil {
+				t.Fatal(err)
+			}
+		})
+	}
+}
+
+// TestSamplesortRerun: an instance re-executed on the same buffers must
+// verify again (phases fully reinitialize their scratch state), since
+// benchmarks run the same instance many times.
+func TestSamplesortRerun(t *testing.T) {
+	s := NewSamplesort(10_000)
+	root := s.Root()
+	for i := 0; i < 3; i++ {
+		work.Serial(root)
+		if err := s.Verify(); err != nil {
+			t.Fatalf("run %d: %v", i, err)
+		}
+	}
+}
+
+func TestHashJoinRerun(t *testing.T) {
+	h := NewHashJoin(4_000, 8_000, 9, JoinAffine)
+	root := h.Root()
+	for i := 0; i < 3; i++ {
+		work.Serial(root)
+		if err := h.Verify(); err != nil {
+			t.Fatalf("run %d: %v", i, err)
+		}
+	}
+	if h.Result() == 0 {
+		t.Fatal("join matched nothing")
+	}
+}
+
+// TestHashJoinModesAgree: placement must not change the join's answer,
+// only where tasks run.
+func TestHashJoinModesAgree(t *testing.T) {
+	a := NewHashJoin(4_000, 8_000, 9, JoinAffine)
+	r := NewHashJoin(4_000, 8_000, 9, JoinRoundRobin)
+	work.Serial(a.Root())
+	work.Serial(r.Root())
+	if a.Result() != r.Result() {
+		t.Fatalf("affine result %d != roundrobin result %d", a.Result(), r.Result())
+	}
+}

@@ -1,0 +1,367 @@
+package workloads
+
+import (
+	"fmt"
+
+	"cab/internal/par"
+	"cab/internal/work"
+)
+
+// JoinMode selects how hash-join partitions map onto squads.
+type JoinMode int
+
+const (
+	// JoinAffine pins partition i's build AND probe tasks to squad
+	// i*M/P — the squad-affine contract: the table a build task installed
+	// in its socket's shared cache is probed from the same socket.
+	JoinAffine JoinMode = iota
+	// JoinRoundRobin deals tasks onto squads with a phase-oblivious
+	// running counter, the way a placement-unaware scheduler would: with
+	// P chosen so P mod M != 0, every probe lands on a different squad
+	// than its partition's build, so each probe pulls the whole table
+	// across sockets. The simulator's per-socket L3 counters quantify
+	// the difference (EXPERIMENTS.md).
+	JoinRoundRobin
+)
+
+func (m JoinMode) String() string {
+	if m == JoinRoundRobin {
+		return "roundrobin"
+	}
+	return "affine"
+}
+
+// HashJoin joins a build relation R (unique int64 keys with payloads)
+// against a probe relation S, partitioned by key hash — the numa-db
+// multijoin shape (SNIPPETS.md Snippet 2): each of P partitions gets its
+// own open-addressing hash table, built from R's partition and probed
+// with S's partition, so a partition's working set is one table that
+// fits a socket's shared cache.
+//
+// Phases:
+//  1. count + scatter R and S into per-partition segments (ParallelFor
+//     over fixed blocks, same disjoint-cursor scheme as Samplesort);
+//  2. build: one flat task per partition inserts its R segment into its
+//     table (SpawnHint per JoinMode);
+//  3. probe: one flat task per partition looks up its S segment and
+//     accumulates the matched payload sum (SpawnHint per JoinMode).
+//
+// The result is the sum of matched build payloads over all probes,
+// verified against a map-based reference computed at construction.
+type HashJoin struct {
+	NBuild, NProbe int
+	P              int // partitions
+	B              int // count/scatter blocks
+	Mode           JoinMode
+
+	bkeys, bvals []int64 // build relation
+	pkeys        []int64 // probe relation
+
+	partB, partBv []int64 // partitioned build keys/payloads
+	partP         []int64 // partitioned probe keys
+	cntB, cntP    []int32 // B x P histograms
+	curB, curP    []int   // B x P cursors
+	startB        []int   // partition starts in partB, len P+1
+	startP        []int   // partition starts in partP, len P+1
+
+	tkeys, tvals []int64 // open-addressing slots, all partitions
+	tstart       []int   // slot range per partition, len P+1
+
+	results []int64 // per-partition matched payload sums (padded stride)
+
+	pool                    *par.Pool
+	buildA, probeA          uint64
+	partBA, partBvA, partPA uint64
+	tableA                  uint64
+	want                    int64 // reference matched payload sum
+	wantMatches             int64 // reference match count
+}
+
+// resultStride spaces per-partition accumulators a cache line apart so
+// concurrent probe tasks never share a line.
+const resultStride = 16
+
+// joinHash is a 64-bit mix (splitmix64 finalizer) used for partitioning
+// and table placement.
+func joinHash(k int64) uint64 {
+	x := uint64(k)
+	x ^= x >> 30
+	x *= 0xbf58476d1ce4e5b9
+	x ^= x >> 27
+	x *= 0x94d049bb133111eb
+	x ^= x >> 31
+	return x
+}
+
+// HashJoinSpec builds the benchmark spec: nBuild build tuples joined
+// against nProbe probes over p partitions.
+func HashJoinSpec(nBuild, nProbe, p int, mode JoinMode) Spec {
+	return Spec{
+		Name:        "HashJoin",
+		Description: fmt.Sprintf("Partitioned hash join %dx%d, %d partitions, %s placement", nBuild, nProbe, p, mode),
+		MemoryBound: true,
+		Branch:      2,
+		InputBytes:  int64(nBuild+nProbe) * 8,
+		Make: func() *Instance {
+			h := NewHashJoin(nBuild, nProbe, p, mode)
+			return &Instance{Root: h.Root(), Verify: h.Verify}
+		},
+	}
+}
+
+// NewHashJoin builds deterministic relations and preallocates every
+// phase buffer (partition segments and tables are sized exactly from a
+// serial pre-partitioning pass, so the parallel run allocates nothing).
+func NewHashJoin(nBuild, nProbe, p int, mode JoinMode) *HashJoin {
+	if p < 1 {
+		p = 1
+	}
+	h := &HashJoin{NBuild: nBuild, NProbe: nProbe, P: p, B: 64, Mode: mode}
+	if h.B > nBuild || h.B > nProbe {
+		h.B = 1
+	}
+	h.bkeys = make([]int64, nBuild)
+	h.bvals = make([]int64, nBuild)
+	h.pkeys = make([]int64, nProbe)
+	// Unique nonzero build keys: (i+1) * odd is injective mod 2^64.
+	for i := range h.bkeys {
+		h.bkeys[i] = int64(uint64(i+1) * 0x9e3779b97f4a7c15)
+		h.bvals[i] = int64(i)
+	}
+	// Probe keys: ~half hit an existing build key, half miss.
+	state := uint64(0x13198a2e03707344)
+	for j := range h.pkeys {
+		state ^= state << 13
+		state ^= state >> 7
+		state ^= state << 17
+		if j&1 == 0 {
+			h.pkeys[j] = h.bkeys[state%uint64(nBuild)]
+		} else {
+			h.pkeys[j] = h.bkeys[state%uint64(nBuild)] + 1
+		}
+	}
+	// Reference result.
+	ref := make(map[int64]int64, nBuild)
+	for i := range h.bkeys {
+		ref[h.bkeys[i]] = h.bvals[i]
+	}
+	for _, k := range h.pkeys {
+		if v, ok := ref[k]; ok {
+			h.want += v
+			h.wantMatches++
+		}
+	}
+	// Size partition segments and tables from a serial counting pass.
+	h.partB = make([]int64, nBuild)
+	h.partBv = make([]int64, nBuild)
+	h.partP = make([]int64, nProbe)
+	h.cntB = make([]int32, h.B*h.P)
+	h.cntP = make([]int32, h.B*h.P)
+	h.curB = make([]int, h.B*h.P)
+	h.curP = make([]int, h.B*h.P)
+	h.startB = make([]int, h.P+1)
+	h.startP = make([]int, h.P+1)
+	h.tstart = make([]int, h.P+1)
+	perPart := make([]int, h.P)
+	for _, k := range h.bkeys {
+		perPart[joinHash(k)%uint64(h.P)]++
+	}
+	slots := 0
+	for i, c := range perPart {
+		h.tstart[i] = slots
+		tcap := 8
+		for tcap < 2*c {
+			tcap <<= 1
+		}
+		slots += tcap
+	}
+	h.tstart[h.P] = slots
+	h.tkeys = make([]int64, slots)
+	h.tvals = make([]int64, slots)
+	h.results = make([]int64, h.P*resultStride)
+	h.pool = par.NewPool(topoZero())
+	lay := work.NewLayout()
+	h.buildA = lay.Alloc(int64(nBuild)*16, 64)
+	h.probeA = lay.Alloc(int64(nProbe)*8, 64)
+	h.partBA = lay.Alloc(int64(nBuild)*8, 64)
+	h.partBvA = lay.Alloc(int64(nBuild)*8, 64)
+	h.partPA = lay.Alloc(int64(nProbe)*8, 64)
+	h.tableA = lay.Alloc(int64(slots)*16, 64)
+	return h
+}
+
+// hintFor places partition i's task for the configured mode. seq is the
+// task's position in the phase-oblivious dealing order (build tasks are
+// dealt 0..P-1, probe tasks P..2P-1), so round-robin placement keeps a
+// running counter across phases exactly like a placement-unaware
+// scheduler spreading tasks for load balance alone.
+func (h *HashJoin) hintFor(i, seq, m int) int {
+	if m <= 1 {
+		return -1
+	}
+	if h.Mode == JoinRoundRobin {
+		return seq % m
+	}
+	return i * m / h.P
+}
+
+// partition scatters keys (and optionally payloads) into per-partition
+// segments using precomputed histograms: the ParallelFor count phase
+// fills cnt, a serial pass turns it into cursors and starts, and the
+// ParallelFor scatter phase moves the tuples. Identical scheme to
+// Samplesort's phases 2-4, keyed by hash instead of splitters.
+func (h *HashJoin) partition(p work.Proc, keys, vals []int64, srcA uint64, cnt []int32, cur []int, start []int, dstK, dstV []int64, dstKA uint64) {
+	n := len(keys)
+	bs := (n + h.B - 1) / h.B
+	blockRange := func(b int) (int, int) {
+		lo := b * bs
+		hi := lo + bs
+		if hi > n {
+			hi = n
+		}
+		return lo, hi
+	}
+	c := h.pool.ForProc(0, h.B, par.Options{Grain: 1}, func(q work.Proc, b, be int) {
+		lo, hi := blockRange(b)
+		q.Load(srcA+uint64(lo)*8, int64(hi-lo)*8)
+		q.Compute(int64(hi-lo) * 4)
+		row := cnt[b*h.P : (b+1)*h.P]
+		for i := range row {
+			row[i] = 0
+		}
+		for i := lo; i < hi; i++ {
+			row[joinHash(keys[i])%uint64(h.P)]++
+		}
+	})
+	c.Task()(p)
+	c.Release()
+	pos := 0
+	for k := 0; k < h.P; k++ {
+		start[k] = pos
+		for b := 0; b < h.B; b++ {
+			cur[b*h.P+k] = pos
+			pos += int(cnt[b*h.P+k])
+		}
+	}
+	start[h.P] = pos
+	p.Compute(int64(h.B*h.P) * 2)
+	s := h.pool.ForProc(0, h.B, par.Options{Grain: 1}, func(q work.Proc, b, be int) {
+		lo, hi := blockRange(b)
+		q.Load(srcA+uint64(lo)*8, int64(hi-lo)*8)
+		row := cur[b*h.P : (b+1)*h.P]
+		for i := lo; i < hi; i++ {
+			k := joinHash(keys[i]) % uint64(h.P)
+			dstK[row[k]] = keys[i]
+			if dstV != nil {
+				dstV[row[k]] = vals[i]
+			}
+			row[k]++
+		}
+		for k := 0; k < h.P; k++ {
+			if cc := cnt[b*h.P+k]; cc > 0 {
+				q.Store(dstKA+uint64(row[k]-int(cc))*8, int64(cc)*8)
+			}
+		}
+		q.Compute(int64(hi-lo) * 6)
+	})
+	s.Task()(p)
+	s.Release()
+}
+
+// buildPartition inserts partition i's tuples into its table slots.
+func (h *HashJoin) buildPartition(i int) work.Fn {
+	return func(p work.Proc) {
+		lo, hi := h.startB[i], h.startB[i+1]
+		tlo, thi := h.tstart[i], h.tstart[i+1]
+		mask := uint64(thi - tlo - 1)
+		keys := h.tkeys[tlo:thi]
+		for j := range keys {
+			keys[j] = 0
+		}
+		for j := lo; j < hi; j++ {
+			k := h.partB[j]
+			at := joinHash(k) & mask
+			for keys[at] != 0 {
+				at = (at + 1) & mask
+			}
+			keys[at] = k
+			h.tvals[tlo+int(at)] = h.partBv[j]
+		}
+		// The build streams the partition segment and installs the table
+		// in the executing socket's shared cache.
+		p.Load(h.partBA+uint64(lo)*8, int64(hi-lo)*8)
+		p.Load(h.partBvA+uint64(lo)*8, int64(hi-lo)*8)
+		p.Store(h.tableA+uint64(tlo)*16, int64(thi-tlo)*16)
+		p.Compute(int64(hi-lo) * 8)
+	}
+}
+
+// probePartition looks up partition i's probe keys in its table and
+// accumulates the matched payload sum.
+func (h *HashJoin) probePartition(i int) work.Fn {
+	return func(p work.Proc) {
+		lo, hi := h.startP[i], h.startP[i+1]
+		tlo, thi := h.tstart[i], h.tstart[i+1]
+		mask := uint64(thi - tlo - 1)
+		keys := h.tkeys[tlo:thi]
+		var sum int64
+		for j := lo; j < hi; j++ {
+			k := h.partP[j]
+			at := joinHash(k) & mask
+			for keys[at] != 0 {
+				if keys[at] == k {
+					sum += h.tvals[tlo+int(at)]
+					break
+				}
+				at = (at + 1) & mask
+			}
+		}
+		h.results[i*resultStride] = sum
+		// The probe streams its segment and re-touches the whole table:
+		// socket-local if the build ran here (affine), a cross-socket
+		// refetch otherwise.
+		p.Load(h.partPA+uint64(lo)*8, int64(hi-lo)*8)
+		p.Load(h.tableA+uint64(tlo)*16, int64(thi-tlo)*16)
+		p.Compute(int64(hi-lo) * 10)
+	}
+}
+
+// Root returns the main task: partition both relations, build all
+// tables, then probe them, with per-mode placement hints.
+func (h *HashJoin) Root() work.Fn {
+	return func(p work.Proc) {
+		h.partition(p, h.bkeys, h.bvals, h.buildA, h.cntB, h.curB, h.startB, h.partB, h.partBv, h.partBA)
+		h.partition(p, h.pkeys, nil, h.probeA, h.cntP, h.curP, h.startP, h.partP, nil, h.partPA)
+		m := p.Squads()
+		for i := 0; i < h.P; i++ {
+			p.SpawnHint(h.hintFor(i, i, m), h.buildPartition(i))
+		}
+		p.Sync()
+		for i := 0; i < h.P; i++ {
+			p.SpawnHint(h.hintFor(i, h.P+i, m), h.probePartition(i))
+		}
+		p.Sync()
+	}
+}
+
+// Result returns the matched payload sum (valid after the root ran).
+func (h *HashJoin) Result() int64 {
+	var sum int64
+	for i := 0; i < h.P; i++ {
+		sum += h.results[i*resultStride]
+	}
+	return sum
+}
+
+// Verify compares the join result against the map-based reference.
+func (h *HashJoin) Verify() error {
+	if got := h.Result(); got != h.want {
+		return fmt.Errorf("hashjoin: matched payload sum %d, want %d", got, h.want)
+	}
+	return nil
+}
+
+// String describes the instance.
+func (h *HashJoin) String() string {
+	return fmt.Sprintf("hashjoin build=%d probe=%d p=%d mode=%s", h.NBuild, h.NProbe, h.P, h.Mode)
+}

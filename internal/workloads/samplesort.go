@@ -1,0 +1,256 @@
+package workloads
+
+import (
+	"fmt"
+	"slices"
+	"sort"
+
+	"cab/internal/par"
+	"cab/internal/topology"
+	"cab/internal/work"
+)
+
+// topoZero is the pool machine model for workloads: they are constructed
+// before knowing which runtime (real or simulated) will execute them, so
+// the pool is sized for any worker count and every loop passes an
+// explicit grain.
+func topoZero() topology.Topology { return topology.Topology{} }
+
+// Samplesort sorts N int64 keys by bucket distribution — the classic
+// memory-bound data-parallel sort, built on the par subsystem instead of
+// recursive divide-and-conquer:
+//
+//  1. sample the input and sort the sample serially to pick P-1 splitters;
+//  2. count: a ParallelFor over fixed blocks computes one bucket histogram
+//     per block (disjoint writes, no atomics);
+//  3. prefix: a serial pass turns the B x P histograms into exact write
+//     cursors per (block, bucket);
+//  4. scatter: a second ParallelFor moves every key to its bucket segment
+//     (cursor disjointness makes the writes race-free);
+//  5. bucket sort: one flat task per bucket, SpawnHinted to squad k*M/P,
+//     sorts its segment in place with slices.Sort.
+//
+// The bucket segments are contiguous and globally ordered (every key in
+// bucket k precedes every key in bucket k+1), so after phase 5 the output
+// array is sorted. Phase 5's placement hint is the squad-affine
+// partitioning contract: bucket k's segment is touched by the scatter
+// leaves that hint to the same squad region, then sorted on that squad,
+// so at BL > 0 a bucket's working set stays in one socket's shared cache.
+type Samplesort struct {
+	N int
+	P int // buckets
+	B int // count/scatter blocks
+
+	data    []int64 // input (restored before every run)
+	out     []int64 // bucketed, then sorted output
+	counts  []int32 // B x P histogram, row-major
+	cursors []int   // B x P scatter cursors, row-major
+	bstart  []int   // bucket segment starts, len P+1
+	split   []int64 // P-1 splitters
+	sample  []int64
+
+	pool  *par.Pool
+	dataA uint64
+	outA  uint64
+	sum   int64
+}
+
+// SamplesortSpec builds the benchmark spec for n keys.
+func SamplesortSpec(n int) Spec {
+	return Spec{
+		Name:        "Samplesort",
+		Description: fmt.Sprintf("Sample sort on %d numbers (data-parallel)", n),
+		MemoryBound: true,
+		Branch:      2,
+		InputBytes:  int64(n) * 8,
+		Make: func() *Instance {
+			s := NewSamplesort(n)
+			return &Instance{Root: s.Root(), Verify: s.Verify}
+		},
+	}
+}
+
+// NewSamplesort allocates a deterministic pseudo-random key array and the
+// phase buffers.
+func NewSamplesort(n int) *Samplesort {
+	s := &Samplesort{N: n, P: 32, B: 64}
+	if s.P > n {
+		s.P = 1
+	}
+	if s.B > n {
+		s.B = 1
+	}
+	s.data = make([]int64, n)
+	s.out = make([]int64, n)
+	s.counts = make([]int32, s.B*s.P)
+	s.cursors = make([]int, s.B*s.P)
+	s.bstart = make([]int, s.P+1)
+	s.split = make([]int64, s.P-1)
+	s.sample = make([]int64, s.P*8)
+	state := uint64(0x243f6a8885a308d3)
+	for i := range s.data {
+		state ^= state << 13
+		state ^= state >> 7
+		state ^= state << 17
+		s.data[i] = int64(state % 10_000_019)
+		s.sum += s.data[i]
+	}
+	s.pool = par.NewPool(topoZero())
+	lay := work.NewLayout()
+	s.dataA = lay.Alloc(int64(n)*8, 64)
+	s.outA = lay.Alloc(int64(n)*8, 64)
+	return s
+}
+
+// bucketOf locates v's bucket by binary search over the splitters.
+func (s *Samplesort) bucketOf(v int64) int {
+	lo, hi := 0, len(s.split)
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if s.split[mid] <= v {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return lo
+}
+
+// blockRange returns block b's index range.
+func (s *Samplesort) blockRange(b int) (int, int) {
+	bs := (s.N + s.B - 1) / s.B
+	lo := b * bs
+	hi := lo + bs
+	if hi > s.N {
+		hi = s.N
+	}
+	return lo, hi
+}
+
+// Root returns the main task running all five phases.
+func (s *Samplesort) Root() work.Fn {
+	return func(p work.Proc) {
+		// Phase 1 (serial): sample and pick splitters.
+		stride := s.N / len(s.sample)
+		if stride < 1 {
+			stride = 1
+		}
+		for i := range s.sample {
+			s.sample[i] = s.data[(i*stride)%s.N]
+		}
+		slices.Sort(s.sample)
+		for i := range s.split {
+			s.split[i] = s.sample[(i+1)*len(s.sample)/s.P]
+		}
+		p.Load(s.dataA, int64(len(s.sample))*8)
+		p.Compute(int64(len(s.sample)) * 20)
+
+		// Phase 2 (ParallelFor over blocks): per-block bucket histograms.
+		cnt := s.pool.ForProc(0, s.B, par.Options{Grain: 1}, func(q work.Proc, b, be int) {
+			lo, hi := s.blockRange(b)
+			q.Load(s.dataA+uint64(lo)*8, int64(hi-lo)*8)
+			q.Compute(int64(hi-lo) * 6)
+			row := s.counts[b*s.P : (b+1)*s.P]
+			for i := range row {
+				row[i] = 0
+			}
+			for i := lo; i < hi; i++ {
+				row[s.bucketOf(s.data[i])]++
+			}
+		})
+		cnt.Task()(p)
+		cnt.Release()
+
+		// Phase 3 (serial): histograms -> exact write cursors. Column-major
+		// accumulation orders blocks within a bucket, buckets globally.
+		pos := 0
+		for k := 0; k < s.P; k++ {
+			s.bstart[k] = pos
+			for b := 0; b < s.B; b++ {
+				s.cursors[b*s.P+k] = pos
+				pos += int(s.counts[b*s.P+k])
+			}
+		}
+		s.bstart[s.P] = pos
+		p.Compute(int64(s.B*s.P) * 2)
+
+		// Phase 4 (ParallelFor over blocks): scatter into bucket segments.
+		// Block b's cursors are disjoint from every other block's, so the
+		// writes are race-free without atomics.
+		sc := s.pool.ForProc(0, s.B, par.Options{Grain: 1}, func(q work.Proc, b, be int) {
+			lo, hi := s.blockRange(b)
+			q.Load(s.dataA+uint64(lo)*8, int64(hi-lo)*8)
+			cur := s.cursors[b*s.P : (b+1)*s.P]
+			for i := lo; i < hi; i++ {
+				k := s.bucketOf(s.data[i])
+				s.out[cur[k]] = s.data[i]
+				cur[k]++
+			}
+			// The block's keys land spread across the P bucket segments;
+			// annotate one store run per segment slice it wrote.
+			for k := 0; k < s.P; k++ {
+				if c := s.counts[b*s.P+k]; c > 0 {
+					q.Store(s.outA+uint64(cur[k]-int(c))*8, int64(c)*8)
+				}
+			}
+			q.Compute(int64(hi-lo) * 8)
+		})
+		sc.Task()(p)
+		sc.Release()
+
+		// Phase 5 (flat tasks): sort each bucket segment in place on its
+		// squad — bucket k goes to squad k*M/P, the same proportional
+		// region-to-socket map the scatter hints used.
+		m := p.Squads()
+		for k := 0; k < s.P; k++ {
+			lo, hi := s.bstart[k], s.bstart[k+1]
+			if lo >= hi {
+				continue
+			}
+			hint := -1
+			if m > 1 {
+				hint = k * m / s.P
+			}
+			p.SpawnHint(hint, s.sortBucket(lo, hi))
+		}
+		p.Sync()
+	}
+}
+
+// sortBucket sorts out[lo:hi) in place.
+func (s *Samplesort) sortBucket(lo, hi int) work.Fn {
+	return func(p work.Proc) {
+		n := hi - lo
+		p.Load(s.outA+uint64(lo)*8, int64(n)*8)
+		p.Compute(int64(n) * int64(log2int(n)+1) * 3)
+		slices.Sort(s.out[lo:hi])
+		p.Store(s.outA+uint64(lo)*8, int64(n)*8)
+	}
+}
+
+// Verify checks ordering and that the key multiset is preserved.
+func (s *Samplesort) Verify() error {
+	if !sort.SliceIsSorted(s.out, func(i, j int) bool { return s.out[i] < s.out[j] }) {
+		return fmt.Errorf("samplesort: output not sorted")
+	}
+	var sum int64
+	for _, v := range s.out {
+		sum += v
+	}
+	if sum != s.sum {
+		return fmt.Errorf("samplesort: checksum %d != %d (elements lost)", sum, s.sum)
+	}
+	return nil
+}
+
+// Sorted returns the sorted output (valid after the root task has run).
+func (s *Samplesort) Sorted() []int64 { return s.out }
+
+// Input returns the unsorted key array (never mutated by runs), so
+// benchmarks can time serial baselines over the same data.
+func (s *Samplesort) Input() []int64 { return s.data }
+
+// String describes the instance.
+func (s *Samplesort) String() string {
+	return fmt.Sprintf("samplesort n=%d p=%d b=%d", s.N, s.P, s.B)
+}

@@ -1,0 +1,150 @@
+// Data-parallel API: ParallelFor and Reduce over integer ranges, built on
+// the fork-join runtime's task frames (internal/par). Loops split
+// recursively with cache-aware tiling — the leaf size is derived from the
+// configured machine's cache-line and shared-cache model unless overridden
+// — and each subrange carries a proportional squad placement hint, so at
+// BoundaryLevel > 0 the top of the split tree lands one contiguous region
+// per socket (the paper's inter_spawn idiom made data-driven).
+//
+//	sched, _ := cab.New(cab.Config{})
+//	defer sched.Close()
+//
+//	err := sched.ParallelFor(ctx, 0, len(data), func(lo, hi int) {
+//	    for i := lo; i < hi; i++ {
+//	        data[i] = f(data[i])
+//	    }
+//	})
+//
+//	sum, err := cab.Reduce(sched, ctx, 0, len(data),
+//	    func(lo, hi int) int64 { ... partial ... },
+//	    func(a, b int64) int64 { return a + b })
+//
+// Every loop is one job on the shared pool: it queues through the same
+// bounded admission, honors context cancellation (the loop stops splitting
+// and drains; running leaf bodies are not interrupted), isolates panics
+// (a panicking leaf cancels only its own loop and Wait returns the
+// *TaskPanic), and is accounted in ServiceStats like any submitted job.
+//
+// ParallelFor's split/leaf path allocates nothing in steady state: loop
+// and subrange descriptors recycle through the scheduler's pool exactly
+// like task frames (TestParallelForZeroAlloc enforces this). Reduce
+// allocates its combining tree per call — O((hi-lo)/grain) closures — in
+// exchange for carrying typed partial results up the joins.
+package cab
+
+import (
+	"context"
+
+	"cab/internal/par"
+)
+
+// ForOption tunes one ParallelFor or Reduce call. Options are values in,
+// values out (rather than mutating through a pointer) so an option-less
+// call keeps its defaults on the stack — ParallelFor's zero-allocation
+// contract includes its own bookkeeping.
+type ForOption func(par.Options) par.Options
+
+// WithGrain fixes the leaf size (elements per leaf body call), overriding
+// the topology-derived tile size. Values < 1 restore the automatic grain.
+func WithGrain(elems int) ForOption {
+	return func(o par.Options) par.Options { o.Grain = elems; return o }
+}
+
+// WithElemBytes tells the automatic grain how many bytes of data one
+// element's leaf work touches, so the tile working set is capped to the
+// executing worker's fair share of its socket's shared cache. The default
+// assumes one 8-byte word per element.
+func WithElemBytes(bytes int64) ForOption {
+	return func(o par.Options) par.Options { o.ElemBytes = bytes; return o }
+}
+
+// WithoutHints disables the proportional squad placement hints, leaving
+// subrange placement entirely to the stealing protocol.
+func WithoutHints() ForOption {
+	return func(o par.Options) par.Options { o.NoHints = true; return o }
+}
+
+// ParallelFor runs body over every element of [lo, hi) in parallel and
+// blocks until the loop has fully drained. The range splits in half
+// recursively down to the grain; leaf calls receive disjoint subranges
+// covering [lo, hi) exactly once and run concurrently, so body must not
+// share mutable state across iterations without synchronization.
+//
+// The loop is one job: a nil ctx means context.Background(); cancelling
+// ctx stops further splitting, drains the spawned subranges cleanly and
+// returns the context's error. A panic in body cancels the loop and is
+// returned as a *TaskPanic. Like Run, ParallelFor may be called
+// concurrently from any number of goroutines — do not call it from inside
+// a task body on the same scheduler.
+func (s *Scheduler) ParallelFor(ctx context.Context, lo, hi int, body func(lo, hi int), opts ...ForOption) error {
+	if hi <= lo {
+		return nil
+	}
+	var o par.Options
+	for _, opt := range opts {
+		o = opt(o)
+	}
+	l := s.pool.For(lo, hi, o, body)
+	j, err := s.eng.Submit(ctx, l.Task())
+	if err != nil {
+		l.Release()
+		return err
+	}
+	err = j.Wait() // the DAG is fully drained once Wait returns …
+	l.Release()    // … so the descriptors can be reissued immediately
+	return err
+}
+
+// ParallelForTask is ParallelFor with a task-aware leaf body: leaves
+// receive the executing Task context so they can annotate memory traffic
+// for the simulator or spawn nested subtasks.
+func (s *Scheduler) ParallelForTask(ctx context.Context, lo, hi int, body func(t Task, lo, hi int), opts ...ForOption) error {
+	if hi <= lo {
+		return nil
+	}
+	var o par.Options
+	for _, opt := range opts {
+		o = opt(o)
+	}
+	l := s.pool.ForProc(lo, hi, o, body)
+	j, err := s.eng.Submit(ctx, l.Task())
+	if err != nil {
+		l.Release()
+		return err
+	}
+	err = j.Wait()
+	l.Release()
+	return err
+}
+
+// Reduce folds [lo, hi) in parallel: leaf computes one subrange's partial
+// result, combine merges two partials, and the combining tree mirrors the
+// split tree, so partials join in-cache on the socket that produced them.
+// combine must be associative and both functions must be safe to run
+// concurrently on disjoint subranges; the iteration order within a leaf is
+// ascending but the combine order across subtrees is not specified beyond
+// left-to-right association.
+//
+// Reduce is a free function because Go methods cannot introduce type
+// parameters. Cancellation, panic isolation and accounting match
+// ParallelFor; on any error the zero value of T is returned.
+func Reduce[T any](s *Scheduler, ctx context.Context, lo, hi int, leaf func(lo, hi int) T, combine func(a, b T) T, opts ...ForOption) (T, error) {
+	var out T
+	if hi <= lo {
+		return out, nil
+	}
+	var o par.Options
+	for _, opt := range opts {
+		o = opt(o)
+	}
+	task := par.ReduceTask(s.pool, lo, hi, o, leaf, combine, &out)
+	j, err := s.eng.Submit(ctx, task)
+	if err != nil {
+		return out, err
+	}
+	if err := j.Wait(); err != nil {
+		var zero T
+		return zero, err
+	}
+	return out, nil
+}

@@ -1,0 +1,257 @@
+package cab_test
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	"cab"
+)
+
+func quadSched(t *testing.T) *cab.Scheduler {
+	t.Helper()
+	return newTestSched(t, cab.Config{
+		Machine:       cab.Machine{Sockets: 2, CoresPerSocket: 2, SharedCache: 1 << 20},
+		BoundaryLevel: 1,
+	})
+}
+
+func TestParallelForPublic(t *testing.T) {
+	s := quadSched(t)
+	const n = 50000
+	data := make([]int64, n)
+	err := s.ParallelFor(context.Background(), 0, n, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			data[i] = int64(i) * 3
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, v := range data {
+		if v != int64(i)*3 {
+			t.Fatalf("data[%d] = %d, want %d", i, v, int64(i)*3)
+		}
+	}
+	// Empty and inverted ranges are no-ops, not jobs.
+	called := false
+	if err := s.ParallelFor(nil, 10, 10, func(int, int) { called = true }); err != nil || called {
+		t.Fatalf("empty range: err=%v called=%v", err, called)
+	}
+	if err := s.ParallelFor(nil, 10, 3, func(int, int) { called = true }); err != nil || called {
+		t.Fatalf("inverted range: err=%v called=%v", err, called)
+	}
+}
+
+func TestParallelForOptionsPublic(t *testing.T) {
+	s := quadSched(t)
+	var leaves atomic.Int32
+	err := s.ParallelFor(nil, 0, 1000, func(lo, hi int) {
+		leaves.Add(1)
+		if hi-lo > 100 {
+			t.Errorf("leaf [%d,%d) exceeds grain 100", lo, hi)
+		}
+	}, cab.WithGrain(100), cab.WithoutHints())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if l := leaves.Load(); l < 10 {
+		t.Fatalf("grain 100 over 1000 elements ran %d leaves, want >=10", l)
+	}
+}
+
+func TestParallelForTaskPublic(t *testing.T) {
+	s := quadSched(t)
+	var touched atomic.Int64
+	err := s.ParallelForTask(nil, 0, 10000, func(tk cab.Task, lo, hi int) {
+		tk.Load(4096+uint64(lo)*8, int64(hi-lo)*8) // annotation: no-op on rt
+		touched.Add(int64(hi - lo))
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if touched.Load() != 10000 {
+		t.Fatalf("leaves covered %d elements, want 10000", touched.Load())
+	}
+}
+
+func TestReducePublic(t *testing.T) {
+	s := quadSched(t)
+	const n = 200000
+	sum, err := cab.Reduce(s, context.Background(), 0, n,
+		func(lo, hi int) int64 {
+			var acc int64
+			for i := lo; i < hi; i++ {
+				acc += int64(i)
+			}
+			return acc
+		},
+		func(a, b int64) int64 { return a + b })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := int64(n) * (n - 1) / 2; sum != want {
+		t.Fatalf("Reduce sum = %d, want %d", sum, want)
+	}
+	empty, err := cab.Reduce(s, nil, 5, 5,
+		func(lo, hi int) int64 { return 42 },
+		func(a, b int64) int64 { return a + b })
+	if err != nil || empty != 0 {
+		t.Fatalf("empty Reduce = (%d, %v), want (0, nil)", empty, err)
+	}
+}
+
+// TestParallelForPanicReleasesBusyState: a panic in a leaf body at BL>0
+// must cancel only that loop, surface from ParallelFor as the job's
+// TaskPanic, and leave every squad adoptable for the next loop.
+func TestParallelForPanicReleasesBusyState(t *testing.T) {
+	s := quadSched(t)
+	err := s.ParallelFor(context.Background(), 0, 10000, func(lo, hi int) {
+		if lo <= 5000 && 5000 < hi {
+			panic("leaf boom")
+		}
+	}, cab.WithGrain(100))
+	if err == nil {
+		t.Fatal("panicking loop returned nil")
+	}
+	var tp *cab.TaskPanic
+	if !errors.As(err, &tp) {
+		t.Fatalf("ParallelFor = %v (%T), want *cab.TaskPanic", err, err)
+	}
+	if tp.Value != "leaf boom" {
+		t.Fatalf("TaskPanic.Value = %v, want leaf boom", tp.Value)
+	}
+	// The busy flags must have been released: subsequent inter-tier loops
+	// are adopted and complete.
+	for round := 0; round < 3; round++ {
+		var n atomic.Int64
+		if err := s.ParallelFor(nil, 0, 1000, func(lo, hi int) {
+			n.Add(int64(hi - lo))
+		}); err != nil {
+			t.Fatalf("loop %d after panic: %v", round, err)
+		}
+		if n.Load() != 1000 {
+			t.Fatalf("loop %d after panic covered %d elements, want 1000", round, n.Load())
+		}
+	}
+}
+
+// TestParallelForCancellation: cancelling the loop's context mid-run stops
+// further splitting, drains cleanly, and reports the context's error;
+// the scheduler stays fully usable.
+func TestParallelForCancellation(t *testing.T) {
+	s := quadSched(t)
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	started := make(chan struct{})
+	var once sync.Once
+	go func() {
+		<-started
+		cancel()
+	}()
+	// The range is far too large to drain within the test's lifetime at
+	// grain 1, so ParallelFor can only return via the cancellation — the
+	// same only-exit-is-cancel shape TestContextCancellation uses.
+	err := s.ParallelFor(ctx, 0, 1<<30, func(lo, hi int) {
+		once.Do(func() { close(started) })
+	}, cab.WithGrain(1))
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("cancelled ParallelFor = %v, want context.Canceled", err)
+	}
+	var n atomic.Int64
+	if err := s.ParallelFor(context.Background(), 0, 1000, func(lo, hi int) {
+		n.Add(int64(hi - lo))
+	}); err != nil || n.Load() != 1000 {
+		t.Fatalf("loop after cancellation: err=%v covered=%d, want nil/1000", err, n.Load())
+	}
+}
+
+// TestParallelForJobAccounting: every loop is a job — it lands in the
+// scheduler's service counters and latency histograms like any Submit.
+func TestParallelForJobAccounting(t *testing.T) {
+	s := quadSched(t)
+	before := s.ServiceStats()
+	const loops = 5
+	for i := 0; i < loops; i++ {
+		if err := s.ParallelFor(nil, 0, 10000, func(lo, hi int) {}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	after := s.ServiceStats()
+	if got := after.Submitted - before.Submitted; got != loops {
+		t.Fatalf("Submitted advanced by %d, want %d", got, loops)
+	}
+	if got := after.Completed - before.Completed; got != loops {
+		t.Fatalf("Completed advanced by %d, want %d", got, loops)
+	}
+	if after.Run.Count < before.Run.Count+loops {
+		t.Fatalf("Run latency count %d, want >= %d", after.Run.Count, before.Run.Count+loops)
+	}
+}
+
+// TestParallelForConcurrentCallers exercises the shared descriptor pool
+// from many goroutines (race detector coverage for loop reuse).
+func TestParallelForConcurrentCallers(t *testing.T) {
+	s := quadSched(t)
+	var wg sync.WaitGroup
+	errs := make([]error, 8)
+	sums := make([]int64, 8)
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			var sum atomic.Int64
+			errs[g] = s.ParallelFor(nil, 0, 20000, func(lo, hi int) {
+				var acc int64
+				for i := lo; i < hi; i++ {
+					acc += int64(i)
+				}
+				sum.Add(acc)
+			}, cab.WithGrain(500))
+			sums[g] = sum.Load()
+		}(g)
+	}
+	wg.Wait()
+	want := int64(20000) * 19999 / 2
+	for g := 0; g < 8; g++ {
+		if errs[g] != nil || sums[g] != want {
+			t.Fatalf("goroutine %d: err=%v sum=%d want %d", g, errs[g], sums[g], want)
+		}
+	}
+}
+
+// TestParallelForZeroAllocPublic is the public-API allocation gate the
+// acceptance criteria name: steady-state ParallelFor — admission, split,
+// leaves, join, release — allocates nothing per call on a warm scheduler.
+// A 1x1 machine keeps the count deterministic (no thieves migrating
+// descriptors between per-worker shards mid-measurement).
+func TestParallelForZeroAllocPublic(t *testing.T) {
+	s := newTestSched(t, cab.Config{
+		Machine: cab.Machine{Sockets: 1, CoresPerSocket: 1, SharedCache: 1 << 20},
+	})
+	const n = 4096
+	data := make([]int64, n)
+	body := func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			data[i]++
+		}
+	}
+	run := func() {
+		if err := s.ParallelFor(nil, 0, n, body); err != nil {
+			t.Error(err)
+		}
+	}
+	// Warm until the worker's frame freelist overflows into the shared
+	// pool root frames are drawn from (cap 256; each loop migrates one
+	// net frame from the pool to the freelist, so the spill starts after
+	// ~256 loops), so the measured runs recycle everything: loop
+	// descriptors, spans, task frames, job slabs.
+	for i := 0; i < 512; i++ {
+		run()
+	}
+	if allocs := testing.AllocsPerRun(100, run); allocs != 0 {
+		t.Fatalf("steady-state ParallelFor allocated %.2f objects per call, want 0", allocs)
+	}
+}

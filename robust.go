@@ -46,6 +46,12 @@ const (
 	FaultSteal = rt.FaultSteal
 )
 
+// TaskPanic is the error Wait (and ParallelFor/Reduce) returns when a
+// task body of the job panicked: the recovered value, the panicking
+// task's DAG level, its job ID, and the captured stack. Panics are
+// isolated per job — concurrent jobs on the same scheduler are unharmed.
+type TaskPanic = rt.TaskPanic
+
 // WatchdogConfig configures the runtime's stall/overrun/deadline monitor.
 // The zero value enables it with defaults (250ms interval, 1s stall
 // threshold); set Disable to turn monitoring off entirely.

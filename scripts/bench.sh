@@ -40,7 +40,7 @@ if ! ./bin/cablint -json ./... > BENCH_lint.json; then
 fi
 echo "cablint clean: $(python3 -c "import json; c = json.load(open('BENCH_lint.json'))['counts']; print(', '.join(f'{k}={v}' for k, v in sorted(c.items())))")"
 
-go test -run '^$' -bench 'BenchmarkSpawnSync$|BenchmarkSpawnSyncTraced$|BenchmarkSpawnSyncFaultHook$|BenchmarkStealThroughput$|BenchmarkStealBatchTiered$|BenchmarkInterPool$|BenchmarkJobThroughput$|BenchmarkJobSubmit$|BenchmarkSubmitBatchLatency$' \
+go test -run '^$' -bench 'BenchmarkSpawnSync$|BenchmarkSpawnSyncTraced$|BenchmarkSpawnSyncFaultHook$|BenchmarkStealThroughput$|BenchmarkStealBatchTiered$|BenchmarkInterPool$|BenchmarkJobThroughput$|BenchmarkJobSubmit$|BenchmarkSubmitBatchLatency$|BenchmarkParallelFor$|BenchmarkParallelForFine$|BenchmarkParallelForCoarse$|BenchmarkSamplesort$|BenchmarkHashJoin$' \
     -benchmem -count=5 . | tee "$raw"
 
 awk '
@@ -119,6 +119,13 @@ pct = (f - b) * 100 / b
 print(f"JobThroughput jobs/sec: baseline {b:.0f}, fresh {f:.0f} ({pct:+.1f}%)")
 if f < b * (1 - TOLERANCE):
     print(f"FAIL: JobThroughput regressed more than {TOLERANCE:.0%}")
+    failed = True
+# Samplesort: absolute floor, not a relative one — the data-parallel
+# subsystem must beat serial sort.Slice on the 4-worker bench machine.
+f = mean(fresh, "Samplesort", "speedup_vs_sortslice")
+print(f"Samplesort speedup vs sort.Slice: {f:.2f}x")
+if f < 1.0:
+    print("FAIL: samplesort slower than serial sort.Slice")
     failed = True
 
 sys.exit(1 if failed else 0)

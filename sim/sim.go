@@ -171,6 +171,15 @@ type Report struct {
 	// PrefetchedLines counts lines installed by Prefetch annotations.
 	PrefetchedLines int64
 
+	// SocketL3Accesses / SocketL3Misses break the shared-cache counters
+	// down per socket (L3Accesses / L3Misses are their sums). The
+	// data-parallel locality experiments read these: squad-affine
+	// partition placement keeps each partition's working set in one
+	// socket's L3, so every socket shows fewer misses than under
+	// placement-oblivious round-robin dealing of the same work.
+	SocketL3Accesses []int64
+	SocketL3Misses   []int64
+
 	// FootprintBytes per socket and total (-1 when not tracked).
 	SocketFootprint []int64
 	FootprintBytes  int64
@@ -242,26 +251,34 @@ func Run(cfg Config, root cab.TaskFunc) (Report, error) {
 			return Report{}, fmt.Errorf("sim: writing trace: %w", werr)
 		}
 	}
+	sockL3A := make([]int64, len(st.SocketL3))
+	sockL3M := make([]int64, len(st.SocketL3))
+	for s, c := range st.SocketL3 {
+		sockL3A[s] = c.Accesses
+		sockL3M[s] = c.Misses
+	}
 	return Report{
-		Scheduler:       st.Scheduler,
-		BL:              st.BL,
-		Cycles:          st.Time,
-		L2Accesses:      st.Cache.L2.Accesses,
-		L2Misses:        st.Cache.L2.Misses,
-		L3Accesses:      st.Cache.L3.Accesses,
-		L3Misses:        st.Cache.L3.Misses,
-		Tasks:           st.Tasks,
-		LeafInterTasks:  st.LeafInterTasks,
-		StealsIntra:     st.StealsIntra,
-		StealsInter:     st.StealsInter,
-		FailedSteals:    st.FailedSteals,
-		MaxTasksLive:    st.MaxInFlight,
-		CriticalPath:    st.CriticalPath,
-		PrefetchedLines: st.PrefetchedLines,
-		Utilization:     st.Utilization(),
-		InterTierShare:  st.InterTierShare(),
-		MemoryShare:     st.MemoryBoundShare(),
-		SocketFootprint: st.SocketFootprint,
-		FootprintBytes:  st.FootprintBytes,
+		Scheduler:        st.Scheduler,
+		BL:               st.BL,
+		Cycles:           st.Time,
+		L2Accesses:       st.Cache.L2.Accesses,
+		L2Misses:         st.Cache.L2.Misses,
+		L3Accesses:       st.Cache.L3.Accesses,
+		L3Misses:         st.Cache.L3.Misses,
+		Tasks:            st.Tasks,
+		LeafInterTasks:   st.LeafInterTasks,
+		StealsIntra:      st.StealsIntra,
+		StealsInter:      st.StealsInter,
+		FailedSteals:     st.FailedSteals,
+		MaxTasksLive:     st.MaxInFlight,
+		CriticalPath:     st.CriticalPath,
+		PrefetchedLines:  st.PrefetchedLines,
+		Utilization:      st.Utilization(),
+		InterTierShare:   st.InterTierShare(),
+		MemoryShare:      st.MemoryBoundShare(),
+		SocketL3Accesses: sockL3A,
+		SocketL3Misses:   sockL3M,
+		SocketFootprint:  st.SocketFootprint,
+		FootprintBytes:   st.FootprintBytes,
 	}, nil
 }

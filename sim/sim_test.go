@@ -140,6 +140,36 @@ func TestFootprintTracking(t *testing.T) {
 	}
 }
 
+// TestSocketL3Breakdown: the per-socket L3 counters are a partition of
+// the totals — one entry per socket, summing exactly to L3Accesses /
+// L3Misses.
+func TestSocketL3Breakdown(t *testing.T) {
+	rep, err := sim.Run(sim.Config{
+		Scheduler:     sim.CAB,
+		BoundaryLevel: 1,
+		Seed:          1,
+	}, stencilish(256, 512, 2, 32))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.SocketL3Accesses) != 4 || len(rep.SocketL3Misses) != 4 {
+		t.Fatalf("per-socket L3 slices have %d/%d entries, want 4/4",
+			len(rep.SocketL3Accesses), len(rep.SocketL3Misses))
+	}
+	var acc, miss int64
+	for s := range rep.SocketL3Accesses {
+		acc += rep.SocketL3Accesses[s]
+		miss += rep.SocketL3Misses[s]
+	}
+	if acc != rep.L3Accesses || miss != rep.L3Misses {
+		t.Fatalf("per-socket sums %d/%d != totals %d/%d",
+			acc, miss, rep.L3Accesses, rep.L3Misses)
+	}
+	if miss == 0 {
+		t.Fatal("no L3 misses recorded at all")
+	}
+}
+
 func TestUnknownScheduler(t *testing.T) {
 	if _, err := sim.Run(sim.Config{Scheduler: sim.SchedulerKind(99)}, func(cab.Task) {}); err == nil {
 		t.Fatal("expected error for unknown scheduler")
