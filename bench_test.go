@@ -120,6 +120,7 @@ func BenchmarkSeedRobustness(b *testing.B) { benchExperiment(b, "seeds", 0.25) }
 // runnable as `cabbench -rtbench`; scripts/bench.sh tracks them over time).
 func BenchmarkSpawnSync(b *testing.B)          { rtbench.SpawnSync(b) }
 func BenchmarkSpawnSyncTraced(b *testing.B)    { rtbench.SpawnSyncTraced(b) }
+func BenchmarkSpawnSyncProfiled(b *testing.B)  { rtbench.SpawnSyncProfiled(b) }
 func BenchmarkSpawnSyncFaultHook(b *testing.B) { rtbench.SpawnSyncFaultHook(b) }
 func BenchmarkStealThroughput(b *testing.B)    { rtbench.StealThroughput(b) }
 func BenchmarkStealBatchTiered(b *testing.B)   { rtbench.StealBatchTiered(b) }

@@ -136,6 +136,16 @@ type Config struct {
 	// Watchdog configures the stall/overrun/deadline monitor; the zero
 	// value enables it with defaults (250ms interval, 1s stall threshold).
 	Watchdog WatchdogConfig
+	// Profile arms time-in-state and steal-flow accounting from the start
+	// (see StartProfile/StopProfile and Profile). Disarmed profiling costs
+	// one atomic load per instrumentation point, like disarmed tracing.
+	Profile bool
+	// HWC attaches hardware performance counters (cycles, instructions,
+	// LLC loads and misses via Linux perf_event_open) to each worker's OS
+	// thread, pinning workers with LockOSThread. Hosts without perf access
+	// — or non-Linux builds — degrade silently to the software-only
+	// profile; Profile().HWCAvailable reports which mode is live.
+	HWC bool
 }
 
 // Scheduler is a running CAB worker pool. It is multi-tenant: Run and
@@ -179,6 +189,7 @@ func New(cfg Config) (*Scheduler, error) {
 		Topo: m.topology(), BL: bl, Seed: cfg.Seed, QueueDepth: cfg.QueueDepth,
 		Trace: cfg.Trace, TraceDepth: cfg.TraceDepth,
 		FaultHook: cfg.FaultHook, Watchdog: cfg.Watchdog,
+		Profile: cfg.Profile, HWC: cfg.HWC,
 	})
 	if err != nil {
 		return nil, fmt.Errorf("cab: %w", err)

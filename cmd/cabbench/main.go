@@ -3,7 +3,7 @@
 //
 // Usage:
 //
-//	cabbench [-exp id[,id...]] [-scale f] [-seed n] [-verify] [-list] [-rtbench] [-par] [-chaos]
+//	cabbench [-exp id[,id...]] [-scale f] [-seed n] [-verify] [-list] [-rtbench] [-par] [-chaos] [-profile]
 //
 // With no -exp it runs every experiment in presentation order. Experiment
 // IDs follow the paper: tab3, fig4, tab4, fig5, fig6, fig7, fig8, plus
@@ -37,6 +37,14 @@
 // stdout and exits 1 if any scenario misbehaves — the CI smoke for the
 // robustness layer.
 //
+// -profile runs the scheduler X-ray smoke: fib on a live 2x2 squad
+// machine at BL 1 with time-in-state and steal-flow accounting (and
+// hardware counters where the host permits) armed from construction. It
+// prints the profile roll-up as JSON and exits 1 unless the books
+// balance: non-zero exec time, and the flow matrix's probe/hit/frame
+// sums equal to the scheduler's own steal counters — the CI gate for the
+// profiling layer.
+//
 // -trace out.json runs fib(-tracefib) on the real runtime with event
 // tracing armed on a 2-socket squad machine (BL 2) and writes the window
 // as Chrome trace-viewer JSON — load it in chrome://tracing or
@@ -53,6 +61,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 	"strings"
 	"sync"
 	"testing"
@@ -85,8 +94,14 @@ func main() {
 
 		chaosSmoke = flag.Bool("chaos", false, "run the fault-injection smoke scenarios and exit")
 		parSmoke   = flag.Bool("par", false, "run the data-parallel subsystem smoke (ParallelFor/Reduce/samplesort/hash join) and exit")
+		profSmoke  = flag.Bool("profile", false, "run the scheduler X-ray smoke (time-in-state, steal flow, hwc) and exit")
 	)
 	flag.Parse()
+
+	if *profSmoke {
+		runProfile()
+		return
+	}
 
 	if *parSmoke {
 		runPar()
@@ -362,6 +377,125 @@ func runPar() {
 	enc.SetIndent("", "  ")
 	if err := enc.Encode(out); err != nil {
 		parFail("%v", err)
+	}
+}
+
+// profFail prints a profile smoke failure and exits non-zero.
+func profFail(format string, args ...interface{}) {
+	fmt.Fprintf(os.Stderr, "cabbench: profile: "+format+"\n", args...)
+	os.Exit(1)
+}
+
+// runProfile is the scheduler X-ray smoke: fib on a 2x2 squad machine at
+// BL 1 with profiling (and hardware counters, where the host grants
+// them) armed from construction, then a books-balance check — the flow
+// matrix's probe/hit/frame sums must equal the scheduler's own steal
+// counters exactly, and real work must show up as exec time. Emits the
+// roll-up as JSON on stdout; any imbalance exits 1.
+func runProfile() {
+	sched, err := cab.New(cab.Config{
+		Machine:       cab.Machine{Sockets: 2, CoresPerSocket: 2, SharedCache: 1 << 20},
+		BoundaryLevel: 1,
+		Profile:       true,
+		HWC:           true,
+	})
+	if err != nil {
+		profFail("%v", err)
+	}
+	defer sched.Close()
+
+	// Fork-join fib with yielding leaves: the yields give thieves a
+	// chance even when GOMAXPROCS or the core count is small, so the flow
+	// matrix is populated on any host.
+	var fib func(n int) cab.TaskFunc
+	fib = func(n int) cab.TaskFunc {
+		return func(t cab.Task) {
+			if n < 2 {
+				runtime.Gosched()
+				return
+			}
+			t.Spawn(fib(n - 1))
+			t.Spawn(fib(n - 2))
+			t.Sync()
+		}
+	}
+	start := time.Now()
+	if err := sched.Run(fib(22)); err != nil {
+		profFail("fib run: %v", err)
+	}
+	wallMS := float64(time.Since(start).Microseconds()) / 1000
+
+	p := sched.Profile()
+	st := sched.Stats()
+	if !p.Enabled {
+		profFail("profiling not armed despite Config.Profile")
+	}
+
+	var times cab.StateTimes
+	squadExecMS := make([]float64, len(p.Squads))
+	for i, sq := range p.Squads {
+		times.Exec += sq.Times.Exec
+		times.ScanIntra += sq.Times.ScanIntra
+		times.ScanInter += sq.Times.ScanInter
+		times.Park += sq.Times.Park
+		times.AdmitWait += sq.Times.AdmitWait
+		squadExecMS[i] = float64(sq.Times.Exec.Microseconds()) / 1000
+	}
+	var probes, hits, frames int64
+	for _, row := range p.Flow {
+		for _, c := range row {
+			probes += c.Probes
+			hits += c.Hits
+			frames += c.Frames
+		}
+	}
+
+	out := struct {
+		FibN        int       `json:"fib_n"`
+		WallMS      float64   `json:"wall_ms"`
+		ExecMS      float64   `json:"exec_ms"`
+		ScanIntraMS float64   `json:"scan_intra_ms"`
+		ScanInterMS float64   `json:"scan_inter_ms"`
+		ParkMS      float64   `json:"park_ms"`
+		SquadExecMS []float64 `json:"squad_exec_ms"`
+		FlowProbes  int64     `json:"flow_probes"`
+		FlowHits    int64     `json:"flow_hits"`
+		FlowFrames  int64     `json:"flow_frames"`
+		StealsIntra int64     `json:"steals_intra"`
+		StealsInter int64     `json:"steals_inter"`
+		HWC         bool      `json:"hwc_available"`
+		OK          bool      `json:"ok"`
+	}{
+		22, wallMS,
+		float64(times.Exec.Microseconds()) / 1000,
+		float64(times.ScanIntra.Microseconds()) / 1000,
+		float64(times.ScanInter.Microseconds()) / 1000,
+		float64(times.Park.Microseconds()) / 1000,
+		squadExecMS, probes, hits, frames,
+		st.StealsIntra, st.StealsInter, p.HWCAvailable, true,
+	}
+	if times.Exec <= 0 {
+		profFail("no exec time accounted over a fib run: %+v", out)
+	}
+	if times.Total() <= 0 {
+		profFail("total state time is zero: %+v", out)
+	}
+	if probes != st.ProbesIntra+st.ProbesInter {
+		profFail("flow probes %d != ProbesIntra %d + ProbesInter %d",
+			probes, st.ProbesIntra, st.ProbesInter)
+	}
+	if hits != st.StealsIntra+st.StealsInter {
+		profFail("flow hits %d != StealsIntra %d + StealsInter %d",
+			hits, st.StealsIntra, st.StealsInter)
+	}
+	if frames != st.StealsIntra+st.StealsInterTasks {
+		profFail("flow frames %d != StealsIntra %d + StealsInterTasks %d",
+			frames, st.StealsIntra, st.StealsInterTasks)
+	}
+	enc := json.NewEncoder(os.Stdout)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(out); err != nil {
+		profFail("%v", err)
 	}
 }
 

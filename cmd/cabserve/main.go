@@ -14,6 +14,7 @@
 //
 //	cabserve [-addr :8080] [-queue 64] [-reject]
 //	         [-shed-target 100ms] [-shed-interval 250ms]
+//	         [-profile=true] [-hwc=true] [-sockets M] [-cores N]
 //
 // Endpoints:
 //
@@ -24,6 +25,10 @@
 //	GET /join?n=100000  partitioned hash join (n probes vs n/2 build tuples),
 //	                    returns the matched payload sum
 //	GET /statz          scheduler + job-service counters (JSON)
+//	GET /flowz          the scheduler X-ray profile (JSON): per-worker and
+//	                    per-squad time-in-state, the squad x squad
+//	                    steal-flow matrix, hardware counters when attached;
+//	                    cabtop polls this
 //	GET /healthz        liveness: 200 unless the watchdog sees wedged workers
 //	GET /readyz         readiness: 200 unless draining or shedding load
 //	GET /dumpz          the scheduler's DumpState diagnostic (plain text)
@@ -66,6 +71,10 @@ func main() {
 		reject       = flag.Bool("reject", false, "reject submissions when the queue is full (default: block)")
 		shedTarget   = flag.Duration("shed-target", 100*time.Millisecond, "shed new work when windowed p95 queue wait exceeds this (0 disables)")
 		shedInterval = flag.Duration("shed-interval", 250*time.Millisecond, "shedding decision window")
+		profile      = flag.Bool("profile", true, "arm time-in-state and steal-flow accounting (serves /flowz; a few ns per state transition)")
+		hwcFlag      = flag.Bool("hwc", true, "attach per-thread hardware perf counters where the host allows")
+		sockets      = flag.Int("sockets", 0, "override the machine model's socket count (0 = detect)")
+		cores        = flag.Int("cores", 0, "override cores per socket (0 = detect)")
 	)
 	flag.Parse()
 
@@ -73,8 +82,20 @@ func main() {
 	if *reject {
 		policy = cab.RejectWhenFull
 	}
+	var machine cab.Machine // zero value = DetectMachine
+	if *sockets > 0 || *cores > 0 {
+		machine = cab.DetectMachine()
+		if *sockets > 0 {
+			machine.Sockets = *sockets
+		}
+		if *cores > 0 {
+			machine.CoresPerSocket = *cores
+		}
+	}
 	sched, err := cab.New(cab.Config{
+		Machine:    machine,
 		QueueDepth: *queue, OnFull: policy,
+		Profile: *profile, HWC: *hwcFlag,
 		// Watchdog diagnostics (stalled workers, overdue jobs) go to the
 		// server log; thresholds are the defaults (250ms / 1s).
 		Watchdog: cab.WatchdogConfig{Output: os.Stderr},
@@ -155,6 +176,11 @@ func (sv *server) routes() *http.ServeMux {
 			"service":   sched.ServiceStats(),
 			"health":    sched.Health(),
 		})
+	})
+	mux.HandleFunc("/flowz", func(w http.ResponseWriter, r *http.Request) {
+		// The full X-ray snapshot. Cumulative since start: pollers (cabtop)
+		// diff consecutive snapshots to window an interval.
+		writeJSON(w, http.StatusOK, sched.Profile())
 	})
 	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
 		// Liveness: the process serves and the watchdog sees no wedged

@@ -29,6 +29,7 @@ func testServerFull(t *testing.T, shedTarget time.Duration) (*cab.Scheduler, *se
 	t.Helper()
 	sched, err := cab.New(cab.Config{
 		Machine: cab.Machine{Sockets: 2, CoresPerSocket: 2, SharedCache: 1 << 20},
+		Profile: true,
 	})
 	if err != nil {
 		t.Fatal(err)
@@ -138,10 +139,86 @@ func TestMetricz(t *testing.T) {
 		`cab_job_run_quantile_seconds{q="0.99"}`,
 		"cab_boundary_level 0",
 		"cab_tracing_armed 0",
+		"cab_profiling_armed 1",
+		"cab_hwc_available",
+		`cab_squad_state_seconds_total{squad="0",state="exec"}`,
+		`cab_steal_flow_probes_total{src="0",dst="1"}`,
 	} {
 		if !strings.Contains(body, want) {
 			t.Errorf("/metricz missing %q\n--- body ---\n%s", want, body)
 		}
+	}
+}
+
+func TestStatz(t *testing.T) {
+	_, srv := testServer(t)
+	if code, body := get(t, srv.URL+"/fib?n=25"); code != http.StatusOK {
+		t.Fatalf("warm-up job failed: %d %s", code, body)
+	}
+	code, body := get(t, srv.URL+"/statz")
+	if code != http.StatusOK {
+		t.Fatalf("/statz status %d", code)
+	}
+	var out struct {
+		Scheduler struct {
+			Spawns int64 `json:"Spawns"`
+		} `json:"scheduler"`
+		Squads  []map[string]any `json:"squads"`
+		Service struct {
+			Submitted int64 `json:"Submitted"`
+			Completed int64 `json:"Completed"`
+		} `json:"service"`
+		Health *struct {
+			StalledWorkers int `json:"StalledWorkers"`
+		} `json:"health"`
+	}
+	if err := json.Unmarshal([]byte(body), &out); err != nil {
+		t.Fatalf("/statz is not valid JSON: %v\n%s", err, body)
+	}
+	if out.Scheduler.Spawns == 0 {
+		t.Error("/statz scheduler.Spawns is zero after a fib(25) job")
+	}
+	if len(out.Squads) != 2 {
+		t.Errorf("/statz squads: %d entries, want 2", len(out.Squads))
+	}
+	if out.Service.Submitted != 1 || out.Service.Completed != 1 {
+		t.Errorf("/statz service counters %+v, want one submitted+completed", out.Service)
+	}
+	if out.Health == nil {
+		t.Error("/statz missing health section")
+	} else if out.Health.StalledWorkers != 0 {
+		t.Errorf("/statz health reports %d stalled workers on a healthy server", out.Health.StalledWorkers)
+	}
+}
+
+func TestFlowz(t *testing.T) {
+	_, srv := testServer(t)
+	if code, body := get(t, srv.URL+"/fib?n=28"); code != http.StatusOK {
+		t.Fatalf("warm-up job failed: %d %s", code, body)
+	}
+	code, body := get(t, srv.URL+"/flowz")
+	if code != http.StatusOK {
+		t.Fatalf("/flowz status %d", code)
+	}
+	var p cab.Profile
+	if err := json.Unmarshal([]byte(body), &p); err != nil {
+		t.Fatalf("/flowz is not valid JSON: %v\n%s", err, body)
+	}
+	if !p.Enabled {
+		t.Fatal("/flowz reports profiling disabled on a -profile server")
+	}
+	if len(p.Workers) != 4 || len(p.Squads) != 2 {
+		t.Fatalf("/flowz shape: %d workers / %d squads, want 4 / 2", len(p.Workers), len(p.Squads))
+	}
+	if len(p.Flow) != 2 || len(p.Flow[0]) != 2 {
+		t.Fatalf("/flowz flow matrix is not 2x2: %v", p.Flow)
+	}
+	var exec time.Duration
+	for _, sq := range p.Squads {
+		exec += sq.Times.Exec
+	}
+	if exec == 0 {
+		t.Error("/flowz shows zero exec time after a fib(28) job")
 	}
 }
 

@@ -1,0 +1,212 @@
+// Command cabtop is a live terminal view of a cabserve scheduler: it
+// polls the /flowz X-ray endpoint and renders, per refresh interval, the
+// per-squad time-in-state split (what fraction of worker wall time went
+// to executing, scanning for steals in each tier, parking, or waiting at
+// the admission seam), the squad x squad steal-flow matrix, and — where
+// the server has hardware counters attached — per-socket IPC and LLC
+// miss ratios.
+//
+// /flowz snapshots are cumulative since scheduler start; cabtop diffs
+// consecutive snapshots so every frame shows the last interval only,
+// which is what makes phase changes (a load spike, a squad going idle)
+// visible as they happen.
+//
+// Usage:
+//
+//	cabtop [-url http://localhost:8080/flowz] [-interval 1s] [-once]
+//
+// -once prints a single frame (diffed over one interval) without taking
+// over the terminal — useful in scripts and for capturing samples.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"strings"
+	"text/tabwriter"
+	"time"
+
+	"cab"
+)
+
+func main() {
+	var (
+		url      = flag.String("url", "http://localhost:8080/flowz", "cabserve /flowz endpoint to poll")
+		interval = flag.Duration("interval", time.Second, "refresh interval")
+		once     = flag.Bool("once", false, "print one frame and exit (no screen takeover)")
+	)
+	flag.Parse()
+
+	prev, err := fetch(*url)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "cabtop: %v\n", err)
+		os.Exit(1)
+	}
+	if !prev.Enabled {
+		fmt.Fprintln(os.Stderr, "cabtop: profiling is disarmed on the server (run cabserve with -profile)")
+		os.Exit(1)
+	}
+	for {
+		time.Sleep(*interval)
+		cur, err := fetch(*url)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "cabtop: %v\n", err)
+			os.Exit(1)
+		}
+		if !*once {
+			fmt.Print("\x1b[2J\x1b[H") // clear screen, home cursor
+		}
+		renderFrame(os.Stdout, prev, cur, *url, *interval)
+		if *once {
+			return
+		}
+		prev = cur
+	}
+}
+
+// fetch pulls one cumulative profile snapshot.
+func fetch(url string) (cab.Profile, error) {
+	var p cab.Profile
+	resp, err := http.Get(url)
+	if err != nil {
+		return p, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return p, fmt.Errorf("%s: HTTP %d", url, resp.StatusCode)
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&p); err != nil {
+		return p, fmt.Errorf("%s: %v", url, err)
+	}
+	return p, nil
+}
+
+// renderFrame writes one terminal frame: the delta between two
+// cumulative snapshots. Factored from main so tests can drive it with
+// synthetic profiles.
+func renderFrame(w io.Writer, prev, cur cab.Profile, url string, interval time.Duration) {
+	hw := "hwc off"
+	if cur.HWCAvailable {
+		hw = "hwc on"
+	}
+	fmt.Fprintf(w, "cabtop — %s — %s — every %v\n\n", url, hw, interval)
+
+	tw := tabwriter.NewWriter(w, 2, 0, 2, ' ', tabwriter.AlignRight)
+	fmt.Fprintln(tw, "SQUAD\tEXEC%\tSCAN-I%\tSCAN-X%\tPARK%\tADMIT%\t")
+	for i, sq := range cur.Squads {
+		var d cab.StateTimes
+		if i < len(prev.Squads) {
+			d = deltaTimes(prev.Squads[i].Times, sq.Times)
+		} else {
+			d = sq.Times
+		}
+		total := d.Total()
+		fmt.Fprintf(tw, "%d\t%s\t%s\t%s\t%s\t%s\t\n", sq.Squad,
+			pct(d.Exec, total), pct(d.ScanIntra, total), pct(d.ScanInter, total),
+			pct(d.Park, total), pct(d.AdmitWait, total))
+	}
+	tw.Flush()
+
+	fmt.Fprintf(w, "\nsteal flow this interval (probes/hits/frames), thief squad ↓ victim squad →\n")
+	tw = tabwriter.NewWriter(w, 2, 0, 2, ' ', tabwriter.AlignRight)
+	fmt.Fprint(tw, "\t")
+	for j := range cur.Flow {
+		fmt.Fprintf(tw, "sq%d\t", j)
+	}
+	fmt.Fprintln(tw)
+	for i, row := range cur.Flow {
+		fmt.Fprintf(tw, "sq%d\t", i)
+		for j, c := range row {
+			d := c
+			if i < len(prev.Flow) && j < len(prev.Flow[i]) {
+				p := prev.Flow[i][j]
+				d = cab.FlowCell{Probes: c.Probes - p.Probes, Hits: c.Hits - p.Hits, Frames: c.Frames - p.Frames}
+			}
+			fmt.Fprintf(tw, "%d/%d/%d\t", d.Probes, d.Hits, d.Frames)
+		}
+		fmt.Fprintln(tw)
+	}
+	tw.Flush()
+
+	if !cur.HWCAvailable {
+		fmt.Fprintf(w, "\nhwc: unavailable (software-only profile)\n")
+		return
+	}
+	fmt.Fprintln(w)
+	for i, sq := range cur.Squads {
+		var p cab.HWCounters
+		if i < len(prev.Squads) {
+			p = prev.Squads[i].HW
+		}
+		fmt.Fprintf(w, "hwc socket %d: %s\n", sq.Squad, hwLine(p, sq.HW))
+	}
+}
+
+// deltaTimes subtracts two cumulative StateTimes field-wise.
+func deltaTimes(prev, cur cab.StateTimes) cab.StateTimes {
+	return cab.StateTimes{
+		Exec:      cur.Exec - prev.Exec,
+		ScanIntra: cur.ScanIntra - prev.ScanIntra,
+		ScanInter: cur.ScanInter - prev.ScanInter,
+		Park:      cur.Park - prev.Park,
+		AdmitWait: cur.AdmitWait - prev.AdmitWait,
+	}
+}
+
+// pct renders part/total as a percentage, "-" for an idle (zero-total)
+// interval.
+func pct(part, total time.Duration) string {
+	if total <= 0 {
+		return "-"
+	}
+	return fmt.Sprintf("%.1f", 100*float64(part)/float64(total))
+}
+
+// hwLine renders one socket's hardware-counter delta: raw cycle and
+// instruction counts with derived IPC, and the LLC miss ratio. Counters
+// that failed to open individually are reported absent, not zero.
+func hwLine(prev, cur cab.HWCounters) string {
+	if !cur.Valid {
+		return "not attached"
+	}
+	var parts []string
+	cyc := cur.Cycles - prev.Cycles
+	ins := cur.Instructions - prev.Instructions
+	if cur.HasCycles {
+		parts = append(parts, fmt.Sprintf("%s cycles", human(cyc)))
+	}
+	if cur.HasInstructions {
+		parts = append(parts, fmt.Sprintf("%s instr", human(ins)))
+	}
+	if cur.HasCycles && cur.HasInstructions && cyc > 0 {
+		parts = append(parts, fmt.Sprintf("IPC %.2f", float64(ins)/float64(cyc)))
+	}
+	if cur.HasLLCLoads && cur.HasLLCMisses {
+		loads := cur.LLCLoads - prev.LLCLoads
+		miss := cur.LLCMisses - prev.LLCMisses
+		if loads > 0 {
+			parts = append(parts, fmt.Sprintf("LLC %s loads %.1f%% miss", human(loads), 100*float64(miss)/float64(loads)))
+		}
+	}
+	if len(parts) == 0 {
+		return "no readable counters"
+	}
+	return strings.Join(parts, "  ")
+}
+
+// human renders a count with K/M/G suffixes for terminal width.
+func human(v uint64) string {
+	switch {
+	case v >= 1e9:
+		return fmt.Sprintf("%.2fG", float64(v)/1e9)
+	case v >= 1e6:
+		return fmt.Sprintf("%.2fM", float64(v)/1e6)
+	case v >= 1e3:
+		return fmt.Sprintf("%.1fK", float64(v)/1e3)
+	}
+	return fmt.Sprintf("%d", v)
+}

@@ -1,0 +1,121 @@
+package main
+
+import (
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"cab"
+)
+
+// synthetic builds a cumulative profile snapshot: 2 squads, a 2x2 flow
+// matrix, scaled by k so two calls give a known delta.
+func synthetic(k time.Duration) cab.Profile {
+	mk := func(exec, scanI, scanX, park time.Duration) cab.StateTimes {
+		return cab.StateTimes{Exec: exec * k, ScanIntra: scanI * k, ScanInter: scanX * k, Park: park * k}
+	}
+	return cab.Profile{
+		Enabled: true,
+		Squads: []cab.SquadProfile{
+			{Squad: 0, Times: mk(80, 5, 5, 10)},
+			{Squad: 1, Times: mk(40, 10, 10, 40)},
+		},
+		Flow: [][]cab.FlowCell{
+			{{Probes: 100 * int64(k), Hits: 10 * int64(k), Frames: 10 * int64(k)}, {Probes: 20 * int64(k), Hits: 2 * int64(k), Frames: 6 * int64(k)}},
+			{{Probes: 50 * int64(k), Hits: 5 * int64(k), Frames: 5 * int64(k)}, {Probes: 0, Hits: 0, Frames: 0}},
+		},
+	}
+}
+
+func TestRenderFrameDelta(t *testing.T) {
+	var b strings.Builder
+	renderFrame(&b, synthetic(1), synthetic(3), "test://", time.Second)
+	out := b.String()
+	// The delta is synthetic(2): squad 0 splits 80/5/5/10 over a 100 total,
+	// so the percentages read directly.
+	for _, want := range []string{
+		"80.0", "5.0", "10.0", // squad 0 exec/scan/park split
+		"40.0",      // squad 1 exec
+		"200/20/20", // flow[0][0] delta: probes/hits/frames
+		"40/4/12",   // flow[0][1] delta
+		"100/10/10", // flow[1][0] delta
+		"0/0/0",     // flow[1][1] delta
+		"hwc: unavailable",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("frame missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestRenderFrameFirstSnapshot(t *testing.T) {
+	// With an empty prev (first poll) the frame must render the cumulative
+	// snapshot rather than crash on shape mismatch.
+	var b strings.Builder
+	renderFrame(&b, cab.Profile{}, synthetic(1), "test://", time.Second)
+	if out := b.String(); !strings.Contains(out, "100/10/10") {
+		t.Errorf("first frame did not fall back to cumulative values:\n%s", out)
+	}
+}
+
+func TestRenderFrameHW(t *testing.T) {
+	cur := synthetic(2)
+	cur.HWCAvailable = true
+	cur.Squads[0].HW = cab.HWCounters{
+		Cycles: 4_000_000_000, Instructions: 3_000_000_000,
+		LLCLoads: 1_000_000, LLCMisses: 50_000,
+		Valid: true, HasCycles: true, HasInstructions: true,
+		HasLLCLoads: true, HasLLCMisses: true,
+	}
+	// Squad 1's group attached but the LLC events failed to open — the
+	// line must omit LLC, not print zeros.
+	cur.Squads[1].HW = cab.HWCounters{
+		Cycles: 1_000_000_000, Instructions: 500_000_000,
+		Valid: true, HasCycles: true, HasInstructions: true,
+	}
+	var b strings.Builder
+	renderFrame(&b, synthetic(1), cur, "test://", time.Second)
+	out := b.String()
+	for _, want := range []string{
+		"hwc on",
+		"IPC 0.75",
+		"5.0% miss",
+		"hwc socket 1: 1.00G cycles  500.00M instr  IPC 0.50",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("hw frame missing %q:\n%s", want, out)
+		}
+	}
+	if strings.Contains(out, "socket 1: ") && strings.Contains(strings.SplitAfter(out, "socket 1")[1], "LLC") {
+		t.Errorf("socket 1 printed LLC despite HasLLCLoads=false:\n%s", out)
+	}
+}
+
+func TestFetch(t *testing.T) {
+	want := synthetic(5)
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		json.NewEncoder(w).Encode(want)
+	}))
+	defer srv.Close()
+	got, err := fetch(srv.URL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !got.Enabled || len(got.Squads) != 2 || got.Flow[0][0].Probes != want.Flow[0][0].Probes {
+		t.Fatalf("fetch round-trip mismatch: %+v", got)
+	}
+	if got.Squads[1].Times.Park != want.Squads[1].Times.Park {
+		t.Fatalf("state times did not survive JSON: %+v", got.Squads[1].Times)
+	}
+
+	bad := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		http.Error(w, "nope", http.StatusServiceUnavailable)
+	}))
+	defer bad.Close()
+	if _, err := fetch(bad.URL); err == nil {
+		t.Fatal("fetch of a 503 endpoint did not error")
+	}
+}

@@ -1,0 +1,81 @@
+// Package hwc reads per-thread hardware performance counters — cycles,
+// instructions, last-level-cache loads and misses — via Linux
+// perf_event_open(2), using raw syscalls only (no cgo, no external
+// modules). It is the hardware-truth counterpart of the simulator's
+// SocketL3Misses: the real runtime attaches a Group to each worker's OS
+// thread and the profiler rolls the readings up per squad and per
+// socket.
+//
+// The fallback ladder is explicit and total:
+//
+//  1. non-Linux build: Open returns ErrUnsupported (stub file).
+//  2. Linux, perf_event_open denied (perf_event_paranoid, seccomp,
+//     container policy) or absent: Open returns the errno; the caller
+//     degrades to the software-only profile and exports hwc_available 0.
+//  3. Linux, leader (cycles) opens but an optional event doesn't (e.g.
+//     LLC events unsupported on the microarchitecture or under a VM's
+//     vPMU): the Group carries the counters that did open and reports
+//     which in Counters validity flags — partial hardware truth beats
+//     none.
+//
+// Counters accumulate from Open; Read never resets them, so deltas
+// between reads window the activity, matching the obs layer's
+// cumulative-counter discipline. A Group's file descriptors are
+// readable from any goroutine; only Open must run on the thread being
+// measured (pid=0, cpu=-1 attaches to the calling thread, so callers
+// pin with runtime.LockOSThread first).
+package hwc
+
+import "errors"
+
+// ErrUnsupported is returned by Open on platforms without
+// perf_event_open.
+var ErrUnsupported = errors.New("hwc: perf_event_open not supported on this platform")
+
+// Counters is one reading of a Group. A counter whose event failed to
+// open at attach time reads 0 and its validity flag stays false; callers
+// report such series as absent rather than zero.
+type Counters struct {
+	Cycles       uint64 `json:"cycles"`
+	Instructions uint64 `json:"instructions"`
+	LLCLoads     uint64 `json:"llc_loads"`
+	LLCMisses    uint64 `json:"llc_misses"`
+
+	HasCycles       bool `json:"has_cycles"`
+	HasInstructions bool `json:"has_instructions"`
+	HasLLCLoads     bool `json:"has_llc_loads"`
+	HasLLCMisses    bool `json:"has_llc_misses"`
+}
+
+// Add accumulates o into c (squad/socket rollups). Validity is the OR:
+// a socket's series is present if any of its workers' is.
+func (c *Counters) Add(o Counters) {
+	c.Cycles += o.Cycles
+	c.Instructions += o.Instructions
+	c.LLCLoads += o.LLCLoads
+	c.LLCMisses += o.LLCMisses
+	c.HasCycles = c.HasCycles || o.HasCycles
+	c.HasInstructions = c.HasInstructions || o.HasInstructions
+	c.HasLLCLoads = c.HasLLCLoads || o.HasLLCLoads
+	c.HasLLCMisses = c.HasLLCMisses || o.HasLLCMisses
+}
+
+// Group is a set of hardware counters attached to one OS thread.
+type Group struct {
+	fds [4]int // cycles, instructions, llc-loads, llc-misses; -1 = absent
+}
+
+// Open attaches counters to the calling OS thread. The caller must have
+// pinned its goroutine with runtime.LockOSThread (and keep it pinned for
+// the Group's lifetime, or the readings describe whatever goroutines the
+// thread runs next — still valid per-thread truth, no longer per-worker).
+// It fails only if the cycles counter cannot be opened; optional events
+// degrade per-counter (see the package comment's fallback ladder).
+func Open() (*Group, error) { return open() }
+
+// Read returns the current counter values. Safe from any goroutine and
+// for concurrent use; it does not mutate the Group.
+func (g *Group) Read() Counters { return g.read() }
+
+// Close releases the counter file descriptors.
+func (g *Group) Close() { g.close() }

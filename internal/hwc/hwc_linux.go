@@ -1,0 +1,128 @@
+//go:build linux
+
+package hwc
+
+import (
+	"syscall"
+	"unsafe"
+)
+
+// perf_event_attr constants, from <linux/perf_event.h>. Only the fields
+// inside the 64-byte VER0 layout are needed, which keeps the struct
+// acceptable to every kernel since 2.6.32 (a larger size would E2BIG on
+// older kernels for no benefit).
+const (
+	perfTypeHardware = 0 // PERF_TYPE_HARDWARE
+	perfTypeHWCache  = 3 // PERF_TYPE_HW_CACHE
+
+	perfCountHWCPUCycles    = 0 // PERF_COUNT_HW_CPU_CYCLES
+	perfCountHWInstructions = 1 // PERF_COUNT_HW_INSTRUCTIONS
+
+	// PERF_COUNT_HW_CACHE_LL | (op << 8) | (result << 16): last-level
+	// cache, read op (0), access (0) vs miss (1) result.
+	perfCacheLLReadAccess = 2
+	perfCacheLLReadMiss   = 2 | 1<<16
+
+	// attr.flags bits (bitfield word at offset 40).
+	perfAttrDisabled      = 1 << 0
+	perfAttrExcludeKernel = 1 << 5
+	perfAttrExcludeHV     = 1 << 6
+
+	perfAttrSizeVer0 = 64
+
+	perfFlagFDCloexec = 1 << 3 // PERF_FLAG_FD_CLOEXEC, kernel 3.14+
+)
+
+// perfEventAttr is the VER0 prefix of struct perf_event_attr.
+type perfEventAttr struct {
+	typ        uint32
+	size       uint32
+	config     uint64
+	sample     uint64 // sample_period / sample_freq
+	sampleType uint64
+	readFormat uint64
+	flags      uint64 // bitfield: disabled, exclude_kernel, ...
+	wakeup     uint32 // wakeup_events / wakeup_watermark
+	bpType     uint32
+	bpAddr     uint64 // bp_addr / config1
+}
+
+// perfEvents lists the counters a Group attaches, in fds order. Cycles
+// is the mandatory leader of the fallback ladder: if it cannot open,
+// the PMU is unusable and Open fails; the rest degrade per-counter.
+var perfEvents = [4]struct {
+	typ    uint32
+	config uint64
+}{
+	{perfTypeHardware, perfCountHWCPUCycles},
+	{perfTypeHardware, perfCountHWInstructions},
+	{perfTypeHWCache, perfCacheLLReadAccess},
+	{perfTypeHWCache, perfCacheLLReadMiss},
+}
+
+// perfEventOpen wraps the raw syscall: attach the event to the calling
+// thread (pid=0), any CPU it runs on (cpu=-1), no group leader. Counting
+// starts immediately (disabled=0). exclude_kernel/hv keeps the request
+// admissible under perf_event_paranoid=2, the default on most distros:
+// self-measurement of user-space cycles needs no privilege there.
+func perfEventOpen(typ uint32, config uint64) (int, error) {
+	attr := perfEventAttr{
+		typ:    typ,
+		size:   perfAttrSizeVer0,
+		config: config,
+		flags:  perfAttrExcludeKernel | perfAttrExcludeHV,
+	}
+	fd, _, errno := syscall.Syscall6(syscall.SYS_PERF_EVENT_OPEN,
+		uintptr(unsafe.Pointer(&attr)), 0, ^uintptr(0), ^uintptr(0),
+		perfFlagFDCloexec, 0)
+	if errno != 0 {
+		return -1, errno
+	}
+	return int(fd), nil
+}
+
+func open() (*Group, error) {
+	g := &Group{fds: [4]int{-1, -1, -1, -1}}
+	for i, ev := range perfEvents {
+		fd, err := perfEventOpen(ev.typ, ev.config)
+		if err != nil {
+			if i == 0 {
+				return nil, err // no cycles, no PMU: rung 2 of the ladder
+			}
+			continue // rung 3: optional event absent, carry on
+		}
+		g.fds[i] = fd
+	}
+	return g, nil
+}
+
+func (g *Group) read() Counters {
+	var vals [4]uint64
+	var ok [4]bool
+	var buf [8]byte
+	for i, fd := range g.fds {
+		if fd < 0 {
+			continue
+		}
+		// Counter reads never short-read: the kernel copies the full u64.
+		if n, err := syscall.Read(fd, buf[:]); err == nil && n == 8 {
+			vals[i] = uint64(buf[0]) | uint64(buf[1])<<8 | uint64(buf[2])<<16 |
+				uint64(buf[3])<<24 | uint64(buf[4])<<32 | uint64(buf[5])<<40 |
+				uint64(buf[6])<<48 | uint64(buf[7])<<56
+			ok[i] = true
+		}
+	}
+	return Counters{
+		Cycles: vals[0], Instructions: vals[1], LLCLoads: vals[2], LLCMisses: vals[3],
+		HasCycles: ok[0], HasInstructions: ok[1], HasLLCLoads: ok[2], HasLLCMisses: ok[3],
+	}
+}
+
+func (g *Group) close() {
+	for i, fd := range g.fds {
+		if fd >= 0 {
+			syscall.Close(fd)
+			g.fds[i] = -1
+		}
+	}
+}

@@ -1,0 +1,12 @@
+//go:build !linux
+
+package hwc
+
+// Rung 1 of the fallback ladder: no perf_event_open outside Linux. Open
+// fails cleanly and the runtime runs the software-only profile.
+
+func open() (*Group, error) { return nil, ErrUnsupported }
+
+func (g *Group) read() Counters { return Counters{} }
+
+func (g *Group) close() {}

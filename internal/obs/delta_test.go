@@ -21,11 +21,11 @@ func TestHistSnapshotDelta(t *testing.T) {
 	if win.Sum != 10*1000 {
 		t.Fatalf("window Sum = %d, want 10000", win.Sum)
 	}
-	// All windowed samples were ~1000, so the windowed p95 must sit in
-	// the 1000-sample bucket's range even though the cumulative snapshot
-	// still remembers the two 10ns outliers.
-	if p := win.P95(); p < 1000 || p > BucketBound(11) {
-		t.Fatalf("window P95 = %d, want within the 1000-value bucket", p)
+	// All windowed samples were 1000 (bucket [512, 1023]), so the
+	// windowed p95 must sit in that bucket's range even though the
+	// cumulative snapshot still remembers the two 10ns outliers.
+	if p := win.P95(); p < bucketLo(10) || p > BucketBound(10) {
+		t.Fatalf("window P95 = %d, want within the 1000-value bucket [512, 1023]", p)
 	}
 
 	// An idle window is empty.

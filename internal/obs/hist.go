@@ -102,10 +102,23 @@ func BucketBound(i int) int64 {
 	return int64(1)<<i - 1
 }
 
-// Quantile returns an upper bound for the q-quantile (0 < q <= 1) of the
-// recorded samples: the bound of the bucket holding the rank-⌈qN⌉ sample.
-// With power-of-two buckets the estimate is at most 2x the true value.
-// Zero samples yield 0.
+// bucketLo returns the smallest sample value bucket i can hold.
+func bucketLo(i int) int64 {
+	if i <= 0 {
+		return 0
+	}
+	return int64(1) << (i - 1)
+}
+
+// Quantile estimates the q-quantile (0 < q <= 1) of the recorded samples:
+// it locates the bucket holding the rank-⌈qN⌉ sample and interpolates
+// linearly within it (samples inside a bucket are assumed uniformly
+// spread, the standard Prometheus-style estimate). The error is bounded
+// by the bucket width — under the old bucket-upper-bound rule every
+// estimate was biased high by up to 2x; interpolation is unbiased for
+// in-bucket-uniform data and exact for single-valued edge buckets (0
+// lands in the {0} bucket). The overflow tail (bucket 63) reports its
+// bound uninterpolated. Zero samples yield 0.
 func (s HistSnapshot) Quantile(q float64) int64 {
 	if s.Count == 0 {
 		return 0
@@ -116,10 +129,18 @@ func (s HistSnapshot) Quantile(q float64) int64 {
 	}
 	var seen int64
 	for i, n := range s.Buckets {
-		seen += n
-		if seen >= rank {
-			return BucketBound(i)
+		if seen+n >= rank {
+			lo, hi := bucketLo(i), BucketBound(i)
+			if hi <= lo || i >= 63 {
+				return hi // single-valued bucket or the overflow tail
+			}
+			// Midpoint convention: the k-th of n in-bucket samples sits at
+			// fraction (k - 0.5) / n through the bucket, so one sample
+			// interpolates to the bucket's middle, not its edge.
+			frac := (float64(rank-seen) - 0.5) / float64(n)
+			return lo + int64(frac*float64(hi-lo)+0.5)
 		}
+		seen += n
 	}
 	return BucketBound(histBuckets - 1)
 }

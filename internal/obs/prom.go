@@ -29,6 +29,25 @@ func PromGauge(w io.Writer, name, help string, v float64) {
 	fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s gauge\n%s %g\n", name, help, name, name, v)
 }
 
+// Vec2Sample is one sample of a two-label family: label values V1/V2 and
+// the sample value. Go's %g renders Val with exactly the digits needed
+// to round-trip, so integer counters survive the float passage intact.
+type Vec2Sample struct {
+	V1, V2 string
+	Val    float64
+}
+
+// PromVec2 writes a two-label family (typ "counter" or "gauge"): one
+// TYPE header, one sample per entry, in the given order. The profile
+// exports (squad×state seconds, the squad×squad steal-flow matrix) are
+// rendered through this.
+func PromVec2(w io.Writer, name, help, typ, l1, l2 string, samples []Vec2Sample) {
+	fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s %s\n", name, help, name, typ)
+	for _, s := range samples {
+		fmt.Fprintf(w, "%s{%s=%q,%s=%q} %g\n", name, l1, s.V1, l2, s.V2, s.Val)
+	}
+}
+
 // PromHistogram writes a HistSnapshot of nanosecond samples as a
 // Prometheus histogram in seconds named <base>_seconds: cumulative buckets
 // at the non-empty power-of-two bounds, a +Inf bucket, _sum and _count,

@@ -44,6 +44,7 @@ import (
 
 	"cab/internal/core"
 	"cab/internal/deque"
+	"cab/internal/hwc"
 	"cab/internal/obs"
 	"cab/internal/park"
 	"cab/internal/topology"
@@ -116,6 +117,17 @@ type Config struct {
 	// Watchdog configures the stall/overrun/deadline monitor; the zero
 	// value enables it with defaults (250ms interval, 1s stall threshold).
 	Watchdog WatchdogConfig
+	// Profile arms time-in-state and steal-flow accounting from the start
+	// (see EnableProfiling/DisableProfiling for runtime control). Disarmed
+	// profiling costs one atomic load per instrumentation point and zero
+	// allocations, same contract as disarmed tracing.
+	Profile bool
+	// HWC attaches hardware performance counters (cycles, instructions,
+	// LLC loads/misses via perf_event_open) to each worker's OS thread,
+	// pinning worker goroutines with LockOSThread. On platforms or hosts
+	// where the counters cannot open, the runtime degrades silently to
+	// the software-only profile (Profile().HWCAvailable reports which).
+	HWC bool
 }
 
 // Stats counts scheduler events since the runtime started.
@@ -259,8 +271,15 @@ type Runtime struct {
 	// Observability: the tracer's armed flag gates every event record (one
 	// atomic load when disarmed); the metrics histograms are always on but
 	// touched only at job-level and idle-level events, never per spawn.
-	tr  *obs.Tracer
-	met *obs.Metrics
+	// The profiler carries time-in-state and steal-flow accounting behind
+	// its own armed flag; hwcGroups holds each worker's hardware-counter
+	// group (nil where attachment failed or was not requested), published
+	// by the worker at startup and read by Profile from any goroutine.
+	tr        *obs.Tracer
+	met       *obs.Metrics
+	prof      *obs.Profiler
+	hwcWant   bool
+	hwcGroups []atomic.Pointer[hwc.Group]
 
 	// Fault tolerance (fault.go): the injection hook (nil = disabled, one
 	// nil-check per site), the watchdog's shared counters, its lifecycle
@@ -349,12 +368,18 @@ func New(cfg Config) (*Runtime, error) {
 		lot:     park.NewLot(),
 		tr:      obs.NewTracer(topo.Workers(), cfg.TraceDepth),
 		met:     &obs.Metrics{},
+		prof:    obs.NewProfiler(topo.Workers(), topo.Sockets),
+		hwcWant: cfg.HWC,
 		fault:   cfg.FaultHook,
 		running: make(map[int64]*Job),
 	}
 	if cfg.Trace {
 		r.tr.Arm()
 	}
+	if cfg.Profile {
+		r.prof.Arm()
+	}
+	r.hwcGroups = make([]atomic.Pointer[hwc.Group], topo.Workers())
 	if topo.Sockets == 1 {
 		r.bl = 0 // Algorithm II step 2: single socket degenerates to Cilk
 	}
@@ -736,6 +761,7 @@ func (c *ctx) Sync() {
 		if r.tr.Armed() {
 			r.tr.Record(c.worker, obs.EvPark, obsTier(t.tier), t.level, jid(t.job))
 		}
+		r.prof.SetState(c.worker, obs.StatePark)
 		r.markParked(c.worker, true) // blocked join, not a stall
 		r.lot.Park(e)
 		r.markParked(c.worker, false)
@@ -744,6 +770,10 @@ func (c *ctx) Sync() {
 		}
 		idle = 0
 	}
+	// The join resolved: the worker resumes the suspended body, so any
+	// time since the last scan probe or park belongs to those states and
+	// the worker is executing again.
+	r.prof.SetState(c.worker, obs.StateExec)
 	if interSync {
 		r.busy[sq].busy.Store(true) // the frame resumes as the squad's inter task
 	}
@@ -793,6 +823,10 @@ func (r *Runtime) clearBusy(sq int) {
 func (r *Runtime) execute(worker int, t *task, rng *xrand.Source) {
 	c := &t.c
 	c.r, c.worker, c.t, c.rng = r, worker, t, rng
+	// Time-in-state: whatever the worker was doing (scanning, parked,
+	// admission-waiting) ends here. Disarmed this is one atomic load; armed
+	// and already in exec (a worker draining its own deque) it is two.
+	r.prof.SetState(worker, obs.StateExec)
 	// The exec span covers body plus implicit sync; tasks helped while
 	// blocked at the sync emit their own spans, nested inside this one.
 	traced := r.tr.Armed()
@@ -874,6 +908,22 @@ func (r *Runtime) runBody(t *task, c *ctx) {
 // when otherwise idle, then park.
 func (r *Runtime) workerLoop(w int) {
 	defer r.wg.Done()
+	if r.hwcWant {
+		// Hardware counters attach to the calling OS thread, so the worker
+		// pins itself first and stays pinned for the group's lifetime. On
+		// any rung of the hwc fallback ladder (non-Linux, no perms, no
+		// PMU) the pin is released and the worker runs unpinned as before.
+		runtime.LockOSThread()
+		if g, err := hwc.Open(); err == nil {
+			r.hwcGroups[w].Store(g)
+			defer func() {
+				r.hwcGroups[w].Store(nil)
+				g.Close()
+			}()
+		} else {
+			runtime.UnlockOSThread()
+		}
+	}
 	rng := xrand.New(r.seed + uint64(w)*0x9e3779b97f4a7c15 + 1)
 	idle := 0
 	// scanStart times the idle steal scan: set at the first failed probe,
@@ -910,6 +960,10 @@ func (r *Runtime) workerLoop(w int) {
 			continue
 		}
 		if idle < idleSpins {
+			// The post-scan spin waiting for admissible roots or published
+			// work is the admission-wait state; the next steal probe or
+			// execute flips it back.
+			r.prof.SetState(w, obs.StateAdmitWait)
 			idle++
 			if idle > 2 {
 				runtime.Gosched()
@@ -941,6 +995,10 @@ func (r *Runtime) workerLoop(w int) {
 		if r.tr.Armed() {
 			r.tr.Record(w, obs.EvPark, obs.TierIntra, 0, 0)
 		}
+		// The parked segment is settled into the park state by whichever
+		// transition follows the wake-up (a steal probe or an execute), so
+		// no post-park stamp is needed.
+		r.prof.SetState(w, obs.StatePark)
 		r.markParked(w, true)
 		r.lot.Park(e)
 		r.markParked(w, false)
@@ -1063,6 +1121,7 @@ func (r *Runtime) findTask(w int, rng *xrand.Source) *task {
 func (r *Runtime) stealInterFrom(w, sq, victim int) *task {
 	sh := &r.stats[w]
 	sh.probesInter.Add(1)
+	r.prof.SetState(w, obs.StateScanInter)
 	st := &r.steal[w]
 	k := r.inter[victim].StealHalfInto(st.batch, r.matchFor[sq])
 	if k == 0 {
@@ -1070,6 +1129,9 @@ func (r *Runtime) stealInterFrom(w, sq, victim int) *task {
 		// same starvation escape the single-task StealMatch path had.
 		k = r.inter[victim].StealHalfInto(st.batch, nil)
 	}
+	// Steal-flow matrix: one probe of the victim squad, k frames moved
+	// (0 = miss). victim is already the squad index on this path.
+	r.prof.FlowProbe(w, victim, int64(k))
 	if k == 0 {
 		return nil
 	}
@@ -1135,6 +1197,7 @@ func (r *Runtime) stealIntraFrom(w, sq int, rng *xrand.Source) *task {
 	if h := r.fault; h != nil {
 		h(FaultInfo{Point: FaultSteal, Worker: w, Level: -1})
 	}
+	r.prof.SetState(w, obs.StateScanIntra)
 	st := &r.steal[w]
 	base := r.topo.HeadWorker(sq)
 	if v := int(st.lastIntra); v >= base && v < base+n && v != w {
@@ -1163,6 +1226,16 @@ func (r *Runtime) stealIntraFrom(w, sq int, rng *xrand.Source) *task {
 func (r *Runtime) stealIntraProbe(w, victim int) *task {
 	r.stats[w].probesIntra.Add(1)
 	t := r.intra[victim].Steal()
+	if r.prof.Armed() {
+		// Armed-only guard keeps the disarmed probe at one atomic load:
+		// the victim's squad lookup and hit/miss fold happen only when the
+		// flow matrix is live. Intra probes move at most one frame.
+		var fr int64
+		if t != nil {
+			fr = 1
+		}
+		r.prof.FlowProbe(w, r.topo.SquadOf(victim), fr)
+	}
 	if t == nil {
 		return nil
 	}
@@ -1195,6 +1268,7 @@ func (r *Runtime) stealAny(w int, rng *xrand.Source) *task {
 	sq := r.topo.SquadOf(w)
 	per := r.topo.CoresPerSocket
 	base := r.topo.HeadWorker(sq)
+	r.prof.SetState(w, obs.StateScanIntra)
 	if v := int(st.lastIntra); v >= 0 && v < n && v != w {
 		if t := r.stealAnyProbe(w, sq, v); t != nil {
 			return t
@@ -1214,6 +1288,7 @@ func (r *Runtime) stealAny(w int, rng *xrand.Source) *task {
 		}
 	}
 	if remote := n - per; remote > 0 {
+		r.prof.SetState(w, obs.StateScanInter)
 		for i := 0; i < triesInter; i++ {
 			victim := rng.Intn(remote)
 			if victim >= base {
@@ -1242,6 +1317,13 @@ func (r *Runtime) stealAnyProbe(w, sq, victim int) *task {
 		sh.probesIntra.Add(1)
 	}
 	t := r.intra[victim].Steal()
+	if r.prof.Armed() {
+		var fr int64
+		if t != nil {
+			fr = 1
+		}
+		r.prof.FlowProbe(w, r.topo.SquadOf(victim), fr)
+	}
 	if t == nil {
 		return nil
 	}

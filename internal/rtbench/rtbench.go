@@ -57,6 +57,16 @@ func SpawnSyncTraced(b *testing.B) {
 	spawnSync(b, rt.Config{Topo: quadTopo(), BL: 0, Seed: 1, Trace: true})
 }
 
+// SpawnSyncProfiled is SpawnSync with time-in-state and steal-flow
+// accounting armed — the same path plus state-transition stamps at the
+// execute/scan/park seams. The delta against SpawnSync is the armed
+// profiling overhead scripts/bench.sh records as profile_overhead_pct
+// (gated under 10%); allocs/op must stay 0 either way (stamps write
+// owned atomics, never allocate).
+func SpawnSyncProfiled(b *testing.B) {
+	spawnSync(b, rt.Config{Topo: quadTopo(), BL: 0, Seed: 1, Profile: true})
+}
+
 func spawnSync(b *testing.B, cfg rt.Config) {
 	r, err := rt.New(cfg)
 	if err != nil {

@@ -157,9 +157,9 @@ func (j *Job) Stats() JobStats {
 }
 
 // Latency summarizes one latency distribution from the runtime's
-// power-of-two histograms. Quantiles are bucket upper bounds, so each is
-// an overestimate of at most 2x — monitoring grade, allocation-free to
-// collect.
+// power-of-two histograms. Quantiles interpolate linearly within the
+// power-of-two bucket holding the rank (assuming uniform spread inside
+// the bucket) — monitoring grade, allocation-free to collect.
 type Latency struct {
 	Count         int64         // samples recorded
 	Mean          time.Duration // Sum / Count

@@ -8,6 +8,7 @@ package cab
 import (
 	"io"
 	"strconv"
+	"time"
 
 	"cab/internal/obs"
 )
@@ -80,8 +81,98 @@ func (s *Scheduler) WritePrometheus(w io.Writer) {
 	}
 	obs.PromGauge(w, "cab_tracing_armed", "Whether event tracing is currently armed.", tracing)
 
+	s.writeProfileMetrics(w)
+
 	m := s.rt.Metrics()
 	obs.PromHistogram(w, "cab_job_queue_wait", "Job submit-to-adoption latency.", m.QueueWait)
 	obs.PromHistogram(w, "cab_job_run", "Job adoption-to-drain latency.", m.Run)
 	obs.PromHistogram(w, "cab_steal_scan", "Idle steal-scan duration (first failed probe to work or park).", m.StealScan)
+}
+
+// writeProfileMetrics renders the scheduler X-ray series: profiling/hwc
+// availability gauges, per-squad time-in-state counters, the squad×squad
+// steal-flow matrix, and — when the host grants perf access — per-socket
+// hardware counters. Hardware series are omitted entirely (not emitted
+// as zeros) when unavailable; cab_hwc_available 0 is the explicit
+// degradation signal the acceptance contract names.
+func (s *Scheduler) writeProfileMetrics(w io.Writer) {
+	p := s.Profile()
+	armed := 0.0
+	if p.Enabled {
+		armed = 1
+	}
+	obs.PromGauge(w, "cab_profiling_armed", "Whether time-in-state and steal-flow accounting is armed.", armed)
+	avail := 0.0
+	if p.HWCAvailable {
+		avail = 1
+	}
+	obs.PromGauge(w, "cab_hwc_available", "Whether hardware perf counters are attached (0 = software-only profile).", avail)
+
+	states := make([]obs.Vec2Sample, 0, len(p.Squads)*5)
+	for _, sp := range p.Squads {
+		sq := strconv.Itoa(sp.Squad)
+		for _, st := range []struct {
+			name string
+			d    time.Duration
+		}{
+			{"exec", sp.Times.Exec}, {"scan_intra", sp.Times.ScanIntra},
+			{"scan_inter", sp.Times.ScanInter}, {"park", sp.Times.Park},
+			{"admit_wait", sp.Times.AdmitWait},
+		} {
+			states = append(states, obs.Vec2Sample{V1: sq, V2: st.name, Val: st.d.Seconds()})
+		}
+	}
+	obs.PromVec2(w, "cab_squad_state_seconds_total", "Accumulated worker wall time per scheduler state, by squad.",
+		"counter", "squad", "state", states)
+
+	n := len(p.Flow)
+	probes := make([]obs.Vec2Sample, 0, n*n)
+	hits := make([]obs.Vec2Sample, 0, n*n)
+	frames := make([]obs.Vec2Sample, 0, n*n)
+	for i, row := range p.Flow {
+		src := strconv.Itoa(i)
+		for j, c := range row {
+			dst := strconv.Itoa(j)
+			probes = append(probes, obs.Vec2Sample{V1: src, V2: dst, Val: float64(c.Probes)})
+			hits = append(hits, obs.Vec2Sample{V1: src, V2: dst, Val: float64(c.Hits)})
+			frames = append(frames, obs.Vec2Sample{V1: src, V2: dst, Val: float64(c.Frames)})
+		}
+	}
+	obs.PromVec2(w, "cab_steal_flow_probes_total", "Steal probes issued by squad src against squad dst (diagonal = intra-socket).",
+		"counter", "src", "dst", probes)
+	obs.PromVec2(w, "cab_steal_flow_hits_total", "Steal probes by squad src that found work on squad dst.",
+		"counter", "src", "dst", hits)
+	obs.PromVec2(w, "cab_steal_flow_frames_total", "Task frames moved from squad dst to squad src by stealing.",
+		"counter", "src", "dst", frames)
+
+	if !p.HWCAvailable {
+		return
+	}
+	hw := []struct {
+		name, help string
+		get        func(HWCounters) (uint64, bool)
+	}{
+		{"cab_socket_cycles_total", "CPU cycles counted on the squad's worker threads (user space).",
+			func(c HWCounters) (uint64, bool) { return c.Cycles, c.HasCycles }},
+		{"cab_socket_instructions_total", "Instructions retired on the squad's worker threads.",
+			func(c HWCounters) (uint64, bool) { return c.Instructions, c.HasInstructions }},
+		{"cab_socket_llc_loads_total", "Last-level-cache read accesses by the squad's worker threads.",
+			func(c HWCounters) (uint64, bool) { return c.LLCLoads, c.HasLLCLoads }},
+		{"cab_socket_llc_misses_total", "Last-level-cache read misses by the squad's worker threads.",
+			func(c HWCounters) (uint64, bool) { return c.LLCMisses, c.HasLLCMisses }},
+	}
+	for _, fam := range hw {
+		vals := make(map[string]int64, len(p.Squads))
+		order := make([]string, 0, len(p.Squads))
+		for _, sp := range p.Squads {
+			if v, ok := fam.get(sp.HW); ok {
+				sq := strconv.Itoa(sp.Squad)
+				order = append(order, sq)
+				vals[sq] = int64(v)
+			}
+		}
+		if len(order) > 0 {
+			obs.PromCounterVec(w, fam.name, fam.help, "socket", vals, order)
+		}
+	}
 }

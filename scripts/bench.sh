@@ -40,7 +40,7 @@ if ! ./bin/cablint -json ./... > BENCH_lint.json; then
 fi
 echo "cablint clean: $(python3 -c "import json; c = json.load(open('BENCH_lint.json'))['counts']; print(', '.join(f'{k}={v}' for k, v in sorted(c.items())))")"
 
-go test -run '^$' -bench 'BenchmarkSpawnSync$|BenchmarkSpawnSyncTraced$|BenchmarkSpawnSyncFaultHook$|BenchmarkStealThroughput$|BenchmarkStealBatchTiered$|BenchmarkInterPool$|BenchmarkJobThroughput$|BenchmarkJobSubmit$|BenchmarkSubmitBatchLatency$|BenchmarkParallelFor$|BenchmarkParallelForFine$|BenchmarkParallelForCoarse$|BenchmarkSamplesort$|BenchmarkHashJoin$' \
+go test -run '^$' -bench 'BenchmarkSpawnSync$|BenchmarkSpawnSyncTraced$|BenchmarkSpawnSyncProfiled$|BenchmarkSpawnSyncFaultHook$|BenchmarkStealThroughput$|BenchmarkStealBatchTiered$|BenchmarkInterPool$|BenchmarkJobThroughput$|BenchmarkJobSubmit$|BenchmarkSubmitBatchLatency$|BenchmarkParallelFor$|BenchmarkParallelForFine$|BenchmarkParallelForCoarse$|BenchmarkSamplesort$|BenchmarkHashJoin$' \
     -benchmem -count=5 . | tee "$raw"
 
 awk '
@@ -74,6 +74,14 @@ END {
         traced = sum["SpawnSyncTraced"] / runs["SpawnSyncTraced"]
         printf ",\n  {\"name\": \"TraceOverhead\", \"base_ns_per_op\": %.1f, \"traced_ns_per_op\": %.1f, \"trace_overhead_pct\": %.1f}", \
             base, traced, (traced - base) * 100 / base
+    }
+    # Armed-profiling overhead: mean SpawnSyncProfiled (time-in-state and
+    # steal-flow accounting armed) vs mean SpawnSync ns/op.
+    if (runs["SpawnSync"] > 0 && runs["SpawnSyncProfiled"] > 0) {
+        base = sum["SpawnSync"] / runs["SpawnSync"]
+        prof = sum["SpawnSyncProfiled"] / runs["SpawnSyncProfiled"]
+        printf ",\n  {\"name\": \"ProfileOverhead\", \"base_ns_per_op\": %.1f, \"profiled_ns_per_op\": %.1f, \"profile_overhead_pct\": %.1f}", \
+            base, prof, (prof - base) * 100 / base
     }
     # Fault-hook seam overhead: mean SpawnSyncFaultHook (no-op hook + tight
     # watchdog) vs mean SpawnSync (nil hook) ns/op.
@@ -126,6 +134,13 @@ f = mean(fresh, "Samplesort", "speedup_vs_sortslice")
 print(f"Samplesort speedup vs sort.Slice: {f:.2f}x")
 if f < 1.0:
     print("FAIL: samplesort slower than serial sort.Slice")
+    failed = True
+# Armed profiling: the time-in-state / steal-flow stamps must stay under
+# 10% on the SpawnSync fast path (the X-ray acceptance bound).
+f = mean(fresh, "ProfileOverhead", "profile_overhead_pct")
+print(f"Profiling overhead on SpawnSync: {f:+.1f}%")
+if f > 10.0:
+    print("FAIL: armed profiling costs more than 10% on SpawnSync")
     failed = True
 
 sys.exit(1 if failed else 0)
