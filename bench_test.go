@@ -118,16 +118,17 @@ func BenchmarkSeedRobustness(b *testing.B) { benchExperiment(b, "seeds", 0.25) }
 
 // Real-runtime fast-path microbenchmarks (bodies in internal/rtbench, also
 // runnable as `cabbench -rtbench`; scripts/bench.sh tracks them over time).
-func BenchmarkSpawnSync(b *testing.B)          { rtbench.SpawnSync(b) }
-func BenchmarkSpawnSyncTraced(b *testing.B)    { rtbench.SpawnSyncTraced(b) }
-func BenchmarkSpawnSyncProfiled(b *testing.B)  { rtbench.SpawnSyncProfiled(b) }
-func BenchmarkSpawnSyncFaultHook(b *testing.B) { rtbench.SpawnSyncFaultHook(b) }
-func BenchmarkStealThroughput(b *testing.B)    { rtbench.StealThroughput(b) }
-func BenchmarkStealBatchTiered(b *testing.B)   { rtbench.StealBatchTiered(b) }
-func BenchmarkInterPool(b *testing.B)          { rtbench.InterPool(b) }
-func BenchmarkJobThroughput(b *testing.B)      { rtbench.JobThroughput(b) }
-func BenchmarkJobSubmit(b *testing.B)          { rtbench.JobSubmit(b) }
-func BenchmarkSubmitBatchLatency(b *testing.B) { rtbench.SubmitBatchLatency(b) }
+func BenchmarkSpawnSync(b *testing.B)           { rtbench.SpawnSync(b) }
+func BenchmarkSpawnSyncTraced(b *testing.B)     { rtbench.SpawnSyncTraced(b) }
+func BenchmarkSpawnSyncProfiled(b *testing.B)   { rtbench.SpawnSyncProfiled(b) }
+func BenchmarkSpawnSyncFaultHook(b *testing.B)  { rtbench.SpawnSyncFaultHook(b) }
+func BenchmarkSpawnSyncSupervised(b *testing.B) { rtbench.SpawnSyncSupervised(b) }
+func BenchmarkStealThroughput(b *testing.B)     { rtbench.StealThroughput(b) }
+func BenchmarkStealBatchTiered(b *testing.B)    { rtbench.StealBatchTiered(b) }
+func BenchmarkInterPool(b *testing.B)           { rtbench.InterPool(b) }
+func BenchmarkJobThroughput(b *testing.B)       { rtbench.JobThroughput(b) }
+func BenchmarkJobSubmit(b *testing.B)           { rtbench.JobSubmit(b) }
+func BenchmarkSubmitBatchLatency(b *testing.B)  { rtbench.SubmitBatchLatency(b) }
 
 // Data-parallel subsystem (internal/par + internal/workloads): the
 // ParallelFor grain sweep and the two memory-bound workloads built on it.

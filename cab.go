@@ -136,6 +136,18 @@ type Config struct {
 	// Watchdog configures the stall/overrun/deadline monitor; the zero
 	// value enables it with defaults (250ms interval, 1s stall threshold).
 	Watchdog WatchdogConfig
+	// Supervisor configures worker supervision — dead workers (wedged past
+	// a grace, or their goroutine gone) are replaced in place, repeated
+	// deaths quarantine a squad. The zero value enables it with defaults;
+	// it rides the watchdog, so disabling the watchdog disables it too.
+	Supervisor SupervisorConfig
+	// Retry re-admits jobs that failed with a task panic, with exponential
+	// backoff (see RetryPolicy). The zero value disables retries.
+	Retry RetryPolicy
+	// RetryBudget bounds concurrently outstanding retries (the backstop
+	// against retry storms); 0 selects the default (32), negative removes
+	// the bound. Only meaningful with Retry set.
+	RetryBudget int
 	// Profile arms time-in-state and steal-flow accounting from the start
 	// (see StartProfile/StopProfile and Profile). Disarmed profiling costs
 	// one atomic load per instrumentation point, like disarmed tracing.
@@ -188,7 +200,7 @@ func New(cfg Config) (*Scheduler, error) {
 	r, err := rt.New(rt.Config{
 		Topo: m.topology(), BL: bl, Seed: cfg.Seed, QueueDepth: cfg.QueueDepth,
 		Trace: cfg.Trace, TraceDepth: cfg.TraceDepth,
-		FaultHook: cfg.FaultHook, Watchdog: cfg.Watchdog,
+		FaultHook: cfg.FaultHook, Watchdog: cfg.Watchdog, Supervisor: cfg.Supervisor,
 		Profile: cfg.Profile, HWC: cfg.HWC,
 	})
 	if err != nil {
@@ -198,7 +210,7 @@ func New(cfg Config) (*Scheduler, error) {
 	if cfg.OnFull == RejectWhenFull {
 		policy = jobs.Reject
 	}
-	eng := jobs.New(r, jobs.Config{Policy: policy})
+	eng := jobs.New(r, jobs.Config{Policy: policy, Retry: cfg.Retry, RetryBudget: cfg.RetryBudget})
 	return &Scheduler{rt: r, eng: eng, pool: par.NewPool(r.Topology()), bl: r.BL()}, nil
 }
 

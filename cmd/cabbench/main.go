@@ -60,10 +60,12 @@ import (
 	"errors"
 	"flag"
 	"fmt"
+	"math/rand"
 	"os"
 	"runtime"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"testing"
 	"time"
 
@@ -95,8 +97,16 @@ func main() {
 		chaosSmoke = flag.Bool("chaos", false, "run the fault-injection smoke scenarios and exit")
 		parSmoke   = flag.Bool("par", false, "run the data-parallel subsystem smoke (ParallelFor/Reduce/samplesort/hash join) and exit")
 		profSmoke  = flag.Bool("profile", false, "run the scheduler X-ray smoke (time-in-state, steal flow, hwc) and exit")
+
+		soak        = flag.Bool("soak", false, "run the randomized chaos-soak harness and exit")
+		soakSeconds = flag.Int("seconds", 30, "soak: wall-clock duration in seconds")
 	)
 	flag.Parse()
+
+	if *soak {
+		runSoak(*soakSeconds, *seed)
+		return
+	}
 
 	if *profSmoke {
 		runProfile()
@@ -249,6 +259,7 @@ func runRTBench() {
 		{"SpawnSync", rtbench.SpawnSync},
 		{"SpawnSyncTraced", rtbench.SpawnSyncTraced},
 		{"SpawnSyncFaultHook", rtbench.SpawnSyncFaultHook},
+		{"SpawnSyncSupervised", rtbench.SpawnSyncSupervised},
 		{"StealThroughput", rtbench.StealThroughput},
 		{"StealBatchTiered", rtbench.StealBatchTiered},
 		{"InterPool", rtbench.InterPool},
@@ -701,4 +712,286 @@ func runLoadgen(submitters, jobs, width, queue int) {
 	fmt.Printf("   %d jobs in %s: %.1f jobs/sec\n", total, el.Round(time.Millisecond), float64(total)/el.Seconds())
 	fmt.Printf("   service: submitted %d, completed %d, rejected %d, cancelled %d\n",
 		st.Submitted, st.Completed, st.Rejected, st.Cancelled)
+}
+
+// soakFail prints a soak failure and exits non-zero.
+func soakFail(format string, args ...interface{}) {
+	fmt.Fprintf(os.Stderr, "cabbench: soak: "+format+"\n", args...)
+	os.Exit(1)
+}
+
+// soakLedger tracks one logical job through its retries: rootRuns counts
+// actual root-body executions (the idempotency ledger), job is the future.
+type soakLedger struct {
+	rootRuns atomic.Int64
+	job      *cab.Job
+}
+
+// runSoak is the randomized chaos-soak harness: a sustained mixed
+// workload under a seed-deterministic chaos schedule — alternating waves
+// freeze a worker past the supervisor's ReplaceAfter (stall-death,
+// replacement, zombie thaw) or hard-kill one at its idle poll (exit-death)
+// while every task body flakes with small probability into the retry
+// layer. Between waves it asserts the self-healing invariants:
+//
+//   - no job lost: every future resolves within a generous timeout;
+//   - no job double-completed: a successful job ran its root at least
+//     once and never more often than its admitted attempts;
+//   - the steal-flow matrix balances exactly against the scheduler's own
+//     steal counters at the quiet point (supervision's frame reclamation
+//     must not invent or lose flow);
+//   - Health converges back to zero stalled workers after each wave;
+//   - quarantine never eats the last healthy squad.
+//
+// At drain it additionally requires every worker parked and, for runs of
+// >= 30 seconds, the acceptance floors: >= 8 kill/freeze events and
+// >= 100 injected task panics. Emits a JSON summary and exits 1 on any
+// violation. Fully deterministic chaos schedule for a fixed -seed (the
+// interleaving itself is real concurrency).
+func runSoak(seconds int, seed uint64) {
+	inj := chaos.New(seed)
+	const flakeProb = 0.002
+	inj.FlakeTasks(chaos.MatchAll, flakeProb)
+	sched, err := cab.New(cab.Config{
+		Machine:       cab.Machine{Sockets: 2, CoresPerSocket: 2, SharedCache: 1 << 20},
+		BoundaryLevel: 1,
+		Profile:       true,
+		QueueDepth:    512,
+		FaultHook:     inj.Hook,
+		Watchdog: cab.WatchdogConfig{
+			Interval: 5 * time.Millisecond, StallAfter: 25 * time.Millisecond,
+			Output: os.Stderr,
+		},
+		Supervisor:  cab.SupervisorConfig{ReplaceAfter: 60 * time.Millisecond},
+		Retry:       cab.RetryPolicy{Max: 3, Backoff: 2 * time.Millisecond, Jitter: true},
+		RetryBudget: -1,
+	})
+	if err != nil {
+		soakFail("%v", err)
+	}
+	defer sched.Close()
+	defer inj.UnfreezeAll() // never leave a gate armed for Close to wait on
+
+	const (
+		workers     = 4
+		jobsPerWave = 16
+		branches    = 8
+		leavesPer   = 8
+		freezeHold  = 250 * time.Millisecond
+	)
+	rng := rand.New(rand.NewSource(int64(seed)))
+	start := time.Now()
+	deadline := start.Add(time.Duration(seconds) * time.Second)
+
+	var (
+		waves, freezes, kills int
+		submitted             int
+		succeeded, failed     int
+	)
+
+	submitWave := func() []*soakLedger {
+		ledgers := make([]*soakLedger, 0, jobsPerWave)
+		for i := 0; i < jobsPerWave; i++ {
+			led := &soakLedger{}
+			j, err := sched.Submit(context.Background(), func(p cab.Task) {
+				led.rootRuns.Add(1)
+				for b := 0; b < branches; b++ {
+					p.Spawn(func(p cab.Task) {
+						for l := 0; l < leavesPer; l++ {
+							p.Spawn(func(cab.Task) { time.Sleep(10 * time.Microsecond) })
+						}
+						p.Sync()
+					})
+				}
+				p.Sync()
+			})
+			if err != nil {
+				soakFail("wave %d submit: %v", waves, err)
+			}
+			led.job = j
+			ledgers = append(ledgers, led)
+			submitted++
+		}
+		return ledgers
+	}
+
+	// checkLedgers is the lost/duplicated-job invariant: every future must
+	// resolve (a timeout is a lost job), a success must have run its root,
+	// and no job may have run its root more often than it was admitted.
+	checkLedgers := func(ledgers []*soakLedger) {
+		for i, led := range ledgers {
+			select {
+			case <-led.job.Done():
+			case <-time.After(30 * time.Second):
+				soakFail("wave %d job %d never resolved: lost", waves, i)
+			}
+			err := led.job.Wait()
+			runs := led.rootRuns.Load()
+			attempts := int64(led.job.Stats().Attempts)
+			if runs > attempts {
+				soakFail("wave %d job %d root ran %d times over %d attempts: duplicated",
+					waves, i, runs, attempts)
+			}
+			if err == nil {
+				if runs < 1 {
+					soakFail("wave %d job %d succeeded without running: lost body", waves, i)
+				}
+				succeeded++
+				continue
+			}
+			var tp *cab.TaskPanic
+			if !errors.As(err, &tp) {
+				soakFail("wave %d job %d settled with unexpected error: %v", waves, i, err)
+			}
+			failed++ // flaked through all attempts: settled, not lost
+		}
+	}
+
+	waitHealthy := func(what string) {
+		dl := time.Now().Add(10 * time.Second)
+		for {
+			h := sched.Health()
+			if h.StalledWorkers == 0 {
+				return
+			}
+			if time.Now().After(dl) {
+				soakFail("wave %d: health never converged after %s: %d still stalled",
+					waves, what, h.StalledWorkers)
+			}
+			time.Sleep(2 * time.Millisecond)
+		}
+	}
+
+	// checkFlow asserts the steal-flow matrix balances exactly against the
+	// scheduler's steal counters. Between waves the pool quiesces, but a
+	// scan can be mid-flight at the first snapshot — retry briefly before
+	// declaring the books broken.
+	checkFlow := func() {
+		dl := time.Now().Add(5 * time.Second)
+		for {
+			p := sched.Profile()
+			st := sched.Stats()
+			var probes, hits, frames int64
+			for _, row := range p.Flow {
+				for _, c := range row {
+					probes += c.Probes
+					hits += c.Hits
+					frames += c.Frames
+				}
+			}
+			if probes == st.ProbesIntra+st.ProbesInter &&
+				hits == st.StealsIntra+st.StealsInter &&
+				frames == st.StealsIntra+st.StealsInterTasks {
+				return
+			}
+			if time.Now().After(dl) {
+				soakFail("wave %d: flow matrix out of balance: probes %d vs %d+%d, hits %d vs %d+%d, frames %d vs %d+%d",
+					waves, probes, st.ProbesIntra, st.ProbesInter,
+					hits, st.StealsIntra, st.StealsInter,
+					frames, st.StealsIntra, st.StealsInterTasks)
+			}
+			time.Sleep(2 * time.Millisecond)
+		}
+	}
+
+	for time.Now().Before(deadline) {
+		waves++
+		victim := rng.Intn(workers)
+		if waves%2 == 0 {
+			// Freeze wave: wedge the victim mid-task past ReplaceAfter. The
+			// supervisor stall-replaces it; the thaw turns the old
+			// incarnation into a zombie that drains its frame and exits.
+			entered := inj.FreezeWorker(victim, cab.FaultExec)
+			ledgers := submitWave()
+			select {
+			case <-entered:
+				freezes++
+				time.Sleep(freezeHold)
+			case <-time.After(2 * time.Second):
+				// Never took a task (e.g. everything drained elsewhere):
+				// release the gate and move on, uncounted.
+			}
+			inj.Unfreeze(victim)
+			checkLedgers(ledgers)
+		} else {
+			// Kill wave: hard-exit the victim at its next idle poll; the
+			// supervisor exit-replaces it.
+			killed := inj.KillWorker(victim)
+			ledgers := submitWave()
+			select {
+			case <-killed:
+				kills++
+			case <-time.After(2 * time.Second):
+				// Stays armed; a later poll may still fire it. Uncounted.
+			}
+			checkLedgers(ledgers)
+		}
+		waitHealthy("wave")
+		checkFlow()
+		if q := sched.ServiceStats().QuarantinedSquads; q > 1 {
+			soakFail("wave %d: %d squads quarantined, last healthy squad must survive", waves, q)
+		}
+	}
+
+	// Drain: every future already resolved, so the pool must go fully
+	// idle — all workers parked (replacements included; a thawed zombie
+	// exits rather than parks).
+	parkedDL := time.Now().Add(10 * time.Second)
+	for {
+		var dump bytes.Buffer
+		sched.DumpState(&dump)
+		if strings.Count(dump.String(), ": parked beat=") == workers {
+			break
+		}
+		if time.Now().After(parkedDL) {
+			soakFail("workers never all parked at drain:\n%s", dump.String())
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+
+	es := sched.ServiceStats()
+	ist := inj.Stats()
+	if es.Completed != int64(submitted) {
+		soakFail("service completed %d of %d submitted: jobs lost or double-counted",
+			es.Completed, submitted)
+	}
+	out := struct {
+		Seed        uint64  `json:"seed"`
+		Seconds     float64 `json:"wall_seconds"`
+		Waves       int     `json:"waves"`
+		Jobs        int     `json:"jobs_submitted"`
+		Succeeded   int     `json:"jobs_succeeded"`
+		Exhausted   int     `json:"jobs_retry_exhausted"`
+		Freezes     int     `json:"freeze_events"`
+		Kills       int     `json:"kill_events"`
+		TaskPanics  int64   `json:"injected_task_panics"`
+		Retries     int64   `json:"retries"`
+		RetriesExh  int64   `json:"retries_exhausted"`
+		Deaths      int64   `json:"worker_deaths"`
+		Quarantined int     `json:"quarantined_squads"`
+		OK          bool    `json:"ok"`
+	}{
+		seed, time.Since(start).Seconds(), waves, submitted, succeeded, failed,
+		freezes, kills, ist.Panics, es.Retries, es.RetriesExhausted,
+		es.WorkerDeaths, es.QuarantinedSquads, true,
+	}
+	if succeeded+failed != submitted {
+		soakFail("ledger mismatch: %d succeeded + %d failed != %d submitted",
+			succeeded, failed, submitted)
+	}
+	if seconds >= 30 {
+		if freezes+kills < 8 {
+			soakFail("only %d kill/freeze events over %ds, want >= 8 (%+v)", freezes+kills, seconds, out)
+		}
+		if ist.Panics < 100 {
+			soakFail("only %d injected task panics over %ds, want >= 100 (%+v)", ist.Panics, seconds, out)
+		}
+	} else if freezes+kills == 0 && seconds >= 5 {
+		soakFail("no chaos events fired over %ds (%+v)", seconds, out)
+	}
+	enc := json.NewEncoder(os.Stdout)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(out); err != nil {
+		soakFail("%v", err)
+	}
 }

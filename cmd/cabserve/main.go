@@ -183,21 +183,33 @@ func (sv *server) routes() *http.ServeMux {
 		writeJSON(w, http.StatusOK, sched.Profile())
 	})
 	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
-		// Liveness: the process serves and the watchdog sees no wedged
-		// workers. Overload does NOT fail liveness — a shedding server is
-		// degraded, not dead (that is /readyz's distinction).
+		// Liveness: the process serves and the worker pool is intact — no
+		// wedged workers the supervisor has not yet replaced, no squads
+		// quarantined after repeated deaths. Overload does NOT fail
+		// liveness — a shedding server is degraded, not dead (that is
+		// /readyz's distinction).
 		h := sched.Health()
-		if h.StalledWorkers > 0 {
+		switch {
+		case h.StalledWorkers > 0:
 			writeJSON(w, http.StatusServiceUnavailable, map[string]any{
 				"status": "stalled", "stalled_workers": h.StalledWorkers,
 			})
-			return
+		case h.QuarantinedSquads > 0:
+			writeJSON(w, http.StatusServiceUnavailable, map[string]any{
+				"status": "degraded", "quarantined_squads": h.QuarantinedSquads,
+				"worker_deaths": h.WorkerDeaths,
+			})
+		default:
+			writeJSON(w, http.StatusOK, map[string]any{"status": "ok"})
 		}
-		writeJSON(w, http.StatusOK, map[string]any{"status": "ok"})
 	})
 	mux.HandleFunc("/readyz", func(w http.ResponseWriter, r *http.Request) {
 		// Readiness: route new traffic here only if the server is neither
-		// draining for shutdown nor shedding under overload.
+		// draining for shutdown nor shedding under overload, and the pool
+		// is at full strength. A stalled or quarantined pool keeps serving
+		// admitted work but should stop attracting new traffic until the
+		// supervisor heals it.
+		h := sched.Health()
 		switch {
 		case sv.draining.Load():
 			writeJSON(w, http.StatusServiceUnavailable, map[string]any{"status": "draining"})
@@ -205,6 +217,11 @@ func (sv *server) routes() *http.ServeMux {
 			w.Header().Set("Retry-After", strconv.FormatInt(sv.shed.retryAfterSeconds(), 10))
 			writeJSON(w, http.StatusServiceUnavailable, map[string]any{
 				"status": "shedding", "queue_wait_p95_ns": sv.shed.lastP95.Load(),
+			})
+		case h.StalledWorkers > 0 || h.QuarantinedSquads > 0:
+			writeJSON(w, http.StatusServiceUnavailable, map[string]any{
+				"status": "degraded", "stalled_workers": h.StalledWorkers,
+				"quarantined_squads": h.QuarantinedSquads,
 			})
 		default:
 			writeJSON(w, http.StatusOK, map[string]any{"status": "ready"})

@@ -13,6 +13,7 @@ import (
 	"time"
 
 	"cab"
+	"cab/internal/chaos"
 )
 
 func testServer(t *testing.T) (*cab.Scheduler, *httptest.Server) {
@@ -398,5 +399,149 @@ func TestPprofIndex(t *testing.T) {
 	}
 	if !strings.Contains(body, "goroutine") {
 		t.Fatal("pprof index does not list profiles")
+	}
+}
+
+// TestHealthzReadyzStalledWorker drives a real wedge through the live
+// handlers: a frozen worker must flip both /healthz (stalled) and
+// /readyz (degraded) to 503, and recovery must flip them back to 200.
+// Supervision is disabled so the stall stays visible while we poll.
+func TestHealthzReadyzStalledWorker(t *testing.T) {
+	in := chaos.New(1)
+	entered := in.FreezeWorker(2, cab.FaultExec)
+	sched, err := cab.New(cab.Config{
+		Machine:   cab.Machine{Sockets: 2, CoresPerSocket: 2, SharedCache: 1 << 20},
+		FaultHook: in.Hook,
+		Watchdog: cab.WatchdogConfig{
+			Interval: 2 * time.Millisecond, StallAfter: 10 * time.Millisecond,
+		},
+		Supervisor: cab.SupervisorConfig{Disable: true},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sv := newServer(sched, 0, time.Hour)
+	srv := httptest.NewServer(sv.routes())
+	t.Cleanup(func() { srv.Close(); sv.shed.close(); sched.Close() })
+	t.Cleanup(in.UnfreezeAll) // LIFO: thaw before sched.Close drains
+
+	// Stream tasks until worker 2 actually takes one into the freeze; a
+	// fixed fanout could drain entirely on the other workers.
+	job, err := sched.Submit(nil, func(tk cab.Task) {
+		for i := 0; ; i++ {
+			select {
+			case <-entered:
+				tk.Sync()
+				return
+			default:
+				tk.Spawn(func(cab.Task) { time.Sleep(50 * time.Microsecond) })
+				if i%64 == 63 {
+					tk.Sync()
+				}
+			}
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	<-entered
+
+	waitStatus := func(path string, want int, what string) string {
+		t.Helper()
+		deadline := time.Now().Add(5 * time.Second)
+		for {
+			code, body := get(t, srv.URL+path)
+			if code == want {
+				return body
+			}
+			if time.Now().After(deadline) {
+				t.Fatalf("timed out waiting for %s %d (%s); last: %d %s", path, want, what, code, body)
+			}
+			time.Sleep(2 * time.Millisecond)
+		}
+	}
+	if body := waitStatus("/healthz", http.StatusServiceUnavailable, "stall detection"); !strings.Contains(body, `"stalled"`) {
+		t.Fatalf("/healthz 503 body %q, want status stalled", body)
+	}
+	if body := waitStatus("/readyz", http.StatusServiceUnavailable, "stall detection"); !strings.Contains(body, `"degraded"`) {
+		t.Fatalf("/readyz 503 body %q, want status degraded", body)
+	}
+
+	in.UnfreezeAll()
+	waitStatus("/healthz", http.StatusOK, "stall recovery")
+	waitStatus("/readyz", http.StatusOK, "stall recovery")
+	if err := job.Wait(); err != nil {
+		t.Fatalf("job after thaw: %v", err)
+	}
+}
+
+// TestHealthzReadyzQuarantine kills a worker under QuarantineAfter: 1 —
+// one death quarantines its squad — and checks both probes report the
+// degraded pool with 503 while work still completes.
+func TestHealthzReadyzQuarantine(t *testing.T) {
+	in := chaos.New(1)
+	killed := in.KillWorker(0)
+	sched, err := cab.New(cab.Config{
+		Machine:   cab.Machine{Sockets: 2, CoresPerSocket: 2, SharedCache: 1 << 20},
+		FaultHook: in.Hook,
+		Watchdog: cab.WatchdogConfig{
+			Interval: 2 * time.Millisecond, StallAfter: 10 * time.Millisecond,
+		},
+		Supervisor: cab.SupervisorConfig{QuarantineAfter: 1},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sv := newServer(sched, 0, time.Hour)
+	srv := httptest.NewServer(sv.routes())
+	t.Cleanup(func() { srv.Close(); sv.shed.close(); sched.Close() })
+
+	// Kills fire at the victim's idle poll; keep trivial jobs flowing so
+	// parked workers iterate.
+	trivial := func(tk cab.Task) {
+		for i := 0; i < 8; i++ {
+			tk.Spawn(func(cab.Task) {})
+		}
+		tk.Sync()
+	}
+	deadline := time.After(5 * time.Second)
+poke:
+	for {
+		select {
+		case <-killed:
+			break poke
+		case <-deadline:
+			t.Fatal("timed out waiting for the kill to fire")
+		default:
+			if j, err := sched.Submit(nil, trivial); err == nil {
+				j.Wait()
+			}
+		}
+	}
+
+	wait := time.Now().Add(5 * time.Second)
+	for {
+		code, body := get(t, srv.URL+"/healthz")
+		if code == http.StatusServiceUnavailable {
+			if !strings.Contains(body, `"quarantined_squads": 1`) {
+				t.Fatalf("/healthz 503 body %q, want quarantined_squads 1", body)
+			}
+			break
+		}
+		if time.Now().After(wait) {
+			t.Fatalf("timed out waiting for /healthz quarantine 503; last: %d %s", code, body)
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	if code, body := get(t, srv.URL+"/readyz"); code != http.StatusServiceUnavailable || !strings.Contains(body, `"degraded"`) {
+		t.Fatalf("/readyz = %d %q, want 503 degraded", code, body)
+	}
+	// Degraded, not dead: the healthy squad still serves work.
+	j, err := sched.Submit(nil, trivial)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := j.Wait(); err != nil {
+		t.Fatal(err)
 	}
 }

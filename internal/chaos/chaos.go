@@ -19,6 +19,7 @@ package chaos
 
 import (
 	"fmt"
+	"runtime"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -73,6 +74,7 @@ type Stats struct {
 	SlowSteals int64
 	Panics     int64
 	Freezes    int64 // hook entries that blocked on a frozen worker's gate
+	Kills      int64 // worker goroutines hard-exited by KillWorker
 }
 
 // stallRule delays matching task bodies.
@@ -91,6 +93,13 @@ type freezeGate struct {
 	once    sync.Once
 }
 
+// killGate hard-exits one incarnation of a worker's goroutine. One-shot:
+// after it fires, a replacement worker in the same slot passes through.
+type killGate struct {
+	fired  atomic.Bool
+	killed chan struct{} // closed just before the goroutine exits
+}
+
 // Injector is a configured set of fault rules; install its Hook as
 // rt.Config.FaultHook. Configuration methods may be called before or
 // during a run (rules are published atomically), but the usual shape is
@@ -104,10 +113,12 @@ type Injector struct {
 	panics  atomic.Pointer[panicRule]
 	slow    atomic.Pointer[slowRule]
 	frozen  atomic.Pointer[map[int]*freezeGate]
+	kills   atomic.Pointer[map[int]*killGate]
 	nStall  atomic.Int64
 	nSlow   atomic.Int64
 	nPanic  atomic.Int64
 	nFreeze atomic.Int64
+	nKill   atomic.Int64
 }
 
 type flakeRule struct {
@@ -132,6 +143,8 @@ func New(seed uint64) *Injector {
 	in := &Injector{rng: xrand.New(seed)}
 	empty := map[int]*freezeGate{}
 	in.frozen.Store(&empty)
+	noKills := map[int]*killGate{}
+	in.kills.Store(&noKills)
 	return in
 }
 
@@ -214,6 +227,34 @@ func (in *Injector) FreezeWorker(w int, point rt.FaultPoint) <-chan struct{} {
 	return g.entered
 }
 
+// KillWorker arms a hard exit of worker w's goroutine — the chaos
+// stand-in for the worker's OS thread dying. The kill fires at w's next
+// idle poll (rt.FaultPoll), where the worker holds no task frame, and
+// exits the goroutine via runtime.Goexit so the runtime's exit detection
+// (not any error path) observes it. One-shot per call: once fired, a
+// replacement worker scheduled into the same slot passes the gate. The
+// returned channel is closed when the kill has fired, so a test can
+// rendezvous with the death instead of sleeping.
+//
+// Without worker supervision (rt.SupervisorConfig.Disable) a kill
+// permanently shrinks the pool — pair kills with an enabled supervisor,
+// or Close may block on undrained work.
+func (in *Injector) KillWorker(w int) <-chan struct{} {
+	g := &killGate{killed: make(chan struct{})}
+	in.mu.Lock()
+	old := *in.kills.Load()
+	next := make(map[int]*killGate, len(old)+1)
+	for k, v := range old {
+		if !v.fired.Load() {
+			next[k] = v // keep only pending gates; fired ones are spent
+		}
+	}
+	next[w] = g
+	in.kills.Store(&next)
+	in.mu.Unlock()
+	return g.killed
+}
+
 // Unfreeze releases worker w's freeze gate (idempotent, also safe when w
 // was never frozen).
 func (in *Injector) Unfreeze(w int) {
@@ -253,6 +294,7 @@ func (in *Injector) Stats() Stats {
 		SlowSteals: in.nSlow.Load(),
 		Panics:     in.nPanic.Load(),
 		Freezes:    in.nFreeze.Load(),
+		Kills:      in.nKill.Load(),
 	}
 }
 
@@ -269,6 +311,16 @@ func (in *Injector) Hook(fi rt.FaultInfo) {
 		}
 	}
 	switch fi.Point {
+	case rt.FaultPoll:
+		if m := *in.kills.Load(); len(m) != 0 {
+			if g, ok := m[fi.Worker]; ok && g.fired.CompareAndSwap(false, true) {
+				in.nKill.Add(1)
+				close(g.killed)
+				// Goexit runs the worker's deferred exit handling, which is
+				// exactly how a dying incarnation announces itself.
+				runtime.Goexit()
+			}
+		}
 	case rt.FaultSteal:
 		if r := in.slow.Load(); r != nil {
 			if r.n.Add(1)%r.nth == 0 {

@@ -281,3 +281,74 @@ func TestMatchSelectivity(t *testing.T) {
 		}
 	}
 }
+
+// TestKillWorkerReplacement hard-kills a worker via the injector, waits
+// for the rendezvous channel, and checks that supervision (on by
+// default) replaces it: the death registers, the pool keeps completing
+// jobs at full strength, and the spent gate never fires again — the
+// replacement sails through it. A second arm then kills the replacement.
+func TestKillWorkerReplacement(t *testing.T) {
+	in := New(1)
+	killed := in.KillWorker(1)
+	r := newRT(t, in, 0, rt.WatchdogConfig{
+		Interval: 2 * time.Millisecond, StallAfter: 10 * time.Millisecond,
+	})
+
+	// Kills fire at the victim's idle poll, and a parked worker only
+	// polls when woken — keep trivial jobs flowing until the gate trips.
+	poke := func(ch <-chan struct{}, what string) {
+		t.Helper()
+		deadline := time.After(5 * time.Second)
+		for {
+			select {
+			case <-ch:
+				return
+			case <-deadline:
+				t.Fatalf("timed out waiting for %s", what)
+			default:
+				_ = r.Run(fanout(8, func(work.Proc) {}))
+			}
+		}
+	}
+	poke(killed, "worker 1 kill to fire")
+	if got := in.Stats().Kills; got != 1 {
+		t.Fatalf("Stats.Kills = %d, want 1", got)
+	}
+	wait := func(cond func() bool, what string) {
+		t.Helper()
+		deadline := time.Now().Add(5 * time.Second)
+		for !cond() {
+			if time.Now().After(deadline) {
+				t.Fatalf("timed out waiting for %s", what)
+			}
+			time.Sleep(time.Millisecond)
+		}
+	}
+	wait(func() bool { return r.Health().WorkerDeaths == 1 }, "supervisor replacement")
+
+	// The replacement runs the same slot through the same (now spent)
+	// gate: jobs complete and no second kill fires.
+	var n atomic.Int64
+	for i := 0; i < 4; i++ {
+		if err := r.Run(fanout(16, func(work.Proc) { n.Add(1) })); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if n.Load() != 64 {
+		t.Fatalf("leaves = %d, want 64", n.Load())
+	}
+	if got := in.Stats().Kills; got != 1 {
+		t.Fatalf("Stats.Kills = %d after replacement ran, want still 1", got)
+	}
+
+	// Re-arming targets the replacement incarnation.
+	killed2 := in.KillWorker(1)
+	poke(killed2, "replacement kill to fire")
+	wait(func() bool { return r.Health().WorkerDeaths == 2 }, "second replacement")
+	if got := in.Stats().Kills; got != 2 {
+		t.Fatalf("Stats.Kills = %d, want 2", got)
+	}
+	if err := r.Run(fanout(16, func(work.Proc) {})); err != nil {
+		t.Fatal(err)
+	}
+}

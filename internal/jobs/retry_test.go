@@ -1,0 +1,270 @@
+package jobs
+
+import (
+	"context"
+	"errors"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"cab/internal/rt"
+	"cab/internal/work"
+)
+
+// flakyBody returns a root whose first fail runs panic and whose later
+// runs succeed, with an execution counter for idempotency assertions.
+func flakyBody(fails int) (work.Fn, *atomic.Int64) {
+	var runs atomic.Int64
+	return func(p work.Proc) {
+		if runs.Add(1) <= int64(fails) {
+			panic("flaky")
+		}
+	}, &runs
+}
+
+func TestRetrySucceedsAfterFailures(t *testing.T) {
+	e := newEngine(t, rt.Config{Topo: quadTopo(), Seed: 1},
+		Config{Retry: RetryPolicy{Max: 3, Backoff: time.Millisecond}})
+	body, runs := flakyBody(2)
+	j, err := e.Submit(context.Background(), body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := j.Wait(); err != nil {
+		t.Fatalf("Wait = %v, want nil after retries", err)
+	}
+	if got := runs.Load(); got != 3 {
+		t.Fatalf("body ran %d times, want 3 (2 failures + 1 success)", got)
+	}
+	if got := j.Attempts(); got != 3 {
+		t.Fatalf("Attempts = %d, want 3", got)
+	}
+	st := e.Stats()
+	if st.Retries != 2 {
+		t.Fatalf("Stats.Retries = %d, want 2", st.Retries)
+	}
+	if st.RetriesExhausted != 0 {
+		t.Fatalf("Stats.RetriesExhausted = %d, want 0", st.RetriesExhausted)
+	}
+	if st.Completed != 1 {
+		t.Fatalf("Stats.Completed = %d, want 1 (logical jobs, not attempts)", st.Completed)
+	}
+}
+
+func TestRetryExhaustsAttempts(t *testing.T) {
+	e := newEngine(t, rt.Config{Topo: quadTopo(), Seed: 1},
+		Config{Retry: RetryPolicy{Max: 2, Backoff: time.Millisecond}})
+	body, runs := flakyBody(100) // always fails
+	j, err := e.Submit(context.Background(), body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	err = j.Wait()
+	var tp *rt.TaskPanic
+	if !errors.As(err, &tp) {
+		t.Fatalf("Wait = %v, want the final attempt's *rt.TaskPanic", err)
+	}
+	if got := runs.Load(); got != 3 {
+		t.Fatalf("body ran %d times, want 3 (1 + Max=2 retries)", got)
+	}
+	st := e.Stats()
+	if st.Retries != 2 || st.RetriesExhausted != 1 {
+		t.Fatalf("Retries=%d RetriesExhausted=%d, want 2 and 1", st.Retries, st.RetriesExhausted)
+	}
+}
+
+// TestRetryDoneLatch checks that Done (and Wait) cover the whole retry
+// sequence — the channel must not close between attempts.
+func TestRetryDoneLatch(t *testing.T) {
+	e := newEngine(t, rt.Config{Topo: quadTopo(), Seed: 1},
+		Config{Retry: RetryPolicy{Max: 3, Backoff: 5 * time.Millisecond}})
+	body, runs := flakyBody(1)
+	j, err := e.Submit(context.Background(), body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	<-j.Done()
+	if got := runs.Load(); got != 2 {
+		t.Fatalf("Done closed after %d runs, want 2 (retry pending = not done)", got)
+	}
+	if err := j.Wait(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRetryBudgetDenies(t *testing.T) {
+	// Budget 0 is "default", so use a budget of 1 and two concurrently
+	// failing jobs: only one retry may be outstanding, the other job must
+	// settle exhausted without retrying.
+	e := newEngine(t, rt.Config{Topo: quadTopo(), Seed: 1},
+		Config{Retry: RetryPolicy{Max: 1, Backoff: 50 * time.Millisecond}, RetryBudget: 1})
+	var jobs []*Job
+	for i := 0; i < 4; i++ {
+		body, _ := flakyBody(100)
+		j, err := e.Submit(context.Background(), body)
+		if err != nil {
+			t.Fatal(err)
+		}
+		jobs = append(jobs, j)
+	}
+	for _, j := range jobs {
+		var tp *rt.TaskPanic
+		if err := j.Wait(); !errors.As(err, &tp) {
+			t.Fatalf("Wait = %v, want *rt.TaskPanic", err)
+		}
+	}
+	st := e.Stats()
+	if st.Retries > 1 {
+		t.Fatalf("Stats.Retries = %d, want <= 1 under budget 1", st.Retries)
+	}
+	if st.RetriesExhausted != 4 {
+		t.Fatalf("Stats.RetriesExhausted = %d, want 4 (every job failed)", st.RetriesExhausted)
+	}
+}
+
+// TestRetryNeverResurrectsCancelled: a cancelled job must not be
+// re-admitted even if its last attempt failed with a retryable panic.
+func TestRetryNeverResurrectsCancelled(t *testing.T) {
+	e := newEngine(t, rt.Config{Topo: quadTopo(), Seed: 1},
+		Config{Retry: RetryPolicy{Max: 5, Backoff: 20 * time.Millisecond}})
+	started := make(chan struct{})
+	release := make(chan struct{})
+	var runs atomic.Int64
+	j, err := e.Submit(context.Background(), func(p work.Proc) {
+		if runs.Add(1) == 1 {
+			close(started)
+			<-release
+		}
+		panic("flaky")
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	<-started
+	j.Cancel() // lands before the attempt settles: no retry may follow
+	close(release)
+	j.Wait()
+	time.Sleep(100 * time.Millisecond) // a wrong retry would run here
+	if got := runs.Load(); got != 1 {
+		t.Fatalf("body ran %d times after Cancel, want 1", got)
+	}
+}
+
+// TestRetryContextCancelFinal: context cancellation is a final outcome —
+// classified errors only cover task panics.
+func TestRetryContextCancelFinal(t *testing.T) {
+	e := newEngine(t, rt.Config{Topo: quadTopo(), Seed: 1},
+		Config{Retry: RetryPolicy{Max: 5, Backoff: time.Millisecond}})
+	ctx, cancel := context.WithCancel(context.Background())
+	started := make(chan struct{})
+	block := make(chan struct{})
+	var runs atomic.Int64
+	j, err := e.Submit(ctx, func(p work.Proc) {
+		if runs.Add(1) == 1 {
+			close(started)
+		}
+		<-block
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	<-started // the body is running: cancellation cannot skip it
+	cancel()
+	for !j.rj.Load().Cancelled() { // wait until the watch propagated it
+		time.Sleep(time.Millisecond)
+	}
+	close(block)
+	if err := j.Wait(); !errors.Is(err, context.Canceled) {
+		t.Fatalf("Wait = %v, want context.Canceled", err)
+	}
+	if got := runs.Load(); got != 1 {
+		t.Fatalf("body ran %d times, want 1 (no retry of a cancellation)", got)
+	}
+}
+
+func TestRetryCustomClassify(t *testing.T) {
+	// Classify that refuses everything: the first failure is final.
+	e := newEngine(t, rt.Config{Topo: quadTopo(), Seed: 1},
+		Config{Retry: RetryPolicy{
+			Max: 5, Backoff: time.Millisecond,
+			Classify: func(error) bool { return false },
+		}})
+	body, runs := flakyBody(100)
+	j, err := e.Submit(context.Background(), body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var tp *rt.TaskPanic
+	if err := j.Wait(); !errors.As(err, &tp) {
+		t.Fatalf("Wait = %v, want *rt.TaskPanic", err)
+	}
+	if got := runs.Load(); got != 1 {
+		t.Fatalf("body ran %d times, want 1", got)
+	}
+	if st := e.Stats(); st.Retries != 0 || st.RetriesExhausted != 0 {
+		t.Fatalf("Retries=%d RetriesExhausted=%d, want 0 and 0 (not retryable at all)",
+			st.Retries, st.RetriesExhausted)
+	}
+}
+
+// TestRetrySubmitBatch checks the batch front door under retries: partial
+// admission is preserved and admitted jobs retry independently.
+func TestRetrySubmitBatch(t *testing.T) {
+	e := newEngine(t, rt.Config{Topo: quadTopo(), Seed: 1},
+		Config{Retry: RetryPolicy{Max: 2, Backoff: time.Millisecond, Jitter: true}})
+	var fns []work.Fn
+	counters := make([]*atomic.Int64, 8)
+	for i := range counters {
+		body, runs := flakyBody(1)
+		fns = append(fns, body)
+		counters[i] = runs
+	}
+	js, err := e.SubmitBatch(context.Background(), fns)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(js) != 8 {
+		t.Fatalf("admitted %d jobs, want 8", len(js))
+	}
+	for i, j := range js {
+		if err := j.Wait(); err != nil {
+			t.Fatalf("job %d: Wait = %v, want nil after retry", i, err)
+		}
+		if got := counters[i].Load(); got != 2 {
+			t.Fatalf("job %d ran %d times, want 2", i, got)
+		}
+	}
+}
+
+// TestRetryCloseDrainsPending: Close must wait out a pending backoff and
+// the job must still settle (with its last error — no retry after Close).
+func TestRetryCloseDrainsPending(t *testing.T) {
+	r, err := rt.New(rt.Config{Topo: quadTopo(), Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.Close()
+	e := New(r, Config{Retry: RetryPolicy{Max: 5, Backoff: 50 * time.Millisecond}})
+	body, runs := flakyBody(100)
+	j, err := e.Submit(context.Background(), body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Wait for the first attempt to fail, then Close while the backoff
+	// timer is pending: Close must return (not deadlock) and the job must
+	// settle with the panic.
+	for runs.Load() == 0 {
+		time.Sleep(time.Millisecond)
+	}
+	done := make(chan struct{})
+	go func() { e.Close(); close(done) }()
+	select {
+	case <-done:
+	case <-time.After(5 * time.Second):
+		t.Fatal("Close did not drain a job with a pending retry")
+	}
+	var tp *rt.TaskPanic
+	if err := j.Wait(); !errors.As(err, &tp) {
+		t.Fatalf("Wait = %v, want *rt.TaskPanic", err)
+	}
+}

@@ -102,6 +102,13 @@ func checkHookCall(pass *Pass, parents map[ast.Node]ast.Node, hookTypes map[*typ
 	if dominatedByNilCheck(info, parents, call, want) {
 		return
 	}
+	// Hooks published through atomic.Pointer are called as (*h)(...) after
+	// loading h — there the nil check guards the pointer, not the deref:
+	// `if h := p.Load(); h != nil { (*h)(...) }`.
+	if st, ok := ast.Unparen(call.Fun).(*ast.StarExpr); ok &&
+		dominatedByNilCheck(info, parents, call, types.ExprString(ast.Unparen(st.X))) {
+		return
+	}
 	pass.Reportf(call.Pos(),
 		"call through hook %s is not dominated by a nil check (guard with `if h := %s; h != nil`)",
 		want, want)

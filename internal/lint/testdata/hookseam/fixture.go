@@ -15,10 +15,11 @@ import (
 type Hook func(err error)
 
 type runtime struct {
-	fault Hook
-	tr    *obs.Tracer
-	table atomic.Pointer[map[string]int]
-	rules atomic.Pointer[[]int]
+	fault   Hook
+	recover atomic.Pointer[Hook]
+	tr      *obs.Tracer
+	table   atomic.Pointer[map[string]int]
+	rules   atomic.Pointer[[]int]
 }
 
 // --- rule A: hook calls need a dominating nil check ---
@@ -49,6 +50,28 @@ func (r *runtime) hookWrongGuard(err error) {
 	h := r.fault
 	if r.tr != nil { // checks the wrong thing
 		h(err) // want "not dominated by a nil check"
+	}
+}
+
+// Hooks swapped at runtime are published through atomic.Pointer and
+// called as (*h)(...): the nil check guards the loaded pointer, and the
+// deref through it is the guarded call.
+
+func (r *runtime) hookDerefGuarded(err error) {
+	if h := r.recover.Load(); h != nil {
+		(*h)(err) // ok: the pointer the deref goes through is nil-checked
+	}
+}
+
+func (r *runtime) hookDerefUnguarded(err error) {
+	h := r.recover.Load()
+	(*h)(err) // want "not dominated by a nil check"
+}
+
+func (r *runtime) hookDerefWrongGuard(err error) {
+	h := r.recover.Load()
+	if r.fault != nil { // checks the wrong thing
+		(*h)(err) // want "not dominated by a nil check"
 	}
 }
 

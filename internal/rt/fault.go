@@ -136,6 +136,11 @@ type Health struct {
 	RunningJobs     int   // admitted jobs not yet drained
 	QueuedRoots     int   // roots waiting in the admission queue
 	WatchdogTicks   int64 // monitor passes completed (0 = watchdog off)
+
+	// Supervision counters (supervise.go): every death produced a
+	// replacement worker pinned to the same squad.
+	WorkerDeaths      int64 // workers declared dead and replaced
+	QuarantinedSquads int   // squads currently quarantined (steal-only)
 }
 
 // healthCounters are the watchdog's shared counters (written by the
@@ -147,6 +152,8 @@ type healthCounters struct {
 	overruns        atomic.Int64
 	deadlineCancels atomic.Int64
 	ticks           atomic.Int64
+	deaths          atomic.Int64
+	quarantines     atomic.Int64
 }
 
 // Health reports the watchdog counters plus the current job load.
@@ -155,14 +162,16 @@ func (r *Runtime) Health() Health {
 	running := len(r.running)
 	r.jobsMu.Unlock()
 	return Health{
-		StalledWorkers:  int(r.health.stalledNow.Load()),
-		Stalls:          r.health.stalls.Load(),
-		StallsRecovered: r.health.recovered.Load(),
-		JobOverruns:     r.health.overruns.Load(),
-		DeadlineCancels: r.health.deadlineCancels.Load(),
-		RunningJobs:     running,
-		QueuedRoots:     len(r.roots),
-		WatchdogTicks:   r.health.ticks.Load(),
+		StalledWorkers:    int(r.health.stalledNow.Load()),
+		Stalls:            r.health.stalls.Load(),
+		StallsRecovered:   r.health.recovered.Load(),
+		JobOverruns:       r.health.overruns.Load(),
+		DeadlineCancels:   r.health.deadlineCancels.Load(),
+		RunningJobs:       running,
+		QueuedRoots:       len(r.roots),
+		WatchdogTicks:     r.health.ticks.Load(),
+		WorkerDeaths:      r.health.deaths.Load(),
+		QuarantinedSquads: r.topo.Sockets - r.healthySquads(),
 	}
 }
 
@@ -230,6 +239,7 @@ func (r *Runtime) watchdog(cfg WatchdogConfig) {
 		}
 		r.health.ticks.Add(1)
 		r.checkWorkers(cfg, seen, now)
+		r.supervise(cfg, seen, now)
 		r.checkJobs(cfg, now)
 	}
 }
@@ -323,8 +333,9 @@ func (r *Runtime) DumpState(w io.Writer) {
 		r.workers, r.topo.Sockets, r.bl)
 	fmt.Fprintf(w, "admission queue: %d/%d roots waiting\n", len(r.roots), cap(r.roots))
 	for sq := 0; sq < r.topo.Sockets; sq++ {
-		fmt.Fprintf(w, "squad %d: busy=%v inter-pool=%d\n",
-			sq, r.busy[sq].busy.Load(), r.inter[sq].Len())
+		fmt.Fprintf(w, "squad %d: busy=%v inter-pool=%d deaths=%d quarantined=%v\n",
+			sq, r.busy[sq].busy.Load(), r.inter[sq].Len(),
+			r.busy[sq].deaths.Load(), r.busy[sq].quar.Load())
 	}
 	for i := 0; i < r.workers; i++ {
 		sh := &r.stats[i]
@@ -337,7 +348,7 @@ func (r *Runtime) DumpState(w io.Writer) {
 		}
 		fmt.Fprintf(w, "worker %d (squad %d): %s beat=%d job=%d level=%d deque=%d\n",
 			i, r.topo.SquadOf(i), state, sh.exec.Load(),
-			sh.curJob.Load(), sh.curLevel.Load(), r.intra[i].Len())
+			sh.curJob.Load(), sh.curLevel.Load(), r.intra[i].Load().Len())
 	}
 	r.jobsMu.Lock()
 	jobs := make([]*Job, 0, len(r.running))
@@ -357,9 +368,9 @@ func (r *Runtime) DumpState(w io.Writer) {
 			j.cancelled.Load(), j.spawns.Load())
 	}
 	h := r.Health()
-	fmt.Fprintf(w, "health: stalled=%d stalls=%d recovered=%d overruns=%d deadline-cancels=%d ticks=%d\n",
+	fmt.Fprintf(w, "health: stalled=%d stalls=%d recovered=%d overruns=%d deadline-cancels=%d ticks=%d deaths=%d quarantined=%d\n",
 		h.StalledWorkers, h.Stalls, h.StallsRecovered, h.JobOverruns,
-		h.DeadlineCancels, h.WatchdogTicks)
+		h.DeadlineCancels, h.WatchdogTicks, h.WorkerDeaths, h.QuarantinedSquads)
 }
 
 // trackJob registers an admitted job with the watchdog until finishJob.

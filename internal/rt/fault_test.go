@@ -111,6 +111,9 @@ func TestWatchdogFlagsFrozenWorker(t *testing.T) {
 			Interval: 2 * time.Millisecond, StallAfter: 10 * time.Millisecond,
 			Output: &out,
 		},
+		// This test pins detection/recovery semantics alone: supervision
+		// would replace the frozen worker before the test thaws it.
+		Supervisor: SupervisorConfig{Disable: true},
 	})
 	if err != nil {
 		t.Fatal(err)
@@ -391,6 +394,123 @@ func TestDumpStateQueuedJobs(t *testing.T) {
 	// Watchdog disabled: health counters stay zero, ticks included.
 	if h := r.Health(); h.WatchdogTicks != 0 || h.Stalls != 0 {
 		t.Fatalf("disabled watchdog reported activity: %+v", h)
+	}
+}
+
+// TestFreezeRecoveryOrdering pins the recovery ordering of the
+// freeze/unfreeze interplay: once the watchdog has flagged a frozen
+// worker, thawing it must clear the flag on the very next beat window —
+// recorded as a recovery, exactly one stall, and no residual flag that a
+// later tick could double-count.
+func TestFreezeRecoveryOrdering(t *testing.T) {
+	var (
+		froze atomic.Bool
+		gate  = make(chan struct{})
+		ent   = make(chan struct{})
+	)
+	hook := func(fi FaultInfo) {
+		if fi.Point == FaultExec && fi.Level == 1 && froze.CompareAndSwap(false, true) {
+			close(ent)
+			<-gate
+		}
+	}
+	const interval = 2 * time.Millisecond
+	r, err := New(Config{
+		Topo: quadTopo(), BL: 0, Seed: 7,
+		FaultHook:  hook,
+		Watchdog:   WatchdogConfig{Interval: interval, StallAfter: 10 * time.Millisecond},
+		Supervisor: SupervisorConfig{Disable: true},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.Close()
+	j, err := r.Submit(func(p work.Proc) {
+		for i := 0; i < 4; i++ {
+			p.Spawn(noopFn)
+		}
+		p.Sync()
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	<-ent
+	waitFor(t, 2*time.Second, "stall flag", func() bool {
+		return r.Health().StalledWorkers == 1
+	})
+	base := r.Health().WatchdogTicks
+	close(gate) // thaw: the body's heartbeat resumes immediately
+	waitFor(t, 2*time.Second, "recovery", func() bool {
+		h := r.Health()
+		return h.StalledWorkers == 0 && h.StallsRecovered == 1
+	})
+	// Ordering bound: the clear must land within a handful of beat windows
+	// of the thaw — recovery is tick-driven, not drain-driven.
+	if ticks := r.Health().WatchdogTicks - base; ticks > 50 {
+		t.Fatalf("recovery took %d watchdog ticks, want prompt clearing", ticks)
+	}
+	if err := j.Wait(); err != nil {
+		t.Fatal(err)
+	}
+	// The recovered worker must not re-trip: exactly one stall total.
+	time.Sleep(5 * interval)
+	if h := r.Health(); h.Stalls != 1 || h.StalledWorkers != 0 {
+		t.Fatalf("Stalls=%d StalledWorkers=%d after recovery, want 1 and 0", h.Stalls, h.StalledWorkers)
+	}
+}
+
+// TestSubmitBatchPartialAdmissionStalledDrain guards the track-before-
+// enqueue fix under faults: with every worker wedged at its poll point
+// (nothing drains the queue), a NoWait batch overrunning the queue must
+// return exactly the admitted prefix, each of those jobs tracked by the
+// watchdog registry — and all of them must complete after the thaw.
+func TestSubmitBatchPartialAdmissionStalledDrain(t *testing.T) {
+	gate := make(chan struct{})
+	hook := func(fi FaultInfo) {
+		if fi.Point == FaultPoll {
+			<-gate // every worker wedges idle, holding no frames
+		}
+	}
+	r, err := New(Config{
+		Topo: quadTopo(), Seed: 7, QueueDepth: 4,
+		FaultHook:  hook,
+		Watchdog:   WatchdogConfig{Interval: 2 * time.Millisecond, StallAfter: time.Hour},
+		Supervisor: SupervisorConfig{Disable: true},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.Close()
+
+	var ran atomic.Int64
+	fns := make([]work.Fn, 10)
+	for i := range fns {
+		fns[i] = func(work.Proc) { ran.Add(1) }
+	}
+	js, err := r.SubmitBatch(fns, SubmitOpts{NoWait: true})
+	if !errors.Is(err, ErrQueueFull) {
+		t.Fatalf("SubmitBatch err = %v, want ErrQueueFull", err)
+	}
+	if len(js) != 4 {
+		t.Fatalf("admitted %d jobs, want the queue-depth prefix of 4", len(js))
+	}
+	// The returned prefix must match what the watchdog registry tracks:
+	// exactly the admitted jobs, none of the rejected tail.
+	h := r.Health()
+	if h.RunningJobs != len(js) {
+		t.Fatalf("RunningJobs = %d, want %d (tracked == returned prefix)", h.RunningJobs, len(js))
+	}
+	if h.QueuedRoots != len(js) {
+		t.Fatalf("QueuedRoots = %d, want %d (nothing drained while stalled)", h.QueuedRoots, len(js))
+	}
+	close(gate)
+	for i, j := range js {
+		if err := j.Wait(); err != nil {
+			t.Fatalf("admitted job %d: %v", i, err)
+		}
+	}
+	if got := ran.Load(); got != 4 {
+		t.Fatalf("%d bodies ran, want exactly the 4 admitted", got)
 	}
 }
 

@@ -117,6 +117,11 @@ type Config struct {
 	// Watchdog configures the stall/overrun/deadline monitor; the zero
 	// value enables it with defaults (250ms interval, 1s stall threshold).
 	Watchdog WatchdogConfig
+	// Supervisor configures worker supervision and replacement (see
+	// supervise.go); the zero value enables it with defaults whenever the
+	// watchdog is enabled (supervision consumes the watchdog's signals, so
+	// disabling the watchdog disables it too).
+	Supervisor SupervisorConfig
 	// Profile arms time-in-state and steal-flow accounting from the start
 	// (see EnableProfiling/DisableProfiling for runtime control). Disarmed
 	// profiling costs one atomic load per instrumentation point and zero
@@ -213,10 +218,18 @@ type statShard struct {
 // cacheLine-1 pad made the struct 132 bytes, so elements of []squadFlag
 // drifted across line-group boundaries (found by cablint's padcheck).
 //
+// The supervisor's per-squad state rides on the same line: quar marks a
+// quarantined squad (steal-only — its workers adopt no new roots), and
+// deaths counts workers of this squad declared dead, the counter the
+// quarantine threshold is applied to. Both are cold (written only on
+// worker death), so sharing the busy flag's line costs nothing.
+//
 //cab:padded
 type squadFlag struct {
-	busy atomic.Bool
-	_    [cacheLine - 4]byte
+	busy   atomic.Bool
+	quar   atomic.Bool
+	deaths atomic.Int64
+	_      [cacheLine - 16]byte
 }
 
 // frameCache is a worker-private stack of recycled task frames, padded so
@@ -244,17 +257,57 @@ type stealState struct {
 	_         [cacheLine - 32]byte
 }
 
+// wstate is the private state of one worker *incarnation*. Everything a
+// worker owns exclusively — its Chase-Lev deque (owner-side Push/Pop),
+// frame freelist, steal scratch and RNG — lives here rather than in
+// slot-indexed runtime arrays, so a replacement worker spawned into a dead
+// worker's slot shares nothing owner-only with its predecessor. A "dead"
+// worker that turns out to be merely wedged (a thawed chaos freeze, a
+// pathologically slow body) resumes on its own wstate, self-drains its
+// remaining subtree, notices the slot's generation has moved past its own
+// and exits — no locked handoff, no owner-side race with the replacement.
+// Slot-shared state (the padded stat shard, the profiler cells, the
+// published deque pointer thieves read) is all atomics, where concurrent
+// zombie and replacement writers are benign.
+type wstate struct {
+	gen    uint64 // slot incarnation this state belongs to (slots[w].gen at spawn)
+	deq    *deque.Deque[task]
+	rng    *xrand.Source
+	frames frameCache
+	steal  stealState
+	// normalExit marks shutdown and generation-fence returns; the worker
+	// defer treats any other exit (runtime.Goexit from a kill hook) as a
+	// death the supervisor must replace.
+	normalExit bool
+}
+
+// superSlot is the supervisor's per-worker-slot bookkeeping. gen is the
+// slot's current incarnation number (worker goroutines carry their own in
+// wstate and exit when the two diverge); exitedGen records the generation
+// of an incarnation that exited abnormally, which the supervisor compares
+// against gen to detect a vanished worker. Written only at spawn/death, so
+// the slice needs no padding — steady state is all shared read-only loads.
+type superSlot struct {
+	gen       atomic.Uint64
+	exitedGen atomic.Uint64
+}
+
 // Runtime is a running CAB scheduler instance.
 type Runtime struct {
 	topo topology.Topology
 	bl   int
 
-	intra  []*deque.Deque[task]
-	inter  []*deque.Locked[task]
-	busy   []squadFlag
-	stats  []statShard
-	frames []frameCache
-	steal  []stealState
+	// intra[w] is the published deque of slot w's *current* incarnation:
+	// thieves Load it and Steal (both sides of the pointer swap are
+	// thief-safe); only the owning incarnation Push/Pops, always through
+	// its private wstate, never through this slot. The supervisor swaps in
+	// a fresh deque when it replaces a dead worker, after transferring the
+	// orphaned frames (see replaceWorker).
+	intra []atomic.Pointer[deque.Deque[task]]
+	inter []*deque.Locked[task]
+	busy  []squadFlag
+	stats []statShard
+	slots []superSlot
 
 	// matchFor[sq] is the prebuilt affinity predicate head workers use
 	// against other squads' inter pools (hoisted so steal probes do not
@@ -284,10 +337,16 @@ type Runtime struct {
 	// Fault tolerance (fault.go): the injection hook (nil = disabled, one
 	// nil-check per site), the watchdog's shared counters, its lifecycle
 	// channels (nil when disabled), and the running-job registry it scans.
-	fault  FaultHook
-	health healthCounters
-	wdStop chan struct{}
-	wdDone chan struct{}
+	// The supervisor (supervise.go) rides the watchdog tick; its death
+	// hook is published through an atomic.Pointer so SetDeathHook works on
+	// a live runtime, with the same nil-check-dominated call discipline as
+	// the fault hook.
+	fault     FaultHook
+	super     SupervisorConfig
+	deathHook atomic.Pointer[DeathHook]
+	health    healthCounters
+	wdStop    chan struct{}
+	wdDone    chan struct{}
 
 	jobsMu  sync.Mutex
 	running map[int64]*Job
@@ -305,10 +364,14 @@ type Runtime struct {
 	closed   bool
 	live     sync.WaitGroup
 	stopping atomic.Bool
-	term     chan struct{}
-	roots    chan *task // bounded admission queue of submitted root frames
-	nextJob  atomic.Int64
-	seed     uint64
+	// superMu serializes the stopping transition against replacement
+	// spawns: a supervisor wg.Add must happen-before Close's wg.Wait, and
+	// no replacement may start once stopping is set.
+	superMu sync.Mutex
+	term    chan struct{}
+	roots   chan *task // bounded admission queue of submitted root frames
+	nextJob atomic.Int64
+	seed    uint64
 
 	// Job futures are handed out of never-recycled slab blocks (guarded
 	// by submitMu along with the rest of the admission state), so a
@@ -383,41 +446,55 @@ func New(cfg Config) (*Runtime, error) {
 	if topo.Sockets == 1 {
 		r.bl = 0 // Algorithm II step 2: single socket degenerates to Cilk
 	}
-	r.intra = make([]*deque.Deque[task], r.workers)
-	for i := range r.intra {
-		r.intra[i] = deque.NewDeque[task]()
-	}
+	r.intra = make([]atomic.Pointer[deque.Deque[task]], r.workers)
 	r.inter = make([]*deque.Locked[task], topo.Sockets)
 	for i := range r.inter {
 		r.inter[i] = deque.NewLocked[task]()
 	}
 	r.busy = make([]squadFlag, topo.Sockets)
 	r.stats = make([]statShard, r.workers)
-	r.frames = make([]frameCache, r.workers)
-	for i := range r.frames {
-		r.frames[i].free = make([]*task, 0, frameCacheCap)
-	}
-	r.steal = make([]stealState, r.workers)
-	for i := range r.steal {
-		r.steal[i].lastIntra = -1
-		r.steal[i].lastInter = -1
-		r.steal[i].batch = make([]*task, stealBatchMax)
-	}
+	r.slots = make([]superSlot, r.workers)
 	r.matchFor = make([]func(*task) bool, topo.Sockets)
 	for sq := range r.matchFor {
 		sq := sq
 		r.matchFor[sq] = func(x *task) bool { return x.hint < 0 || x.hint == sq }
 	}
+	wd := cfg.Watchdog.withDefaults()
+	r.super = cfg.Supervisor.withDefaults(wd)
+	if h := cfg.Supervisor.OnDeath; h != nil {
+		r.deathHook.Store(&h)
+	}
 	for w := 0; w < r.workers; w++ {
+		r.slots[w].gen.Store(1)
+		ws := r.newWorkerState(w, 1)
+		r.intra[w].Store(ws.deq)
 		r.wg.Add(1)
-		go r.workerLoop(w)
+		go r.workerLoop(w, ws)
 	}
 	if !cfg.Watchdog.Disable {
 		r.wdStop = make(chan struct{})
 		r.wdDone = make(chan struct{})
-		go r.watchdog(cfg.Watchdog.withDefaults())
+		go r.watchdog(wd)
 	}
 	return r, nil
+}
+
+// newWorkerState builds the private state of one worker incarnation of
+// slot w: a fresh deque, an empty freelist, reset steal affinity and an
+// RNG seeded per slot and generation (so a replacement's victim sequence
+// is deterministic under a fixed Config.Seed but distinct from its
+// predecessor's).
+func (r *Runtime) newWorkerState(w int, gen uint64) *wstate {
+	ws := &wstate{
+		gen: gen,
+		deq: deque.NewDeque[task](),
+		rng: xrand.New(r.seed + uint64(w)*0x9e3779b97f4a7c15 + gen),
+	}
+	ws.frames.free = make([]*task, 0, frameCacheCap)
+	ws.steal.lastIntra = -1
+	ws.steal.lastInter = -1
+	ws.steal.batch = make([]*task, stealBatchMax)
+	return ws
 }
 
 // BL returns the effective boundary level.
@@ -520,8 +597,8 @@ func jid(j *Job) int64 {
 // allocates. The appends and the terminal new below are that drained slow
 // path, waived line by line so any new allocation in the fast path trips
 // cablint.
-func (r *Runtime) newFrame(worker int) *task {
-	fc := &r.frames[worker]
+func (r *Runtime) newFrame(ws *wstate) *task {
+	fc := &ws.frames
 	if n := len(fc.free); n > 0 {
 		t := fc.free[n-1]
 		fc.free[n-1] = nil
@@ -553,11 +630,11 @@ func (r *Runtime) newFrame(worker int) *task {
 // freeFrame recycles a completed frame. Callers must guarantee no live
 // references remain: execute calls it only after the frame's implicit sync
 // completed, so every child has already decremented the join counter.
-func (r *Runtime) freeFrame(worker int, t *task) {
+func (r *Runtime) freeFrame(ws *wstate, t *task) {
 	t.fn = nil
 	t.parent = nil
 	t.job = nil
-	fc := &r.frames[worker]
+	fc := &ws.frames
 	if len(fc.free) < frameCacheCap {
 		//cab:allow hotpath amortized growth: capacity stabilizes at frameCacheCap
 		fc.free = append(fc.free, t)
@@ -604,8 +681,10 @@ func (r *Runtime) Close() {
 	}
 	r.closed = true
 	r.submitMu.Unlock()
-	r.live.Wait()          // drain: admitted jobs (queued or running) finish
+	r.live.Wait() // drain: admitted jobs (queued or running) finish
+	r.superMu.Lock()
 	r.stopping.Store(true) // ineligible workers cannot see the channel close
+	r.superMu.Unlock()     // no replacement spawns past this point
 	close(r.roots)         // safe: live == 0 means no Submit holds a send
 	r.lot.Wake()           // parked workers must observe the stop
 	r.wg.Wait()
@@ -619,12 +698,16 @@ func (r *Runtime) Close() {
 }
 
 // ctx is the work.Proc a task body sees. It is embedded in the task frame,
-// so binding it costs no allocation.
+// so binding it costs no allocation. ws is the executing incarnation's
+// private state (deque, freelist, steal scratch, RNG): everything
+// owner-only flows through it, so a frame helped across workers — or
+// executed by a zombie incarnation after its slot was replaced — always
+// spawns into and recycles through the state of whoever runs it.
 type ctx struct {
 	r      *Runtime
 	worker int
 	t      *task
-	rng    *xrand.Source
+	ws     *wstate
 	// hbN counts this frame's body entries; every hbBatch-th bumps the
 	// worker heartbeat. The counter is frame-local (frames recycle via a
 	// per-worker LIFO freelist), so the amortized bump rate across a
@@ -671,7 +754,7 @@ func (c *ctx) spawn(fn work.Fn, hint int) {
 	if j != nil && j.cancelled.Load() {
 		return // cancelled jobs stop spawning; the existing DAG drains
 	}
-	child := r.newFrame(w)
+	child := r.newFrame(c.ws)
 	child.fn = fn
 	child.parent = c.t
 	child.job = j
@@ -705,7 +788,7 @@ func (c *ctx) spawn(fn work.Fn, hint int) {
 		}
 		return
 	}
-	d := r.intra[w]
+	d := c.ws.deq
 	wasEmpty := d.Empty()
 	d.Push(child)
 	if wasEmpty {
@@ -733,8 +816,8 @@ func (c *ctx) Sync() {
 	}
 	idle := 0
 	for t.pending.Load() > 0 {
-		if tk := r.syncFind(c.worker, interSync, c.rng); tk != nil {
-			r.help(c.worker, tk, c.rng)
+		if tk := r.syncFind(c.worker, interSync, c.ws); tk != nil {
+			r.help(c.worker, tk, c.ws)
 			idle = 0
 			continue
 		}
@@ -752,9 +835,9 @@ func (c *ctx) Sync() {
 			r.lot.Cancel()
 			break
 		}
-		if tk := r.syncFind(c.worker, interSync, c.rng); tk != nil {
+		if tk := r.syncFind(c.worker, interSync, c.ws); tk != nil {
 			r.lot.Cancel()
-			r.help(c.worker, tk, c.rng)
+			r.help(c.worker, tk, c.ws)
 			idle = 0
 			continue
 		}
@@ -783,25 +866,25 @@ func (c *ctx) Sync() {
 // to the worker's shard and to the helped task's job. Helping never adopts
 // queued roots: starting a whole new job under a blocked join would nest
 // arbitrarily deep and delay the join by that job's entire runtime.
-func (r *Runtime) help(w int, tk *task, rng *xrand.Source) {
+func (r *Runtime) help(w int, tk *task, ws *wstate) {
 	r.stats[w].helps.Add(1)
 	if j := tk.job; j != nil {
 		j.helps.Add(1)
 	}
-	r.execute(w, tk, rng)
+	r.execute(w, tk, ws)
 }
 
 // syncFind selects the helping mode of a blocked Sync per Algorithm I.
-func (r *Runtime) syncFind(w int, interSync bool, rng *xrand.Source) *task {
+func (r *Runtime) syncFind(w int, interSync bool, ws *wstate) *task {
 	if interSync || r.bl == 0 {
 		// Blocked at an inter-tier sync (or single-tier mode): the worker
 		// is fully free.
-		return r.findTask(w, rng)
+		return r.findTask(w, ws)
 	}
 	// A leaf inter-socket or intra-socket task joining its intra children
 	// helps only within its squad, preserving the one-inter-task-per-squad
 	// discipline.
-	return r.findIntra(w, rng)
+	return r.findIntra(w, ws)
 }
 
 // clearBusy releases a squad's busy_state and publishes the transition:
@@ -820,9 +903,9 @@ func (r *Runtime) clearBusy(sq int) {
 // it.
 //
 //cab:hotpath
-func (r *Runtime) execute(worker int, t *task, rng *xrand.Source) {
+func (r *Runtime) execute(worker int, t *task, ws *wstate) {
 	c := &t.c
-	c.r, c.worker, c.t, c.rng = r, worker, t, rng
+	c.r, c.worker, c.t, c.ws = r, worker, t, ws
 	// Time-in-state: whatever the worker was doing (scanning, parked,
 	// admission-waiting) ends here. Disarmed this is one atomic load; armed
 	// and already in exec (a worker draining its own deque) it is two.
@@ -849,7 +932,7 @@ func (r *Runtime) execute(worker int, t *task, rng *xrand.Source) {
 		r.clearBusy(r.topo.SquadOf(worker))
 	}
 	parent, job := t.parent, t.job
-	r.freeFrame(worker, t)
+	r.freeFrame(ws, t)
 	if parent != nil {
 		if parent.pending.Add(-1) == 0 {
 			r.lot.Publish() // the joiner may be parked in Sync
@@ -905,9 +988,22 @@ func (r *Runtime) runBody(t *task, c *ctx) {
 }
 
 // workerLoop is Algorithm I driven forever: probe, adopt a queued root
-// when otherwise idle, then park.
-func (r *Runtime) workerLoop(w int) {
+// when otherwise idle, then park. ws is this incarnation's private state;
+// the loop exits when the runtime stops or when the slot's generation
+// moves past ws.gen (this incarnation was declared dead and replaced — it
+// finishes whatever subtree it still owns, then yields the slot).
+func (r *Runtime) workerLoop(w int, ws *wstate) {
 	defer r.wg.Done()
+	defer func() {
+		// Shutdown and generation-fence exits are normal. Anything else —
+		// runtime.Goexit raised from a kill hook, the chaos stand-in for an
+		// OS thread dying — is a death the supervisor must observe and
+		// repair, flagged by generation so a replacement's later exit is
+		// never confused with its predecessor's.
+		if !ws.normalExit && !r.stopping.Load() {
+			r.slots[w].exitedGen.Store(ws.gen)
+		}
+	}()
 	if r.hwcWant {
 		// Hardware counters attach to the calling OS thread, so the worker
 		// pins itself first and stays pinned for the group's lifetime. On
@@ -917,14 +1013,15 @@ func (r *Runtime) workerLoop(w int) {
 		if g, err := hwc.Open(); err == nil {
 			r.hwcGroups[w].Store(g)
 			defer func() {
-				r.hwcGroups[w].Store(nil)
+				// CAS, not Store: a replacement may have published its own
+				// group in this slot; a zombie tearing down must not null it.
+				r.hwcGroups[w].CompareAndSwap(g, nil)
 				g.Close()
 			}()
 		} else {
 			runtime.UnlockOSThread()
 		}
 	}
-	rng := xrand.New(r.seed + uint64(w)*0x9e3779b97f4a7c15 + 1)
 	idle := 0
 	// scanStart times the idle steal scan: set at the first failed probe,
 	// settled into the StealScan histogram when work is found or the
@@ -937,12 +1034,19 @@ func (r *Runtime) workerLoop(w int) {
 		}
 	}
 	for {
+		if r.slots[w].gen.Load() != ws.gen {
+			// Declared dead and replaced. Own subtrees are fully drained
+			// (execute only returns after its implicit sync), so the private
+			// deque is empty; the slot now belongs to the replacement.
+			ws.normalExit = true
+			return
+		}
 		if h := r.fault; h != nil {
 			h(FaultInfo{Point: FaultPoll, Worker: w, Level: -1})
 		}
-		if t := r.findTask(w, rng); t != nil {
+		if t := r.findTask(w, ws); t != nil {
 			endScan()
-			r.execute(w, t, rng)
+			r.execute(w, t, ws)
 			idle = 0
 			continue
 		}
@@ -951,11 +1055,12 @@ func (r *Runtime) workerLoop(w int) {
 		}
 		root, stop := r.pollRoot(w)
 		if stop {
+			ws.normalExit = true
 			return
 		}
 		if root != nil {
 			endScan()
-			r.runRoot(w, root, rng)
+			r.runRoot(w, root, ws)
 			idle = 0
 			continue
 		}
@@ -972,22 +1077,23 @@ func (r *Runtime) workerLoop(w int) {
 		}
 		// Idle: announce, re-probe every source once, then park.
 		e := r.lot.Prepare()
-		if t := r.findTask(w, rng); t != nil {
+		if t := r.findTask(w, ws); t != nil {
 			r.lot.Cancel()
 			endScan()
-			r.execute(w, t, rng)
+			r.execute(w, t, ws)
 			idle = 0
 			continue
 		}
 		root, stop = r.pollRoot(w)
 		if stop {
 			r.lot.Cancel()
+			ws.normalExit = true
 			return
 		}
 		if root != nil {
 			r.lot.Cancel()
 			endScan()
-			r.runRoot(w, root, rng)
+			r.runRoot(w, root, ws)
 			idle = 0
 			continue
 		}
@@ -1017,8 +1123,13 @@ func (r *Runtime) workerLoop(w int) {
 // job root per squad); under BL == 0 every worker is eligible. stop
 // reports that the runtime has shut down and the worker should exit.
 func (r *Runtime) pollRoot(w int) (root *task, stop bool) {
+	sq := r.topo.SquadOf(w)
+	if r.busy[sq].quar.Load() {
+		// Quarantined squads are steal-only: they keep helping with work
+		// already in flight but adopt no new roots (see supervise.go).
+		return nil, r.stopping.Load()
+	}
 	if r.bl > 0 {
-		sq := r.topo.SquadOf(w)
 		if !r.topo.IsHead(w) || r.busy[sq].busy.Load() {
 			// Ineligible workers never observe the channel close; the
 			// stopping flag (set just before it) tells them to exit.
@@ -1040,7 +1151,7 @@ func (r *Runtime) pollRoot(w int) (root *task, stop bool) {
 // occupies the adopting worker's squad, exactly like an inter-socket task
 // obtained from a squad pool. Adoption is where the job's queue wait ends
 // and its run time begins, so both are settled here.
-func (r *Runtime) runRoot(w int, root *task, rng *xrand.Source) {
+func (r *Runtime) runRoot(w int, root *task, ws *wstate) {
 	if j := root.job; j != nil {
 		wait := int64(time.Since(j.start))
 		j.queueWait.Store(wait)
@@ -1052,7 +1163,7 @@ func (r *Runtime) runRoot(w int, root *task, rng *xrand.Source) {
 	if root.tier == core.TierInter {
 		r.busy[r.topo.SquadOf(w)].busy.Store(true)
 	}
-	r.execute(w, root, rng)
+	r.execute(w, root, ws)
 }
 
 // findTask implements Algorithm I: own intra pool; within-squad intra
@@ -1063,16 +1174,16 @@ func (r *Runtime) runRoot(w int, root *task, rng *xrand.Source) {
 // successful victim is remembered and probed first next time.
 //
 //cab:hotpath
-func (r *Runtime) findTask(w int, rng *xrand.Source) *task {
-	if t := r.intra[w].Pop(); t != nil {
+func (r *Runtime) findTask(w int, ws *wstate) *task {
+	if t := ws.deq.Pop(); t != nil {
 		return t
 	}
 	if r.bl == 0 {
-		return r.stealAny(w, rng)
+		return r.stealAny(w, ws)
 	}
 	sq := r.topo.SquadOf(w)
 	if r.busy[sq].busy.Load() {
-		return r.stealIntraFrom(w, sq, rng)
+		return r.stealIntraFrom(w, sq, ws)
 	}
 	if !r.topo.IsHead(w) {
 		return nil
@@ -1088,21 +1199,21 @@ func (r *Runtime) findTask(w int, rng *xrand.Source) *task {
 	if h := r.fault; h != nil {
 		h(FaultInfo{Point: FaultSteal, Worker: w, Level: -1})
 	}
-	st := &r.steal[w]
+	st := &ws.steal
 	sh := &r.stats[w]
 	// Affinity first: the squad whose pool fed this head last time.
 	if v := int(st.lastInter); v >= 0 && v != sq && v < m {
-		if t := r.stealInterFrom(w, sq, v); t != nil {
+		if t := r.stealInterFrom(w, sq, v, ws); t != nil {
 			return t
 		}
 		st.lastInter = -1
 	}
 	for i := 0; i < triesInter; i++ {
-		victim := rng.Intn(m - 1)
+		victim := ws.rng.Intn(m - 1)
 		if victim >= sq {
 			victim++
 		}
-		if t := r.stealInterFrom(w, sq, victim); t != nil {
+		if t := r.stealInterFrom(w, sq, victim, ws); t != nil {
 			st.lastInter = int32(victim)
 			return t
 		}
@@ -1118,11 +1229,11 @@ func (r *Runtime) findTask(w int, rng *xrand.Source) *task {
 // next inter tasks are a local Pop instead of another socket crossing.
 //
 //cab:hotpath
-func (r *Runtime) stealInterFrom(w, sq, victim int) *task {
+func (r *Runtime) stealInterFrom(w, sq, victim int, ws *wstate) *task {
 	sh := &r.stats[w]
 	sh.probesInter.Add(1)
 	r.prof.SetState(w, obs.StateScanInter)
-	st := &r.steal[w]
+	st := &ws.steal
 	k := r.inter[victim].StealHalfInto(st.batch, r.matchFor[sq])
 	if k == 0 {
 		// Nothing hinted at us: fall back to an unconditional grab, the
@@ -1176,11 +1287,11 @@ func (r *Runtime) stealInterFrom(w, sq, victim int) *task {
 // own pool, then squad mates.
 //
 //cab:hotpath
-func (r *Runtime) findIntra(w int, rng *xrand.Source) *task {
-	if t := r.intra[w].Pop(); t != nil {
+func (r *Runtime) findIntra(w int, ws *wstate) *task {
+	if t := ws.deq.Pop(); t != nil {
 		return t
 	}
-	return r.stealIntraFrom(w, r.topo.SquadOf(w), rng)
+	return r.stealIntraFrom(w, r.topo.SquadOf(w), ws)
 }
 
 // stealIntraFrom probes squad-mates' deques with graded retries: the
@@ -1189,7 +1300,7 @@ func (r *Runtime) findIntra(w int, rng *xrand.Source) *task {
 // L3) and often wins a Chase-Lev race lost a moment earlier.
 //
 //cab:hotpath
-func (r *Runtime) stealIntraFrom(w, sq int, rng *xrand.Source) *task {
+func (r *Runtime) stealIntraFrom(w, sq int, ws *wstate) *task {
 	n := r.topo.CoresPerSocket
 	if n == 1 {
 		return nil
@@ -1198,7 +1309,7 @@ func (r *Runtime) stealIntraFrom(w, sq int, rng *xrand.Source) *task {
 		h(FaultInfo{Point: FaultSteal, Worker: w, Level: -1})
 	}
 	r.prof.SetState(w, obs.StateScanIntra)
-	st := &r.steal[w]
+	st := &ws.steal
 	base := r.topo.HeadWorker(sq)
 	if v := int(st.lastIntra); v >= base && v < base+n && v != w {
 		if t := r.stealIntraProbe(w, v); t != nil {
@@ -1207,7 +1318,7 @@ func (r *Runtime) stealIntraFrom(w, sq int, rng *xrand.Source) *task {
 		st.lastIntra = -1
 	}
 	for i := 0; i < triesIntra; i++ {
-		victim := base + rng.Intn(n-1)
+		victim := base + ws.rng.Intn(n-1)
 		if victim >= w {
 			victim++
 		}
@@ -1225,7 +1336,7 @@ func (r *Runtime) stealIntraFrom(w, sq int, rng *xrand.Source) *task {
 //cab:hotpath
 func (r *Runtime) stealIntraProbe(w, victim int) *task {
 	r.stats[w].probesIntra.Add(1)
-	t := r.intra[victim].Steal()
+	t := r.intra[victim].Load().Steal()
 	if r.prof.Armed() {
 		// Armed-only guard keeps the disarmed probe at one atomic load:
 		// the victim's squad lookup and hit/miss fold happen only when the
@@ -1256,7 +1367,7 @@ func (r *Runtime) stealIntraProbe(w, victim int) *task {
 // work-stealing results in PAPERS.md.
 //
 //cab:hotpath
-func (r *Runtime) stealAny(w int, rng *xrand.Source) *task {
+func (r *Runtime) stealAny(w int, ws *wstate) *task {
 	n := r.workers
 	if n == 1 {
 		return nil
@@ -1264,7 +1375,7 @@ func (r *Runtime) stealAny(w int, rng *xrand.Source) *task {
 	if h := r.fault; h != nil {
 		h(FaultInfo{Point: FaultSteal, Worker: w, Level: -1})
 	}
-	st := &r.steal[w]
+	st := &ws.steal
 	sq := r.topo.SquadOf(w)
 	per := r.topo.CoresPerSocket
 	base := r.topo.HeadWorker(sq)
@@ -1277,7 +1388,7 @@ func (r *Runtime) stealAny(w int, rng *xrand.Source) *task {
 	}
 	if per > 1 {
 		for i := 0; i < triesIntra; i++ {
-			victim := base + rng.Intn(per-1)
+			victim := base + ws.rng.Intn(per-1)
 			if victim >= w {
 				victim++
 			}
@@ -1290,7 +1401,7 @@ func (r *Runtime) stealAny(w int, rng *xrand.Source) *task {
 	if remote := n - per; remote > 0 {
 		r.prof.SetState(w, obs.StateScanInter)
 		for i := 0; i < triesInter; i++ {
-			victim := rng.Intn(remote)
+			victim := ws.rng.Intn(remote)
 			if victim >= base {
 				victim += per // skip own squad's contiguous worker range
 			}
@@ -1316,7 +1427,7 @@ func (r *Runtime) stealAnyProbe(w, sq, victim int) *task {
 	} else {
 		sh.probesIntra.Add(1)
 	}
-	t := r.intra[victim].Steal()
+	t := r.intra[victim].Load().Steal()
 	if r.prof.Armed() {
 		var fr int64
 		if t != nil {

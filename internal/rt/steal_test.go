@@ -42,21 +42,25 @@ func TestGradedTries(t *testing.T) {
 	r := newRT(t, quadTopo(), 2)
 	waitAllParked(t, r)
 	base := r.Stats()
-	rng := xrand.New(7)
+	// Test-local worker states: empty private deques, fixed-seed rngs.
+	ws1 := r.newWorkerState(1, 1)
+	ws1.rng = xrand.New(7)
+	ws0 := r.newWorkerState(0, 1)
+	ws0.rng = xrand.New(7)
 
 	const scans = 1000
 	// Starved squad 0: mark it busy so worker 1 (non-head) scans its
 	// squad-mates' empty deques.
 	r.busy[0].busy.Store(true)
 	for i := 0; i < scans; i++ {
-		if tk := r.findTask(1, rng); tk != nil {
+		if tk := r.findTask(1, ws1); tk != nil {
 			t.Fatal("found a task in an empty runtime")
 		}
 	}
 	r.busy[0].busy.Store(false)
 	// Idle head 0 now scans remote inter pools (also empty).
 	for i := 0; i < scans; i++ {
-		if tk := r.findTask(0, rng); tk != nil {
+		if tk := r.findTask(0, ws0); tk != nil {
 			t.Fatal("found a task in an empty runtime")
 		}
 	}
@@ -84,10 +88,11 @@ func TestGradedTriesBL0(t *testing.T) {
 	r := newRT(t, quadTopo(), 0)
 	waitAllParked(t, r)
 	base := r.Stats()
-	rng := xrand.New(7)
+	ws1 := r.newWorkerState(1, 1)
+	ws1.rng = xrand.New(7)
 	const scans = 500
 	for i := 0; i < scans; i++ {
-		if tk := r.findTask(1, rng); tk != nil {
+		if tk := r.findTask(1, ws1); tk != nil {
 			t.Fatal("found a task in an empty runtime")
 		}
 	}
@@ -120,7 +125,7 @@ func TestBatchInterSteal(t *testing.T) {
 		r.inter[1].Push(planted[i])
 	}
 
-	got := r.stealInterFrom(0, 0, 1)
+	got := r.stealInterFrom(0, 0, 1, r.newWorkerState(0, 1))
 	if got != planted[0] {
 		t.Fatalf("stealInterFrom returned %p, want the oldest planted frame %p", got, planted[0])
 	}
@@ -167,17 +172,18 @@ func TestStealAffinityHint(t *testing.T) {
 	r := newRT(t, quadTopo(), 2)
 	waitAllParked(t, r)
 
-	if got := int(r.steal[0].lastInter); got != -1 {
+	ws0 := r.newWorkerState(0, 1)
+	ws0.rng = xrand.New(7)
+	if got := int(ws0.steal.lastInter); got != -1 {
 		t.Fatalf("initial lastInter = %d, want -1", got)
 	}
 	// A single planted frame: k == 1, so no requeue, no Publish.
 	one := &task{fn: nil, level: 1, tier: core.TierInter, hint: -1}
 	r.inter[1].Push(one)
-	rng := xrand.New(7)
-	if got := r.findTask(0, rng); got != one {
+	if got := r.findTask(0, ws0); got != one {
 		t.Fatalf("findTask = %p, want planted frame", got)
 	}
-	if got := int(r.steal[0].lastInter); got != 1 {
+	if got := int(ws0.steal.lastInter); got != 1 {
 		t.Fatalf("lastInter = %d after successful steal from squad 1, want 1", got)
 	}
 	r.busy[0].busy.Store(false)
@@ -187,7 +193,7 @@ func TestStealAffinityHint(t *testing.T) {
 	base := r.Stats()
 	two := &task{fn: nil, level: 1, tier: core.TierInter, hint: -1}
 	r.inter[1].Push(two)
-	if got := r.findTask(0, rng); got != two {
+	if got := r.findTask(0, ws0); got != two {
 		t.Fatalf("hinted findTask = %p, want planted frame", got)
 	}
 	if d := r.Stats().ProbesInter - base.ProbesInter; d != 1 {
@@ -197,10 +203,10 @@ func TestStealAffinityHint(t *testing.T) {
 
 	// Hint miss on an empty pool: the scan falls back to random victims
 	// and the stale hint clears.
-	if got := r.findTask(0, rng); got != nil {
+	if got := r.findTask(0, ws0); got != nil {
 		t.Fatalf("findTask on empty pools = %p, want nil", got)
 	}
-	if got := int(r.steal[0].lastInter); got != -1 {
+	if got := int(ws0.steal.lastInter); got != -1 {
 		t.Fatalf("lastInter = %d after failed hint probe, want -1 (cleared)", got)
 	}
 }

@@ -1,0 +1,294 @@
+// Tests for worker supervision and replacement (supervise.go): stall- and
+// exit-based death detection, orphaned-frame reclamation, squad
+// quarantine with the last-healthy-squad guard, and clean shutdown with
+// replacements in play. Kill hooks are hand-rolled here (internal/chaos
+// imports this package); chaos.KillWorker has its own tests over there.
+package rt
+
+import (
+	"runtime"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"cab/internal/work"
+)
+
+// fastSuper is a watchdog+supervisor config tuned for test latencies.
+func fastSuper() (WatchdogConfig, SupervisorConfig) {
+	wd := WatchdogConfig{Interval: 2 * time.Millisecond, StallAfter: 10 * time.Millisecond}
+	sup := SupervisorConfig{ReplaceAfter: 25 * time.Millisecond}
+	return wd, sup
+}
+
+// killer arms one-shot hard exits of chosen workers at their idle poll —
+// the in-package stand-in for chaos.KillWorker.
+type killer struct {
+	target atomic.Int64 // worker to kill, -1 = disarmed
+}
+
+func newKiller() *killer {
+	k := &killer{}
+	k.target.Store(-1)
+	return k
+}
+
+func (k *killer) hook(fi FaultInfo) {
+	if fi.Point == FaultPoll && k.target.CompareAndSwap(int64(fi.Worker), -1) {
+		runtime.Goexit()
+	}
+}
+
+// kill arms worker w and waits until the supervisor has registered the
+// death (deaths counter advanced past prev). A parked worker only reaches
+// its idle poll when woken, so the wait pokes the pool with trivial
+// fan-outs until the armed worker iterates its loop and exits.
+func (k *killer) kill(t *testing.T, r *Runtime, w int, prev int64) {
+	t.Helper()
+	k.target.Store(int64(w))
+	waitFor(t, 5*time.Second, "worker death to register", func() bool {
+		if r.Health().WorkerDeaths > prev {
+			return true
+		}
+		_ = r.Run(func(p work.Proc) {
+			for i := 0; i < 8; i++ {
+				p.Spawn(noopFn)
+			}
+			p.Sync()
+		})
+		return r.Health().WorkerDeaths > prev
+	})
+}
+
+// TestKillExitReplacement: a worker goroutine that hard-exits must be
+// detected via its exit defer (no stall grace needed), replaced in the
+// same slot, and the pool must keep serving jobs at full strength.
+func TestKillExitReplacement(t *testing.T) {
+	wd, sup := fastSuper()
+	var deaths atomic.Int64
+	var lastInfo atomic.Pointer[DeathInfo]
+	sup.OnDeath = func(di DeathInfo) {
+		deaths.Add(1)
+		lastInfo.Store(&di)
+	}
+	k := newKiller()
+	r, err := New(Config{
+		Topo: quadTopo(), Seed: 7,
+		FaultHook: k.hook, Watchdog: wd, Supervisor: sup,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.Close()
+
+	k.kill(t, r, 1, 0)
+	if got := deaths.Load(); got != 1 {
+		t.Fatalf("death hook fired %d times, want 1", got)
+	}
+	di := lastInfo.Load()
+	if di.Worker != 1 || !di.Exited || di.Gen != 1 {
+		t.Fatalf("DeathInfo = %+v, want worker 1, Exited, gen 1", *di)
+	}
+	if h := r.Health(); h.WorkerDeaths != 1 || h.StalledWorkers != 0 {
+		t.Fatalf("Health = {deaths %d, stalled %d}, want {1, 0}", h.WorkerDeaths, h.StalledWorkers)
+	}
+
+	// Full strength: a fan-out job wide enough to need every worker
+	// completes, and the replacement slot participates (its shard beats).
+	var n atomic.Int64
+	if err := r.Run(func(p work.Proc) {
+		for i := 0; i < 64; i++ {
+			p.Spawn(func(work.Proc) { n.Add(1) })
+		}
+		p.Sync()
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if n.Load() != 64 {
+		t.Fatalf("leaves = %d, want 64", n.Load())
+	}
+
+	// A second kill of the same slot (the replacement, gen 2) also heals.
+	k.kill(t, r, 1, 1)
+	if di := lastInfo.Load(); di.Gen != 2 || !di.Exited {
+		t.Fatalf("second DeathInfo = %+v, want gen 2 Exited", *di)
+	}
+	if err := r.Run(func(p work.Proc) { p.Spawn(noopFn); p.Sync() }); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestStallReplacementReclaimsFrames: a worker wedged mid-body past
+// ReplaceAfter is replaced, and the frames queued in its deque move to
+// the replacement — which runs them while the original stays wedged. The
+// thawed zombie then finishes its own frame and exits at the generation
+// fence, so the job completes exactly once.
+func TestStallReplacementReclaimsFrames(t *testing.T) {
+	wd, sup := fastSuper()
+	var reclaimed atomic.Int64
+	sup.OnDeath = func(di DeathInfo) { reclaimed.Add(int64(di.Reclaimed)) }
+	r, err := New(Config{
+		Topo: uniTopo(), Seed: 7, // one worker: nobody else can steal the frames
+		Watchdog: wd, Supervisor: sup,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.Close()
+
+	gate := make(chan struct{})
+	var leaves atomic.Int64
+	j, err := r.Submit(func(p work.Proc) {
+		for i := 0; i < 8; i++ {
+			p.Spawn(func(work.Proc) { leaves.Add(1) })
+		}
+		<-gate // wedge with 8 frames in the deque, before the Sync
+		p.Sync()
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// The supervisor must declare the wedged worker dead and hand its 8
+	// queued frames to the replacement, which runs them to completion
+	// while the original is still blocked.
+	waitFor(t, 5*time.Second, "reclaimed frames to run", func() bool {
+		return leaves.Load() == 8
+	})
+	if got := reclaimed.Load(); got != 8 {
+		t.Fatalf("DeathInfo.Reclaimed total = %d, want 8", got)
+	}
+	if h := r.Health(); h.WorkerDeaths != 1 || h.StalledWorkers != 0 {
+		t.Fatalf("Health = {deaths %d, stalled %d}, want {1, 0}", h.WorkerDeaths, h.StalledWorkers)
+	}
+
+	close(gate) // thaw the zombie: its Sync sees the join already counted
+	if err := j.Wait(); err != nil {
+		t.Fatal(err)
+	}
+	if got := leaves.Load(); got != 8 {
+		t.Fatalf("leaves = %d after join, want exactly 8 (no double runs)", got)
+	}
+}
+
+// TestQuarantineAndLastSquadGuard: repeated deaths quarantine a squad
+// (steal-only — jobs route to the healthy squad), and the last healthy
+// squad is never quarantined no matter how many deaths it takes.
+func TestQuarantineAndLastSquadGuard(t *testing.T) {
+	wd, sup := fastSuper()
+	sup.QuarantineAfter = 2
+	k := newKiller()
+	r, err := New(Config{
+		Topo: quadTopo(), Seed: 7, // 2 squads x 2 workers
+		FaultHook: k.hook, Watchdog: wd, Supervisor: sup,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.Close()
+
+	// Two deaths in squad 0 (workers 0 and 1) trip its quarantine.
+	k.kill(t, r, 0, 0)
+	k.kill(t, r, 1, 1)
+	waitFor(t, 5*time.Second, "squad 0 quarantine", func() bool {
+		return r.Quarantined(0)
+	})
+	if h := r.Health(); h.QuarantinedSquads != 1 {
+		t.Fatalf("QuarantinedSquads = %d, want 1", h.QuarantinedSquads)
+	}
+
+	// The pool still serves jobs: squad 1 adopts, squad 0 may only steal.
+	var n atomic.Int64
+	for i := 0; i < 4; i++ {
+		if err := r.Run(func(p work.Proc) {
+			for l := 0; l < 16; l++ {
+				p.Spawn(func(work.Proc) { n.Add(1) })
+			}
+			p.Sync()
+		}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if n.Load() != 64 {
+		t.Fatalf("leaves = %d, want 64", n.Load())
+	}
+
+	// Deaths in the last healthy squad must never quarantine it.
+	k.kill(t, r, 2, 2)
+	k.kill(t, r, 3, 3)
+	k.kill(t, r, 2, 4)
+	time.Sleep(20 * wd.Interval) // give a wrong quarantine time to land
+	if r.Quarantined(1) {
+		t.Fatal("last healthy squad was quarantined")
+	}
+	if h := r.Health(); h.QuarantinedSquads != 1 {
+		t.Fatalf("QuarantinedSquads = %d after last-squad deaths, want still 1", h.QuarantinedSquads)
+	}
+	if err := r.Run(func(p work.Proc) { p.Spawn(noopFn); p.Sync() }); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestSupervisorDisabled: with supervision off, an exited worker is not
+// replaced — the old permanently-shrunken-pool behavior — and no death
+// registers.
+func TestSupervisorDisabled(t *testing.T) {
+	k := newKiller()
+	r, err := New(Config{
+		Topo: quadTopo(), Seed: 7,
+		FaultHook:  k.hook,
+		Watchdog:   WatchdogConfig{Interval: 2 * time.Millisecond, StallAfter: time.Hour},
+		Supervisor: SupervisorConfig{Disable: true},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.Close()
+	k.target.Store(1)
+	waitFor(t, 5*time.Second, "worker 1 to exit", func() bool {
+		return k.target.Load() == -1
+	})
+	time.Sleep(50 * time.Millisecond)
+	if h := r.Health(); h.WorkerDeaths != 0 {
+		t.Fatalf("WorkerDeaths = %d with supervision disabled, want 0", h.WorkerDeaths)
+	}
+	// The shrunken pool still drains work (3 workers remain).
+	var n atomic.Int64
+	if err := r.Run(func(p work.Proc) {
+		for i := 0; i < 16; i++ {
+			p.Spawn(func(work.Proc) { n.Add(1) })
+		}
+		p.Sync()
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if n.Load() != 16 {
+		t.Fatalf("leaves = %d, want 16", n.Load())
+	}
+}
+
+// TestCloseWithReplacementsInFlight: Close during a kill storm must not
+// deadlock or leak — the superMu handshake guarantees every replacement
+// is either registered with the WaitGroup before Close waits, or never
+// spawned.
+func TestCloseWithReplacementsInFlight(t *testing.T) {
+	wd, sup := fastSuper()
+	k := newKiller()
+	r, err := New(Config{
+		Topo: quadTopo(), Seed: 7,
+		FaultHook: k.hook, Watchdog: wd, Supervisor: sup,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for w := 0; w < 3; w++ {
+		k.kill(t, r, w, int64(w))
+	}
+	done := make(chan struct{})
+	go func() { r.Close(); close(done) }()
+	select {
+	case <-done:
+	case <-time.After(10 * time.Second):
+		t.Fatal("Close deadlocked with replacements in flight")
+	}
+}

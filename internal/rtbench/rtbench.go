@@ -121,6 +121,30 @@ func SpawnSyncFaultHook(b *testing.B) {
 	}
 }
 
+// SpawnSyncSupervised is SpawnSync with the watchdog ticking and worker
+// supervision armed — death hook installed, replacement threshold far
+// above any real stall, so the supervisor scans every tick but never
+// fires. The delta against SpawnSync is the enabled cost of the
+// self-healing layer on the spawn fast path, which scripts/bench.sh
+// records as supervisor_overhead_pct and gates under 5%. allocs/op must
+// stay 0: steady-state supervision costs the workers one generation-fence
+// load per loop iteration and the atomic deque-pointer indirection; the
+// scan itself runs on the watchdog goroutine, off the hot path.
+func SpawnSyncSupervised(b *testing.B) {
+	var deaths atomic.Int64
+	spawnSync(b, rt.Config{
+		Topo: quadTopo(), BL: 0, Seed: 1,
+		Watchdog: rt.WatchdogConfig{Interval: 10 * time.Millisecond},
+		Supervisor: rt.SupervisorConfig{
+			ReplaceAfter: time.Hour,
+			OnDeath:      func(rt.DeathInfo) { deaths.Add(1) },
+		},
+	})
+	if deaths.Load() != 0 {
+		b.Fatalf("supervisor replaced %d workers during a clean benchmark", deaths.Load())
+	}
+}
+
 // stealTree builds one reusable closure set for a complete binary
 // fork-join tree of the given depth: one closure per level, each spawning
 // the level below twice. Built once, outside any benchmark timer — the old

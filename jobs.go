@@ -135,6 +135,10 @@ type JobStats struct {
 	// DeadlineExceeded reports that the cancellation's first cause was the
 	// job's deadline, not a plain Cancel.
 	DeadlineExceeded bool
+	// Attempts is how many times the job has been admitted to the
+	// scheduler: 1 without a RetryPolicy, 1+retries with one. The other
+	// fields describe the current (latest) attempt.
+	Attempts int
 }
 
 // Stats snapshots the job's accounting; callable while the job runs.
@@ -153,6 +157,7 @@ func (j *Job) Stats() JobStats {
 		Done:             s.Done,
 		Cancelled:        s.Cancelled,
 		DeadlineExceeded: s.DeadlineExceeded,
+		Attempts:         j.j.Attempts(),
 	}
 }
 
@@ -176,6 +181,11 @@ type ServiceStats struct {
 	// DeadlineExceeded counts jobs cancelled by a passed deadline
 	// (disjoint from Cancelled: a job lands in exactly one).
 	DeadlineExceeded int64
+	// Retries counts re-admissions under Config.Retry; RetriesExhausted
+	// counts jobs that settled with a retryable error anyway (attempts
+	// spent, budget denied, or the re-admission itself was shed).
+	Retries          int64
+	RetriesExhausted int64
 
 	// Watchdog health counters (see Health for the full snapshot).
 	StalledWorkers  int   // workers currently flagged as wedged
@@ -183,6 +193,9 @@ type ServiceStats struct {
 	StallsRecovered int64 // flagged workers that progressed again
 	JobOverruns     int64 // jobs flagged past the overrun threshold
 	DeadlineCancels int64 // deadline cancellations enforced by the watchdog
+	// Supervision counters: every death produced a same-squad replacement.
+	WorkerDeaths      int64 // workers declared dead and replaced
+	QuarantinedSquads int   // squads currently steal-only
 
 	QueueWait Latency // submit-to-adoption per job
 	Run       Latency // adoption-to-drain per job
@@ -204,11 +217,15 @@ func (s *Scheduler) ServiceStats() ServiceStats {
 		Rejected:         st.Rejected,
 		Cancelled:        st.Cancelled,
 		DeadlineExceeded: st.DeadlineExceeded,
+		Retries:          st.Retries,
+		RetriesExhausted: st.RetriesExhausted,
 		StalledWorkers:   h.StalledWorkers,
 		Stalls:           h.Stalls,
 		StallsRecovered:  h.StallsRecovered,
 		JobOverruns:      h.JobOverruns,
 		DeadlineCancels:  h.DeadlineCancels,
+		WorkerDeaths:      h.WorkerDeaths,
+		QuarantinedSquads: h.QuarantinedSquads,
 		QueueWait:        lat(m.QueueWait.Summary()),
 		Run:              lat(m.Run.Summary()),
 		StealScan:        lat(m.StealScan.Summary()),

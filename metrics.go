@@ -64,6 +64,8 @@ func (s *Scheduler) WritePrometheus(w io.Writer) {
 	obs.PromCounter(w, "cab_jobs_rejected_total", "Submissions refused with a full queue.", es.Rejected)
 	obs.PromCounter(w, "cab_jobs_cancelled_total", "Jobs cancelled via context or Cancel.", es.Cancelled)
 	obs.PromCounter(w, "cab_jobs_deadline_total", "Jobs cancelled by a passed deadline.", es.DeadlineExceeded)
+	obs.PromCounter(w, "cab_jobs_retries_total", "Job re-admissions performed under the retry policy.", es.Retries)
+	obs.PromCounter(w, "cab_jobs_retries_exhausted_total", "Jobs that settled with a retryable error anyway.", es.RetriesExhausted)
 
 	h := s.rt.Health()
 	obs.PromGauge(w, "cab_watchdog_stalled_workers", "Workers currently flagged as wedged by the watchdog.", float64(h.StalledWorkers))
@@ -71,6 +73,8 @@ func (s *Scheduler) WritePrometheus(w io.Writer) {
 	obs.PromCounter(w, "cab_watchdog_stalls_recovered_total", "Stalled workers that progressed again.", h.StallsRecovered)
 	obs.PromCounter(w, "cab_watchdog_job_overruns_total", "Jobs flagged past the overrun threshold.", h.JobOverruns)
 	obs.PromCounter(w, "cab_watchdog_deadline_cancels_total", "Deadline cancellations enforced by the watchdog.", h.DeadlineCancels)
+	obs.PromCounter(w, "cab_worker_deaths_total", "Workers declared dead and replaced by the supervisor.", h.WorkerDeaths)
+	obs.PromGauge(w, "cab_quarantined_squads", "Squads currently quarantined (steal-only, no new root adoption).", float64(h.QuarantinedSquads))
 	obs.PromGauge(w, "cab_jobs_running", "Admitted jobs not yet drained.", float64(h.RunningJobs))
 	obs.PromGauge(w, "cab_jobs_queued", "Roots waiting in the admission queue.", float64(h.QueuedRoots))
 

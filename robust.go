@@ -58,9 +58,37 @@ type TaskPanic = rt.TaskPanic
 type WatchdogConfig = rt.WatchdogConfig
 
 // Health is the watchdog's snapshot of the runtime: currently stalled
-// workers, cumulative stall/recovery/overrun/deadline counters, and the
-// live job load.
+// workers, cumulative stall/recovery/overrun/deadline counters, worker
+// deaths and quarantined squads, and the live job load.
 type Health = rt.Health
+
+// SupervisorConfig configures worker supervision and replacement (see
+// Config.Supervisor): how long a stalled worker may wedge before it is
+// declared dead and replaced, how many deaths quarantine a squad, and an
+// optional death observer. The zero value enables supervision with
+// defaults.
+type SupervisorConfig = rt.SupervisorConfig
+
+// DeathInfo describes one worker death/replacement, passed to DeathHook.
+type DeathInfo = rt.DeathInfo
+
+// DeathHook observes worker deaths. It runs on the watchdog goroutine —
+// a slow hook delays monitoring, never the workers.
+type DeathHook = rt.DeathHook
+
+// RetryPolicy re-admits failed jobs with exponential backoff and full
+// jitter (see Config.Retry). Retries target task panics (TaskPanic,
+// which injected flakes also produce); shed, cancelled and
+// deadline-exceeded jobs are never retried.
+type RetryPolicy = jobs.RetryPolicy
+
+// SetDeathHook installs (or, with nil, removes) a worker-death observer
+// on the live scheduler.
+func (s *Scheduler) SetDeathHook(h DeathHook) { s.rt.SetDeathHook(h) }
+
+// Quarantined reports whether squad sq is quarantined: its workers keep
+// stealing and draining in-flight work but adopt no new root tasks.
+func (s *Scheduler) Quarantined(sq int) bool { return s.rt.Quarantined(sq) }
 
 // ErrDeadlineExceeded reports a job cancelled because its deadline passed
 // — whether its context noticed first or the runtime's watchdog did. It
