@@ -8,7 +8,7 @@
 
 GO ?= go
 
-.PHONY: all build test race vet lint check bench bench-check
+.PHONY: all build test race vet lint lint-fix-fixtures check bench bench-check
 
 all: build vet test
 
@@ -29,6 +29,13 @@ bin/cablint: $(wildcard cmd/cablint/*.go internal/lint/*.go)
 
 lint: bin/cablint
 	$(GO) vet -vettool=$(CURDIR)/bin/cablint ./...
+
+# Regenerate the lint fixtures' expectations from actual analyzer
+# output after an intentional diagnostic-message change: `// want`
+# comments are rewritten verbatim-quoted, and the CFG golden file is
+# re-rendered. Review the diff — this records current behavior.
+lint-fix-fixtures:
+	CABLINT_FIXWANT=1 $(GO) test ./internal/lint/...
 
 check: build vet lint test
 

@@ -44,6 +44,7 @@ var (
 	versionFlag = flag.String("V", "", "print version and exit (used by the go command's vettool handshake)")
 	flagsProbe  = flag.Bool("flags", false, "print the tool's flags as JSON and exit (go command probe)")
 	jsonOut     = flag.Bool("json", false, "emit machine-readable diagnostics on stdout (standalone mode)")
+	tagsFlag    = flag.String("tags", "", "comma-separated build tags for package loading (standalone mode)")
 
 	enabled = map[string]*bool{}
 )
@@ -185,11 +186,12 @@ func vetTool(cfgPath string, analyzers []*lint.Analyzer) int {
 		fmt.Fprintf(os.Stderr, "cablint: %s: %v\n", cfg.ImportPath, err)
 		return 1
 	}
-	diags, err := lint.Run(pkg, analyzers)
+	diags, waivers, err := lint.RunAll(pkg, analyzers)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "cablint: %s: %v\n", cfg.ImportPath, err)
 		return 1
 	}
+	diags = append(diags, staleWaiverDiags(waivers, analyzers)...)
 	if code := writeVetx(cfg.VetxOutput); code != 0 {
 		return code
 	}
@@ -268,19 +270,60 @@ func checkVetPackage(cfg *vetConfig) (*lint.Package, error) {
 	}, nil
 }
 
+// staleWaiverDiags turns unused //cab:allow waivers into diagnostics: a
+// waiver that suppresses nothing pre-approves a future regression at its
+// line, so it must be deleted when the code it excused is fixed. Waivers
+// naming a known analyzer that is disabled this run are skipped (their
+// usage cannot be judged); waivers naming no analyzer at all are always
+// flagged.
+func staleWaiverDiags(waivers []lint.Waiver, analyzers []*lint.Analyzer) []lint.Diagnostic {
+	running := map[string]bool{}
+	for _, a := range analyzers {
+		running[a.Name] = true
+	}
+	var out []lint.Diagnostic
+	for _, w := range waivers {
+		if w.Used {
+			continue
+		}
+		if !running[w.Analyzer] {
+			if lint.ByName(w.Analyzer) != nil {
+				continue // analyzer disabled this run; cannot judge staleness
+			}
+			out = append(out, lint.Diagnostic{
+				Pos: w.Pos, Analyzer: "waiver",
+				Message: fmt.Sprintf("//cab:allow %s names no analyzer: fix the name or delete the waiver", w.Analyzer),
+			})
+			continue
+		}
+		out = append(out, lint.Diagnostic{
+			Pos: w.Pos, Analyzer: "waiver",
+			Message: fmt.Sprintf("stale //cab:allow %s waiver suppresses nothing: delete it (it would silently excuse a future violation here)", w.Analyzer),
+		})
+	}
+	return out
+}
+
 // standalone loads patterns itself via `go list -export` and reports on
 // stdout. Test variants of a package re-analyze its non-test files, so
-// diagnostics are deduplicated by position before reporting.
+// diagnostics and waivers are deduplicated by position before reporting;
+// a waiver counts as used if any variant used it.
 func standalone(patterns []string, analyzers []*lint.Analyzer) int {
-	pkgs, err := lint.Load(".", patterns...)
+	var tags []string
+	if *tagsFlag != "" {
+		tags = strings.Split(*tagsFlag, ",")
+	}
+	pkgs, err := lint.LoadTags(".", tags, patterns...)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "cablint:", err)
 		return 1
 	}
 	seen := map[string]bool{}
 	var diags []lint.Diagnostic
+	waiverAt := map[string]*lint.Waiver{}
+	var waiverKeys []string
 	for _, pkg := range pkgs {
-		ds, err := lint.Run(pkg, analyzers)
+		ds, ws, err := lint.RunAll(pkg, analyzers)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "cablint: %s: %v\n", pkg.ImportPath, err)
 			return 1
@@ -292,9 +335,24 @@ func standalone(patterns []string, analyzers []*lint.Analyzer) int {
 				diags = append(diags, d)
 			}
 		}
+		for _, w := range ws {
+			key := fmt.Sprintf("%s:%d %s", w.Pos.Filename, w.Pos.Line, w.Analyzer)
+			if prev, ok := waiverAt[key]; ok {
+				prev.Used = prev.Used || w.Used
+				continue
+			}
+			w := w
+			waiverAt[key] = &w
+			waiverKeys = append(waiverKeys, key)
+		}
 	}
+	var waivers []lint.Waiver
+	for _, key := range waiverKeys {
+		waivers = append(waivers, *waiverAt[key])
+	}
+	diags = append(diags, staleWaiverDiags(waivers, analyzers)...)
 	if *jsonOut {
-		return emitJSON(diags, analyzers)
+		return emitJSON(diags, waivers, analyzers)
 	}
 	for _, d := range diags {
 		fmt.Println(d.String())
@@ -306,8 +364,10 @@ func standalone(patterns []string, analyzers []*lint.Analyzer) int {
 }
 
 // emitJSON prints the machine-readable report consumed by
-// scripts/bench.sh: a total, per-analyzer counts, and the diagnostics.
-func emitJSON(diags []lint.Diagnostic, analyzers []*lint.Analyzer) int {
+// scripts/bench.sh: a total, per-analyzer violation counts, per-analyzer
+// counts of used waivers (accepted debt is tracked, not invisible), and
+// the diagnostics themselves — including any stale-waiver findings.
+func emitJSON(diags []lint.Diagnostic, waivers []lint.Waiver, analyzers []*lint.Analyzer) int {
 	type jsonDiag struct {
 		File     string `json:"file"`
 		Line     int    `json:"line"`
@@ -318,14 +378,22 @@ func emitJSON(diags []lint.Diagnostic, analyzers []*lint.Analyzer) int {
 	report := struct {
 		Total       int            `json:"total"`
 		Counts      map[string]int `json:"counts"`
+		Waivers     map[string]int `json:"waivers"`
 		Diagnostics []jsonDiag     `json:"diagnostics"`
 	}{
 		Total:       len(diags),
 		Counts:      map[string]int{},
+		Waivers:     map[string]int{},
 		Diagnostics: []jsonDiag{},
 	}
 	for _, a := range analyzers {
 		report.Counts[a.Name] = 0
+		report.Waivers[a.Name] = 0
+	}
+	for _, w := range waivers {
+		if w.Used {
+			report.Waivers[w.Analyzer]++
+		}
 	}
 	for _, d := range diags {
 		report.Counts[d.Analyzer]++

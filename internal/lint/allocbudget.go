@@ -1,0 +1,97 @@
+// The allocbudget analyzer: quantitative allocation accounting for hot
+// paths. hotpath flags each escape-prone construct qualitatively and
+// every exception needs a line-level waiver; allocbudget closes the
+// ledger by letting an annotation state how many such sites the whole
+// reachable subgraph is allowed to contain:
+//
+//	//cab:hotpath budget=3
+//
+// means: this function plus everything it reaches inside the package
+// may contain at most 3 static allocation sites — including waived
+// ones, and including interface boxing that happens inside callees,
+// which a reader auditing only the annotated function never sees. When
+// a callee gains an innocent-looking fmt call or boxing conversion, the
+// budget trips at the annotated root even though the offending line is
+// three calls away (and possibly individually waived).
+package lint
+
+import (
+	"fmt"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// AllocBudget checks //cab:hotpath budget=N annotations: the static
+// allocation-site count summed over the function and its intra-package
+// call closure must not exceed N. Sites are the same constructs hotpath
+// flags, counted once per declaration regardless of call multiplicity
+// (this is a static budget, not a dynamic profile). Waived hotpath
+// sites still count — the budget is exactly the mechanism for accepting
+// N known sites without them silently multiplying.
+var AllocBudget = &Analyzer{
+	Name: "allocbudget",
+	Doc:  "//cab:hotpath budget=N bounds the static allocation sites reachable from the annotated function",
+	Run:  runAllocBudget,
+}
+
+func runAllocBudget(pass *Pass) error {
+	decls, callees := collectFuncDecls(pass)
+
+	type budgetRoot struct {
+		fn     *types.Func
+		budget int
+	}
+	var roots []budgetRoot
+	for fn, fd := range decls {
+		arg, ok := directiveArg(fd.Doc, "hotpath")
+		if !ok {
+			continue
+		}
+		for _, field := range strings.Fields(arg) {
+			if !strings.HasPrefix(field, "budget=") {
+				continue
+			}
+			var n int
+			if _, err := fmt.Sscanf(field, "budget=%d", &n); err != nil || n < 0 {
+				pass.Reportf(fd.Pos(), "malformed //cab:hotpath %s on %s: want budget=<non-negative int>", field, fn.Name())
+				continue
+			}
+			roots = append(roots, budgetRoot{fn, n})
+		}
+	}
+	if len(roots) == 0 {
+		return nil
+	}
+	sort.Slice(roots, func(i, j int) bool { return roots[i].fn.Pos() < roots[j].fn.Pos() })
+
+	parents := buildParents(pass.Files)
+	siteCount := map[*types.Func]int{}
+	counted := map[*types.Func]bool{}
+	countOf := func(fn *types.Func) int {
+		if !counted[fn] {
+			counted[fn] = true
+			if fd := decls[fn]; fd != nil {
+				siteCount[fn] = len(allocSites(pass, parents, fd))
+			}
+		}
+		return siteCount[fn]
+	}
+
+	for _, r := range roots {
+		total := 0
+		var breakdown []string
+		for _, fn := range reachableFrom(r.fn, callees) {
+			if c := countOf(fn); c > 0 {
+				total += c
+				breakdown = append(breakdown, fmt.Sprintf("%s=%d", fn.Name(), c))
+			}
+		}
+		if total > r.budget {
+			pass.Reportf(decls[r.fn].Pos(),
+				"allocation budget exceeded for %s: %d static allocation sites reachable (budget %d): %s",
+				r.fn.Name(), total, r.budget, strings.Join(breakdown, ", "))
+		}
+	}
+	return nil
+}

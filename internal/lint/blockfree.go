@@ -1,0 +1,238 @@
+// The blockfree analyzer: hot code must not block while holding a lock.
+// A worker that parks on a channel, sleeps, or enters the kernel while
+// it holds a mutex from the package's lock graph stalls every other
+// worker contending for that mutex — on the steal path that turns one
+// slow goroutine into a whole-socket convoy. The race detector cannot
+// see this (nothing races); lockorder cannot see it (no ordering is
+// violated); it is purely a liveness property of the hot path.
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// BlockFree checks every function annotated //cab:hotpath or
+// //cab:workerloop, and everything they reach inside the package,
+// against the rule: while any mutex from lockorder's graph is held, the
+// function must not
+//
+//   - send or receive on a channel, or execute a select with no default
+//     clause (all three can park the goroutine indefinitely),
+//   - call time.Sleep,
+//   - call into package syscall (kernel entry with unbounded latency),
+//   - acquire a non-leaf mutex (one observed elsewhere to be held while
+//     further locks are taken — nesting into it extends the critical
+//     section by another lock's wait time), or
+//   - call an intra-package function that does any of the above.
+//
+// The held-set comes from the same CFG dataflow lockorder uses, so
+// `defer mu.Unlock()` correctly keeps the mutex held to function exit
+// and branch-released locks propagate as may-held. Blocking operations
+// with no lock held are fine — parking an idle worker is the point of
+// the parking lot.
+var BlockFree = &Analyzer{
+	Name: "blockfree",
+	Doc:  "//cab:hotpath and //cab:workerloop code must not block while holding a mutex",
+	Run:  runBlockFree,
+}
+
+func runBlockFree(pass *Pass) error {
+	info := pass.TypesInfo
+	decls, callees := collectFuncDecls(pass)
+	var roots []*types.Func
+	for fn, fd := range decls {
+		if hasDirective(fd.Doc, "hotpath") || hasDirective(fd.Doc, "workerloop") {
+			roots = append(roots, fn)
+		}
+	}
+	if len(roots) == 0 {
+		return nil
+	}
+	sort.Slice(roots, func(i, j int) bool { return roots[i].Pos() < roots[j].Pos() })
+	rootOf := rootClosure(roots, callees)
+
+	w := buildLockWorld(pass)
+	blocks := blockSummaries(pass, decls, callees)
+
+	var checked []*types.Func
+	for fn := range rootOf {
+		checked = append(checked, fn)
+	}
+	sort.Slice(checked, func(i, j int) bool { return checked[i].Pos() < checked[j].Pos() })
+
+	for _, fn := range checked {
+		fc := w.byFunc[fn]
+		if fc == nil {
+			continue
+		}
+		root := rootOf[fn]
+		via := ""
+		if fn != root {
+			via = " (reached from " + root.Name() + ")"
+		}
+		report := func(pos token.Pos, held heldSet, what string) {
+			pass.Reportf(pos, "%s while holding %s in hot code %s%s: blocking under a lock convoys every contender; release first or restructure",
+				what, strings.Join(held.sorted(), ","), fn.Name(), via)
+		}
+		// Comm statements of select clauses are judged via their select's
+		// head (blocking only when the select has no default), never as
+		// standalone channel operations.
+		comm := commStmts(fc.decl.Body)
+		in := lockHeldFlow(fc.cfg, info)
+		for _, b := range fc.cfg.RPO() {
+			s, ok := in[b]
+			if !ok {
+				continue
+			}
+			s = s.clone()
+			for _, n := range b.Nodes {
+				if len(s) > 0 && !comm[n] {
+					if _, isDefer := n.(*ast.DeferStmt); !isDefer {
+						for pos, what := range blockingOpsIn(info, n) {
+							report(pos, s, what)
+						}
+					}
+				}
+				for _, ev := range nodeLockEvents(info, n) {
+					if len(s) > 0 {
+						if ev.callee != nil {
+							if why := blocks[ev.callee]; why != "" {
+								report(ev.pos, s, "call to "+ev.callee.Name()+" ("+why+")")
+							}
+						} else if !ev.unlock && w.nonLeaf[ev.key] && !s[ev.key] {
+							report(ev.pos, s, "acquiring non-leaf mutex "+ev.key)
+						}
+					}
+					applyLockEvt(s, ev)
+				}
+			}
+			if sel, ok := b.Term.(*ast.SelectStmt); ok && b.Kind == "select.head" && !selectHasDefault(sel) && len(s) > 0 {
+				report(sel.Pos(), s, "blocking select")
+			}
+		}
+	}
+	return nil
+}
+
+// commStmts collects the comm statements of every select clause in body.
+func commStmts(body *ast.BlockStmt) map[ast.Node]bool {
+	out := map[ast.Node]bool{}
+	ast.Inspect(body, func(n ast.Node) bool {
+		if sel, ok := n.(*ast.SelectStmt); ok {
+			for _, cl := range sel.Body.List {
+				if cc, ok := cl.(*ast.CommClause); ok && cc.Comm != nil {
+					out[cc.Comm] = true
+				}
+			}
+		}
+		return true
+	})
+	return out
+}
+
+// blockingOpsIn finds the directly blocking operations inside one CFG
+// node: channel sends/receives, time.Sleep, syscall calls. Function
+// literals are skipped (they run elsewhere).
+func blockingOpsIn(info *types.Info, n ast.Node) map[token.Pos]string {
+	out := map[token.Pos]string{}
+	ast.Inspect(n, func(m ast.Node) bool {
+		switch x := m.(type) {
+		case *ast.FuncLit:
+			return false
+		case *ast.SendStmt:
+			out[x.Arrow] = "channel send"
+		case *ast.UnaryExpr:
+			if x.Op == token.ARROW {
+				out[x.OpPos] = "channel receive"
+			}
+		case *ast.CallExpr:
+			switch pkgOfCall(info, x) {
+			case "time":
+				if sel, ok := x.Fun.(*ast.SelectorExpr); ok && sel.Sel.Name == "Sleep" {
+					out[x.Pos()] = "time.Sleep"
+				}
+			case "syscall":
+				out[x.Pos()] = "syscall call"
+			}
+		}
+		return true
+	})
+	return out
+}
+
+// selectHasDefault reports whether a select statement has a default
+// clause (making it non-blocking).
+func selectHasDefault(sel *ast.SelectStmt) bool {
+	for _, cl := range sel.Body.List {
+		if cc, ok := cl.(*ast.CommClause); ok && cc.Comm == nil {
+			return true
+		}
+	}
+	return false
+}
+
+// blockSummaries computes, to a fixpoint over the intra-package call
+// graph, which functions may block outright (ignoring lock state) and a
+// short reason. This is the one-level-and-beyond interprocedural view:
+// calling such a function while holding a lock is as bad as blocking
+// inline.
+func blockSummaries(pass *Pass, decls map[*types.Func]*ast.FuncDecl, callees map[*types.Func][]*types.Func) map[*types.Func]string {
+	info := pass.TypesInfo
+	out := map[*types.Func]string{}
+	for fn, fd := range decls {
+		why := ""
+		ast.Inspect(fd.Body, func(n ast.Node) bool {
+			if why != "" {
+				return false
+			}
+			switch x := n.(type) {
+			case *ast.FuncLit:
+				return false
+			case *ast.SendStmt:
+				why = "sends on a channel"
+			case *ast.UnaryExpr:
+				if x.Op == token.ARROW {
+					why = "receives from a channel"
+				}
+			case *ast.SelectStmt:
+				if !selectHasDefault(x) {
+					why = "has a blocking select"
+				}
+				return false // comm clauses would double-count as chan ops
+			case *ast.CallExpr:
+				switch pkgOfCall(info, x) {
+				case "time":
+					if sel, ok := x.Fun.(*ast.SelectorExpr); ok && sel.Sel.Name == "Sleep" {
+						why = "calls time.Sleep"
+					}
+				case "syscall":
+					why = "enters the kernel via syscall"
+				}
+			}
+			return true
+		})
+		if why != "" {
+			out[fn] = why
+		}
+	}
+	for changed := true; changed; {
+		changed = false
+		for fn := range decls {
+			if out[fn] != "" {
+				continue
+			}
+			for _, c := range callees[fn] {
+				if out[c] != "" {
+					out[fn] = "calls " + c.Name() + ", which " + out[c]
+					changed = true
+					break
+				}
+			}
+		}
+	}
+	return out
+}

@@ -1,0 +1,12 @@
+package lint_test
+
+import (
+	"testing"
+
+	"cab/internal/lint"
+	"cab/internal/lint/linttest"
+)
+
+func TestBlockFree(t *testing.T) {
+	linttest.Run(t, lint.BlockFree, "blockfree")
+}

@@ -1,0 +1,699 @@
+// Control-flow graphs for the cablint analyzers: basic-block
+// construction over go/ast function bodies, built — like everything in
+// this package — on the standard library alone.
+//
+// The graph is statement-granular. A Block holds an ordered list of
+// atomic program points (simple statements and the condition expressions
+// of the branch that ends the block); nested control flow never appears
+// inside a block's node list, so an analyzer may inspect each node
+// without double-visiting. Conditions are treated atomically: `a && b`
+// is one node, not two blocks — the analyzers that ride this CFG
+// (publish, blockfree, lockorder) key on statements, and expression-level
+// short-circuit edges would buy precision none of them consume.
+//
+// Modeled edges:
+//
+//   - if/else with init statements, for (init/cond/post), range
+//   - switch and type switch, including fallthrough
+//   - select: one block per comm clause; a select with no default has no
+//     fall-through edge out of its head, which is how blockfree sees that
+//     the statement can park the goroutine
+//   - break/continue (labeled and bare), goto (forward and backward)
+//   - return and explicit panic(...) calls, which leave the function
+//     through the defer chain: when the function registers any defer, a
+//     synthetic "defers" block carries the deferred calls and every exit
+//     path (normal return, panic) routes through it before reaching exit.
+//     This is the panic/recover approximation: a recovering defer resumes
+//     at function exit, so panic -> defers -> exit covers both outcomes.
+//
+// Function literals are not traversed — a closure runs at an unknown
+// time, so it gets its own CFG (see BuildLitCFG) and never contributes
+// nodes to the enclosing function's blocks.
+package lint
+
+import (
+	"bytes"
+	"fmt"
+	"go/ast"
+	"go/printer"
+	"go/token"
+	"sort"
+	"strings"
+)
+
+// Block is one basic block: a maximal run of program points with a
+// single entry and ordered successor edges.
+type Block struct {
+	Index int
+	Kind  string // "entry", "exit", "defers", "body", "if.then", "for.cond", ...
+	// Nodes are the block's atomic program points in execution order:
+	// simple statements, plus the branch condition or range/select/switch
+	// header expression when the block ends in a branch. Nested control
+	// flow is never included.
+	Nodes []ast.Node
+	// Term is the controlling statement for header blocks (the IfStmt for
+	// "if.cond", the SelectStmt for "select.head", the RangeStmt for
+	// "range.head", ...), nil for plain body blocks.
+	Term  ast.Stmt
+	Succs []*Block
+	Preds []*Block
+}
+
+// CFG is the control-flow graph of one function body.
+type CFG struct {
+	Name   string
+	Blocks []*Block // creation order; Blocks[0] is Entry
+	Entry  *Block
+	Exit   *Block
+	// Defers is the synthetic defer-chain block, non-nil only when the
+	// function contains defer statements; every return/panic routes
+	// through it.
+	Defers *Block
+}
+
+// BuildCFG constructs the CFG of a function declaration's body.
+func BuildCFG(fd *ast.FuncDecl) *CFG {
+	name := fd.Name.Name
+	if fd.Recv != nil && len(fd.Recv.List) == 1 {
+		name = recvTypeName(fd.Recv.List[0].Type) + "." + name
+	}
+	return buildCFG(name, fd.Body)
+}
+
+// BuildLitCFG constructs the CFG of a function literal's body.
+func BuildLitCFG(name string, lit *ast.FuncLit) *CFG {
+	return buildCFG(name, lit.Body)
+}
+
+func recvTypeName(e ast.Expr) string {
+	switch t := e.(type) {
+	case *ast.StarExpr:
+		return recvTypeName(t.X)
+	case *ast.Ident:
+		return t.Name
+	case *ast.IndexExpr:
+		return recvTypeName(t.X)
+	case *ast.IndexListExpr:
+		return recvTypeName(t.X)
+	}
+	return "?"
+}
+
+func buildCFG(name string, body *ast.BlockStmt) *CFG {
+	c := &CFG{Name: name}
+	b := &cfgBuilder{cfg: c, labels: map[string]*labelInfo{}}
+	c.Entry = b.newBlock("entry")
+	c.Exit = &Block{Kind: "exit"} // appended last, after all body blocks
+	if body != nil && hasDefer(body) {
+		c.Defers = b.newBlock("defers")
+	}
+	first := b.newBlock("body")
+	link(c.Entry, first)
+	b.current = first
+	if body != nil {
+		b.stmtList(body.List)
+	}
+	// Normal fall-off-the-end exit.
+	b.terminate(b.exitTarget())
+	if c.Defers != nil {
+		link(c.Defers, c.Exit)
+	}
+	c.Exit.Index = len(c.Blocks)
+	c.Blocks = append(c.Blocks, c.Exit)
+	for _, blk := range c.Blocks {
+		for _, s := range blk.Succs {
+			s.Preds = append(s.Preds, blk)
+		}
+	}
+	return c
+}
+
+func hasDefer(body *ast.BlockStmt) bool {
+	found := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch n.(type) {
+		case *ast.FuncLit:
+			return false
+		case *ast.DeferStmt:
+			found = true
+		}
+		return !found
+	})
+	return found
+}
+
+// labelInfo tracks one label's target blocks: Goto is the block the
+// labeled statement starts in (created on demand for forward gotos);
+// Break/Continue are set while the labeled loop/switch/select is being
+// built.
+type labelInfo struct {
+	Goto     *Block
+	Break    *Block
+	Continue *Block
+}
+
+// loopCtx is one enclosing breakable/continuable construct.
+type loopCtx struct {
+	label    string
+	brk      *Block
+	cont     *Block // nil for switch/select (not continuable)
+	isSwitch bool
+}
+
+type cfgBuilder struct {
+	cfg     *CFG
+	current *Block // nil while the walker is in dead code
+	loops   []loopCtx
+	labels  map[string]*labelInfo
+	// pendingLabel is the label naming the next loop/switch statement,
+	// consumed by the construct builder so `L: for ...` resolves break L
+	// and continue L.
+	pendingLabel string
+}
+
+func (b *cfgBuilder) newBlock(kind string) *Block {
+	blk := &Block{Index: len(b.cfg.Blocks), Kind: kind}
+	b.cfg.Blocks = append(b.cfg.Blocks, blk)
+	return blk
+}
+
+func link(from, to *Block) {
+	for _, s := range from.Succs {
+		if s == to {
+			return
+		}
+	}
+	from.Succs = append(from.Succs, to)
+}
+
+// ensure returns the current block, starting a fresh unreachable one if
+// the previous statement terminated control flow (dead code still gets
+// blocks, just no incoming edges).
+func (b *cfgBuilder) ensure(kind string) *Block {
+	if b.current == nil {
+		b.current = b.newBlock(kind)
+	}
+	return b.current
+}
+
+// terminate ends the current block with an edge to target and enters
+// dead code.
+func (b *cfgBuilder) terminate(target *Block) {
+	if b.current != nil && target != nil {
+		link(b.current, target)
+	}
+	b.current = nil
+}
+
+// exitTarget is where leaving the function goes: through the defer chain
+// when one exists.
+func (b *cfgBuilder) exitTarget() *Block {
+	if b.cfg.Defers != nil {
+		return b.cfg.Defers
+	}
+	return b.cfg.Exit
+}
+
+func (b *cfgBuilder) add(n ast.Node) {
+	if n == nil {
+		return
+	}
+	blk := b.ensure("dead")
+	blk.Nodes = append(blk.Nodes, n)
+}
+
+func (b *cfgBuilder) stmtList(list []ast.Stmt) {
+	for _, s := range list {
+		b.stmt(s)
+	}
+}
+
+// takeLabel consumes the pending label for a loop/switch/select and
+// registers its break/continue targets.
+func (b *cfgBuilder) takeLabel() string {
+	l := b.pendingLabel
+	b.pendingLabel = ""
+	return l
+}
+
+func (b *cfgBuilder) pushLoop(label string, brk, cont *Block, isSwitch bool) {
+	b.loops = append(b.loops, loopCtx{label: label, brk: brk, cont: cont, isSwitch: isSwitch})
+	if label != "" {
+		li := b.labelFor(label)
+		li.Break, li.Continue = brk, cont
+	}
+}
+
+func (b *cfgBuilder) popLoop() {
+	b.loops = b.loops[:len(b.loops)-1]
+}
+
+func (b *cfgBuilder) labelFor(name string) *labelInfo {
+	li := b.labels[name]
+	if li == nil {
+		li = &labelInfo{}
+		b.labels[name] = li
+	}
+	return li
+}
+
+func (b *cfgBuilder) stmt(s ast.Stmt) {
+	switch s := s.(type) {
+	case *ast.BlockStmt:
+		b.stmtList(s.List)
+
+	case *ast.LabeledStmt:
+		// The labeled statement starts a fresh block so backward gotos
+		// have a stable target.
+		li := b.labelFor(s.Label.Name)
+		if li.Goto == nil {
+			li.Goto = b.newBlock("label." + s.Label.Name)
+		}
+		if b.current != nil {
+			link(b.current, li.Goto)
+		}
+		b.current = li.Goto
+		b.pendingLabel = s.Label.Name
+		b.stmt(s.Stmt)
+		b.pendingLabel = ""
+
+	case *ast.IfStmt:
+		b.ifStmt(s)
+
+	case *ast.ForStmt:
+		b.forStmt(s)
+
+	case *ast.RangeStmt:
+		b.rangeStmt(s)
+
+	case *ast.SwitchStmt:
+		b.switchStmt(s)
+
+	case *ast.TypeSwitchStmt:
+		b.typeSwitchStmt(s)
+
+	case *ast.SelectStmt:
+		b.selectStmt(s)
+
+	case *ast.ReturnStmt:
+		b.add(s)
+		b.terminate(b.exitTarget())
+
+	case *ast.BranchStmt:
+		b.branchStmt(s)
+
+	case *ast.DeferStmt:
+		b.add(s)
+		if b.cfg.Defers != nil {
+			b.cfg.Defers.Nodes = append(b.cfg.Defers.Nodes, s.Call)
+		}
+
+	case *ast.ExprStmt:
+		b.add(s)
+		if isPanicCall(s.X) {
+			b.terminate(b.exitTarget())
+		}
+
+	case *ast.EmptyStmt:
+		// nothing
+
+	default:
+		// Assign, IncDec, Send, Go, Decl, ...: plain program points.
+		b.add(s)
+	}
+}
+
+func (b *cfgBuilder) ifStmt(s *ast.IfStmt) {
+	b.takeLabel() // labels on if are goto-only targets, already handled
+	if s.Init != nil {
+		b.add(s.Init)
+	}
+	b.add(s.Cond)
+	cond := b.ensure("if.cond")
+	cond.Kind, cond.Term = "if.cond", s
+
+	then := b.newBlock("if.then")
+	link(cond, then)
+	b.current = then
+	b.stmtList(s.Body.List)
+	thenEnd := b.current
+
+	var elseEnd *Block
+	hasElse := s.Else != nil
+	if hasElse {
+		els := b.newBlock("if.else")
+		link(cond, els)
+		b.current = els
+		b.stmt(s.Else)
+		elseEnd = b.current
+	}
+
+	after := b.newBlock("if.after")
+	if !hasElse {
+		link(cond, after)
+	}
+	if thenEnd != nil {
+		link(thenEnd, after)
+	}
+	if elseEnd != nil {
+		link(elseEnd, after)
+	}
+	b.current = after
+}
+
+func (b *cfgBuilder) forStmt(s *ast.ForStmt) {
+	label := b.takeLabel()
+	if s.Init != nil {
+		b.add(s.Init)
+	}
+	head := b.newBlock("for.cond")
+	head.Term = s
+	if b.current != nil {
+		link(b.current, head)
+	}
+	if s.Cond != nil {
+		head.Nodes = append(head.Nodes, s.Cond)
+	}
+	body := b.newBlock("for.body")
+	link(head, body)
+	after := b.newBlock("for.after")
+	if s.Cond != nil {
+		link(head, after) // `for {}` has no exit edge from the head
+	}
+	var post *Block
+	cont := head
+	if s.Post != nil {
+		post = b.newBlock("for.post")
+		post.Nodes = append(post.Nodes, s.Post)
+		link(post, head)
+		cont = post
+	}
+	b.pushLoop(label, after, cont, false)
+	b.current = body
+	b.stmtList(s.Body.List)
+	if b.current != nil {
+		link(b.current, cont)
+	}
+	b.popLoop()
+	b.current = after
+}
+
+func (b *cfgBuilder) rangeStmt(s *ast.RangeStmt) {
+	label := b.takeLabel()
+	head := b.newBlock("range.head")
+	head.Term = s
+	head.Nodes = append(head.Nodes, s.X)
+	if b.current != nil {
+		link(b.current, head)
+	}
+	body := b.newBlock("range.body")
+	after := b.newBlock("range.after")
+	link(head, body)
+	link(head, after)
+	b.pushLoop(label, after, head, false)
+	b.current = body
+	b.stmtList(s.Body.List)
+	if b.current != nil {
+		link(b.current, head)
+	}
+	b.popLoop()
+	b.current = after
+}
+
+func (b *cfgBuilder) switchStmt(s *ast.SwitchStmt) {
+	label := b.takeLabel()
+	if s.Init != nil {
+		b.add(s.Init)
+	}
+	if s.Tag != nil {
+		b.add(s.Tag)
+	}
+	head := b.ensure("switch.head")
+	head.Term = s
+	after := b.newBlock("switch.after")
+	b.buildCases(s.Body.List, head, after, label, true)
+	b.current = after
+}
+
+func (b *cfgBuilder) typeSwitchStmt(s *ast.TypeSwitchStmt) {
+	label := b.takeLabel()
+	if s.Init != nil {
+		b.add(s.Init)
+	}
+	b.add(s.Assign)
+	head := b.ensure("typeswitch.head")
+	head.Term = s
+	after := b.newBlock("switch.after")
+	b.buildCases(s.Body.List, head, after, label, false)
+	b.current = after
+}
+
+// buildCases wires one block per case clause. With fallthrough allowed
+// (value switches), a clause ending in `fallthrough` links to the next
+// clause's block.
+func (b *cfgBuilder) buildCases(clauses []ast.Stmt, head, after *Block, label string, allowFall bool) {
+	b.pushLoop(label, after, nil, true)
+	defer b.popLoop()
+
+	blocks := make([]*Block, len(clauses))
+	hasDefault := false
+	for i, cl := range clauses {
+		cc, ok := cl.(*ast.CaseClause)
+		if !ok {
+			continue
+		}
+		kind := "case"
+		if cc.List == nil {
+			kind = "default"
+			hasDefault = true
+		}
+		blocks[i] = b.newBlock(kind)
+		link(head, blocks[i])
+	}
+	if !hasDefault {
+		link(head, after)
+	}
+	for i, cl := range clauses {
+		cc, ok := cl.(*ast.CaseClause)
+		if !ok || blocks[i] == nil {
+			continue
+		}
+		b.current = blocks[i]
+		for _, e := range cc.List {
+			b.add(e)
+		}
+		var body []ast.Stmt = cc.Body
+		fallsTo := -1
+		if allowFall && len(body) > 0 {
+			if br, ok := body[len(body)-1].(*ast.BranchStmt); ok && br.Tok == token.FALLTHROUGH {
+				body = body[:len(body)-1]
+				if i+1 < len(blocks) && blocks[i+1] != nil {
+					fallsTo = i + 1
+				}
+			}
+		}
+		b.stmtList(body)
+		if b.current != nil {
+			if fallsTo >= 0 {
+				link(b.current, blocks[fallsTo])
+			} else {
+				link(b.current, after)
+			}
+		}
+	}
+	b.current = nil
+}
+
+func (b *cfgBuilder) selectStmt(s *ast.SelectStmt) {
+	label := b.takeLabel()
+	head := b.ensure("select.head")
+	head.Kind, head.Term = "select.head", s
+	after := b.newBlock("select.after")
+	b.pushLoop(label, after, nil, true)
+	hasDefault := false
+	for _, cl := range s.Body.List {
+		cc, ok := cl.(*ast.CommClause)
+		if !ok {
+			continue
+		}
+		kind := "select.case"
+		if cc.Comm == nil {
+			kind = "select.default"
+			hasDefault = true
+		}
+		blk := b.newBlock(kind)
+		link(head, blk)
+		b.current = blk
+		if cc.Comm != nil {
+			b.stmt(cc.Comm)
+		}
+		b.stmtList(cc.Body)
+		if b.current != nil {
+			link(b.current, after)
+		}
+	}
+	_ = hasDefault // the head's edge set already encodes it
+	b.popLoop()
+	b.current = after
+}
+
+func (b *cfgBuilder) branchStmt(s *ast.BranchStmt) {
+	switch s.Tok {
+	case token.GOTO:
+		li := b.labelFor(s.Label.Name)
+		if li.Goto == nil {
+			li.Goto = b.newBlock("label." + s.Label.Name)
+		}
+		b.add(s)
+		b.terminate(li.Goto)
+
+	case token.BREAK:
+		b.add(s)
+		var target *Block
+		if s.Label != nil {
+			if li := b.labels[s.Label.Name]; li != nil {
+				target = li.Break
+			}
+		} else {
+			for i := len(b.loops) - 1; i >= 0; i-- {
+				target = b.loops[i].brk
+				break
+			}
+		}
+		b.terminate(target)
+
+	case token.CONTINUE:
+		b.add(s)
+		var target *Block
+		if s.Label != nil {
+			if li := b.labels[s.Label.Name]; li != nil {
+				target = li.Continue
+			}
+		} else {
+			for i := len(b.loops) - 1; i >= 0; i-- {
+				if !b.loops[i].isSwitch {
+					target = b.loops[i].cont
+					break
+				}
+			}
+		}
+		b.terminate(target)
+
+	case token.FALLTHROUGH:
+		// Reached only for a fallthrough not in last position (invalid Go)
+		// or one the case builder already consumed; treat as a no-op.
+	}
+}
+
+// isPanicCall reports whether e is a call to the builtin panic.
+func isPanicCall(e ast.Expr) bool {
+	call, ok := ast.Unparen(e).(*ast.CallExpr)
+	if !ok {
+		return false
+	}
+	id, ok := call.Fun.(*ast.Ident)
+	return ok && id.Name == "panic" && id.Obj == nil
+}
+
+// RPO returns the blocks reachable from Entry in reverse postorder — the
+// iteration order under which forward dataflow fixpoints converge
+// fastest.
+func (c *CFG) RPO() []*Block {
+	seen := make([]bool, len(c.Blocks))
+	var post []*Block
+	var dfs func(*Block)
+	dfs = func(b *Block) {
+		seen[b.Index] = true
+		for _, s := range b.Succs {
+			if !seen[s.Index] {
+				dfs(s)
+			}
+		}
+		post = append(post, b)
+	}
+	dfs(c.Entry)
+	for i, j := 0, len(post)-1; i < j; i, j = i+1, j-1 {
+		post[i], post[j] = post[j], post[i]
+	}
+	return post
+}
+
+// String renders the graph in the stable textual form the golden tests
+// pin: one line per block, nodes printed single-line, successor edges by
+// index. Unreachable blocks are included (marked "unreached") so dead
+// code is visible rather than silently dropped.
+func (c *CFG) String() string {
+	return c.render(nil)
+}
+
+// StringWithFset renders like String but prints node source text via the
+// file set for more faithful positions-free output.
+func (c *CFG) StringWithFset(fset *token.FileSet) string {
+	return c.render(fset)
+}
+
+func (c *CFG) render(fset *token.FileSet) string {
+	if fset == nil {
+		fset = token.NewFileSet()
+	}
+	reach := map[*Block]bool{}
+	for _, b := range c.RPO() {
+		reach[b] = true
+	}
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "func %s\n", c.Name)
+	for _, b := range c.Blocks {
+		fmt.Fprintf(&sb, "b%d %s", b.Index, b.Kind)
+		if !reach[b] {
+			sb.WriteString(" (unreached)")
+		}
+		if len(b.Nodes) > 0 {
+			parts := make([]string, len(b.Nodes))
+			for i, n := range b.Nodes {
+				parts[i] = nodeText(fset, n)
+			}
+			fmt.Fprintf(&sb, " [%s]", strings.Join(parts, "; "))
+		}
+		if len(b.Succs) > 0 {
+			idx := make([]int, len(b.Succs))
+			for i, s := range b.Succs {
+				idx[i] = s.Index
+			}
+			// Successor order is semantic (then before else); do not sort.
+			parts := make([]string, len(idx))
+			for i, x := range idx {
+				parts[i] = fmt.Sprintf("b%d", x)
+			}
+			fmt.Fprintf(&sb, " -> %s", strings.Join(parts, " "))
+		}
+		sb.WriteByte('\n')
+	}
+	return sb.String()
+}
+
+// nodeText prints one AST node as a single line of source.
+func nodeText(fset *token.FileSet, n ast.Node) string {
+	var buf bytes.Buffer
+	cfg := printer.Config{Mode: printer.RawFormat}
+	if err := cfg.Fprint(&buf, fset, n); err != nil {
+		return fmt.Sprintf("<%T>", n)
+	}
+	s := buf.String()
+	s = strings.ReplaceAll(s, "\n", " ")
+	s = strings.ReplaceAll(s, "\t", " ")
+	for strings.Contains(s, "  ") {
+		s = strings.ReplaceAll(s, "  ", " ")
+	}
+	return s
+}
+
+// sortedBlockKeys is a tiny helper for deterministic map iteration in
+// dataflow debugging output.
+func sortedBlockKeys[V any](m map[*Block]V) []*Block {
+	keys := make([]*Block, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool { return keys[i].Index < keys[j].Index })
+	return keys
+}

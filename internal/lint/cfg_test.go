@@ -1,0 +1,102 @@
+package lint
+
+import (
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// TestCFGGolden renders the block graph and reaching-definitions of
+// every function in testdata/cfg/fixture.go and diffs the concatenation
+// against testdata/cfg/golden.txt. Regenerate with
+// CABLINT_FIXWANT=1 go test ./internal/lint -run TestCFGGolden
+// (wired to `make lint-fix-fixtures`).
+func TestCFGGolden(t *testing.T) {
+	fset := token.NewFileSet()
+	src := filepath.Join("testdata", "cfg", "fixture.go")
+	f, err := parser.ParseFile(fset, src, nil, parser.ParseComments|parser.SkipObjectResolution)
+	if err != nil {
+		t.Fatalf("parse %s: %v", src, err)
+	}
+	info := NewInfo()
+	conf := types.Config{
+		Importer: importer.Default(),
+		Sizes:    types.SizesFor("gc", "amd64"),
+	}
+	if _, err := conf.Check("cab/fixture/cfg", fset, []*ast.File{f}, info); err != nil {
+		t.Fatalf("typecheck: %v", err)
+	}
+
+	var sb strings.Builder
+	for _, d := range f.Decls {
+		fd, ok := d.(*ast.FuncDecl)
+		if !ok || fd.Body == nil {
+			continue
+		}
+		c := BuildCFG(fd)
+		sb.WriteString(c.StringWithFset(fset))
+		sb.WriteString(FormatReachingDefs(c, fset, ReachingDefs(c, info, signatureVars(info, fd))))
+		sb.WriteByte('\n')
+	}
+	got := sb.String()
+
+	goldenPath := filepath.Join("testdata", "cfg", "golden.txt")
+	if os.Getenv("CABLINT_FIXWANT") != "" {
+		if err := os.WriteFile(goldenPath, []byte(got), 0o644); err != nil {
+			t.Fatalf("rewrite golden: %v", err)
+		}
+		t.Logf("rewrote %s", goldenPath)
+		return
+	}
+	wantBytes, err := os.ReadFile(goldenPath)
+	if err != nil {
+		t.Fatalf("read golden (run with CABLINT_FIXWANT=1 to generate): %v", err)
+	}
+	want := string(wantBytes)
+	if got != want {
+		t.Errorf("CFG golden mismatch.\n--- got ---\n%s\n--- want ---\n%s\nRegenerate with CABLINT_FIXWANT=1 if the change is intended.", got, want)
+	}
+}
+
+// TestCFGEdgeInvariants sanity-checks structural invariants the golden
+// file cannot express: predecessor/successor symmetry and that every
+// reachable non-exit block has a successor.
+func TestCFGEdgeInvariants(t *testing.T) {
+	fset := token.NewFileSet()
+	src := filepath.Join("testdata", "cfg", "fixture.go")
+	f, err := parser.ParseFile(fset, src, nil, parser.SkipObjectResolution)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	for _, d := range f.Decls {
+		fd, ok := d.(*ast.FuncDecl)
+		if !ok || fd.Body == nil {
+			continue
+		}
+		c := BuildCFG(fd)
+		for _, b := range c.Blocks {
+			for _, s := range b.Succs {
+				found := false
+				for _, p := range s.Preds {
+					if p == b {
+						found = true
+					}
+				}
+				if !found {
+					t.Errorf("%s: edge b%d->b%d missing from preds", c.Name, b.Index, s.Index)
+				}
+			}
+		}
+		for _, b := range c.RPO() {
+			if b != c.Exit && len(b.Succs) == 0 {
+				t.Errorf("%s: reachable block b%d (%s) has no successors", c.Name, b.Index, b.Kind)
+			}
+		}
+	}
+}

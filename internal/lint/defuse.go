@@ -1,0 +1,303 @@
+// Def-use machinery over the lint CFG: definition collection, a
+// reaching-definitions fixpoint, and the small generic forward-dataflow
+// solver the flow-sensitive analyzers (publish, blockfree, lockorder)
+// share. Lattices are maps keyed by *types.Var or string; joins are
+// unions, so every analysis here is a may-analysis — exactly the right
+// polarity for "may this write land after that publish" and "may this
+// lock still be held here".
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// Def is one definition of a local variable: an assignment, declaration,
+// parameter binding, range binding or similar.
+type Def struct {
+	Var *types.Var
+	Pos token.Pos
+	Rhs ast.Expr // the defining expression, nil when none exists (var x T, params)
+}
+
+// nodeDefs enumerates the definitions one CFG node produces, resolving
+// identifiers through info. Blank identifiers produce nothing.
+func nodeDefs(info *types.Info, n ast.Node) []Def {
+	var out []Def
+	addLHS := func(lhs ast.Expr, rhs ast.Expr) {
+		id, ok := ast.Unparen(lhs).(*ast.Ident)
+		if !ok || id.Name == "_" {
+			return
+		}
+		if v := identVar(info, id); v != nil {
+			out = append(out, Def{Var: v, Pos: id.Pos(), Rhs: rhs})
+		}
+	}
+	switch x := n.(type) {
+	case *ast.AssignStmt:
+		if len(x.Lhs) == len(x.Rhs) {
+			for i := range x.Lhs {
+				addLHS(x.Lhs[i], x.Rhs[i])
+			}
+		} else {
+			// Multi-value: f(), map index, type assert, receive. The RHS
+			// defines every LHS jointly.
+			var rhs ast.Expr
+			if len(x.Rhs) == 1 {
+				rhs = x.Rhs[0]
+			}
+			for _, l := range x.Lhs {
+				addLHS(l, rhs)
+			}
+		}
+	case *ast.IncDecStmt:
+		addLHS(x.X, x.X)
+	case *ast.DeclStmt:
+		gd, ok := x.Decl.(*ast.GenDecl)
+		if !ok {
+			break
+		}
+		for _, spec := range gd.Specs {
+			vs, ok := spec.(*ast.ValueSpec)
+			if !ok {
+				continue
+			}
+			for i, name := range vs.Names {
+				var rhs ast.Expr
+				if i < len(vs.Values) {
+					rhs = vs.Values[i]
+				}
+				addLHS(name, rhs)
+			}
+		}
+	}
+	return out
+}
+
+// headerDefs enumerates the definitions a header block's Term statement
+// produces: range key/value variables and the type-switch implicit.
+func headerDefs(info *types.Info, b *Block) []Def {
+	var out []Def
+	add := func(e ast.Expr) {
+		if e == nil {
+			return
+		}
+		id, ok := ast.Unparen(e).(*ast.Ident)
+		if !ok || id.Name == "_" {
+			return
+		}
+		if v := identVar(info, id); v != nil {
+			out = append(out, Def{Var: v, Pos: id.Pos(), Rhs: nil})
+		}
+	}
+	switch t := b.Term.(type) {
+	case *ast.RangeStmt:
+		add(t.Key)
+		add(t.Value)
+	}
+	return out
+}
+
+// identVar resolves an identifier to the local/package variable it
+// defines or uses.
+func identVar(info *types.Info, id *ast.Ident) *types.Var {
+	if v, ok := info.Defs[id].(*types.Var); ok {
+		return v
+	}
+	if v, ok := info.Uses[id].(*types.Var); ok {
+		return v
+	}
+	return nil
+}
+
+// DefSet maps each variable to the set of definition positions that may
+// reach a program point.
+type DefSet map[*types.Var]map[token.Pos]bool
+
+func (s DefSet) clone() DefSet {
+	out := make(DefSet, len(s))
+	for v, ps := range s {
+		m := make(map[token.Pos]bool, len(ps))
+		for p := range ps {
+			m[p] = true
+		}
+		out[v] = m
+	}
+	return out
+}
+
+// join unions other into s, reporting whether s changed.
+func (s DefSet) join(other DefSet) bool {
+	changed := false
+	for v, ps := range other {
+		dst := s[v]
+		if dst == nil {
+			dst = map[token.Pos]bool{}
+			s[v] = dst
+		}
+		for p := range ps {
+			if !dst[p] {
+				dst[p] = true
+				changed = true
+			}
+		}
+	}
+	return changed
+}
+
+// gen replaces v's reaching set with the single definition at pos (a
+// strong update: an assignment kills every prior def of the variable).
+func (s DefSet) gen(v *types.Var, pos token.Pos) {
+	s[v] = map[token.Pos]bool{pos: true}
+}
+
+// ReachingDefs computes, for every block, the definitions reaching its
+// entry. Parameters (and named results, and the receiver) are defined at
+// function entry with the position of their declaration.
+func ReachingDefs(c *CFG, info *types.Info, sig []*types.Var) map[*Block]DefSet {
+	in := map[*Block]DefSet{}
+	entry := DefSet{}
+	for _, v := range sig {
+		entry.gen(v, v.Pos())
+	}
+	in[c.Entry] = entry
+
+	rpo := c.RPO()
+	for changed := true; changed; {
+		changed = false
+		for _, b := range rpo {
+			s := in[b]
+			if s == nil {
+				s = DefSet{}
+				in[b] = s
+			}
+			out := s.clone()
+			for _, d := range headerDefs(info, b) {
+				out.gen(d.Var, d.Pos)
+			}
+			for _, n := range b.Nodes {
+				for _, d := range nodeDefs(info, n) {
+					out.gen(d.Var, d.Pos)
+				}
+			}
+			for _, succ := range b.Succs {
+				dst := in[succ]
+				if dst == nil {
+					dst = DefSet{}
+					in[succ] = dst
+				}
+				if dst.join(out) {
+					changed = true
+				}
+			}
+		}
+	}
+	return in
+}
+
+// FormatReachingDefs renders the per-block reaching sets as stable text
+// for the golden tests: each reachable block's IN set, variables sorted
+// by name, definition sites as line numbers.
+func FormatReachingDefs(c *CFG, fset *token.FileSet, in map[*Block]DefSet) string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "reaching-defs %s\n", c.Name)
+	for _, b := range c.RPO() {
+		s := in[b]
+		if len(s) == 0 {
+			continue
+		}
+		type entry struct {
+			name  string
+			lines []int
+		}
+		var entries []entry
+		for v, ps := range s {
+			var lines []int
+			for p := range ps {
+				lines = append(lines, fset.Position(p).Line)
+			}
+			sort.Ints(lines)
+			entries = append(entries, entry{v.Name(), lines})
+		}
+		sort.Slice(entries, func(i, j int) bool { return entries[i].name < entries[j].name })
+		fmt.Fprintf(&sb, "b%d %s:", b.Index, b.Kind)
+		for _, e := range entries {
+			parts := make([]string, len(e.lines))
+			for i, l := range e.lines {
+				parts[i] = fmt.Sprintf("L%d", l)
+			}
+			fmt.Fprintf(&sb, " %s=%s", e.name, strings.Join(parts, ","))
+		}
+		sb.WriteByte('\n')
+	}
+	return sb.String()
+}
+
+// signatureVars lists the variables a function declaration binds at
+// entry: receiver, parameters and named results.
+func signatureVars(info *types.Info, fd *ast.FuncDecl) []*types.Var {
+	var out []*types.Var
+	add := func(fl *ast.FieldList) {
+		if fl == nil {
+			return
+		}
+		for _, f := range fl.List {
+			for _, name := range f.Names {
+				if name.Name == "_" {
+					continue
+				}
+				if v, ok := info.Defs[name].(*types.Var); ok {
+					out = append(out, v)
+				}
+			}
+		}
+	}
+	if fd.Recv != nil {
+		add(fd.Recv)
+	}
+	add(fd.Type.Params)
+	add(fd.Type.Results)
+	return out
+}
+
+// forwardFlow runs a generic forward may-dataflow to fixpoint: state is
+// an analyzer-defined lattice with clone/join, transfer folds one block's
+// nodes over a state. After convergence the per-block IN states are
+// returned so a reporting pass can replay each block.
+type flowState[S any] struct {
+	clone    func(S) S
+	join     func(dst, src S) bool // union src into dst, report change
+	transfer func(b *Block, s S)   // mutate s through the block
+}
+
+func forwardFlow[S any](c *CFG, entry S, ops flowState[S]) map[*Block]S {
+	in := map[*Block]S{c.Entry: entry}
+	rpo := c.RPO()
+	for changed := true; changed; {
+		changed = false
+		for _, b := range rpo {
+			s, ok := in[b]
+			if !ok {
+				continue // unreachable from entry under this lattice
+			}
+			out := ops.clone(s)
+			ops.transfer(b, out)
+			for _, succ := range b.Succs {
+				dst, ok := in[succ]
+				if !ok {
+					in[succ] = ops.clone(out)
+					changed = true
+					continue
+				}
+				if ops.join(dst, out) {
+					changed = true
+				}
+			}
+		}
+	}
+	return in
+}

@@ -35,11 +35,48 @@ var HotPath = &Analyzer{
 }
 
 func runHotPath(pass *Pass) error {
-	info := pass.TypesInfo
-
-	// Collect declared functions and the //cab:hotpath roots.
-	decls := map[*types.Func]*ast.FuncDecl{}
+	decls, callees := collectFuncDecls(pass)
 	var roots []*types.Func
+	for fn, fd := range decls {
+		if hasDirective(fd.Doc, "hotpath") {
+			roots = append(roots, fn)
+		}
+	}
+	if len(roots) == 0 {
+		return nil
+	}
+	sort.Slice(roots, func(i, j int) bool { return roots[i].Pos() < roots[j].Pos() })
+	rootOf := rootClosure(roots, callees)
+
+	// Stable iteration order for deterministic output.
+	var hot []*types.Func
+	for fn := range rootOf {
+		hot = append(hot, fn)
+	}
+	sort.Slice(hot, func(i, j int) bool { return hot[i].Pos() < hot[j].Pos() })
+
+	parents := buildParents(pass.Files)
+	for _, fn := range hot {
+		root := rootOf[fn]
+		via := ""
+		if fn != root {
+			via = " (reached from //cab:hotpath " + root.Name() + ")"
+		}
+		for _, site := range allocSites(pass, parents, decls[fn]) {
+			pass.Reportf(site.pos, "hot path %s%s: %s", fn.Name(), via, site.what)
+		}
+	}
+	return nil
+}
+
+// collectFuncDecls gathers the package's non-test function declarations
+// and the static intra-package call graph between them (direct calls
+// only; calls through function values are invisible, which is exactly
+// why hot code avoids them). Shared by hotpath, allocbudget and
+// blockfree.
+func collectFuncDecls(pass *Pass) (map[*types.Func]*ast.FuncDecl, map[*types.Func][]*types.Func) {
+	info := pass.TypesInfo
+	decls := map[*types.Func]*ast.FuncDecl{}
 	for _, f := range pass.Files {
 		if isTestFile(pass.Fset, f.Pos()) {
 			continue
@@ -54,18 +91,8 @@ func runHotPath(pass *Pass) error {
 				continue
 			}
 			decls[fn] = fd
-			if hasDirective(fd.Doc, "hotpath") {
-				roots = append(roots, fn)
-			}
 		}
 	}
-	if len(roots) == 0 {
-		return nil
-	}
-
-	// Static intra-package call graph (direct calls only; calls through
-	// function values are invisible, which is exactly why hot code
-	// avoids them).
 	callees := map[*types.Func][]*types.Func{}
 	for fn, fd := range decls {
 		ast.Inspect(fd.Body, func(n ast.Node) bool {
@@ -81,9 +108,13 @@ func runHotPath(pass *Pass) error {
 			return true
 		})
 	}
+	return decls, callees
+}
 
-	// Transitive closure from the annotated roots; remember one root per
-	// reached function so diagnostics can name the hot entry point.
+// rootClosure computes the transitive call closure from the given roots,
+// remembering one root per reached function so diagnostics can name the
+// entry point. Roots must be pre-sorted for deterministic attribution.
+func rootClosure(roots []*types.Func, callees map[*types.Func][]*types.Func) map[*types.Func]*types.Func {
 	rootOf := map[*types.Func]*types.Func{}
 	var queue []*types.Func
 	for _, r := range roots {
@@ -102,73 +133,89 @@ func runHotPath(pass *Pass) error {
 			}
 		}
 	}
-
-	// Stable iteration order for deterministic output.
-	var hot []*types.Func
-	for fn := range rootOf {
-		hot = append(hot, fn)
-	}
-	sort.Slice(hot, func(i, j int) bool { return hot[i].Pos() < hot[j].Pos() })
-
-	parents := buildParents(pass.Files)
-	for _, fn := range hot {
-		checkHotFunc(pass, parents, decls[fn], fn, rootOf[fn])
-	}
-	return nil
+	return rootOf
 }
 
-// checkHotFunc walks one hot function's body and reports every
-// escape-prone construct.
-func checkHotFunc(pass *Pass, parents map[ast.Node]ast.Node, fd *ast.FuncDecl, fn, root *types.Func) {
-	info := pass.TypesInfo
-	via := ""
-	if fn != root {
-		via = " (reached from //cab:hotpath " + root.Name() + ")"
+// reachableFrom lists the functions reachable from one root through the
+// call graph (including the root), in position order.
+func reachableFrom(root *types.Func, callees map[*types.Func][]*types.Func) []*types.Func {
+	seen := map[*types.Func]bool{root: true}
+	queue := []*types.Func{root}
+	for len(queue) > 0 {
+		fn := queue[0]
+		queue = queue[1:]
+		for _, c := range callees[fn] {
+			if !seen[c] {
+				seen[c] = true
+				queue = append(queue, c)
+			}
+		}
 	}
-	report := func(pos token.Pos, what string) {
-		pass.Reportf(pos, "hot path %s%s: %s", fn.Name(), via, what)
+	out := make([]*types.Func, 0, len(seen))
+	for fn := range seen {
+		out = append(out, fn)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Pos() < out[j].Pos() })
+	return out
+}
+
+// allocSite is one escape-prone construct inside a function body.
+type allocSite struct {
+	pos  token.Pos
+	what string
+}
+
+// allocSites enumerates every escape-prone construct in one function
+// body — the same set hotpath has always flagged, factored out so
+// allocbudget can count sites instead of reporting them.
+func allocSites(pass *Pass, parents map[ast.Node]ast.Node, fd *ast.FuncDecl) []allocSite {
+	info := pass.TypesInfo
+	var sites []allocSite
+	add := func(pos token.Pos, what string) {
+		sites = append(sites, allocSite{pos, what})
 	}
 	ast.Inspect(fd.Body, func(n ast.Node) bool {
 		switch x := n.(type) {
 		case *ast.GoStmt:
-			report(x.Pos(), "go statement launches a goroutine (allocates a stack)")
+			add(x.Pos(), "go statement launches a goroutine (allocates a stack)")
 		case *ast.DeferStmt:
 			if insideLoop(parents, x, fd) {
-				report(x.Pos(), "defer inside a loop allocates per iteration")
+				add(x.Pos(), "defer inside a loop allocates per iteration")
 			}
 		case *ast.FuncLit:
 			if deferredAtFunctionScope(parents, x, fd) {
 				return true // open-coded defer: no allocation
 			}
 			if capturesVariables(info, pass.Pkg, x) {
-				report(x.Pos(), "closure captures variables and escapes (allocates per call)")
+				add(x.Pos(), "closure captures variables and escapes (allocates per call)")
 			}
 		case *ast.BinaryExpr:
 			if x.Op == token.ADD && isStringExpr(info, x) && info.Types[x].Value == nil {
-				report(x.Pos(), "string concatenation allocates")
+				add(x.Pos(), "string concatenation allocates")
 			}
 		case *ast.CompositeLit:
 			switch info.Types[x].Type.Underlying().(type) {
 			case *types.Map:
-				report(x.Pos(), "map literal allocates")
+				add(x.Pos(), "map literal allocates")
 			case *types.Slice:
-				report(x.Pos(), "slice literal allocates")
+				add(x.Pos(), "slice literal allocates")
 			}
 		case *ast.UnaryExpr:
 			if x.Op == token.AND {
 				if _, ok := x.X.(*ast.CompositeLit); ok {
-					report(x.Pos(), "address of composite literal is escape-prone")
+					add(x.Pos(), "address of composite literal is escape-prone")
 				}
 			}
 		case *ast.CallExpr:
-			checkHotCall(pass, report, x)
+			callAllocSites(pass, add, x)
 		}
 		return true
 	})
+	return sites
 }
 
-// checkHotCall classifies one call inside a hot function.
-func checkHotCall(pass *Pass, report func(token.Pos, string), call *ast.CallExpr) {
+// callAllocSites classifies one call inside a hot function.
+func callAllocSites(pass *Pass, add func(token.Pos, string), call *ast.CallExpr) {
 	info := pass.TypesInfo
 
 	// Conversions: T(x).
@@ -177,10 +224,10 @@ func checkHotCall(pass *Pass, report func(token.Pos, string), call *ast.CallExpr
 		fromTV := info.Types[call.Args[0]]
 		if _, isIface := to.Underlying().(*types.Interface); isIface &&
 			!isInterfaceOrNil(fromTV) && !isDirectIface(fromTV.Type) {
-			report(call.Pos(), "conversion to interface boxes the value (allocates)")
+			add(call.Pos(), "conversion to interface boxes the value (allocates)")
 		}
 		if convAllocates(to, fromTV.Type) && fromTV.Value == nil {
-			report(call.Pos(), "string/[]byte conversion copies and allocates")
+			add(call.Pos(), "string/[]byte conversion copies and allocates")
 		}
 		return
 	}
@@ -190,11 +237,11 @@ func checkHotCall(pass *Pass, report func(token.Pos, string), call *ast.CallExpr
 		if b, ok := info.Uses[id].(*types.Builtin); ok {
 			switch b.Name() {
 			case "make":
-				report(call.Pos(), "make allocates")
+				add(call.Pos(), "make allocates")
 			case "new":
-				report(call.Pos(), "new allocates")
+				add(call.Pos(), "new allocates")
 			case "append":
-				report(call.Pos(), "append may grow and allocate")
+				add(call.Pos(), "append may grow and allocate")
 			}
 			return
 		}
@@ -202,7 +249,7 @@ func checkHotCall(pass *Pass, report func(token.Pos, string), call *ast.CallExpr
 
 	// Package fmt: everything in it boxes arguments and allocates.
 	if pkgOfCall(info, call) == "fmt" {
-		report(call.Pos(), "fmt call formats through reflection and allocates")
+		add(call.Pos(), "fmt call formats through reflection and allocates")
 		return
 	}
 
@@ -229,7 +276,7 @@ func checkHotCall(pass *Pass, report func(token.Pos, string), call *ast.CallExpr
 			continue
 		}
 		if tv, ok := info.Types[arg]; ok && !isInterfaceOrNil(tv) && !isDirectIface(tv.Type) {
-			report(arg.Pos(), "argument is boxed into an interface (allocates unless escape analysis saves it)")
+			add(arg.Pos(), "argument is boxed into an interface (allocates unless escape analysis saves it)")
 		}
 	}
 }

@@ -1,0 +1,325 @@
+// The leakcheck analyzer: every goroutine the runtime launches must
+// provably exit. The runtime's own shutdown contract (Close joins
+// workers via WaitGroup; the supervisor replaces dead workers by
+// generation) only holds if no goroutine can block forever — a
+// fire-and-forget goroutine parked on a channel nobody closes leaks its
+// stack, pins its worker state against the GC, and turns Close into a
+// hang that only reproduces under load.
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// LeakCheck inspects every `go` statement in the runtime packages
+// (import paths ending in internal/rt or internal/jobs — the packages
+// that own long-lived goroutines) and demands the launched body carry
+// one of three exit proofs:
+//
+//   - done-channel select: a select clause receiving from a context
+//     Done(), or from a channel whose name marks it as a lifecycle
+//     signal (done/stop/quit/exit/cancel), that leads to return/break —
+//     or any receive from such a channel in a straight-line body;
+//   - generation fence: an if whose condition compares an atomic Load()
+//     and whose body returns or breaks — the PR-9 worker-replacement
+//     idiom, where a superseded worker observes its stale generation
+//     and exits;
+//   - supervisor registration: a `defer wg.Done()` on a sync.WaitGroup,
+//     meaning some joiner owns this goroutine's lifetime.
+//
+// A body with no loop needs no proof unless it performs a bare channel
+// operation outside any select — `go func() { ch <- result }()` blocks
+// forever when the consumer has already given up, which is the classic
+// leak this analyzer exists to flag.
+//
+// Limits, on purpose: `go` through a function value or a cross-package
+// callee is not resolvable and is skipped; evidence is structural, not
+// path-sensitive (a fence that can never fire still counts — reviewers
+// own semantics, the analyzer owns presence).
+var LeakCheck = &Analyzer{
+	Name: "leakcheck",
+	Doc:  "goroutines launched in internal/rt and internal/jobs must have a provable exit path",
+	Run:  runLeakCheck,
+}
+
+func runLeakCheck(pass *Pass) error {
+	path := pass.Pkg.Path()
+	if !strings.HasSuffix(path, "internal/rt") && !strings.HasSuffix(path, "internal/jobs") &&
+		!strings.HasPrefix(path, "cab/fixture/") {
+		return nil
+	}
+	info := pass.TypesInfo
+	decls, _ := collectFuncDecls(pass)
+
+	for _, f := range pass.Files {
+		if isTestFile(pass.Fset, f.Pos()) {
+			continue
+		}
+		ast.Inspect(f, func(n ast.Node) bool {
+			gs, ok := n.(*ast.GoStmt)
+			if !ok {
+				return true
+			}
+			var body *ast.BlockStmt
+			var what string
+			if lit, ok := gs.Call.Fun.(*ast.FuncLit); ok {
+				body, what = lit.Body, "the goroutine body"
+			} else if fn := staticCallee(info, gs.Call); fn != nil {
+				if fd := decls[fn]; fd != nil {
+					body, what = fd.Body, fn.Name()
+				}
+			}
+			if body == nil {
+				return true // dynamic or cross-package target: out of scope
+			}
+			checkGoroutineBody(pass, info, gs, body, what)
+			return true
+		})
+	}
+	return nil
+}
+
+func checkGoroutineBody(pass *Pass, info *types.Info, gs *ast.GoStmt, body *ast.BlockStmt, what string) {
+	ev := goroutineEvidence(info, body)
+	switch {
+	case ev.doneSelect || ev.fence || ev.wgDone:
+		return
+	case ev.hasLoop:
+		pass.Reportf(gs.Pos(),
+			"goroutine %s loops with no provable exit path (no done-channel select, generation fence, or WaitGroup registration): it can run or block forever and stalls shutdown", what)
+	case ev.bareChanOp.IsValid():
+		pass.Reportf(gs.Pos(),
+			"goroutine %s blocks on a bare channel operation with no done/cancel alternative: if the peer never arrives it leaks; select against a done channel", what)
+	}
+}
+
+// leakEvidence is what goroutineEvidence finds in one body.
+type leakEvidence struct {
+	hasLoop    bool
+	doneSelect bool      // lifecycle receive that provably leads out
+	fence      bool      // Load()-compared condition guarding return/break
+	wgDone     bool      // defer wg.Done() on a sync.WaitGroup
+	bareChanOp token.Pos // first send/receive outside any select clause
+}
+
+func goroutineEvidence(info *types.Info, body *ast.BlockStmt) leakEvidence {
+	var ev leakEvidence
+	comm := commStmts(body)
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch x := n.(type) {
+		case *ast.FuncLit:
+			return false
+		case *ast.ForStmt:
+			// Only condition-less loops are presumed non-terminating: a
+			// range or conditional loop is bounded by its data, and flagging
+			// every cancellation-propagation sweep would drown the signal.
+			if x.Cond == nil {
+				ev.hasLoop = true
+			}
+		case *ast.SelectStmt:
+			for _, cl := range x.Body.List {
+				cc, ok := cl.(*ast.CommClause)
+				if !ok || cc.Comm == nil {
+					continue
+				}
+				if recvFromLifecycle(info, cc.Comm) && clauseExits(cc.Body) {
+					ev.doneSelect = true
+				}
+			}
+		case *ast.IfStmt:
+			if condHasLoadCompare(x.Cond) && clauseExits(x.Body.List) {
+				ev.fence = true
+			}
+		case *ast.DeferStmt:
+			if isWaitGroupDone(info, x.Call) {
+				ev.wgDone = true
+			}
+		case *ast.SendStmt:
+			if !comm[ast.Node(x)] && !ev.bareChanOp.IsValid() {
+				ev.bareChanOp = x.Arrow
+			}
+		case *ast.UnaryExpr:
+			if x.Op == token.ARROW {
+				if isLifecycleExpr(info, x.X) {
+					// A bare lifecycle receive in a straight-line body is
+					// itself the exit proof: the function returns when the
+					// signal fires.
+					ev.doneSelect = true
+				} else if !underComm(comm, x) && !ev.bareChanOp.IsValid() {
+					ev.bareChanOp = x.OpPos
+				}
+			}
+		}
+		return true
+	})
+	// A straight-line bare lifecycle receive only proves exit when there
+	// is no loop wrapping it back around; in a loop, require the select
+	// or fence shape.
+	if ev.hasLoop && !ev.fence && !ev.wgDone {
+		// doneSelect from a select clause stands; from a bare receive it
+		// does not. Re-scan narrowly.
+		ev.doneSelect = hasDoneSelectClause(info, body)
+	}
+	return ev
+}
+
+// underComm reports whether the receive expression is (part of) a select
+// comm statement.
+func underComm(comm map[ast.Node]bool, recv *ast.UnaryExpr) bool {
+	for n := range comm {
+		found := false
+		ast.Inspect(n, func(m ast.Node) bool {
+			if m == ast.Node(recv) {
+				found = true
+			}
+			return !found
+		})
+		if found {
+			return true
+		}
+	}
+	return false
+}
+
+func hasDoneSelectClause(info *types.Info, body *ast.BlockStmt) bool {
+	found := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		if _, ok := n.(*ast.FuncLit); ok {
+			return false
+		}
+		sel, ok := n.(*ast.SelectStmt)
+		if !ok {
+			return true
+		}
+		for _, cl := range sel.Body.List {
+			if cc, ok := cl.(*ast.CommClause); ok && cc.Comm != nil &&
+				recvFromLifecycle(info, cc.Comm) && clauseExits(cc.Body) {
+				found = true
+			}
+		}
+		return true
+	})
+	return found
+}
+
+// recvFromLifecycle reports whether a select comm statement receives
+// from a lifecycle channel.
+func recvFromLifecycle(info *types.Info, comm ast.Stmt) bool {
+	var recv ast.Expr
+	switch c := comm.(type) {
+	case *ast.ExprStmt:
+		recv = c.X
+	case *ast.AssignStmt:
+		if len(c.Rhs) == 1 {
+			recv = c.Rhs[0]
+		}
+	}
+	u, ok := ast.Unparen(recv).(*ast.UnaryExpr)
+	if !ok || u.Op != token.ARROW {
+		return false
+	}
+	return isLifecycleExpr(info, u.X)
+}
+
+// isLifecycleExpr reports whether e denotes a shutdown signal: a call to
+// a method named Done (context.Context, or any hand-rolled equivalent),
+// or a channel whose name marks it as one.
+func isLifecycleExpr(info *types.Info, e ast.Expr) bool {
+	switch x := ast.Unparen(e).(type) {
+	case *ast.CallExpr:
+		if sel, ok := x.Fun.(*ast.SelectorExpr); ok && sel.Sel.Name == "Done" {
+			return true
+		}
+	case *ast.Ident:
+		return lifecycleName(x.Name)
+	case *ast.SelectorExpr:
+		return lifecycleName(x.Sel.Name)
+	}
+	return false
+}
+
+func lifecycleName(name string) bool {
+	n := strings.ToLower(name)
+	for _, w := range []string{"done", "stop", "quit", "exit", "cancel", "close"} {
+		if strings.Contains(n, w) {
+			return true
+		}
+	}
+	return false
+}
+
+// clauseExits reports whether a statement list contains a return or
+// break at any depth (below function-literal boundaries).
+func clauseExits(stmts []ast.Stmt) bool {
+	exits := false
+	for _, s := range stmts {
+		ast.Inspect(s, func(n ast.Node) bool {
+			switch x := n.(type) {
+			case *ast.FuncLit:
+				return false
+			case *ast.ReturnStmt:
+				exits = true
+			case *ast.BranchStmt:
+				if x.Tok == token.BREAK {
+					exits = true
+				}
+			case *ast.ExprStmt:
+				if isPanicCall(x.X) {
+					exits = true
+				}
+			}
+			return !exits
+		})
+		if exits {
+			return true
+		}
+	}
+	return false
+}
+
+// condHasLoadCompare reports whether a condition compares the result of
+// a .Load() call — the generation-fence shape.
+func condHasLoadCompare(cond ast.Expr) bool {
+	found := false
+	ast.Inspect(cond, func(n ast.Node) bool {
+		if b, ok := n.(*ast.BinaryExpr); ok {
+			switch b.Op {
+			case token.EQL, token.NEQ, token.LSS, token.GTR, token.LEQ, token.GEQ:
+				ast.Inspect(b, func(m ast.Node) bool {
+					if call, ok := m.(*ast.CallExpr); ok {
+						if sel, ok := call.Fun.(*ast.SelectorExpr); ok && sel.Sel.Name == "Load" {
+							found = true
+						}
+					}
+					return !found
+				})
+			}
+		}
+		return !found
+	})
+	return found
+}
+
+// isWaitGroupDone reports whether call is wg.Done() on a sync.WaitGroup.
+func isWaitGroupDone(info *types.Info, call *ast.CallExpr) bool {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok || sel.Sel.Name != "Done" {
+		return false
+	}
+	s, ok := info.Selections[sel]
+	if !ok || s.Kind() != types.MethodVal {
+		return false
+	}
+	named := namedOf(s.Recv())
+	if named == nil || named.Obj().Name() != "WaitGroup" {
+		return false
+	}
+	pkg := named.Obj().Pkg()
+	return pkg != nil && pkg.Path() == "sync"
+}

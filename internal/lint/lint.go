@@ -1,4 +1,4 @@
-// Package lint is cablint's analysis framework: five analyzers that
+// Package lint is cablint's analysis framework: nine analyzers that
 // machine-check the CAB runtime's concurrency and hot-path invariants,
 // plus the minimal go/analysis-style plumbing they run on.
 //
@@ -9,7 +9,7 @@
 // (standalone mode, see load.go) or from the config file the go command
 // hands a vet tool (cmd/cablint).
 //
-// The enforced invariants live only in comments otherwise:
+// The five v1 analyzers are syntax-directed:
 //
 //   - atomicfield: a field accessed via sync/atomic anywhere must be
 //     accessed atomically everywhere (one plain read of a shard counter
@@ -27,9 +27,30 @@
 //   - lockorder: the package-level mutex-acquisition graph must be
 //     acyclic, and no mutex class may be re-acquired while held.
 //
+// The four v2 analyzers are flow-sensitive, built on the statement-level
+// control-flow graphs (cfg.go), the reaching-definitions solver
+// (defuse.go) and the lock-set dataflow (lockflow.go):
+//
+//   - publish: stores into an object after it has been published
+//     (atomic.Pointer.Store, channel send, deque.PushBatch) race with
+//     readers; values read back via Load are copy-on-write and slices
+//     handed to PushBatch may already be executing (see DESIGN.md §15).
+//   - blockfree: //cab:hotpath and //cab:workerloop functions must not
+//     block — channel operations, time.Sleep, syscalls, or acquiring a
+//     non-leaf mutex — while holding any lock, directly or through an
+//     intra-package callee.
+//   - leakcheck: goroutines launched in the runtime packages need a
+//     provable exit path: a done-channel select, a generation fence, or
+//     WaitGroup registration with a supervisor.
+//   - allocbudget: //cab:hotpath budget=N bounds the static allocation
+//     sites reachable through the intra-package call graph, counting
+//     waived hotpath sites and callee interface boxing.
+//
 // A diagnostic can be waived at a specific line with a
 // `//cab:allow <analyzer> <reason>` comment on the flagged line or the
-// line directly above it; the waiver must name the analyzer.
+// line directly above it; the waiver must name the analyzer. Waivers are
+// themselves audited: a waiver that suppresses nothing is stale, and
+// cmd/cablint reports it as a diagnostic of its own.
 package lint
 
 import (
@@ -48,7 +69,9 @@ type Analyzer struct {
 	Run  func(*Pass) error
 }
 
-// All returns the five cablint analyzers in stable order.
+// All returns the nine cablint analyzers in stable order: the five
+// syntax-level v1 analyzers, then the flow-sensitive v2 suite built on
+// the CFG layer (cfg.go, defuse.go, lockflow.go).
 func All() []*Analyzer {
 	return []*Analyzer{
 		AtomicField,
@@ -56,6 +79,10 @@ func All() []*Analyzer {
 		PadCheck,
 		HookSeam,
 		LockOrder,
+		Publish,
+		BlockFree,
+		LeakCheck,
+		AllocBudget,
 	}
 }
 
@@ -123,9 +150,28 @@ func NewInfo() *types.Info {
 	}
 }
 
+// Waiver is one //cab:allow comment found in a package, with whether it
+// actually suppressed a diagnostic in this run. An unused waiver is
+// stale: the code it excused has been fixed or moved, and keeping it
+// around silently pre-approves a future regression at that line.
+type Waiver struct {
+	Pos      token.Position
+	Analyzer string
+	Used     bool
+}
+
 // Run applies the analyzers to pkg, filters waived diagnostics, and
 // returns the remainder sorted by position.
 func Run(pkg *Package, analyzers []*Analyzer) ([]Diagnostic, error) {
+	diags, _, err := RunAll(pkg, analyzers)
+	return diags, err
+}
+
+// RunAll is Run plus waiver accounting: it additionally returns every
+// //cab:allow waiver in the package with its usage bit set, so callers
+// (cmd/cablint) can count waived diagnostics per analyzer and flag stale
+// waivers for deletion.
+func RunAll(pkg *Package, analyzers []*Analyzer) ([]Diagnostic, []Waiver, error) {
 	var diags []Diagnostic
 	for _, a := range analyzers {
 		pass := &Pass{
@@ -138,10 +184,10 @@ func Run(pkg *Package, analyzers []*Analyzer) ([]Diagnostic, error) {
 			diags:      &diags,
 		}
 		if err := a.Run(pass); err != nil {
-			return nil, fmt.Errorf("%s: %v", a.Name, err)
+			return nil, nil, fmt.Errorf("%s: %v", a.Name, err)
 		}
 	}
-	diags = filterAllowed(pkg, diags)
+	diags, waivers := filterAllowed(pkg, diags)
 	sort.Slice(diags, func(i, j int) bool {
 		a, b := diags[i].Pos, diags[j].Pos
 		if a.Filename != b.Filename {
@@ -155,14 +201,24 @@ func Run(pkg *Package, analyzers []*Analyzer) ([]Diagnostic, error) {
 		}
 		return diags[i].Analyzer < diags[j].Analyzer
 	})
-	return diags, nil
+	sort.Slice(waivers, func(i, j int) bool {
+		a, b := waivers[i].Pos, waivers[j].Pos
+		if a.Filename != b.Filename {
+			return a.Filename < b.Filename
+		}
+		return a.Line < b.Line
+	})
+	return diags, waivers, nil
 }
 
-// filterAllowed drops diagnostics waived by //cab:allow comments. A
-// waiver covers its own line and the line below it, so it can sit either
-// at the end of the flagged line or on its own line above.
-func filterAllowed(pkg *Package, diags []Diagnostic) []Diagnostic {
-	allowed := map[string]map[int][]string{} // filename -> line -> analyzer names
+// filterAllowed drops diagnostics waived by //cab:allow comments and
+// returns the surviving diagnostics alongside every waiver found, each
+// marked with whether it suppressed anything. A waiver covers its own
+// line and the line below it, so it can sit either at the end of the
+// flagged line or on its own line above.
+func filterAllowed(pkg *Package, diags []Diagnostic) ([]Diagnostic, []Waiver) {
+	var waivers []*Waiver
+	allowed := map[string]map[int][]*Waiver{} // filename -> covered line -> waivers
 	for _, f := range pkg.Files {
 		for _, cg := range f.Comments {
 			for _, c := range cg.List {
@@ -175,30 +231,39 @@ func filterAllowed(pkg *Package, diags []Diagnostic) []Diagnostic {
 					continue // a bare cab:allow waives nothing
 				}
 				pos := pkg.Fset.Position(c.Pos())
+				w := &Waiver{Pos: pos, Analyzer: fields[0]}
+				waivers = append(waivers, w)
 				m := allowed[pos.Filename]
 				if m == nil {
-					m = map[int][]string{}
+					m = map[int][]*Waiver{}
 					allowed[pos.Filename] = m
 				}
-				m[pos.Line] = append(m[pos.Line], fields[0])
-				m[pos.Line+1] = append(m[pos.Line+1], fields[0])
+				m[pos.Line] = append(m[pos.Line], w)
+				m[pos.Line+1] = append(m[pos.Line+1], w)
 			}
 		}
 	}
 	out := diags[:0]
 	for _, d := range diags {
 		waived := false
-		for _, name := range allowed[d.Pos.Filename][d.Pos.Line] {
-			if name == d.Analyzer {
+		for _, w := range allowed[d.Pos.Filename][d.Pos.Line] {
+			if w.Analyzer == d.Analyzer {
 				waived = true
-				break
+				w.Used = true
+				// Keep scanning: stacked waivers for the same analyzer on
+				// adjacent lines each cover this line, and all of them
+				// earn their keep from one diagnostic only if they match.
 			}
 		}
 		if !waived {
 			out = append(out, d)
 		}
 	}
-	return out
+	flat := make([]Waiver, len(waivers))
+	for i, w := range waivers {
+		flat[i] = *w
+	}
+	return out, flat
 }
 
 // hasDirective reports whether a doc comment group carries the given

@@ -39,6 +39,12 @@ import (
 //
 //	x = 1 // want `plain access`
 //	y = 2 // want "first" "second"
+//
+// With CABLINT_FIXWANT set in the environment, Run rewrites the fixture
+// files' `// want` comments from the analyzer's actual diagnostics
+// instead of asserting (each message quoted verbatim), so fixtures can
+// be regenerated after an intentional message change via
+// `make lint-fix-fixtures`.
 func Run(t *testing.T, a *lint.Analyzer, dir string) {
 	t.Helper()
 	fixdir := filepath.Join("testdata", dir)
@@ -49,6 +55,14 @@ func Run(t *testing.T, a *lint.Analyzer, dir string) {
 	diags, err := lint.Run(pkg, []*lint.Analyzer{a})
 	if err != nil {
 		t.Fatalf("running %s on %s: %v", a.Name, fixdir, err)
+	}
+
+	if os.Getenv("CABLINT_FIXWANT") != "" {
+		if err := RewriteWants(fixdir, diags); err != nil {
+			t.Fatalf("rewriting want comments in %s: %v", fixdir, err)
+		}
+		t.Logf("rewrote // want comments in %s", fixdir)
+		return
 	}
 
 	wants, err := collectWants(pkg.Fset, pkg.Files)
@@ -69,6 +83,69 @@ func Run(t *testing.T, a *lint.Analyzer, dir string) {
 			}
 		}
 	}
+}
+
+// wantSuffixRe matches a trailing `// want ...` comment on a source
+// line, for stripping before regeneration.
+var wantSuffixRe = regexp.MustCompile(`\s*//\s*want\s.*$`)
+
+// RewriteWants rewrites the `// want` expectations in every .go file of
+// fixdir to match diags exactly: stale trailing want comments are
+// stripped, and each diagnosed line gains one quoted-verbatim pattern
+// per diagnostic. Messages are regexp-quoted, so the regenerated
+// fixtures pass immediately and pin the full message text.
+func RewriteWants(fixdir string, diags []lint.Diagnostic) error {
+	byLine := map[posKey][]string{} // diagnostics in position order per line
+	for _, d := range diags {
+		key := posKey{filepath.Base(d.Pos.Filename), d.Pos.Line}
+		byLine[key] = append(byLine[key], d.Message)
+	}
+	entries, err := os.ReadDir(fixdir)
+	if err != nil {
+		return err
+	}
+	for _, e := range entries {
+		if e.IsDir() || !strings.HasSuffix(e.Name(), ".go") {
+			continue
+		}
+		path := filepath.Join(fixdir, e.Name())
+		data, err := os.ReadFile(path)
+		if err != nil {
+			return err
+		}
+		lines := strings.Split(string(data), "\n")
+		changed := false
+		for i, line := range lines {
+			out := wantSuffixRe.ReplaceAllString(line, "")
+			if msgs := byLine[posKey{e.Name(), i + 1}]; len(msgs) > 0 {
+				var pats []string
+				for _, m := range msgs {
+					pats = append(pats, quoteWant(regexp.QuoteMeta(m)))
+				}
+				out += " // want " + strings.Join(pats, " ")
+			}
+			if out != line {
+				lines[i] = out
+				changed = true
+			}
+		}
+		if changed {
+			if err := os.WriteFile(path, []byte(strings.Join(lines, "\n")), 0o644); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// quoteWant renders a want pattern as a Go string literal, preferring a
+// raw backquoted form (readable regexps) and falling back to an
+// interpreted literal when the pattern itself contains a backquote.
+func quoteWant(pat string) string {
+	if !strings.Contains(pat, "`") {
+		return "`" + pat + "`"
+	}
+	return strconv.Quote(pat)
 }
 
 type posKey struct {

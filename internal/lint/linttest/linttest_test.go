@@ -1,0 +1,73 @@
+package linttest
+
+import (
+	"go/token"
+	"os"
+	"path/filepath"
+	"regexp"
+	"testing"
+
+	"cab/internal/lint"
+)
+
+// TestRewriteWants pins the CABLINT_FIXWANT regeneration contract: stale
+// trailing want comments are stripped, diagnosed lines gain one
+// quoted-verbatim pattern per diagnostic, ordinary comments survive, and
+// the generated pattern actually matches the message it was built from
+// (so a regenerated fixture passes immediately).
+func TestRewriteWants(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "fixture.go")
+	src := "package fixture\n" +
+		"\n" +
+		"var a = 1 // want `old stale pattern`\n" +
+		"var b = 2\n" +
+		"var c = 3 // an ordinary comment stays\n"
+	if err := os.WriteFile(path, []byte(src), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	msgA := "plain write of a (guarded elsewhere)"
+	msgB := "b escapes via []interface{} boxing"
+	diags := []lint.Diagnostic{
+		{Pos: token.Position{Filename: path, Line: 3}, Analyzer: "x", Message: msgA},
+		{Pos: token.Position{Filename: path, Line: 4}, Analyzer: "x", Message: msgB},
+	}
+	if err := RewriteWants(dir, diags); err != nil {
+		t.Fatalf("RewriteWants: %v", err)
+	}
+
+	got, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := "package fixture\n" +
+		"\n" +
+		"var a = 1 // want `" + regexp.QuoteMeta(msgA) + "`\n" +
+		"var b = 2 // want `" + regexp.QuoteMeta(msgB) + "`\n" +
+		"var c = 3 // an ordinary comment stays\n"
+	if string(got) != want {
+		t.Errorf("rewritten fixture mismatch:\n--- got ---\n%s\n--- want ---\n%s", got, want)
+	}
+
+	// The generated patterns must match their own messages.
+	for _, d := range diags {
+		re := regexp.MustCompile(regexp.QuoteMeta(d.Message))
+		if !re.MatchString(d.Message) {
+			t.Errorf("generated pattern does not match its message %q", d.Message)
+		}
+	}
+
+	// Idempotence: regenerating from the same diagnostics is a no-op.
+	before := string(got)
+	if err := RewriteWants(dir, diags); err != nil {
+		t.Fatalf("second RewriteWants: %v", err)
+	}
+	got2, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(got2) != before {
+		t.Errorf("RewriteWants is not idempotent:\n--- first ---\n%s\n--- second ---\n%s", before, got2)
+	}
+}

@@ -42,10 +42,17 @@ type listPkg struct {
 // non-standard package. Dependencies are imported from compiler export
 // data, so only the target packages are parsed from source.
 func Load(dir string, patterns ...string) ([]*Package, error) {
+	return LoadTags(dir, nil, patterns...)
+}
+
+// LoadTags is Load with extra build tags, so callers can analyze files
+// normally excluded by build constraints — the lint self-test loads the
+// cablint_selftest-gated bug injection in internal/rt this way.
+func LoadTags(dir string, tags []string, patterns ...string) ([]*Package, error) {
 	if len(patterns) == 0 {
 		patterns = []string{"./..."}
 	}
-	pkgs, err := goList(dir, true, patterns)
+	pkgs, err := goList(dir, true, tags, patterns)
 	if err != nil {
 		return nil, err
 	}
@@ -73,14 +80,18 @@ func Load(dir string, patterns ...string) ([]*Package, error) {
 }
 
 // goList runs `go list -deps -export -json` (plus -test when tests is
-// set) and decodes the stream of package objects.
-func goList(dir string, tests bool, patterns []string) ([]*listPkg, error) {
+// set and -tags when tags are given) and decodes the stream of package
+// objects.
+func goList(dir string, tests bool, tags, patterns []string) ([]*listPkg, error) {
 	args := []string{
 		"list", "-e", "-deps", "-export",
 		"-json=ImportPath,Name,Dir,Export,GoFiles,Imports,Standard,DepOnly,ForTest,Incomplete,Error",
 	}
 	if tests {
 		args = append(args, "-test")
+	}
+	if len(tags) > 0 {
+		args = append(args, "-tags="+strings.Join(tags, ","))
 	}
 	args = append(args, patterns...)
 	cmd := exec.Command("go", args...)

@@ -1,0 +1,259 @@
+// Shared lock-flow machinery for the lockorder and blockfree analyzers:
+// per-node lock events, a may-held-set forward dataflow over the CFG,
+// and the package-wide "lock world" (call-closure acquisition sets and
+// the acquisition-order edge set) both analyzers consume.
+//
+// Moving from lockorder v1's source-order walk onto the CFG changes the
+// semantics in exactly the ways one wants: `defer mu.Unlock()` is no
+// longer a special case (the unlock simply lives in the defer chain, so
+// the mutex stays held along every path to exit), a Lock inside a loop
+// with no matching Unlock feeds back through the loop edge and becomes
+// a self-acquisition, and branches that release on one arm but not the
+// other propagate a *may*-held set — which is the right polarity for
+// deadlock reasoning.
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+)
+
+// lockEvt is one lock-relevant occurrence inside a CFG node: a mutex
+// operation (callee == nil) or an intra-package static call.
+type lockEvt struct {
+	pos    token.Pos
+	key    string // mutex key for lock/unlock events
+	unlock bool
+	callee *types.Func // non-nil: intra-package call
+}
+
+// nodeLockEvents enumerates the lock events of one CFG node in source
+// order. DeferStmt nodes yield nothing here — the deferred call lives in
+// the CFG's Defers block and is processed at exit, which is what gives
+// `defer mu.Unlock()` its hold-to-return semantics. Function literals
+// run at an unknown time and are skipped.
+func nodeLockEvents(info *types.Info, n ast.Node) []lockEvt {
+	if _, ok := n.(*ast.DeferStmt); ok {
+		return nil
+	}
+	var evs []lockEvt
+	ast.Inspect(n, func(m ast.Node) bool {
+		switch x := m.(type) {
+		case *ast.FuncLit:
+			return false
+		case *ast.CallExpr:
+			if key, unlock, ok := mutexOp(info, x); ok {
+				evs = append(evs, lockEvt{pos: x.Pos(), key: key, unlock: unlock})
+				return true
+			}
+			if fn := staticCallee(info, x); fn != nil {
+				evs = append(evs, lockEvt{pos: x.Pos(), callee: fn})
+			}
+		}
+		return true
+	})
+	return evs
+}
+
+// heldSet is the may-held lattice: the mutex keys that may be held at a
+// program point on at least one path.
+type heldSet map[string]bool
+
+func (s heldSet) clone() heldSet {
+	out := make(heldSet, len(s))
+	for k := range s {
+		out[k] = true
+	}
+	return out
+}
+
+func (s heldSet) join(other heldSet) bool {
+	changed := false
+	for k := range other {
+		if !s[k] {
+			s[k] = true
+			changed = true
+		}
+	}
+	return changed
+}
+
+func (s heldSet) sorted() []string {
+	out := make([]string, 0, len(s))
+	for k := range s {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// lockHeldFlow computes, for each block, the set of mutexes that may be
+// held at its entry.
+func lockHeldFlow(c *CFG, info *types.Info) map[*Block]heldSet {
+	return forwardFlow(c, heldSet{}, flowState[heldSet]{
+		clone: func(s heldSet) heldSet { return s.clone() },
+		join:  func(dst, src heldSet) bool { return dst.join(src) },
+		transfer: func(b *Block, s heldSet) {
+			for _, n := range b.Nodes {
+				for _, ev := range nodeLockEvents(info, n) {
+					applyLockEvt(s, ev)
+				}
+			}
+		},
+	})
+}
+
+func applyLockEvt(s heldSet, ev lockEvt) {
+	if ev.callee != nil {
+		return // callees restore their own balance; mayAcquire covers the rest
+	}
+	if ev.unlock {
+		delete(s, ev.key)
+	} else {
+		s[ev.key] = true
+	}
+}
+
+// replayLocks walks the reachable blocks in RPO with their converged
+// entry states, invoking visitEvt for every lock event with the held set
+// in force just before it applies, and visitTerm once per block after
+// its nodes, with the held set at the block's branch point (how blockfree
+// sees a blocking select executed under a lock). Either callback may be
+// nil.
+func replayLocks(c *CFG, info *types.Info, in map[*Block]heldSet,
+	visitEvt func(n ast.Node, held heldSet, ev lockEvt),
+	visitTerm func(b *Block, held heldSet)) {
+	for _, b := range c.RPO() {
+		s, ok := in[b]
+		if !ok {
+			continue
+		}
+		s = s.clone()
+		for _, n := range b.Nodes {
+			for _, ev := range nodeLockEvents(info, n) {
+				if visitEvt != nil {
+					visitEvt(n, s, ev)
+				}
+				applyLockEvt(s, ev)
+			}
+		}
+		if visitTerm != nil {
+			visitTerm(b, s)
+		}
+	}
+}
+
+// lockEdge is one acquisition-order edge: `to` was acquired while `from`
+// was held.
+type lockEdge struct{ from, to string }
+
+// fnCFG pairs a package function with its declaration and CFG.
+type fnCFG struct {
+	fn   *types.Func
+	decl *ast.FuncDecl
+	cfg  *CFG
+}
+
+// lockWorld is the package-wide view both lock analyzers share: every
+// function's CFG, the transitive may-acquire sets, the acquisition-order
+// edge set with one witness position per edge, and the set of non-leaf
+// mutexes (those observed to be held while another lock is taken).
+type lockWorld struct {
+	fns        []fnCFG // position order
+	byFunc     map[*types.Func]*fnCFG
+	mayAcquire map[*types.Func]map[string]bool
+	witness    map[lockEdge]token.Pos
+	nonLeaf    map[string]bool
+}
+
+// buildLockWorld constructs the lock world for a pass.
+func buildLockWorld(pass *Pass) *lockWorld {
+	info := pass.TypesInfo
+	w := &lockWorld{
+		byFunc:     map[*types.Func]*fnCFG{},
+		mayAcquire: map[*types.Func]map[string]bool{},
+		witness:    map[lockEdge]token.Pos{},
+		nonLeaf:    map[string]bool{},
+	}
+	for _, f := range pass.Files {
+		for _, d := range f.Decls {
+			fd, ok := d.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			fn, ok := info.Defs[fd.Name].(*types.Func)
+			if !ok {
+				continue
+			}
+			w.fns = append(w.fns, fnCFG{fn: fn, decl: fd, cfg: BuildCFG(fd)})
+		}
+	}
+	sort.Slice(w.fns, func(i, j int) bool { return w.fns[i].fn.Pos() < w.fns[j].fn.Pos() })
+	for i := range w.fns {
+		w.byFunc[w.fns[i].fn] = &w.fns[i]
+	}
+
+	// Flat per-function event streams (block order is irrelevant for the
+	// may-acquire closure).
+	events := map[*types.Func][]lockEvt{}
+	for _, fc := range w.fns {
+		var evs []lockEvt
+		for _, b := range fc.cfg.Blocks {
+			for _, n := range b.Nodes {
+				evs = append(evs, nodeLockEvents(info, n)...)
+			}
+		}
+		events[fc.fn] = evs
+		w.mayAcquire[fc.fn] = map[string]bool{}
+	}
+	for changed := true; changed; {
+		changed = false
+		for fn, evs := range events {
+			for _, ev := range evs {
+				if ev.callee != nil {
+					for k := range w.mayAcquire[ev.callee] {
+						if !w.mayAcquire[fn][k] {
+							w.mayAcquire[fn][k] = true
+							changed = true
+						}
+					}
+				} else if !ev.unlock && !w.mayAcquire[fn][ev.key] {
+					w.mayAcquire[fn][ev.key] = true
+					changed = true
+				}
+			}
+		}
+	}
+
+	// Acquisition-order edges from each function's held-set replay.
+	addEdge := func(from, to string, pos token.Pos) {
+		e := lockEdge{from, to}
+		if _, ok := w.witness[e]; !ok {
+			w.witness[e] = pos
+		}
+	}
+	for _, fc := range w.fns {
+		in := lockHeldFlow(fc.cfg, info)
+		replayLocks(fc.cfg, info, in, func(n ast.Node, held heldSet, ev lockEvt) {
+			if ev.callee != nil {
+				for h := range held {
+					for k := range w.mayAcquire[ev.callee] {
+						addEdge(h, k, ev.pos)
+					}
+				}
+				return
+			}
+			if !ev.unlock {
+				for h := range held {
+					addEdge(h, ev.key, ev.pos)
+				}
+			}
+		}, nil)
+	}
+	for e := range w.witness {
+		w.nonLeaf[e.from] = true
+	}
+	return w
+}

@@ -3,7 +3,6 @@ package lint
 import (
 	"fmt"
 	"go/ast"
-	"go/token"
 	"go/types"
 	"sort"
 	"strings"
@@ -21,112 +20,27 @@ import (
 // self-edge means re-acquiring a non-reentrant mutex the caller already
 // holds, which deadlocks immediately.
 //
-// Heuristics and their limits: calls through function values and
-// cross-package calls are invisible; `defer mu.Unlock()` keeps the mutex
-// held to the end of the function (source order approximates dominance).
-// Those limits are why the runtime keeps its lock hierarchy shallow —
-// and why this analyzer can afford to be exact about what it does see.
+// The v2 engine runs the held-set analysis over each function's CFG
+// (see lockflow.go): `defer mu.Unlock()` needs no special case — the
+// unlock lives in the defer chain so the mutex stays held on every path
+// to exit; a Lock in a loop with no Unlock feeds back through the loop
+// edge and surfaces as a self-acquisition; a branch that releases on
+// one arm propagates a may-held set through the join. Remaining limits:
+// calls through function values and cross-package calls are invisible —
+// which is why the runtime keeps its lock hierarchy shallow, and why
+// this analyzer can afford to be exact about what it does see.
 var LockOrder = &Analyzer{
 	Name: "lockorder",
 	Doc:  "the package's static lock-acquisition graph must be acyclic",
 	Run:  runLockOrder,
 }
 
-// lockEvent is one Lock/Unlock observed in source order within a
-// function body, or a call that may acquire more locks.
-type lockEvent struct {
-	pos    token.Pos
-	key    string      // mutex key for lock/unlock events
-	unlock bool        // Unlock/RUnlock
-	defer_ bool        // appeared under defer (held until return)
-	callee *types.Func // non-nil: intra-package call
-}
-
 func runLockOrder(pass *Pass) error {
-	info := pass.TypesInfo
-
-	// Per-function event streams, in source order.
-	events := map[*types.Func][]lockEvent{}
-	for _, f := range pass.Files {
-		for _, d := range f.Decls {
-			fd, ok := d.(*ast.FuncDecl)
-			if !ok || fd.Body == nil {
-				continue
-			}
-			fn, ok := info.Defs[fd.Name].(*types.Func)
-			if !ok {
-				continue
-			}
-			events[fn] = collectLockEvents(info, fd.Body)
-		}
-	}
-
-	// mayAcquire: every mutex key a function can lock, transitively.
-	// Fixpoint because the call graph may have cycles.
-	mayAcquire := map[*types.Func]map[string]bool{}
-	for fn := range events {
-		mayAcquire[fn] = map[string]bool{}
-	}
-	for changed := true; changed; {
-		changed = false
-		for fn, evs := range events {
-			for _, ev := range evs {
-				if ev.callee != nil {
-					for k := range mayAcquire[ev.callee] {
-						if !mayAcquire[fn][k] {
-							mayAcquire[fn][k] = true
-							changed = true
-						}
-					}
-				} else if !ev.unlock && !mayAcquire[fn][ev.key] {
-					mayAcquire[fn][ev.key] = true
-					changed = true
-				}
-			}
-		}
-	}
-
-	// Build the edge set held → acquired, remembering one witness
-	// position per edge for the diagnostic.
-	type edge struct{ from, to string }
-	witness := map[edge]token.Pos{}
-	addEdge := func(from, to string, pos token.Pos) {
-		e := edge{from, to}
-		if _, ok := witness[e]; !ok {
-			witness[e] = pos
-		}
-	}
-	fns := make([]*types.Func, 0, len(events))
-	for fn := range events {
-		fns = append(fns, fn)
-	}
-	sort.Slice(fns, func(i, j int) bool { return fns[i].Pos() < fns[j].Pos() })
-	for _, fn := range fns {
-		held := map[string]bool{}
-		for _, ev := range events[fn] {
-			switch {
-			case ev.callee != nil:
-				for h := range held {
-					for k := range mayAcquire[ev.callee] {
-						addEdge(h, k, ev.pos)
-					}
-				}
-			case ev.unlock:
-				if !ev.defer_ {
-					delete(held, ev.key)
-				}
-			default:
-				for h := range held {
-					addEdge(h, ev.key, ev.pos)
-				}
-				held[ev.key] = true
-			}
-		}
-	}
+	w := buildLockWorld(pass)
 
 	// Self-edges deadlock without needing a second goroutine.
 	edges := map[string][]string{}
-	for e, pos := range witness {
+	for e, pos := range w.witness {
 		if e.from == e.to {
 			pass.Reportf(pos,
 				"%s is acquired while already held: non-reentrant mutex self-deadlock", e.from)
@@ -153,43 +67,13 @@ func runLockOrder(pass *Pass) error {
 				continue
 			}
 			reported[key] = true
-			pos := witness[edge{cycle[0], cycle[1]}]
+			pos := w.witness[lockEdge{cycle[0], cycle[1]}]
 			pass.Reportf(pos,
 				"lock-order cycle: %s — two goroutines taking these in opposite order deadlock; pick one global order",
 				strings.Join(cycle, " -> "))
 		}
 	}
 	return nil
-}
-
-// collectLockEvents walks body in source order, recording mutex
-// operations and intra-package calls. Function literals are skipped:
-// they run at an unknown time, not under the enclosing held set.
-func collectLockEvents(info *types.Info, body *ast.BlockStmt) []lockEvent {
-	var evs []lockEvent
-	var walk func(n ast.Node, deferred bool)
-	walk = func(n ast.Node, deferred bool) {
-		ast.Inspect(n, func(n ast.Node) bool {
-			switch x := n.(type) {
-			case *ast.FuncLit:
-				return false
-			case *ast.DeferStmt:
-				walk(x.Call, true)
-				return false
-			case *ast.CallExpr:
-				if key, unlock, ok := mutexOp(info, x); ok {
-					evs = append(evs, lockEvent{pos: x.Pos(), key: key, unlock: unlock, defer_: deferred})
-					return true
-				}
-				if fn := staticCallee(info, x); fn != nil && !deferred {
-					evs = append(evs, lockEvent{pos: x.Pos(), callee: fn})
-				}
-			}
-			return true
-		})
-	}
-	walk(body, false)
-	return evs
 }
 
 // mutexOp recognises m.Lock/Unlock/RLock/RUnlock/TryLock on a

@@ -1,0 +1,56 @@
+package lint
+
+import (
+	"go/token"
+	"go/types"
+	"strings"
+	"testing"
+)
+
+// TestPadHint pins the fix-suggestion arithmetic: the hint must name the
+// byte count that lands the struct on the next line-group boundary, and
+// a size already on a boundary (reachable when size is 0 mod line but
+// zero overall) asks for a whole group rather than zero bytes.
+func TestPadHint(t *testing.T) {
+	cases := []struct {
+		size, line int64
+		wantNeed   string
+	}{
+		{136, 128, "needs 120 more bytes"},
+		{56, 64, "needs 8 more bytes"},
+		{120, 128, "needs 8 more bytes"},
+		{129, 128, "needs 127 more bytes"},
+		{0, 128, "needs 128 more bytes"},
+	}
+	for _, c := range cases {
+		got := padHint(nil, nil, c.size, c.line)
+		if !strings.Contains(got, c.wantNeed) {
+			t.Errorf("padHint(size=%d, line=%d) = %q, want substring %q", c.size, c.line, got, c.wantNeed)
+		}
+	}
+}
+
+// TestIsPadField pins what counts as a pad: a blank identifier of byte
+// array type, and nothing else — named byte arrays, blank non-byte
+// arrays and blank scalars must all be ignored so real fields are never
+// mistaken for padding.
+func TestIsPadField(t *testing.T) {
+	byteArr := types.NewArray(types.Typ[types.Uint8], 64)
+	cases := []struct {
+		name string
+		typ  types.Type
+		want bool
+	}{
+		{"_", byteArr, true},
+		{"pad", byteArr, false},
+		{"_", types.NewArray(types.Typ[types.Int64], 8), false},
+		{"_", types.Typ[types.Uint8], false},
+		{"_", types.NewSlice(types.Typ[types.Uint8]), false},
+	}
+	for _, c := range cases {
+		fv := types.NewField(token.NoPos, nil, c.name, c.typ, false)
+		if got := isPadField(fv); got != c.want {
+			t.Errorf("isPadField(%s %s) = %v, want %v", c.name, c.typ, got, c.want)
+		}
+	}
+}

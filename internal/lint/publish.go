@@ -1,0 +1,626 @@
+// The publish analyzer: flow-sensitive publication safety. The runtime's
+// lock-free structures share data by publishing a pointer — a worker
+// deque through atomic.Pointer.Store (supervise.go), stolen frames
+// through deque.PushBatch, results through channels. The happens-before
+// edge those operations create covers only writes sequenced *before*
+// them: a store to the published object after the publish races with
+// every reader that already loaded the pointer, and neither the race
+// detector (needs the interleaving) nor code review (the write can sit
+// twenty lines below the Store) reliably catches it.
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+)
+
+// Publish enforces the publication-safety contract on every function:
+//
+//   - Init-then-publish: any store to memory reachable from a value
+//     published via atomic.Pointer.Store, a channel send, or
+//     deque.PushBatch must be sequenced before the publish. A plain
+//     write after the publish point — on any control-flow path — is
+//     flagged. Re-binding the variable to a fresh object (the
+//     loop-per-iteration pattern) ends its published status.
+//   - Copy-on-write reads: a value obtained from atomic.Pointer.Load
+//     (directly or through local aliases) is shared with concurrent
+//     readers and must never be mutated in place; mutate a clone and
+//     re-Store it. This generalizes the hookseam clone/mutate/Store
+//     special case into a dataflow property that follows aliases and
+//     reference-shaped field reads.
+//   - PushBatch copy-out: the deque copies frame pointers out of the
+//     caller's scratch slice during the call, so overwriting the
+//     *slots* afterwards is fine (the steal path nils them on purpose)
+//     — but writing through an element that was just handed over
+//     mutates a frame another worker may already be running.
+//
+// Like every cablint analysis the view is per-function with a one-level
+// interprocedural extension: a function whose body publishes one of its
+// parameters is summarized, and callers treat passing an argument to it
+// as the publish point.
+var Publish = &Analyzer{
+	Name: "publish",
+	Doc:  "stores to published data must happen-before the publish; atomic.Pointer loads are copy-on-write",
+	Run:  runPublish,
+}
+
+// taint classifies how a variable's value relates to published memory.
+type taint uint8
+
+const (
+	taintPublished taint = 1 << iota // reachable from a value already published
+	taintLoaded                      // aliases data obtained from atomic.Pointer.Load
+	taintCopyOut                     // slice whose elements were published by PushBatch
+)
+
+// pubState is the dataflow lattice: which locals are tainted, and how.
+type pubState map[*types.Var]taint
+
+func (s pubState) clone() pubState {
+	out := make(pubState, len(s))
+	for v, t := range s {
+		out[v] = t
+	}
+	return out
+}
+
+func (s pubState) join(other pubState) bool {
+	changed := false
+	for v, t := range other {
+		if s[v]&t != t {
+			s[v] |= t
+			changed = true
+		}
+	}
+	return changed
+}
+
+// pubSummaries is the one-level interprocedural view the publish
+// analyzer threads through its transfer function.
+type pubSummaries struct {
+	publishes map[*types.Func]map[int]bool // param indices the callee publishes
+	refills   map[*types.Func]map[int]bool // slice params whose slots the callee overwrites
+}
+
+func runPublish(pass *Pass) error {
+	summaries := &pubSummaries{
+		publishes: publishSummaries(pass),
+		refills:   refillSummaries(pass),
+	}
+	for _, f := range pass.Files {
+		if isTestFile(pass.Fset, f.Pos()) {
+			continue // tests construct and publish throwaway state freely
+		}
+		for _, d := range f.Decls {
+			fd, ok := d.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			checkPublishFunc(pass, summaries, BuildCFG(fd), fd.Body)
+			// Closures get their own graphs; captured taint is unknown, so
+			// each starts clean.
+			ast.Inspect(fd.Body, func(n ast.Node) bool {
+				if lit, ok := n.(*ast.FuncLit); ok {
+					checkPublishFunc(pass, summaries, BuildLitCFG(fd.Name.Name+".func", lit), lit.Body)
+				}
+				return true
+			})
+		}
+	}
+	return nil
+}
+
+// publishSummaries computes the one-level interprocedural view: for each
+// package function, the parameter indices its body publishes (stores into
+// an atomic.Pointer, sends on a channel, or hands to PushBatch).
+func publishSummaries(pass *Pass) map[*types.Func]map[int]bool {
+	info := pass.TypesInfo
+	out := map[*types.Func]map[int]bool{}
+	for _, f := range pass.Files {
+		for _, d := range f.Decls {
+			fd, ok := d.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			fn, ok := info.Defs[fd.Name].(*types.Func)
+			if !ok {
+				continue
+			}
+			params := map[*types.Var]int{}
+			if fd.Type.Params != nil {
+				i := 0
+				for _, fl := range fd.Type.Params.List {
+					for _, name := range fl.Names {
+						if v, ok := info.Defs[name].(*types.Var); ok {
+							params[v] = i
+						}
+						i++
+					}
+				}
+			}
+			if len(params) == 0 {
+				continue
+			}
+			published := map[int]bool{}
+			ast.Inspect(fd.Body, func(n ast.Node) bool {
+				if _, ok := n.(*ast.FuncLit); ok {
+					return false
+				}
+				var arg ast.Expr
+				switch x := n.(type) {
+				case *ast.CallExpr:
+					if isAtomicPointerStore(info, x) && len(x.Args) == 1 {
+						arg = x.Args[0]
+					} else if isPushBatchCall(info, x) && len(x.Args) == 1 {
+						arg = x.Args[0]
+					}
+				case *ast.SendStmt:
+					arg = x.Value
+				}
+				if arg != nil {
+					for _, v := range baseVars(info, arg) {
+						if i, ok := params[v]; ok {
+							published[i] = true
+						}
+					}
+				}
+				return true
+			})
+			if len(published) > 0 {
+				out[fn] = published
+			}
+		}
+	}
+	return out
+}
+
+// refillSummaries computes which slice parameters a function fully
+// repopulates (assigns through `p[i] = ...`): calling such a function
+// rebinds the caller's slots, so any published-taint on the argument is
+// killed — the "scratch buffer refilled by callee" pattern
+// (Runtime.submitFrames) would otherwise false-positive on every
+// iteration of a submit loop.
+func refillSummaries(pass *Pass) map[*types.Func]map[int]bool {
+	info := pass.TypesInfo
+	out := map[*types.Func]map[int]bool{}
+	for _, f := range pass.Files {
+		for _, d := range f.Decls {
+			fd, ok := d.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			fn, ok := info.Defs[fd.Name].(*types.Func)
+			if !ok {
+				continue
+			}
+			params := map[*types.Var]int{}
+			if fd.Type.Params != nil {
+				i := 0
+				for _, fl := range fd.Type.Params.List {
+					for _, name := range fl.Names {
+						if v, ok := info.Defs[name].(*types.Var); ok {
+							if _, isSlice := v.Type().Underlying().(*types.Slice); isSlice {
+								params[v] = i
+							}
+						}
+						i++
+					}
+				}
+			}
+			if len(params) == 0 {
+				continue
+			}
+			refilled := map[int]bool{}
+			ast.Inspect(fd.Body, func(n ast.Node) bool {
+				if _, ok := n.(*ast.FuncLit); ok {
+					return false
+				}
+				as, ok := n.(*ast.AssignStmt)
+				if !ok {
+					return true
+				}
+				for _, lhs := range as.Lhs {
+					ix, ok := ast.Unparen(lhs).(*ast.IndexExpr)
+					if !ok {
+						continue
+					}
+					if id, ok := ast.Unparen(ix.X).(*ast.Ident); ok {
+						if v := identVar(info, id); v != nil {
+							if i, ok := params[v]; ok {
+								refilled[i] = true
+							}
+						}
+					}
+				}
+				return true
+			})
+			if len(refilled) > 0 {
+				out[fn] = refilled
+			}
+		}
+	}
+	return out
+}
+
+// checkPublishFunc runs the taint fixpoint over one function body and
+// replays it to report violations.
+func checkPublishFunc(pass *Pass, summaries *pubSummaries, c *CFG, body *ast.BlockStmt) {
+	info := pass.TypesInfo
+	// Fixpoint: propagate taint only.
+	in := forwardFlow(c, pubState{}, flowState[pubState]{
+		clone: func(s pubState) pubState { return s.clone() },
+		join:  func(dst, src pubState) bool { return dst.join(src) },
+		transfer: func(b *Block, s pubState) {
+			for _, n := range b.Nodes {
+				transferPublish(info, summaries, n, s, nil)
+			}
+		},
+	})
+	// Replay reachable blocks with their converged IN states, reporting.
+	for _, b := range c.RPO() {
+		s, ok := in[b]
+		if !ok {
+			continue
+		}
+		s = s.clone()
+		for _, n := range b.Nodes {
+			transferPublish(info, summaries, n, s, pass)
+		}
+	}
+}
+
+// transferPublish advances the taint state through one program point; if
+// pass is non-nil, violations are reported as a side effect.
+func transferPublish(info *types.Info, summaries *pubSummaries, n ast.Node, s pubState, pass *Pass) {
+	// 1. Mutation checks against the *pre*-publish state of this node.
+	if pass != nil {
+		checkMutations(info, n, s, pass)
+	}
+
+	// 2. Assignments rebind taint (strong update: a fresh RHS clears it).
+	switch x := n.(type) {
+	case *ast.AssignStmt:
+		if len(x.Lhs) == len(x.Rhs) {
+			for i := range x.Lhs {
+				if id, ok := ast.Unparen(x.Lhs[i]).(*ast.Ident); ok && id.Name != "_" {
+					if v := identVar(info, id); v != nil {
+						s[v] = taintOfExpr(info, x.Rhs[i], s)
+					}
+				}
+			}
+		} else if len(x.Rhs) == 1 {
+			// Multi-value from a call/assert/receive: fresh values.
+			for _, l := range x.Lhs {
+				if id, ok := ast.Unparen(l).(*ast.Ident); ok && id.Name != "_" {
+					if v := identVar(info, id); v != nil {
+						s[v] = 0
+					}
+				}
+			}
+		}
+	case *ast.DeclStmt:
+		for _, d := range nodeDefs(info, x) {
+			if d.Rhs != nil {
+				s[d.Var] = taintOfExpr(info, d.Rhs, s)
+			} else {
+				s[d.Var] = 0
+			}
+		}
+	}
+
+	// 3. Publish points taint their operands *after* the operation; a
+	// callee that refills a slice argument's slots kills its taint first.
+	var published []ast.Expr
+	var copyOut []ast.Expr
+	var refilled []ast.Expr
+	ast.Inspect(n, func(m ast.Node) bool {
+		switch y := m.(type) {
+		case *ast.FuncLit:
+			return false
+		case *ast.SendStmt:
+			published = append(published, y.Value)
+		case *ast.CallExpr:
+			if isAtomicPointerStore(info, y) && len(y.Args) == 1 {
+				published = append(published, y.Args[0])
+			} else if isPushBatchCall(info, y) && len(y.Args) == 1 {
+				copyOut = append(copyOut, y.Args[0])
+			} else if fn := staticCallee(info, y); fn != nil {
+				if pub := summaries.publishes[fn]; pub != nil {
+					for i, arg := range y.Args {
+						if pub[i] {
+							published = append(published, arg)
+						}
+					}
+				}
+				if ref := summaries.refills[fn]; ref != nil {
+					for i, arg := range y.Args {
+						if ref[i] {
+							refilled = append(refilled, arg)
+						}
+					}
+				}
+			}
+		}
+		return true
+	})
+	for _, e := range refilled {
+		for _, v := range baseVars(info, e) {
+			delete(s, v)
+		}
+	}
+	for _, e := range published {
+		for _, v := range baseVars(info, e) {
+			s[v] |= taintPublished
+		}
+	}
+	for _, e := range copyOut {
+		for _, v := range baseVars(info, e) {
+			s[v] |= taintCopyOut
+		}
+	}
+
+	// 4. Load() results are shared from the moment they are bound; the
+	// assignment case above already propagated taintLoaded through
+	// taintOfExpr, so nothing more to do here.
+}
+
+// checkMutations flags in-place writes through tainted bases within one
+// program point.
+func checkMutations(info *types.Info, n ast.Node, s pubState, pass *Pass) {
+	report := func(pos token.Pos, t taint, what string) {
+		switch {
+		case t&taintCopyOut != 0:
+			pass.Reportf(pos,
+				"%s writes through an element already handed to PushBatch: the frame may be executing on another worker", what)
+		case t&taintPublished != 0:
+			pass.Reportf(pos,
+				"%s after the value was published (atomic.Pointer.Store, channel send, or PushBatch): post-publication writes race with readers; complete all writes before publishing, or clone-and-republish", what)
+		case t&taintLoaded != 0:
+			pass.Reportf(pos,
+				"%s mutates data loaded from an atomic.Pointer in place; published values are copy-on-write (clone, mutate, Store)", what)
+		}
+	}
+	ast.Inspect(n, func(m ast.Node) bool {
+		switch x := m.(type) {
+		case *ast.FuncLit:
+			return false
+		case *ast.AssignStmt:
+			for _, lhs := range x.Lhs {
+				checkLHS(info, lhs, s, report)
+			}
+		case *ast.IncDecStmt:
+			checkLHS(info, x.X, s, report)
+		case *ast.UnaryExpr:
+			// &x[i] / &x.f escaping a tainted base is not itself a write;
+			// ignore.
+		case *ast.CallExpr:
+			if id, ok := x.Fun.(*ast.Ident); ok && len(x.Args) > 0 {
+				if b, ok := info.Uses[id].(*types.Builtin); ok {
+					switch b.Name() {
+					case "delete":
+						if t := exprTaint(info, x.Args[0], s); t&(taintPublished|taintLoaded) != 0 {
+							report(x.Pos(), t, "delete")
+						}
+					case "append":
+						if t := exprTaint(info, x.Args[0], s); t&(taintPublished|taintLoaded) != 0 {
+							report(x.Pos(), t, "append (may write the shared backing array)")
+						}
+					case "clear":
+						if t := exprTaint(info, x.Args[0], s); t&(taintPublished|taintLoaded) != 0 {
+							report(x.Pos(), t, "clear")
+						}
+					}
+				}
+			}
+		}
+		return true
+	})
+}
+
+// checkLHS classifies one assignment target: a write through a selector,
+// index or dereference whose base is tainted is a violation. A plain
+// index store into a copy-out slice (st.batch[i] = nil) is the sanctioned
+// slot-recycling pattern and stays silent.
+func checkLHS(info *types.Info, lhs ast.Expr, s pubState, report func(token.Pos, taint, string)) {
+	switch l := ast.Unparen(lhs).(type) {
+	case *ast.IndexExpr:
+		t := exprTaint(info, l.X, s)
+		if t&(taintPublished|taintLoaded) != 0 {
+			report(l.Pos(), t, "index assignment")
+		}
+		// taintCopyOut: slot writes allowed by design.
+	case *ast.StarExpr:
+		t := exprTaint(info, l.X, s)
+		if t != 0 {
+			report(l.Pos(), t, "assignment through pointer")
+		}
+	case *ast.SelectorExpr:
+		t := exprTaint(info, l.X, s)
+		if t != 0 {
+			report(l.Pos(), t, "field assignment")
+		}
+	}
+}
+
+// exprTaint evaluates the taint of an expression under state s, walking
+// through selectors, indexing, dereferences and loads. Reading an
+// element of a copy-out slice yields a published frame pointer.
+func exprTaint(info *types.Info, e ast.Expr, s pubState) taint {
+	switch x := ast.Unparen(e).(type) {
+	case *ast.Ident:
+		if v := identVar(info, x); v != nil {
+			return s[v]
+		}
+	case *ast.SelectorExpr:
+		t := exprTaint(info, x.X, s)
+		return refShaped(info, e, t)
+	case *ast.IndexExpr:
+		t := exprTaint(info, x.X, s)
+		if t&taintCopyOut != 0 {
+			// Reading an element of a copy-out slice yields a pointer
+			// another worker may already own; keep the copy-out bit so the
+			// diagnostic can name PushBatch.
+			t |= taintPublished
+		}
+		return refShaped(info, e, t)
+	case *ast.StarExpr:
+		t := exprTaint(info, x.X, s)
+		return refShaped(info, e, t)
+	case *ast.UnaryExpr:
+		if x.Op == token.AND {
+			return exprTaint(info, x.X, s)
+		}
+	case *ast.CallExpr:
+		if isAtomicPointerLoad(info, x) {
+			return taintLoaded
+		}
+		// append result shares the first argument's backing array.
+		if id, ok := x.Fun.(*ast.Ident); ok && len(x.Args) > 0 {
+			if b, ok := info.Uses[id].(*types.Builtin); ok && b.Name() == "append" {
+				return exprTaint(info, x.Args[0], s)
+			}
+		}
+		// Conversions preserve aliasing for reference types.
+		if tv, ok := info.Types[x.Fun]; ok && tv.IsType() && len(x.Args) == 1 {
+			return refShaped(info, e, exprTaint(info, x.Args[0], s))
+		}
+	case *ast.SliceExpr:
+		return exprTaint(info, x.X, s)
+	}
+	return 0
+}
+
+// refShaped keeps taint only when the expression's own type still
+// aliases the tainted memory: pointers, maps, slices, channels,
+// functions and interfaces carry the alias; reading a basic or struct
+// value is a copy — the documented clone idiom (`clone := *p.Load()`)
+// deliberately clears taint here.
+func refShaped(info *types.Info, e ast.Expr, t taint) taint {
+	if t == 0 {
+		return 0
+	}
+	tv, ok := info.Types[e]
+	if !ok || tv.Type == nil {
+		return t
+	}
+	switch tv.Type.Underlying().(type) {
+	case *types.Pointer, *types.Map, *types.Slice, *types.Chan, *types.Signature, *types.Interface:
+		return t
+	}
+	return 0
+}
+
+// taintOfExpr is exprTaint for assignment right-hand sides: composite
+// literals, make and new yield fresh objects regardless of tainted
+// subexpressions (tracking one base variable per object is the
+// precision/noise tradeoff this analyzer makes).
+func taintOfExpr(info *types.Info, rhs ast.Expr, s pubState) taint {
+	switch x := ast.Unparen(rhs).(type) {
+	case *ast.CompositeLit:
+		return 0
+	case *ast.UnaryExpr:
+		if x.Op == token.AND {
+			if _, ok := x.X.(*ast.CompositeLit); ok {
+				return 0
+			}
+		}
+	case *ast.CallExpr:
+		if id, ok := x.Fun.(*ast.Ident); ok {
+			if b, ok := info.Uses[id].(*types.Builtin); ok && (b.Name() == "make" || b.Name() == "new") {
+				return 0
+			}
+		}
+	}
+	return exprTaint(info, rhs, s)
+}
+
+// baseVars resolves the base variable(s) an expression's value is
+// reachable from: for `ws.deq` that is ws, for `&x` it is x, for a
+// slice expression the sliced variable.
+func baseVars(info *types.Info, e ast.Expr) []*types.Var {
+	var out []*types.Var
+	var walk func(e ast.Expr)
+	walk = func(e ast.Expr) {
+		switch x := ast.Unparen(e).(type) {
+		case *ast.Ident:
+			if v := identVar(info, x); v != nil {
+				out = append(out, v)
+			}
+		case *ast.SelectorExpr:
+			walk(x.X)
+		case *ast.IndexExpr:
+			walk(x.X)
+		case *ast.StarExpr:
+			walk(x.X)
+		case *ast.UnaryExpr:
+			if x.Op == token.AND {
+				walk(x.X)
+			}
+		case *ast.SliceExpr:
+			walk(x.X)
+		}
+	}
+	walk(e)
+	return out
+}
+
+// isAtomicPointerStore reports whether call is `p.Store(v)` for p of
+// type sync/atomic.Pointer[T].
+func isAtomicPointerStore(info *types.Info, call *ast.CallExpr) bool {
+	return isAtomicPointerMethod(info, call, "Store")
+}
+
+func isAtomicPointerMethod(info *types.Info, call *ast.CallExpr, name string) bool {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok || sel.Sel.Name != name {
+		return false
+	}
+	s, ok := info.Selections[sel]
+	if !ok || s.Kind() != types.MethodVal {
+		return false
+	}
+	named := namedOf(s.Recv())
+	if named == nil || named.Obj().Name() != "Pointer" {
+		return false
+	}
+	pkg := named.Obj().Pkg()
+	return pkg != nil && pkg.Path() == "sync/atomic"
+}
+
+// isPushBatchCall reports whether call is `d.PushBatch(frames)` on the
+// runtime's deque types (any package whose path ends in internal/deque),
+// or — so fixtures can exercise the rule without importing the runtime —
+// any method literally named PushBatch taking one slice argument.
+func isPushBatchCall(info *types.Info, call *ast.CallExpr) bool {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok || sel.Sel.Name != "PushBatch" {
+		return false
+	}
+	s, ok := info.Selections[sel]
+	if !ok || s.Kind() != types.MethodVal {
+		return false
+	}
+	if len(call.Args) != 1 {
+		return false
+	}
+	tv, ok := info.Types[call.Args[0]]
+	if !ok || tv.Type == nil {
+		return false
+	}
+	_, isSlice := tv.Type.Underlying().(*types.Slice)
+	return isSlice
+}
+
+// stableFuncs returns package functions sorted by position (deterministic
+// summary iteration for debugging; unused in the hot path but kept with
+// the summary machinery).
+func stableFuncs(m map[*types.Func]map[int]bool) []*types.Func {
+	out := make([]*types.Func, 0, len(m))
+	for f := range m {
+		out = append(out, f)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Pos() < out[j].Pos() })
+	return out
+}

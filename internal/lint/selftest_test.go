@@ -1,0 +1,48 @@
+package lint_test
+
+import (
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"cab/internal/lint"
+)
+
+// TestSelftestPublishBugCaught is the lint suite's end-to-end tripwire:
+// internal/rt carries a deliberate publication-order bug behind the
+// cablint_selftest build tag (lintbug_selftest.go), and this test loads
+// the package with that tag enabled and asserts the publish analyzer
+// reports it. A regression that blinds the analyzer to the
+// store-then-mutate shape fails here, in CI, rather than shipping as an
+// unchecked invariant.
+func TestSelftestPublishBugCaught(t *testing.T) {
+	if testing.Short() {
+		t.Skip("shells out to go list -export")
+	}
+	pkgs, err := lint.LoadTags("../..", []string{"cablint_selftest"}, "./internal/rt")
+	if err != nil {
+		t.Fatalf("loading internal/rt with cablint_selftest: %v", err)
+	}
+	if len(pkgs) == 0 {
+		t.Fatal("no packages loaded")
+	}
+	found := false
+	for _, pkg := range pkgs {
+		diags, err := lint.Run(pkg, []*lint.Analyzer{lint.Publish})
+		if err != nil {
+			t.Fatalf("running publish on %s: %v", pkg.ImportPath, err)
+		}
+		for _, d := range diags {
+			if filepath.Base(d.Pos.Filename) != "lintbug_selftest.go" {
+				t.Errorf("publish diagnostic outside the injected bug file: %s", d)
+				continue
+			}
+			if strings.Contains(d.Message, "after the value was published") {
+				found = true
+			}
+		}
+	}
+	if !found {
+		t.Error("publish analyzer missed the injected post-Store write in internal/rt/lintbug_selftest.go")
+	}
+}

@@ -1,0 +1,36 @@
+// Package fixture exercises the allocbudget analyzer: //cab:hotpath
+// budget=N bounds the static allocation sites reachable from the
+// annotated function through the intra-package call graph — including
+// boxing and fmt calls hidden inside callees.
+package fixture
+
+func sink(any) {}
+
+func logs(v int) {
+	sink(v) // one site from the root's view: boxing v into the interface arg
+}
+
+//cab:hotpath budget=1
+func withinBudget() *int {
+	return new(int) // safe: one site, budget one
+}
+
+//cab:hotpath budget=1
+func overBudget() []int { // want `allocation budget exceeded for overBudget: 2 static allocation sites reachable \(budget 1\)`
+	s := make([]int, 4)
+	return append(s, 1)
+}
+
+//cab:hotpath budget=0
+func callsLogger(x int) { // want `allocation budget exceeded for callsLogger: 1 static allocation sites reachable \(budget 0\): logs=1`
+	logs(x)
+}
+
+//cab:hotpath budget=1
+func budgetCoversCallee(x int) { // safe: the callee's boxing is accounted for
+	logs(x)
+}
+
+//cab:hotpath budget=oops
+func badBudget() { // want `malformed //cab:hotpath budget=oops`
+}

@@ -1,0 +1,102 @@
+// Package fixture exercises the blockfree analyzer: hot code
+// (//cab:hotpath and //cab:workerloop roots plus their intra-package
+// closure) must not block while a mutex from the lock graph is held.
+package fixture
+
+import (
+	"sync"
+	"time"
+)
+
+type pool struct {
+	mu sync.Mutex
+}
+
+var global sync.Mutex
+
+// nest makes pool.mu a non-leaf mutex: global is acquired under it.
+// (Not a hot root itself, so blockfree has no opinion about it.)
+func nest(p *pool) {
+	p.mu.Lock()
+	global.Lock()
+	global.Unlock()
+	p.mu.Unlock()
+}
+
+func blocksInside(ch chan int) {
+	<-ch
+}
+
+//cab:hotpath
+func sleepUnderLock(p *pool) {
+	p.mu.Lock()
+	time.Sleep(time.Millisecond) // want `time.Sleep while holding pool.mu`
+	p.mu.Unlock()
+	time.Sleep(time.Millisecond) // safe: the lock was released
+}
+
+//cab:hotpath
+func sendUnderLock(p *pool, ch chan int) {
+	p.mu.Lock()
+	ch <- 1 // want `channel send while holding pool.mu`
+	p.mu.Unlock()
+	ch <- 2 // safe after release
+}
+
+//cab:hotpath
+func deferHold(p *pool, ch chan int) {
+	p.mu.Lock()
+	defer p.mu.Unlock() // the deferred unlock keeps the mutex held to exit
+	<-ch                // want `channel receive while holding pool.mu`
+}
+
+//cab:hotpath
+func selUnderLock(p *pool, ch chan int) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	select { // want `blocking select while holding pool.mu`
+	case <-ch:
+	}
+}
+
+//cab:hotpath
+func selDefault(p *pool, ch chan int) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	select { // safe: a default clause makes the select non-blocking
+	case <-ch:
+	default:
+	}
+}
+
+//cab:hotpath
+func callBlocker(p *pool, ch chan int) {
+	p.mu.Lock()
+	blocksInside(ch) // want `call to blocksInside`
+	p.mu.Unlock()
+	blocksInside(ch) // safe: nothing held
+}
+
+//cab:workerloop
+func acquireNonLeaf(p *pool) {
+	global.Lock()
+	p.mu.Lock() // want `acquiring non-leaf mutex pool.mu while holding global`
+	p.mu.Unlock()
+	global.Unlock()
+}
+
+//cab:hotpath
+func parkFree(ch chan int) {
+	<-ch // safe: blocking with no lock held is what the parking lot does
+}
+
+//cab:hotpath
+func branchRelease(p *pool, ch chan int, cond bool) {
+	p.mu.Lock()
+	if cond {
+		p.mu.Unlock()
+		return
+	}
+	<-ch // want `channel receive while holding pool.mu`
+	p.mu.Unlock()
+}

@@ -1,0 +1,104 @@
+// Package fixture pins the CFG builder's block graphs and the
+// reaching-definitions fixpoint: loops, short-circuit conditions
+// (atomic, by design), defer chains, goto and labeled break/continue,
+// select, switch fallthrough, and the panic -> defers -> exit
+// approximation. cfg_test.go renders every function here and diffs the
+// output against golden.txt.
+package fixture
+
+func loops(n int) int {
+	s := 0
+	for i := 0; i < n; i++ {
+		s += i
+	}
+	for s > 100 {
+		s /= 2
+	}
+	return s
+}
+
+func shortCircuit(a, b bool) int {
+	if a && b {
+		return 1
+	}
+	return 0
+}
+
+func deferred(release func()) int {
+	defer release()
+	x := 1
+	if x > 0 {
+		return x
+	}
+	return 0
+}
+
+func gotos(n int) int {
+again:
+	n--
+	if n > 0 {
+		goto again
+	}
+	return n
+}
+
+func labeledBreak(grid [][]int) int {
+outer:
+	for _, row := range grid {
+		for _, v := range row {
+			if v == 0 {
+				break outer
+			}
+			if v < 0 {
+				continue outer
+			}
+		}
+	}
+	return 0
+}
+
+func panics(bad bool) (out int) {
+	defer func() { recover() }()
+	if bad {
+		panic("boom")
+	}
+	out = 7
+	return out
+}
+
+func selects(ch chan int, done chan struct{}) int {
+	for {
+		select {
+		case v := <-ch:
+			return v
+		case <-done:
+			return 0
+		}
+	}
+}
+
+func fallthroughs(k int) int {
+	x := 0
+	switch k {
+	case 0:
+		x = 1
+		fallthrough
+	case 1:
+		x += 2
+	default:
+		x = 9
+	}
+	return x
+}
+
+func reachingLoop(n int) int {
+	v := 1
+	for i := 0; i < n; i++ {
+		if i%2 == 0 {
+			v = 2
+		} else {
+			v = 3
+		}
+	}
+	return v
+}

@@ -1,0 +1,113 @@
+// Package fixture exercises the leakcheck analyzer: goroutines launched
+// in the runtime packages must carry an exit proof — a done-channel
+// select, a generation fence, or WaitGroup registration — and
+// straight-line goroutines must not block on a bare channel operation
+// with no cancel alternative.
+package fixture
+
+import (
+	"context"
+	"sync"
+	"sync/atomic"
+)
+
+type job struct{}
+
+func (j *job) cancel() {}
+
+func runForever(ch chan int) {
+	for {
+		<-ch
+	}
+}
+
+// --- true positives ---
+
+func leakyLoop(ch chan int) {
+	go func() { // want `loops with no provable exit path`
+		for {
+			<-ch
+		}
+	}()
+}
+
+func launchNamed(ch chan int) {
+	go runForever(ch) // want `goroutine runForever loops with no provable exit path`
+}
+
+func bareSend(ch chan int) {
+	go func() { // want `blocks on a bare channel operation`
+		ch <- 1
+	}()
+}
+
+// --- exit proofs ---
+
+func doneSelectLoop(ctx context.Context, ch chan int) {
+	go func() { // safe: done-channel select clause that returns
+		for {
+			select {
+			case <-ctx.Done():
+				return
+			case <-ch:
+			}
+		}
+	}()
+}
+
+func stopChannelLoop(stop chan struct{}, ch chan int) {
+	go func() { // safe: lifecycle channel named stop, clause returns
+		for {
+			select {
+			case <-stop:
+				return
+			case <-ch:
+			}
+		}
+	}()
+}
+
+func fenceLoop(gen *atomic.Int64, mine int64) {
+	go func() { // safe: generation fence — stale workers observe and exit
+		for {
+			if gen.Load() != mine {
+				return
+			}
+		}
+	}()
+}
+
+func wgLoop(wg *sync.WaitGroup, ch chan int) {
+	wg.Add(1)
+	go func() { // safe: WaitGroup registration — a joiner owns this lifetime
+		defer wg.Done()
+		for {
+			<-ch
+		}
+	}()
+}
+
+// --- straight-line bodies ---
+
+func watchLike(ctx context.Context) {
+	go func() { // safe: a bare lifecycle receive is itself the exit proof
+		<-ctx.Done()
+	}()
+}
+
+func sendWithDone(ctx context.Context, ch chan int) {
+	go func() { // safe: the send has a cancel alternative
+		select {
+		case ch <- 1:
+		case <-ctx.Done():
+		}
+	}()
+}
+
+func cancelSweep(js []*job) {
+	go func() { // safe: bounded range sweep, no channel operations
+		for _, j := range js {
+			j.cancel()
+		}
+	}()
+}

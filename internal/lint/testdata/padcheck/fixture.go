@@ -73,3 +73,56 @@ type unannotated struct {
 	a int64
 	b int32
 }
+
+// embedOK embeds the padded shard as its first line group and pads its
+// own trailer fields out to the next boundary: embedding a whole-line
+// struct keeps every later field line-aligned.
+//
+//cab:padded
+type embedOK struct {
+	goodShard
+	hits int64
+	_    [120]byte
+}
+
+// embedSkew embeds the shard after a scalar, pushing all 128 embedded
+// bytes off their line: every element of a []embedSkew then couples its
+// shard with the neighbour's sequence counter.
+//
+//cab:padded
+type embedSkew struct { // want "size 248 is not a multiple of 128"
+	seq int64
+	goodShard
+	_ [112]byte // want "ends at offset 248, not on a 128-byte boundary"
+}
+
+// shardArray holds an array of padded shards: an array of whole-line
+// elements stays line-aligned, and the trailer pad isolates the epoch
+// counter on its own group.
+//
+//cab:padded
+type shardArray struct {
+	shards [4]goodShard
+	epoch  int64
+	_      [120]byte
+}
+
+// arrayDrift holds an array of unpadded 16-byte elements, so the pad
+// after it starts (and ends) mid-line and the total is off-multiple.
+//
+//cab:padded
+type arrayDrift struct { // want "size 120 is not a multiple of 128"
+	shards [3]unannotated
+	_      [72]byte // want "ends at offset 120, not on a 128-byte boundary"
+}
+
+// wrongLine claims 64-byte isolation but its layout never reaches a
+// 64-byte boundary: the annotation's line size is what the checks use,
+// so both the pad and the total are flagged against 64, not 128.
+//
+//cab:padded 64
+type wrongLine struct { // want "size 56 is not a multiple of 64"
+	a int64
+	_ [40]byte // want "ends at offset 48, not on a 64-byte boundary"
+	b int32
+}

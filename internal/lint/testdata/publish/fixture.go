@@ -1,0 +1,136 @@
+// Package fixture exercises the publish analyzer: init-then-publish
+// ordering for atomic.Pointer.Store / channel send / PushBatch, the
+// copy-on-write rule for Load results, and the PushBatch copy-out
+// convention.
+package fixture
+
+import "sync/atomic"
+
+type state struct {
+	n int
+	m map[string]int
+}
+
+type frame struct{ fn func() }
+
+type deq struct{ slots []*frame }
+
+func (d *deq) PushBatch(batch []*frame) {}
+
+func run(*state) {}
+
+func (s *state) touch() {}
+
+// --- atomic.Pointer.Store ---
+
+func storeThenWrite(p *atomic.Pointer[state]) {
+	s := &state{}
+	s.n = 1
+	p.Store(s)
+	s.n = 2 // want `field assignment after the value was published`
+}
+
+func initThenStore(p *atomic.Pointer[state]) {
+	s := &state{}
+	s.n = 1 // safe: every write happens-before the publish
+	p.Store(s)
+}
+
+func republishLoop(p *atomic.Pointer[state]) {
+	for i := 0; i < 3; i++ {
+		s := &state{} // safe: re-binding to a fresh object ends published status
+		s.n = i
+		p.Store(s)
+	}
+}
+
+func branchPublish(p *atomic.Pointer[state], cond bool) {
+	s := &state{}
+	if cond {
+		p.Store(s)
+	}
+	s.n = 2 // want `field assignment after the value was published`
+}
+
+func publishThenLaunch(p *atomic.Pointer[state]) {
+	s := &state{}
+	s.n = 1
+	p.Store(s)
+	go run(s) // safe: passing the published value is not a write
+}
+
+func methodAfterPublish(p *atomic.Pointer[state]) {
+	s := &state{}
+	p.Store(s)
+	s.touch() // safe: method calls are not tracked as writes (documented limit)
+}
+
+// --- one-level interprocedural: a callee that publishes its parameter ---
+
+func publishParam(p *atomic.Pointer[state], s *state) {
+	p.Store(s)
+}
+
+func viaHelper(p *atomic.Pointer[state]) {
+	s := &state{}
+	publishParam(p, s)
+	s.n = 3 // want `field assignment after the value was published`
+}
+
+// --- channel send ---
+
+func sendThenWrite(ch chan *state) {
+	s := &state{}
+	s.n = 1
+	ch <- s
+	s.n = 2 // want `field assignment after the value was published`
+}
+
+func sendFresh(ch chan *state) {
+	for i := 0; i < 2; i++ {
+		s := &state{}
+		s.n = i // safe: writes precede the send, re-binding kills loop carry
+		ch <- s
+	}
+}
+
+// --- Load is copy-on-write ---
+
+func mutateLoaded(p *atomic.Pointer[state]) {
+	cur := p.Load()
+	cur.n++ // want `mutates data loaded from an atomic.Pointer in place`
+}
+
+func deleteLoaded(p *atomic.Pointer[map[string]int]) {
+	m := p.Load()
+	delete(*m, "k") // want `mutates data loaded from an atomic.Pointer in place`
+}
+
+func appendLoaded(p *atomic.Pointer[[]int]) {
+	sl := p.Load()
+	_ = append(*sl, 1) // want `mutates data loaded from an atomic.Pointer in place`
+}
+
+func cloneMutateStore(p *atomic.Pointer[state]) {
+	clone := *p.Load() // safe: a struct dereference is a copy — the clone idiom
+	clone.n++
+	p.Store(&clone)
+}
+
+func readLoaded(p *atomic.Pointer[state]) int {
+	return p.Load().n // safe: reads of published data are the whole point
+}
+
+// --- PushBatch copy-out ---
+
+func copyOutSlots(d *deq, batch []*frame) {
+	d.PushBatch(batch[:2])
+	for i := range batch {
+		batch[i] = nil // safe: the deque copied the pointers out; slot recycling is sanctioned
+	}
+}
+
+func copyOutElement(d *deq, batch []*frame) {
+	d.PushBatch(batch)
+	batch[0].fn = nil // want `writes through an element already handed to PushBatch`
+}

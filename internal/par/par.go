@@ -200,7 +200,7 @@ func (pl *Pool) get(w int, l *Loop, lo, hi int) *span {
 	}
 	//cab:allow hotpath drained-shard slow path: the only steady-state span allocation
 	s := &span{l: l, lo: lo, hi: hi}
-	s.fn = s.run //cab:allow hotpath one-time method bind, reused for the span's lifetime
+	s.fn = s.run // one-time method bind, reused for the span's lifetime
 	return s
 }
 

@@ -170,7 +170,6 @@ func (r *Runtime) TrySubmit(fn work.Fn) (*Job, error) {
 // needs wiring.
 func (r *Runtime) newJobLocked() *Job {
 	if r.jobSlabN == len(r.jobSlab) {
-		//cab:allow hotpath slab refill: one block allocation per jobSlabSize submissions
 		r.jobSlab = make([]Job, jobSlabSize)
 		r.jobSlabN = 0
 	}
@@ -186,7 +185,7 @@ func (r *Runtime) newJobLocked() *Job {
 // worker freelists spill into; in steady state completed frames recycle
 // faster than roots are admitted and submission allocates nothing.
 //
-//cab:hotpath
+//cab:hotpath budget=1
 func (r *Runtime) submitFrame() *task {
 	r.overflowMu.Lock()
 	if n := len(r.overflow); n > 0 {

@@ -1,0 +1,32 @@
+//go:build cablint_selftest
+
+package rt
+
+import "sync/atomic"
+
+// This file is a deliberate violation of the publication-safety
+// contract (DESIGN.md §15), gated behind the cablint_selftest build tag
+// so it never reaches a real build. internal/lint/selftest_test.go
+// loads this package with the tag enabled and asserts that the publish
+// analyzer reports the post-Store write below: if an analyzer change
+// ever stops catching the exact store-then-mutate shape the chaos rule
+// tables rely on, that test — not a production race — fails first.
+
+// lintSelftestRules mimics the chaos rule-table idiom: a copy-on-write
+// rule set published through an atomic.Pointer.
+var lintSelftestRules atomic.Pointer[lintSelftestRuleSet]
+
+type lintSelftestRuleSet struct {
+	delayNs int64
+	armed   bool
+}
+
+// lintSelftestPublishBug publishes the rule set and then keeps writing
+// to it — the textbook publication-order bug: a worker that Loads the
+// pointer between the Store and the write observes a half-initialized
+// rule set, or races the write outright.
+func lintSelftestPublishBug(delay int64) {
+	rs := &lintSelftestRuleSet{armed: true}
+	lintSelftestRules.Store(rs)
+	rs.delayNs = delay // the bug: write after publication
+}

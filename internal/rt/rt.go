@@ -731,7 +731,7 @@ func (c *ctx) Prefetch(uint64, int64) {}
 
 // Spawn queues fn as a child of the current task.
 //
-//cab:hotpath
+//cab:hotpath budget=2
 func (c *ctx) Spawn(fn work.Fn) { c.spawn(fn, -1) }
 
 // SpawnHint validates the squad hint explicitly: anything outside
@@ -992,6 +992,8 @@ func (r *Runtime) runBody(t *task, c *ctx) {
 // the loop exits when the runtime stops or when the slot's generation
 // moves past ws.gen (this incarnation was declared dead and replaced — it
 // finishes whatever subtree it still owns, then yields the slot).
+//
+//cab:workerloop
 func (r *Runtime) workerLoop(w int, ws *wstate) {
 	defer r.wg.Done()
 	defer func() {
